@@ -1,0 +1,177 @@
+package osprof_test
+
+// The benchmark harness: one benchmark per paper figure/table
+// (regenerating the experiment and reporting its headline numbers as
+// custom metrics), plus micro-benchmarks of the aggregate statistics
+// library itself — the real-world costs that correspond to the paper's
+// §5.2 per-operation overheads.
+//
+// Run with: go test -bench=. -benchmem
+
+import (
+	"io"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"osprof"
+	"osprof/internal/analysis"
+	"osprof/internal/experiments"
+)
+
+// runExperiment executes an experiment once per benchmark iteration and
+// fails the benchmark if any paper invariant breaks.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Registry[id]()
+		if fails := experiments.Failures(r); len(fails) > 0 {
+			for _, c := range fails {
+				b.Errorf("%s: %s — %s", id, c.Name, c.Detail)
+			}
+		}
+		r.Report(io.Discard)
+	}
+}
+
+func BenchmarkFig1CloneContention(b *testing.B)       { runExperiment(b, "fig1") }
+func BenchmarkFig3PreemptionEffects(b *testing.B)     { runExperiment(b, "fig3") }
+func BenchmarkEq3PreemptionModel(b *testing.B)        { benchEq3(b) }
+func BenchmarkFig6LlseekContention(b *testing.B)      { runExperiment(b, "fig6") }
+func BenchmarkFig7ReaddirPeaks(b *testing.B)          { runExperiment(b, "fig7") }
+func BenchmarkFig8ValueCorrelation(b *testing.B)      { runExperiment(b, "fig8") }
+func BenchmarkFig9TimelineProfiles(b *testing.B)      { runExperiment(b, "fig9") }
+func BenchmarkFig10CIFSProfiles(b *testing.B)         { runExperiment(b, "fig10") }
+func BenchmarkFig11DelayedAck(b *testing.B)           { runExperiment(b, "fig11") }
+func BenchmarkEvalMemoryUsage(b *testing.B)           { runExperiment(b, "eval-memory") }
+func BenchmarkEvalOverheadDecomposition(b *testing.B) { runExperiment(b, "eval-overhead") }
+func BenchmarkEvalAnalysisAccuracy(b *testing.B)      { runExperiment(b, "eval-accuracy") }
+func BenchmarkEvalBucketLocking(b *testing.B)         { runExperiment(b, "eval-locking") }
+
+// benchEq3 reports the paper's Equation 3 example values.
+func benchEq3(b *testing.B) {
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += experiments.Eq3(1<<10, 1<<11, 1<<26, 0.01)
+	}
+	b.ReportMetric(sink/float64(b.N), "Pr(fp)")
+}
+
+// --- Aggregate statistics library micro-benchmarks -------------------
+//
+// These measure the REAL cost of the Go implementation on the host CPU
+// (not simulated cycles): the paper's equivalents are the ~200-cycle
+// full profiling cost and the 40-cycle in-window overhead.
+
+func BenchmarkProfileRecord(b *testing.B) {
+	p := osprof.NewProfile("op")
+	for i := 0; i < b.N; i++ {
+		p.Record(uint64(i)*2654435761 + 1)
+	}
+	if p.Count != uint64(b.N) {
+		b.Fatal("lost updates")
+	}
+}
+
+func BenchmarkProfileRecordR2(b *testing.B) {
+	p := osprof.NewProfileR("op", 2)
+	for i := 0; i < b.N; i++ {
+		p.Record(uint64(i)*2654435761 + 1)
+	}
+}
+
+func BenchmarkBucketFor(b *testing.B) {
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += osprof.BucketFor(uint64(i)|1, 1)
+	}
+	_ = sink
+}
+
+func BenchmarkConcurrentRecordLocked(b *testing.B) {
+	p := osprof.NewConcurrentProfile("op", osprof.Locked, 0)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			p.Record(0, 100)
+		}
+	})
+}
+
+func BenchmarkConcurrentRecordUnsync(b *testing.B) {
+	p := osprof.NewConcurrentProfile("op", osprof.Unsync, 0)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			p.Record(0, 100)
+		}
+	})
+	loss := float64(p.Lost()) / float64(p.Attempts())
+	b.ReportMetric(100*loss, "%lost")
+}
+
+func BenchmarkConcurrentRecordSharded(b *testing.B) {
+	p := osprof.NewConcurrentProfile("op", osprof.Sharded, 64)
+	var nextShard atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		// Each worker gets its own shard — the §3.4 per-thread design.
+		shard := int(nextShard.Add(1))
+		for pb.Next() {
+			p.Record(shard, 100)
+		}
+	})
+	if p.Lost() != 0 {
+		b.Fatal("sharded mode lost updates")
+	}
+}
+
+// --- Analysis micro-benchmarks ---------------------------------------
+
+func benchProfilePair() (*osprof.Profile, *osprof.Profile) {
+	a, bb := osprof.NewProfile("a"), osprof.NewProfile("b")
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10_000; i++ {
+		a.Record(uint64(rng.Int63n(1 << 24)))
+		bb.Record(uint64(rng.Int63n(1 << 26)))
+	}
+	return a, bb
+}
+
+func BenchmarkEarthMoversDistance(b *testing.B) {
+	x, y := benchProfilePair()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.EarthMovers(x, y)
+	}
+}
+
+func BenchmarkChiSquare(b *testing.B) {
+	x, y := benchProfilePair()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.ChiSquareScore(x, y)
+	}
+}
+
+func BenchmarkFindPeaks(b *testing.B) {
+	x, _ := benchProfilePair()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analysis.FindPeaks(x)
+	}
+}
+
+func BenchmarkSelectorCompare(b *testing.B) {
+	s1, s2 := osprof.NewSet("a"), osprof.NewSet("b")
+	rng := rand.New(rand.NewSource(2))
+	for op := 0; op < 30; op++ {
+		name := string(rune('a' + op))
+		for i := 0; i < 500; i++ {
+			s1.Record(name, uint64(rng.Int63n(1<<20)))
+			s2.Record(name, uint64(rng.Int63n(1<<22)))
+		}
+	}
+	sel := osprof.DefaultSelector()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sel.Compare(s1, s2)
+	}
+}

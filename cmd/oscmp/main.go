@@ -1,0 +1,68 @@
+// Command oscmp compares two serialized OSprof profile sets with the
+// paper's three-phase automated analysis (§3.2) and prints the pairs a
+// person should look at.
+//
+// Usage:
+//
+//	oscmp [-method emd|chi-square|total-ops|total-latency] a.osprof b.osprof
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"osprof"
+	"osprof/internal/analysis"
+	"osprof/internal/report"
+)
+
+func main() {
+	method := flag.String("method", "emd", "comparison method")
+	threshold := flag.Float64("threshold", 0.10, "interesting-score threshold")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: oscmp [-method m] a.osprof b.osprof")
+		os.Exit(2)
+	}
+
+	var m osprof.Method
+	switch *method {
+	case "emd":
+		m = osprof.EMD
+	case "chi-square":
+		m = osprof.ChiSquare
+	case "total-ops":
+		m = osprof.TotalOps
+	case "total-latency":
+		m = osprof.TotalLatency
+	case "intersection":
+		m = osprof.Intersection
+	case "minkowski":
+		m = osprof.Minkowski
+	case "jeffrey":
+		m = osprof.Jeffrey
+	default:
+		fmt.Fprintf(os.Stderr, "oscmp: unknown method %q\n", *method)
+		os.Exit(2)
+	}
+
+	sets := make([]*osprof.Set, 2)
+	for i, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oscmp: %v\n", err)
+			os.Exit(1)
+		}
+		sets[i], err = osprof.ReadSet(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oscmp: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+	}
+
+	sel := analysis.Selector{Method: m, Threshold: *threshold}
+	reports := sel.Compare(sets[0], sets[1])
+	report.Comparison(os.Stdout, reports)
+}

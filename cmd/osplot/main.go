@@ -1,0 +1,52 @@
+// Command osplot renders a serialized OSprof profile set (the format
+// written by osprof.WriteSet) as paper-style ASCII histograms or a
+// gnuplot script.
+//
+// Usage:
+//
+//	osplot [-g] [-op name] < profiles.osprof
+//
+//	-g        emit a gnuplot script instead of ASCII
+//	-op NAME  render only the named operation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"osprof"
+)
+
+func main() {
+	gnuplot := flag.Bool("g", false, "emit gnuplot script")
+	op := flag.String("op", "", "render only this operation")
+	flag.Parse()
+
+	set, err := osprof.ReadSet(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "osplot: %v\n", err)
+		os.Exit(1)
+	}
+	if *op != "" {
+		p := set.Lookup(*op)
+		if p == nil {
+			fmt.Fprintf(os.Stderr, "osplot: no profile for %q (have %v)\n",
+				*op, set.Ops())
+			os.Exit(1)
+		}
+		if *gnuplot {
+			osprof.RenderGnuplot(os.Stdout, p)
+		} else {
+			osprof.Render(os.Stdout, p)
+		}
+		return
+	}
+	if *gnuplot {
+		for _, p := range set.ByTotalLatency() {
+			osprof.RenderGnuplot(os.Stdout, p)
+		}
+		return
+	}
+	osprof.RenderSet(os.Stdout, set)
+}

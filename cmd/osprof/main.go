@@ -1,0 +1,64 @@
+// Command osprof runs the paper's experiments against the simulated OS
+// substrate and prints paper-style profiles, checks, and tables.
+//
+// Usage:
+//
+//	osprof list               list available experiments
+//	osprof run <id>...        run experiments (or "all")
+//	osprof checks <id>...     run and print only the invariant verdicts
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"osprof/internal/experiments"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "list":
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+	case "run", "checks":
+		ids := os.Args[2:]
+		if len(ids) == 1 && ids[0] == "all" || len(ids) == 0 {
+			ids = experiments.IDs()
+		}
+		failed := 0
+		for _, id := range ids {
+			ctor := experiments.Registry[id]
+			if ctor == nil {
+				fmt.Fprintf(os.Stderr, "osprof: unknown experiment %q\n", id)
+				os.Exit(2)
+			}
+			fmt.Printf("### %s\n", id)
+			r := ctor()
+			if os.Args[1] == "run" {
+				r.Report(os.Stdout)
+			}
+			experiments.WriteChecks(os.Stdout, r)
+			failed += len(experiments.Failures(r))
+			fmt.Println()
+		}
+		if failed > 0 {
+			fmt.Fprintf(os.Stderr, "osprof: %d failed checks\n", failed)
+			os.Exit(1)
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  osprof list               list available experiments
+  osprof run <id>|all       run experiments and print reports + checks
+  osprof checks <id>|all    run experiments and print only checks`)
+}

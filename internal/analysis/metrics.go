@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"osprof/internal/core"
+)
+
+// Method identifies a profile-comparison algorithm (§3.2 "Comparing two
+// profiles" and §5.3). All methods return a non-negative difference
+// score; 0 means identical (after normalization where applicable).
+type Method int
+
+const (
+	// EMD is the Earth Mover's Distance, the cross-bin metric the
+	// paper recommends: view one normalized histogram as piles of
+	// earth and the other as holes; the score is the least total work
+	// (mass times distance in buckets) to fill the holes. It had the
+	// smallest false-classification rate (2%) in §5.3.
+	EMD Method = iota
+
+	// ChiSquare is the bin-by-bin chi-squared test (5% error in §5.3).
+	ChiSquare
+
+	// TotalOps is the normalized difference of operation counts
+	// (4% error in §5.3).
+	TotalOps
+
+	// TotalLatency is the normalized difference of total latencies
+	// (3% error in §5.3).
+	TotalLatency
+
+	// Intersection is histogram intersection difference
+	// (1 - sum of bin-wise minima of the normalized histograms).
+	Intersection
+
+	// Minkowski is the Minkowski-form distance with p=2 over
+	// normalized histograms.
+	Minkowski
+
+	// Jeffrey is the Jeffrey divergence, the symmetrized, smoothed
+	// variant of the Kullback-Leibler divergence.
+	Jeffrey
+)
+
+// Methods lists all implemented comparison methods.
+var Methods = []Method{EMD, ChiSquare, TotalOps, TotalLatency, Intersection, Minkowski, Jeffrey}
+
+func (m Method) String() string {
+	switch m {
+	case EMD:
+		return "emd"
+	case ChiSquare:
+		return "chi-square"
+	case TotalOps:
+		return "total-ops"
+	case TotalLatency:
+		return "total-latency"
+	case Intersection:
+		return "intersection"
+	case Minkowski:
+		return "minkowski"
+	case Jeffrey:
+		return "jeffrey"
+	}
+	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// Score computes the difference between two profiles under method m.
+// Profiles must have equal bucket counts (same resolution).
+func Score(m Method, a, b *core.Profile) float64 {
+	switch m {
+	case EMD:
+		return EarthMovers(a, b)
+	case ChiSquare:
+		return ChiSquareScore(a, b)
+	case TotalOps:
+		return normDiff(float64(a.Count), float64(b.Count))
+	case TotalLatency:
+		return normDiff(float64(a.Total), float64(b.Total))
+	case Intersection:
+		return IntersectionScore(a, b)
+	case Minkowski:
+		return MinkowskiScore(a, b, 2)
+	case Jeffrey:
+		return JeffreyScore(a, b)
+	}
+	panic("analysis: unknown method " + m.String())
+}
+
+// normDiff is |x-y| / max(x,y), or 0 when both are zero.
+func normDiff(x, y float64) float64 {
+	max := x
+	if y > max {
+		max = y
+	}
+	if max == 0 {
+		return 0
+	}
+	return math.Abs(x-y) / max
+}
+
+// EarthMovers computes the 1-D Earth Mover's Distance between the
+// normalized histograms, scaled to [0,1] by the maximum possible work
+// (moving all mass across the whole bucket axis). In one dimension the
+// optimal transport cost is the L1 distance between the cumulative
+// distributions, so no linear programming is needed.
+func EarthMovers(a, b *core.Profile) float64 {
+	na, nb := a.Normalized(), b.Normalized()
+	if len(na) != len(nb) {
+		panic("analysis: EMD on profiles of different resolutions")
+	}
+	if a.Count == 0 && b.Count == 0 {
+		return 0
+	}
+	if a.Count == 0 || b.Count == 0 {
+		return 1 // all mass vs no mass: maximal difference
+	}
+	var work, carry float64
+	for i := range na {
+		carry += na[i] - nb[i]
+		work += math.Abs(carry)
+	}
+	return work / float64(len(na)-1)
+}
+
+// ChiSquareScore computes the chi-squared statistic over the normalized
+// histograms: sum (a_i-b_i)^2 / (a_i+b_i), halved to lie in [0,1].
+func ChiSquareScore(a, b *core.Profile) float64 {
+	na, nb := a.Normalized(), b.Normalized()
+	var sum float64
+	for i := range na {
+		d := na[i] + nb[i]
+		if d == 0 {
+			continue
+		}
+		diff := na[i] - nb[i]
+		sum += diff * diff / d
+	}
+	return sum / 2
+}
+
+// IntersectionScore is 1 minus the histogram intersection of the
+// normalized histograms; 0 for identical shapes, 1 for disjoint.
+func IntersectionScore(a, b *core.Profile) float64 {
+	na, nb := a.Normalized(), b.Normalized()
+	var inter float64
+	for i := range na {
+		inter += math.Min(na[i], nb[i])
+	}
+	return 1 - inter
+}
+
+// MinkowskiScore is the order-p Minkowski distance between the
+// normalized histograms.
+func MinkowskiScore(a, b *core.Profile, p float64) float64 {
+	na, nb := a.Normalized(), b.Normalized()
+	var sum float64
+	for i := range na {
+		sum += math.Pow(math.Abs(na[i]-nb[i]), p)
+	}
+	return math.Pow(sum, 1/p)
+}
+
+// JeffreyScore is the Jeffrey divergence: the smoothed, symmetric
+// variant of the Kullback-Leibler divergence, well defined in the
+// presence of empty bins.
+func JeffreyScore(a, b *core.Profile) float64 {
+	na, nb := a.Normalized(), b.Normalized()
+	var sum float64
+	for i := range na {
+		m := (na[i] + nb[i]) / 2
+		if m == 0 {
+			continue
+		}
+		if na[i] > 0 {
+			sum += na[i] * math.Log(na[i]/m)
+		}
+		if nb[i] > 0 {
+			sum += nb[i] * math.Log(nb[i]/m)
+		}
+	}
+	return sum
+}

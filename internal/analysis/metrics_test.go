@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"osprof/internal/core"
+)
+
+func TestAllMetricsZeroForIdentical(t *testing.T) {
+	p := mkProfile("op", map[int]uint64{5: 100, 9: 40, 20: 3})
+	for _, m := range Methods {
+		if got := Score(m, p, p); got > 1e-12 {
+			t.Errorf("%s(p,p) = %g, want 0", m, got)
+		}
+	}
+}
+
+func TestMetricsSymmetric(t *testing.T) {
+	a := mkProfile("a", map[int]uint64{5: 100, 9: 40})
+	b := mkProfile("b", map[int]uint64{6: 80, 15: 60})
+	for _, m := range Methods {
+		ab, ba := Score(m, a, b), Score(m, b, a)
+		if math.Abs(ab-ba) > 1e-12 {
+			t.Errorf("%s not symmetric: %g vs %g", m, ab, ba)
+		}
+	}
+}
+
+// TestEMDShiftSensitivity captures why the paper prefers EMD: bin-by-bin
+// methods saturate for any disjoint histograms, while EMD grows with the
+// distance the mass moved.
+func TestEMDShiftSensitivity(t *testing.T) {
+	base := mkProfile("base", map[int]uint64{10: 1000})
+	near := mkProfile("near", map[int]uint64{11: 1000})
+	far := mkProfile("far", map[int]uint64{30: 1000})
+
+	emdNear, emdFar := EarthMovers(base, near), EarthMovers(base, far)
+	if emdNear >= emdFar {
+		t.Errorf("EMD near=%g !< far=%g", emdNear, emdFar)
+	}
+	chiNear, chiFar := ChiSquareScore(base, near), ChiSquareScore(base, far)
+	if math.Abs(chiNear-chiFar) > 1e-12 {
+		t.Errorf("chi-square should saturate for disjoint histograms: %g vs %g",
+			chiNear, chiFar)
+	}
+}
+
+func TestEMDKnownValue(t *testing.T) {
+	// All mass moves one bucket: work = 1 move * 1 bucket over 63
+	// possible buckets of distance.
+	a := mkProfile("a", map[int]uint64{10: 100})
+	b := mkProfile("b", map[int]uint64{11: 100})
+	want := 1.0 / 63
+	if got := EarthMovers(a, b); math.Abs(got-want) > 1e-12 {
+		t.Errorf("EMD = %g, want %g", got, want)
+	}
+}
+
+func TestEMDEmptyProfiles(t *testing.T) {
+	e := core.NewProfile("e")
+	p := mkProfile("p", map[int]uint64{5: 1})
+	if got := EarthMovers(e, e); got != 0 {
+		t.Errorf("EMD(empty,empty) = %g", got)
+	}
+	if got := EarthMovers(e, p); got != 1 {
+		t.Errorf("EMD(empty,p) = %g, want 1", got)
+	}
+}
+
+func TestTotalOpsAndLatencyScores(t *testing.T) {
+	a := mkProfile("a", map[int]uint64{5: 100})
+	b := mkProfile("b", map[int]uint64{5: 50})
+	if got := Score(TotalOps, a, b); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("TotalOps = %g, want 0.5", got)
+	}
+	if got := Score(TotalLatency, a, b); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("TotalLatency = %g, want 0.5", got)
+	}
+}
+
+func TestIntersectionBounds(t *testing.T) {
+	a := mkProfile("a", map[int]uint64{5: 100})
+	b := mkProfile("b", map[int]uint64{30: 100})
+	if got := IntersectionScore(a, b); got != 1 {
+		t.Errorf("disjoint intersection = %g, want 1", got)
+	}
+}
+
+func TestJeffreyFiniteWithZeros(t *testing.T) {
+	a := mkProfile("a", map[int]uint64{5: 100})
+	b := mkProfile("b", map[int]uint64{30: 100})
+	got := JeffreyScore(a, b)
+	if math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Errorf("Jeffrey = %g, want finite", got)
+	}
+	if got <= 0 {
+		t.Errorf("Jeffrey = %g, want > 0 for disjoint", got)
+	}
+}
+
+func TestMinkowskiMatchesEuclidean(t *testing.T) {
+	a := mkProfile("a", map[int]uint64{5: 1})
+	b := mkProfile("b", map[int]uint64{6: 1})
+	// normalized: a=(...,1,...), b=(...,1,...): distance sqrt(2).
+	if got := MinkowskiScore(a, b, 2); math.Abs(got-math.Sqrt2) > 1e-12 {
+		t.Errorf("Minkowski = %g, want sqrt(2)", got)
+	}
+}
+
+// Metric axioms checked by property: non-negativity, symmetry, and
+// identity for EMD (a true metric in 1-D).
+func TestEMDMetricAxiomsProperty(t *testing.T) {
+	gen := func(seed int64) *core.Profile {
+		rng := rand.New(rand.NewSource(seed))
+		p := core.NewProfile("x")
+		for i := 0; i < 1+rng.Intn(50); i++ {
+			p.Record(uint64(rng.Int63n(1 << 30)))
+		}
+		return p
+	}
+	f := func(s1, s2, s3 int64) bool {
+		a, b, c := gen(s1), gen(s2), gen(s3)
+		dab, dba := EarthMovers(a, b), EarthMovers(b, a)
+		if dab < 0 || math.Abs(dab-dba) > 1e-12 {
+			return false
+		}
+		if EarthMovers(a, a) > 1e-12 {
+			return false
+		}
+		// Triangle inequality.
+		return EarthMovers(a, c) <= EarthMovers(a, b)+EarthMovers(b, c)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if EMD.String() != "emd" || ChiSquare.String() != "chi-square" {
+		t.Error("method names wrong")
+	}
+	if Method(42).String() == "" {
+		t.Error("unknown method empty name")
+	}
+}

@@ -1,0 +1,164 @@
+// Package analysis implements OSprof's automated profile analysis
+// (paper §3.2): identifying individual peaks of multi-modal latency
+// distributions, rating the difference between two profiles with
+// several histogram-comparison metrics (Earth Mover's Distance and
+// others), and the three-phase procedure that selects a small set of
+// "interesting" profile pairs for manual inspection.
+package analysis
+
+import (
+	"osprof/internal/core"
+)
+
+// Peak is one mode of a latency distribution: a maximal run of
+// populated buckets.
+type Peak struct {
+	// Range covers the peak's buckets (inclusive).
+	Range core.BucketRange
+
+	// Count is the total number of operations in the peak.
+	Count uint64
+
+	// ModeBucket is the bucket with the largest population.
+	ModeBucket int
+
+	// ModeCount is the population of ModeBucket.
+	ModeCount uint64
+}
+
+// MeanLatency estimates the average latency of requests in the peak,
+// assuming bucket means of 3/2*2^b (§3.3). This is how the paper reads
+// "the CPU time necessary to complete a clone request with no
+// contention" off the leftmost peak (§3.1).
+func (p Peak) MeanLatency(prof *core.Profile) uint64 {
+	var ops, weighted uint64
+	for b := p.Range.Lo; b <= p.Range.Hi && b < len(prof.Buckets); b++ {
+		ops += prof.Buckets[b]
+		weighted += prof.Buckets[b] * core.BucketMean(b)
+	}
+	if ops == 0 {
+		return 0
+	}
+	return weighted / ops
+}
+
+// PeakOptions tunes peak identification.
+type PeakOptions struct {
+	// MinCount is the minimum bucket population considered part of a
+	// peak; buckets below it count as background noise. Default 1.
+	MinCount uint64
+
+	// MaxGap is the number of consecutive below-threshold buckets
+	// tolerated inside one peak before it is split. Default 1 (a
+	// single empty bucket does not split a peak; logarithmic bucketing
+	// can leave pinholes inside a genuine mode). Use -1 for strict
+	// splitting at every below-threshold bucket.
+	MaxGap int
+}
+
+func (o PeakOptions) withDefaults() PeakOptions {
+	if o.MinCount == 0 {
+		o.MinCount = 1
+	}
+	if o.MaxGap == 0 {
+		o.MaxGap = 1
+	}
+	if o.MaxGap < 0 {
+		o.MaxGap = 0
+	}
+	return o
+}
+
+// FindPeaks identifies the peaks of a profile in ascending bucket
+// order, using default options.
+func FindPeaks(p *core.Profile) []Peak {
+	return FindPeaksOpt(p, PeakOptions{})
+}
+
+// FindPeaksOpt identifies peaks with explicit options.
+func FindPeaksOpt(p *core.Profile, opt PeakOptions) []Peak {
+	opt = opt.withDefaults()
+	var peaks []Peak
+	inPeak := false
+	var cur Peak
+	gap := 0
+	flush := func() {
+		if inPeak {
+			peaks = append(peaks, cur)
+			inPeak = false
+		}
+	}
+	for b, c := range p.Buckets {
+		if c < opt.MinCount {
+			if inPeak {
+				gap++
+				if gap > opt.MaxGap {
+					flush()
+				}
+			}
+			continue
+		}
+		if !inPeak {
+			inPeak = true
+			cur = Peak{Range: core.BucketRange{Lo: b, Hi: b}}
+			gap = 0
+		} else {
+			gap = 0
+		}
+		cur.Range.Hi = b
+		cur.Count += c
+		if c > cur.ModeCount {
+			cur.ModeCount = c
+			cur.ModeBucket = b
+		}
+	}
+	flush()
+	return peaks
+}
+
+// PeakDiff summarizes the structural differences between the peak sets
+// of two profiles, as reported by the paper's tool in its second phase
+// ("reports differences in the number of peaks and their locations").
+type PeakDiff struct {
+	CountA, CountB int
+	// Moved lists mode-bucket shifts for peaks matched by index.
+	Moved []int
+	// NewPeaks counts peaks present in B but not matched in A.
+	NewPeaks int
+	// LostPeaks counts peaks present in A but not matched in B.
+	LostPeaks int
+}
+
+// ComparePeaks matches peaks by index (profiles of the same operation
+// under different conditions keep their ordering) and reports shifts.
+func ComparePeaks(a, b []Peak) PeakDiff {
+	d := PeakDiff{CountA: len(a), CountB: len(b)}
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		d.Moved = append(d.Moved, b[i].ModeBucket-a[i].ModeBucket)
+	}
+	if len(b) > n {
+		d.NewPeaks = len(b) - n
+	}
+	if len(a) > n {
+		d.LostPeaks = len(a) - n
+	}
+	return d
+}
+
+// Same reports whether the two peak sets have identical structure
+// (same count, no mode shifts).
+func (d PeakDiff) Same() bool {
+	if d.CountA != d.CountB || d.NewPeaks != 0 || d.LostPeaks != 0 {
+		return false
+	}
+	for _, m := range d.Moved {
+		if m != 0 {
+			return false
+		}
+	}
+	return true
+}

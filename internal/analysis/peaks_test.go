@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"testing"
+
+	"osprof/internal/core"
+)
+
+// mkProfile builds a profile with the given bucket populations.
+func mkProfile(op string, buckets map[int]uint64) *core.Profile {
+	p := core.NewProfile(op)
+	for b, c := range buckets {
+		p.Buckets[b] = c
+		p.Count += c
+		p.Total += c * core.BucketMean(b)
+	}
+	return p
+}
+
+func TestFindPeaksBimodal(t *testing.T) {
+	// The Figure 1 shape: an uncontended peak around bucket 10 and a
+	// contention peak around bucket 15.
+	p := mkProfile("clone", map[int]uint64{
+		9: 50, 10: 4000, 11: 80,
+		14: 30, 15: 900, 16: 12,
+	})
+	peaks := FindPeaks(p)
+	if len(peaks) != 2 {
+		t.Fatalf("peaks = %d, want 2", len(peaks))
+	}
+	if peaks[0].ModeBucket != 10 || peaks[1].ModeBucket != 15 {
+		t.Errorf("modes = %d,%d, want 10,15", peaks[0].ModeBucket, peaks[1].ModeBucket)
+	}
+	if peaks[0].Count != 4130 {
+		t.Errorf("peak 0 count = %d, want 4130", peaks[0].Count)
+	}
+	if peaks[0].Range.Lo != 9 || peaks[0].Range.Hi != 11 {
+		t.Errorf("peak 0 range = %+v", peaks[0].Range)
+	}
+}
+
+func TestFindPeaksSingleBucketGapMerged(t *testing.T) {
+	// A one-bucket pinhole inside a mode does not split the peak
+	// (default MaxGap = 1).
+	p := mkProfile("op", map[int]uint64{5: 10, 7: 10})
+	if peaks := FindPeaks(p); len(peaks) != 1 {
+		t.Errorf("peaks = %d, want 1 (gap of one merged)", len(peaks))
+	}
+	// A two-bucket gap splits.
+	p2 := mkProfile("op", map[int]uint64{5: 10, 8: 10})
+	if peaks := FindPeaks(p2); len(peaks) != 2 {
+		t.Errorf("peaks = %d, want 2 (gap of two splits)", len(peaks))
+	}
+}
+
+func TestFindPeaksMinCount(t *testing.T) {
+	p := mkProfile("op", map[int]uint64{5: 1000, 12: 2})
+	peaks := FindPeaksOpt(p, PeakOptions{MinCount: 5})
+	if len(peaks) != 1 {
+		t.Fatalf("peaks = %d, want 1 (noise suppressed)", len(peaks))
+	}
+	if peaks[0].ModeBucket != 5 {
+		t.Errorf("mode = %d", peaks[0].ModeBucket)
+	}
+}
+
+func TestFindPeaksEmpty(t *testing.T) {
+	if peaks := FindPeaks(core.NewProfile("x")); len(peaks) != 0 {
+		t.Errorf("peaks on empty profile = %d", len(peaks))
+	}
+}
+
+func TestPeakMeanLatency(t *testing.T) {
+	p := mkProfile("op", map[int]uint64{10: 100})
+	peaks := FindPeaks(p)
+	if got := peaks[0].MeanLatency(p); got != core.BucketMean(10) {
+		t.Errorf("MeanLatency = %d, want %d", got, core.BucketMean(10))
+	}
+}
+
+func TestComparePeaksStructure(t *testing.T) {
+	a := mkProfile("op", map[int]uint64{6: 100})
+	b := mkProfile("op", map[int]uint64{6: 100, 15: 40})
+	d := ComparePeaks(FindPeaks(a), FindPeaks(b))
+	if d.Same() {
+		t.Error("diff with a new peak reported Same")
+	}
+	if d.NewPeaks != 1 || d.LostPeaks != 0 {
+		t.Errorf("NewPeaks=%d LostPeaks=%d", d.NewPeaks, d.LostPeaks)
+	}
+}
+
+func TestComparePeaksShift(t *testing.T) {
+	a := mkProfile("op", map[int]uint64{6: 100})
+	b := mkProfile("op", map[int]uint64{9: 100})
+	d := ComparePeaks(FindPeaks(a), FindPeaks(b))
+	if d.Same() {
+		t.Error("shifted peak reported Same")
+	}
+	if len(d.Moved) != 1 || d.Moved[0] != 3 {
+		t.Errorf("Moved = %v, want [3]", d.Moved)
+	}
+}
+
+func TestComparePeaksIdentical(t *testing.T) {
+	a := mkProfile("op", map[int]uint64{6: 100, 12: 5})
+	d := ComparePeaks(FindPeaks(a), FindPeaks(a))
+	if !d.Same() {
+		t.Error("identical peak sets reported different")
+	}
+}

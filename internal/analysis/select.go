@@ -1,0 +1,195 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"osprof/internal/core"
+)
+
+// Selector implements the paper's three-phase automated analysis of two
+// complete profile sets (§3.2):
+//
+//  1. Ignore pairs whose total latency or operation count is very small
+//     compared to the rest of the profiles, or whose total latencies
+//     are very similar (the thresholds are configurable). "This step
+//     alone greatly reduces the number of profiles a person would need
+//     to analyze."
+//  2. Identify individual peaks and report differences in their number
+//     and locations.
+//  3. Rate the remaining differences with one of several methods
+//     (Earth Mover's Distance by default).
+type Selector struct {
+	// Method rates pair differences in phase 3 (default EMD).
+	Method Method
+
+	// MinShare drops operations contributing less than this fraction
+	// of the set-wide total latency AND less than this fraction of
+	// operations (default 0.01).
+	MinShare float64
+
+	// SimilarLatency treats pairs whose total latencies differ by
+	// less than this fraction as uninteresting in phase 1 unless
+	// their peak structure changed (default 0.05).
+	SimilarLatency float64
+
+	// Threshold is the minimum phase-3 score that marks a pair
+	// interesting (default 0.10).
+	Threshold float64
+
+	// Peaks tunes peak detection for phase 2.
+	Peaks PeakOptions
+}
+
+// DefaultSelector returns the selector configuration used throughout
+// the repository's experiments.
+func DefaultSelector() Selector {
+	return Selector{
+		Method:         EMD,
+		MinShare:       0.01,
+		SimilarLatency: 0.05,
+		Threshold:      0.10,
+	}
+}
+
+// PairReport is the outcome of comparing one operation's profiles
+// across two profile sets.
+type PairReport struct {
+	Op   string
+	A, B *core.Profile
+
+	// Skipped marks pairs dropped in phase 1; Reason explains why.
+	Skipped bool
+	Reason  string
+
+	// PeaksA and PeaksB are the phase-2 peak structures.
+	PeaksA, PeaksB []Peak
+
+	// Diff is the structural peak difference.
+	Diff PeakDiff
+
+	// Score is the phase-3 difference rating.
+	Score float64
+
+	// Interesting marks pairs selected for manual analysis.
+	Interesting bool
+}
+
+// String renders a one-line summary of the report.
+func (r PairReport) String() string {
+	if r.Skipped {
+		return fmt.Sprintf("%-16s skipped (%s)", r.Op, r.Reason)
+	}
+	return fmt.Sprintf("%-16s peaks %d->%d score %.3f interesting=%v",
+		r.Op, r.Diff.CountA, r.Diff.CountB, r.Score, r.Interesting)
+}
+
+func (s Selector) withDefaults() Selector {
+	d := DefaultSelector()
+	if s.MinShare == 0 {
+		s.MinShare = d.MinShare
+	}
+	if s.SimilarLatency == 0 {
+		s.SimilarLatency = d.SimilarLatency
+	}
+	if s.Threshold == 0 {
+		s.Threshold = d.Threshold
+	}
+	return s
+}
+
+// Compare runs all three phases over the union of operations in the
+// two sets and returns one report per operation, ordered by descending
+// score (skipped pairs last).
+func (s Selector) Compare(a, b *core.Set) []PairReport {
+	s = s.withDefaults()
+	totalLat := a.TotalLatency() + b.TotalLatency()
+	totalOps := a.TotalOps() + b.TotalOps()
+
+	seen := make(map[string]bool)
+	var ops []string
+	for _, op := range append(a.Ops(), b.Ops()...) {
+		if !seen[op] {
+			seen[op] = true
+			ops = append(ops, op)
+		}
+	}
+
+	empty := func(set *core.Set, op string) *core.Profile {
+		if p := set.Lookup(op); p != nil {
+			return p
+		}
+		return core.NewProfileR(op, set.R)
+	}
+
+	var out []PairReport
+	for _, op := range ops {
+		r := PairReport{Op: op, A: empty(a, op), B: empty(b, op)}
+
+		// Phase 1: share and similarity thresholds.
+		latShare := share(r.A.Total+r.B.Total, totalLat)
+		opsShare := share(r.A.Count+r.B.Count, totalOps)
+		if latShare < s.MinShare && opsShare < s.MinShare {
+			r.Skipped = true
+			r.Reason = fmt.Sprintf("small share (latency %.2f%%, ops %.2f%%)",
+				latShare*100, opsShare*100)
+			out = append(out, r)
+			continue
+		}
+
+		// Phase 2: peak structure.
+		r.PeaksA = FindPeaksOpt(r.A, s.Peaks)
+		r.PeaksB = FindPeaksOpt(r.B, s.Peaks)
+		r.Diff = ComparePeaks(r.PeaksA, r.PeaksB)
+
+		if normDiff(float64(r.A.Total), float64(r.B.Total)) < s.SimilarLatency &&
+			r.Diff.Same() {
+			r.Skipped = true
+			r.Reason = "similar total latency, same peak structure"
+			out = append(out, r)
+			continue
+		}
+
+		// Phase 3: rate the difference.
+		r.Score = Score(s.Method, r.A, r.B)
+		r.Interesting = r.Score >= s.Threshold || !r.Diff.Same()
+		out = append(out, r)
+	}
+
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Skipped != out[j].Skipped {
+			return !out[i].Skipped
+		}
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Op < out[j].Op
+	})
+	return out
+}
+
+// SelectInteresting runs Compare and returns only the pairs flagged
+// interesting, i.e., the small set a person should look at (§3.2).
+func (s Selector) SelectInteresting(a, b *core.Set) []PairReport {
+	var out []PairReport
+	for _, r := range s.Compare(a, b) {
+		if !r.Skipped && r.Interesting {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// RankByTotalLatency orders a single set's profiles by their
+// contribution to the total latency, the paper's first preprocessing
+// step for performance work (§3.1).
+func RankByTotalLatency(s *core.Set) []*core.Profile {
+	return s.ByTotalLatency()
+}
+
+func share(part, whole uint64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return float64(part) / float64(whole)
+}

@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"osprof/internal/core"
+)
+
+// buildSets creates two complete profile sets mimicking the paper's
+// CIFS comparison (§6.4): most operations identical, one with a new
+// right-shifted peak, plus many negligible operations.
+func buildSets() (*core.Set, *core.Set) {
+	a, b := core.NewSet("linux-client"), core.NewSet("windows-client")
+	fill := func(s *core.Set, op string, buckets map[int]uint64) {
+		p := s.Get(op)
+		for bkt, c := range buckets {
+			p.Buckets[bkt] = c
+			p.Count += c
+			p.Total += c * core.BucketMean(bkt)
+		}
+	}
+	// Heavy op, same on both: should be skipped as similar.
+	fill(a, "read", map[int]uint64{12: 10_000, 20: 400})
+	fill(b, "read", map[int]uint64{12: 10_000, 20: 400})
+	// The interesting one: a new delayed-ACK peak at bucket 28.
+	fill(a, "findfirst", map[int]uint64{14: 3_000})
+	fill(b, "findfirst", map[int]uint64{14: 2_500, 28: 500})
+	// Tiny ops: phase 1 must drop them.
+	for _, op := range []string{"ioctl", "flush", "lock", "unlock"} {
+		fill(a, op, map[int]uint64{6: 2})
+		fill(b, op, map[int]uint64{6: 3})
+	}
+	return a, b
+}
+
+func TestSelectorPhase1DropsSmallOps(t *testing.T) {
+	a, b := buildSets()
+	reports := DefaultSelector().Compare(a, b)
+	skipped := map[string]bool{}
+	for _, r := range reports {
+		if r.Skipped {
+			skipped[r.Op] = true
+		}
+	}
+	for _, op := range []string{"ioctl", "flush", "lock", "unlock"} {
+		if !skipped[op] {
+			t.Errorf("tiny op %q not skipped in phase 1", op)
+		}
+	}
+}
+
+func TestSelectorFindsTheInterestingOp(t *testing.T) {
+	a, b := buildSets()
+	interesting := DefaultSelector().SelectInteresting(a, b)
+	if len(interesting) != 1 {
+		var ops []string
+		for _, r := range interesting {
+			ops = append(ops, r.Op)
+		}
+		t.Fatalf("interesting = %v, want exactly [findfirst]", ops)
+	}
+	r := interesting[0]
+	if r.Op != "findfirst" {
+		t.Fatalf("interesting op = %q", r.Op)
+	}
+	if r.Diff.NewPeaks != 1 {
+		t.Errorf("NewPeaks = %d, want 1 (the delayed-ACK peak)", r.Diff.NewPeaks)
+	}
+}
+
+func TestSelectorSkipsSimilarHeavyOp(t *testing.T) {
+	a, b := buildSets()
+	for _, r := range DefaultSelector().Compare(a, b) {
+		if r.Op == "read" {
+			if !r.Skipped {
+				t.Errorf("identical heavy op not skipped: %+v", r)
+			}
+			if !strings.Contains(r.Reason, "similar") {
+				t.Errorf("reason = %q", r.Reason)
+			}
+		}
+	}
+}
+
+func TestSelectorHandlesOpMissingFromOneSet(t *testing.T) {
+	a, b := core.NewSet("a"), core.NewSet("b")
+	p := b.Get("newop")
+	p.Buckets[10] = 1000
+	p.Count = 1000
+	p.Total = 1000 * core.BucketMean(10)
+	reports := DefaultSelector().Compare(a, b)
+	if len(reports) != 1 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	if reports[0].Skipped || !reports[0].Interesting {
+		t.Errorf("op present in only one set should be interesting: %+v", reports[0])
+	}
+}
+
+func TestSelectorOrdering(t *testing.T) {
+	a, b := buildSets()
+	reports := DefaultSelector().Compare(a, b)
+	// Non-skipped reports come first, sorted by descending score.
+	seenSkipped := false
+	last := 2.0
+	for _, r := range reports {
+		if r.Skipped {
+			seenSkipped = true
+			continue
+		}
+		if seenSkipped {
+			t.Fatal("non-skipped report after a skipped one")
+		}
+		if r.Score > last {
+			t.Fatal("scores not descending")
+		}
+		last = r.Score
+	}
+}
+
+func TestRankByTotalLatency(t *testing.T) {
+	s := core.NewSet("x")
+	s.Record("small", 10)
+	s.Record("big", 1<<30)
+	ranked := RankByTotalLatency(s)
+	if ranked[0].Op != "big" {
+		t.Errorf("first = %q, want big", ranked[0].Op)
+	}
+}
+
+func TestPairReportString(t *testing.T) {
+	a, b := buildSets()
+	for _, r := range DefaultSelector().Compare(a, b) {
+		if r.String() == "" {
+			t.Error("empty report string")
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBucketForKnownValues(t *testing.T) {
+	cases := []struct {
+		latency uint64
+		r       int
+		want    int
+	}{
+		{0, 1, 0},
+		{1, 1, 0},
+		{2, 1, 1},
+		{3, 1, 1},
+		{4, 1, 2},
+		{1023, 1, 9},
+		{1024, 1, 10},
+		{1 << 26, 1, 26},
+		{(1 << 27) - 1, 1, 26},
+		{math.MaxUint64, 1, 63},
+		// r=2 doubles the bucket density (§3).
+		{2, 2, 2},
+		{4, 2, 4},
+		{5, 2, 4}, // 2*log2(5) = 4.64
+		{6, 2, 5}, // 2*log2(6) = 5.17
+		{64, 2, 12},
+	}
+	for _, c := range cases {
+		if got := BucketFor(c.latency, c.r); got != c.want {
+			t.Errorf("BucketFor(%d, r=%d) = %d, want %d", c.latency, c.r, got, c.want)
+		}
+	}
+}
+
+func TestBucketBoundsR1(t *testing.T) {
+	for b := 1; b < 63; b++ {
+		lo, hi := BucketLow(b, 1), BucketHigh(b, 1)
+		if lo != 1<<uint(b) {
+			t.Fatalf("BucketLow(%d) = %d, want %d", b, lo, uint64(1)<<uint(b))
+		}
+		if hi != (1<<uint(b+1))-1 {
+			t.Fatalf("BucketHigh(%d) = %d", b, hi)
+		}
+		if BucketFor(lo, 1) != b || BucketFor(hi, 1) != b {
+			t.Fatalf("bounds of bucket %d do not map back", b)
+		}
+	}
+}
+
+func TestBucketMean(t *testing.T) {
+	// Paper §3.3: "the average latency of bucket b is equal to
+	// t_cpu = 3/2 * 2^b".
+	if got := BucketMean(10); got != 1536 {
+		t.Errorf("BucketMean(10) = %d, want 1536", got)
+	}
+	if got := BucketMean(0); got != 1 {
+		t.Errorf("BucketMean(0) = %d, want 1", got)
+	}
+}
+
+// Property: BucketFor is monotone non-decreasing in latency.
+func TestBucketForMonotoneProperty(t *testing.T) {
+	f := func(a, b uint64) bool {
+		if a > b {
+			a, b = b, a
+		}
+		return BucketFor(a, 1) <= BucketFor(b, 1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every latency falls within the bounds of its own bucket.
+func TestBucketBoundsContainProperty(t *testing.T) {
+	for _, r := range []int{1, 2, 4} {
+		r := r
+		f := func(l uint64) bool {
+			// Resolutions > 1 are float-based and documented exact
+			// below 2^52; stay inside that envelope.
+			l = l%(1<<48) + 1
+			b := BucketFor(l, r)
+			return BucketLow(b, r) <= l && l <= BucketHigh(b, r)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+			t.Errorf("r=%d: %v", r, err)
+		}
+	}
+}
+
+// Property: doubling a latency advances the bucket index by exactly r
+// (the definition of a logarithmic profile with resolution r), as long
+// as no clamping occurs.
+func TestBucketDoublingProperty(t *testing.T) {
+	for _, r := range []int{1, 2} {
+		r := r
+		f := func(l uint64) bool {
+			l = l%(1<<40) + 2
+			return BucketFor(l*2, r) == BucketFor(l, r)+r
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+			t.Errorf("r=%d: %v", r, err)
+		}
+	}
+}
+
+// Property: non-linear logarithmic filtering (§3): adding a second
+// latency component epsilon <= t_max moves the result at most one
+// bucket at r=1.
+func TestLogFilteringProperty(t *testing.T) {
+	f := func(tmax, eps uint64) bool {
+		tmax = tmax%(1<<40) + 1
+		eps = eps % (tmax + 1) // epsilon <= tmax
+		b0 := BucketFor(tmax, 1)
+		b1 := BucketFor(tmax+eps, 1)
+		return b1 == b0 || b1 == b0+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNumBuckets(t *testing.T) {
+	if NumBuckets(1) != 64 || NumBuckets(2) != 128 {
+		t.Errorf("NumBuckets wrong: %d, %d", NumBuckets(1), NumBuckets(2))
+	}
+}
+
+func TestBucketForClampsAtResolutionMax(t *testing.T) {
+	if got := BucketFor(math.MaxUint64, 2); got != NumBuckets(2)-1 {
+		t.Errorf("BucketFor(max, r=2) = %d, want %d", got, NumBuckets(2)-1)
+	}
+}

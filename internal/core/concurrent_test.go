@@ -1,0 +1,104 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+func hammer(p *ConcurrentProfile, workers, perWorker int) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				p.Record(w, 100) // all hit the same bucket: worst case
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestLockedModeNeverLoses(t *testing.T) {
+	p := NewConcurrentProfile("op", Locked, 0)
+	hammer(p, 8, 10_000)
+	if lost := p.Lost(); lost != 0 {
+		t.Errorf("locked mode lost %d updates", lost)
+	}
+	if p.Snapshot().Count != 80_000 {
+		t.Errorf("count = %d, want 80000", p.Snapshot().Count)
+	}
+}
+
+func TestShardedModeNeverLoses(t *testing.T) {
+	// §3.4 solution 2: "we make each process or thread update its own
+	// profile in memory. This prevents lost updates on systems with
+	// any number of CPUs."
+	p := NewConcurrentProfile("op", Sharded, 8)
+	hammer(p, 8, 10_000)
+	if lost := p.Lost(); lost != 0 {
+		t.Errorf("sharded mode lost %d updates", lost)
+	}
+	snap := p.Snapshot()
+	if snap.Count != 80_000 {
+		t.Errorf("count = %d, want 80000", snap.Count)
+	}
+	if snap.Buckets[BucketFor(100, 1)] != 80_000 {
+		t.Errorf("bucket population = %d", snap.Buckets[BucketFor(100, 1)])
+	}
+}
+
+func TestUnsyncModeSingleThreadExact(t *testing.T) {
+	p := NewConcurrentProfile("op", Unsync, 0)
+	for i := 0; i < 1000; i++ {
+		p.Record(0, uint64(i))
+	}
+	if lost := p.Lost(); lost != 0 {
+		t.Errorf("single-threaded unsync lost %d updates", lost)
+	}
+}
+
+func TestUnsyncModeMayLoseButBounded(t *testing.T) {
+	// §3.4: unsynchronized updates may lose a small fraction of
+	// updates under concurrency; verify the accounting never goes
+	// negative and losses stay a small fraction, as the paper found
+	// (<1% even in the worst case on 2 CPUs).
+	p := NewConcurrentProfile("op", Unsync, 0)
+	hammer(p, 2, 50_000)
+	att, lost := p.Attempts(), p.Lost()
+	if att != 100_000 {
+		t.Fatalf("attempts = %d", att)
+	}
+	if lost > att/2 {
+		t.Errorf("unsync lost %d of %d updates: implausibly lossy", lost, att)
+	}
+	if p.Snapshot().Count+lost != att {
+		t.Errorf("accounting broken: count=%d lost=%d attempts=%d",
+			p.Snapshot().Count, lost, att)
+	}
+}
+
+func TestLockingModeString(t *testing.T) {
+	for m, want := range map[LockingMode]string{
+		Unsync: "unsync", Locked: "locked", Sharded: "sharded",
+		LockingMode(99): "unknown",
+	} {
+		if m.String() != want {
+			t.Errorf("String(%d) = %q", int(m), m.String())
+		}
+	}
+}
+
+func TestConcurrentSnapshotIsPlainProfile(t *testing.T) {
+	p := NewConcurrentProfile("op", Sharded, 4)
+	p.Record(0, 10)
+	p.Record(3, 1000)
+	snap := p.Snapshot()
+	if err := snap.Validate(); err != nil {
+		t.Error(err)
+	}
+	if snap.Count != 2 {
+		t.Errorf("count = %d", snap.Count)
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import "fmt"
+
+// BucketRange identifies a contiguous run of latency buckets,
+// typically one peak of a multi-modal profile.
+type BucketRange struct {
+	Lo, Hi int // inclusive bucket indices
+}
+
+// Contains reports whether bucket b falls inside the range.
+func (r BucketRange) Contains(b int) bool { return b >= r.Lo && b <= r.Hi }
+
+// Correlation implements direct profile and value correlation (§3.1,
+// Figure 8): requests are first classified by which latency peak they
+// belong to, and then a logarithmic profile of an internal OS variable
+// is accumulated separately for each peak. If a peak's value profile
+// differs from the others', the variable explains the peak.
+//
+// The paper's example: storing readdir_past_EOF * 1024 per request
+// proves that the first readdir peak consists exactly of the
+// past-end-of-directory calls.
+type Correlation struct {
+	// Op names the profiled operation.
+	Op string
+
+	// Peaks are the latency ranges used for classification, in order.
+	Peaks []BucketRange
+
+	// R is the resolution of the value profiles.
+	R int
+
+	perPeak []*Profile
+	other   *Profile
+}
+
+// NewCorrelation creates a correlation profile for op splitting on the
+// given latency peaks.
+func NewCorrelation(op string, peaks []BucketRange) *Correlation {
+	c := &Correlation{Op: op, Peaks: peaks, R: 1}
+	for i := range peaks {
+		c.perPeak = append(c.perPeak,
+			NewProfileR(fmt.Sprintf("%s/peak%d", op, i), c.R))
+	}
+	c.other = NewProfileR(op+"/other", c.R)
+	return c
+}
+
+// Record classifies the request by latency and stores value into the
+// matching peak's value profile.
+func (c *Correlation) Record(latency, value uint64) {
+	b := BucketFor(latency, 1)
+	for i, r := range c.Peaks {
+		if r.Contains(b) {
+			c.perPeak[i].Record(value)
+			return
+		}
+	}
+	c.other.Record(value)
+}
+
+// Peak returns the value profile accumulated for peak i.
+func (c *Correlation) Peak(i int) *Profile { return c.perPeak[i] }
+
+// Other returns the value profile of requests outside every peak.
+func (c *Correlation) Other() *Profile { return c.other }
+
+// Validate checks all member checksums.
+func (c *Correlation) Validate() error {
+	for _, p := range c.perPeak {
+		if err := p.Validate(); err != nil {
+			return err
+		}
+	}
+	return c.other.Validate()
+}

@@ -1,0 +1,65 @@
+package core
+
+import "testing"
+
+// TestCorrelationReaddirPastEOF reproduces the structure of the paper's
+// Figure 8 experiment in miniature: requests in the first latency peak
+// carry readdir_past_EOF=1 (stored as 1024), all others carry 0, and
+// the split value profiles prove the correlation.
+func TestCorrelationReaddirPastEOF(t *testing.T) {
+	c := NewCorrelation("readdir", []BucketRange{
+		{Lo: 6, Hi: 7},   // first peak: past-EOF returns
+		{Lo: 9, Hi: 14},  // second peak: cached
+		{Lo: 16, Hi: 23}, // I/O peaks
+	})
+	// First-peak requests: tiny latency, value 1024.
+	for i := 0; i < 100; i++ {
+		c.Record(100, 1024)
+	}
+	// Cached requests: medium latency, value 0.
+	for i := 0; i < 500; i++ {
+		c.Record(4000, 0)
+	}
+	// I/O requests: large latency, value 0.
+	for i := 0; i < 50; i++ {
+		c.Record(1_000_000, 0)
+	}
+	first := c.Peak(0)
+	if first.Count != 100 {
+		t.Fatalf("first peak count = %d, want 100", first.Count)
+	}
+	if first.Buckets[10] != 100 { // 1024 -> bucket 10
+		t.Errorf("first peak value bucket 10 = %d, want 100", first.Buckets[10])
+	}
+	second := c.Peak(1)
+	if second.Count != 500 || second.Buckets[0] != 500 {
+		t.Errorf("second peak: count=%d bucket0=%d", second.Count, second.Buckets[0])
+	}
+	third := c.Peak(2)
+	if third.Count != 50 || third.Buckets[0] != 50 {
+		t.Errorf("third peak: count=%d bucket0=%d", third.Count, third.Buckets[0])
+	}
+	if err := c.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCorrelationOtherBucket(t *testing.T) {
+	c := NewCorrelation("op", []BucketRange{{Lo: 5, Hi: 6}})
+	c.Record(1<<20, 7) // bucket 20, outside every peak
+	if c.Other().Count != 1 {
+		t.Errorf("other count = %d, want 1", c.Other().Count)
+	}
+	if c.Peak(0).Count != 0 {
+		t.Error("peak 0 stole the record")
+	}
+}
+
+func TestBucketRangeContains(t *testing.T) {
+	r := BucketRange{Lo: 3, Hi: 5}
+	for b, want := range map[int]bool{2: false, 3: true, 4: true, 5: true, 6: false} {
+		if r.Contains(b) != want {
+			t.Errorf("Contains(%d) = %v, want %v", b, r.Contains(b), want)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file implements a line-oriented text serialization for profile
+// sets, the analog of the paper's /proc reporting interface (§4): the
+// kernel-side library exports raw bucket counts, and user-space tools
+// parse them for analysis and plotting.
+//
+// Format:
+//
+//	osprof-set v1 <name> r=<r>
+//	op <name> count=<n> total=<n> min=<n> max=<n>
+//	b <bucket> <count>
+//	...
+//	end
+//
+// Operation names are quoted with %q to survive spaces.
+
+const setHeader = "osprof-set v1"
+
+// WriteSet serializes s to w.
+func WriteSet(w io.Writer, s *Set) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%s %q r=%d\n", setHeader, s.Name, s.R)
+	for _, p := range s.Profiles() {
+		fmt.Fprintf(bw, "op %q count=%d total=%d min=%d max=%d\n",
+			p.Op, p.Count, p.Total, p.Min, p.Max)
+		for b, c := range p.Buckets {
+			if c != 0 {
+				fmt.Fprintf(bw, "b %d %d\n", b, c)
+			}
+		}
+	}
+	fmt.Fprintln(bw, "end")
+	return bw.Flush()
+}
+
+// ReadSet parses a profile set serialized by WriteSet and validates
+// the bucket checksums.
+func ReadSet(r io.Reader) (*Set, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("osprof: empty input")
+	}
+	line := sc.Text()
+	if !strings.HasPrefix(line, setHeader+" ") {
+		return nil, fmt.Errorf("osprof: bad header %q", line)
+	}
+	rest := strings.TrimPrefix(line, setHeader+" ")
+	name, rest, err := parseQuoted(rest)
+	if err != nil {
+		return nil, fmt.Errorf("osprof: header name: %w", err)
+	}
+	res, err := parseKV(strings.TrimSpace(rest), "r")
+	if err != nil {
+		return nil, fmt.Errorf("osprof: header resolution: %w", err)
+	}
+	s := NewSetR(name, int(res))
+
+	var cur *Profile
+	sawEnd := false
+	lineno := 1
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		switch {
+		case line == "end":
+			sawEnd = true
+		case strings.HasPrefix(line, "op "):
+			op, rest, err := parseQuoted(strings.TrimPrefix(line, "op "))
+			if err != nil {
+				return nil, fmt.Errorf("osprof: line %d: %w", lineno, err)
+			}
+			cur = s.Get(op)
+			fields := strings.Fields(rest)
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("osprof: line %d: want 4 op fields, got %d",
+					lineno, len(fields))
+			}
+			for i, key := range []string{"count", "total", "min", "max"} {
+				v, err := parseKV(fields[i], key)
+				if err != nil {
+					return nil, fmt.Errorf("osprof: line %d: %w", lineno, err)
+				}
+				switch key {
+				case "count":
+					cur.Count = v
+				case "total":
+					cur.Total = v
+				case "min":
+					cur.Min = v
+				case "max":
+					cur.Max = v
+				}
+			}
+		case strings.HasPrefix(line, "b "):
+			if cur == nil {
+				return nil, fmt.Errorf("osprof: line %d: bucket before op", lineno)
+			}
+			var b int
+			var c uint64
+			if _, err := fmt.Sscanf(line, "b %d %d", &b, &c); err != nil {
+				return nil, fmt.Errorf("osprof: line %d: %w", lineno, err)
+			}
+			if b < 0 || b >= len(cur.Buckets) {
+				return nil, fmt.Errorf("osprof: line %d: bucket %d out of range", lineno, b)
+			}
+			cur.Buckets[b] = c
+		case strings.TrimSpace(line) == "":
+			// ignore blank lines
+		default:
+			return nil, fmt.Errorf("osprof: line %d: unrecognized %q", lineno, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawEnd {
+		return nil, fmt.Errorf("osprof: truncated input (no end marker)")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// parseQuoted extracts a leading %q-quoted string and returns the rest.
+func parseQuoted(in string) (val, rest string, err error) {
+	if len(in) == 0 || in[0] != '"' {
+		return "", "", fmt.Errorf("expected quoted string in %q", in)
+	}
+	for i := 1; i < len(in); i++ {
+		if in[i] == '\\' {
+			i++
+			continue
+		}
+		if in[i] == '"' {
+			val, err = strconv.Unquote(in[:i+1])
+			return val, in[i+1:], err
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quote in %q", in)
+}
+
+// parseKV parses "key=value" with the expected key.
+func parseKV(field, key string) (uint64, error) {
+	pre := key + "="
+	if !strings.HasPrefix(field, pre) {
+		return 0, fmt.Errorf("expected %s=..., got %q", key, field)
+	}
+	return strconv.ParseUint(strings.TrimPrefix(field, pre), 10, 64)
+}

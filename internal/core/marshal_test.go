@@ -1,0 +1,110 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	s := NewSet("ext2 grep run")
+	s.Record("readdir", 100)
+	s.Record("readdir", 5_000)
+	s.Record("read page", 1_000_000) // op name with a space
+	s.Record("llseek", 400)
+
+	var buf bytes.Buffer
+	if err := WriteSet(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSet(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != s.Name || got.R != s.R {
+		t.Errorf("header: %q r=%d", got.Name, got.R)
+	}
+	if got.Len() != s.Len() {
+		t.Fatalf("ops: %d vs %d", got.Len(), s.Len())
+	}
+	for _, op := range s.Ops() {
+		a, b := s.Lookup(op), got.Lookup(op)
+		if b == nil {
+			t.Fatalf("op %q missing after round trip", op)
+		}
+		if a.Count != b.Count || a.Total != b.Total || a.Min != b.Min || a.Max != b.Max {
+			t.Errorf("op %q stats differ: %+v vs %+v", op, a, b)
+		}
+		for i := range a.Buckets {
+			if a.Buckets[i] != b.Buckets[i] {
+				t.Errorf("op %q bucket %d: %d vs %d", op, i, a.Buckets[i], b.Buckets[i])
+			}
+		}
+	}
+}
+
+func TestReadSetRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"empty":         "",
+		"bad header":    "not-a-profile\nend\n",
+		"no end":        "osprof-set v1 \"x\" r=1\n",
+		"bucket first":  "osprof-set v1 \"x\" r=1\nb 3 1\nend\n",
+		"bad bucket":    "osprof-set v1 \"x\" r=1\nop \"a\" count=1 total=1 min=1 max=1\nb 99999 1\nend\n",
+		"bad op line":   "osprof-set v1 \"x\" r=1\nop \"a\" count=1\nend\n",
+		"unknown line":  "osprof-set v1 \"x\" r=1\nxyzzy\nend\n",
+		"bad checksum":  "osprof-set v1 \"x\" r=1\nop \"a\" count=5 total=1 min=1 max=1\nb 0 1\nend\n",
+		"unquoted name": "osprof-set v1 x r=1\nend\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadSet(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: ReadSet accepted %q", name, in)
+		}
+	}
+}
+
+func TestRoundTripRandomProperty(t *testing.T) {
+	f := func(seed int64, nOps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSet("prop")
+		ops := int(nOps%16) + 1
+		for i := 0; i < ops; i++ {
+			op := string(rune('a' + i))
+			for j := 0; j < rng.Intn(100); j++ {
+				s.Record(op, uint64(rng.Int63()))
+			}
+		}
+		var buf bytes.Buffer
+		if WriteSet(&buf, s) != nil {
+			return false
+		}
+		got, err := ReadSet(&buf)
+		if err != nil {
+			return false
+		}
+		return got.TotalOps() == s.TotalOps() && got.TotalLatency() == s.TotalLatency()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundTripResolution2(t *testing.T) {
+	s := NewSetR("hi-res", 2)
+	s.Record("op", 1000)
+	var buf bytes.Buffer
+	if err := WriteSet(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSet(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.R != 2 {
+		t.Errorf("R = %d, want 2", got.R)
+	}
+	if got.Lookup("op").Count != 1 {
+		t.Error("record lost")
+	}
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Profile is the latency distribution of one OS operation: a histogram
+// over logarithmic buckets, plus checksums. A profile occupies a fixed,
+// small memory area (the paper reports under 1KB per operation, §5.1),
+// which is what makes OSprof cheap enough to leave enabled and compact
+// enough to sample over time.
+type Profile struct {
+	// Op names the profiled operation (e.g., "readdir", "llseek").
+	Op string
+
+	// R is the resolution: buckets per doubling of latency.
+	R int
+
+	// Buckets holds the number of operations whose latency fell into
+	// each bucket.
+	Buckets []uint64
+
+	// Count is the checksum: the total number of recorded latencies.
+	// report-generation code verifies sum(Buckets) == Count to catch
+	// instrumentation errors (§4 "Representing results").
+	Count uint64
+
+	// Total is the sum of all recorded latencies; automated analysis
+	// sorts profiles by it (§3.2).
+	Total uint64
+
+	// Min and Max are the extreme recorded latencies.
+	Min, Max uint64
+}
+
+// NewProfile creates an empty profile for operation op at resolution 1.
+func NewProfile(op string) *Profile { return NewProfileR(op, 1) }
+
+// NewProfileR creates an empty profile at resolution r (r >= 1).
+func NewProfileR(op string, r int) *Profile {
+	if r < 1 {
+		r = 1
+	}
+	return &Profile{
+		Op:      op,
+		R:       r,
+		Buckets: make([]uint64, NumBuckets(r)),
+	}
+}
+
+// Record sorts one latency into its bucket. This is the hot path: at
+// resolution 1 it is a handful of instructions, matching the paper's
+// ~200-cycle total per-operation profiling cost (§5.2, §7).
+func (p *Profile) Record(latency uint64) {
+	p.Buckets[BucketFor(latency, p.R)]++
+	p.Count++
+	p.Total += latency
+	if p.Count == 1 || latency < p.Min {
+		p.Min = latency
+	}
+	if latency > p.Max {
+		p.Max = latency
+	}
+}
+
+// Validate checks the bucket-sum checksum, catching lost or double
+// counted updates from broken instrumentation.
+func (p *Profile) Validate() error {
+	var sum uint64
+	for _, c := range p.Buckets {
+		sum += c
+	}
+	if sum != p.Count {
+		return fmt.Errorf("profile %q: bucket sum %d != count checksum %d",
+			p.Op, sum, p.Count)
+	}
+	return nil
+}
+
+// Mean returns the average recorded latency (0 if empty).
+func (p *Profile) Mean() uint64 {
+	if p.Count == 0 {
+		return 0
+	}
+	return p.Total / p.Count
+}
+
+// Range returns the smallest and largest non-empty bucket indices.
+// ok is false for an empty profile.
+func (p *Profile) Range() (lo, hi int, ok bool) {
+	lo, hi = -1, -1
+	for i, c := range p.Buckets {
+		if c == 0 {
+			continue
+		}
+		if lo < 0 {
+			lo = i
+		}
+		hi = i
+	}
+	return lo, hi, lo >= 0
+}
+
+// Merge adds other's contents into p. The profiles must describe the
+// same operation shape (same resolution); op names may differ (merging
+// per-CPU shards).
+func (p *Profile) Merge(other *Profile) error {
+	if p.R != other.R {
+		return fmt.Errorf("merge %q into %q: resolution mismatch %d != %d",
+			other.Op, p.Op, other.R, p.R)
+	}
+	for i, c := range other.Buckets {
+		p.Buckets[i] += c
+	}
+	if other.Count > 0 {
+		if p.Count == 0 || other.Min < p.Min {
+			p.Min = other.Min
+		}
+		if other.Max > p.Max {
+			p.Max = other.Max
+		}
+	}
+	p.Count += other.Count
+	p.Total += other.Total
+	return nil
+}
+
+// Clone returns a deep copy of p.
+func (p *Profile) Clone() *Profile {
+	c := *p
+	c.Buckets = append([]uint64(nil), p.Buckets...)
+	return &c
+}
+
+// Reset clears all recorded data, keeping Op and R.
+func (p *Profile) Reset() {
+	for i := range p.Buckets {
+		p.Buckets[i] = 0
+	}
+	p.Count, p.Total, p.Min, p.Max = 0, 0, 0, 0
+}
+
+// Normalized returns the bucket histogram scaled to sum to 1.
+// An empty profile returns all zeros.
+func (p *Profile) Normalized() []float64 {
+	out := make([]float64, len(p.Buckets))
+	if p.Count == 0 {
+		return out
+	}
+	for i, c := range p.Buckets {
+		out[i] = float64(c) / float64(p.Count)
+	}
+	return out
+}
+
+// CountIn sums bucket populations for indices in [lo, hi].
+func (p *Profile) CountIn(lo, hi int) uint64 {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= len(p.Buckets) {
+		hi = len(p.Buckets) - 1
+	}
+	var sum uint64
+	for i := lo; i <= hi; i++ {
+		sum += p.Buckets[i]
+	}
+	return sum
+}
+
+// String renders a one-line summary.
+func (p *Profile) String() string {
+	lo, hi, ok := p.Range()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: n=%d mean=%d", p.Op, p.Count, p.Mean())
+	if ok {
+		fmt.Fprintf(&b, " buckets=[%d,%d]", lo, hi)
+	}
+	return b.String()
+}
+
+// MemoryFootprint reports the approximate resident size of the profile
+// in bytes, reproducing the §5.1 memory-overhead evaluation.
+func (p *Profile) MemoryFootprint() int {
+	const header = 8 * 4 // Count, Total, Min, Max
+	return header + 8*len(p.Buckets) + len(p.Op)
+}

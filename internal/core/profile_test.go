@@ -1,0 +1,202 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestProfileRecordBasics(t *testing.T) {
+	p := NewProfile("read")
+	for _, l := range []uint64{100, 200, 3000, 100} {
+		p.Record(l)
+	}
+	if p.Count != 4 {
+		t.Errorf("Count = %d, want 4", p.Count)
+	}
+	if p.Total != 3400 {
+		t.Errorf("Total = %d, want 3400", p.Total)
+	}
+	if p.Min != 100 || p.Max != 3000 {
+		t.Errorf("Min/Max = %d/%d, want 100/3000", p.Min, p.Max)
+	}
+	if p.Buckets[6] != 2 { // 100 -> bucket 6
+		t.Errorf("bucket 6 = %d, want 2", p.Buckets[6])
+	}
+	if p.Buckets[7] != 1 { // 200 -> bucket 7
+		t.Errorf("bucket 7 = %d, want 1", p.Buckets[7])
+	}
+	if p.Buckets[11] != 1 { // 3000 -> bucket 11
+		t.Errorf("bucket 11 = %d, want 1", p.Buckets[11])
+	}
+	if err := p.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProfileValidateDetectsCorruption(t *testing.T) {
+	p := NewProfile("x")
+	p.Record(5)
+	p.Buckets[2]++ // simulate an instrumentation bug
+	if err := p.Validate(); err == nil {
+		t.Error("Validate did not detect checksum mismatch")
+	}
+}
+
+func TestProfileMeanAndRange(t *testing.T) {
+	p := NewProfile("x")
+	if p.Mean() != 0 {
+		t.Errorf("empty Mean = %d", p.Mean())
+	}
+	if _, _, ok := p.Range(); ok {
+		t.Error("empty profile reported a range")
+	}
+	p.Record(64)   // bucket 6
+	p.Record(128)  // bucket 7
+	p.Record(4096) // bucket 12
+	lo, hi, ok := p.Range()
+	if !ok || lo != 6 || hi != 12 {
+		t.Errorf("Range = %d,%d,%v, want 6,12,true", lo, hi, ok)
+	}
+	if p.Mean() != (64+128+4096)/3 {
+		t.Errorf("Mean = %d", p.Mean())
+	}
+}
+
+func TestProfileMerge(t *testing.T) {
+	a, b := NewProfile("op"), NewProfile("op-cpu1")
+	a.Record(100)
+	a.Record(200_000)
+	b.Record(50)
+	b.Record(70)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count != 4 || a.Min != 50 || a.Max != 200_000 {
+		t.Errorf("merged: count=%d min=%d max=%d", a.Count, a.Min, a.Max)
+	}
+	if err := a.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProfileMergeResolutionMismatch(t *testing.T) {
+	a, b := NewProfileR("x", 1), NewProfileR("x", 2)
+	if err := a.Merge(b); err == nil {
+		t.Error("merge across resolutions did not fail")
+	}
+}
+
+func TestProfileMergeEmptyKeepsMin(t *testing.T) {
+	a, b := NewProfile("x"), NewProfile("x")
+	a.Record(100)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Min != 100 || a.Count != 1 {
+		t.Errorf("merge with empty changed stats: min=%d count=%d", a.Min, a.Count)
+	}
+}
+
+func TestProfileCloneIndependent(t *testing.T) {
+	p := NewProfile("x")
+	p.Record(42)
+	c := p.Clone()
+	c.Record(42)
+	if p.Count != 1 || c.Count != 2 {
+		t.Errorf("clone not independent: %d vs %d", p.Count, c.Count)
+	}
+}
+
+func TestProfileReset(t *testing.T) {
+	p := NewProfile("x")
+	p.Record(1000)
+	p.Reset()
+	if p.Count != 0 || p.Total != 0 || p.Max != 0 {
+		t.Errorf("Reset incomplete: %+v", p)
+	}
+	if _, _, ok := p.Range(); ok {
+		t.Error("Reset left non-empty buckets")
+	}
+}
+
+func TestProfileNormalized(t *testing.T) {
+	p := NewProfile("x")
+	p.Record(2) // bucket 1
+	p.Record(2)
+	p.Record(4) // bucket 2
+	n := p.Normalized()
+	if n[1] != 2.0/3 || n[2] != 1.0/3 {
+		t.Errorf("Normalized = %v %v", n[1], n[2])
+	}
+	var sum float64
+	for _, v := range n {
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("Normalized sum = %f", sum)
+	}
+}
+
+func TestProfileCountIn(t *testing.T) {
+	p := NewProfile("x")
+	for i := 0; i < 10; i++ {
+		p.Record(1 << uint(i)) // one per bucket 0..9
+	}
+	if got := p.CountIn(3, 5); got != 3 {
+		t.Errorf("CountIn(3,5) = %d, want 3", got)
+	}
+	if got := p.CountIn(-5, 100); got != 10 {
+		t.Errorf("CountIn clamped = %d, want 10", got)
+	}
+}
+
+func TestProfileMemoryFootprintSmall(t *testing.T) {
+	// §5.1: a profile occupies a fixed memory area, usually < 1KB.
+	p := NewProfile("some_operation")
+	if f := p.MemoryFootprint(); f > 1024 {
+		t.Errorf("footprint = %d bytes, want <= 1KB", f)
+	}
+}
+
+// Property: checksum always validates after any sequence of records and
+// merges of valid profiles.
+func TestProfileChecksumProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := NewProfile("a"), NewProfile("b")
+		for i := 0; i < int(n); i++ {
+			a.Record(uint64(rng.Int63()))
+			b.Record(uint64(rng.Int63()))
+		}
+		if a.Merge(b) != nil {
+			return false
+		}
+		return a.Validate() == nil && a.Count == 2*uint64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Total equals the sum of recorded latencies and Mean is
+// bounded by Min and Max.
+func TestProfileStatsProperty(t *testing.T) {
+	f := func(ls []uint64) bool {
+		if len(ls) == 0 {
+			return true
+		}
+		p := NewProfile("x")
+		var want uint64
+		for _, l := range ls {
+			l %= 1 << 40 // avoid Total overflow
+			p.Record(l)
+			want += l
+		}
+		m := p.Mean()
+		return p.Total == want && m >= p.Min && m <= p.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

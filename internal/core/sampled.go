@@ -1,0 +1,78 @@
+package core
+
+// Sampled is a time-segmented ("three-dimensional") profile: instead of
+// accumulating every operation into one histogram, latencies are stored
+// into a fresh set of buckets for each fixed time interval (§3.1
+// "Profile sampling"). This mode of operation is possible thanks to the
+// small size of the OSprof profile data, and is how the paper visualizes
+// the periodic Reiserfs write_super contention in Figure 9.
+type Sampled struct {
+	// Op names the profiled operation.
+	Op string
+
+	// Interval is the segment length in cycles.
+	Interval uint64
+
+	// R is the bucket resolution.
+	R int
+
+	// Start is the time base: segment i covers
+	// [Start+i*Interval, Start+(i+1)*Interval).
+	Start uint64
+
+	segments []*Profile
+}
+
+// NewSampled creates a sampled profile for op with the given segment
+// interval (cycles), time base start, and resolution 1.
+func NewSampled(op string, start, interval uint64) *Sampled {
+	return &Sampled{Op: op, Interval: interval, R: 1, Start: start}
+}
+
+// Record stores a latency observed at absolute time now into the
+// segment that contains now.
+func (s *Sampled) Record(now, latency uint64) {
+	idx := 0
+	if now > s.Start && s.Interval > 0 {
+		idx = int((now - s.Start) / s.Interval)
+	}
+	for len(s.segments) <= idx {
+		s.segments = append(s.segments,
+			NewProfileR(s.Op, s.R))
+	}
+	s.segments[idx].Record(latency)
+}
+
+// Segments returns the per-interval profiles in time order. Empty
+// trailing intervals are not materialized.
+func (s *Sampled) Segments() []*Profile { return s.segments }
+
+// Segment returns the profile for segment i, or nil if never touched.
+func (s *Sampled) Segment(i int) *Profile {
+	if i < 0 || i >= len(s.segments) {
+		return nil
+	}
+	return s.segments[i]
+}
+
+// Len reports the number of materialized segments.
+func (s *Sampled) Len() int { return len(s.segments) }
+
+// Flatten merges all segments into a single conventional profile.
+func (s *Sampled) Flatten() *Profile {
+	out := NewProfileR(s.Op, s.R)
+	for _, seg := range s.segments {
+		_ = out.Merge(seg) // same resolution by construction
+	}
+	return out
+}
+
+// Validate checks every segment's checksum.
+func (s *Sampled) Validate() error {
+	for _, seg := range s.segments {
+		if err := seg.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

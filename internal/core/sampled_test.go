@@ -1,0 +1,80 @@
+package core
+
+import "testing"
+
+func TestSampledSegmentsByTime(t *testing.T) {
+	s := NewSampled("read", 0, 1000)
+	s.Record(10, 5)   // segment 0
+	s.Record(999, 5)  // segment 0
+	s.Record(1000, 7) // segment 1
+	s.Record(4500, 9) // segment 4
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", s.Len())
+	}
+	if s.Segment(0).Count != 2 {
+		t.Errorf("segment 0 count = %d, want 2", s.Segment(0).Count)
+	}
+	if s.Segment(1).Count != 1 {
+		t.Errorf("segment 1 count = %d, want 1", s.Segment(1).Count)
+	}
+	if s.Segment(2).Count != 0 || s.Segment(3).Count != 0 {
+		t.Error("empty middle segments have records")
+	}
+	if s.Segment(4).Count != 1 {
+		t.Errorf("segment 4 count = %d, want 1", s.Segment(4).Count)
+	}
+}
+
+func TestSampledStartOffset(t *testing.T) {
+	s := NewSampled("read", 5000, 1000)
+	s.Record(5100, 1) // segment 0 relative to Start
+	s.Record(6100, 1) // segment 1
+	if s.Len() != 2 {
+		t.Errorf("Len = %d, want 2", s.Len())
+	}
+}
+
+func TestSampledRecordBeforeStart(t *testing.T) {
+	s := NewSampled("read", 5000, 1000)
+	s.Record(100, 1) // before Start: clamps into segment 0
+	if s.Segment(0).Count != 1 {
+		t.Error("early record lost")
+	}
+}
+
+func TestSampledFlattenEqualsTotal(t *testing.T) {
+	s := NewSampled("read", 0, 100)
+	for i := uint64(0); i < 1000; i += 7 {
+		s.Record(i, i+1)
+	}
+	flat := s.Flatten()
+	var want uint64
+	for _, seg := range s.Segments() {
+		want += seg.Count
+	}
+	if flat.Count != want {
+		t.Errorf("flatten count = %d, want %d", flat.Count, want)
+	}
+	if err := flat.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampledSegmentOutOfRange(t *testing.T) {
+	s := NewSampled("read", 0, 100)
+	if s.Segment(-1) != nil || s.Segment(0) != nil {
+		t.Error("Segment out of range should return nil")
+	}
+}
+
+func TestSampledValidate(t *testing.T) {
+	s := NewSampled("read", 0, 100)
+	s.Record(50, 5)
+	if err := s.Validate(); err != nil {
+		t.Error(err)
+	}
+	s.Segment(0).Buckets[9]++
+	if err := s.Validate(); err == nil {
+		t.Error("Validate missed corrupted segment")
+	}
+}

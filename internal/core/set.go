@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Set is a complete profile: the collection of per-operation profiles
+// captured during one run ("a complete profile may consist of dozens of
+// profiles of individual operations", §3.1). Operations are created on
+// demand and iterated in a stable order.
+type Set struct {
+	// Name labels the run (e.g., "ext2-grep", "cifs-windows-client").
+	Name string
+
+	// R is the resolution used for all member profiles.
+	R int
+
+	ops   map[string]*Profile
+	order []string
+}
+
+// NewSet creates an empty profile set at resolution 1.
+func NewSet(name string) *Set { return NewSetR(name, 1) }
+
+// NewSetR creates an empty profile set at resolution r.
+func NewSetR(name string, r int) *Set {
+	if r < 1 {
+		r = 1
+	}
+	return &Set{Name: name, R: r, ops: make(map[string]*Profile)}
+}
+
+// Get returns the profile for op, creating it if needed.
+func (s *Set) Get(op string) *Profile {
+	if p, ok := s.ops[op]; ok {
+		return p
+	}
+	p := NewProfileR(op, s.R)
+	s.ops[op] = p
+	s.order = append(s.order, op)
+	return p
+}
+
+// Lookup returns the profile for op, or nil if never recorded.
+func (s *Set) Lookup(op string) *Profile { return s.ops[op] }
+
+// Record sorts one latency into op's profile.
+func (s *Set) Record(op string, latency uint64) { s.Get(op).Record(latency) }
+
+// Ops returns operation names in creation order.
+func (s *Set) Ops() []string { return append([]string(nil), s.order...) }
+
+// Profiles returns the member profiles in creation order.
+func (s *Set) Profiles() []*Profile {
+	out := make([]*Profile, 0, len(s.order))
+	for _, op := range s.order {
+		out = append(out, s.ops[op])
+	}
+	return out
+}
+
+// ByTotalLatency returns the member profiles sorted by descending total
+// latency; automated analysis starts "by selecting a subset of profiles
+// that contribute the most to the total latency" (§3.1, §3.2).
+func (s *Set) ByTotalLatency() []*Profile {
+	out := s.Profiles()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Op < out[j].Op
+	})
+	return out
+}
+
+// TotalLatency sums the total latency over all member profiles.
+func (s *Set) TotalLatency() uint64 {
+	var sum uint64
+	for _, p := range s.ops {
+		sum += p.Total
+	}
+	return sum
+}
+
+// TotalOps sums the operation counts over all member profiles.
+func (s *Set) TotalOps() uint64 {
+	var sum uint64
+	for _, p := range s.ops {
+		sum += p.Count
+	}
+	return sum
+}
+
+// Len reports the number of member profiles.
+func (s *Set) Len() int { return len(s.ops) }
+
+// Validate checks every member profile's checksum.
+func (s *Set) Validate() error {
+	for _, op := range s.order {
+		if err := s.ops[op].Validate(); err != nil {
+			return fmt.Errorf("set %q: %w", s.Name, err)
+		}
+	}
+	return nil
+}
+
+// Merge adds every profile of other into s, creating missing operations.
+// Used to combine per-CPU or per-process shards (§3.4).
+func (s *Set) Merge(other *Set) error {
+	for _, op := range other.order {
+		if err := s.Get(op).Merge(other.ops[op]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the set.
+func (s *Set) Clone() *Set {
+	c := NewSetR(s.Name, s.R)
+	for _, op := range s.order {
+		c.ops[op] = s.ops[op].Clone()
+		c.order = append(c.order, op)
+	}
+	return c
+}
+
+// MemoryFootprint reports the approximate resident size of all member
+// profiles in bytes (§5.1).
+func (s *Set) MemoryFootprint() int {
+	total := 0
+	for _, p := range s.ops {
+		total += p.MemoryFootprint()
+	}
+	return total
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestSetGetCreatesOnce(t *testing.T) {
+	s := NewSet("run")
+	a := s.Get("read")
+	b := s.Get("read")
+	if a != b {
+		t.Error("Get created two profiles for one op")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestSetStableOrder(t *testing.T) {
+	s := NewSet("run")
+	for _, op := range []string{"z", "a", "m"} {
+		s.Get(op)
+	}
+	ops := s.Ops()
+	if ops[0] != "z" || ops[1] != "a" || ops[2] != "m" {
+		t.Errorf("Ops = %v, want creation order [z a m]", ops)
+	}
+}
+
+func TestSetByTotalLatency(t *testing.T) {
+	s := NewSet("run")
+	s.Record("cheap", 10)
+	s.Record("expensive", 1_000_000)
+	s.Record("mid", 5_000)
+	got := s.ByTotalLatency()
+	if got[0].Op != "expensive" || got[1].Op != "mid" || got[2].Op != "cheap" {
+		t.Errorf("order = %s,%s,%s", got[0].Op, got[1].Op, got[2].Op)
+	}
+}
+
+func TestSetTotals(t *testing.T) {
+	s := NewSet("run")
+	s.Record("a", 100)
+	s.Record("a", 200)
+	s.Record("b", 1)
+	if s.TotalLatency() != 301 {
+		t.Errorf("TotalLatency = %d", s.TotalLatency())
+	}
+	if s.TotalOps() != 3 {
+		t.Errorf("TotalOps = %d", s.TotalOps())
+	}
+}
+
+func TestSetMerge(t *testing.T) {
+	a, b := NewSet("cpu0"), NewSet("cpu1")
+	a.Record("read", 100)
+	b.Record("read", 200)
+	b.Record("write", 300)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Lookup("read").Count != 2 {
+		t.Errorf("read count = %d", a.Lookup("read").Count)
+	}
+	if a.Lookup("write") == nil {
+		t.Error("write profile not created by merge")
+	}
+	if err := a.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetCloneIndependent(t *testing.T) {
+	s := NewSet("run")
+	s.Record("op", 5)
+	c := s.Clone()
+	c.Record("op", 5)
+	c.Record("new", 7)
+	if s.Lookup("op").Count != 1 {
+		t.Error("clone mutated original profile")
+	}
+	if s.Lookup("new") != nil {
+		t.Error("clone mutated original op table")
+	}
+}
+
+func TestSetValidatePropagates(t *testing.T) {
+	s := NewSet("run")
+	s.Record("op", 5)
+	s.Lookup("op").Buckets[0]++
+	if err := s.Validate(); err == nil {
+		t.Error("Validate missed corrupted member")
+	}
+}
+
+func TestSetLookupMissing(t *testing.T) {
+	s := NewSet("run")
+	if s.Lookup("nope") != nil {
+		t.Error("Lookup invented a profile")
+	}
+}
+
+func TestSetMemoryFootprint(t *testing.T) {
+	// §5.1: a complete profile's size depends on the number of
+	// implemented operations and is usually less than 1KB each.
+	s := NewSet("fs")
+	for _, op := range []string{"read", "write", "llseek", "readdir", "open", "close"} {
+		s.Record(op, 100)
+	}
+	perOp := s.MemoryFootprint() / s.Len()
+	if perOp > 1024 {
+		t.Errorf("per-op footprint = %d bytes, want <= 1KB", perOp)
+	}
+}

@@ -1,0 +1,99 @@
+// Package cycles defines the simulated time base used throughout the
+// repository and the characteristic times of the paper's testbed.
+//
+// All simulated time is expressed in CPU cycles of a 1.7 GHz Pentium 4,
+// the machine used in the paper (OSDI 2006, §5). Using cycles rather
+// than nanoseconds matches the paper's choice of the TSC register as the
+// time metric: it is the most precise and efficient metric available at
+// run time, and the logarithmic buckets of an OSprof profile are defined
+// directly over cycle counts.
+package cycles
+
+import "fmt"
+
+// Hz is the simulated CPU clock rate: 1.7 GHz, as in the paper's testbed.
+const Hz = 1_700_000_000
+
+// Cycles is a duration or instant measured in CPU cycles.
+type Cycles = uint64
+
+// Conversion constants. One microsecond is 1700 cycles at 1.7 GHz.
+const (
+	PerNanosecond  = 1.7
+	PerMicrosecond = 1_700
+	PerMillisecond = 1_700_000
+	PerSecond      = Hz
+)
+
+// Characteristic times of the paper's test setup (§3.1, "Prior
+// knowledge-based analysis"). Profiles with peaks near these values can
+// immediately be attributed to the corresponding OS activity.
+const (
+	// ContextSwitch is the cost of a context switch (~5.5us).
+	ContextSwitch = 9_350
+
+	// FullStrokeSeek is a full-stroke disk head seek (8ms).
+	FullStrokeSeek = 8 * PerMillisecond
+
+	// TrackToTrackSeek is the minimum seek (0.3ms).
+	TrackToTrackSeek = 510_000
+
+	// FullRotation is one platter revolution of the 15,000 RPM disk (4ms).
+	FullRotation = 4 * PerMillisecond
+
+	// NetworkOneWay is the one-way LAN latency between the test
+	// machines (~112us).
+	NetworkOneWay = 190_400
+
+	// SchedulingQuantum is the scheduler time slice. The paper's
+	// Equation 3 analysis uses Q = 2^26 cycles (~39ms at 1.7GHz).
+	SchedulingQuantum = 1 << 26
+
+	// TimerTick is the period of the timer interrupt (4ms); the paper
+	// identifies a profile peak whose population equals the profiling
+	// duration divided by 4ms (§3.3, Figure 3 discussion).
+	TimerTick = 4 * PerMillisecond
+
+	// DelayedAck is the TCP delayed-acknowledgment timeout used by most
+	// implementations (200ms), the root cause of the CIFS FindFirst
+	// pathology in §6.4.
+	DelayedAck = 200 * PerMillisecond
+)
+
+// FromMicroseconds converts microseconds to cycles.
+func FromMicroseconds(us float64) Cycles { return Cycles(us * PerMicrosecond) }
+
+// FromMilliseconds converts milliseconds to cycles.
+func FromMilliseconds(ms float64) Cycles { return Cycles(ms * PerMillisecond) }
+
+// FromNanoseconds converts nanoseconds to cycles (rounded down).
+func FromNanoseconds(ns float64) Cycles { return Cycles(ns * PerNanosecond) }
+
+// ToNanoseconds converts cycles to nanoseconds.
+func ToNanoseconds(c Cycles) float64 { return float64(c) / PerNanosecond }
+
+// ToMicroseconds converts cycles to microseconds.
+func ToMicroseconds(c Cycles) float64 { return float64(c) / PerMicrosecond }
+
+// ToMilliseconds converts cycles to milliseconds.
+func ToMilliseconds(c Cycles) float64 { return float64(c) / PerMillisecond }
+
+// ToSeconds converts cycles to seconds.
+func ToSeconds(c Cycles) float64 { return float64(c) / PerSecond }
+
+// Format renders a cycle count as a human-readable time using the same
+// style as the bucket labels above the paper's profile plots
+// ("28ns", "903ns", "28us", "925us", "29ms", "947ms").
+func Format(c Cycles) string {
+	ns := ToNanoseconds(c)
+	switch {
+	case ns < 1_000:
+		return fmt.Sprintf("%.0fns", ns)
+	case ns < 1_000_000:
+		return fmt.Sprintf("%.0fus", ns/1_000)
+	case ns < 1_000_000_000:
+		return fmt.Sprintf("%.0fms", ns/1_000_000)
+	default:
+		return fmt.Sprintf("%.1fs", ns/1_000_000_000)
+	}
+}

@@ -1,0 +1,72 @@
+package cycles
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConversionsRoundTrip(t *testing.T) {
+	if got := FromMicroseconds(1); got != 1_700 {
+		t.Errorf("FromMicroseconds(1) = %d", got)
+	}
+	if got := FromMilliseconds(4); got != 6_800_000 {
+		t.Errorf("FromMilliseconds(4) = %d", got)
+	}
+	if got := ToMicroseconds(1_700); got != 1 {
+		t.Errorf("ToMicroseconds(1700) = %f", got)
+	}
+	if got := ToSeconds(PerSecond); got != 1 {
+		t.Errorf("ToSeconds(1s) = %f", got)
+	}
+}
+
+func TestCharacteristicTimes(t *testing.T) {
+	// §3.1's characteristic times, sanity-checked in physical units.
+	cases := []struct {
+		name   string
+		c      Cycles
+		ms     float64
+		within float64
+	}{
+		{"full-stroke seek", FullStrokeSeek, 8, 0.01},
+		{"full rotation", FullRotation, 4, 0.01},
+		{"timer tick", TimerTick, 4, 0.01},
+		{"delayed ACK", DelayedAck, 200, 0.01},
+		{"context switch", ContextSwitch, 0.0055, 0.01},
+		{"scheduling quantum", SchedulingQuantum, 39.5, 0.01},
+	}
+	for _, c := range cases {
+		got := ToMilliseconds(c.c)
+		if got < c.ms*(1-c.within) || got > c.ms*(1+c.within) {
+			t.Errorf("%s = %.4fms, want ~%.4fms", c.name, got, c.ms)
+		}
+	}
+}
+
+func TestFormatUnits(t *testing.T) {
+	cases := map[Cycles]string{
+		48:            "28ns",
+		1_535:         "903ns",
+		48_000:        "28us",
+		1_573_000:     "925us",
+		49_300_000:    "29ms",
+		1_610_000_000: "947ms",
+		3_400_000_000: "2.0s",
+	}
+	for c, want := range cases {
+		if got := Format(c); got != want {
+			t.Errorf("Format(%d) = %q, want %q", c, got, want)
+		}
+	}
+}
+
+func TestNanosecondRoundTripProperty(t *testing.T) {
+	f := func(us uint32) bool {
+		c := FromMicroseconds(float64(us))
+		back := ToMicroseconds(c)
+		return back > float64(us)*0.999-1 && back < float64(us)*1.001+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,375 @@
+// Package disk models the paper's test disk: a Maxtor Atlas 15,000 RPM
+// Ultra320 SCSI drive (§5). The model reproduces the latency components
+// that create the multi-modal I/O peaks of §6.2:
+//
+//   - command overhead plus transfer time for requests satisfied from
+//     the on-disk segment cache filled by internal readahead (the sharp
+//     "third peak" of Figure 7, §6.2),
+//   - mechanical seeks (0.3 ms track-to-track to 8 ms full stroke) and
+//     rotational positioning (4 ms per revolution) for media reads (the
+//     broad "fourth peak"),
+//   - an elevator (C-LOOK) request queue, since "only the disk drive
+//     itself can schedule the requests in an optimal way" (§2).
+//
+// Rotational latency is computed from the (deterministic) angular
+// position of the platter at the end of the seek, so simulations are
+// exactly reproducible.
+package disk
+
+import (
+	"fmt"
+
+	"osprof/internal/cycles"
+	"osprof/internal/sim"
+)
+
+// Config describes the drive geometry and timing.
+type Config struct {
+	// Blocks is the drive capacity in 4 KB blocks (default 4 GiB).
+	Blocks uint64
+
+	// BlocksPerCylinder controls the LBA-to-cylinder mapping
+	// (default 512, about 2 MB per cylinder).
+	BlocksPerCylinder uint64
+
+	// BlocksPerTrack controls the angular position of a block on its
+	// track (default 128).
+	BlocksPerTrack uint64
+
+	// TrackToTrackSeek, FullStrokeSeek, FullRotation are the
+	// mechanical characteristics in cycles; defaults follow the
+	// paper's §3.1/§6.2 numbers (0.3 ms, 8 ms, 4 ms).
+	TrackToTrackSeek uint64
+	FullStrokeSeek   uint64
+	FullRotation     uint64
+
+	// CommandOverhead is the per-request controller cost (default
+	// ~20 us).
+	CommandOverhead uint64
+
+	// TransferPerBlock is the media/interface transfer time for one
+	// 4 KB block (default ~30 us).
+	TransferPerBlock uint64
+
+	// CacheSegments is the number of on-disk readahead segments
+	// (default 8).
+	CacheSegments int
+
+	// ReadaheadBlocks is how far past a media read the drive's
+	// internal readahead extends its cache segment (default 32).
+	ReadaheadBlocks uint64
+}
+
+func (c *Config) applyDefaults() {
+	if c.Blocks == 0 {
+		c.Blocks = 1 << 20
+	}
+	if c.BlocksPerCylinder == 0 {
+		c.BlocksPerCylinder = 512
+	}
+	if c.BlocksPerTrack == 0 {
+		c.BlocksPerTrack = 128
+	}
+	if c.TrackToTrackSeek == 0 {
+		c.TrackToTrackSeek = cycles.TrackToTrackSeek
+	}
+	if c.FullStrokeSeek == 0 {
+		c.FullStrokeSeek = cycles.FullStrokeSeek
+	}
+	if c.FullRotation == 0 {
+		c.FullRotation = cycles.FullRotation
+	}
+	if c.CommandOverhead == 0 {
+		c.CommandOverhead = 20 * cycles.PerMicrosecond
+	}
+	if c.TransferPerBlock == 0 {
+		c.TransferPerBlock = 30 * cycles.PerMicrosecond
+	}
+	if c.CacheSegments == 0 {
+		c.CacheSegments = 8
+	}
+	if c.ReadaheadBlocks == 0 {
+		c.ReadaheadBlocks = 32
+	}
+}
+
+// Request is one I/O submitted to the drive.
+type Request struct {
+	LBA    uint64
+	Blocks uint64
+	Write  bool
+
+	// OnComplete runs (in kernel-event context) when the request
+	// finishes.
+	OnComplete func()
+
+	// Timestamps and classification filled in by the drive.
+	SubmitTime, StartTime, EndTime uint64
+	CacheHit                       bool
+}
+
+// Stats aggregates drive activity.
+type Stats struct {
+	Reads, Writes  uint64
+	CacheHits      uint64
+	MediaReads     uint64
+	TotalSeek      uint64 // cycles spent seeking
+	TotalRotation  uint64 // cycles spent waiting for the platter
+	TotalQueueWait uint64 // cycles requests waited in the elevator
+}
+
+// Probe observes request lifecycle events; the driver-level profiler
+// (§4 "Driver-level prolers") hooks in here.
+type Probe interface {
+	Submitted(r *Request)
+	Completed(r *Request)
+}
+
+// segment is one on-disk cache segment: block range [Start, End).
+type segment struct {
+	Start, End uint64
+}
+
+// Disk is the simulated drive.
+type Disk struct {
+	k     *sim.Kernel
+	cfg   Config
+	stats Stats
+
+	headCyl  uint64
+	busy     bool
+	queue    []*Request
+	cache    []segment // most recent last
+	probe    Probe
+	drainers []*sim.Proc
+}
+
+// New creates a drive attached to kernel k.
+func New(k *sim.Kernel, cfg Config) *Disk {
+	cfg.applyDefaults()
+	return &Disk{k: k, cfg: cfg}
+}
+
+// Config returns the effective configuration.
+func (d *Disk) Config() Config { return d.cfg }
+
+// Stats returns accumulated drive statistics.
+func (d *Disk) Stats() Stats { return d.stats }
+
+// SetProbe installs a driver-level instrumentation probe.
+func (d *Disk) SetProbe(p Probe) { d.probe = p }
+
+// QueueLen reports the number of requests waiting or in service.
+func (d *Disk) QueueLen() int {
+	n := len(d.queue)
+	if d.busy {
+		n++
+	}
+	return n
+}
+
+// Submit enqueues a request. It may be called from process or kernel
+// context; completion is delivered via r.OnComplete.
+func (d *Disk) Submit(r *Request) {
+	if r.Blocks == 0 {
+		panic("disk: zero-length request")
+	}
+	if r.LBA+r.Blocks > d.cfg.Blocks {
+		panic(fmt.Sprintf("disk: request [%d,%d) beyond device end %d",
+			r.LBA, r.LBA+r.Blocks, d.cfg.Blocks))
+	}
+	r.SubmitTime = d.k.Now()
+	d.queue = append(d.queue, r)
+	if d.probe != nil {
+		d.probe.Submitted(r)
+	}
+	if !d.busy {
+		// Kick the service loop from kernel-event context.
+		d.k.Schedule(0, d.start)
+	}
+}
+
+// Read performs a synchronous read: the calling process blocks until
+// the data is available.
+func (d *Disk) Read(p *sim.Proc, lba, blocks uint64) *Request {
+	r := &Request{LBA: lba, Blocks: blocks}
+	k := d.k
+	r.OnComplete = func() { k.Wake(p) }
+	d.Submit(r)
+	p.Block("disk-read")
+	return r
+}
+
+// Write performs a synchronous write.
+func (d *Disk) Write(p *sim.Proc, lba, blocks uint64) *Request {
+	r := &Request{LBA: lba, Blocks: blocks, Write: true}
+	k := d.k
+	r.OnComplete = func() { k.Wake(p) }
+	d.Submit(r)
+	p.Block("disk-write")
+	return r
+}
+
+// WriteAsync schedules a write; onComplete (optional) runs when it
+// finishes. This mirrors Linux, where "file system writes and
+// asynchronous I/O requests return immediately after scheduling the I/O
+// request" so their latency contains no information about I/O times
+// (§4) — the motivation for the driver-level profiler.
+func (d *Disk) WriteAsync(lba, blocks uint64, onComplete func()) *Request {
+	r := &Request{LBA: lba, Blocks: blocks, Write: true, OnComplete: onComplete}
+	d.Submit(r)
+	return r
+}
+
+// Drain blocks the calling process until every queued request has
+// completed (the sync path).
+func (d *Disk) Drain(p *sim.Proc) {
+	for d.busy || len(d.queue) > 0 {
+		d.drainers = append(d.drainers, p)
+		p.Block("disk-drain")
+	}
+}
+
+// start begins servicing the next queued request (kernel context).
+func (d *Disk) start() {
+	if d.busy || len(d.queue) == 0 {
+		return
+	}
+	idx := d.pick()
+	r := d.queue[idx]
+	d.queue = append(d.queue[:idx], d.queue[idx+1:]...)
+	d.busy = true
+	r.StartTime = d.k.Now()
+	d.stats.TotalQueueWait += r.StartTime - r.SubmitTime
+
+	service := d.serviceTime(r)
+	d.k.Schedule(service, func() { d.complete(r) })
+}
+
+// complete finishes a request and starts the next one.
+func (d *Disk) complete(r *Request) {
+	r.EndTime = d.k.Now()
+	d.busy = false
+	if d.probe != nil {
+		d.probe.Completed(r)
+	}
+	if r.OnComplete != nil {
+		r.OnComplete()
+	}
+	d.start()
+	if !d.busy && len(d.queue) == 0 {
+		for _, p := range d.drainers {
+			d.k.Wake(p)
+		}
+		d.drainers = d.drainers[:0]
+	}
+}
+
+// pick implements C-LOOK: the queued request with the smallest cylinder
+// at or beyond the head sweeps first; if none, wrap to the smallest.
+func (d *Disk) pick() int {
+	best, bestWrap := -1, -1
+	var bestCyl, bestWrapCyl uint64
+	for i, r := range d.queue {
+		c := r.LBA / d.cfg.BlocksPerCylinder
+		if c >= d.headCyl {
+			if best == -1 || c < bestCyl {
+				best, bestCyl = i, c
+			}
+		} else if bestWrap == -1 || c < bestWrapCyl {
+			bestWrap, bestWrapCyl = i, c
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	return bestWrap
+}
+
+// serviceTime computes the duration of a request and updates the head
+// position and cache state.
+func (d *Disk) serviceTime(r *Request) uint64 {
+	transfer := d.cfg.TransferPerBlock * r.Blocks
+	if !r.Write && d.cacheContains(r.LBA, r.Blocks) {
+		r.CacheHit = true
+		d.stats.Reads++
+		d.stats.CacheHits++
+		return d.cfg.CommandOverhead + transfer
+	}
+
+	cyl := r.LBA / d.cfg.BlocksPerCylinder
+	seek := d.seekTime(cyl)
+	d.stats.TotalSeek += seek
+
+	// Rotational wait: the platter angle is a pure function of time,
+	// so the simulation stays deterministic.
+	arrive := d.k.Now() + d.cfg.CommandOverhead + seek
+	rot := d.rotationWait(arrive, r.LBA)
+	d.stats.TotalRotation += rot
+
+	d.headCyl = (r.LBA + r.Blocks - 1) / d.cfg.BlocksPerCylinder
+	if r.Write {
+		d.stats.Writes++
+	} else {
+		d.stats.Reads++
+		d.stats.MediaReads++
+		d.cacheInsert(r.LBA, r.Blocks+d.cfg.ReadaheadBlocks)
+	}
+	return d.cfg.CommandOverhead + seek + rot + transfer
+}
+
+// seekTime models head movement: zero on the same cylinder, otherwise
+// track-to-track plus a distance-proportional component up to the full
+// stroke.
+func (d *Disk) seekTime(cyl uint64) uint64 {
+	var dist uint64
+	if cyl > d.headCyl {
+		dist = cyl - d.headCyl
+	} else {
+		dist = d.headCyl - cyl
+	}
+	if dist == 0 {
+		return 0
+	}
+	maxDist := d.cfg.Blocks / d.cfg.BlocksPerCylinder
+	if maxDist <= 1 {
+		return d.cfg.TrackToTrackSeek
+	}
+	span := d.cfg.FullStrokeSeek - d.cfg.TrackToTrackSeek
+	return d.cfg.TrackToTrackSeek + span*dist/maxDist
+}
+
+// rotationWait returns how long the head waits for the target block to
+// rotate under it, given the arrival time.
+func (d *Disk) rotationWait(arrive, lba uint64) uint64 {
+	rev := d.cfg.FullRotation
+	angleNow := arrive % rev
+	angleTarget := (lba % d.cfg.BlocksPerTrack) * rev / d.cfg.BlocksPerTrack
+	if angleTarget >= angleNow {
+		return angleTarget - angleNow
+	}
+	return rev - (angleNow - angleTarget)
+}
+
+// cacheContains reports whether [lba, lba+blocks) lies in a readahead
+// segment.
+func (d *Disk) cacheContains(lba, blocks uint64) bool {
+	for _, s := range d.cache {
+		if lba >= s.Start && lba+blocks <= s.End {
+			return true
+		}
+	}
+	return false
+}
+
+// cacheInsert records a new readahead segment, evicting the oldest.
+func (d *Disk) cacheInsert(lba, blocks uint64) {
+	end := lba + blocks
+	if end > d.cfg.Blocks {
+		end = d.cfg.Blocks
+	}
+	d.cache = append(d.cache, segment{Start: lba, End: end})
+	if len(d.cache) > d.cfg.CacheSegments {
+		d.cache = d.cache[1:]
+	}
+}

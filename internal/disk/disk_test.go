@@ -1,0 +1,230 @@
+package disk
+
+import (
+	"testing"
+
+	"osprof/internal/cycles"
+	"osprof/internal/sim"
+)
+
+func newRig() (*sim.Kernel, *Disk) {
+	k := sim.New(sim.Config{NumCPUs: 1, ContextSwitch: 100})
+	d := New(k, Config{})
+	return k, d
+}
+
+func TestSyncReadCompletesAndTimes(t *testing.T) {
+	k, d := newRig()
+	var r *Request
+	k.Spawn("reader", func(p *sim.Proc) {
+		r = d.Read(p, 100_000, 1)
+	})
+	k.Run()
+	if r == nil || r.EndTime == 0 {
+		t.Fatal("read did not complete")
+	}
+	lat := r.EndTime - r.SubmitTime
+	// A cold media read pays command overhead + seek + rotation +
+	// transfer: between ~50us and ~12.1ms.
+	if lat < 50*cycles.PerMicrosecond || lat > 13*cycles.PerMillisecond {
+		t.Errorf("media read latency = %s, outside mechanical envelope",
+			cycles.Format(lat))
+	}
+	if r.CacheHit {
+		t.Error("cold read reported a cache hit")
+	}
+}
+
+func TestReadaheadCreatesCacheHits(t *testing.T) {
+	k, d := newRig()
+	var lat1, lat2 uint64
+	k.Spawn("reader", func(p *sim.Proc) {
+		r1 := d.Read(p, 5_000, 1)
+		lat1 = r1.EndTime - r1.StartTime
+		// The next blocks were pulled in by internal readahead: the
+		// sharp "third peak" of Figure 7.
+		r2 := d.Read(p, 5_001, 1)
+		lat2 = r2.EndTime - r2.StartTime
+		if !r2.CacheHit {
+			t.Error("sequential read missed the readahead cache")
+		}
+	})
+	k.Run()
+	want := d.cfg.CommandOverhead + d.cfg.TransferPerBlock
+	if lat2 != want {
+		t.Errorf("cache-hit latency = %d, want exactly %d (no mechanics)", lat2, want)
+	}
+	if lat2*2 > lat1 {
+		t.Errorf("cache hit (%s) not much faster than media read (%s)",
+			cycles.Format(lat2), cycles.Format(lat1))
+	}
+	st := d.Stats()
+	if st.CacheHits != 1 || st.MediaReads != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSeekTimeGrowsWithDistance(t *testing.T) {
+	k, d := newRig()
+	var near, far uint64
+	k.Spawn("reader", func(p *sim.Proc) {
+		d.Read(p, 0, 1) // park the head at cylinder 0
+		r := d.Read(p, d.cfg.BlocksPerCylinder*2, 1)
+		near = r.EndTime - r.StartTime
+		d.Read(p, 0, 1) // back to 0
+		r = d.Read(p, d.cfg.Blocks-10, 1)
+		far = r.EndTime - r.StartTime
+	})
+	k.Run()
+	// Rotation adds up to 4ms of noise; a full-stroke seek (8ms) must
+	// still dominate a 2-cylinder seek (~0.3ms).
+	if far <= near {
+		t.Errorf("far seek %s not slower than near seek %s",
+			cycles.Format(far), cycles.Format(near))
+	}
+}
+
+func TestSameCylinderNoSeek(t *testing.T) {
+	k, d := newRig()
+	k.Spawn("reader", func(p *sim.Proc) {
+		d.Read(p, 0, 1)
+	})
+	k.Run()
+	if d.Stats().TotalSeek != 0 {
+		t.Errorf("seek from initial head position = %d", d.Stats().TotalSeek)
+	}
+}
+
+func TestWriteAsyncReturnsImmediately(t *testing.T) {
+	k, d := newRig()
+	var submitElapsed uint64
+	completed := false
+	k.Spawn("writer", func(p *sim.Proc) {
+		start := p.Now()
+		d.WriteAsync(200_000, 4, func() { completed = true })
+		submitElapsed = p.Now() - start
+		p.Sleep(20 * cycles.PerMillisecond)
+	})
+	k.Run()
+	if submitElapsed != 0 {
+		t.Errorf("async submit consumed %d cycles of wall time", submitElapsed)
+	}
+	if !completed {
+		t.Error("async write never completed")
+	}
+}
+
+func TestElevatorOrdersByCylinder(t *testing.T) {
+	k, d := newRig()
+	var order []uint64
+	mk := func(lba uint64) *Request {
+		return &Request{LBA: lba, Blocks: 1, OnComplete: func() {
+			order = append(order, lba)
+		}}
+	}
+	k.Spawn("submitter", func(p *sim.Proc) {
+		// Saturate the drive, then submit out of cylinder order.
+		d.Submit(mk(1)) // starts service immediately
+		lbaA := d.cfg.BlocksPerCylinder * 900
+		lbaB := d.cfg.BlocksPerCylinder * 100
+		lbaC := d.cfg.BlocksPerCylinder * 500
+		d.Submit(mk(lbaA))
+		d.Submit(mk(lbaB))
+		d.Submit(mk(lbaC))
+		p.Sleep(100 * cycles.PerMillisecond)
+	})
+	k.Run()
+	if len(order) != 4 {
+		t.Fatalf("completed = %v", order)
+	}
+	// C-LOOK from cylinder ~0: 100 then 500 then 900.
+	if order[1]/d.cfg.BlocksPerCylinder != 100 ||
+		order[2]/d.cfg.BlocksPerCylinder != 500 ||
+		order[3]/d.cfg.BlocksPerCylinder != 900 {
+		t.Errorf("service order (cylinders) = %d,%d,%d, want 100,500,900",
+			order[1]/d.cfg.BlocksPerCylinder,
+			order[2]/d.cfg.BlocksPerCylinder,
+			order[3]/d.cfg.BlocksPerCylinder)
+	}
+}
+
+func TestDrainWaitsForQueue(t *testing.T) {
+	k, d := newRig()
+	done := 0
+	k.Spawn("syncer", func(p *sim.Proc) {
+		for i := uint64(0); i < 5; i++ {
+			d.WriteAsync(i*10_000, 1, func() { done++ })
+		}
+		d.Drain(p)
+		if done != 5 {
+			t.Errorf("Drain returned with %d/5 writes complete", done)
+		}
+	})
+	k.Run()
+}
+
+func TestRotationDeterministic(t *testing.T) {
+	run := func() uint64 {
+		k, d := newRig()
+		var total uint64
+		k.Spawn("reader", func(p *sim.Proc) {
+			for i := uint64(0); i < 20; i++ {
+				r := d.Read(p, i*7777, 1)
+				total += r.EndTime - r.StartTime
+			}
+		})
+		k.Run()
+		return total
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("non-deterministic service times: %d vs %d", a, b)
+	}
+}
+
+func TestProbeSeesLifecycle(t *testing.T) {
+	k, d := newRig()
+	var submitted, completed int
+	d.SetProbe(probeFn{func(*Request) { submitted++ }, func(*Request) { completed++ }})
+	k.Spawn("reader", func(p *sim.Proc) {
+		d.Read(p, 1000, 2)
+	})
+	k.Run()
+	if submitted != 1 || completed != 1 {
+		t.Errorf("probe: submitted=%d completed=%d", submitted, completed)
+	}
+}
+
+type probeFn struct {
+	sub func(*Request)
+	com func(*Request)
+}
+
+func (p probeFn) Submitted(r *Request) { p.sub(r) }
+func (p probeFn) Completed(r *Request) { p.com(r) }
+
+func TestSubmitPanicsOnBadRequest(t *testing.T) {
+	k, d := newRig()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range request")
+		}
+		_ = k
+	}()
+	d.Submit(&Request{LBA: d.cfg.Blocks, Blocks: 1})
+}
+
+func TestCacheSegmentEviction(t *testing.T) {
+	k, d := newRig()
+	k.Spawn("reader", func(p *sim.Proc) {
+		// Touch more distinct regions than there are cache segments.
+		for i := 0; i <= d.cfg.CacheSegments; i++ {
+			d.Read(p, uint64(i)*100_000, 1)
+		}
+		// The first region must have been evicted.
+		r := d.Read(p, 0, 1)
+		if r.CacheHit {
+			t.Error("oldest segment not evicted")
+		}
+	})
+	k.Run()
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"osprof/internal/analysis"
+	"osprof/internal/core"
+	"osprof/internal/report"
+	"osprof/internal/sim"
+	"osprof/internal/workload"
+)
+
+// Fig1Params scales the Figure 1 experiment: clone called concurrently
+// by four processes on a dual-CPU SMP system, captured entirely from
+// user level.
+type Fig1Params struct {
+	// ClonesPerProc is the per-process call count (default 4000).
+	ClonesPerProc int
+}
+
+// Fig1Result holds both profiles and their peak structures.
+type Fig1Result struct {
+	Contended *core.Profile // 4 processes
+	Single    *core.Profile // 1 process (control)
+
+	PeaksContended []analysis.Peak
+	PeaksSingle    []analysis.Peak
+}
+
+// fig1Kernel is a FreeBSD-6-like dual-CPU machine.
+func fig1Kernel() *sim.Kernel {
+	return sim.New(sim.Config{
+		NumCPUs:       2,
+		ContextSwitch: 9_350,
+		Quantum:       1 << 21,
+		TickPeriod:    1 << 19,
+		TickCost:      2_000,
+		Preemptive:    false, // FreeBSD 6.0 kernel mode
+		WakePreempt:   true,
+		Seed:          1,
+	})
+}
+
+// RunFig1 reproduces Figure 1.
+func RunFig1(p Fig1Params) *Fig1Result {
+	if p.ClonesPerProc == 0 {
+		p.ClonesPerProc = 4_000
+	}
+	r := &Fig1Result{}
+	r.Contended = (&workload.CloneStorm{
+		K: fig1Kernel(), Procs: 4, ClonesPerProc: p.ClonesPerProc,
+	}).Run()
+	r.Single = (&workload.CloneStorm{
+		K: fig1Kernel(), Procs: 1, ClonesPerProc: p.ClonesPerProc,
+	}).Run()
+
+	// Strict gap splitting (MaxGap -1) keeps the narrow valley between
+	// the CPU peak and the contention peak intact.
+	opt := analysis.PeakOptions{MinCount: uint64(p.ClonesPerProc / 500), MaxGap: -1}
+	r.PeaksContended = analysis.FindPeaksOpt(r.Contended, opt)
+	r.PeaksSingle = analysis.FindPeaksOpt(r.Single, opt)
+	return r
+}
+
+// ID implements Result.
+func (r *Fig1Result) ID() string { return "fig1" }
+
+// Checks implements Result.
+func (r *Fig1Result) Checks() []Check {
+	var cs []Check
+	cs = append(cs, check("contended profile is multi-modal",
+		len(r.PeaksContended) >= 2,
+		"peaks=%d (paper: 2)", len(r.PeaksContended)))
+	cs = append(cs, check("single-process profile has one peak",
+		len(r.PeaksSingle) == 1,
+		"peaks=%d (paper: contention disappears with 1 process)", len(r.PeaksSingle)))
+	if len(r.PeaksContended) >= 2 && len(r.PeaksSingle) >= 1 {
+		left := r.PeaksContended[0]
+		right := r.PeaksContended[len(r.PeaksContended)-1]
+		base := r.PeaksSingle[0]
+		cs = append(cs, check("contention peak well right of CPU peak",
+			right.ModeBucket >= left.ModeBucket+3,
+			"left mode=%d right mode=%d", left.ModeBucket, right.ModeBucket))
+		// §3.1: the left peak is the uncontended CPU time, so it must
+		// match the single-process peak.
+		diff := left.ModeBucket - base.ModeBucket
+		if diff < 0 {
+			diff = -diff
+		}
+		cs = append(cs, check("left peak equals uncontended cost",
+			diff <= 1,
+			"contended-left mode=%d single mode=%d", left.ModeBucket, base.ModeBucket))
+		// Most operations do not contend.
+		cs = append(cs, check("left peak dominates",
+			left.Count > right.Count,
+			"left=%d right=%d", left.Count, right.Count))
+	}
+	return cs
+}
+
+// Report implements Result.
+func (r *Fig1Result) Report(w io.Writer) {
+	fmt.Fprintln(w, "=== Figure 1: clone called by 4 concurrent processes, 2 CPUs ===")
+	report.Profile(w, r.Contended, report.Options{})
+	fmt.Fprintln(w, "\n--- control: single process ---")
+	report.Profile(w, r.Single, report.Options{})
+	if len(r.PeaksContended) >= 2 {
+		left := r.PeaksContended[0]
+		right := r.PeaksContended[len(r.PeaksContended)-1]
+		fmt.Fprintf(w, "\nuncontended CPU time (left-peak mean): %d cycles\n",
+			left.MeanLatency(r.Contended))
+		fmt.Fprintf(w, "lock-contention wait (right-peak mean): %d cycles\n",
+			right.MeanLatency(r.Contended))
+		fmt.Fprintf(w, "contended fraction: %.1f%%\n",
+			100*float64(right.Count)/float64(r.Contended.Count))
+	}
+}

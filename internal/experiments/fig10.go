@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"osprof/internal/analysis"
+	"osprof/internal/core"
+	"osprof/internal/cycles"
+	"osprof/internal/disk"
+	"osprof/internal/fs/cifs"
+	"osprof/internal/fs/ext2"
+	"osprof/internal/fsprof"
+	"osprof/internal/mem"
+	"osprof/internal/netsim"
+	"osprof/internal/report"
+	"osprof/internal/sim"
+	"osprof/internal/vfs"
+	"osprof/internal/workload"
+)
+
+// Fig10Params scales the §6.4 experiment: grep over CIFS with a
+// Windows-style client vs a Linux smbfs-style client against a Windows
+// server exporting an NTFS share.
+type Fig10Params struct {
+	// Dirs is the exported tree's directory count (default 14,
+	// including several multi-block directories).
+	Dirs int
+}
+
+// Fig10Run is one client's captured run.
+type Fig10Run struct {
+	Client  string
+	Set     *core.Set // FS-level ops + wire ops (FindFirst/FindNext/...)
+	Elapsed uint64
+}
+
+// Fig10Result compares the two clients.
+type Fig10Result struct {
+	Windows Fig10Run
+	Linux   Fig10Run
+
+	// Selected is the automated comparison of the two complete sets;
+	// the paper's script picked 6 of 51 ops by total latency.
+	Selected []analysis.PairReport
+}
+
+// cifsRun builds the two-machine testbed and runs grep over the share.
+func cifsRun(client string, clientCfg cifs.ClientConfig, dirs int, delayedAck bool,
+	sniffer *netsim.Sniffer) Fig10Run {
+	k := sim.New(sim.Config{
+		NumCPUs:       2, // one client machine CPU, one server CPU
+		ContextSwitch: 9_350,
+		WakePreempt:   true,
+		Seed:          10,
+	})
+	conn := netsim.NewConn(k, netsim.Config{}, "client", "server", sniffer)
+	conn.Side(0).SetDelayedAck(delayedAck)
+
+	sd := disk.New(k, disk.Config{})
+	spc := mem.NewCache(k, 1<<15)
+	sfs := ext2.New(k, sd, spc, "ntfs", ext2.Config{})
+	workload.BuildTree(sfs, workload.TreeSpec{
+		Seed:           17,
+		Dirs:           dirs,
+		FilesPerDirMin: 8,
+		FilesPerDirMax: 24,
+		BigDirEvery:    4,
+	})
+	srv := cifs.NewServer(k, sfs, conn.Side(1), cifs.ServerConfig{})
+	srv.Start()
+
+	cpc := mem.NewCache(k, 1<<15)
+	cl := cifs.NewClient(k, conn.Side(0), cpc, "cifs", clientCfg)
+	v := vfs.New(k)
+	if err := v.Mount("/", cl); err != nil {
+		panic(err)
+	}
+
+	set := core.NewSet(client)
+	fsprof.InstrumentSet(cl, set)
+	cl.RPCSink = fsprof.SetSink{Set: set}
+
+	k.Spawn("grep", func(p *sim.Proc) {
+		(&workload.Grep{Sys: v, Root: "/src"}).Run(p)
+	})
+	k.Run()
+	return Fig10Run{Client: client, Set: set, Elapsed: k.Now()}
+}
+
+// RunFig10 reproduces Figure 10.
+func RunFig10(p Fig10Params) *Fig10Result {
+	if p.Dirs == 0 {
+		p.Dirs = 14
+	}
+	r := &Fig10Result{
+		Windows: cifsRun("windows-client", cifs.WindowsClientConfig(), p.Dirs, true, nil),
+		Linux:   cifsRun("linux-client", cifs.LinuxClientConfig(), p.Dirs, true, nil),
+	}
+	r.Selected = analysis.DefaultSelector().SelectInteresting(r.Linux.Set, r.Windows.Set)
+	return r
+}
+
+// ID implements Result.
+func (r *Fig10Result) ID() string { return "fig10" }
+
+// Checks implements Result.
+func (r *Fig10Result) Checks() []Check {
+	var cs []Check
+	ff := r.Windows.Set.Lookup("FindFirst")
+	fn := r.Windows.Set.Lookup("FindNext")
+	cs = append(cs, check("Windows client issues FindFirst/FindNext",
+		ff != nil && ff.Count > 0 && fn != nil && fn.Count > 0,
+		"FindFirst=%d FindNext=%d", count(ff), count(fn)))
+
+	// The delayed-ACK peaks sit in buckets 26..30, "farther to the
+	// right than any other operation".
+	if ff != nil {
+		b := core.BucketFor(ff.Max, 1)
+		cs = append(cs, check("Windows FindFirst stall peak in buckets 26..30",
+			b >= 26 && b <= 31, "max bucket=%d (200ms=bucket %d)",
+			b, core.BucketFor(cycles.DelayedAck, 1)))
+	}
+
+	// The Linux client has no such peaks.
+	linuxMax := 0
+	for _, op := range []string{"FindFirst", "FindNext"} {
+		if prof := r.Linux.Set.Lookup(op); prof != nil && prof.Count > 0 {
+			if _, hi, ok := prof.Range(); ok && hi > linuxMax {
+				linuxMax = hi
+			}
+		}
+	}
+	cs = append(cs, check("Linux client avoids the stall",
+		linuxMax > 0 && linuxMax < 26,
+		"Linux Find* max bucket=%d", linuxMax))
+
+	// The stalls are a large share of elapsed time (paper: 12%).
+	var stallShare float64
+	if ff != nil && fn != nil {
+		stallShare = float64(ff.Total+fn.Total) / float64(r.Windows.Elapsed)
+	}
+	cs = append(cs, check("Find* dominates a visible share of elapsed time",
+		stallShare > 0.05,
+		"share=%.1f%% (paper: 12%%)", 100*stallShare))
+
+	// Windows run is slower overall.
+	cs = append(cs, check("Windows client slower than Linux client",
+		r.Windows.Elapsed > r.Linux.Elapsed,
+		"windows=%s linux=%s",
+		cycles.Format(r.Windows.Elapsed), cycles.Format(r.Linux.Elapsed)))
+
+	// Wire operations involve the server: bucket >= 18 (§6.4); cached
+	// lookups stay local (< 18).
+	if rd := r.Windows.Set.Lookup("SMBRead"); rd != nil && rd.Count > 0 {
+		lo, _, _ := rd.Range()
+		cs = append(cs, check("server interactions at bucket >= 18",
+			lo >= 18, "SMBRead min bucket=%d", lo))
+	}
+	if lk := r.Windows.Set.Lookup("lookup"); lk != nil && lk.Count > 0 {
+		lo, _, _ := lk.Range()
+		cs = append(cs, check("cached metadata stays local (< bucket 18)",
+			lo < 18, "lookup min bucket=%d", lo))
+	}
+
+	// The automated script picks a handful of interesting ops out of
+	// the full profiled set (paper: 6 of 51), among them Find*.
+	opsTotal := len(r.Windows.Set.Ops()) + len(r.Linux.Set.Ops())
+	foundFF := false
+	for _, rep := range r.Selected {
+		if rep.Op == "FindFirst" || rep.Op == "FindNext" {
+			foundFF = true
+		}
+	}
+	cs = append(cs, check("selection picks few ops including Find*",
+		foundFF && len(r.Selected) <= opsTotal/2,
+		"selected=%d of %d profiled op pairs", len(r.Selected), opsTotal))
+	return cs
+}
+
+func count(p *core.Profile) uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.Count
+}
+
+// Report implements Result.
+func (r *Fig10Result) Report(w io.Writer) {
+	fmt.Fprintln(w, "=== Figure 10: FindFirst, FindNext, read over CIFS (Windows client) ===")
+	for _, op := range []string{"FindFirst", "FindNext", "SMBRead"} {
+		if prof := r.Windows.Set.Lookup(op); prof != nil && prof.Count > 0 {
+			report.Profile(w, prof, report.Options{})
+			fmt.Fprintln(w)
+		}
+	}
+	fmt.Fprintln(w, "--- Linux client (control) ---")
+	for _, op := range []string{"FindFirst", "FindNext"} {
+		if prof := r.Linux.Set.Lookup(op); prof != nil && prof.Count > 0 {
+			report.Profile(w, prof, report.Options{})
+		}
+	}
+	fmt.Fprintf(w, "\nelapsed: windows=%s linux=%s\n",
+		cycles.Format(r.Windows.Elapsed), cycles.Format(r.Linux.Elapsed))
+	fmt.Fprintln(w, "\nautomated selection (linux vs windows):")
+	report.Comparison(w, r.Selected)
+}

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"osprof/internal/cycles"
+	"osprof/internal/fs/cifs"
+	"osprof/internal/netsim"
+)
+
+// Fig11Params scales the §6.4 packet-timeline experiment.
+type Fig11Params struct {
+	// Dirs is the exported tree size (default 14).
+	Dirs int
+}
+
+// Fig11Result holds the sniffer trace of a Windows-client run plus the
+// delayed-ACK on/off elapsed comparison.
+type Fig11Result struct {
+	Packets []netsim.Packet
+
+	// MaxGap is the largest inter-packet gap in the trace — the
+	// delayed-ACK stall.
+	MaxGap uint64
+
+	// ElapsedOn/ElapsedOff are the grep elapsed times with delayed
+	// ACKs enabled and disabled (the registry change).
+	ElapsedOn, ElapsedOff uint64
+}
+
+// RunFig11 reproduces Figure 11 and the ~20% improvement from turning
+// delayed ACKs off.
+func RunFig11(p Fig11Params) *Fig11Result {
+	if p.Dirs == 0 {
+		p.Dirs = 14
+	}
+	r := &Fig11Result{}
+
+	sniffer := &netsim.Sniffer{}
+	on := cifsRun("windows-client", cifs.WindowsClientConfig(), p.Dirs, true, sniffer)
+	r.Packets = sniffer.Packets
+	r.ElapsedOn = on.Elapsed
+
+	off := cifsRun("windows-client-noack", cifs.WindowsClientConfig(), p.Dirs, false, nil)
+	r.ElapsedOff = off.Elapsed
+
+	var last uint64
+	for _, pkt := range r.Packets {
+		if last != 0 && pkt.Time-last > r.MaxGap {
+			r.MaxGap = pkt.Time - last
+		}
+		last = pkt.Time
+	}
+	return r
+}
+
+// ID implements Result.
+func (r *Fig11Result) ID() string { return "fig11" }
+
+// Checks implements Result.
+func (r *Fig11Result) Checks() []Check {
+	var cs []Check
+	cs = append(cs, check("sniffer captured the transaction",
+		len(r.Packets) > 10, "packets=%d", len(r.Packets)))
+
+	// The 200ms stall between reply continuation 2 and its delayed
+	// ACK.
+	cs = append(cs, check("timeline shows a ~200ms delayed-ACK gap",
+		r.MaxGap >= cycles.DelayedAck && r.MaxGap < 2*cycles.DelayedAck,
+		"max gap=%s", cycles.Format(r.MaxGap)))
+
+	// The trace contains the Figure 11 packet kinds.
+	var sawFF, sawCont, sawDelayed bool
+	for _, pkt := range r.Packets {
+		switch {
+		case pkt.Label == "FIND_FIRST":
+			sawFF = true
+		case pkt.Label == "transact continuation" ||
+			contains(pkt.Label, "continuation"):
+			sawCont = true
+		case pkt.Label == "delayed-ack":
+			sawDelayed = true
+		}
+	}
+	cs = append(cs, check("trace contains FIND_FIRST request",
+		sawFF, ""))
+	cs = append(cs, check("trace contains reply continuations",
+		sawCont, ""))
+	cs = append(cs, check("trace contains a delayed ACK",
+		sawDelayed, ""))
+
+	// Disabling delayed ACKs "improved elapsed time by 20%".
+	imp := 0.0
+	if r.ElapsedOn > 0 {
+		imp = float64(r.ElapsedOn-r.ElapsedOff) / float64(r.ElapsedOn)
+	}
+	cs = append(cs, check("registry change improves elapsed time",
+		imp > 0.05 && imp < 0.70,
+		"improvement=%.1f%% (paper: 20%%)", imp*100))
+	return cs
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	}()
+}
+
+// Report implements Result.
+func (r *Fig11Result) Report(w io.Writer) {
+	fmt.Fprintln(w, "=== Figure 11: FindFirst transaction timeline (Windows client/server) ===")
+	fmt.Fprintf(w, "%10s %-8s %-6s %-30s %6s\n", "TIME(ms)", "FROM", "KIND", "LABEL", "BYTES")
+	limit := len(r.Packets)
+	if limit > 40 {
+		limit = 40
+	}
+	for _, pkt := range r.Packets[:limit] {
+		extra := ""
+		if pkt.Piggyback {
+			extra = " +ACK"
+		}
+		fmt.Fprintf(w, "%10.3f %-8s %-6s %-30s %6d%s\n",
+			cycles.ToMilliseconds(pkt.Time), pkt.From, pkt.Kind.String(),
+			pkt.Label, pkt.Bytes, extra)
+	}
+	if len(r.Packets) > limit {
+		fmt.Fprintf(w, "... (%d more packets)\n", len(r.Packets)-limit)
+	}
+	fmt.Fprintf(w, "\nlargest inter-packet gap: %s (the delayed ACK)\n",
+		cycles.Format(r.MaxGap))
+	fmt.Fprintf(w, "elapsed: delayed ACKs on=%s off=%s (%.1f%% improvement)\n",
+		cycles.Format(r.ElapsedOn), cycles.Format(r.ElapsedOff),
+		100*float64(r.ElapsedOn-r.ElapsedOff)/float64(r.ElapsedOn))
+}

@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"osprof/internal/analysis"
+	"osprof/internal/core"
+	"osprof/internal/disk"
+	"osprof/internal/fs/ext2"
+	"osprof/internal/fsprof"
+	"osprof/internal/mem"
+	"osprof/internal/report"
+	"osprof/internal/sim"
+	"osprof/internal/vfs"
+	"osprof/internal/workload"
+)
+
+// Fig6Params scales the §6.1 llseek experiment: processes randomly
+// reading the same file with direct I/O, on the stock Linux 2.6.11
+// generic_file_llseek (which takes the shared i_sem) and on the
+// paper's patched version.
+type Fig6Params struct {
+	// RequestsPerProc is the llseek+read pair count per process
+	// (default 2000).
+	RequestsPerProc int
+}
+
+// Fig6Result holds the three captured profile sets.
+type Fig6Result struct {
+	TwoProcs  *core.Set // unpatched, 2 processes
+	OneProc   *core.Set // unpatched, 1 process
+	Patched   *core.Set // patched, 2 processes
+	Selected  []analysis.PairReport
+	Contended analysis.Peak // the llseek right peak under contention
+}
+
+func fig6Run(procs int, buggy bool, requests int) *core.Set {
+	k := sim.New(sim.Config{
+		NumCPUs:       1,
+		ContextSwitch: 9_350,
+		WakePreempt:   true,
+		Seed:          3,
+	})
+	d := disk.New(k, disk.Config{})
+	pc := mem.NewCache(k, 4096)
+	fs := ext2.New(k, d, pc, "ext2", ext2.Config{BuggyLlseek: buggy})
+	fs.MustAddFile(fs.Root(), "bigfile", 4096*vfs.PageSize)
+	v := vfs.New(k)
+	if err := v.Mount("/", fs); err != nil {
+		panic(err)
+	}
+	set := core.NewSet(fmt.Sprintf("llseek-%dproc-buggy=%v", procs, buggy))
+	fsprof.InstrumentSet(fs, set)
+	for i := 0; i < procs; i++ {
+		seed := int64(i + 1)
+		k.Spawn("rr", func(p *sim.Proc) {
+			// The think time models the application consuming the
+			// data; without it two direct-I/O readers keep i_sem
+			// utilized 100% of the time and every llseek contends,
+			// unlike the paper's ~25%.
+			(&workload.RandomRead{
+				Sys: v, Requests: requests, Seed: seed,
+				ThinkTime: 14_000_000, // ~8ms user work per 512B read
+			}).Run(p)
+		})
+	}
+	k.Run()
+	return set
+}
+
+// RunFig6 reproduces Figure 6.
+func RunFig6(p Fig6Params) *Fig6Result {
+	if p.RequestsPerProc == 0 {
+		p.RequestsPerProc = 2_000
+	}
+	r := &Fig6Result{
+		TwoProcs: fig6Run(2, true, p.RequestsPerProc),
+		OneProc:  fig6Run(1, true, p.RequestsPerProc),
+		Patched:  fig6Run(2, false, p.RequestsPerProc),
+	}
+	// The automated analysis that "alerted us to significant
+	// discrepancies between the profiles of the llseek operations".
+	r.Selected = analysis.DefaultSelector().SelectInteresting(r.OneProc, r.TwoProcs)
+
+	peaks := analysis.FindPeaksOpt(r.TwoProcs.Lookup("llseek"),
+		analysis.PeakOptions{MinCount: 3, MaxGap: 2})
+	if len(peaks) > 1 {
+		r.Contended = peaks[len(peaks)-1]
+	}
+	return r
+}
+
+// ID implements Result.
+func (r *Fig6Result) ID() string { return "fig6" }
+
+// Checks implements Result.
+func (r *Fig6Result) Checks() []Check {
+	var cs []Check
+	two := r.TwoProcs.Lookup("llseek")
+	one := r.OneProc.Lookup("llseek")
+	patched := r.Patched.Lookup("llseek")
+	read := r.TwoProcs.Lookup("read")
+
+	opt := analysis.PeakOptions{MinCount: 3, MaxGap: 2}
+	twoPeaks := analysis.FindPeaksOpt(two, opt)
+	onePeaks := analysis.FindPeaksOpt(one, opt)
+	cs = append(cs, check("llseek bimodal with two processes",
+		len(twoPeaks) >= 2, "peaks=%d", len(twoPeaks)))
+	cs = append(cs, check("llseek unimodal with one process",
+		len(onePeaks) == 1, "peaks=%d (contention requires 2 processes)", len(onePeaks)))
+
+	if len(twoPeaks) >= 2 {
+		right := twoPeaks[len(twoPeaks)-1]
+		readPeaks := analysis.FindPeaksOpt(read, opt)
+		readMode := readPeaks[len(readPeaks)-1].ModeBucket
+		diff := right.ModeBucket - readMode
+		if diff < 0 {
+			diff = -diff
+		}
+		// "the right-most peak was strikingly similar with the read
+		// operation" — llseek waits out the reader's direct I/O.
+		cs = append(cs, check("llseek contention peak aligns with read I/O peak",
+			diff <= 2, "llseek mode=%d read mode=%d", right.ModeBucket, readMode))
+
+		frac := float64(right.Count) / float64(two.Count)
+		cs = append(cs, check("contention frequency in band",
+			frac > 0.05 && frac < 0.60,
+			"%.1f%% of llseeks contended (paper: 25%%)", 100*frac))
+	}
+
+	// Patched llseek: ~120 vs ~400 cycles, a ~70% reduction (§6.1).
+	// The recorded latencies include the ~40-cycle probe window.
+	um, pm := two.Mean(), patched.Mean()
+	// Use the uncontended (one-process) mean for the "before" figure
+	// so contention wait does not inflate the comparison.
+	ub := one.Mean()
+	cs = append(cs, check("patched llseek much cheaper",
+		pm < ub && float64(ub-pm)/float64(ub) > 0.5,
+		"unpatched(uncontended)=%d patched=%d cycles (paper: 400 -> 120, 70%%)", ub, pm))
+	_ = um
+
+	// Automated selection flags llseek.
+	found := false
+	for _, rep := range r.Selected {
+		if rep.Op == "llseek" {
+			found = true
+		}
+	}
+	cs = append(cs, check("automated analysis flags llseek",
+		found, "selected=%d pairs", len(r.Selected)))
+	return cs
+}
+
+// Report implements Result.
+func (r *Fig6Result) Report(w io.Writer) {
+	fmt.Fprintln(w, "=== Figure 6: llseek under random direct-I/O reads ===")
+	fmt.Fprintln(w, "--- READ (2 processes) ---")
+	report.Profile(w, r.TwoProcs.Lookup("read"), report.Options{})
+	fmt.Fprintln(w, "--- LLSEEK unpatched (2 processes vs 1 process) ---")
+	report.Profile(w, r.TwoProcs.Lookup("llseek"), report.Options{})
+	report.Profile(w, r.OneProc.Lookup("llseek"), report.Options{})
+	fmt.Fprintln(w, "--- LLSEEK patched (2 processes) ---")
+	report.Profile(w, r.Patched.Lookup("llseek"), report.Options{})
+	fmt.Fprintf(w, "\nmean llseek: unpatched(1proc)=%d unpatched(2proc)=%d patched=%d cycles\n",
+		r.OneProc.Lookup("llseek").Mean(),
+		r.TwoProcs.Lookup("llseek").Mean(),
+		r.Patched.Lookup("llseek").Mean())
+	fmt.Fprintln(w, "\nautomated selection (1proc vs 2proc sets):")
+	report.Comparison(w, r.Selected)
+}

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"osprof/internal/analysis"
+	"osprof/internal/core"
+	"osprof/internal/disk"
+	"osprof/internal/fs/ext2"
+	"osprof/internal/fsprof"
+	"osprof/internal/mem"
+	"osprof/internal/report"
+	"osprof/internal/sim"
+	"osprof/internal/vfs"
+	"osprof/internal/workload"
+)
+
+// Fig7Params scales the §6.2 grep experiment over a synthetic source
+// tree on Ext2 with cold caches.
+type Fig7Params struct {
+	// Dirs is the directory count of the tree (default 60).
+	Dirs int
+}
+
+// Fig7Result carries the readdir/readpage profiles and the identified
+// peaks of the readdir distribution.
+type Fig7Result struct {
+	Set      *core.Set
+	Readdir  *core.Profile
+	Readpage *core.Profile
+	Peaks    []analysis.Peak
+	Grep     workload.GrepStats
+
+	// fig8 reuses the identical run with correlation probes.
+	correlation *core.Correlation
+}
+
+// fig7Rig builds the machine + tree; shared with Figure 8.
+func fig7Rig(dirs int) (*sim.Kernel, *ext2.FS, *vfs.VFS, workload.TreeStats) {
+	k := sim.New(sim.Config{
+		NumCPUs:       1,
+		ContextSwitch: 9_350,
+		WakePreempt:   true,
+		Seed:          7,
+	})
+	d := disk.New(k, disk.Config{})
+	pc := mem.NewCache(k, 1<<16)
+	fs := ext2.New(k, d, pc, "ext2", ext2.Config{FileSpread: 24})
+	v := vfs.New(k)
+	if err := v.Mount("/", fs); err != nil {
+		panic(err)
+	}
+	tree := workload.BuildTree(fs, workload.TreeSpec{
+		Seed:           13,
+		Dirs:           dirs,
+		FilesPerDirMin: 12,
+		FilesPerDirMax: 40,
+		BigDirEvery:    5,
+	})
+	return k, fs, v, tree
+}
+
+// RunFig7 reproduces Figure 7: the four-peak readdir profile.
+func RunFig7(p Fig7Params) *Fig7Result {
+	if p.Dirs == 0 {
+		p.Dirs = 60
+	}
+	k, fs, v, _ := fig7Rig(p.Dirs)
+	set := core.NewSet("ext2-grep")
+	fsprof.InstrumentSet(fs, set)
+	r := &Fig7Result{Set: set}
+	k.Spawn("grep", func(proc *sim.Proc) {
+		r.Grep = (&workload.Grep{Sys: v}).Run(proc)
+	})
+	k.Run()
+	r.Readdir = set.Lookup("readdir")
+	r.Readpage = set.Lookup("readpage")
+	r.Peaks = analysis.FindPeaksOpt(r.Readdir, analysis.PeakOptions{MinCount: 2, MaxGap: 1})
+	return r
+}
+
+// peakRanges are the paper's four readdir regimes (bucket bands):
+// past-EOF, page-cache hit, disk-cache (readahead) hit, mechanical I/O.
+var peakRanges = []core.BucketRange{
+	{Lo: 5, Hi: 8},
+	{Lo: 9, Hi: 14},
+	{Lo: 15, Hi: 17},
+	{Lo: 18, Hi: 26},
+}
+
+// ID implements Result.
+func (r *Fig7Result) ID() string { return "fig7" }
+
+// Checks implements Result.
+func (r *Fig7Result) Checks() []Check {
+	var cs []Check
+	cs = append(cs, check("readdir profile has four peaks",
+		len(r.Peaks) == 4, "peaks=%d", len(r.Peaks)))
+
+	names := []string{"past-EOF", "page-cache", "disk-cache", "mechanical I/O"}
+	for i, rng := range peakRanges {
+		found := false
+		for _, pk := range r.Peaks {
+			if rng.Contains(pk.ModeBucket) {
+				found = true
+			}
+		}
+		cs = append(cs, check(fmt.Sprintf("peak %d (%s) in buckets %d..%d",
+			i+1, names[i], rng.Lo, rng.Hi), found, "peaks=%v", modes(r.Peaks)))
+	}
+
+	// §6.2's key invariant: "the number of elements in the third and
+	// fourth peaks is exactly equal to the number of elements in the
+	// readpage profile."
+	ioCount := r.Readdir.CountIn(15, 26)
+	cs = append(cs, check("peaks 3+4 count equals readpage count",
+		ioCount == r.Readpage.Count,
+		"readdir I/O ops=%d readpage ops=%d", ioCount, r.Readpage.Count))
+
+	// The first peak is the past-EOF calls: grep makes exactly one
+	// per directory.
+	eofCount := r.Readdir.CountIn(5, 8)
+	cs = append(cs, check("first peak equals one past-EOF call per directory",
+		int(eofCount) == r.Grep.Dirs,
+		"peak1=%d dirs=%d", eofCount, r.Grep.Dirs))
+
+	// readpage latencies stay small: it only initiates the I/O (§6.2).
+	_, rpHi, ok := r.Readpage.Range()
+	cs = append(cs, check("readpage only initiates I/O",
+		ok && rpHi <= 14,
+		"readpage max bucket=%d (waits happen in readdir)", rpHi))
+	return cs
+}
+
+func modes(peaks []analysis.Peak) []int {
+	out := make([]int, len(peaks))
+	for i, p := range peaks {
+		out[i] = p.ModeBucket
+	}
+	return out
+}
+
+// Report implements Result.
+func (r *Fig7Result) Report(w io.Writer) {
+	fmt.Fprintln(w, "=== Figure 7: Ext2 readdir (top) and readpage (bottom) under grep -r ===")
+	report.Profile(w, r.Readdir, report.Options{})
+	fmt.Fprintln(w)
+	report.Profile(w, r.Readpage, report.Options{})
+	fmt.Fprintf(w, "\npeak modes: %v\n", modes(r.Peaks))
+	fmt.Fprintf(w, "grep: %d dirs, %d files, %d KB read\n",
+		r.Grep.Dirs, r.Grep.Files, r.Grep.BytesRead/1024)
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"osprof/internal/core"
+	"osprof/internal/report"
+	"osprof/internal/sim"
+	"osprof/internal/vfs"
+	"osprof/internal/workload"
+)
+
+// Fig8Result is the direct profile/value correlation of §6.2: for every
+// readdir call, store the value readdir_past_EOF*1024 into one value
+// profile if the call's latency fell into the first peak and into
+// another otherwise. If the hypothesis is right, the first peak's
+// value profile has all its mass at 1024 and the other peaks' at 0.
+type Fig8Result struct {
+	Correlation *core.Correlation
+	Calls       uint64
+}
+
+// RunFig8 reproduces Figure 8 on the same machine and tree as
+// Figure 7.
+func RunFig8(p Fig7Params) *Fig8Result {
+	if p.Dirs == 0 {
+		p.Dirs = 60
+	}
+	k, fs, v, _ := fig7Rig(p.Dirs)
+
+	// The slightly modified profiling macros of §6.2: the first-peak
+	// latency range from Figure 7 classifies each call, and the
+	// stored value is readdir_past_EOF * 1024.
+	corr := core.NewCorrelation("readdir_past_EOF", []core.BucketRange{
+		peakRanges[0],
+	})
+	r := &Fig8Result{Correlation: corr}
+
+	ops := fs.Ops()
+	orig := ops.File.Readdir
+	ops.File.Readdir = func(proc *sim.Proc, f *vfs.File) []vfs.DirEntry {
+		pastEOF := uint64(0)
+		if f.Pos >= f.Inode.Size {
+			pastEOF = 1
+		}
+		start := proc.ReadTSC()
+		out := orig(proc, f)
+		corr.Record(proc.ReadTSC()-start, pastEOF*1024)
+		r.Calls++
+		return out
+	}
+
+	k.Spawn("grep", func(proc *sim.Proc) {
+		(&workload.Grep{Sys: v}).Run(proc)
+	})
+	k.Run()
+	return r
+}
+
+// ID implements Result.
+func (r *Fig8Result) ID() string { return "fig8" }
+
+// Checks implements Result.
+func (r *Fig8Result) Checks() []Check {
+	var cs []Check
+	first := r.Correlation.Peak(0)
+	other := r.Correlation.Other()
+
+	cs = append(cs, check("every readdir call classified",
+		first.Count+other.Count == r.Calls,
+		"first=%d other=%d calls=%d", first.Count, other.Count, r.Calls))
+
+	// All first-peak calls carried past_EOF=1 (value 1024, bucket 10).
+	cs = append(cs, check("first peak is exactly the past-EOF calls",
+		first.Count > 0 && first.Buckets[10] == first.Count,
+		"bucket10=%d of %d", first.Buckets[10], first.Count))
+
+	// All other calls carried past_EOF=0 (bucket 0).
+	cs = append(cs, check("other peaks carry past_EOF=0",
+		other.Count > 0 && other.Buckets[0] == other.Count,
+		"bucket0=%d of %d", other.Buckets[0], other.Count))
+
+	cs = append(cs, check("correlation checksums valid",
+		r.Correlation.Validate() == nil, ""))
+	return cs
+}
+
+// Report implements Result.
+func (r *Fig8Result) Report(w io.Writer) {
+	fmt.Fprintln(w, "=== Figure 8: correlation of readdir_past_EOF*1024 with the first peak ===")
+	fmt.Fprintln(w, "--- value profile of first-peak requests ---")
+	report.Profile(w, r.Correlation.Peak(0), report.Options{})
+	fmt.Fprintln(w, "--- value profile of all other requests ---")
+	report.Profile(w, r.Correlation.Other(), report.Options{})
+}

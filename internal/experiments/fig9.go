@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"osprof/internal/analysis"
+	"osprof/internal/core"
+	"osprof/internal/cycles"
+	"osprof/internal/disk"
+	"osprof/internal/fs/reiser"
+	"osprof/internal/fsprof"
+	"osprof/internal/mem"
+	"osprof/internal/report"
+	"osprof/internal/sim"
+	"osprof/internal/vfs"
+)
+
+// Fig9Params scales the §6.3 experiment: sampled (3D) profiles of
+// Reiserfs read and write_super on Linux 2.4.24, where the 5-second
+// write_super holds the FS-wide lock while flushing the journal.
+type Fig9Params struct {
+	// Seconds is the profiled duration (default 10, like the paper's
+	// 0..9.6s window).
+	Seconds int
+
+	// Interval is the sampling segment in seconds (default 2.5).
+	Interval float64
+}
+
+// Fig9Result carries the sampled profiles.
+type Fig9Result struct {
+	Read       *core.Sampled
+	WriteSuper *core.Sampled
+	Flat       *core.Profile // read flattened across segments
+}
+
+// RunFig9 reproduces Figure 9.
+func RunFig9(p Fig9Params) *Fig9Result {
+	if p.Seconds == 0 {
+		p.Seconds = 12
+	}
+	if p.Interval == 0 {
+		p.Interval = 2.5
+	}
+	k := sim.New(sim.Config{
+		NumCPUs:       1,
+		ContextSwitch: 9_350,
+		WakePreempt:   true,
+		Seed:          9,
+	})
+	d := disk.New(k, disk.Config{})
+	pc := mem.NewCache(k, 1<<15)
+	fs := reiser.New(k, d, pc, "reiserfs", reiser.Config{
+		JournalBlocks: 24,
+		SuperInterval: 4 * cycles.PerSecond,
+	})
+	for i := 0; i < 120; i++ {
+		fs.MustAddFile(fmt.Sprintf("f%03d", i), 8*vfs.PageSize)
+	}
+	v := vfs.New(k)
+	if err := v.Mount("/", fs); err != nil {
+		panic(err)
+	}
+
+	sink := fsprof.NewSampledSink(0, uint64(p.Interval*cycles.PerSecond))
+	fsprof.Instrument(fs, sink, fsprof.Full, fsprof.DefaultCosts())
+	fs.StartSuperDaemon()
+
+	deadline := uint64(p.Seconds) * cycles.PerSecond
+
+	// Reader: cycles through the files; early passes miss (disk),
+	// later passes hit the page cache — the three vertical stripes.
+	k.Spawn("reader", func(proc *sim.Proc) {
+		i := 0
+		for proc.Now() < deadline {
+			f, err := v.Open(proc, fmt.Sprintf("/f%03d", i%120), false)
+			if err == nil {
+				for v.Read(proc, f, vfs.PageSize) > 0 {
+				}
+				v.Close(proc, f)
+			}
+			i++
+			proc.ExecUser(200_000)
+		}
+	})
+	// Writer: keeps the journal dirty so every write_super has work.
+	k.Spawn("writer", func(proc *sim.Proc) {
+		for proc.Now() < deadline {
+			f, err := v.Open(proc, "/f000", false)
+			if err == nil {
+				v.Write(proc, f, 4*vfs.PageSize)
+				v.Close(proc, f)
+			}
+			proc.Sleep(800 * cycles.PerMillisecond)
+		}
+	})
+	k.Run()
+
+	r := &Fig9Result{
+		Read:       sink.Profile("read"),
+		WriteSuper: sink.Profile("write_super"),
+	}
+	if r.Read != nil {
+		r.Flat = r.Read.Flatten()
+	}
+	return r
+}
+
+// ID implements Result.
+func (r *Fig9Result) ID() string { return "fig9" }
+
+// Checks implements Result.
+func (r *Fig9Result) Checks() []Check {
+	var cs []Check
+	cs = append(cs, check("read sampled profile captured",
+		r.Read != nil && r.Read.Len() >= 3,
+		"segments=%d", segLen(r.Read)))
+	cs = append(cs, check("write_super sampled profile captured",
+		r.WriteSuper != nil && r.WriteSuper.Len() >= 1,
+		"segments=%d", segLen(r.WriteSuper)))
+	if r.Read == nil || r.WriteSuper == nil {
+		return cs
+	}
+
+	// The flattened read profile shows the three stripes: cached
+	// reads, disk-cache reads, reads with a disk access.
+	peaks := analysis.FindPeaksOpt(r.Flat, analysis.PeakOptions{MinCount: 3, MaxGap: 2})
+	cs = append(cs, check("read profile has >= 3 latency stripes",
+		len(peaks) >= 3, "peaks=%v", modes(peaks)))
+
+	// write_super occurs periodically: every 5s, i.e., every other
+	// 2.5s segment, and its flush is tens of milliseconds (bucket 24+).
+	active := 0
+	for _, seg := range r.WriteSuper.Segments() {
+		if seg.Count > 0 {
+			active++
+		}
+	}
+	cs = append(cs, check("write_super strikes periodically",
+		active >= 2, "segments with write_super activity: %d", active))
+	flatWS := r.WriteSuper.Flatten()
+	_, wsHi, ok := flatWS.Range()
+	cs = append(cs, check("write_super flush is tens of milliseconds",
+		ok && wsHi >= 23, "max bucket=%d", wsHi))
+
+	// Reads stalled behind the flush: some read in a write_super
+	// segment reaches the same latency magnitude.
+	stalled := false
+	for i, seg := range r.WriteSuper.Segments() {
+		if seg.Count == 0 {
+			continue
+		}
+		if rseg := r.Read.Segment(i); rseg != nil && rseg.CountIn(22, 35) > 0 {
+			stalled = true
+		}
+	}
+	cs = append(cs, check("reads stall behind the journal flush",
+		stalled, "read latencies >= bucket 22 in write_super segments"))
+	return cs
+}
+
+func segLen(s *core.Sampled) int {
+	if s == nil {
+		return 0
+	}
+	return s.Len()
+}
+
+// Report implements Result.
+func (r *Fig9Result) Report(w io.Writer) {
+	fmt.Fprintln(w, "=== Figure 9: Reiserfs sampled profiles (2.5s intervals) ===")
+	if r.WriteSuper != nil {
+		report.Timeline(w, r.WriteSuper)
+		fmt.Fprintln(w)
+	}
+	if r.Read != nil {
+		report.Timeline(w, r.Read)
+	}
+}

@@ -1,0 +1,232 @@
+// Package cifs implements the paper's §6.4 network-file-system setup:
+// an SMB/CIFS server exporting a local file system over the simulated
+// 100 Mbps link, a Windows-style client whose directory listings ask
+// for large batches (so multi-segment replies cross the server's
+// send-window boundary and stall on delayed ACKs), and a Linux
+// smbfs-style client that requests small batches and issues the next
+// request immediately, piggybacking the ACK.
+package cifs
+
+import (
+	"osprof/internal/netsim"
+	"osprof/internal/sim"
+	"osprof/internal/vfs"
+)
+
+// Message types of the miniature SMB dialect.
+const (
+	msgFindFirst = "FIND_FIRST"
+	msgFindNext  = "FIND_NEXT"
+	msgRead      = "READ"
+	msgLookup    = "LOOKUP"
+	msgReply     = "reply"
+)
+
+// entryWireSize is the bytes one directory entry occupies in a
+// FindFirst/FindNext reply (name plus metadata).
+const entryWireSize = 48
+
+// request is the client-to-server RPC payload.
+type request struct {
+	Type   string
+	Ino    uint64 // directory or file inode on the server
+	Name   string // for LOOKUP
+	Cookie int    // entry offset for FIND_NEXT
+	Max    int    // batch size requested
+	Offset uint64 // for READ
+	Bytes  uint64 // for READ
+}
+
+// reply is the server-to-client payload.
+type reply struct {
+	Entries []vfs.DirEntry
+	Ino     uint64
+	Dir     bool
+	Size    uint64
+	Found   bool
+	EOF     bool
+}
+
+// ServerConfig tunes the server.
+type ServerConfig struct {
+	// Window is the number of segments the server sends before
+	// waiting for a full acknowledgment (default 3, producing the
+	// Figure 11 pattern: reply + 2 continuations, then a stall).
+	Window int
+
+	// ProcessCPU is the per-request server CPU cost (default 80,000
+	// cycles ≈ 47 us of SMB parsing and marshaling).
+	ProcessCPU uint64
+}
+
+func (c *ServerConfig) applyDefaults() {
+	if c.Window == 0 {
+		c.Window = 3
+	}
+	if c.ProcessCPU == 0 {
+		c.ProcessCPU = 80_000
+	}
+}
+
+// Server serves a local file system over a connection endpoint.
+type Server struct {
+	k    *sim.Kernel
+	fs   vfs.FileSystem
+	side *netsim.Side
+	cfg  ServerConfig
+
+	// handles maps inode numbers the client has seen to inodes, like
+	// a real server's open-handle table. Handle 0 is the share root.
+	handles map[uint64]*vfs.Inode
+
+	// Requests counts RPCs served, by type.
+	Requests map[string]int
+}
+
+// NewServer creates a CIFS server exporting fs on side.
+func NewServer(k *sim.Kernel, fs vfs.FileSystem, side *netsim.Side, cfg ServerConfig) *Server {
+	cfg.applyDefaults()
+	return &Server{
+		k: k, fs: fs, side: side, cfg: cfg,
+		handles:  map[uint64]*vfs.Inode{0: fs.Root()},
+		Requests: make(map[string]int),
+	}
+}
+
+// Start spawns the server daemon process.
+func (s *Server) Start() {
+	s.k.SpawnDaemon("cifsd", func(p *sim.Proc) {
+		for {
+			msg := s.side.Recv(p)
+			req := msg.Data.(request)
+			s.Requests[req.Type]++
+			p.Exec(s.cfg.ProcessCPU)
+			s.handle(p, req)
+		}
+	})
+}
+
+func (s *Server) handle(p *sim.Proc, req request) {
+	ops := s.fs.Ops()
+	switch req.Type {
+	case msgLookup:
+		dir := s.inode(req.Ino)
+		var rep reply
+		if dir != nil {
+			if ino, ok := ops.Inode.Lookup(p, dir, req.Name); ok {
+				s.handles[ino.ID] = ino
+				rep = reply{Found: true, Ino: ino.ID, Dir: ino.Dir, Size: ino.Size}
+			}
+		}
+		s.send(p, rep, 64)
+
+	case msgFindFirst, msgFindNext:
+		dir := s.inode(req.Ino)
+		if dir == nil {
+			s.send(p, reply{}, 64)
+			return
+		}
+		// Collect the whole listing server-side (through the real FS,
+		// including its disk I/O), then return the requested slice.
+		entries := s.listDir(p, dir)
+		lo := req.Cookie
+		hi := lo + req.Max
+		if lo > len(entries) {
+			lo = len(entries)
+		}
+		if hi > len(entries) {
+			hi = len(entries)
+		}
+		batch := entries[lo:hi]
+		// Register handles for the entries the client now knows,
+		// charging the metadata cost a real server pays per entry.
+		for _, e := range batch {
+			if _, ok := s.handles[e.Ino]; ok {
+				continue
+			}
+			if ino, ok := ops.Inode.Lookup(p, dir, e.Name); ok {
+				s.handles[ino.ID] = ino
+			}
+		}
+		rep := reply{Entries: batch, EOF: hi == len(entries)}
+		s.sendWindowed(p, rep, 64+len(batch)*entryWireSize)
+
+	case msgRead:
+		ino := s.inode(req.Ino)
+		if ino == nil {
+			s.send(p, reply{}, 64)
+			return
+		}
+		f := ops.File.Open(p, ino, false)
+		f.Pos = req.Offset
+		n := ops.File.Read(p, f, req.Bytes)
+		if rel := ops.File.Release; rel != nil {
+			rel(p, f)
+		}
+		s.send(p, reply{Size: n, EOF: n < req.Bytes}, 64+int(n))
+	}
+}
+
+// listDir reads a directory through the exported FS.
+func (s *Server) listDir(p *sim.Proc, dir *vfs.Inode) []vfs.DirEntry {
+	ops := s.fs.Ops()
+	f := ops.File.Open(p, dir, false)
+	var out []vfs.DirEntry
+	for {
+		batch := ops.File.Readdir(p, f)
+		if len(batch) == 0 {
+			break
+		}
+		out = append(out, batch...)
+	}
+	if rel := ops.File.Release; rel != nil {
+		rel(p, f)
+	}
+	return out
+}
+
+// send transmits a small reply (fits the window, no ACK wait).
+func (s *Server) send(p *sim.Proc, rep reply, bytes int) {
+	s.side.Send(p, msgReply, bytes, rep)
+}
+
+// sendWindowed transmits a reply honoring the send window: after each
+// window of segments the server waits until everything so far is
+// acknowledged before sending the transact continuation — the §6.4
+// pathology.
+func (s *Server) sendWindowed(p *sim.Proc, rep reply, bytes int) {
+	mss := 1460
+	windowBytes := s.cfg.Window * mss
+	if bytes <= windowBytes {
+		s.side.Send(p, msgReply, bytes, rep)
+		return
+	}
+	sent := 0
+	part := 0
+	for sent < bytes {
+		chunk := windowBytes
+		lastChunk := sent+chunk >= bytes
+		if lastChunk {
+			chunk = bytes - sent
+		}
+		if part > 0 {
+			// The server "does not continue to send data until it
+			// has received an ACK for everything until that point".
+			s.side.WaitAcked(p)
+		}
+		var payload any
+		label := msgReply
+		if lastChunk {
+			payload = rep // the message completes with the final part
+			label = "transact continuation"
+		} else if part > 0 {
+			label = "transact continuation"
+		}
+		s.side.Send(p, label, chunk, payload)
+		sent += chunk
+		part++
+	}
+}
+
+// inode resolves a handle the client previously obtained.
+func (s *Server) inode(id uint64) *vfs.Inode { return s.handles[id] }

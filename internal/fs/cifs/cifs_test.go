@@ -1,0 +1,225 @@
+package cifs
+
+import (
+	"testing"
+
+	"osprof/internal/core"
+	"osprof/internal/cycles"
+	"osprof/internal/disk"
+	"osprof/internal/fs/ext2"
+	"osprof/internal/fsprof"
+	"osprof/internal/mem"
+	"osprof/internal/netsim"
+	"osprof/internal/sim"
+	"osprof/internal/vfs"
+	"osprof/internal/workload"
+)
+
+// testbed wires a client machine and a server machine (one simulated
+// kernel, two CPUs) with the server exporting an ext2 tree over CIFS.
+type testbed struct {
+	k      *sim.Kernel
+	server *Server
+	client *Client
+	v      *vfs.VFS
+	sn     *netsim.Sniffer
+}
+
+func newTestbed(clientCfg ClientConfig, dirs int) *testbed {
+	k := sim.New(sim.Config{NumCPUs: 2, ContextSwitch: 9_350, WakePreempt: true, Seed: 5})
+	sn := &netsim.Sniffer{}
+	conn := netsim.NewConn(k, netsim.Config{}, "client", "server", sn)
+
+	sd := disk.New(k, disk.Config{})
+	spc := mem.NewCache(k, 8192)
+	sfs := ext2.New(k, sd, spc, "ntfs", ext2.Config{})
+	workload.BuildTree(sfs, workload.TreeSpec{Seed: 11, Dirs: dirs})
+
+	srv := NewServer(k, sfs, conn.Side(1), ServerConfig{})
+	srv.Start()
+
+	cpc := mem.NewCache(k, 8192)
+	cl := NewClient(k, conn.Side(0), cpc, "cifs", clientCfg)
+	v := vfs.New(k)
+	if err := v.Mount("/", cl); err != nil {
+		panic(err)
+	}
+	return &testbed{k: k, server: srv, client: cl, v: v, sn: sn}
+}
+
+func TestListingRoundTrip(t *testing.T) {
+	tb := newTestbed(WindowsClientConfig(), 6)
+	var names int
+	tb.k.Spawn("client", func(p *sim.Proc) {
+		f, err := tb.v.Open(p, "/src", false)
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		for {
+			ents := tb.v.Getdents(p, f)
+			if len(ents) == 0 {
+				break
+			}
+			names += len(ents)
+		}
+	})
+	tb.k.Run()
+	if names == 0 {
+		t.Fatal("listing returned nothing")
+	}
+	if tb.server.Requests[msgFindFirst] == 0 {
+		t.Error("no FindFirst reached the server")
+	}
+}
+
+func TestReadThroughCIFS(t *testing.T) {
+	tb := newTestbed(WindowsClientConfig(), 4)
+	var got uint64
+	tb.k.Spawn("client", func(p *sim.Proc) {
+		// Find a file via listing, then read it fully.
+		cur := "/src"
+		d, _ := tb.v.Open(p, cur, false)
+		var dirs []string
+		var file string
+		for file == "" {
+			ents := tb.v.Getdents(p, d)
+			if len(ents) == 0 {
+				if len(dirs) == 0 {
+					break
+				}
+				tb.v.Close(p, d)
+				cur = dirs[0]
+				dirs = dirs[1:]
+				d, _ = tb.v.Open(p, cur, false)
+				continue
+			}
+			for _, e := range ents {
+				if e.Dir {
+					dirs = append(dirs, cur+"/"+e.Name)
+				} else if file == "" {
+					file = cur + "/" + e.Name
+				}
+			}
+		}
+		if file == "" {
+			t.Error("no file found under /src")
+			return
+		}
+		f, err := tb.v.Open(p, file, false)
+		if err != nil {
+			t.Errorf("open %s: %v", file, err)
+			return
+		}
+		for {
+			n := tb.v.Read(p, f, 4096)
+			if n == 0 {
+				break
+			}
+			got += n
+		}
+	})
+	tb.k.Run()
+	if got == 0 {
+		t.Error("read no data over CIFS")
+	}
+	if tb.server.Requests[msgRead] == 0 {
+		t.Error("no READ reached the server")
+	}
+}
+
+func TestWindowsBigBatchStallsOnDelayedAck(t *testing.T) {
+	// A directory with more entries than fit the server's 3-segment
+	// window forces a transact continuation, which waits for the
+	// delayed ACK: the listing takes >= 200 ms (§6.4, Figure 11).
+	tb := newTestbed(WindowsClientConfig(), 12) // includes big dirs
+	set := core.NewSet("rpc")
+	tb.client.RPCSink = fsprof.SetSink{Set: set}
+	tb.k.Spawn("client", func(p *sim.Proc) {
+		(&workload.Grep{Sys: tb.v, Root: "/src"}).Run(p)
+	})
+	tb.k.Run()
+	ff := set.Lookup("FindFirst")
+	if ff == nil || ff.Count == 0 {
+		t.Fatal("no FindFirst profile")
+	}
+	// The delayed-ACK peak: max FindFirst latency >= 200ms.
+	if ff.Max < cycles.DelayedAck {
+		t.Errorf("max FindFirst = %s, want >= 200ms", cycles.Format(ff.Max))
+	}
+	if b := core.BucketFor(ff.Max, 1); b < 26 || b > 31 {
+		t.Errorf("FindFirst stall bucket = %d, want 26..31 (Figure 10)", b)
+	}
+}
+
+func TestLinuxSmallBatchAvoidsStall(t *testing.T) {
+	tb := newTestbed(LinuxClientConfig(), 12)
+	set := core.NewSet("rpc")
+	tb.client.RPCSink = fsprof.SetSink{Set: set}
+	tb.k.Spawn("client", func(p *sim.Proc) {
+		(&workload.Grep{Sys: tb.v, Root: "/src"}).Run(p)
+	})
+	tb.k.Run()
+	for _, op := range []string{"FindFirst", "FindNext"} {
+		prof := set.Lookup(op)
+		if prof == nil || prof.Count == 0 {
+			continue
+		}
+		if prof.Max >= cycles.DelayedAck {
+			t.Errorf("Linux client %s max = %s: hit a delayed-ACK stall",
+				op, cycles.Format(prof.Max))
+		}
+	}
+}
+
+func TestDisablingDelayedAckRemovesStalls(t *testing.T) {
+	run := func(delayedAck bool) uint64 {
+		tb := newTestbed(WindowsClientConfig(), 12)
+		if !delayedAck {
+			// The §6.4 registry change, applied on the client side
+			// that delays its ACKs.
+			tb.client.side.SetDelayedAck(false)
+		}
+		tb.k.Spawn("client", func(p *sim.Proc) {
+			(&workload.Grep{Sys: tb.v, Root: "/src"}).Run(p)
+		})
+		tb.k.Run()
+		return tb.k.Now()
+	}
+	on, off := run(true), run(false)
+	if off >= on {
+		t.Errorf("disabling delayed ACKs did not help: on=%s off=%s",
+			cycles.Format(on), cycles.Format(off))
+	}
+	improvement := float64(on-off) / float64(on)
+	// The paper measured ~20%; accept a broad band around it.
+	if improvement < 0.05 {
+		t.Errorf("improvement = %.1f%%, want >= 5%%", improvement*100)
+	}
+	t.Logf("elapsed improvement from disabling delayed ACKs: %.1f%%", improvement*100)
+}
+
+func TestLocalVsRemoteOperationBuckets(t *testing.T) {
+	// §6.4: operations in bucket >= 18 involve the server; cached
+	// lookups and reads stay in lower buckets.
+	tb := newTestbed(WindowsClientConfig(), 6)
+	set := core.NewSet("fs")
+	fsprof.InstrumentSet(tb.client, set)
+	tb.k.Spawn("client", func(p *sim.Proc) {
+		(&workload.Grep{Sys: tb.v, Root: "/src"}).Run(p)
+	})
+	tb.k.Run()
+	lk := set.Lookup("lookup")
+	if lk == nil {
+		t.Fatal("no lookup profile")
+	}
+	lo, _, ok := lk.Range()
+	if !ok || lo >= 18 {
+		t.Errorf("no local (cached) lookups: min bucket %d", lo)
+	}
+	rd := set.Lookup("readdir")
+	_, hi, ok := rd.Range()
+	if !ok || hi < 18 {
+		t.Errorf("readdir never reached the server: max bucket %d", hi)
+	}
+}

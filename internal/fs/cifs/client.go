@@ -1,0 +1,271 @@
+package cifs
+
+import (
+	"osprof/internal/fsprof"
+	"osprof/internal/mem"
+	"osprof/internal/netsim"
+	"osprof/internal/sim"
+	"osprof/internal/vfs"
+)
+
+// ClientConfig distinguishes the two client implementations of §6.4.
+type ClientConfig struct {
+	// BatchEntries is the directory-listing batch requested per
+	// FindFirst/FindNext. The Windows redirector asks for large
+	// batches (default 128), whose multi-segment replies cross the
+	// server's send window and stall on delayed ACKs; Linux smbfs
+	// asks for small batches (32) that fit the window.
+	BatchEntries int
+
+	// ReadChunk is the SMB read size in bytes (default 4096, the
+	// negotiated buffer).
+	ReadChunk uint64
+
+	// LocalCost is the client-side CPU per operation that does not
+	// contact the server (default 900 cycles).
+	LocalCost uint64
+}
+
+// WindowsClientConfig returns the Windows redirector behavior.
+func WindowsClientConfig() ClientConfig {
+	return ClientConfig{BatchEntries: 128, ReadChunk: 4096, LocalCost: 900}
+}
+
+// LinuxClientConfig returns the Linux smbfs behavior.
+func LinuxClientConfig() ClientConfig {
+	return ClientConfig{BatchEntries: 32, ReadChunk: 4096, LocalCost: 900}
+}
+
+// Client is a CIFS client file system mountable in the local VFS.
+type Client struct {
+	name string
+	k    *sim.Kernel
+	side *netsim.Side
+	pc   *mem.Cache
+	cfg  ClientConfig
+
+	ops  vfs.Ops
+	root *vfs.Inode
+
+	// RPCSink, when set, receives the latency of each wire operation
+	// under the names FindFirst, FindNext, SMBRead, SMBLookup — the
+	// operations a Windows filter driver sees as IRPs (§4).
+	RPCSink fsprof.Sink
+
+	inodes  map[uint64]*vfs.Inode        // by server inode number
+	dcache  map[uint64]map[string]uint64 // dir ino -> name -> ino
+	dirEOF  map[*vfs.File]bool           // listing finished
+	rpcCost uint64
+}
+
+var _ vfs.FileSystem = (*Client)(nil)
+
+// NewClient creates a CIFS client over side, caching pages in pc.
+func NewClient(k *sim.Kernel, side *netsim.Side, pc *mem.Cache, name string, cfg ClientConfig) *Client {
+	if cfg.BatchEntries == 0 {
+		cfg = WindowsClientConfig()
+	}
+	c := &Client{
+		name:    name,
+		k:       k,
+		side:    side,
+		pc:      pc,
+		cfg:     cfg,
+		inodes:  make(map[uint64]*vfs.Inode),
+		dcache:  make(map[uint64]map[string]uint64),
+		dirEOF:  make(map[*vfs.File]bool),
+		rpcCost: 2_500,
+	}
+	c.root = c.makeInode(0, true, 0)
+	c.installOps()
+	return c
+}
+
+// Name implements vfs.FileSystem.
+func (c *Client) Name() string { return c.name }
+
+// Root implements vfs.FileSystem.
+func (c *Client) Root() *vfs.Inode { return c.root }
+
+// Ops implements vfs.FileSystem.
+func (c *Client) Ops() *vfs.Ops { return &c.ops }
+
+func (c *Client) makeInode(serverIno uint64, dir bool, size uint64) *vfs.Inode {
+	if ino, ok := c.inodes[serverIno]; ok {
+		return ino
+	}
+	ino := &vfs.Inode{
+		ID:   serverIno,
+		Dir:  dir,
+		Size: size,
+		Sem:  sim.NewSemaphore(c.k, "cifs_i_sem"),
+		FS:   c,
+	}
+	c.inodes[serverIno] = ino
+	return ino
+}
+
+// rpc performs one synchronous wire operation, recording its latency.
+// A windowed server reply arrives as several link-level messages; only
+// the final one carries the payload.
+func (c *Client) rpc(p *sim.Proc, op string, req request) reply {
+	start := p.ReadTSC()
+	p.Exec(c.rpcCost)
+	c.side.Send(p, req.Type, 64+len(req.Name), req)
+	var rep reply
+	for {
+		m := c.side.Recv(p)
+		if m.Data != nil {
+			rep = m.Data.(reply)
+			break
+		}
+	}
+	if c.RPCSink != nil {
+		c.RPCSink.Record(op, p.Now(), p.ReadTSC()-start)
+	}
+	return rep
+}
+
+func (c *Client) installOps() {
+	c.ops = vfs.Ops{
+		File: vfs.FileOps{
+			Open:    vfs.GenericOpen(150),
+			Release: c.release,
+			Llseek:  vfs.GenericFileLlseek(false),
+			Read:    c.read,
+			Readdir: c.readdir,
+			Write: func(p *sim.Proc, f *vfs.File, n uint64) uint64 {
+				p.Exec(c.cfg.LocalCost)
+				return 0 // the §6.4 workloads are read-only
+			},
+			Fsync: func(p *sim.Proc, f *vfs.File) { p.Exec(c.cfg.LocalCost) },
+		},
+		Inode: vfs.InodeOps{
+			Lookup: c.lookup,
+		},
+		Address: vfs.AddressOps{
+			// Network pages are filled by SMBRead inside read; these
+			// initiate nothing but exist so generic code can run.
+			ReadPage:  func(p *sim.Proc, ino *vfs.Inode, idx uint64) { p.Exec(c.cfg.LocalCost) },
+			ReadPages: func(p *sim.Proc, ino *vfs.Inode, idx, n uint64) { p.Exec(c.cfg.LocalCost) },
+			WritePage: func(p *sim.Proc, ino *vfs.Inode, idx uint64, sync bool) {},
+		},
+		Super: vfs.SuperOps{
+			WriteSuper: func(p *sim.Proc) { p.Exec(c.cfg.LocalCost) },
+			SyncFS:     func(p *sim.Proc) { p.Exec(c.cfg.LocalCost) },
+		},
+	}
+}
+
+func (c *Client) release(p *sim.Proc, f *vfs.File) {
+	p.Exec(100)
+	delete(c.dirEOF, f)
+}
+
+// lookup resolves via the client dcache, falling back to a LOOKUP RPC.
+// Entries learned from directory listings resolve locally — the
+// "buckets to the left of [18] were local to the client" behavior.
+func (c *Client) lookup(p *sim.Proc, dir *vfs.Inode, name string) (*vfs.Inode, bool) {
+	p.Exec(c.cfg.LocalCost)
+	if names := c.dcache[dir.ID]; names != nil {
+		if ino, ok := names[name]; ok {
+			return c.inodes[ino], true
+		}
+	}
+	rep := c.rpc(p, "SMBLookup", request{Type: msgLookup, Ino: dir.ID, Name: name})
+	if !rep.Found {
+		return nil, false
+	}
+	ino := c.makeInode(rep.Ino, rep.Dir, rep.Size)
+	c.cacheEntry(dir.ID, name, rep.Ino)
+	return ino, true
+}
+
+func (c *Client) cacheEntry(dirIno uint64, name string, ino uint64) {
+	names := c.dcache[dirIno]
+	if names == nil {
+		names = make(map[string]uint64)
+		c.dcache[dirIno] = names
+	}
+	names[name] = ino
+}
+
+// readdir fetches the next listing batch: FindFirst on the first call,
+// FindNext with the cookie afterwards (§6.4).
+func (c *Client) readdir(p *sim.Proc, f *vfs.File) []vfs.DirEntry {
+	if c.dirEOF[f] {
+		p.Exec(60) // past-EOF: local, immediate
+		return nil
+	}
+	op, typ := "FindFirst", msgFindFirst
+	if f.Pos > 0 {
+		op, typ = "FindNext", msgFindNext
+	}
+	rep := c.rpc(p, op, request{
+		Type:   typ,
+		Ino:    f.Inode.ID,
+		Cookie: int(f.Pos / vfs.DirentSize),
+		Max:    c.cfg.BatchEntries,
+	})
+	for _, e := range rep.Entries {
+		// FindFirst "returns all matching file names along with their
+		// associated metadata": populate the local caches.
+		c.makeInode(e.Ino, e.Dir, 0)
+		c.cacheEntry(f.Inode.ID, e.Name, e.Ino)
+	}
+	f.Pos += uint64(len(rep.Entries)) * vfs.DirentSize
+	if rep.EOF {
+		c.dirEOF[f] = true
+	}
+	return rep.Entries
+}
+
+// read serves from the client page cache, fetching missing pages with
+// SMBRead RPCs of ReadChunk bytes.
+func (c *Client) read(p *sim.Proc, f *vfs.File, n uint64) uint64 {
+	p.Exec(c.cfg.LocalCost)
+	if n == 0 {
+		return 0
+	}
+	ino := f.Inode
+	var done uint64
+	for done < n {
+		idx := (f.Pos + done) / vfs.PageSize
+		key := mem.Key{Ino: ino.ID, Index: idx}
+		pg := c.pc.Lookup(key)
+		if pg == nil || !pg.Uptodate {
+			rep := c.rpc(p, "SMBRead", request{
+				Type:   msgRead,
+				Ino:    ino.ID,
+				Offset: idx * vfs.PageSize,
+				Bytes:  c.cfg.ReadChunk,
+			})
+			if rep.Size == 0 {
+				break // EOF on the server
+			}
+			pages := (rep.Size + vfs.PageSize - 1) / vfs.PageSize
+			for i := uint64(0); i < pages; i++ {
+				got, _ := c.pc.GetOrCreate(mem.Key{Ino: ino.ID, Index: idx + i})
+				c.pc.MarkUptodate(got)
+			}
+			if eofAt := idx*vfs.PageSize + rep.Size; rep.EOF && ino.Size < eofAt {
+				ino.Size = eofAt
+			}
+			pg = c.pc.Peek(key)
+		}
+		p.Exec(1_000) // copy to the application
+		step := vfs.PageSize - (f.Pos+done)%vfs.PageSize
+		if done+step > n {
+			step = n - done
+		}
+		done += step
+		if ino.Size > 0 && f.Pos+done >= ino.Size {
+			if f.Pos+done > ino.Size {
+				done = ino.Size - f.Pos
+			}
+			break
+		}
+	}
+	f.Pos += done
+	return done
+}

@@ -1,0 +1,251 @@
+// Package ext2 implements an Ext2-like file system on the simulated
+// disk: extent-based block allocation, directory blocks holding 64
+// entries each, a readdir path that calls readpage for pages not found
+// in the cache (the paper's Figure 4/§6.2 structure), buffered reads
+// through the page cache with batched readahead, direct I/O reads that
+// hold the inode semaphore (the §6.1 llseek-contention substrate), and
+// write paths that dirty page-cache pages for the flushing daemon.
+package ext2
+
+import (
+	"fmt"
+
+	"osprof/internal/disk"
+	"osprof/internal/mem"
+	"osprof/internal/sim"
+	"osprof/internal/vfs"
+)
+
+// entriesPerBlock is how many directory entries fit one 4 KB block.
+const entriesPerBlock = vfs.PageSize / vfs.DirentSize
+
+// direntsPerCall is how many entries one readdir call returns (the
+// user-space getdents buffer size).
+const direntsPerCall = 16
+
+// Config tunes the file system's CPU costs and on-disk layout.
+type Config struct {
+	// BuggyLlseek selects the unpatched Linux 2.6.11
+	// generic_file_llseek that takes i_sem even for regular files.
+	BuggyLlseek bool
+
+	// FileSpread leaves a gap (in blocks) between consecutively
+	// allocated file extents, spreading data across cylinders so that
+	// file-to-file access patterns seek (like a real aged FS).
+	FileSpread uint64
+
+	// DirtyPageLimit, when positive, throttles writers once the page
+	// cache holds more dirty pages than the limit: the writing process
+	// performs synchronous writeback of the oldest dirty pages, like
+	// Linux's balance_dirty_pages. 0 disables throttling.
+	DirtyPageLimit int
+
+	// CPU costs in cycles (defaults in parentheses).
+	LookupCost    uint64 // dcache/dirent lookup (2500)
+	PastEOFCost   uint64 // readdir past end of directory (50)
+	ParseDirCost  uint64 // parse one cached directory block (2600)
+	ReadPageInit  uint64 // initiate one page read (1500)
+	ReadBatchInit uint64 // initiate a batched readahead (2500)
+	DirectSetup   uint64 // direct-I/O read setup (1500)
+	WriteSetup    uint64 // write syscall body (2500)
+	WritePageCost uint64 // copy one page into the cache (4500)
+	CreateCost    uint64 // allocate inode + dirent (9000)
+	UnlinkCost    uint64 // remove dirent + free blocks (7000)
+	OpenCost      uint64 // file object allocation (1200)
+	ReleaseCost   uint64 // file object teardown (600)
+}
+
+func (c *Config) applyDefaults() {
+	def := func(v *uint64, d uint64) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	def(&c.LookupCost, 2_500)
+	def(&c.PastEOFCost, 50)
+	def(&c.ParseDirCost, 2_600)
+	def(&c.ReadPageInit, 1_500)
+	def(&c.ReadBatchInit, 2_500)
+	def(&c.DirectSetup, 1_500)
+	def(&c.WriteSetup, 2_500)
+	def(&c.WritePageCost, 4_500)
+	def(&c.CreateCost, 9_000)
+	def(&c.UnlinkCost, 7_000)
+	def(&c.OpenCost, 1_200)
+	def(&c.ReleaseCost, 600)
+}
+
+// inodeInfo is the FS-private inode state.
+type inodeInfo struct {
+	ino     *vfs.Inode
+	start   uint64 // first block of the extent
+	blocks  uint64 // extent capacity in blocks
+	entries []vfs.DirEntry
+}
+
+// FS is the simulated Ext2 file system.
+type FS struct {
+	name string
+	k    *sim.Kernel
+	d    *disk.Disk
+	pc   *mem.Cache
+	cfg  Config
+
+	ops     vfs.Ops
+	root    *vfs.Inode
+	inodes  map[uint64]*inodeInfo
+	nextIno uint64
+
+	// Allocation cursors: metadata (directories, inode blocks) lives
+	// in the low block region; file data grows upward from dataStart.
+	nextMeta  uint64
+	nextData  uint64
+	dataStart uint64
+}
+
+var _ vfs.FileSystem = (*FS)(nil)
+
+// New formats a file system over d, caching pages in pc.
+func New(k *sim.Kernel, d *disk.Disk, pc *mem.Cache, name string, cfg Config) *FS {
+	cfg.applyDefaults()
+	fs := &FS{
+		name:   name,
+		k:      k,
+		d:      d,
+		pc:     pc,
+		cfg:    cfg,
+		inodes: make(map[uint64]*inodeInfo),
+	}
+	fs.dataStart = d.Config().Blocks / 16 // metadata zone: first 1/16
+	fs.nextMeta = 1                       // block 0 is the superblock
+	fs.nextData = fs.dataStart
+	fs.root = fs.newInode(true)
+	fs.installOps()
+	return fs
+}
+
+// Name implements vfs.FileSystem.
+func (fs *FS) Name() string { return fs.name }
+
+// Root implements vfs.FileSystem.
+func (fs *FS) Root() *vfs.Inode { return fs.root }
+
+// Ops implements vfs.FileSystem. The returned pointer is stable, so
+// instrumentation can replace operation fields in place.
+func (fs *FS) Ops() *vfs.Ops { return &fs.ops }
+
+// Disk exposes the underlying drive (driver-level profiling).
+func (fs *FS) Disk() *disk.Disk { return fs.d }
+
+// PageCache exposes the page cache.
+func (fs *FS) PageCache() *mem.Cache { return fs.pc }
+
+// InodeByID resolves an inode number, or nil (writeback paths that
+// outlive an unlink).
+func (fs *FS) InodeByID(id uint64) *vfs.Inode {
+	if info := fs.inodes[id]; info != nil {
+		return info.ino
+	}
+	return nil
+}
+
+func (fs *FS) newInode(dir bool) *vfs.Inode {
+	fs.nextIno++
+	ino := &vfs.Inode{
+		ID:  fs.nextIno,
+		Dir: dir,
+		Sem: sim.NewSemaphore(fs.k, fmt.Sprintf("i_sem:%d", fs.nextIno)),
+		FS:  fs,
+	}
+	info := &inodeInfo{ino: ino}
+	ino.Data = info
+	fs.inodes[ino.ID] = info
+	return ino
+}
+
+func (fs *FS) info(ino *vfs.Inode) *inodeInfo { return ino.Data.(*inodeInfo) }
+
+// allocMeta allocates n contiguous blocks in the metadata zone.
+func (fs *FS) allocMeta(n uint64) uint64 {
+	b := fs.nextMeta
+	fs.nextMeta += n
+	if fs.nextMeta >= fs.dataStart {
+		panic("ext2: metadata zone full")
+	}
+	return b
+}
+
+// allocData allocates n contiguous blocks in the data zone, leaving
+// FileSpread blocks between consecutive extents.
+func (fs *FS) allocData(n uint64) uint64 {
+	b := fs.nextData
+	fs.nextData += n + fs.cfg.FileSpread
+	if fs.nextData >= fs.d.Config().Blocks {
+		panic("ext2: disk full")
+	}
+	return b
+}
+
+// --- Offline tree builders -------------------------------------------
+//
+// Workload setup constructs the directory tree directly (mkfs-style),
+// without simulated cost, so experiments start from a cold cache over a
+// realistic layout.
+
+// MustAddDir creates a subdirectory of parent without simulated cost.
+func (fs *FS) MustAddDir(parent *vfs.Inode, name string) *vfs.Inode {
+	ino, err := fs.addEntry(parent, name, true, 0)
+	if err != nil {
+		panic(err)
+	}
+	return ino
+}
+
+// MustAddFile creates a file of the given size under parent without
+// simulated cost.
+func (fs *FS) MustAddFile(parent *vfs.Inode, name string, size uint64) *vfs.Inode {
+	ino, err := fs.addEntry(parent, name, false, size)
+	if err != nil {
+		panic(err)
+	}
+	return ino
+}
+
+func (fs *FS) addEntry(parent *vfs.Inode, name string, dir bool, size uint64) (*vfs.Inode, error) {
+	if !parent.Dir {
+		return nil, vfs.ErrNotDir
+	}
+	pinfo := fs.info(parent)
+	for _, e := range pinfo.entries {
+		if e.Name == name {
+			return nil, fmt.Errorf("%w: %s", vfs.ErrExists, name)
+		}
+	}
+	ino := fs.newInode(dir)
+	info := fs.info(ino)
+	if dir {
+		info.start = fs.allocMeta(1)
+		info.blocks = 1
+	} else if size > 0 {
+		blocks := (size + vfs.PageSize - 1) / vfs.PageSize
+		info.start = fs.allocData(blocks)
+		info.blocks = blocks
+		ino.Size = size
+	}
+	pinfo.entries = append(pinfo.entries, vfs.DirEntry{Name: name, Ino: ino.ID, Dir: dir})
+	parent.Size = uint64(len(pinfo.entries)) * vfs.DirentSize
+	// Grow the directory extent when its entry list spills into new
+	// blocks (keeps directory blocks contiguous in the meta zone).
+	needed := (parent.Size + vfs.PageSize - 1) / vfs.PageSize
+	if pi := fs.info(parent); needed > pi.blocks {
+		if pi.blocks == 0 {
+			pi.start = fs.allocMeta(needed)
+		} else if pi.start+pi.blocks == fs.nextMeta {
+			fs.allocMeta(needed - pi.blocks)
+		} else {
+			pi.start = fs.allocMeta(needed)
+		}
+		pi.blocks = needed
+	}
+	return ino, nil
+}

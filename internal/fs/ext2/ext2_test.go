@@ -1,0 +1,357 @@
+package ext2
+
+import (
+	"errors"
+	"testing"
+
+	"osprof/internal/cycles"
+	"osprof/internal/disk"
+	"osprof/internal/mem"
+	"osprof/internal/sim"
+	"osprof/internal/vfs"
+)
+
+// rig builds a kernel + disk + page cache + ext2 + VFS.
+func rig(cfg Config) (*sim.Kernel, *FS, *vfs.VFS) {
+	k := sim.New(sim.Config{NumCPUs: 1, ContextSwitch: 100})
+	d := disk.New(k, disk.Config{})
+	pc := mem.NewCache(k, 4096)
+	fs := New(k, d, pc, "ext2", cfg)
+	v := vfs.New(k)
+	if err := v.Mount("/", fs); err != nil {
+		panic(err)
+	}
+	return k, fs, v
+}
+
+func TestLookupAndOpen(t *testing.T) {
+	k, fs, v := rig(Config{})
+	dir := fs.MustAddDir(fs.Root(), "etc")
+	fs.MustAddFile(dir, "passwd", 100)
+	k.Spawn("w", func(p *sim.Proc) {
+		f, err := v.Open(p, "/etc/passwd", false)
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		if f.Inode.Size != 100 {
+			t.Errorf("size = %d", f.Inode.Size)
+		}
+		v.Close(p, f)
+		if _, err := v.Open(p, "/etc/shadow", false); !errors.Is(err, vfs.ErrNotFound) {
+			t.Errorf("missing file: %v", err)
+		}
+	})
+	k.Run()
+}
+
+func TestBufferedReadColdThenWarm(t *testing.T) {
+	k, fs, v := rig(Config{})
+	fs.MustAddFile(fs.Root(), "data", 3*vfs.PageSize)
+	var cold, warm uint64
+	k.Spawn("w", func(p *sim.Proc) {
+		f, _ := v.Open(p, "/data", false)
+		start := p.Now()
+		if n := v.Read(p, f, vfs.PageSize); n != vfs.PageSize {
+			t.Errorf("short read: %d", n)
+		}
+		cold = p.Now() - start
+
+		f2, _ := v.Open(p, "/data", false)
+		start = p.Now()
+		v.Read(p, f2, vfs.PageSize)
+		warm = p.Now() - start
+	})
+	k.Run()
+	if cold < 100*cycles.PerMicrosecond {
+		t.Errorf("cold read %s did not include disk time", cycles.Format(cold))
+	}
+	if warm > 20*cycles.PerMicrosecond {
+		t.Errorf("warm read %s should be cache-only", cycles.Format(warm))
+	}
+	if fs.PageCache().Stats().Hits == 0 {
+		t.Error("no page-cache hits recorded")
+	}
+}
+
+func TestReadaheadBatchesPages(t *testing.T) {
+	k, fs, v := rig(Config{})
+	fs.MustAddFile(fs.Root(), "big", 8*vfs.PageSize)
+	k.Spawn("w", func(p *sim.Proc) {
+		f, _ := v.Open(p, "/big", false)
+		// One read of page 0 triggers a readahead batch covering the
+		// whole 8-page file; the rest must be warm.
+		v.Read(p, f, vfs.PageSize)
+		start := p.Now()
+		for i := 0; i < 7; i++ {
+			v.Read(p, f, vfs.PageSize)
+		}
+		if el := p.Now() - start; el > 100*cycles.PerMicrosecond {
+			t.Errorf("post-readahead reads took %s", cycles.Format(el))
+		}
+	})
+	k.Run()
+	if got := fs.Disk().Stats().Reads; got != 1 {
+		t.Errorf("disk reads = %d, want 1 (single batched request)", got)
+	}
+}
+
+func TestZeroByteReadIsTiny(t *testing.T) {
+	k, fs, v := rig(Config{})
+	fs.MustAddFile(fs.Root(), "f", vfs.PageSize)
+	k.Spawn("w", func(p *sim.Proc) {
+		f, _ := v.Open(p, "/f", false)
+		start := p.Now()
+		if n := v.Read(p, f, 0); n != 0 {
+			t.Errorf("read(0) = %d", n)
+		}
+		el := p.Now() - start
+		// Figure 3's peak: ~bucket 6-7 (syscall entry + setup).
+		if el > 256 {
+			t.Errorf("zero-byte read cost %d cycles, want ~128", el)
+		}
+	})
+	k.Run()
+}
+
+func TestReaddirFourPaths(t *testing.T) {
+	k, fs, v := rig(Config{})
+	dir := fs.MustAddDir(fs.Root(), "src")
+	for i := 0; i < 3*entriesPerBlock; i++ { // 3 directory blocks
+		fs.MustAddFile(dir, fmtName(i), 100)
+	}
+	var latCold, latWarm, latEOF uint64
+	var total int
+	k.Spawn("w", func(p *sim.Proc) {
+		f, _ := v.Open(p, "/src", false)
+		start := p.Now()
+		ents := v.Getdents(p, f)
+		latCold = p.Now() - start
+		total += len(ents)
+		for {
+			start = p.Now()
+			ents = v.Getdents(p, f)
+			if len(ents) == 0 {
+				latEOF = p.Now() - start
+				break
+			}
+			total += len(ents)
+		}
+		// Re-read the directory: all blocks now cached.
+		f2, _ := v.Open(p, "/src", false)
+		start = p.Now()
+		v.Getdents(p, f2)
+		latWarm = p.Now() - start
+	})
+	k.Run()
+	if total != 3*entriesPerBlock {
+		t.Fatalf("entries = %d, want %d", total, 3*entriesPerBlock)
+	}
+	// The three latency regimes of Figure 7 must be ordered and
+	// separated: EOF << warm << cold.
+	if latEOF >= latWarm || latWarm >= latCold {
+		t.Errorf("latencies EOF=%d warm=%d cold=%d not ordered", latEOF, latWarm, latCold)
+	}
+	if latEOF > 300 {
+		t.Errorf("past-EOF readdir = %d cycles, want ~114", latEOF)
+	}
+	if latCold < 50*cycles.PerMicrosecond {
+		t.Errorf("cold readdir = %s, want disk-scale", cycles.Format(latCold))
+	}
+}
+
+func fmtName(i int) string {
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	name := make([]byte, 0, 8)
+	for {
+		name = append(name, letters[i%26])
+		i /= 26
+		if i == 0 {
+			break
+		}
+	}
+	return "f_" + string(name)
+}
+
+func TestDirectReadHoldsInodeSem(t *testing.T) {
+	k, fs, v := rig(Config{BuggyLlseek: true})
+	fs.MustAddFile(fs.Root(), "shared", 1024*vfs.PageSize)
+	var llseekMax uint64
+	k.Spawn("reader", func(p *sim.Proc) {
+		f, _ := v.Open(p, "/shared", true)
+		for i := 0; i < 20; i++ {
+			v.Llseek(p, f, int64(i)*4096, vfs.SeekSet)
+			v.Read(p, f, 512)
+		}
+	})
+	k.Spawn("seeker", func(p *sim.Proc) {
+		f, _ := v.Open(p, "/shared", true)
+		for i := 0; i < 200; i++ {
+			start := p.Now()
+			v.Llseek(p, f, 0, vfs.SeekSet)
+			if el := p.Now() - start; el > llseekMax {
+				llseekMax = el
+			}
+		}
+	})
+	k.Run()
+	// With the buggy llseek, some seek must have blocked behind the
+	// reader's direct I/O (millisecond scale).
+	if llseekMax < 100*cycles.PerMicrosecond {
+		t.Errorf("llseek never contended: max = %s", cycles.Format(llseekMax))
+	}
+}
+
+func TestPatchedLlseekCheap(t *testing.T) {
+	k, fs, v := rig(Config{BuggyLlseek: false})
+	fs.MustAddFile(fs.Root(), "f", 16*vfs.PageSize)
+	k.Spawn("w", func(p *sim.Proc) {
+		f, _ := v.Open(p, "/f", false)
+		start := p.Now()
+		v.Llseek(p, f, 4096, vfs.SeekSet)
+		el := p.Now() - start
+		// Patched: ~120 cycles + syscall entry (§6.1).
+		if el > 300 {
+			t.Errorf("patched llseek = %d cycles", el)
+		}
+		if f.Pos != 4096 {
+			t.Errorf("pos = %d", f.Pos)
+		}
+	})
+	k.Run()
+}
+
+func TestWriteDirtiesPagesNoIO(t *testing.T) {
+	k, fs, v := rig(Config{})
+	k.Spawn("w", func(p *sim.Proc) {
+		f, err := v.Create(p, "/newfile")
+		if err != nil {
+			t.Errorf("create: %v", err)
+			return
+		}
+		start := p.Now()
+		if n := v.Write(p, f, 2*vfs.PageSize); n != 2*vfs.PageSize {
+			t.Errorf("write = %d", n)
+		}
+		if el := p.Now() - start; el > 50*cycles.PerMicrosecond {
+			t.Errorf("buffered write took %s (should not touch disk)", cycles.Format(el))
+		}
+	})
+	k.Run()
+	if fs.Disk().Stats().Writes != 0 {
+		t.Error("buffered write hit the disk synchronously")
+	}
+	if fs.PageCache().DirtyCount() < 2 {
+		t.Errorf("dirty pages = %d, want >= 2", fs.PageCache().DirtyCount())
+	}
+}
+
+func TestFsyncWritesDirtyPages(t *testing.T) {
+	k, fs, v := rig(Config{})
+	k.Spawn("w", func(p *sim.Proc) {
+		f, _ := v.Create(p, "/j")
+		v.Write(p, f, 3*vfs.PageSize)
+		v.Fsync(p, f)
+	})
+	k.Run()
+	if got := fs.Disk().Stats().Writes; got != 3 {
+		t.Errorf("disk writes = %d, want 3", got)
+	}
+	if fs.PageCache().DirtyOfInode(2) != nil {
+		t.Error("pages still dirty after fsync")
+	}
+}
+
+func TestCreateUnlinkCycle(t *testing.T) {
+	k, _, v := rig(Config{})
+	k.Spawn("w", func(p *sim.Proc) {
+		if _, err := v.Create(p, "/tmpfile"); err != nil {
+			t.Errorf("create: %v", err)
+		}
+		if _, err := v.Create(p, "/tmpfile"); !errors.Is(err, vfs.ErrExists) {
+			t.Errorf("duplicate create: %v", err)
+		}
+		if err := v.Unlink(p, "/tmpfile"); err != nil {
+			t.Errorf("unlink: %v", err)
+		}
+		if err := v.Unlink(p, "/tmpfile"); !errors.Is(err, vfs.ErrNotFound) {
+			t.Errorf("double unlink: %v", err)
+		}
+	})
+	k.Run()
+}
+
+func TestMkdirAndNestedResolution(t *testing.T) {
+	k, _, v := rig(Config{})
+	k.Spawn("w", func(p *sim.Proc) {
+		if err := v.Mkdir(p, "/a"); err != nil {
+			t.Errorf("mkdir /a: %v", err)
+		}
+		if err := v.Mkdir(p, "/a/b"); err != nil {
+			t.Errorf("mkdir /a/b: %v", err)
+		}
+		if _, err := v.Create(p, "/a/b/c"); err != nil {
+			t.Errorf("create /a/b/c: %v", err)
+		}
+		ino, err := v.Stat(p, "/a/b/c")
+		if err != nil || ino.Dir {
+			t.Errorf("stat: %v %+v", err, ino)
+		}
+	})
+	k.Run()
+}
+
+func TestUnlinkNonEmptyDirFails(t *testing.T) {
+	k, fs, v := rig(Config{})
+	dir := fs.MustAddDir(fs.Root(), "d")
+	fs.MustAddFile(dir, "x", 10)
+	k.Spawn("w", func(p *sim.Proc) {
+		if err := v.Unlink(p, "/d"); !errors.Is(err, vfs.ErrNotEmpty) {
+			t.Errorf("unlink non-empty dir: %v", err)
+		}
+	})
+	k.Run()
+}
+
+func TestSyncFSDrains(t *testing.T) {
+	k, fs, v := rig(Config{})
+	k.Spawn("w", func(p *sim.Proc) {
+		f, _ := v.Create(p, "/x")
+		v.Write(p, f, 4*vfs.PageSize)
+		fs.Ops().Super.SyncFS(p)
+	})
+	k.Run()
+	if fs.PageCache().DirtyCount() != 0 {
+		t.Errorf("dirty pages after sync = %d", fs.PageCache().DirtyCount())
+	}
+	if fs.Disk().Stats().Writes == 0 {
+		t.Error("sync wrote nothing")
+	}
+}
+
+func TestFileGrowthRelocatesExtent(t *testing.T) {
+	k, _, v := rig(Config{})
+	k.Spawn("w", func(p *sim.Proc) {
+		f, _ := v.Create(p, "/grow")
+		for i := 0; i < 30; i++ {
+			v.Write(p, f, vfs.PageSize)
+		}
+		if f.Inode.Size != 30*vfs.PageSize {
+			t.Errorf("size = %d", f.Inode.Size)
+		}
+		// Read everything back through the cache.
+		f2, _ := v.Open(p, "/grow", false)
+		var got uint64
+		for {
+			n := v.Read(p, f2, vfs.PageSize)
+			if n == 0 {
+				break
+			}
+			got += n
+		}
+		if got != 30*vfs.PageSize {
+			t.Errorf("read back %d bytes", got)
+		}
+	})
+	k.Run()
+}

@@ -1,0 +1,351 @@
+package ext2
+
+import (
+	"fmt"
+
+	"osprof/internal/disk"
+	"osprof/internal/mem"
+	"osprof/internal/sim"
+	"osprof/internal/vfs"
+)
+
+// installOps fills the operation vectors (the analog of the paper's
+// Figure 4 ext2_dir_operations). All internal cross-operation calls go
+// through fs.Ops() at call time so FoSgen-style instrumentation
+// observes them.
+func (fs *FS) installOps() {
+	bufRead := vfs.GenericFileRead(vfs.ReadParams{Cache: fs.pc, CopyPageCost: 3_500})
+	fs.ops = vfs.Ops{
+		File: vfs.FileOps{
+			Open:    vfs.GenericOpen(fs.cfg.OpenCost),
+			Release: vfs.GenericRelease(fs.cfg.ReleaseCost),
+			Llseek:  vfs.GenericFileLlseek(fs.cfg.BuggyLlseek),
+			Read: func(p *sim.Proc, f *vfs.File, n uint64) uint64 {
+				if f.DirectIO {
+					return fs.directRead(p, f, n)
+				}
+				return bufRead(p, f, n)
+			},
+			Write:   fs.write,
+			Readdir: fs.readdir,
+			Fsync:   fs.fsync,
+		},
+		Inode: vfs.InodeOps{
+			Lookup: fs.lookup,
+			Create: fs.create,
+			Unlink: fs.unlink,
+			Mkdir:  fs.mkdir,
+		},
+		Address: vfs.AddressOps{
+			ReadPage:  fs.readPage,
+			ReadPages: fs.readPages,
+			WritePage: fs.writePage,
+		},
+		Super: vfs.SuperOps{
+			WriteSuper: fs.writeSuper,
+			SyncFS:     fs.syncFS,
+		},
+	}
+}
+
+// readdir returns the directory entries of the block at the current
+// position and advances past it; it returns nil past the end of the
+// directory. This is the paper's four-peak operation (§6.2): past-EOF
+// returns immediately, cached blocks cost only parsing, and uncached
+// blocks initiate readpage and wait for the disk.
+func (fs *FS) readdir(p *sim.Proc, f *vfs.File) []vfs.DirEntry {
+	ino := f.Inode
+	if !ino.Dir {
+		return nil
+	}
+	if f.Pos >= ino.Size {
+		// First peak: "reads past the end of directory" (Figure 8).
+		p.Exec(fs.cfg.PastEOFCost)
+		return nil
+	}
+	blockIdx := f.Pos / vfs.PageSize
+	key := mem.Key{Ino: ino.ID, Index: blockIdx}
+	pg := fs.pc.Lookup(key)
+	if pg == nil || !pg.Uptodate {
+		// "The readdir operation calls the readpage operation for
+		// pages not found in the cache" (§6.2) — through the op
+		// vector, so profiling sees the nested call.
+		ino.FS.Ops().Address.ReadPage(p, ino, blockIdx)
+		pg = fs.pc.Peek(key)
+		if pg != nil {
+			pg.WaitUptodate(p)
+		}
+	}
+	p.Exec(fs.cfg.ParseDirCost)
+
+	// Return at most one user buffer's worth of entries (like
+	// getdents with glibc's buffer): a 64-entry block takes several
+	// calls, and all but the first are satisfied from the page cache —
+	// the paper's large second peak (§6.2).
+	info := fs.info(ino)
+	lo := int(f.Pos / vfs.DirentSize)
+	hi := lo + direntsPerCall
+	if blockEnd := (int(blockIdx) + 1) * entriesPerBlock; hi > blockEnd {
+		hi = blockEnd
+	}
+	if hi > len(info.entries) {
+		hi = len(info.entries)
+	}
+	if lo >= hi {
+		f.Pos = ino.Size
+		return nil
+	}
+	f.Pos = uint64(hi) * vfs.DirentSize
+	out := make([]vfs.DirEntry, hi-lo)
+	copy(out, info.entries[lo:hi])
+	return out
+}
+
+// directRead bypasses the page cache, holding i_sem across the disk
+// read exactly like the Linux 2.6.11 O_DIRECT path — the lock the
+// paper's llseek profile exposed (§6.1).
+func (fs *FS) directRead(p *sim.Proc, f *vfs.File, n uint64) uint64 {
+	p.Exec(fs.cfg.DirectSetup)
+	if n == 0 || f.Pos >= f.Inode.Size {
+		return 0
+	}
+	if f.Pos+n > f.Inode.Size {
+		n = f.Inode.Size - f.Pos
+	}
+	ino := f.Inode
+	info := fs.info(ino)
+	ino.Sem.Down(p)
+	first := f.Pos / vfs.PageSize
+	last := (f.Pos + n - 1) / vfs.PageSize
+	fs.d.Read(p, info.start+first, last-first+1)
+	ino.Sem.Up(p)
+	f.Pos += n
+	return n
+}
+
+// write copies data into the page cache and dirties the pages; blocks
+// are allocated when the file grows (writes return before any disk I/O,
+// §4 "Driver-level prolers").
+func (fs *FS) write(p *sim.Proc, f *vfs.File, n uint64) uint64 {
+	p.Exec(fs.cfg.WriteSetup)
+	if n == 0 {
+		return 0
+	}
+	ino := f.Inode
+	info := fs.info(ino)
+	end := f.Pos + n
+	if end > ino.Size {
+		ino.Size = end
+	}
+	if needed := ino.Pages(); needed > info.blocks {
+		// Grow the extent; relocation keeps it contiguous.
+		grow := needed * 2
+		if grow < 8 {
+			grow = 8
+		}
+		info.start = fs.allocData(grow)
+		info.blocks = grow
+	}
+	first := f.Pos / vfs.PageSize
+	last := (end - 1) / vfs.PageSize
+	now := p.Now()
+	for idx := first; idx <= last; idx++ {
+		pg, _ := fs.pc.GetOrCreate(mem.Key{Ino: ino.ID, Index: idx})
+		pg.Uptodate = true
+		p.Exec(fs.cfg.WritePageCost)
+		fs.pc.MarkDirty(pg, now)
+	}
+	f.Pos = end
+	fs.balanceDirtyPages(p)
+	return n
+}
+
+// balanceDirtyPages throttles writers when too much of the cache is
+// dirty: the writer itself writes back the oldest dirty pages
+// synchronously until under the limit, like the Linux path of the same
+// name. This is what makes write-heavy workloads I/O-bound (§5.2's
+// Postmark configuration).
+func (fs *FS) balanceDirtyPages(p *sim.Proc) {
+	limit := fs.cfg.DirtyPageLimit
+	if limit <= 0 {
+		return
+	}
+	for fs.pc.DirtyCount() > limit {
+		var victim *mem.Page
+		for _, pg := range fs.pc.DirtyPages() { // oldest first
+			if !pg.IO {
+				victim = pg
+				break
+			}
+		}
+		if victim == nil {
+			return // everything already under writeback
+		}
+		ino := fs.InodeByID(victim.Key.Ino)
+		if ino == nil {
+			fs.pc.MarkClean(victim) // file already unlinked
+			continue
+		}
+		ino.FS.Ops().Address.WritePage(p, ino, victim.Key.Index, true)
+	}
+}
+
+// fsync writes the file's dirty pages synchronously.
+func (fs *FS) fsync(p *sim.Proc, f *vfs.File) {
+	ino := f.Inode
+	for _, pg := range fs.pc.DirtyOfInode(ino.ID) {
+		ino.FS.Ops().Address.WritePage(p, ino, pg.Key.Index, true)
+	}
+}
+
+func (fs *FS) lookup(p *sim.Proc, dir *vfs.Inode, name string) (*vfs.Inode, bool) {
+	p.Exec(fs.cfg.LookupCost)
+	for _, e := range fs.info(dir).entries {
+		if e.Name == name {
+			return fs.inodes[e.Ino].ino, true
+		}
+	}
+	return nil, false
+}
+
+func (fs *FS) create(p *sim.Proc, dir *vfs.Inode, name string) (*vfs.Inode, error) {
+	p.Exec(fs.cfg.CreateCost)
+	ino, err := fs.addEntry(dir, name, false, 0)
+	if err != nil {
+		return nil, err
+	}
+	fs.dirtyDirBlock(p, dir)
+	return ino, nil
+}
+
+func (fs *FS) mkdir(p *sim.Proc, dir *vfs.Inode, name string) (*vfs.Inode, error) {
+	p.Exec(fs.cfg.CreateCost)
+	ino, err := fs.addEntry(dir, name, true, 0)
+	if err != nil {
+		return nil, err
+	}
+	fs.dirtyDirBlock(p, dir)
+	return ino, nil
+}
+
+func (fs *FS) unlink(p *sim.Proc, dir *vfs.Inode, name string) error {
+	p.Exec(fs.cfg.UnlinkCost)
+	info := fs.info(dir)
+	for i, e := range info.entries {
+		if e.Name != name {
+			continue
+		}
+		if e.Dir && len(fs.inodes[e.Ino].entries) > 0 {
+			return vfs.ErrNotEmpty
+		}
+		info.entries = append(info.entries[:i], info.entries[i+1:]...)
+		dir.Size = uint64(len(info.entries)) * vfs.DirentSize
+		fs.pc.InvalidateInode(e.Ino)
+		delete(fs.inodes, e.Ino)
+		fs.dirtyDirBlock(p, dir)
+		return nil
+	}
+	return fmt.Errorf("%w: %s", vfs.ErrNotFound, name)
+}
+
+// dirtyDirBlock marks the directory's last block dirty (metadata
+// update), feeding the flushing daemon.
+func (fs *FS) dirtyDirBlock(p *sim.Proc, dir *vfs.Inode) {
+	idx := uint64(0)
+	if dir.Size > 0 {
+		idx = (dir.Size - 1) / vfs.PageSize
+	}
+	pg, _ := fs.pc.GetOrCreate(mem.Key{Ino: dir.ID, Index: idx})
+	pg.Uptodate = true
+	fs.pc.MarkDirty(pg, p.Now())
+}
+
+// readPage initiates the read of a single page (the readdir path).
+// It returns after starting the I/O; waiting happens at the caller.
+func (fs *FS) readPage(p *sim.Proc, ino *vfs.Inode, idx uint64) {
+	p.Exec(fs.cfg.ReadPageInit)
+	fs.startRead(ino, idx, 1)
+}
+
+// readPages initiates a batched readahead of n pages starting at idx
+// (the buffered file-read path).
+func (fs *FS) readPages(p *sim.Proc, ino *vfs.Inode, idx, n uint64) {
+	p.Exec(fs.cfg.ReadBatchInit)
+	if n == 0 {
+		n = 1
+	}
+	fs.startRead(ino, idx, n)
+}
+
+// startRead creates the missing pages of [idx, idx+n), marks them under
+// I/O and submits a single contiguous disk read; completion validates
+// the pages and wakes waiters.
+func (fs *FS) startRead(ino *vfs.Inode, idx, n uint64) {
+	info := fs.info(ino)
+	var pending []*mem.Page
+	var first, last uint64
+	for i := idx; i < idx+n; i++ {
+		pg, created := fs.pc.GetOrCreate(mem.Key{Ino: ino.ID, Index: i})
+		if pg.Uptodate || (!created && pg.IO) {
+			continue
+		}
+		pg.IO = true
+		if len(pending) == 0 {
+			first = i
+		}
+		last = i
+		pending = append(pending, pg)
+	}
+	if len(pending) == 0 {
+		return
+	}
+	pc := fs.pc
+	fs.d.Submit(&disk.Request{
+		LBA:    info.start + first,
+		Blocks: last - first + 1,
+		OnComplete: func() {
+			for _, pg := range pending {
+				pc.MarkUptodate(pg)
+			}
+		},
+	})
+}
+
+// writePage writes one page to disk; sync waits for completion.
+func (fs *FS) writePage(p *sim.Proc, ino *vfs.Inode, idx uint64, sync bool) {
+	info := fs.info(ino)
+	pg := fs.pc.Peek(mem.Key{Ino: ino.ID, Index: idx})
+	if pg == nil {
+		return
+	}
+	pg.IO = true
+	lba := info.start + idx
+	if sync {
+		fs.d.Write(p, lba, 1)
+		fs.pc.MarkClean(pg)
+		return
+	}
+	pc := fs.pc
+	fs.d.WriteAsync(lba, 1, func() { pc.MarkClean(pg) })
+}
+
+// writeSuper flushes the superblock (async metadata write).
+func (fs *FS) writeSuper(p *sim.Proc) {
+	p.Exec(1_000)
+	fs.d.WriteAsync(0, 1, nil)
+}
+
+// syncFS writes back every dirty page and waits for the disk to drain.
+func (fs *FS) syncFS(p *sim.Proc) {
+	for _, pg := range fs.pc.DirtyPages() {
+		info := fs.inodes[pg.Key.Ino]
+		if info == nil {
+			continue
+		}
+		pg.IO = true
+		pc := fs.pc
+		page := pg
+		fs.d.WriteAsync(info.start+pg.Key.Index, 1, func() { pc.MarkClean(page) })
+	}
+	fs.d.Drain(p)
+}

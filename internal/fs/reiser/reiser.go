@@ -1,0 +1,296 @@
+// Package reiser implements a Reiserfs-3.6-like journaling file system
+// exhibiting the paper's Figure 9 behavior: the periodic write_super
+// operation (driven by the 5-second buffer-flushing daemon on Linux
+// 2.4.24) flushes the journal while holding the file-system-wide lock
+// that the read path also takes, so reads issued during a journal flush
+// stall for tens of milliseconds every five seconds. Sampled profiles
+// make the periodicity visible where an accumulated profile would blur
+// it.
+package reiser
+
+import (
+	"fmt"
+
+	"osprof/internal/cycles"
+	"osprof/internal/disk"
+	"osprof/internal/mem"
+	"osprof/internal/sim"
+	"osprof/internal/vfs"
+)
+
+// Config tunes the journal and lock behavior.
+type Config struct {
+	// JournalBlocks is how many blocks a write_super flush writes
+	// synchronously while holding the lock (default 24).
+	JournalBlocks int
+
+	// SuperInterval is the period of the kupdate-style daemon calling
+	// write_super (default 5 s, §6.3).
+	SuperInterval uint64
+
+	// ReadLockCost is extra CPU in the locked section of a read
+	// (default 500).
+	ReadLockCost uint64
+}
+
+func (c *Config) applyDefaults() {
+	if c.JournalBlocks == 0 {
+		c.JournalBlocks = 24
+	}
+	if c.SuperInterval == 0 {
+		c.SuperInterval = 5 * cycles.PerSecond
+	}
+	if c.ReadLockCost == 0 {
+		c.ReadLockCost = 500
+	}
+}
+
+// FS is the simulated Reiserfs.
+type FS struct {
+	name string
+	k    *sim.Kernel
+	d    *disk.Disk
+	pc   *mem.Cache
+	cfg  Config
+
+	ops  vfs.Ops
+	root *vfs.Inode
+
+	// lock is the FS-wide lock shared by the read path and
+	// write_super (the Linux 2.4 big kernel lock usage pattern).
+	lock *sim.Semaphore
+
+	inodes       map[uint64]*inodeInfo
+	rootEntries  []vfs.DirEntry
+	nextIno      uint64
+	nextBlock    uint64
+	journalStart uint64
+	journalDirty int
+}
+
+type inodeInfo struct {
+	ino    *vfs.Inode
+	start  uint64
+	blocks uint64
+}
+
+var _ vfs.FileSystem = (*FS)(nil)
+
+// New formats a Reiserfs over d.
+func New(k *sim.Kernel, d *disk.Disk, pc *mem.Cache, name string, cfg Config) *FS {
+	cfg.applyDefaults()
+	fs := &FS{
+		name:   name,
+		k:      k,
+		d:      d,
+		pc:     pc,
+		cfg:    cfg,
+		lock:   sim.NewSemaphore(k, "reiser-lock"),
+		inodes: make(map[uint64]*inodeInfo),
+	}
+	fs.journalStart = 1
+	fs.nextBlock = uint64(cfg.JournalBlocks) + 1
+	fs.root = fs.newInode(true)
+	fs.installOps()
+	return fs
+}
+
+// Name implements vfs.FileSystem.
+func (fs *FS) Name() string { return fs.name }
+
+// Root implements vfs.FileSystem.
+func (fs *FS) Root() *vfs.Inode { return fs.root }
+
+// Ops implements vfs.FileSystem.
+func (fs *FS) Ops() *vfs.Ops { return &fs.ops }
+
+// Lock exposes the FS-wide lock for contention assertions.
+func (fs *FS) Lock() *sim.Semaphore { return fs.lock }
+
+// Disk exposes the underlying drive.
+func (fs *FS) Disk() *disk.Disk { return fs.d }
+
+// StartSuperDaemon spawns the periodic write_super daemon (§6.3).
+func (fs *FS) StartSuperDaemon() {
+	fs.k.SpawnDaemon("kupdate", func(p *sim.Proc) {
+		for {
+			p.Sleep(fs.cfg.SuperInterval)
+			fs.Ops().Super.WriteSuper(p)
+		}
+	})
+}
+
+func (fs *FS) newInode(dir bool) *vfs.Inode {
+	fs.nextIno++
+	ino := &vfs.Inode{
+		ID:  fs.nextIno,
+		Dir: dir,
+		Sem: sim.NewSemaphore(fs.k, fmt.Sprintf("r_i_sem:%d", fs.nextIno)),
+		FS:  fs,
+	}
+	info := &inodeInfo{ino: ino}
+	ino.Data = info
+	fs.inodes[ino.ID] = info
+	return ino
+}
+
+// MustAddFile creates a file of the given size in the root directory
+// (offline, no simulated cost).
+func (fs *FS) MustAddFile(name string, size uint64) *vfs.Inode {
+	ino := fs.newInode(false)
+	info := ino.Data.(*inodeInfo)
+	blocks := (size + vfs.PageSize - 1) / vfs.PageSize
+	info.start = fs.nextBlock
+	info.blocks = blocks
+	fs.nextBlock += blocks
+	ino.Size = size
+	fs.rootEntries = append(fs.rootEntries, vfs.DirEntry{Name: name, Ino: ino.ID})
+	fs.root.Size = uint64(len(fs.rootEntries)) * vfs.DirentSize
+	return ino
+}
+
+func (fs *FS) installOps() {
+	bufRead := vfs.GenericFileRead(vfs.ReadParams{Cache: fs.pc})
+	fs.ops = vfs.Ops{
+		File: vfs.FileOps{
+			Open:    vfs.GenericOpen(150),
+			Release: vfs.GenericRelease(100),
+			Llseek:  vfs.GenericFileLlseek(false),
+			Read: func(p *sim.Proc, f *vfs.File, n uint64) uint64 {
+				// The read path takes the FS-wide lock (§6.3).
+				fs.lock.Down(p)
+				p.Exec(fs.cfg.ReadLockCost)
+				r := bufRead(p, f, n)
+				fs.lock.Up(p)
+				return r
+			},
+			Write: fs.write,
+			Readdir: func(p *sim.Proc, f *vfs.File) []vfs.DirEntry {
+				p.Exec(2_000)
+				if f.Pos >= f.Inode.Size {
+					return nil
+				}
+				f.Pos = f.Inode.Size
+				out := make([]vfs.DirEntry, len(fs.rootEntries))
+				copy(out, fs.rootEntries)
+				return out
+			},
+			Fsync: func(p *sim.Proc, f *vfs.File) {
+				fs.Ops().Super.WriteSuper(p)
+			},
+		},
+		Inode: vfs.InodeOps{
+			Lookup: func(p *sim.Proc, dir *vfs.Inode, name string) (*vfs.Inode, bool) {
+				p.Exec(300)
+				for _, e := range fs.rootEntries {
+					if e.Name == name {
+						return fs.inodes[e.Ino].ino, true
+					}
+				}
+				return nil, false
+			},
+		},
+		Address: vfs.AddressOps{
+			ReadPage:  fs.readPage,
+			ReadPages: fs.readPages,
+			WritePage: func(p *sim.Proc, ino *vfs.Inode, idx uint64, sync bool) {},
+		},
+		Super: vfs.SuperOps{
+			WriteSuper: fs.writeSuper,
+			SyncFS:     fs.writeSuper,
+		},
+	}
+}
+
+// write dirties pages and accrues journal work for the next
+// write_super.
+func (fs *FS) write(p *sim.Proc, f *vfs.File, n uint64) uint64 {
+	p.Exec(600)
+	if n == 0 {
+		return 0
+	}
+	ino := f.Inode
+	end := f.Pos + n
+	if end > ino.Size {
+		ino.Size = end
+	}
+	first := f.Pos / vfs.PageSize
+	last := (end - 1) / vfs.PageSize
+	now := p.Now()
+	fs.lock.Down(p)
+	for idx := first; idx <= last; idx++ {
+		pg, _ := fs.pc.GetOrCreate(mem.Key{Ino: ino.ID, Index: idx})
+		pg.Uptodate = true
+		p.Exec(1_200)
+		fs.pc.MarkDirty(pg, now)
+		fs.journalDirty++
+	}
+	fs.lock.Up(p)
+	f.Pos = end
+	return n
+}
+
+// writeSuper flushes the journal synchronously while holding the
+// FS-wide lock: the source of the Figure 9 read stalls.
+func (fs *FS) writeSuper(p *sim.Proc) {
+	fs.lock.Down(p)
+	p.Exec(2_000)
+	blocks := fs.journalDirty
+	if blocks > fs.cfg.JournalBlocks {
+		blocks = fs.cfg.JournalBlocks
+	}
+	for i := 0; i < blocks; i++ {
+		fs.d.Write(p, fs.journalStart+uint64(i), 1)
+	}
+	if blocks > 0 {
+		for _, pg := range fs.pc.DirtyPages() {
+			fs.pc.MarkClean(pg)
+		}
+	}
+	fs.journalDirty = 0
+	fs.lock.Up(p)
+}
+
+func (fs *FS) readPage(p *sim.Proc, ino *vfs.Inode, idx uint64) {
+	p.Exec(1_200)
+	fs.startRead(ino, idx, 1)
+}
+
+func (fs *FS) readPages(p *sim.Proc, ino *vfs.Inode, idx, n uint64) {
+	p.Exec(1_800)
+	if n == 0 {
+		n = 1
+	}
+	fs.startRead(ino, idx, n)
+}
+
+func (fs *FS) startRead(ino *vfs.Inode, idx, n uint64) {
+	info := ino.Data.(*inodeInfo)
+	var pending []*mem.Page
+	var first, last uint64
+	for i := idx; i < idx+n; i++ {
+		pg, created := fs.pc.GetOrCreate(mem.Key{Ino: ino.ID, Index: i})
+		if pg.Uptodate || (!created && pg.IO) {
+			continue
+		}
+		pg.IO = true
+		if len(pending) == 0 {
+			first = i
+		}
+		last = i
+		pending = append(pending, pg)
+	}
+	if len(pending) == 0 {
+		return
+	}
+	pc := fs.pc
+	fs.d.Submit(&disk.Request{
+		LBA:    info.start + first,
+		Blocks: last - first + 1,
+		OnComplete: func() {
+			for _, pg := range pending {
+				pc.MarkUptodate(pg)
+			}
+		},
+	})
+}

@@ -1,0 +1,154 @@
+package reiser
+
+import (
+	"testing"
+
+	"osprof/internal/cycles"
+	"osprof/internal/disk"
+	"osprof/internal/mem"
+	"osprof/internal/sim"
+	"osprof/internal/vfs"
+)
+
+func rig(cfg Config) (*sim.Kernel, *FS, *vfs.VFS) {
+	k := sim.New(sim.Config{NumCPUs: 1, ContextSwitch: 100, WakePreempt: true})
+	d := disk.New(k, disk.Config{})
+	pc := mem.NewCache(k, 4096)
+	fs := New(k, d, pc, "reiserfs", cfg)
+	v := vfs.New(k)
+	if err := v.Mount("/", fs); err != nil {
+		panic(err)
+	}
+	return k, fs, v
+}
+
+func TestReadWorks(t *testing.T) {
+	k, fs, v := rig(Config{})
+	fs.MustAddFile("data", 3*vfs.PageSize)
+	k.Spawn("r", func(p *sim.Proc) {
+		f, err := v.Open(p, "/data", false)
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		var got uint64
+		for {
+			n := v.Read(p, f, vfs.PageSize)
+			if n == 0 {
+				break
+			}
+			got += n
+		}
+		if got != 3*vfs.PageSize {
+			t.Errorf("read %d bytes", got)
+		}
+	})
+	k.Run()
+}
+
+func TestWriteAccruesJournalWork(t *testing.T) {
+	k, fs, v := rig(Config{})
+	fs.MustAddFile("f", vfs.PageSize)
+	k.Spawn("w", func(p *sim.Proc) {
+		f, _ := v.Open(p, "/f", false)
+		v.Write(p, f, 2*vfs.PageSize)
+	})
+	k.Run()
+	if fs.journalDirty == 0 {
+		t.Error("write accrued no journal work")
+	}
+}
+
+func TestWriteSuperFlushesJournalUnderLock(t *testing.T) {
+	k, fs, v := rig(Config{})
+	fs.MustAddFile("f", vfs.PageSize)
+	k.Spawn("w", func(p *sim.Proc) {
+		f, _ := v.Open(p, "/f", false)
+		v.Write(p, f, 4*vfs.PageSize)
+		fs.Ops().Super.WriteSuper(p)
+	})
+	k.Run()
+	if fs.journalDirty != 0 {
+		t.Error("journal still dirty after write_super")
+	}
+	if fs.Disk().Stats().Writes == 0 {
+		t.Error("write_super wrote nothing")
+	}
+}
+
+func TestWriteSuperStallsConcurrentReads(t *testing.T) {
+	// The Figure 9 contention: a read issued while write_super holds
+	// the FS lock waits for the whole journal flush.
+	k, fs, v := rig(Config{JournalBlocks: 16})
+	fs.MustAddFile("hot", 64*vfs.PageSize)
+	var maxRead uint64
+	k.Spawn("reader", func(p *sim.Proc) {
+		f, _ := v.Open(p, "/hot", false)
+		for i := 0; i < 200; i++ {
+			start := p.Now()
+			if v.Read(p, f, vfs.PageSize) == 0 {
+				v.Llseek(p, f, 0, vfs.SeekSet)
+			}
+			if el := p.Now() - start; el > maxRead {
+				maxRead = el
+			}
+			p.ExecUser(50_000)
+		}
+	})
+	k.Spawn("writer", func(p *sim.Proc) {
+		f, _ := v.Open(p, "/hot", false)
+		for i := 0; i < 4; i++ {
+			v.Write(p, f, 8*vfs.PageSize)
+			fs.Ops().Super.WriteSuper(p)
+			p.ExecUser(100_000)
+		}
+	})
+	k.Run()
+	// A journal flush writes 16 blocks synchronously: several ms.
+	if maxRead < 2*cycles.PerMillisecond {
+		t.Errorf("no read stalled behind write_super: max = %s",
+			cycles.Format(maxRead))
+	}
+	if fs.Lock().Stats().Contentions == 0 {
+		t.Error("FS lock never contended")
+	}
+}
+
+func TestSuperDaemonPeriodicity(t *testing.T) {
+	k, fs, v := rig(Config{SuperInterval: 50 * cycles.PerMillisecond, JournalBlocks: 4})
+	fs.MustAddFile("f", 8*vfs.PageSize)
+	fs.StartSuperDaemon()
+	k.Spawn("w", func(p *sim.Proc) {
+		f, _ := v.Open(p, "/f", false)
+		for i := 0; i < 5; i++ {
+			v.Write(p, f, vfs.PageSize)
+			v.Llseek(p, f, 0, vfs.SeekSet)
+			p.Sleep(60 * cycles.PerMillisecond)
+		}
+	})
+	k.Run()
+	// The daemon ran several times over ~300ms.
+	if fs.Disk().Stats().Writes < 3 {
+		t.Errorf("daemon flushes wrote %d blocks, want >= 3", fs.Disk().Stats().Writes)
+	}
+}
+
+func TestReaddirAndLookup(t *testing.T) {
+	k, fs, v := rig(Config{})
+	fs.MustAddFile("a", 100)
+	fs.MustAddFile("b", 200)
+	k.Spawn("r", func(p *sim.Proc) {
+		f, _ := v.Open(p, "/", false)
+		ents := v.Getdents(p, f)
+		if len(ents) != 2 {
+			t.Errorf("entries = %d", len(ents))
+		}
+		if more := v.Getdents(p, f); len(more) != 0 {
+			t.Error("second getdents not empty")
+		}
+		if _, err := v.Stat(p, "/b"); err != nil {
+			t.Errorf("stat: %v", err)
+		}
+	})
+	k.Run()
+}

@@ -1,0 +1,42 @@
+package fsprof
+
+import (
+	"osprof/internal/core"
+	"osprof/internal/disk"
+)
+
+// DriverProfiler is the driver-level profiler of Figure 2: it observes
+// disk-request lifecycles below the file system. Because Linux file
+// system writes return right after scheduling the I/O, only this layer
+// sees asynchronous write latencies (§4 "Driver-level prolers").
+type DriverProfiler struct {
+	// Set accumulates request latency profiles under the operations
+	// "disk_read" (split into cache-hit and media categories too) and
+	// "disk_write".
+	Set *core.Set
+}
+
+var _ disk.Probe = (*DriverProfiler)(nil)
+
+// NewDriverProfiler creates a driver-level profiler recording into set.
+func NewDriverProfiler(set *core.Set) *DriverProfiler {
+	return &DriverProfiler{Set: set}
+}
+
+// Submitted implements disk.Probe.
+func (d *DriverProfiler) Submitted(*disk.Request) {}
+
+// Completed implements disk.Probe.
+func (d *DriverProfiler) Completed(r *disk.Request) {
+	lat := r.EndTime - r.SubmitTime
+	if r.Write {
+		d.Set.Record("disk_write", lat)
+		return
+	}
+	d.Set.Record("disk_read", lat)
+	if r.CacheHit {
+		d.Set.Record("disk_read_cached", lat)
+	} else {
+		d.Set.Record("disk_read_media", lat)
+	}
+}

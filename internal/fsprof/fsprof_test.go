@@ -1,0 +1,217 @@
+package fsprof
+
+import (
+	"testing"
+
+	"osprof/internal/core"
+	"osprof/internal/disk"
+	"osprof/internal/fs/ext2"
+	"osprof/internal/mem"
+	"osprof/internal/sim"
+	"osprof/internal/vfs"
+)
+
+func rig() (*sim.Kernel, *ext2.FS, *vfs.VFS) {
+	k := sim.New(sim.Config{NumCPUs: 1, ContextSwitch: 100})
+	d := disk.New(k, disk.Config{})
+	pc := mem.NewCache(k, 4096)
+	fs := ext2.New(k, d, pc, "ext2", ext2.Config{})
+	v := vfs.New(k)
+	if err := v.Mount("/", fs); err != nil {
+		panic(err)
+	}
+	return k, fs, v
+}
+
+func TestInstrumentRecordsFSOps(t *testing.T) {
+	k, fs, v := rig()
+	fs.MustAddFile(fs.Root(), "f", 2*vfs.PageSize)
+	set := core.NewSet("fs-level")
+	ins := InstrumentSet(fs, set)
+	k.Spawn("w", func(p *sim.Proc) {
+		f, _ := v.Open(p, "/f", false)
+		v.Read(p, f, vfs.PageSize)
+		v.Close(p, f)
+	})
+	k.Run()
+	ins.Restore()
+	for _, op := range []string{"open", "read", "release", "lookup"} {
+		prof := set.Lookup(op)
+		if prof == nil || prof.Count == 0 {
+			t.Errorf("op %q not recorded", op)
+		}
+	}
+	if err := set.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInstrumentSeesNestedCalls(t *testing.T) {
+	// The paper's Figure 7 depends on readdir's internal readpage
+	// calls being profiled: FoSgen-style in-place wrapping must catch
+	// calls made from one FS operation into another.
+	k, fs, v := rig()
+	dir := fs.MustAddDir(fs.Root(), "d")
+	for i := 0; i < 70; i++ { // 2 directory blocks
+		fs.MustAddFile(dir, names(i), 100)
+	}
+	set := core.NewSet("fs-level")
+	InstrumentSet(fs, set)
+	k.Spawn("w", func(p *sim.Proc) {
+		f, _ := v.Open(p, "/d", false)
+		for len(v.Getdents(p, f)) > 0 {
+		}
+	})
+	k.Run()
+	rp := set.Lookup("readpage")
+	if rp == nil || rp.Count != 2 {
+		t.Fatalf("readpage profile missing or wrong: %+v", rp)
+	}
+	// 70 entries at 16 per call: 4 calls for block 0, 1 for block 1,
+	// plus the final past-EOF call.
+	rd := set.Lookup("readdir")
+	if rd == nil || rd.Count != 6 {
+		t.Fatalf("readdir count = %+v, want 6", rd)
+	}
+}
+
+func names(i int) string { return string(rune('a'+i/26)) + string(rune('a'+i%26)) }
+
+func TestMeasurementFloorIsBucket5(t *testing.T) {
+	// §5.2: "the smallest values we observed in any profile were
+	// always in the 5th bucket" — the ~40 cycles between TSC reads.
+	k, fs, v := rig()
+	fs.MustAddFile(fs.Root(), "f", vfs.PageSize)
+	set := core.NewSet("fs-level")
+	InstrumentSet(fs, set)
+	k.Spawn("w", func(p *sim.Proc) {
+		f, _ := v.Open(p, "/f", false)
+		for i := 0; i < 50; i++ {
+			v.Read(p, f, 0) // zero-byte read: fastest possible op
+		}
+	})
+	k.Run()
+	read := set.Lookup("read")
+	lo, _, ok := read.Range()
+	if !ok {
+		t.Fatal("no read profile")
+	}
+	if lo < 5 {
+		t.Errorf("fastest recorded op in bucket %d, floor should be 5", lo)
+	}
+	if read.Min < 40 {
+		t.Errorf("min latency %d < TSC window 40", read.Min)
+	}
+}
+
+func TestRestoreRemovesOverhead(t *testing.T) {
+	k, fs, v := rig()
+	fs.MustAddFile(fs.Root(), "f", vfs.PageSize)
+	set := core.NewSet("x")
+	ins := InstrumentSet(fs, set)
+	ins.Restore()
+	k.Spawn("w", func(p *sim.Proc) {
+		f, _ := v.Open(p, "/f", false)
+		v.Read(p, f, 0)
+	})
+	k.Run()
+	if set.TotalOps() != 0 {
+		t.Errorf("restored FS still recorded %d ops", set.TotalOps())
+	}
+}
+
+func TestModesCostOrdering(t *testing.T) {
+	// §5.2 decomposition: empty hooks < TSC only < full profiling.
+	sysTime := func(mode Mode, instrument bool) uint64 {
+		k, fs, v := rig()
+		fs.MustAddFile(fs.Root(), "f", vfs.PageSize)
+		if instrument {
+			Instrument(fs, SetSink{Set: core.NewSet("x")}, mode, DefaultCosts())
+		}
+		var st sim.ProcStats
+		k.Spawn("w", func(p *sim.Proc) {
+			f, _ := v.Open(p, "/f", false)
+			for i := 0; i < 1000; i++ {
+				v.Read(p, f, 0)
+			}
+			st = p.Stats()
+		})
+		k.Run()
+		return st.SysCPU
+	}
+	base := sysTime(Full, false)
+	empty := sysTime(EmptyHooks, true)
+	tsc := sysTime(TSCOnly, true)
+	full := sysTime(Full, true)
+	if !(base < empty && empty < tsc && tsc < full) {
+		t.Errorf("cost ordering broken: base=%d empty=%d tsc=%d full=%d",
+			base, empty, tsc, full)
+	}
+}
+
+func TestUserProfilerWrapsSyscalls(t *testing.T) {
+	k, fs, v := rig()
+	fs.MustAddFile(fs.Root(), "f", vfs.PageSize)
+	set := core.NewSet("user-level")
+	sys := NewUserProfiler(v, set)
+	k.Spawn("w", func(p *sim.Proc) {
+		f, err := sys.Open(p, "/f", false)
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		sys.Read(p, f, 100)
+		sys.Llseek(p, f, 0, vfs.SeekSet)
+		sys.Getdents(p, f)
+		sys.Stat(p, "/f")
+		sys.Close(p, f)
+	})
+	k.Run()
+	for _, op := range []string{"open", "read", "llseek", "getdents", "stat", "close"} {
+		if prof := set.Lookup(op); prof == nil || prof.Count != 1 {
+			t.Errorf("user-level op %q not recorded once", op)
+		}
+	}
+	// The user-level read includes the syscall entry: it must be
+	// slower than the pure FS-level body.
+	if set.Lookup("read").Min < 64 {
+		t.Errorf("user-level read min %d should include syscall entry", set.Lookup("read").Min)
+	}
+}
+
+func TestDriverProfilerRecordsRequests(t *testing.T) {
+	k, fs, v := rig()
+	fs.MustAddFile(fs.Root(), "f", 4*vfs.PageSize)
+	set := core.NewSet("driver-level")
+	fs.Disk().SetProbe(NewDriverProfiler(set))
+	k.Spawn("w", func(p *sim.Proc) {
+		f, _ := v.Open(p, "/f", false)
+		v.Read(p, f, 4*vfs.PageSize)
+		f2, _ := v.Create(p, "/out")
+		v.Write(p, f2, vfs.PageSize)
+		v.Fsync(p, f2)
+	})
+	k.Run()
+	if prof := set.Lookup("disk_read"); prof == nil || prof.Count == 0 {
+		t.Error("no disk_read profile")
+	}
+	if prof := set.Lookup("disk_write"); prof == nil || prof.Count == 0 {
+		t.Error("no disk_write profile")
+	}
+}
+
+func TestSampledSinkSegments(t *testing.T) {
+	s := NewSampledSink(0, 1000)
+	s.Record("read", 100, 7)
+	s.Record("read", 2_500, 9)
+	sp := s.Profile("read")
+	if sp == nil || sp.Len() != 3 {
+		t.Fatalf("sampled profile segments = %v", sp)
+	}
+	if len(s.Ops()) != 1 {
+		t.Errorf("ops = %v", s.Ops())
+	}
+	if s.Profile("nope") != nil {
+		t.Error("profile invented")
+	}
+}

@@ -1,0 +1,167 @@
+package fsprof
+
+import (
+	"osprof/internal/core"
+	"osprof/internal/sim"
+	"osprof/internal/vfs"
+)
+
+// Instrumented is a file system whose operation vectors have been
+// replaced in place with latency-measuring wrappers, the way FoSgen
+// rewrites file-system sources (§4): because both the VFS layer and the
+// file system's own internal calls dispatch through fs.Ops() at call
+// time, nested operations (readdir calling readpage) are measured too.
+type Instrumented struct {
+	FS   vfs.FileSystem
+	orig vfs.Ops
+	pr   *probe
+}
+
+// Instrument wraps every installed operation of fs, recording into
+// sink. Call Restore to undo.
+func Instrument(fs vfs.FileSystem, sink Sink, mode Mode, costs Costs) *Instrumented {
+	ins := &Instrumented{
+		FS:   fs,
+		orig: *fs.Ops(),
+		pr:   &probe{sink: sink, mode: mode, costs: costs},
+	}
+	ins.install()
+	return ins
+}
+
+// InstrumentSet is the common case: full profiling into a Set with
+// default costs.
+func InstrumentSet(fs vfs.FileSystem, set *core.Set) *Instrumented {
+	return Instrument(fs, SetSink{Set: set}, Full, DefaultCosts())
+}
+
+// Restore reinstates the original operation vectors.
+func (ins *Instrumented) Restore() { *ins.FS.Ops() = ins.orig }
+
+func (ins *Instrumented) install() {
+	ops := ins.FS.Ops()
+	pr := ins.pr
+	o := &ins.orig
+
+	if fn := o.File.Read; fn != nil {
+		ops.File.Read = func(p *sim.Proc, f *vfs.File, n uint64) uint64 {
+			t := pr.pre(p)
+			r := fn(p, f, n)
+			pr.post(p, "read", t)
+			return r
+		}
+	}
+	if fn := o.File.Write; fn != nil {
+		ops.File.Write = func(p *sim.Proc, f *vfs.File, n uint64) uint64 {
+			t := pr.pre(p)
+			r := fn(p, f, n)
+			pr.post(p, "write", t)
+			return r
+		}
+	}
+	if fn := o.File.Llseek; fn != nil {
+		ops.File.Llseek = func(p *sim.Proc, f *vfs.File, off int64, w vfs.Whence) uint64 {
+			t := pr.pre(p)
+			r := fn(p, f, off, w)
+			pr.post(p, "llseek", t)
+			return r
+		}
+	}
+	if fn := o.File.Readdir; fn != nil {
+		ops.File.Readdir = func(p *sim.Proc, f *vfs.File) []vfs.DirEntry {
+			t := pr.pre(p)
+			r := fn(p, f)
+			pr.post(p, "readdir", t)
+			return r
+		}
+	}
+	if fn := o.File.Fsync; fn != nil {
+		ops.File.Fsync = func(p *sim.Proc, f *vfs.File) {
+			t := pr.pre(p)
+			fn(p, f)
+			pr.post(p, "fsync", t)
+		}
+	}
+	if fn := o.File.Open; fn != nil {
+		ops.File.Open = func(p *sim.Proc, ino *vfs.Inode, dio bool) *vfs.File {
+			t := pr.pre(p)
+			r := fn(p, ino, dio)
+			pr.post(p, "open", t)
+			return r
+		}
+	}
+	if fn := o.File.Release; fn != nil {
+		ops.File.Release = func(p *sim.Proc, f *vfs.File) {
+			t := pr.pre(p)
+			fn(p, f)
+			pr.post(p, "release", t)
+		}
+	}
+	if fn := o.Inode.Lookup; fn != nil {
+		ops.Inode.Lookup = func(p *sim.Proc, dir *vfs.Inode, name string) (*vfs.Inode, bool) {
+			t := pr.pre(p)
+			ino, ok := fn(p, dir, name)
+			pr.post(p, "lookup", t)
+			return ino, ok
+		}
+	}
+	if fn := o.Inode.Create; fn != nil {
+		ops.Inode.Create = func(p *sim.Proc, dir *vfs.Inode, name string) (*vfs.Inode, error) {
+			t := pr.pre(p)
+			ino, err := fn(p, dir, name)
+			pr.post(p, "create", t)
+			return ino, err
+		}
+	}
+	if fn := o.Inode.Unlink; fn != nil {
+		ops.Inode.Unlink = func(p *sim.Proc, dir *vfs.Inode, name string) error {
+			t := pr.pre(p)
+			err := fn(p, dir, name)
+			pr.post(p, "unlink", t)
+			return err
+		}
+	}
+	if fn := o.Inode.Mkdir; fn != nil {
+		ops.Inode.Mkdir = func(p *sim.Proc, dir *vfs.Inode, name string) (*vfs.Inode, error) {
+			t := pr.pre(p)
+			ino, err := fn(p, dir, name)
+			pr.post(p, "mkdir", t)
+			return ino, err
+		}
+	}
+	if fn := o.Address.ReadPage; fn != nil {
+		ops.Address.ReadPage = func(p *sim.Proc, ino *vfs.Inode, idx uint64) {
+			t := pr.pre(p)
+			fn(p, ino, idx)
+			pr.post(p, "readpage", t)
+		}
+	}
+	if fn := o.Address.ReadPages; fn != nil {
+		ops.Address.ReadPages = func(p *sim.Proc, ino *vfs.Inode, idx, n uint64) {
+			t := pr.pre(p)
+			fn(p, ino, idx, n)
+			pr.post(p, "readpages", t)
+		}
+	}
+	if fn := o.Address.WritePage; fn != nil {
+		ops.Address.WritePage = func(p *sim.Proc, ino *vfs.Inode, idx uint64, sync bool) {
+			t := pr.pre(p)
+			fn(p, ino, idx, sync)
+			pr.post(p, "writepage", t)
+		}
+	}
+	if fn := o.Super.WriteSuper; fn != nil {
+		ops.Super.WriteSuper = func(p *sim.Proc) {
+			t := pr.pre(p)
+			fn(p)
+			pr.post(p, "write_super", t)
+		}
+	}
+	if fn := o.Super.SyncFS; fn != nil {
+		ops.Super.SyncFS = func(p *sim.Proc) {
+			t := pr.pre(p)
+			fn(p)
+			pr.post(p, "sync_fs", t)
+		}
+	}
+}

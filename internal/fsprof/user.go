@@ -1,0 +1,118 @@
+package fsprof
+
+import (
+	"osprof/internal/core"
+	"osprof/internal/sim"
+	"osprof/internal/vfs"
+)
+
+// UserProfiler wraps the system-call surface, the analog of the paper's
+// POSIX user-level profilers that replace system calls with
+// latency-measuring macros (§4). Unlike the file-system-level profiler,
+// it observes whole system calls: VFS entry costs and path resolution
+// are inside its measurement window.
+type UserProfiler struct {
+	inner vfs.Syscalls
+	pr    *probe
+}
+
+var _ vfs.Syscalls = (*UserProfiler)(nil)
+
+// NewUserProfiler wraps sc, recording full profiles into set.
+func NewUserProfiler(sc vfs.Syscalls, set *core.Set) *UserProfiler {
+	return &UserProfiler{
+		inner: sc,
+		pr:    &probe{sink: SetSink{Set: set}, mode: Full, costs: DefaultCosts()},
+	}
+}
+
+// NewUserProfilerSink wraps sc with an explicit sink, mode and costs.
+func NewUserProfilerSink(sc vfs.Syscalls, sink Sink, mode Mode, costs Costs) *UserProfiler {
+	return &UserProfiler{inner: sc, pr: &probe{sink: sink, mode: mode, costs: costs}}
+}
+
+// Open implements vfs.Syscalls.
+func (u *UserProfiler) Open(p *sim.Proc, path string, directIO bool) (*vfs.File, error) {
+	t := u.pr.pre(p)
+	f, err := u.inner.Open(p, path, directIO)
+	u.pr.post(p, "open", t)
+	return f, err
+}
+
+// Close implements vfs.Syscalls.
+func (u *UserProfiler) Close(p *sim.Proc, f *vfs.File) {
+	t := u.pr.pre(p)
+	u.inner.Close(p, f)
+	u.pr.post(p, "close", t)
+}
+
+// Read implements vfs.Syscalls.
+func (u *UserProfiler) Read(p *sim.Proc, f *vfs.File, n uint64) uint64 {
+	t := u.pr.pre(p)
+	r := u.inner.Read(p, f, n)
+	u.pr.post(p, "read", t)
+	return r
+}
+
+// Write implements vfs.Syscalls.
+func (u *UserProfiler) Write(p *sim.Proc, f *vfs.File, n uint64) uint64 {
+	t := u.pr.pre(p)
+	r := u.inner.Write(p, f, n)
+	u.pr.post(p, "write", t)
+	return r
+}
+
+// Llseek implements vfs.Syscalls.
+func (u *UserProfiler) Llseek(p *sim.Proc, f *vfs.File, off int64, w vfs.Whence) uint64 {
+	t := u.pr.pre(p)
+	r := u.inner.Llseek(p, f, off, w)
+	u.pr.post(p, "llseek", t)
+	return r
+}
+
+// Getdents implements vfs.Syscalls.
+func (u *UserProfiler) Getdents(p *sim.Proc, f *vfs.File) []vfs.DirEntry {
+	t := u.pr.pre(p)
+	r := u.inner.Getdents(p, f)
+	u.pr.post(p, "getdents", t)
+	return r
+}
+
+// Fsync implements vfs.Syscalls.
+func (u *UserProfiler) Fsync(p *sim.Proc, f *vfs.File) {
+	t := u.pr.pre(p)
+	u.inner.Fsync(p, f)
+	u.pr.post(p, "fsync", t)
+}
+
+// Create implements vfs.Syscalls.
+func (u *UserProfiler) Create(p *sim.Proc, path string) (*vfs.File, error) {
+	t := u.pr.pre(p)
+	f, err := u.inner.Create(p, path)
+	u.pr.post(p, "create", t)
+	return f, err
+}
+
+// Unlink implements vfs.Syscalls.
+func (u *UserProfiler) Unlink(p *sim.Proc, path string) error {
+	t := u.pr.pre(p)
+	err := u.inner.Unlink(p, path)
+	u.pr.post(p, "unlink", t)
+	return err
+}
+
+// Mkdir implements vfs.Syscalls.
+func (u *UserProfiler) Mkdir(p *sim.Proc, path string) error {
+	t := u.pr.pre(p)
+	err := u.inner.Mkdir(p, path)
+	u.pr.post(p, "mkdir", t)
+	return err
+}
+
+// Stat implements vfs.Syscalls.
+func (u *UserProfiler) Stat(p *sim.Proc, path string) (*vfs.Inode, error) {
+	t := u.pr.pre(p)
+	ino, err := u.inner.Stat(p, path)
+	u.pr.post(p, "stat", t)
+	return ino, err
+}

@@ -1,0 +1,266 @@
+// Package mem implements the OS page cache and the buffer-flushing
+// daemon. The page cache creates the "cached" peaks of the paper's
+// profiles (Figure 7's second peak); the flusher daemon (Linux bdflush,
+// §6.3) writes dirty buffers back after a fixed age — thirty seconds
+// for data and five seconds for metadata — creating the periodic
+// behavior the paper visualizes with sampled profiles (Figure 9).
+package mem
+
+import (
+	"osprof/internal/cycles"
+	"osprof/internal/sim"
+)
+
+// Key identifies one page: an inode and a page index within it.
+type Key struct {
+	Ino   uint64
+	Index uint64
+}
+
+// Page is one page-cache entry.
+type Page struct {
+	Key Key
+
+	// Uptodate marks the page contents valid.
+	Uptodate bool
+
+	// Dirty marks the page as modified and not yet written back.
+	Dirty bool
+
+	// IO marks an in-flight read or write for this page.
+	IO bool
+
+	// DirtiedAt records when the page became dirty (for age-based
+	// writeback).
+	DirtiedAt uint64
+
+	wq *sim.WaitQueue
+}
+
+// WaitUptodate blocks until the page contents become valid. Processes
+// that find a page under I/O park here, which is how a readdir or read
+// operation's latency absorbs the disk time while the readpage
+// operation itself only pays the cost of starting the I/O (§6.2).
+func (pg *Page) WaitUptodate(p *sim.Proc) {
+	for !pg.Uptodate {
+		pg.wq.Wait(p)
+	}
+}
+
+// Stats aggregates cache activity.
+type Stats struct {
+	Hits, Misses uint64
+	Evictions    uint64
+}
+
+// Cache is a page cache with FIFO eviction of clean pages.
+type Cache struct {
+	k        *sim.Kernel
+	pages    map[Key]*Page
+	order    []Key
+	capacity int
+	stats    Stats
+}
+
+// NewCache creates a page cache holding up to capacity pages
+// (0 means effectively unbounded).
+func NewCache(k *sim.Kernel, capacity int) *Cache {
+	return &Cache{k: k, pages: make(map[Key]*Page), capacity: capacity}
+}
+
+// Stats returns cache statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Len reports the number of resident pages.
+func (c *Cache) Len() int { return len(c.pages) }
+
+// Lookup returns the resident, up-to-date page for key, counting a hit
+// or miss. Pages under I/O count as misses for the caller's purposes
+// but are returned so the caller can wait on them.
+func (c *Cache) Lookup(key Key) *Page {
+	pg := c.pages[key]
+	if pg != nil && pg.Uptodate {
+		c.stats.Hits++
+		return pg
+	}
+	c.stats.Misses++
+	return pg
+}
+
+// Peek returns the page without touching hit/miss statistics.
+func (c *Cache) Peek(key Key) *Page { return c.pages[key] }
+
+// GetOrCreate returns the page for key, creating a non-uptodate entry
+// (and evicting if needed) when absent. created reports whether the
+// page is new.
+func (c *Cache) GetOrCreate(key Key) (pg *Page, created bool) {
+	if pg = c.pages[key]; pg != nil {
+		return pg, false
+	}
+	c.evictIfNeeded()
+	pg = &Page{Key: key, wq: sim.NewWaitQueue(c.k, "page")}
+	c.pages[key] = pg
+	c.order = append(c.order, key)
+	return pg, true
+}
+
+// MarkUptodate validates the page and wakes all waiters.
+func (c *Cache) MarkUptodate(pg *Page) {
+	pg.Uptodate = true
+	pg.IO = false
+	pg.wq.WakeAll()
+}
+
+// MarkDirty marks a page dirty at time now.
+func (c *Cache) MarkDirty(pg *Page, now uint64) {
+	if !pg.Dirty {
+		pg.Dirty = true
+		pg.DirtiedAt = now
+	}
+}
+
+// MarkClean clears the dirty state after writeback.
+func (c *Cache) MarkClean(pg *Page) {
+	pg.Dirty = false
+	pg.IO = false
+}
+
+// DirtyOlderThan returns the dirty pages whose age meets or exceeds age
+// at time now, skipping pages already under I/O.
+func (c *Cache) DirtyOlderThan(now, age uint64) []*Page {
+	var out []*Page
+	for _, key := range c.order {
+		pg := c.pages[key]
+		if pg != nil && pg.Dirty && !pg.IO && now-pg.DirtiedAt >= age {
+			out = append(out, pg)
+		}
+	}
+	return out
+}
+
+// DirtyCount reports the number of dirty resident pages.
+func (c *Cache) DirtyCount() int {
+	n := 0
+	for _, pg := range c.pages {
+		if pg.Dirty {
+			n++
+		}
+	}
+	return n
+}
+
+// DirtyOfInode returns the dirty pages of one inode (the fsync path).
+func (c *Cache) DirtyOfInode(ino uint64) []*Page {
+	var out []*Page
+	for _, key := range c.order {
+		if key.Ino != ino {
+			continue
+		}
+		if pg := c.pages[key]; pg != nil && pg.Dirty {
+			out = append(out, pg)
+		}
+	}
+	return out
+}
+
+// DirtyPages returns every dirty page (for sync/fsync paths).
+func (c *Cache) DirtyPages() []*Page {
+	var out []*Page
+	for _, key := range c.order {
+		pg := c.pages[key]
+		if pg != nil && pg.Dirty {
+			out = append(out, pg)
+		}
+	}
+	return out
+}
+
+// InvalidateInode drops all clean pages of an inode (unlink path).
+func (c *Cache) InvalidateInode(ino uint64) {
+	keep := c.order[:0]
+	for _, key := range c.order {
+		if key.Ino == ino {
+			if pg := c.pages[key]; pg != nil && !pg.Dirty && !pg.IO {
+				delete(c.pages, key)
+				continue
+			}
+		}
+		keep = append(keep, key)
+	}
+	c.order = keep
+}
+
+// evictIfNeeded drops the oldest clean, idle pages until the cache is
+// under capacity. Dirty or busy pages are skipped (they must be
+// written back first), so the cache may temporarily overcommit when
+// writers outrun the flushing daemon.
+func (c *Cache) evictIfNeeded() {
+	if c.capacity <= 0 {
+		return
+	}
+	for len(c.pages) >= c.capacity {
+		evicted := false
+		for i, key := range c.order {
+			pg := c.pages[key]
+			if pg == nil {
+				c.order = append(c.order[:i], c.order[i+1:]...)
+				evicted = true
+				break
+			}
+			if pg.Dirty || pg.IO || pg.wq.Len() > 0 {
+				continue
+			}
+			delete(c.pages, key)
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			c.stats.Evictions++
+			evicted = true
+			break
+		}
+		if !evicted {
+			return // everything dirty or busy: overcommit
+		}
+	}
+}
+
+// Flusher is the buffer-flushing daemon (bdflush/kupdate): every
+// Interval it writes back dirty pages older than Age.
+type Flusher struct {
+	// Interval is the wakeup period (default 5 s).
+	Interval uint64
+
+	// Age is the dirty age threshold (default 30 s, Linux's default
+	// for data buffers; metadata uses 5 s).
+	Age uint64
+
+	// WritePage performs the actual writeback of one page; typically
+	// it submits an asynchronous disk write and calls MarkClean on
+	// completion. It must not block if Async is true.
+	WritePage func(p *sim.Proc, pg *Page)
+
+	// Runs counts daemon wakeups that found work.
+	Runs uint64
+}
+
+// Start spawns the flusher daemon on kernel k against cache c.
+func (f *Flusher) Start(k *sim.Kernel, c *Cache) {
+	if f.Interval == 0 {
+		f.Interval = 5 * cycles.PerSecond
+	}
+	if f.Age == 0 {
+		f.Age = 30 * cycles.PerSecond
+	}
+	k.SpawnDaemon("bdflush", func(p *sim.Proc) {
+		for {
+			p.Sleep(f.Interval)
+			dirty := c.DirtyOlderThan(p.Now(), f.Age)
+			if len(dirty) == 0 {
+				continue
+			}
+			f.Runs++
+			for _, pg := range dirty {
+				pg.IO = true
+				f.WritePage(p, pg)
+			}
+		}
+	})
+}

@@ -1,0 +1,206 @@
+package mem
+
+import (
+	"testing"
+
+	"osprof/internal/cycles"
+	"osprof/internal/sim"
+)
+
+func newRig() (*sim.Kernel, *Cache) {
+	k := sim.New(sim.Config{NumCPUs: 1, ContextSwitch: 100})
+	return k, NewCache(k, 64)
+}
+
+func TestLookupMissThenHit(t *testing.T) {
+	_, c := newRig()
+	key := Key{Ino: 1, Index: 0}
+	if pg := c.Lookup(key); pg != nil {
+		t.Fatal("lookup invented a page")
+	}
+	pg, created := c.GetOrCreate(key)
+	if !created {
+		t.Fatal("GetOrCreate did not create")
+	}
+	c.MarkUptodate(pg)
+	if got := c.Lookup(key); got != pg {
+		t.Fatal("lookup missed resident page")
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLookupNonUptodateCountsMiss(t *testing.T) {
+	_, c := newRig()
+	key := Key{Ino: 1, Index: 0}
+	c.GetOrCreate(key)
+	if pg := c.Lookup(key); pg == nil || pg.Uptodate {
+		t.Fatal("should return the in-flight page")
+	}
+	if c.Stats().Misses != 1 {
+		t.Errorf("misses = %d", c.Stats().Misses)
+	}
+}
+
+func TestWaitUptodateWakesOnIOCompletion(t *testing.T) {
+	k, c := newRig()
+	key := Key{Ino: 7, Index: 3}
+	var waitTime uint64
+	pg, _ := c.GetOrCreate(key)
+	pg.IO = true
+	k.Spawn("reader", func(p *sim.Proc) {
+		start := p.Now()
+		pg.WaitUptodate(p)
+		waitTime = p.Now() - start
+	})
+	k.Spawn("io-completion", func(p *sim.Proc) {
+		p.Sleep(5 * cycles.PerMillisecond)
+		c.MarkUptodate(pg)
+	})
+	k.Run()
+	if waitTime < 5*cycles.PerMillisecond {
+		t.Errorf("waiter woke after %s, want >= 5ms", cycles.Format(waitTime))
+	}
+}
+
+func TestWaitUptodateImmediateWhenValid(t *testing.T) {
+	k, c := newRig()
+	pg, _ := c.GetOrCreate(Key{Ino: 1, Index: 1})
+	c.MarkUptodate(pg)
+	k.Spawn("reader", func(p *sim.Proc) {
+		start := p.Now()
+		pg.WaitUptodate(p)
+		if p.Now() != start {
+			t.Error("wait on valid page consumed time")
+		}
+	})
+	k.Run()
+}
+
+func TestEvictionSkipsDirtyAndBusy(t *testing.T) {
+	k := sim.New(sim.Config{NumCPUs: 1})
+	c := NewCache(k, 2)
+	d1, _ := c.GetOrCreate(Key{Ino: 1, Index: 0})
+	c.MarkUptodate(d1)
+	c.MarkDirty(d1, 0)
+	d2, _ := c.GetOrCreate(Key{Ino: 1, Index: 1})
+	c.MarkUptodate(d2)
+	// Cache full; inserting a third must evict d2 (clean), not d1.
+	c.GetOrCreate(Key{Ino: 1, Index: 2})
+	if c.Peek(Key{Ino: 1, Index: 0}) == nil {
+		t.Error("dirty page was evicted")
+	}
+	if c.Peek(Key{Ino: 1, Index: 1}) != nil {
+		t.Error("clean page survived eviction")
+	}
+	if c.Stats().Evictions != 1 {
+		t.Errorf("evictions = %d", c.Stats().Evictions)
+	}
+}
+
+func TestDirtyAccounting(t *testing.T) {
+	_, c := newRig()
+	for i := uint64(0); i < 5; i++ {
+		pg, _ := c.GetOrCreate(Key{Ino: 1, Index: i})
+		c.MarkUptodate(pg)
+		c.MarkDirty(pg, i*100)
+	}
+	if c.DirtyCount() != 5 {
+		t.Errorf("DirtyCount = %d", c.DirtyCount())
+	}
+	old := c.DirtyOlderThan(500, 300)
+	if len(old) != 3 { // dirtied at 0,100,200 are >= 300 old at t=500
+		t.Errorf("old dirty pages = %d, want 3", len(old))
+	}
+	pg := c.Peek(Key{Ino: 1, Index: 0})
+	c.MarkClean(pg)
+	if c.DirtyCount() != 4 {
+		t.Errorf("DirtyCount after clean = %d", c.DirtyCount())
+	}
+}
+
+func TestMarkDirtyPreservesFirstDirtyTime(t *testing.T) {
+	_, c := newRig()
+	pg, _ := c.GetOrCreate(Key{Ino: 1, Index: 0})
+	c.MarkDirty(pg, 100)
+	c.MarkDirty(pg, 900)
+	if pg.DirtiedAt != 100 {
+		t.Errorf("DirtiedAt = %d, want 100 (first dirty)", pg.DirtiedAt)
+	}
+}
+
+func TestDirtyOfInode(t *testing.T) {
+	_, c := newRig()
+	for ino := uint64(1); ino <= 2; ino++ {
+		for i := uint64(0); i < 3; i++ {
+			pg, _ := c.GetOrCreate(Key{Ino: ino, Index: i})
+			c.MarkDirty(pg, 0)
+		}
+	}
+	if got := len(c.DirtyOfInode(1)); got != 3 {
+		t.Errorf("DirtyOfInode(1) = %d, want 3", got)
+	}
+}
+
+func TestInvalidateInode(t *testing.T) {
+	_, c := newRig()
+	pg, _ := c.GetOrCreate(Key{Ino: 9, Index: 0})
+	c.MarkUptodate(pg)
+	other, _ := c.GetOrCreate(Key{Ino: 10, Index: 0})
+	c.MarkUptodate(other)
+	c.InvalidateInode(9)
+	if c.Peek(Key{Ino: 9, Index: 0}) != nil {
+		t.Error("invalidated page still resident")
+	}
+	if c.Peek(Key{Ino: 10, Index: 0}) == nil {
+		t.Error("unrelated inode's page dropped")
+	}
+}
+
+func TestFlusherWritesOldDirtyPages(t *testing.T) {
+	k, c := newRig()
+	written := 0
+	fl := &Flusher{
+		Interval: 100 * cycles.PerMillisecond,
+		Age:      200 * cycles.PerMillisecond,
+		WritePage: func(p *sim.Proc, pg *Page) {
+			written++
+			c.MarkClean(pg)
+		},
+	}
+	fl.Start(k, c)
+	k.Spawn("dirtier", func(p *sim.Proc) {
+		pg, _ := c.GetOrCreate(Key{Ino: 1, Index: 0})
+		c.MarkUptodate(pg)
+		c.MarkDirty(pg, p.Now())
+		// Young dirty page must survive the first flusher pass.
+		p.Sleep(150 * cycles.PerMillisecond)
+		if written != 0 {
+			t.Error("flusher wrote a page younger than Age")
+		}
+		p.Sleep(400 * cycles.PerMillisecond)
+	})
+	k.Run()
+	if written != 1 {
+		t.Errorf("flusher wrote %d pages, want 1", written)
+	}
+	if c.DirtyCount() != 0 {
+		t.Error("page still dirty after writeback")
+	}
+}
+
+func TestFlusherDefaultsMatchBdflush(t *testing.T) {
+	// §6.3: "the default is thirty seconds for data and five seconds
+	// for metadata"; our defaults are the 5s wakeup and 30s age.
+	f := &Flusher{WritePage: func(*sim.Proc, *Page) {}}
+	k := sim.New(sim.Config{})
+	f.Start(k, NewCache(k, 4))
+	if f.Interval != 5*cycles.PerSecond {
+		t.Errorf("Interval = %d", f.Interval)
+	}
+	if f.Age != 30*cycles.PerSecond {
+		t.Errorf("Age = %d", f.Age)
+	}
+}

@@ -1,0 +1,324 @@
+// Package netsim models the 100 Mbps Ethernet link between the paper's
+// client and server machines (§6.4), at TCP-segment granularity:
+// messages are split into MSS-sized segments, receivers acknowledge
+// every second segment immediately and delay the acknowledgment of a
+// lone trailing segment by up to 200 ms (the delayed ACK), and outgoing
+// data piggybacks pending acknowledgments.
+//
+// This is exactly the mechanism behind the paper's Figure 11: a Windows
+// server will not continue a multi-part SMB transaction until every
+// byte sent so far is acknowledged, so a delayed ACK inserts a 200 ms
+// stall into FindFirst/FindNext; a Linux client avoids the stall
+// because its immediate FindNext request carries the ACK.
+package netsim
+
+import (
+	"fmt"
+
+	"osprof/internal/cycles"
+	"osprof/internal/sim"
+)
+
+// Config describes the link.
+type Config struct {
+	// OneWayLatency is the propagation delay in cycles (default 56 us,
+	// half the paper's ~112 us machine-to-machine latency).
+	OneWayLatency uint64
+
+	// CyclesPerByte is the serialization cost (default 136: 100 Mbps
+	// at 1.7 GHz).
+	CyclesPerByte uint64
+
+	// MSS is the maximum segment size in bytes (default 1460).
+	MSS int
+
+	// DelayedAckTimeout is the delayed-ACK timer (default 200 ms);
+	// only meaningful on sides with delayed ACKs enabled.
+	DelayedAckTimeout uint64
+
+	// SendCPU is the per-segment CPU cost charged to the sending
+	// process (default 1500 cycles).
+	SendCPU uint64
+}
+
+func (c *Config) applyDefaults() {
+	if c.OneWayLatency == 0 {
+		c.OneWayLatency = cycles.NetworkOneWay / 2
+	}
+	if c.CyclesPerByte == 0 {
+		c.CyclesPerByte = 136
+	}
+	if c.MSS == 0 {
+		c.MSS = 1460
+	}
+	if c.DelayedAckTimeout == 0 {
+		c.DelayedAckTimeout = cycles.DelayedAck
+	}
+	if c.SendCPU == 0 {
+		c.SendCPU = 1_500
+	}
+}
+
+// PacketKind distinguishes sniffer records.
+type PacketKind int
+
+const (
+	DataPacket PacketKind = iota
+	AckPacket
+)
+
+func (k PacketKind) String() string {
+	if k == AckPacket {
+		return "ACK"
+	}
+	return "DATA"
+}
+
+// Packet is one sniffer record (§2's packet sniffers; Figure 11 is
+// rendered from these).
+type Packet struct {
+	Time  uint64
+	From  string // side name
+	Kind  PacketKind
+	Label string
+	Bytes int
+	// Piggyback marks a data packet that also carried an ACK.
+	Piggyback bool
+}
+
+// Sniffer records packets crossing the link.
+type Sniffer struct{ Packets []Packet }
+
+// Message is one application-level message after reassembly.
+type Message struct {
+	Label string
+	Bytes int
+	Data  any
+}
+
+// Conn is a TCP-like connection between two named sides.
+type Conn struct {
+	k       *sim.Kernel
+	cfg     Config
+	sniffer *Sniffer
+	sides   [2]*side
+}
+
+// side holds the per-endpoint state.
+type side struct {
+	conn *Conn
+	idx  int
+	name string
+
+	// DelayedAck enables RFC-1122 delayed acknowledgments (the
+	// Windows registry key of §6.4 turns this off).
+	delayedAck bool
+
+	// Receiver state.
+	unacked  int
+	ackTimer func() // cancel function for the pending delayed ACK
+	rxQueue  []Message
+	rxWait   *sim.WaitQueue
+	partial  []Message // segments of the in-flight message
+	partLeft int       // segments still missing
+
+	// Sender state: monotonic counters of data segments sent and the
+	// highest cumulative acknowledgment received.
+	sentSeq   uint64
+	ackedSeq  uint64
+	rcvdSeq   uint64 // receiver role: data segments received
+	ackWaiter *sim.WaitQueue
+}
+
+// NewConn creates a connection between two named endpoints.
+func NewConn(k *sim.Kernel, cfg Config, nameA, nameB string, sniffer *Sniffer) *Conn {
+	cfg.applyDefaults()
+	c := &Conn{k: k, cfg: cfg, sniffer: sniffer}
+	for i, name := range []string{nameA, nameB} {
+		c.sides[i] = &side{
+			conn:       c,
+			idx:        i,
+			name:       name,
+			delayedAck: true,
+			rxWait:     sim.NewWaitQueue(k, "net-rx:"+name),
+			ackWaiter:  sim.NewWaitQueue(k, "net-ack:"+name),
+		}
+	}
+	return c
+}
+
+// Side returns endpoint 0 or 1.
+func (c *Conn) Side(i int) *Side { return &Side{c.sides[i]} }
+
+// Side is the public handle for one endpoint.
+type Side struct{ s *side }
+
+// Name returns the endpoint name.
+func (e *Side) Name() string { return e.s.name }
+
+// SetDelayedAck enables or disables delayed acknowledgments on this
+// endpoint (the §6.4 registry change).
+func (e *Side) SetDelayedAck(on bool) { e.s.delayedAck = on }
+
+// InFlight reports unacknowledged segments sent from this endpoint.
+func (e *Side) InFlight() int { return int(e.s.sentSeq - e.s.ackedSeq) }
+
+func (c *Conn) record(pkt Packet) {
+	if c.sniffer != nil {
+		pkt.Time = c.k.Now()
+		c.sniffer.Packets = append(c.sniffer.Packets, pkt)
+	}
+}
+
+// segments returns how many MSS segments a message needs.
+func (c *Conn) segments(bytes int) int {
+	n := (bytes + c.cfg.MSS - 1) / c.cfg.MSS
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Send transmits a message from e without waiting for acknowledgment.
+// The caller is charged per-segment CPU; delivery happens after
+// serialization plus propagation. Outgoing data piggybacks any pending
+// ACK of the receiver role of e.
+func (e *Side) Send(p *sim.Proc, label string, bytes int, data any) {
+	s := e.s
+	c := s.conn
+	segs := c.segments(bytes)
+	p.Exec(c.cfg.SendCPU * uint64(segs))
+
+	piggy := s.unacked > 0 || s.ackTimer != nil
+	ackCover := s.rcvdSeq
+	s.flushAckState()
+
+	peer := c.sides[1-s.idx]
+	var serialize uint64
+	for i := 0; i < segs; i++ {
+		segBytes := c.cfg.MSS
+		if i == segs-1 {
+			segBytes = bytes - (segs-1)*c.cfg.MSS
+			if segBytes <= 0 {
+				segBytes = bytes
+			}
+		}
+		serialize += uint64(segBytes) * c.cfg.CyclesPerByte
+		last := i == segs-1
+		c.record(Packet{From: s.name, Kind: DataPacket, Label: segLabel(label, i, segs),
+			Bytes: segBytes, Piggyback: piggy && i == 0})
+		s.sentSeq++
+		arrival := serialize + c.cfg.OneWayLatency
+		c.k.Schedule(arrival, func() {
+			peer.receiveSegment(label, bytes, data, last)
+		})
+	}
+	if piggy {
+		// The first data segment carried the ACK: deliver it to the
+		// peer's sender state alongside the segment.
+		seq := ackCover
+		c.k.Schedule(uint64(c.cfg.MSS)*c.cfg.CyclesPerByte+c.cfg.OneWayLatency,
+			func() { peer.ackArrived(seq) })
+	}
+}
+
+// WaitAcked blocks until every segment sent from e has been
+// acknowledged — the synchronous behavior of the Windows server that
+// "does not continue to send data until it has received an ACK for
+// everything until that point" (§6.4).
+func (e *Side) WaitAcked(p *sim.Proc) {
+	for e.s.sentSeq > e.s.ackedSeq {
+		e.s.ackWaiter.Wait(p)
+	}
+}
+
+// Recv blocks until a full message arrives and returns it.
+func (e *Side) Recv(p *sim.Proc) Message {
+	s := e.s
+	for len(s.rxQueue) == 0 {
+		s.rxWait.Wait(p)
+	}
+	m := s.rxQueue[0]
+	s.rxQueue = s.rxQueue[1:]
+	return m
+}
+
+// receiveSegment runs in kernel context when a data segment lands.
+func (s *side) receiveSegment(label string, totalBytes int, data any, last bool) {
+	c := s.conn
+	if s.partLeft == 0 {
+		s.partLeft = c.segments(totalBytes)
+	}
+	s.partLeft--
+	s.rcvdSeq++
+	if last && s.partLeft == 0 {
+		s.rxQueue = append(s.rxQueue, Message{Label: label, Bytes: totalBytes, Data: data})
+		s.rxWait.WakeAll()
+	}
+
+	// TCP ACK policy: every second segment is acknowledged
+	// immediately; a lone segment waits for the delayed-ACK timer in
+	// the hope of piggybacking (§6.4).
+	s.unacked++
+	if s.unacked >= 2 || !s.delayedAck {
+		s.sendAck("ack")
+		return
+	}
+	if s.ackTimer == nil {
+		fired := false
+		canceled := false
+		c.k.Schedule(c.cfg.DelayedAckTimeout, func() {
+			if !canceled && !fired {
+				fired = true
+				s.ackTimer = nil
+				if s.unacked > 0 {
+					s.sendAck("delayed-ack")
+				}
+			}
+		})
+		s.ackTimer = func() { canceled = true }
+	}
+}
+
+// sendAck emits a bare ACK packet to the peer.
+func (s *side) sendAck(label string) {
+	c := s.conn
+	seq := s.rcvdSeq
+	s.flushAckState()
+	c.record(Packet{From: s.name, Kind: AckPacket, Label: label, Bytes: 40})
+	peer := c.sides[1-s.idx]
+	c.k.Schedule(40*c.cfg.CyclesPerByte+c.cfg.OneWayLatency,
+		func() { peer.ackArrived(seq) })
+}
+
+// flushAckState clears receiver-side pending-ACK bookkeeping.
+func (s *side) flushAckState() {
+	s.unacked = 0
+	if s.ackTimer != nil {
+		s.ackTimer()
+		s.ackTimer = nil
+	}
+}
+
+// ackArrived runs in kernel context at the original sender: the
+// cumulative acknowledgment covers seq segments of the peer's received
+// stream (which mirrors this side's sent stream, the link is lossless
+// and ordered).
+func (s *side) ackArrived(seq uint64) {
+	if seq > s.ackedSeq {
+		s.ackedSeq = seq
+	}
+	if s.sentSeq == s.ackedSeq {
+		s.ackWaiter.WakeAll()
+	}
+}
+
+func segLabel(label string, i, total int) string {
+	if total == 1 {
+		return label
+	}
+	if i == 0 {
+		return label
+	}
+	return fmt.Sprintf("%s continuation %d", label, i)
+}

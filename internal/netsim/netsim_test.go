@@ -1,0 +1,222 @@
+package netsim
+
+import (
+	"testing"
+
+	"osprof/internal/cycles"
+	"osprof/internal/sim"
+)
+
+func rig() (*sim.Kernel, *Conn, *Sniffer) {
+	k := sim.New(sim.Config{NumCPUs: 2, ContextSwitch: 100})
+	sn := &Sniffer{}
+	c := NewConn(k, Config{}, "client", "server", sn)
+	return k, c, sn
+}
+
+func TestSingleSegmentRoundTrip(t *testing.T) {
+	k, c, _ := rig()
+	var rtt uint64
+	k.Spawn("client", func(p *sim.Proc) {
+		cl := c.Side(0)
+		start := p.Now()
+		cl.Send(p, "ping", 100, "ping-data")
+		m := cl.Recv(p)
+		rtt = p.Now() - start
+		if m.Label != "pong" || m.Data.(string) != "pong-data" {
+			t.Errorf("got %+v", m)
+		}
+	})
+	k.SpawnDaemon("server", func(p *sim.Proc) {
+		sv := c.Side(1)
+		sv.Recv(p)
+		sv.Send(p, "pong", 100, "pong-data")
+	})
+	k.Run()
+	// Round trip: 2x (propagation + serialization) plus CPU; far less
+	// than a delayed-ACK timeout.
+	if rtt < 2*c.cfg.OneWayLatency {
+		t.Errorf("rtt = %d < 2x propagation", rtt)
+	}
+	if rtt > 10*cycles.PerMillisecond {
+		t.Errorf("rtt = %s: a delayed ACK leaked into a simple RPC", cycles.Format(rtt))
+	}
+}
+
+func TestEverySecondSegmentAckedImmediately(t *testing.T) {
+	k, c, sn := rig()
+	k.Spawn("sender", func(p *sim.Proc) {
+		c.Side(0).Send(p, "bulk", 2*1460, nil) // exactly 2 segments
+		c.Side(0).WaitAcked(p)
+	})
+	k.SpawnDaemon("receiver", func(p *sim.Proc) {
+		c.Side(1).Recv(p)
+		p.Block("done")
+	})
+	k.Run()
+	var acks int
+	for _, pkt := range sn.Packets {
+		if pkt.Kind == AckPacket {
+			acks++
+			if pkt.Label == "delayed-ack" {
+				t.Error("even segment count triggered a delayed ACK")
+			}
+		}
+	}
+	if acks != 1 {
+		t.Errorf("acks = %d, want 1 immediate", acks)
+	}
+	if k.Now() > 10*cycles.PerMillisecond {
+		t.Errorf("finished at %s: stalled", cycles.Format(k.Now()))
+	}
+}
+
+func TestLoneSegmentDelayedAck(t *testing.T) {
+	k, c, sn := rig()
+	var waited uint64
+	k.Spawn("sender", func(p *sim.Proc) {
+		start := p.Now()
+		c.Side(0).Send(p, "lone", 500, nil) // 1 segment
+		c.Side(0).WaitAcked(p)
+		waited = p.Now() - start
+	})
+	k.SpawnDaemon("receiver", func(p *sim.Proc) {
+		c.Side(1).Recv(p)
+		p.Block("quiet") // nothing to piggyback on
+	})
+	k.Run()
+	if waited < cycles.DelayedAck {
+		t.Errorf("ACK wait = %s, want >= 200ms (delayed ACK)", cycles.Format(waited))
+	}
+	found := false
+	for _, pkt := range sn.Packets {
+		if pkt.Label == "delayed-ack" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("sniffer saw no delayed-ack packet")
+	}
+}
+
+func TestDelayedAckDisabled(t *testing.T) {
+	k, c, _ := rig()
+	c.Side(1).SetDelayedAck(false) // the §6.4 registry change
+	var waited uint64
+	k.Spawn("sender", func(p *sim.Proc) {
+		start := p.Now()
+		c.Side(0).Send(p, "lone", 500, nil)
+		c.Side(0).WaitAcked(p)
+		waited = p.Now() - start
+	})
+	k.SpawnDaemon("receiver", func(p *sim.Proc) {
+		c.Side(1).Recv(p)
+		p.Block("quiet")
+	})
+	k.Run()
+	if waited >= cycles.DelayedAck {
+		t.Errorf("ACK wait = %s despite delayed ACKs off", cycles.Format(waited))
+	}
+}
+
+func TestPiggybackAvoidsDelayedAckStall(t *testing.T) {
+	// The Linux-client behavior of Figure 11: the receiver immediately
+	// sends its next request, carrying the ACK, so the sender's
+	// WaitAcked completes without the 200 ms timer.
+	k, c, sn := rig()
+	var waited uint64
+	k.Spawn("sender", func(p *sim.Proc) {
+		start := p.Now()
+		c.Side(0).Send(p, "reply-part", 500, nil) // 1 segment, ACK delayed
+		c.Side(0).WaitAcked(p)
+		waited = p.Now() - start
+	})
+	k.SpawnDaemon("receiver", func(p *sim.Proc) {
+		c.Side(1).Recv(p)
+		c.Side(1).Send(p, "FIND_NEXT request", 100, nil) // piggyback
+		p.Block("done")
+	})
+	k.Run()
+	if waited >= cycles.DelayedAck {
+		t.Errorf("piggybacked ACK still waited %s", cycles.Format(waited))
+	}
+	foundPiggy := false
+	for _, pkt := range sn.Packets {
+		if pkt.Piggyback {
+			foundPiggy = true
+		}
+	}
+	if !foundPiggy {
+		t.Error("no piggybacked packet recorded")
+	}
+}
+
+func TestMessageReassemblyMultiSegment(t *testing.T) {
+	k, c, _ := rig()
+	var got Message
+	k.Spawn("receiver", func(p *sim.Proc) {
+		got = c.Side(1).Recv(p)
+	})
+	k.Spawn("sender", func(p *sim.Proc) {
+		c.Side(0).Send(p, "big", 5_000, "payload") // 4 segments
+	})
+	k.Run()
+	if got.Bytes != 5_000 || got.Data.(string) != "payload" {
+		t.Errorf("reassembled = %+v", got)
+	}
+}
+
+func TestSerializationTimeScalesWithBytes(t *testing.T) {
+	elapsed := func(bytes int) uint64 {
+		k, c, _ := rig()
+		var e uint64
+		k.Spawn("receiver", func(p *sim.Proc) {
+			start := p.Now()
+			c.Side(1).Recv(p)
+			e = p.Now() - start
+		})
+		k.Spawn("sender", func(p *sim.Proc) {
+			c.Side(0).Send(p, "m", bytes, nil)
+		})
+		k.Run()
+		return e
+	}
+	small, big := elapsed(100), elapsed(100_000)
+	if big <= small {
+		t.Errorf("100KB (%d) not slower than 100B (%d)", big, small)
+	}
+	// 100KB at 100Mbps ~ 8ms ~ 13.6M cycles.
+	if big < 10_000_000 {
+		t.Errorf("100KB transfer = %s, too fast for 100Mbps", cycles.Format(big))
+	}
+}
+
+func TestSnifferRecordsTimeline(t *testing.T) {
+	k, c, sn := rig()
+	k.Spawn("a", func(p *sim.Proc) {
+		c.Side(0).Send(p, "x", 4000, nil) // 3 segments
+	})
+	k.SpawnDaemon("b", func(p *sim.Proc) {
+		c.Side(1).Recv(p)
+		p.Block("done")
+	})
+	k.Run()
+	var data int
+	lastTime := uint64(0)
+	for _, pkt := range sn.Packets {
+		if pkt.Time < lastTime {
+			t.Error("sniffer timestamps not monotone")
+		}
+		lastTime = pkt.Time
+		if pkt.Kind == DataPacket {
+			data++
+		}
+	}
+	if data != 3 {
+		t.Errorf("data packets = %d, want 3", data)
+	}
+	// Continuation labels like the Figure 11 timeline.
+	if sn.Packets[1].Label != "x continuation 1" {
+		t.Errorf("label = %q", sn.Packets[1].Label)
+	}
+}

@@ -1,0 +1,232 @@
+// Package report renders OSprof profiles for human analysis: ASCII
+// histograms in the style of the paper's figures (logarithmic x axis of
+// bucket numbers, logarithmic y axis of operation counts, latency
+// labels above the plot), time-sampled "3D" profiles like Figure 9, and
+// gnuplot scripts like the ones that generated the paper's figures
+// automatically (§4 "Representing results").
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"osprof/internal/analysis"
+	"osprof/internal/core"
+	"osprof/internal/cycles"
+)
+
+// Options controls histogram rendering.
+type Options struct {
+	// Height is the number of body rows (default 8).
+	Height int
+
+	// MinBucket and MaxBucket clip the x axis; with MaxBucket 0 the
+	// range is fitted to the data (padded to multiples of 5 like the
+	// paper's plots).
+	MinBucket, MaxBucket int
+
+	// Labels prints average bucket latencies above the plot.
+	Labels bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Height == 0 {
+		o.Height = 8
+	}
+	if !o.Labels {
+		o.Labels = true
+	}
+	return o
+}
+
+// axisRange fits [lo,hi] to the populated buckets, padded outward to
+// multiples of 5 (mirroring the paper's 5..30 axes).
+func axisRange(p *core.Profile, o Options) (int, int) {
+	lo, hi := o.MinBucket, o.MaxBucket
+	if hi == 0 {
+		plo, phi, ok := p.Range()
+		if !ok {
+			return 5, 30
+		}
+		lo = plo / 5 * 5
+		hi = (phi/5 + 1) * 5
+	}
+	if hi <= lo {
+		hi = lo + 5
+	}
+	return lo, hi
+}
+
+// Profile renders one profile as an ASCII histogram.
+//
+//	READDIR                            n=18231 mean=24815
+//	        28ns      903ns      28us     925us
+//	10^4 |       #
+//	10^3 |       ##        #
+//	...
+//	     +----5----10---15---20---25---30
+func Profile(w io.Writer, p *core.Profile, o Options) {
+	o = o.withDefaults()
+	lo, hi := axisRange(p, o)
+
+	fmt.Fprintf(w, "%s  n=%d mean=%s\n", strings.ToUpper(p.Op), p.Count,
+		cycles.Format(p.Mean()))
+	if o.Labels {
+		fmt.Fprint(w, "      ")
+		for b := lo; b <= hi; b++ {
+			if b%5 == 0 {
+				label := cycles.Format(core.BucketMean(b))
+				fmt.Fprintf(w, "%-5s", label)
+			} else if (b-lo)%5 != 0 && b%5 > 0 && (b%5) >= 1 {
+				// label columns already consumed by %-5s
+			}
+		}
+		fmt.Fprintln(w)
+	}
+
+	// Bar heights on a log10 scale: row r is filled if
+	// log10(count)+1 > r * maxLog/height.
+	maxLog := 0.0
+	for b := lo; b <= hi && b < len(p.Buckets); b++ {
+		if c := p.Buckets[b]; c > 0 {
+			if l := math.Log10(float64(c)) + 1; l > maxLog {
+				maxLog = l
+			}
+		}
+	}
+	if maxLog == 0 {
+		maxLog = 1
+	}
+	for row := o.Height; row >= 1; row-- {
+		cut := float64(row-1) * maxLog / float64(o.Height)
+		// y-axis tick: power of 10 at this row.
+		fmt.Fprintf(w, "10^%d |", int(cut))
+		for b := lo; b <= hi; b++ {
+			c := uint64(0)
+			if b >= 0 && b < len(p.Buckets) {
+				c = p.Buckets[b]
+			}
+			if c > 0 && math.Log10(float64(c))+1 > cut {
+				fmt.Fprint(w, "#")
+			} else {
+				fmt.Fprint(w, " ")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprint(w, "     +")
+	for b := lo; b <= hi; b++ {
+		if b%5 == 0 {
+			fmt.Fprintf(w, "%-5d", b)
+		} else if (b%5) != 0 && (b-1)%5 >= 4 {
+		}
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "      bucket: floor(log2(latency in CPU cycles))\n")
+}
+
+// Set renders every profile of a set ordered by total latency.
+func Set(w io.Writer, s *core.Set, o Options) {
+	fmt.Fprintf(w, "=== profile set %q: %d ops, %d operations, total latency %s ===\n",
+		s.Name, s.Len(), s.TotalOps(), cycles.Format(s.TotalLatency()))
+	for _, p := range s.ByTotalLatency() {
+		if p.Count == 0 {
+			continue
+		}
+		Profile(w, p, o)
+		fmt.Fprintln(w)
+	}
+}
+
+// timelineGlyph buckets a cell population the way Figure 9's legend
+// does: 1-10 operations, 11-100, and more than 100.
+func timelineGlyph(c uint64) byte {
+	switch {
+	case c == 0:
+		return ' '
+	case c <= 10:
+		return '.'
+	case c <= 100:
+		return 'o'
+	default:
+		return '#'
+	}
+}
+
+// Timeline renders a sampled profile as the paper's Figure 9: x axis is
+// the bucket number, y axis is elapsed time (one row per segment), and
+// the cell glyph encodes the operation count (' ' none, '.' 1-10,
+// 'o' 11-100, '#' >100).
+func Timeline(w io.Writer, s *core.Sampled) {
+	fmt.Fprintf(w, "%s  sampled every %s\n", strings.ToUpper(s.Op),
+		cycles.Format(s.Interval))
+	lo, hi := 64, 0
+	for _, seg := range s.Segments() {
+		if slo, shi, ok := seg.Range(); ok {
+			if slo < lo {
+				lo = slo
+			}
+			if shi > hi {
+				hi = shi
+			}
+		}
+	}
+	if hi == 0 && lo == 64 {
+		fmt.Fprintln(w, "(empty)")
+		return
+	}
+	lo = lo / 5 * 5
+	hi = (hi/5 + 1) * 5
+	for i, seg := range s.Segments() {
+		fmt.Fprintf(w, "%7.2fs |", cycles.ToSeconds(s.Interval)*float64(i))
+		for b := lo; b <= hi && b < len(seg.Buckets); b++ {
+			fmt.Fprintf(w, "%c", timelineGlyph(seg.Buckets[b]))
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprint(w, "         +")
+	for b := lo; b <= hi; b += 5 {
+		fmt.Fprintf(w, "%-5d", b)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "          legend: '.' 1-10 ops, 'o' 11-100, '#' >100")
+}
+
+// Comparison renders selector pair reports as a table.
+func Comparison(w io.Writer, reports []analysis.PairReport) {
+	fmt.Fprintf(w, "%-18s %8s %8s %7s %7s %8s  %s\n",
+		"OP", "OPS-A", "OPS-B", "PEAKS-A", "PEAKS-B", "SCORE", "VERDICT")
+	for _, r := range reports {
+		verdict := "-"
+		switch {
+		case r.Skipped:
+			verdict = "skipped: " + r.Reason
+		case r.Interesting:
+			verdict = "INTERESTING"
+		}
+		fmt.Fprintf(w, "%-18s %8d %8d %7d %7d %8.3f  %s\n",
+			r.Op, r.A.Count, r.B.Count, len(r.PeaksA), len(r.PeaksB),
+			r.Score, verdict)
+	}
+}
+
+// Gnuplot writes a self-contained gnuplot script reproducing the
+// paper's bar-plot style for one profile (log2 x buckets, log10 y).
+func Gnuplot(w io.Writer, p *core.Profile) {
+	fmt.Fprintf(w, "# OSprof profile %q: gnuplot script\n", p.Op)
+	fmt.Fprintf(w, "set title %q\n", strings.ToUpper(p.Op))
+	fmt.Fprintln(w, `set xlabel "Bucket number: floor(log2(latency in CPU cycles))"`)
+	fmt.Fprintln(w, `set ylabel "Number of operations"`)
+	fmt.Fprintln(w, "set logscale y 10")
+	fmt.Fprintln(w, "set boxwidth 0.9")
+	fmt.Fprintln(w, "set style fill solid 0.6")
+	fmt.Fprintln(w, `plot "-" using 1:2 with boxes notitle`)
+	for b, c := range p.Buckets {
+		if c > 0 {
+			fmt.Fprintf(w, "%d %d\n", b, c)
+		}
+	}
+	fmt.Fprintln(w, "e")
+}

@@ -1,0 +1,147 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"osprof/internal/analysis"
+	"osprof/internal/core"
+)
+
+func sample() *core.Profile {
+	p := core.NewProfile("readdir")
+	for i := 0; i < 5000; i++ {
+		p.Record(100) // bucket 6
+	}
+	for i := 0; i < 300; i++ {
+		p.Record(5_000) // bucket 12
+	}
+	for i := 0; i < 12; i++ {
+		p.Record(2_000_000) // bucket 20
+	}
+	return p
+}
+
+func TestProfileRendering(t *testing.T) {
+	var buf bytes.Buffer
+	Profile(&buf, sample(), Options{})
+	out := buf.String()
+	if !strings.Contains(out, "READDIR") {
+		t.Error("missing op title")
+	}
+	if !strings.Contains(out, "n=5312") {
+		t.Errorf("missing count; got:\n%s", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Error("no bars rendered")
+	}
+	if !strings.Contains(out, "bucket: floor(log2(latency in CPU cycles))") {
+		t.Error("missing x-axis caption")
+	}
+	// Three peaks must be visibly separated: the bottom row must
+	// contain at least two gaps between bar groups.
+	lines := strings.Split(out, "\n")
+	var bottom string
+	for i := len(lines) - 1; i >= 0; i-- {
+		if strings.Contains(lines[i], "10^0") {
+			bottom = lines[i]
+			break
+		}
+	}
+	if bottom == "" {
+		t.Fatalf("no bottom row; got:\n%s", out)
+	}
+	if groups := len(strings.Fields(strings.TrimPrefix(bottom, "10^0 |"))); groups < 3 {
+		t.Errorf("bottom row %q has %d bar groups, want >= 3", bottom, groups)
+	}
+}
+
+func TestProfileRenderingEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	Profile(&buf, core.NewProfile("empty"), Options{})
+	if !strings.Contains(buf.String(), "EMPTY") {
+		t.Error("empty profile render broken")
+	}
+}
+
+func TestSetRendering(t *testing.T) {
+	s := core.NewSet("run")
+	s.Record("read", 100)
+	s.Record("write", 1_000_000)
+	var buf bytes.Buffer
+	Set(&buf, s, Options{})
+	out := buf.String()
+	if !strings.Contains(out, "profile set") {
+		t.Error("missing set header")
+	}
+	// write has larger total latency: must come first.
+	if strings.Index(out, "WRITE") > strings.Index(out, "READ") {
+		t.Error("profiles not ordered by total latency")
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	s := core.NewSampled("read", 0, 1_000_000)
+	for seg := uint64(0); seg < 4; seg++ {
+		now := seg * 1_000_000
+		for i := 0; i < 500; i++ {
+			s.Record(now, 4_000) // '#' cells
+		}
+		s.Record(now, 50) // '.' cell
+	}
+	var buf bytes.Buffer
+	Timeline(&buf, s)
+	out := buf.String()
+	if !strings.Contains(out, "#") || !strings.Contains(out, ".") {
+		t.Errorf("glyphs missing:\n%s", out)
+	}
+	if !strings.Contains(out, "legend") {
+		t.Error("missing legend")
+	}
+	if got := strings.Count(out, "s |"); got != 4 {
+		t.Errorf("segments rendered = %d, want 4", got)
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	Timeline(&buf, core.NewSampled("x", 0, 100))
+	if !strings.Contains(buf.String(), "empty") {
+		t.Error("empty timeline should say so")
+	}
+}
+
+func TestTimelineGlyphThresholds(t *testing.T) {
+	for c, want := range map[uint64]byte{0: ' ', 1: '.', 10: '.', 11: 'o', 100: 'o', 101: '#'} {
+		if got := timelineGlyph(c); got != want {
+			t.Errorf("glyph(%d) = %c, want %c", c, got, want)
+		}
+	}
+}
+
+func TestComparisonTable(t *testing.T) {
+	a, b := core.NewSet("a"), core.NewSet("b")
+	a.Record("op", 100)
+	b.Record("op", 1<<20)
+	reports := analysis.DefaultSelector().Compare(a, b)
+	var buf bytes.Buffer
+	Comparison(&buf, reports)
+	if !strings.Contains(buf.String(), "op") {
+		t.Error("comparison table missing op row")
+	}
+	if !strings.Contains(buf.String(), "VERDICT") {
+		t.Error("comparison table missing header")
+	}
+}
+
+func TestGnuplotScript(t *testing.T) {
+	var buf bytes.Buffer
+	Gnuplot(&buf, sample())
+	out := buf.String()
+	for _, want := range []string{"set logscale y", "plot", "e\n", "6 5000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("gnuplot output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package sim
+
+import "container/heap"
+
+// event is a scheduled callback in the discrete-event simulation.
+// Events are ordered by (when, seq); seq provides a deterministic
+// tie-break for events scheduled at the same instant.
+type event struct {
+	when     uint64
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// schedule registers fn to run at absolute time when (in cycles).
+// The returned event may be canceled with cancelEvent.
+func (k *Kernel) schedule(when uint64, fn func()) *event {
+	if when < k.now {
+		when = k.now
+	}
+	k.seq++
+	ev := &event{when: when, seq: k.seq, fn: fn}
+	heap.Push(&k.events, ev)
+	return ev
+}
+
+// cancelEvent marks an event so it will be skipped when popped.
+func (k *Kernel) cancelEvent(ev *event) {
+	if ev != nil {
+		ev.canceled = true
+	}
+}
+
+// popEvent removes and returns the earliest non-canceled event, or nil.
+func (k *Kernel) popEvent() *event {
+	for k.events.Len() > 0 {
+		ev := heap.Pop(&k.events).(*event)
+		if !ev.canceled {
+			return ev
+		}
+	}
+	return nil
+}
+
+// peekTime reports the time of the earliest pending event.
+func (k *Kernel) peekTime() (uint64, bool) {
+	for k.events.Len() > 0 {
+		if k.events[0].canceled {
+			heap.Pop(&k.events)
+			continue
+		}
+		return k.events[0].when, true
+	}
+	return 0, false
+}

@@ -1,0 +1,243 @@
+package sim
+
+import "fmt"
+
+// procState tracks where a process is in its lifecycle.
+type procState int
+
+const (
+	stateNew procState = iota
+	stateRunnable
+	stateRunning
+	stateBlocked
+	stateSpinning
+	stateFinished
+)
+
+func (s procState) String() string {
+	switch s {
+	case stateNew:
+		return "new"
+	case stateRunnable:
+		return "runnable"
+	case stateRunning:
+		return "running"
+	case stateBlocked:
+		return "blocked"
+	case stateSpinning:
+		return "spinning"
+	case stateFinished:
+		return "finished"
+	}
+	return fmt.Sprintf("procState(%d)", int(s))
+}
+
+// Proc is a simulated process. Its body runs in a goroutine, but only
+// while the kernel has explicitly handed it control; every simulation
+// primitive (Exec, Sleep, semaphores, I/O) yields back to the kernel.
+//
+// Code between primitive calls takes zero simulated time: only Exec
+// advances the process's CPU clock. This mirrors how the paper thinks
+// about latency: operations are sums of exec, lock, interrupt and I/O
+// components (Eq. 2), each of which is explicit here.
+type Proc struct {
+	k      *Kernel
+	id     int
+	name   string
+	daemon bool
+
+	state       procState
+	cpu         *cpu
+	lastCPU     int
+	resume      chan struct{}
+	yield       chan struct{}
+	blockReason string
+
+	// exec state
+	execRemaining uint64 // exec cycles still owed
+	execUser      bool   // current exec is user mode
+	overhead      uint64 // pending non-exec work (ctx switch, tick handler)
+	sliceStart    uint64
+	sliceEvent    *event
+	cpuAcquired   uint64 // when this CPU assignment began (quantum base)
+	runnableAt    uint64
+	blockedAt     uint64
+	wasPreempted  bool
+
+	// per-process accounting
+	userCPU         uint64
+	sysCPU          uint64
+	spinTime        uint64
+	interruptTime   uint64
+	waitBlocked     uint64
+	waitRunnable    uint64
+	preemptions     uint64
+	contextSwitches uint64
+
+	waiters        []*Proc
+	cleanupPending bool
+}
+
+// ProcStats is a snapshot of per-process accounting.
+type ProcStats struct {
+	UserCPU         uint64
+	SysCPU          uint64
+	SpinTime        uint64
+	InterruptTime   uint64
+	WaitBlocked     uint64
+	WaitRunnable    uint64
+	Preemptions     uint64
+	ContextSwitches uint64
+}
+
+// ID returns the process identifier (dense, starting at 0).
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the machine this process runs on.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Stats returns a snapshot of this process's accounting counters.
+func (p *Proc) Stats() ProcStats {
+	return ProcStats{
+		UserCPU:         p.userCPU,
+		SysCPU:          p.sysCPU,
+		SpinTime:        p.spinTime,
+		InterruptTime:   p.interruptTime,
+		WaitBlocked:     p.waitBlocked,
+		WaitRunnable:    p.waitRunnable,
+		Preemptions:     p.preemptions,
+		ContextSwitches: p.contextSwitches,
+	}
+}
+
+// Preempted reports whether the process has been forcibly preempted
+// since the flag was last cleared, and clears it. Experiments use it to
+// classify requests, mirroring the paper's Figure 3 analysis.
+func (p *Proc) Preempted() bool {
+	was := p.wasPreempted
+	p.wasPreempted = false
+	return was
+}
+
+// top is the goroutine entry point wrapping the process body.
+func (p *Proc) top(fn func(p *Proc)) {
+	<-p.resume // wait for first dispatch
+	fn(p)
+	p.state = stateFinished
+	p.cleanupPending = true
+	p.yield <- struct{}{}
+}
+
+// yieldToKernel returns control to the kernel loop and blocks until the
+// kernel resumes this process.
+func (p *Proc) yieldToKernel() {
+	p.yield <- struct{}{}
+	<-p.resume
+}
+
+// ReadTSC returns the per-CPU cycle counter, including the configured
+// skew of the CPU the process last ran on. It models the rdtsc
+// instruction; the ~20-cycle cost of executing it is charged separately
+// by profiling layers via Exec, so that the overhead shows up in
+// profiles exactly as in the paper (§5.2).
+func (p *Proc) ReadTSC() uint64 {
+	c := p.k.cpus[p.lastCPU]
+	return uint64(int64(p.k.now) + c.skew)
+}
+
+// Now returns the unskewed global clock. Prefer ReadTSC in profilers.
+func (p *Proc) Now() uint64 { return p.k.now }
+
+// Exec consumes n cycles of kernel-mode CPU time. The call returns when
+// the work completes; the wall-clock time that elapses may exceed n due
+// to run-queue waits, context switches, timer interrupts and (on
+// preemptive kernels) forcible preemption.
+func (p *Proc) Exec(n uint64) { p.exec(n, false) }
+
+// ExecUser consumes n cycles of user-mode CPU time. User-mode execution
+// is preemptible on every kernel build.
+func (p *Proc) ExecUser(n uint64) { p.exec(n, true) }
+
+func (p *Proc) exec(n uint64, user bool) {
+	if p.cpu == nil {
+		// Defensive: the process somehow lost its CPU; queue for one.
+		p.execRemaining = n
+		p.execUser = user
+		p.state = stateNew
+		p.k.makeRunnable(p)
+		p.k.dispatchLater()
+		p.yieldToKernel()
+		return
+	}
+	p.execRemaining = n
+	p.execUser = user
+	if p.sliceEvent != nil {
+		p.k.cancelEvent(p.sliceEvent)
+	}
+	p.k.startSlice(p)
+	p.yieldToKernel()
+}
+
+// Sleep blocks the process for n cycles of wall time without consuming
+// CPU (e.g., a daemon's periodic timer).
+func (p *Proc) Sleep(n uint64) {
+	k := p.k
+	p.beginBlock("sleep")
+	k.schedule(k.now+n, func() { k.Wake(p) })
+	p.yieldToKernel()
+}
+
+// Block parks the process until another component calls Kernel.Wake.
+// reason is reported in deadlock dumps.
+func (p *Proc) Block(reason string) {
+	p.beginBlock(reason)
+	p.yieldToKernel()
+}
+
+// beginBlock releases the CPU and marks the process blocked.
+func (p *Proc) beginBlock(reason string) {
+	k := p.k
+	if p.sliceEvent != nil {
+		k.cancelEvent(p.sliceEvent)
+		p.sliceEvent = nil
+	}
+	k.releaseCPU(p)
+	p.state = stateBlocked
+	p.blockedAt = k.now
+	p.blockReason = reason
+}
+
+// YieldCPU voluntarily gives up the CPU, going to the back of the run
+// queue (sched_yield).
+func (p *Proc) YieldCPU() {
+	k := p.k
+	if p.sliceEvent != nil {
+		k.cancelEvent(p.sliceEvent)
+		p.sliceEvent = nil
+	}
+	k.releaseCPU(p)
+	p.state = stateNew // force requeue in makeRunnable
+	k.makeRunnable(p)
+	k.dispatchLater()
+	p.yieldToKernel()
+}
+
+// WaitFor blocks until other has finished.
+func (p *Proc) WaitFor(other *Proc) {
+	if other.state == stateFinished {
+		return
+	}
+	other.waiters = append(other.waiters, p)
+	p.beginBlock("waitfor:" + other.name)
+	p.yieldToKernel()
+}
+
+// dispatchLater schedules an immediate dispatch pass. Used by
+// primitives that change the run queue from process context: the
+// dispatch must happen from the kernel loop, after the process yields.
+func (k *Kernel) dispatchLater() {
+	k.schedule(k.now, func() {})
+}

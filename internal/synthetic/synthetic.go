@@ -1,0 +1,211 @@
+// Package synthetic generates labeled profile pairs for the §5.3
+// evaluation of the automated analysis methods. The paper had three
+// graduate students label over 250 real profile pairs as important or
+// not; here the labels come from construction:
+//
+//   - an UNIMPORTANT pair is two independent samples of the same
+//     underlying multi-peak latency distribution (sampling noise only,
+//     including the ±1-bucket jitter that real runs exhibit),
+//   - an IMPORTANT pair additionally applies a structural mutation of
+//     the kind the paper's case studies uncovered: a new contention
+//     peak, a shifted peak, a re-weighted peak, or a workload-scale
+//     change.
+package synthetic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"osprof/internal/core"
+)
+
+// Pair is one labeled comparison case.
+type Pair struct {
+	A, B      *core.Profile
+	Important bool
+	Mutation  string // which mutation produced B ("" if none)
+}
+
+// Spec tunes the generator.
+type Spec struct {
+	// Pairs is the number of pairs to generate (default 250, §5.3).
+	Pairs int
+
+	// ImportantFraction is the fraction of pairs with a real change
+	// (default 0.4).
+	ImportantFraction float64
+
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (s *Spec) applyDefaults() {
+	if s.Pairs == 0 {
+		s.Pairs = 250
+	}
+	if s.ImportantFraction == 0 {
+		s.ImportantFraction = 0.4
+	}
+}
+
+// peak describes one mode of the synthetic distribution.
+type peak struct {
+	center int     // bucket
+	width  int     // buckets of spread to each side
+	mass   float64 // expected operations
+}
+
+// model is an underlying latency distribution.
+type model struct {
+	peaks []peak
+}
+
+// Generate produces the labeled corpus.
+func Generate(spec Spec) []Pair {
+	spec.applyDefaults()
+	rng := rand.New(rand.NewSource(spec.Seed))
+	nImportant := int(float64(spec.Pairs) * spec.ImportantFraction)
+	var out []Pair
+	for i := 0; i < spec.Pairs; i++ {
+		m := randomModel(rng)
+		a := m.sample(rng, fmt.Sprintf("pair%d/a", i))
+		important := i < nImportant
+		var b *core.Profile
+		mutation := ""
+		if important {
+			m2 := m.clone()
+			mutation = m2.mutate(rng)
+			b = m2.sample(rng, fmt.Sprintf("pair%d/b", i))
+		} else {
+			b = m.sample(rng, fmt.Sprintf("pair%d/b", i))
+		}
+		out = append(out, Pair{A: a, B: b, Important: important, Mutation: mutation})
+	}
+	// Shuffle so importance is not positional.
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+func randomModel(rng *rand.Rand) *model {
+	n := 1 + rng.Intn(3)
+	m := &model{}
+	used := map[int]bool{}
+	for i := 0; i < n; i++ {
+		c := 6 + rng.Intn(20)
+		for used[c] || used[c-1] || used[c+1] {
+			c = 6 + rng.Intn(20)
+		}
+		used[c] = true
+		m.peaks = append(m.peaks, peak{
+			center: c,
+			width:  1 + rng.Intn(2),
+			mass:   float64(uint64(100) << rng.Intn(7)), // 100..6400
+		})
+	}
+	return m
+}
+
+func (m *model) clone() *model {
+	c := &model{peaks: append([]peak(nil), m.peaks...)}
+	return c
+}
+
+// mutate applies one structural change and reports its kind. The
+// mutations mirror the paper's case studies: a contention peak appears
+// (§6.1 llseek, §6.4 delayed ACKs), an I/O pattern moves a peak (§6.2),
+// or a code path's frequency changes. They always target the largest
+// peak so the change is structural rather than a tail effect.
+func (m *model) mutate(rng *rand.Rand) string {
+	i := 0
+	for j := range m.peaks {
+		if m.peaks[j].mass > m.peaks[i].mass {
+			i = j
+		}
+	}
+	switch rng.Intn(3) {
+	case 0:
+		// A new peak appears, fed by requests that used to be fast:
+		// part of the dominant peak's mass moves far to the right
+		// (lock contention). Operation counts stay the same — only
+		// shape and total latency change.
+		moved := m.peaks[i].mass * (0.15 + 0.35*rng.Float64())
+		m.peaks[i].mass -= moved
+		m.peaks = append(m.peaks, peak{
+			center: min(m.peaks[i].center+4+rng.Intn(7), 30),
+			width:  1,
+			mass:   moved,
+		})
+		return "new-peak"
+	case 1: // a peak moves (I/O pattern change)
+		shift := 2 + rng.Intn(3)
+		if rng.Intn(2) == 0 && m.peaks[i].center > 10 {
+			shift = -shift
+		}
+		m.peaks[i].center += shift
+		return "shifted-peak"
+	default: // a code path's frequency changes substantially
+		if rng.Intn(2) == 0 {
+			m.peaks[i].mass *= 2 + 2*rng.Float64()
+		} else {
+			m.peaks[i].mass *= 0.15 + 0.2*rng.Float64()
+		}
+		return "reweighted-peak"
+	}
+}
+
+// sample draws one profile from the model with realistic noise: peak
+// masses fluctuate a few percent, individual samples jitter by one
+// bucket occasionally (cache state), and a sparse background of
+// low-frequency events (interrupts, background daemons — the small
+// stray peaks of Figure 3) lands in random buckets. The background is
+// what penalizes bin-by-bin comparison: two runs scatter it into
+// different sparse bins.
+func (m *model) sample(rng *rand.Rand, op string) *core.Profile {
+	p := core.NewProfile(op)
+	var total float64
+	for _, pk := range m.peaks {
+		total += pk.mass
+	}
+	background := int(total * 0.015)
+	for i := 0; i < background; i++ {
+		b := 5 + rng.Intn(26)
+		lo := core.BucketLow(b, 1)
+		span := core.BucketHigh(b, 1) - lo
+		p.Record(lo + uint64(rng.Int63n(int64(span+1))))
+	}
+	for _, pk := range m.peaks {
+		mass := pk.mass * (0.95 + 0.1*rng.Float64())
+		n := int(mass)
+		for i := 0; i < n; i++ {
+			b := pk.center
+			if pk.width > 0 {
+				b += rng.Intn(2*pk.width+1) - pk.width
+			}
+			if rng.Float64() < 0.15 { // per-sample jitter
+				if rng.Intn(2) == 0 {
+					b++
+				} else {
+					b--
+				}
+			}
+			if b < 0 {
+				b = 0
+			}
+			if b > 33 {
+				b = 33
+			}
+			// A latency uniformly inside the bucket.
+			lo := core.BucketLow(b, 1)
+			span := core.BucketHigh(b, 1) - lo
+			p.Record(lo + uint64(rng.Int63n(int64(span+1))))
+		}
+	}
+	return p
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,79 @@
+package synthetic
+
+import (
+	"testing"
+
+	"osprof/internal/analysis"
+)
+
+func TestGenerateCountsAndLabels(t *testing.T) {
+	pairs := Generate(Spec{Pairs: 100, ImportantFraction: 0.4, Seed: 1})
+	if len(pairs) != 100 {
+		t.Fatalf("pairs = %d", len(pairs))
+	}
+	important := 0
+	for _, p := range pairs {
+		if p.Important {
+			important++
+			if p.Mutation == "" {
+				t.Error("important pair without a mutation label")
+			}
+		} else if p.Mutation != "" {
+			t.Error("unimportant pair carries a mutation label")
+		}
+		if p.A.Count == 0 || p.B.Count == 0 {
+			t.Error("empty profile generated")
+		}
+		if p.A.Validate() != nil || p.B.Validate() != nil {
+			t.Error("generated profile fails checksum")
+		}
+	}
+	if important != 40 {
+		t.Errorf("important = %d, want 40", important)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Spec{Pairs: 50, Seed: 7})
+	b := Generate(Spec{Pairs: 50, Seed: 7})
+	for i := range a {
+		if a[i].Important != b[i].Important || a[i].A.Count != b[i].A.Count {
+			t.Fatalf("pair %d differs between identical seeds", i)
+		}
+	}
+}
+
+func TestMutationsCoverAllKinds(t *testing.T) {
+	pairs := Generate(Spec{Pairs: 300, Seed: 3})
+	kinds := map[string]int{}
+	for _, p := range pairs {
+		if p.Important {
+			kinds[p.Mutation]++
+		}
+	}
+	for _, kind := range []string{"new-peak", "shifted-peak", "reweighted-peak"} {
+		if kinds[kind] == 0 {
+			t.Errorf("mutation %q never generated (have %v)", kind, kinds)
+		}
+	}
+}
+
+func TestImportantPairsScoreHigherOnAverage(t *testing.T) {
+	pairs := Generate(Spec{Pairs: 200, Seed: 11})
+	var impSum, noiseSum float64
+	var imp, noise int
+	for _, p := range pairs {
+		s := analysis.EarthMovers(p.A, p.B)
+		if p.Important {
+			impSum += s
+			imp++
+		} else {
+			noiseSum += s
+			noise++
+		}
+	}
+	if impSum/float64(imp) <= 2*noiseSum/float64(noise) {
+		t.Errorf("important pairs not separable: imp=%.4f noise=%.4f",
+			impSum/float64(imp), noiseSum/float64(noise))
+	}
+}

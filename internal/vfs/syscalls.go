@@ -1,0 +1,234 @@
+package vfs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"osprof/internal/sim"
+)
+
+// Syscalls is the system-call surface workloads run against. The
+// user-level profiler (internal/fsprof) wraps any Syscalls
+// implementation, mirroring how the paper's user-level profilers
+// replace system calls with latency-measuring macros (§4).
+type Syscalls interface {
+	Open(p *sim.Proc, path string, directIO bool) (*File, error)
+	Close(p *sim.Proc, f *File)
+	Read(p *sim.Proc, f *File, n uint64) uint64
+	Write(p *sim.Proc, f *File, n uint64) uint64
+	Llseek(p *sim.Proc, f *File, off int64, whence Whence) uint64
+	Getdents(p *sim.Proc, f *File) []DirEntry
+	Fsync(p *sim.Proc, f *File)
+	Create(p *sim.Proc, path string) (*File, error)
+	Unlink(p *sim.Proc, path string) error
+	Mkdir(p *sim.Proc, path string) error
+	Stat(p *sim.Proc, path string) (*Inode, error)
+}
+
+// mount binds a path prefix to a file system.
+type mount struct {
+	path string
+	fs   FileSystem
+}
+
+// VFS is the system-call layer: it resolves paths across mounts and
+// dispatches to file-system operation vectors.
+type VFS struct {
+	K *sim.Kernel
+
+	// SyscallEntry is the user/kernel crossing cost in cycles charged
+	// once per system call.
+	SyscallEntry uint64
+
+	// LookupCost is the per-path-component dcache lookup cost.
+	LookupCost uint64
+
+	mounts []mount
+}
+
+var _ Syscalls = (*VFS)(nil)
+
+// New creates a VFS on kernel k with default costs.
+func New(k *sim.Kernel) *VFS {
+	return &VFS{K: k, SyscallEntry: 64, LookupCost: 300}
+}
+
+// Mount attaches fs at path ("/" for the root).
+func (v *VFS) Mount(path string, fs FileSystem) error {
+	path = strings.TrimRight(path, "/")
+	for _, m := range v.mounts {
+		if m.path == path {
+			return fmt.Errorf("vfs: %q already mounted", path)
+		}
+	}
+	v.mounts = append(v.mounts, mount{path: path, fs: fs})
+	// Longest prefix first for resolution.
+	sort.SliceStable(v.mounts, func(i, j int) bool {
+		return len(v.mounts[i].path) > len(v.mounts[j].path)
+	})
+	return nil
+}
+
+// resolveDir walks path to its parent directory, returning the owning
+// fs, the parent inode and the final component.
+func (v *VFS) resolveDir(p *sim.Proc, path string) (FileSystem, *Inode, string, error) {
+	fs, rest, err := v.pick(path)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	parts := split(rest)
+	if len(parts) == 0 {
+		return fs, nil, "", nil // the mount root itself
+	}
+	dir := fs.Root()
+	for _, comp := range parts[:len(parts)-1] {
+		p.Exec(v.LookupCost)
+		next, ok := fs.Ops().Inode.Lookup(p, dir, comp)
+		if !ok {
+			return nil, nil, "", fmt.Errorf("%w: %s", ErrNotFound, path)
+		}
+		if !next.Dir {
+			return nil, nil, "", fmt.Errorf("%w: %s", ErrNotDir, comp)
+		}
+		dir = next
+	}
+	return fs, dir, parts[len(parts)-1], nil
+}
+
+// resolve walks path to its inode.
+func (v *VFS) resolve(p *sim.Proc, path string) (FileSystem, *Inode, error) {
+	fs, dir, last, err := v.resolveDir(p, path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if dir == nil {
+		return fs, fs.Root(), nil
+	}
+	p.Exec(v.LookupCost)
+	ino, ok := fs.Ops().Inode.Lookup(p, dir, last)
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %s", ErrNotFound, path)
+	}
+	return fs, ino, nil
+}
+
+// pick selects the mount owning path and returns the path remainder.
+func (v *VFS) pick(path string) (FileSystem, string, error) {
+	if !strings.HasPrefix(path, "/") {
+		return nil, "", fmt.Errorf("vfs: path %q not absolute", path)
+	}
+	for _, m := range v.mounts {
+		if m.path == "" || path == m.path || strings.HasPrefix(path, m.path+"/") {
+			return m.fs, strings.TrimPrefix(path, m.path), nil
+		}
+	}
+	return nil, "", fmt.Errorf("vfs: nothing mounted for %q", path)
+}
+
+func split(rest string) []string {
+	rest = strings.Trim(rest, "/")
+	if rest == "" {
+		return nil
+	}
+	return strings.Split(rest, "/")
+}
+
+// Open resolves path and opens it through the file system's Open op.
+func (v *VFS) Open(p *sim.Proc, path string, directIO bool) (*File, error) {
+	p.Exec(v.SyscallEntry)
+	fs, ino, err := v.resolve(p, path)
+	if err != nil {
+		return nil, err
+	}
+	return fs.Ops().File.Open(p, ino, directIO), nil
+}
+
+// Close releases an open file.
+func (v *VFS) Close(p *sim.Proc, f *File) {
+	p.Exec(v.SyscallEntry)
+	if rel := f.Inode.FS.Ops().File.Release; rel != nil {
+		rel(p, f)
+	}
+}
+
+// Read reads up to n bytes at the current position.
+func (v *VFS) Read(p *sim.Proc, f *File, n uint64) uint64 {
+	p.Exec(v.SyscallEntry)
+	return f.Inode.FS.Ops().File.Read(p, f, n)
+}
+
+// Write writes n bytes at the current position.
+func (v *VFS) Write(p *sim.Proc, f *File, n uint64) uint64 {
+	p.Exec(v.SyscallEntry)
+	return f.Inode.FS.Ops().File.Write(p, f, n)
+}
+
+// Llseek repositions the file offset.
+func (v *VFS) Llseek(p *sim.Proc, f *File, off int64, whence Whence) uint64 {
+	p.Exec(v.SyscallEntry)
+	return f.Inode.FS.Ops().File.Llseek(p, f, off, whence)
+}
+
+// Getdents returns the next batch of directory entries (empty at EOF).
+func (v *VFS) Getdents(p *sim.Proc, f *File) []DirEntry {
+	p.Exec(v.SyscallEntry)
+	return f.Inode.FS.Ops().File.Readdir(p, f)
+}
+
+// Fsync flushes a file's dirty state to disk.
+func (v *VFS) Fsync(p *sim.Proc, f *File) {
+	p.Exec(v.SyscallEntry)
+	f.Inode.FS.Ops().File.Fsync(p, f)
+}
+
+// Create makes a new regular file and opens it.
+func (v *VFS) Create(p *sim.Proc, path string) (*File, error) {
+	p.Exec(v.SyscallEntry)
+	fs, dir, name, err := v.resolveDir(p, path)
+	if err != nil {
+		return nil, err
+	}
+	if dir == nil {
+		return nil, ErrExists
+	}
+	ino, err := fs.Ops().Inode.Create(p, dir, name)
+	if err != nil {
+		return nil, err
+	}
+	return fs.Ops().File.Open(p, ino, false), nil
+}
+
+// Unlink removes a file.
+func (v *VFS) Unlink(p *sim.Proc, path string) error {
+	p.Exec(v.SyscallEntry)
+	fs, dir, name, err := v.resolveDir(p, path)
+	if err != nil {
+		return err
+	}
+	if dir == nil {
+		return ErrIsDir
+	}
+	return fs.Ops().Inode.Unlink(p, dir, name)
+}
+
+// Mkdir creates a directory.
+func (v *VFS) Mkdir(p *sim.Proc, path string) error {
+	p.Exec(v.SyscallEntry)
+	fs, dir, name, err := v.resolveDir(p, path)
+	if err != nil {
+		return err
+	}
+	if dir == nil {
+		return ErrExists
+	}
+	_, err = fs.Ops().Inode.Mkdir(p, dir, name)
+	return err
+}
+
+// Stat resolves path and returns its inode.
+func (v *VFS) Stat(p *sim.Proc, path string) (*Inode, error) {
+	p.Exec(v.SyscallEntry)
+	_, ino, err := v.resolve(p, path)
+	return ino, err
+}

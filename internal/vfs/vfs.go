@@ -1,0 +1,137 @@
+// Package vfs implements the virtual file system layer of the simulated
+// kernel: inodes, open files, mounts, and the operation vectors that
+// file systems fill in (the paper's Figure 4 shows Ext2's
+// file_operations vector; FoSgen instruments exactly these vectors).
+//
+// The profiling wrapper in internal/fsprof replaces the function fields
+// of a file system's Ops structure in place, so every call — whether
+// from the system-call layer or from one file-system operation invoking
+// another (readdir calling readpage, §6.2) — passes through the
+// instrumentation, matching the paper's source-level FoSgen behavior.
+package vfs
+
+import (
+	"errors"
+
+	"osprof/internal/sim"
+)
+
+// PageSize is the page and file-system block size (4 KB).
+const PageSize = 4096
+
+// Errors returned by VFS operations.
+var (
+	ErrNotFound = errors.New("vfs: no such file or directory")
+	ErrExists   = errors.New("vfs: file exists")
+	ErrNotDir   = errors.New("vfs: not a directory")
+	ErrIsDir    = errors.New("vfs: is a directory")
+	ErrNotEmpty = errors.New("vfs: directory not empty")
+)
+
+// Whence selects the llseek base.
+type Whence int
+
+const (
+	SeekSet Whence = iota
+	SeekCur
+	SeekEnd
+)
+
+// Inode is an in-core inode.
+type Inode struct {
+	ID   uint64
+	Dir  bool
+	Size uint64
+
+	// Sem is the inode semaphore (Linux's i_sem), taken by
+	// generic_file_llseek and the direct-I/O read path — the shared
+	// lock behind the paper's §6.1 contention.
+	Sem *sim.Semaphore
+
+	// FS owns this inode.
+	FS FileSystem
+
+	// Data points at file-system-private state.
+	Data any
+}
+
+// Pages returns the number of pages covering the inode's data.
+func (i *Inode) Pages() uint64 { return (i.Size + PageSize - 1) / PageSize }
+
+// File is an open file description: a per-open position over an inode.
+type File struct {
+	Inode *Inode
+
+	// Pos is the current file offset. Note that Pos is per-File
+	// (per process, usually) while Inode.Sem is shared — which is
+	// exactly why the paper flags generic_file_llseek's locking as
+	// unnecessary for regular files (§6.1).
+	Pos uint64
+
+	// DirectIO bypasses the page cache (O_DIRECT).
+	DirectIO bool
+}
+
+// DirEntry is one directory entry as returned by readdir.
+type DirEntry struct {
+	Name string
+	Ino  uint64
+	Dir  bool
+}
+
+// DirentSize is the on-disk size of one directory entry; 64 entries
+// fit a 4 KB directory block.
+const DirentSize = 64
+
+// FileOps is the file operation vector (struct file_operations).
+type FileOps struct {
+	Read    func(p *sim.Proc, f *File, n uint64) uint64
+	Write   func(p *sim.Proc, f *File, n uint64) uint64
+	Llseek  func(p *sim.Proc, f *File, off int64, whence Whence) uint64
+	Readdir func(p *sim.Proc, f *File) []DirEntry
+	Fsync   func(p *sim.Proc, f *File)
+	Open    func(p *sim.Proc, ino *Inode, directIO bool) *File
+	Release func(p *sim.Proc, f *File)
+}
+
+// InodeOps is the inode operation vector (struct inode_operations).
+type InodeOps struct {
+	Lookup func(p *sim.Proc, dir *Inode, name string) (*Inode, bool)
+	Create func(p *sim.Proc, dir *Inode, name string) (*Inode, error)
+	Unlink func(p *sim.Proc, dir *Inode, name string) error
+	Mkdir  func(p *sim.Proc, dir *Inode, name string) (*Inode, error)
+}
+
+// AddressOps is the address-space operation vector (struct
+// address_space_operations): page-granular I/O initiation. ReadPage
+// starts I/O for a single page (the readdir path); ReadPages starts a
+// batched readahead (the file-data path). Both return after initiating
+// the I/O — waiting happens at the caller via Page.WaitUptodate, which
+// is why readpage's own latency profile stays small (§6.2).
+type AddressOps struct {
+	ReadPage  func(p *sim.Proc, ino *Inode, idx uint64)
+	ReadPages func(p *sim.Proc, ino *Inode, idx, n uint64)
+	WritePage func(p *sim.Proc, ino *Inode, idx uint64, sync bool)
+}
+
+// SuperOps is the superblock operation vector.
+type SuperOps struct {
+	WriteSuper func(p *sim.Proc)
+	SyncFS     func(p *sim.Proc)
+}
+
+// Ops bundles a file system's operation vectors. Instrumentation
+// replaces the function fields in place (FoSgen-style).
+type Ops struct {
+	File    FileOps
+	Inode   InodeOps
+	Address AddressOps
+	Super   SuperOps
+}
+
+// FileSystem is a mounted file system.
+type FileSystem interface {
+	Name() string
+	Root() *Inode
+	Ops() *Ops
+}

@@ -1,0 +1,234 @@
+package vfs
+
+import (
+	"errors"
+	"testing"
+
+	"osprof/internal/sim"
+)
+
+// fakeFS is a minimal in-memory FileSystem for exercising the VFS
+// layer and generic helpers without a disk.
+type fakeFS struct {
+	ops  Ops
+	root *Inode
+	k    *sim.Kernel
+}
+
+func newFakeFS(k *sim.Kernel) *fakeFS {
+	fs := &fakeFS{k: k}
+	fs.root = &Inode{ID: 1, Dir: true, Sem: sim.NewSemaphore(k, "root"), FS: fs}
+	children := map[string]*Inode{}
+	mk := func(name string, dir bool, size uint64) *Inode {
+		ino := &Inode{
+			ID:   uint64(len(children) + 2),
+			Dir:  dir,
+			Size: size,
+			Sem:  sim.NewSemaphore(k, name),
+			FS:   fs,
+		}
+		children[name] = ino
+		return ino
+	}
+	sub := mk("sub", true, 0)
+	mk("file", false, 3*PageSize)
+	subChildren := map[string]*Inode{"inner": {
+		ID: 99, Size: 10, Sem: sim.NewSemaphore(k, "inner"), FS: fs,
+	}}
+	fs.ops = Ops{
+		File: FileOps{
+			Open:    GenericOpen(100),
+			Release: GenericRelease(50),
+			Llseek:  GenericFileLlseek(false),
+			Read: func(p *sim.Proc, f *File, n uint64) uint64 {
+				p.Exec(10)
+				if f.Pos >= f.Inode.Size {
+					return 0
+				}
+				if f.Pos+n > f.Inode.Size {
+					n = f.Inode.Size - f.Pos
+				}
+				f.Pos += n
+				return n
+			},
+		},
+		Inode: InodeOps{
+			Lookup: func(p *sim.Proc, dir *Inode, name string) (*Inode, bool) {
+				p.Exec(10)
+				var m map[string]*Inode
+				switch dir {
+				case fs.root:
+					m = children
+				case sub:
+					m = subChildren
+				default:
+					return nil, false
+				}
+				ino, ok := m[name]
+				return ino, ok
+			},
+		},
+	}
+	return fs
+}
+
+func (f *fakeFS) Name() string { return "fake" }
+func (f *fakeFS) Root() *Inode { return f.root }
+func (f *fakeFS) Ops() *Ops    { return &f.ops }
+
+func run(t *testing.T, body func(p *sim.Proc, v *VFS)) {
+	t.Helper()
+	k := sim.New(sim.Config{NumCPUs: 1, ContextSwitch: 10})
+	v := New(k)
+	if err := v.Mount("/", newFakeFS(k)); err != nil {
+		t.Fatal(err)
+	}
+	k.Spawn("t", func(p *sim.Proc) { body(p, v) })
+	k.Run()
+}
+
+func TestResolveNested(t *testing.T) {
+	run(t, func(p *sim.Proc, v *VFS) {
+		if _, err := v.Stat(p, "/sub/inner"); err != nil {
+			t.Errorf("stat nested: %v", err)
+		}
+		if _, err := v.Stat(p, "/sub/ghost"); !errors.Is(err, ErrNotFound) {
+			t.Errorf("ghost: %v", err)
+		}
+		if _, err := v.Stat(p, "/file/impossible"); !errors.Is(err, ErrNotDir) {
+			t.Errorf("file as dir: %v", err)
+		}
+	})
+}
+
+func TestResolveRoot(t *testing.T) {
+	run(t, func(p *sim.Proc, v *VFS) {
+		ino, err := v.Stat(p, "/")
+		if err != nil || !ino.Dir {
+			t.Errorf("root stat: %v %+v", err, ino)
+		}
+	})
+}
+
+func TestRelativePathRejected(t *testing.T) {
+	run(t, func(p *sim.Proc, v *VFS) {
+		if _, err := v.Open(p, "no-slash", false); err == nil {
+			t.Error("relative path accepted")
+		}
+	})
+}
+
+func TestMountLongestPrefixWins(t *testing.T) {
+	k := sim.New(sim.Config{NumCPUs: 1, ContextSwitch: 10})
+	v := New(k)
+	outer, inner := newFakeFS(k), newFakeFS(k)
+	if err := v.Mount("/", outer); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Mount("/mnt", inner); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Mount("/mnt", inner); err == nil {
+		t.Error("double mount accepted")
+	}
+	k.Spawn("t", func(p *sim.Proc) {
+		ino, err := v.Stat(p, "/mnt/file")
+		if err != nil {
+			t.Errorf("stat through mount: %v", err)
+			return
+		}
+		if ino.FS != inner {
+			t.Error("resolution crossed the wrong mount")
+		}
+	})
+	k.Run()
+}
+
+func TestGenericLlseekWhence(t *testing.T) {
+	run(t, func(p *sim.Proc, v *VFS) {
+		f, err := v.Open(p, "/file", false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := v.Llseek(p, f, 100, SeekSet); got != 100 {
+			t.Errorf("SeekSet = %d", got)
+		}
+		if got := v.Llseek(p, f, 50, SeekCur); got != 150 {
+			t.Errorf("SeekCur = %d", got)
+		}
+		if got := v.Llseek(p, f, -PageSize, SeekEnd); got != 2*PageSize {
+			t.Errorf("SeekEnd = %d", got)
+		}
+		if got := v.Llseek(p, f, -1<<40, SeekSet); got != 0 {
+			t.Errorf("negative seek clamps to 0, got %d", got)
+		}
+	})
+}
+
+func TestBuggyLlseekTakesSem(t *testing.T) {
+	k := sim.New(sim.Config{NumCPUs: 2, ContextSwitch: 10})
+	fs := newFakeFS(k)
+	fs.ops.File.Llseek = GenericFileLlseek(true)
+	v := New(k)
+	if err := v.Mount("/", fs); err != nil {
+		t.Fatal(err)
+	}
+	var ino *Inode
+	k.Spawn("holder", func(p *sim.Proc) {
+		f, _ := v.Open(p, "/file", false)
+		ino = f.Inode
+		ino.Sem.Down(p)
+		p.Exec(100_000)
+		ino.Sem.Up(p)
+	})
+	var waited uint64
+	k.Spawn("seeker", func(p *sim.Proc) {
+		p.Exec(1_000)
+		f, _ := v.Open(p, "/file", false)
+		start := p.Now()
+		v.Llseek(p, f, 0, SeekSet)
+		waited = p.Now() - start
+	})
+	k.Run()
+	if waited < 50_000 {
+		t.Errorf("buggy llseek did not wait on the held i_sem: %d", waited)
+	}
+	if ino.Sem.Stats().Contentions == 0 {
+		t.Error("no contention recorded")
+	}
+}
+
+func TestInodePages(t *testing.T) {
+	for size, want := range map[uint64]uint64{
+		0: 0, 1: 1, PageSize: 1, PageSize + 1: 2, 3 * PageSize: 3,
+	} {
+		i := Inode{Size: size}
+		if got := i.Pages(); got != want {
+			t.Errorf("Pages(size=%d) = %d, want %d", size, got, want)
+		}
+	}
+}
+
+func TestSyscallEntryCostCharged(t *testing.T) {
+	run(t, func(p *sim.Proc, v *VFS) {
+		f, _ := v.Open(p, "/file", false)
+		start := p.Now()
+		v.Read(p, f, 0)
+		el := p.Now() - start
+		// Syscall entry (64) + read body (10).
+		if el != v.SyscallEntry+10 {
+			t.Errorf("read(0) cost %d, want %d", el, v.SyscallEntry+10)
+		}
+	})
+}
+
+func TestNothingMounted(t *testing.T) {
+	k := sim.New(sim.Config{NumCPUs: 1, ContextSwitch: 10})
+	v := New(k)
+	k.Spawn("t", func(p *sim.Proc) {
+		if _, err := v.Open(p, "/x", false); err == nil {
+			t.Error("open with no mounts succeeded")
+		}
+	})
+	k.Run()
+}

@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"osprof/internal/sim"
+	"osprof/internal/vfs"
+)
+
+// Grep models `grep -r nonexistent-string tree`: recursively read every
+// directory and every file. Like the real utility, it keeps calling
+// getdents until no more entries return — producing the past-EOF
+// readdir calls that form the first peak of Figure 7 — and reads file
+// data in fixed-size chunks.
+type Grep struct {
+	// Sys is the system-call surface (possibly wrapped by a
+	// user-level profiler).
+	Sys vfs.Syscalls
+
+	// Root is the directory to scan (default "/src").
+	Root string
+
+	// Chunk is the read size in bytes (default 32 KB, grep's buffer).
+	Chunk uint64
+
+	// MatchCost is the user-mode CPU burned scanning each chunk for
+	// the pattern (default 3000 cycles).
+	MatchCost uint64
+}
+
+// GrepStats reports what the scan touched.
+type GrepStats struct {
+	Dirs, Files  int
+	BytesRead    uint64
+	GetdentsOps  int
+	PastEOFCalls int
+}
+
+// Run performs the recursive scan as process p.
+func (g *Grep) Run(p *sim.Proc) GrepStats {
+	if g.Root == "" {
+		g.Root = "/src"
+	}
+	if g.Chunk == 0 {
+		g.Chunk = 32 << 10
+	}
+	if g.MatchCost == 0 {
+		g.MatchCost = 3_000
+	}
+	var st GrepStats
+	g.scanDir(p, g.Root, &st)
+	return st
+}
+
+func (g *Grep) scanDir(p *sim.Proc, path string, st *GrepStats) {
+	f, err := g.Sys.Open(p, path, false)
+	if err != nil {
+		return
+	}
+	st.Dirs++
+	var subdirs, files []string
+	for {
+		ents := g.Sys.Getdents(p, f)
+		st.GetdentsOps++
+		if len(ents) == 0 {
+			st.PastEOFCalls++
+			break
+		}
+		for _, e := range ents {
+			full := path + "/" + e.Name
+			if e.Dir {
+				subdirs = append(subdirs, full)
+			} else {
+				files = append(files, full)
+			}
+		}
+	}
+	g.Sys.Close(p, f)
+
+	// Scan files first, then recurse — the depth-first order grep
+	// uses, interleaving file data and directory metadata I/O.
+	for _, file := range files {
+		g.scanFile(p, file, st)
+	}
+	for _, dir := range subdirs {
+		g.scanDir(p, dir, st)
+	}
+}
+
+func (g *Grep) scanFile(p *sim.Proc, path string, st *GrepStats) {
+	f, err := g.Sys.Open(p, path, false)
+	if err != nil {
+		return
+	}
+	st.Files++
+	for {
+		n := g.Sys.Read(p, f, g.Chunk)
+		if n == 0 {
+			break
+		}
+		st.BytesRead += n
+		p.ExecUser(g.MatchCost) // pattern matching in user space
+	}
+	g.Sys.Close(p, f)
+}

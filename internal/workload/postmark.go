@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"osprof/internal/sim"
+	"osprof/internal/vfs"
+)
+
+// Postmark models Postmark v1.5 (§5.2): it "simulates the operation of
+// electronic mail servers", performing creates, deletes, appends and
+// reads over a pool of small files. The paper ran it with 20,000 files
+// and 200,000 transactions to exceed OS caches; experiments here scale
+// the counts down and document the substitution.
+type Postmark struct {
+	// Sys is the system-call surface.
+	Sys vfs.Syscalls
+
+	// Dir is the working directory (default "/postmark"; must exist
+	// or be creatable).
+	Dir string
+
+	// Files is the initial file-pool size (default 500).
+	Files int
+
+	// Transactions is the number of transactions (default 2000).
+	Transactions int
+
+	// SizeMin/SizeMax bound file sizes in bytes (Postmark defaults:
+	// 500 bytes .. 9.77 KB).
+	SizeMin, SizeMax uint64
+
+	// Seed drives the transaction mix.
+	Seed int64
+}
+
+// PostmarkStats counts what ran.
+type PostmarkStats struct {
+	Creates, Deletes, Reads, Appends int
+	VFSOps                           uint64 // total system calls issued
+}
+
+// Run executes the benchmark as process p.
+func (w *Postmark) Run(p *sim.Proc) PostmarkStats {
+	if w.Dir == "" {
+		w.Dir = "/postmark"
+	}
+	if w.Files == 0 {
+		w.Files = 500
+	}
+	if w.Transactions == 0 {
+		w.Transactions = 2_000
+	}
+	if w.SizeMin == 0 {
+		w.SizeMin = 500
+	}
+	if w.SizeMax == 0 {
+		w.SizeMax = 10_000
+	}
+	rng := rand.New(rand.NewSource(w.Seed))
+	var st PostmarkStats
+	_ = w.Sys.Mkdir(p, w.Dir)
+	st.VFSOps++
+
+	living := make([]string, 0, w.Files)
+	nextID := 0
+	create := func() {
+		name := fmt.Sprintf("%s/pm%06d", w.Dir, nextID)
+		nextID++
+		f, err := w.Sys.Create(p, name)
+		st.VFSOps++
+		if err != nil {
+			return
+		}
+		size := w.SizeMin + uint64(rng.Int63n(int64(w.SizeMax-w.SizeMin+1)))
+		w.Sys.Write(p, f, size)
+		w.Sys.Close(p, f)
+		st.VFSOps += 2
+		living = append(living, name)
+		st.Creates++
+	}
+
+	// Phase 1: build the initial pool.
+	for i := 0; i < w.Files; i++ {
+		create()
+	}
+
+	// Phase 2: transactions. Postmark picks read-vs-append and
+	// create-vs-delete with equal bias by default.
+	for i := 0; i < w.Transactions; i++ {
+		if len(living) == 0 {
+			create()
+			continue
+		}
+		victim := rng.Intn(len(living))
+		switch rng.Intn(4) {
+		case 0: // read the whole file
+			f, err := w.Sys.Open(p, living[victim], false)
+			st.VFSOps++
+			if err == nil {
+				for w.Sys.Read(p, f, 4096) > 0 {
+					st.VFSOps++
+				}
+				st.VFSOps++ // final zero-read
+				w.Sys.Close(p, f)
+				st.VFSOps++
+				st.Reads++
+			}
+		case 1: // append
+			f, err := w.Sys.Open(p, living[victim], false)
+			st.VFSOps++
+			if err == nil {
+				w.Sys.Llseek(p, f, 0, vfs.SeekEnd)
+				w.Sys.Write(p, f, w.SizeMin)
+				w.Sys.Close(p, f)
+				st.VFSOps += 3
+				st.Appends++
+			}
+		case 2: // create
+			create()
+		case 3: // delete
+			if w.Sys.Unlink(p, living[victim]) == nil {
+				living = append(living[:victim], living[victim+1:]...)
+				st.Deletes++
+			}
+			st.VFSOps++
+		}
+	}
+
+	// Phase 3: delete the remaining pool.
+	for _, name := range living {
+		if w.Sys.Unlink(p, name) == nil {
+			st.Deletes++
+		}
+		st.VFSOps++
+	}
+	return st
+}

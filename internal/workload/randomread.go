@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"math/rand"
+
+	"osprof/internal/sim"
+	"osprof/internal/vfs"
+)
+
+// RandomRead models the paper's random-read workload (§6): processes
+// "changing the file pointer position to a random value and reading 512
+// bytes of data at that position" using direct I/O. Running two
+// instances over the same file exposes the generic_file_llseek i_sem
+// contention of §6.1.
+type RandomRead struct {
+	// Sys is the system-call surface.
+	Sys vfs.Syscalls
+
+	// Path is the shared file (default "/bigfile").
+	Path string
+
+	// Requests is the number of llseek+read pairs (default 200).
+	Requests int
+
+	// Seed drives the position sequence.
+	Seed int64
+
+	// ThinkTime is user-mode CPU between requests (default 500).
+	ThinkTime uint64
+}
+
+// RandomReadStats reports per-run observations.
+type RandomReadStats struct {
+	Requests  int
+	BytesRead uint64
+}
+
+// Run executes the workload as process p.
+func (w *RandomRead) Run(p *sim.Proc) RandomReadStats {
+	if w.Path == "" {
+		w.Path = "/bigfile"
+	}
+	if w.Requests == 0 {
+		w.Requests = 200
+	}
+	if w.ThinkTime == 0 {
+		w.ThinkTime = 500
+	}
+	rng := rand.New(rand.NewSource(w.Seed))
+	var st RandomReadStats
+
+	f, err := w.Sys.Open(p, w.Path, true) // O_DIRECT
+	if err != nil {
+		return st
+	}
+	size := f.Inode.Size
+	if size < 512 {
+		return st
+	}
+	for i := 0; i < w.Requests; i++ {
+		pos := uint64(rng.Int63n(int64(size/512))) * 512
+		w.Sys.Llseek(p, f, int64(pos), vfs.SeekSet)
+		st.BytesRead += w.Sys.Read(p, f, 512)
+		st.Requests++
+		p.ExecUser(w.ThinkTime)
+	}
+	w.Sys.Close(p, f)
+	return st
+}

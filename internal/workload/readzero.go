@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"osprof/internal/sim"
+	"osprof/internal/vfs"
+)
+
+// ReadZero models the paper's Figure 3 workload: a process issuing
+// zero-byte reads back to back. Because a zero-byte read never yields
+// the CPU (Y = 0 in Equation 3), running two such processes on one CPU
+// produces measurable forcible-preemption effects on a preemptive
+// kernel, and timer-interrupt peaks on any kernel.
+type ReadZero struct {
+	// Sys is the system-call surface.
+	Sys vfs.Syscalls
+
+	// Path is the file to read (default "/zero").
+	Path string
+
+	// Requests is the number of zero-byte reads.
+	Requests int
+
+	// UserWork is user-mode CPU between reads (default 20 cycles,
+	// a tight loop).
+	UserWork uint64
+
+	// Observe, if set, receives the wall-clock latency of each read
+	// and whether the process was forcibly preempted during it.
+	// Experiments use it to validate Equation 3's expected counts.
+	Observe func(latency uint64, preempted bool)
+}
+
+// ReadZeroStats summarizes the run.
+type ReadZeroStats struct {
+	Requests  int
+	Preempted int
+}
+
+// Run executes the workload as process p.
+func (w *ReadZero) Run(p *sim.Proc) ReadZeroStats {
+	if w.Path == "" {
+		w.Path = "/zero"
+	}
+	if w.Requests == 0 {
+		w.Requests = 10_000
+	}
+	if w.UserWork == 0 {
+		w.UserWork = 20
+	}
+	var st ReadZeroStats
+	f, err := w.Sys.Open(p, w.Path, false)
+	if err != nil {
+		return st
+	}
+	for i := 0; i < w.Requests; i++ {
+		p.Preempted() // clear the flag
+		start := p.Now()
+		w.Sys.Read(p, f, 0)
+		lat := p.Now() - start
+		pre := p.Preempted()
+		if pre {
+			st.Preempted++
+		}
+		if w.Observe != nil {
+			w.Observe(lat, pre)
+		}
+		st.Requests++
+		p.ExecUser(w.UserWork)
+	}
+	w.Sys.Close(p, f)
+	return st
+}

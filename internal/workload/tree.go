@@ -1,0 +1,106 @@
+// Package workload implements the workload generators the paper uses to
+// capture its example profiles (§5, §6): a recursive grep over a source
+// tree, random direct-I/O reads, Postmark, a clone storm, and
+// zero-byte reads. Each generator runs against the vfs.Syscalls
+// surface, so the user-level profiler can wrap it unchanged — just as
+// the paper recompiles the same instrumented programs on every
+// POSIX-compliant OS (§4).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"osprof/internal/fs/ext2"
+	"osprof/internal/vfs"
+)
+
+// TreeSpec describes a synthetic source tree like the Linux kernel tree
+// used by the paper's grep workload (§6, "the grep utility ...
+// recursively reading through all of the files in the Linux 2.6.11
+// kernel source tree").
+type TreeSpec struct {
+	// Seed drives the deterministic shape of the tree.
+	Seed int64
+
+	// Dirs is the number of directories (default 40).
+	Dirs int
+
+	// FilesPerDirMin/Max bound the file count per directory
+	// (defaults 3..30).
+	FilesPerDirMin, FilesPerDirMax int
+
+	// FileSizeMin/Max bound file sizes in bytes (defaults 1 KB..64 KB,
+	// roughly kernel-source shaped).
+	FileSizeMin, FileSizeMax uint64
+
+	// BigDirEvery makes every Nth directory large (several directory
+	// blocks), producing the multi-block readdir patterns of Figure 7
+	// (default 5).
+	BigDirEvery int
+}
+
+func (s *TreeSpec) applyDefaults() {
+	if s.Dirs == 0 {
+		s.Dirs = 40
+	}
+	if s.FilesPerDirMin == 0 {
+		s.FilesPerDirMin = 3
+	}
+	if s.FilesPerDirMax == 0 {
+		s.FilesPerDirMax = 30
+	}
+	if s.FileSizeMin == 0 {
+		s.FileSizeMin = 1 << 10
+	}
+	if s.FileSizeMax == 0 {
+		s.FileSizeMax = 64 << 10
+	}
+	if s.BigDirEvery == 0 {
+		s.BigDirEvery = 5
+	}
+}
+
+// TreeStats summarizes a generated tree.
+type TreeStats struct {
+	Dirs, Files int
+	Bytes       uint64
+}
+
+// BuildTree creates the source tree under /src on fs (offline, no
+// simulated cost: the tree exists before the experiment begins, with a
+// cold cache).
+func BuildTree(fs *ext2.FS, spec TreeSpec) TreeStats {
+	spec.applyDefaults()
+	rng := rand.New(rand.NewSource(spec.Seed))
+	var st TreeStats
+
+	root := fs.MustAddDir(fs.Root(), "src")
+	st.Dirs++
+	dirs := []*vfs.Inode{root}
+	for i := 1; i < spec.Dirs; i++ {
+		parent := dirs[rng.Intn(len(dirs))]
+		d := fs.MustAddDir(parent, fmt.Sprintf("dir%03d", i))
+		dirs = append(dirs, d)
+		st.Dirs++
+
+		nfiles := spec.FilesPerDirMin
+		if spread := spec.FilesPerDirMax - spec.FilesPerDirMin; spread > 0 {
+			nfiles += rng.Intn(spread + 1)
+		}
+		if spec.BigDirEvery > 0 && i%spec.BigDirEvery == 0 {
+			// A large directory: several 4 KB blocks of entries.
+			nfiles = 64*2 + rng.Intn(64*2)
+		}
+		for j := 0; j < nfiles; j++ {
+			size := spec.FileSizeMin
+			if spread := spec.FileSizeMax - spec.FileSizeMin; spread > 0 {
+				size += uint64(rng.Int63n(int64(spread) + 1))
+			}
+			fs.MustAddFile(d, fmt.Sprintf("file%04d.c", j), size)
+			st.Files++
+			st.Bytes += size
+		}
+	}
+	return st
+}

@@ -1,0 +1,169 @@
+package workload
+
+import (
+	"testing"
+
+	"osprof/internal/analysis"
+	"osprof/internal/disk"
+	"osprof/internal/fs/ext2"
+	"osprof/internal/mem"
+	"osprof/internal/sim"
+	"osprof/internal/vfs"
+)
+
+func rig(cfg ext2.Config) (*sim.Kernel, *ext2.FS, *vfs.VFS) {
+	k := sim.New(sim.Config{NumCPUs: 1, ContextSwitch: 100, Seed: 1})
+	d := disk.New(k, disk.Config{})
+	pc := mem.NewCache(k, 8192)
+	fs := ext2.New(k, d, pc, "ext2", cfg)
+	v := vfs.New(k)
+	if err := v.Mount("/", fs); err != nil {
+		panic(err)
+	}
+	return k, fs, v
+}
+
+func TestBuildTreeDeterministic(t *testing.T) {
+	_, fs1, _ := rig(ext2.Config{})
+	_, fs2, _ := rig(ext2.Config{})
+	st1 := BuildTree(fs1, TreeSpec{Seed: 9, Dirs: 20})
+	st2 := BuildTree(fs2, TreeSpec{Seed: 9, Dirs: 20})
+	if st1 != st2 {
+		t.Errorf("tree generation not deterministic: %+v vs %+v", st1, st2)
+	}
+	if st1.Dirs != 20 || st1.Files == 0 {
+		t.Errorf("stats = %+v", st1)
+	}
+}
+
+func TestGrepVisitsEverything(t *testing.T) {
+	k, fs, v := rig(ext2.Config{})
+	built := BuildTree(fs, TreeSpec{Seed: 3, Dirs: 15})
+	var st GrepStats
+	k.Spawn("grep", func(p *sim.Proc) {
+		st = (&Grep{Sys: v}).Run(p)
+	})
+	k.Run()
+	if st.Dirs != built.Dirs {
+		t.Errorf("visited %d dirs, tree has %d", st.Dirs, built.Dirs)
+	}
+	if st.Files != built.Files {
+		t.Errorf("visited %d files, tree has %d", st.Files, built.Files)
+	}
+	if st.BytesRead != built.Bytes {
+		t.Errorf("read %d bytes, tree has %d", st.BytesRead, built.Bytes)
+	}
+	// grep calls getdents until empty: one past-EOF call per dir.
+	if st.PastEOFCalls != built.Dirs {
+		t.Errorf("past-EOF calls = %d, want %d", st.PastEOFCalls, built.Dirs)
+	}
+}
+
+func TestRandomReadIssuesRequests(t *testing.T) {
+	k, fs, v := rig(ext2.Config{})
+	fs.MustAddFile(fs.Root(), "bigfile", 1024*vfs.PageSize)
+	var st RandomReadStats
+	k.Spawn("rr", func(p *sim.Proc) {
+		st = (&RandomRead{Sys: v, Requests: 50, Seed: 2}).Run(p)
+	})
+	k.Run()
+	if st.Requests != 50 || st.BytesRead != 50*512 {
+		t.Errorf("stats = %+v", st)
+	}
+	if fs.Disk().Stats().Reads == 0 {
+		t.Error("direct I/O reads never reached the disk")
+	}
+}
+
+func TestReadZeroObservesEachRequest(t *testing.T) {
+	k, fs, v := rig(ext2.Config{})
+	fs.MustAddFile(fs.Root(), "zero", vfs.PageSize)
+	seen := 0
+	var st ReadZeroStats
+	k.Spawn("rz", func(p *sim.Proc) {
+		st = (&ReadZero{
+			Sys: v, Requests: 500,
+			Observe: func(lat uint64, pre bool) {
+				seen++
+				if lat == 0 {
+					t.Error("zero latency observed")
+				}
+			},
+		}).Run(p)
+	})
+	k.Run()
+	if seen != 500 || st.Requests != 500 {
+		t.Errorf("observed %d, stats %+v", seen, st)
+	}
+	if st.Preempted != 0 {
+		t.Errorf("single process was preempted %d times", st.Preempted)
+	}
+}
+
+func TestPostmarkRunsTransactionMix(t *testing.T) {
+	k, _, v := rig(ext2.Config{})
+	var st PostmarkStats
+	k.Spawn("pm", func(p *sim.Proc) {
+		st = (&Postmark{Sys: v, Files: 50, Transactions: 300, Seed: 4}).Run(p)
+	})
+	k.Run()
+	if st.Creates < 50 {
+		t.Errorf("creates = %d, want >= 50", st.Creates)
+	}
+	if st.Reads == 0 || st.Appends == 0 || st.Deletes == 0 {
+		t.Errorf("mix incomplete: %+v", st)
+	}
+	if st.VFSOps < 1000 {
+		t.Errorf("VFSOps = %d, suspiciously low", st.VFSOps)
+	}
+}
+
+func TestPostmarkDeterministic(t *testing.T) {
+	run := func() PostmarkStats {
+		k, _, v := rig(ext2.Config{})
+		var st PostmarkStats
+		k.Spawn("pm", func(p *sim.Proc) {
+			st = (&Postmark{Sys: v, Files: 30, Transactions: 100, Seed: 7}).Run(p)
+		})
+		k.Run()
+		return st
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("postmark not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+// smpConfig is a FreeBSD-6-like dual-CPU machine with a millisecond
+// scheduling quantum so four CPU-bound cloners actually time-share.
+func smpConfig() sim.Config {
+	return sim.Config{
+		NumCPUs:       2,
+		ContextSwitch: 9_350,
+		Quantum:       1 << 21,
+		TickPeriod:    1 << 19,
+		TickCost:      2_000,
+		WakePreempt:   true,
+		Seed:          1,
+	}
+}
+
+func TestCloneStormBimodalUnderContention(t *testing.T) {
+	// Figure 1: 4 processes on 2 CPUs -> two peaks; 1 process -> one.
+	prof4 := (&CloneStorm{K: sim.New(smpConfig()), Procs: 4, ClonesPerProc: 1_000}).Run()
+	peaks4 := analysis.FindPeaksOpt(prof4, analysis.PeakOptions{MinCount: 5, MaxGap: -1})
+	if len(peaks4) < 2 {
+		t.Fatalf("4-proc clone profile has %d peaks, want >= 2\n%v",
+			len(peaks4), prof4.Buckets[:32])
+	}
+
+	prof1 := (&CloneStorm{K: sim.New(smpConfig()), Procs: 1, ClonesPerProc: 1_000}).Run()
+	peaks1 := analysis.FindPeaksOpt(prof1, analysis.PeakOptions{MinCount: 5, MaxGap: -1})
+	if len(peaks1) != 1 {
+		t.Fatalf("1-proc clone profile has %d peaks, want 1", len(peaks1))
+	}
+	// The contention peak sits well to the right of the CPU peak.
+	if peaks4[len(peaks4)-1].ModeBucket <= peaks1[0].ModeBucket+2 {
+		t.Errorf("contention peak at bucket %d vs base %d: not separated",
+			peaks4[len(peaks4)-1].ModeBucket, peaks1[0].ModeBucket)
+	}
+}

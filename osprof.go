@@ -1,0 +1,144 @@
+// Package osprof is a Go implementation of the OSprof operating-system
+// profiling method from "Operating System Profiling via Latency
+// Analysis" (Joukov, Traeger, Iyer, Wright, Zadok — OSDI 2006).
+//
+// OSprof captures the latency of every OS request, sorts latencies into
+// logarithmic buckets at run time, and analyzes the resulting
+// multi-modal distributions: different internal OS activities (lock
+// contention, I/O classes, preemption, interrupts) create different
+// peaks.
+//
+// This package is the stable public facade over the implementation:
+//
+//   - profile collection: Profile, Set, Sampled, Correlation and the
+//     concurrent-update strategies of §3.4;
+//   - automated analysis: peak detection, Earth Mover's Distance and
+//     the other §3.2 comparison metrics, and the three-phase selection
+//     of interesting profile pairs;
+//   - rendering: paper-style ASCII histograms, Figure 9-style
+//     timelines, and gnuplot scripts.
+//
+// The simulated OS substrate (kernel scheduler, disk, page cache, VFS,
+// file systems, network) used to regenerate the paper's figures lives
+// in internal/ packages; the cmd/osprof tool runs those experiments.
+package osprof
+
+import (
+	"io"
+
+	"osprof/internal/analysis"
+	"osprof/internal/core"
+	"osprof/internal/report"
+)
+
+// Re-exported collection types (see internal/core).
+type (
+	// Profile is a logarithmic latency histogram for one operation.
+	Profile = core.Profile
+
+	// Set is a complete profile: one Profile per operation.
+	Set = core.Set
+
+	// Sampled is a time-segmented ("3D") profile (§3.1, Figure 9).
+	Sampled = core.Sampled
+
+	// Correlation splits an auxiliary variable's histogram by latency
+	// peak (§3.1, Figure 8).
+	Correlation = core.Correlation
+
+	// BucketRange is an inclusive range of bucket indices.
+	BucketRange = core.BucketRange
+
+	// ConcurrentProfile is a histogram safe for concurrent recording.
+	ConcurrentProfile = core.ConcurrentProfile
+
+	// LockingMode selects the §3.4 bucket-update strategy.
+	LockingMode = core.LockingMode
+)
+
+// Locking modes (§3.4).
+const (
+	Unsync  = core.Unsync
+	Locked  = core.Locked
+	Sharded = core.Sharded
+)
+
+// Re-exported analysis types (see internal/analysis).
+type (
+	// Peak is one mode of a latency distribution.
+	Peak = analysis.Peak
+
+	// Method identifies a profile-comparison algorithm.
+	Method = analysis.Method
+
+	// Selector is the three-phase automated pair selection (§3.2).
+	Selector = analysis.Selector
+
+	// PairReport is one operation's comparison outcome.
+	PairReport = analysis.PairReport
+)
+
+// Comparison methods (§3.2, §5.3).
+const (
+	EMD          = analysis.EMD
+	ChiSquare    = analysis.ChiSquare
+	TotalOps     = analysis.TotalOps
+	TotalLatency = analysis.TotalLatency
+	Intersection = analysis.Intersection
+	Minkowski    = analysis.Minkowski
+	Jeffrey      = analysis.Jeffrey
+)
+
+// NewProfile creates an empty profile for an operation (resolution 1).
+func NewProfile(op string) *Profile { return core.NewProfile(op) }
+
+// NewProfileR creates a profile with resolution r buckets per doubling.
+func NewProfileR(op string, r int) *Profile { return core.NewProfileR(op, r) }
+
+// NewSet creates an empty profile set.
+func NewSet(name string) *Set { return core.NewSet(name) }
+
+// NewSampled creates a time-segmented profile.
+func NewSampled(op string, start, interval uint64) *Sampled {
+	return core.NewSampled(op, start, interval)
+}
+
+// NewCorrelation creates a peak-correlation profile.
+func NewCorrelation(op string, peaks []BucketRange) *Correlation {
+	return core.NewCorrelation(op, peaks)
+}
+
+// NewConcurrentProfile creates a goroutine-safe histogram.
+func NewConcurrentProfile(op string, mode LockingMode, shards int) *ConcurrentProfile {
+	return core.NewConcurrentProfile(op, mode, shards)
+}
+
+// BucketFor returns the bucket index of a latency at resolution r.
+func BucketFor(latency uint64, r int) int { return core.BucketFor(latency, r) }
+
+// FindPeaks identifies the peaks of a profile.
+func FindPeaks(p *Profile) []Peak { return analysis.FindPeaks(p) }
+
+// Score rates the difference of two profiles under a method.
+func Score(m Method, a, b *Profile) float64 { return analysis.Score(m, a, b) }
+
+// DefaultSelector returns the standard automated-analysis parameters.
+func DefaultSelector() Selector { return analysis.DefaultSelector() }
+
+// WriteSet serializes a profile set in the text exchange format.
+func WriteSet(w io.Writer, s *Set) error { return core.WriteSet(w, s) }
+
+// ReadSet parses a serialized profile set.
+func ReadSet(r io.Reader) (*Set, error) { return core.ReadSet(r) }
+
+// Render writes a paper-style ASCII histogram of a profile.
+func Render(w io.Writer, p *Profile) { report.Profile(w, p, report.Options{}) }
+
+// RenderSet renders every profile of a set, largest contributor first.
+func RenderSet(w io.Writer, s *Set) { report.Set(w, s, report.Options{}) }
+
+// RenderTimeline renders a sampled profile as a Figure 9-style plot.
+func RenderTimeline(w io.Writer, s *Sampled) { report.Timeline(w, s) }
+
+// RenderGnuplot writes a gnuplot script for a profile.
+func RenderGnuplot(w io.Writer, p *Profile) { report.Gnuplot(w, p) }

@@ -1,0 +1,121 @@
+package osprof_test
+
+// Integration tests of the public facade: the full pipeline from
+// collection through serialization, analysis and rendering, as a
+// downstream user of the library would drive it.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"osprof"
+)
+
+func TestFacadeCollectAnalyzeRender(t *testing.T) {
+	set := osprof.NewSet("integration")
+	for i := 0; i < 2000; i++ {
+		lat := uint64(100)
+		if i%10 == 0 {
+			lat = 1 << 20 // a slow mode
+		}
+		set.Record("op", lat)
+	}
+
+	peaks := osprof.FindPeaks(set.Lookup("op"))
+	if len(peaks) != 2 {
+		t.Fatalf("peaks = %d, want 2", len(peaks))
+	}
+
+	var buf bytes.Buffer
+	if err := osprof.WriteSet(&buf, set); err != nil {
+		t.Fatal(err)
+	}
+	back, err := osprof.ReadSet(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.TotalOps() != set.TotalOps() {
+		t.Errorf("round trip lost ops: %d vs %d", back.TotalOps(), set.TotalOps())
+	}
+
+	var render bytes.Buffer
+	osprof.RenderSet(&render, back)
+	if !strings.Contains(render.String(), "OP") {
+		t.Error("render missing op title")
+	}
+	var gp bytes.Buffer
+	osprof.RenderGnuplot(&gp, back.Lookup("op"))
+	if !strings.Contains(gp.String(), "plot") {
+		t.Error("gnuplot script incomplete")
+	}
+}
+
+func TestFacadeSelectorFindsInjectedChange(t *testing.T) {
+	before, after := osprof.NewSet("before"), osprof.NewSet("after")
+	for i := 0; i < 5000; i++ {
+		before.Record("read", 4000)
+		after.Record("read", 4000)
+		before.Record("llseek", 400)
+		if i%4 == 0 {
+			after.Record("llseek", 6_000_000) // injected contention
+		} else {
+			after.Record("llseek", 400)
+		}
+	}
+	interesting := osprof.DefaultSelector().SelectInteresting(before, after)
+	if len(interesting) != 1 || interesting[0].Op != "llseek" {
+		t.Fatalf("selection = %+v", interesting)
+	}
+}
+
+func TestFacadeRealTimeProfiling(t *testing.T) {
+	// The library against real wall-clock latencies.
+	p := osprof.NewProfile("sleep")
+	for i := 0; i < 20; i++ {
+		start := time.Now()
+		time.Sleep(100 * time.Microsecond)
+		p.Record(uint64(time.Since(start).Nanoseconds()))
+	}
+	if p.Count != 20 {
+		t.Fatal("records lost")
+	}
+	// 100us = 1e5 ns: bucket ~17; allow generous scheduler slop.
+	lo, hi, ok := p.Range()
+	if !ok || lo < 15 || hi > 28 {
+		t.Errorf("sleep latencies landed in buckets [%d,%d]", lo, hi)
+	}
+}
+
+func TestFacadeSampledAndCorrelation(t *testing.T) {
+	s := osprof.NewSampled("op", 0, 1000)
+	s.Record(100, 50)
+	s.Record(2500, 60)
+	if s.Len() != 3 {
+		t.Errorf("segments = %d", s.Len())
+	}
+
+	c := osprof.NewCorrelation("op", []osprof.BucketRange{{Lo: 4, Hi: 8}})
+	c.Record(100, 1024) // latency bucket 6: first peak
+	c.Record(1<<20, 0)  // outside
+	if c.Peak(0).Count != 1 || c.Other().Count != 1 {
+		t.Error("correlation classification broken")
+	}
+}
+
+func TestFacadeMethodsDisagreeOnShiftOnly(t *testing.T) {
+	// A pure shape shift: counts identical, EMD sees it, TotalOps
+	// does not — the §3.2 rationale, via the public API.
+	a, b := osprof.NewProfile("a"), osprof.NewProfile("b")
+	for i := 0; i < 1000; i++ {
+		a.Record(1 << 10)
+		b.Record(1 << 14)
+	}
+	if osprof.Score(osprof.TotalOps, a, b) != 0 {
+		t.Error("TotalOps should be blind to pure shifts")
+	}
+	if osprof.Score(osprof.EMD, a, b) == 0 {
+		t.Error("EMD should see the shift")
+	}
+}

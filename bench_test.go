@@ -17,6 +17,7 @@ import (
 	"osprof"
 	"osprof/internal/analysis"
 	"osprof/internal/experiments"
+	"osprof/internal/sim"
 )
 
 // runExperiment executes an experiment once per benchmark iteration and
@@ -159,7 +160,7 @@ func BenchmarkFindPeaks(b *testing.B) {
 	}
 }
 
-func BenchmarkSelectorCompare(b *testing.B) {
+func benchSetPair() (*osprof.Set, *osprof.Set) {
 	s1, s2 := osprof.NewSet("a"), osprof.NewSet("b")
 	rng := rand.New(rand.NewSource(2))
 	for op := 0; op < 30; op++ {
@@ -169,9 +170,103 @@ func BenchmarkSelectorCompare(b *testing.B) {
 			s2.Record(name, uint64(rng.Int63n(1<<22)))
 		}
 	}
+	return s1, s2
+}
+
+func BenchmarkSelectorCompare(b *testing.B) {
+	s1, s2 := benchSetPair()
 	sel := osprof.DefaultSelector()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sel.Compare(s1, s2)
 	}
+}
+
+// --- Zero-allocation fast-path assertions -----------------------------
+//
+// The simulator's steady-state scheduling path (event pool, pre-bound
+// callbacks, ring run queue, inline slice completion) and the analysis
+// scorers must not allocate per operation; these tests fail loudly if a
+// regression reintroduces per-call garbage.
+
+// simExecAllocsPerOp measures the marginal allocations of one Exec by
+// differencing a long run against a short one, which cancels the fixed
+// setup cost (kernel, goroutine, channels, event-pool warmup).
+func simExecAllocsPerOp(tickPeriod, execLen uint64, iters int) float64 {
+	run := func(n int) float64 {
+		return testing.AllocsPerRun(3, func() {
+			// TickCost must stay below TickPeriod or slices never finish.
+			k := sim.New(sim.Config{TickPeriod: tickPeriod, TickCost: 100})
+			k.Spawn("w", func(p *sim.Proc) {
+				for i := 0; i < n; i++ {
+					p.Exec(execLen)
+				}
+			})
+			k.Run()
+		})
+	}
+	return (run(100+iters) - run(100)) / float64(iters)
+}
+
+func TestSimExecInlineFastPathAllocationFree(t *testing.T) {
+	// Short slices between distant ticks: almost every Exec completes
+	// inline, with no event push and no channel round-trip.
+	if per := simExecAllocsPerOp(1<<20, 1_000, 20_000); per > 0.01 {
+		t.Errorf("inline Exec fast path allocates %.4f objects/op, want 0", per)
+	}
+}
+
+func TestSimStartSliceSteadyStateAllocationFree(t *testing.T) {
+	// Slices longer than the tick period: every Exec crosses a pending
+	// tick, so each takes the slow path through startSlice and the
+	// event heap; the event pool and pre-bound callbacks must make that
+	// allocation-free too.
+	if per := simExecAllocsPerOp(2_048, 4_096, 5_000); per > 0.01 {
+		t.Errorf("startSlice slow path allocates %.4f objects/op, want 0", per)
+	}
+}
+
+func TestScoreMethodsAllocationFree(t *testing.T) {
+	x, y := benchProfilePair()
+	for _, m := range analysis.Methods {
+		if allocs := testing.AllocsPerRun(10, func() { analysis.Score(m, x, y) }); allocs != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", m, allocs)
+		}
+	}
+}
+
+func TestSelectorCompareSteadyStateAllocationFree(t *testing.T) {
+	s1, s2 := benchSetPair()
+	sel := osprof.DefaultSelector()
+	sel.Compare(s1, s2) // warm up the scratch buffers
+	if allocs := testing.AllocsPerRun(10, func() { sel.Compare(s1, s2) }); allocs != 0 {
+		t.Errorf("Selector.Compare: %v allocs/op in steady state, want 0", allocs)
+	}
+}
+
+// --- Simulator micro-benchmarks ---------------------------------------
+
+// BenchmarkSimExecInline measures one inline (fast-path) Exec.
+func BenchmarkSimExecInline(b *testing.B) {
+	k := sim.New(sim.Config{})
+	k.Spawn("w", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Exec(1_000)
+		}
+	})
+	b.ResetTimer()
+	k.Run()
+}
+
+// BenchmarkSimExecSlowPath measures one slow-path Exec (pending tick
+// forces the event heap and the kernel-loop handoff).
+func BenchmarkSimExecSlowPath(b *testing.B) {
+	k := sim.New(sim.Config{TickPeriod: 2_048, TickCost: 100})
+	k.Spawn("w", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Exec(4_096)
+		}
+	})
+	b.ResetTimer()
+	k.Run()
 }

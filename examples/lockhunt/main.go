@@ -54,7 +54,8 @@ func main() {
 
 	// Step 1: the automated analysis selects the interesting pairs.
 	fmt.Println("\nautomated selection (the paper's §3.2 three-phase procedure):")
-	selected := osprof.DefaultSelector().SelectInteresting(one, two)
+	sel := osprof.DefaultSelector()
+	selected := sel.SelectInteresting(one, two)
 	report.Comparison(os.Stdout, selected)
 
 	// Step 2: inspect the flagged profile.

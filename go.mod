@@ -1,0 +1,3 @@
+module osprof
+
+go 1.22

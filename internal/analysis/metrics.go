@@ -101,16 +101,35 @@ func normDiff(x, y float64) float64 {
 	return math.Abs(x-y) / max
 }
 
+// normScales returns the divisors that turn raw bucket counts into
+// normalized histogram values on the fly. The scorers below iterate the
+// bucket arrays directly, dividing by these (exactly the arithmetic
+// Profile.Normalized performs), instead of materializing two float
+// slices per call: comparison is a steady-state operation in monitoring
+// loops, and the two Normalized allocations dominated its cost. An
+// empty profile gets divisor 1; all its buckets are zero, so every
+// normalized value is still 0.
+func normScales(a, b *core.Profile) (ca, cb float64) {
+	if len(a.Buckets) != len(b.Buckets) {
+		panic("analysis: comparing profiles of different resolutions")
+	}
+	ca, cb = float64(a.Count), float64(b.Count)
+	if ca == 0 {
+		ca = 1
+	}
+	if cb == 0 {
+		cb = 1
+	}
+	return ca, cb
+}
+
 // EarthMovers computes the 1-D Earth Mover's Distance between the
 // normalized histograms, scaled to [0,1] by the maximum possible work
 // (moving all mass across the whole bucket axis). In one dimension the
 // optimal transport cost is the L1 distance between the cumulative
 // distributions, so no linear programming is needed.
 func EarthMovers(a, b *core.Profile) float64 {
-	na, nb := a.Normalized(), b.Normalized()
-	if len(na) != len(nb) {
-		panic("analysis: EMD on profiles of different resolutions")
-	}
+	ca, cb := normScales(a, b)
 	if a.Count == 0 && b.Count == 0 {
 		return 0
 	}
@@ -118,24 +137,25 @@ func EarthMovers(a, b *core.Profile) float64 {
 		return 1 // all mass vs no mass: maximal difference
 	}
 	var work, carry float64
-	for i := range na {
-		carry += na[i] - nb[i]
+	for i := range a.Buckets {
+		carry += float64(a.Buckets[i])/ca - float64(b.Buckets[i])/cb
 		work += math.Abs(carry)
 	}
-	return work / float64(len(na)-1)
+	return work / float64(len(a.Buckets)-1)
 }
 
 // ChiSquareScore computes the chi-squared statistic over the normalized
 // histograms: sum (a_i-b_i)^2 / (a_i+b_i), halved to lie in [0,1].
 func ChiSquareScore(a, b *core.Profile) float64 {
-	na, nb := a.Normalized(), b.Normalized()
+	ca, cb := normScales(a, b)
 	var sum float64
-	for i := range na {
-		d := na[i] + nb[i]
+	for i := range a.Buckets {
+		na, nb := float64(a.Buckets[i])/ca, float64(b.Buckets[i])/cb
+		d := na + nb
 		if d == 0 {
 			continue
 		}
-		diff := na[i] - nb[i]
+		diff := na - nb
 		sum += diff * diff / d
 	}
 	return sum / 2
@@ -144,10 +164,10 @@ func ChiSquareScore(a, b *core.Profile) float64 {
 // IntersectionScore is 1 minus the histogram intersection of the
 // normalized histograms; 0 for identical shapes, 1 for disjoint.
 func IntersectionScore(a, b *core.Profile) float64 {
-	na, nb := a.Normalized(), b.Normalized()
+	ca, cb := normScales(a, b)
 	var inter float64
-	for i := range na {
-		inter += math.Min(na[i], nb[i])
+	for i := range a.Buckets {
+		inter += math.Min(float64(a.Buckets[i])/ca, float64(b.Buckets[i])/cb)
 	}
 	return 1 - inter
 }
@@ -155,10 +175,11 @@ func IntersectionScore(a, b *core.Profile) float64 {
 // MinkowskiScore is the order-p Minkowski distance between the
 // normalized histograms.
 func MinkowskiScore(a, b *core.Profile, p float64) float64 {
-	na, nb := a.Normalized(), b.Normalized()
+	ca, cb := normScales(a, b)
 	var sum float64
-	for i := range na {
-		sum += math.Pow(math.Abs(na[i]-nb[i]), p)
+	for i := range a.Buckets {
+		diff := float64(a.Buckets[i])/ca - float64(b.Buckets[i])/cb
+		sum += math.Pow(math.Abs(diff), p)
 	}
 	return math.Pow(sum, 1/p)
 }
@@ -167,18 +188,19 @@ func MinkowskiScore(a, b *core.Profile, p float64) float64 {
 // variant of the Kullback-Leibler divergence, well defined in the
 // presence of empty bins.
 func JeffreyScore(a, b *core.Profile) float64 {
-	na, nb := a.Normalized(), b.Normalized()
+	ca, cb := normScales(a, b)
 	var sum float64
-	for i := range na {
-		m := (na[i] + nb[i]) / 2
+	for i := range a.Buckets {
+		na, nb := float64(a.Buckets[i])/ca, float64(b.Buckets[i])/cb
+		m := (na + nb) / 2
 		if m == 0 {
 			continue
 		}
-		if na[i] > 0 {
-			sum += na[i] * math.Log(na[i]/m)
+		if na > 0 {
+			sum += na * math.Log(na/m)
 		}
-		if nb[i] > 0 {
-			sum += nb[i] * math.Log(nb[i]/m)
+		if nb > 0 {
+			sum += nb * math.Log(nb/m)
 		}
 	}
 	return sum

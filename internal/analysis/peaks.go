@@ -77,23 +77,25 @@ func FindPeaks(p *core.Profile) []Peak {
 
 // FindPeaksOpt identifies peaks with explicit options.
 func FindPeaksOpt(p *core.Profile, opt PeakOptions) []Peak {
+	return AppendPeaks(nil, p, opt)
+}
+
+// AppendPeaks appends the peaks of p to dst and returns the extended
+// slice. Passing a reused buffer makes repeated peak detection (e.g.
+// Selector.Compare over a monitoring stream) allocation-free once the
+// buffer has warmed up.
+func AppendPeaks(dst []Peak, p *core.Profile, opt PeakOptions) []Peak {
 	opt = opt.withDefaults()
-	var peaks []Peak
 	inPeak := false
 	var cur Peak
 	gap := 0
-	flush := func() {
-		if inPeak {
-			peaks = append(peaks, cur)
-			inPeak = false
-		}
-	}
 	for b, c := range p.Buckets {
 		if c < opt.MinCount {
 			if inPeak {
 				gap++
 				if gap > opt.MaxGap {
-					flush()
+					dst = append(dst, cur)
+					inPeak = false
 				}
 			}
 			continue
@@ -101,10 +103,8 @@ func FindPeaksOpt(p *core.Profile, opt PeakOptions) []Peak {
 		if !inPeak {
 			inPeak = true
 			cur = Peak{Range: core.BucketRange{Lo: b, Hi: b}}
-			gap = 0
-		} else {
-			gap = 0
 		}
+		gap = 0
 		cur.Range.Hi = b
 		cur.Count += c
 		if c > cur.ModeCount {
@@ -112,8 +112,10 @@ func FindPeaksOpt(p *core.Profile, opt PeakOptions) []Peak {
 			cur.ModeBucket = b
 		}
 	}
-	flush()
-	return peaks
+	if inPeak {
+		dst = append(dst, cur)
+	}
+	return dst
 }
 
 // PeakDiff summarizes the structural differences between the peak sets
@@ -132,21 +134,31 @@ type PeakDiff struct {
 // ComparePeaks matches peaks by index (profiles of the same operation
 // under different conditions keep their ordering) and reports shifts.
 func ComparePeaks(a, b []Peak) PeakDiff {
+	d, _ := appendComparePeaks(nil, a, b)
+	return d
+}
+
+// appendComparePeaks is ComparePeaks with the Moved slice carved out of
+// the moved arena, which it extends and returns so callers can reuse
+// one backing array across many comparisons.
+func appendComparePeaks(moved []int, a, b []Peak) (PeakDiff, []int) {
 	d := PeakDiff{CountA: len(a), CountB: len(b)}
 	n := len(a)
 	if len(b) < n {
 		n = len(b)
 	}
+	start := len(moved)
 	for i := 0; i < n; i++ {
-		d.Moved = append(d.Moved, b[i].ModeBucket-a[i].ModeBucket)
+		moved = append(moved, b[i].ModeBucket-a[i].ModeBucket)
 	}
+	d.Moved = moved[start:len(moved):len(moved)]
 	if len(b) > n {
 		d.NewPeaks = len(b) - n
 	}
 	if len(a) > n {
 		d.LostPeaks = len(a) - n
 	}
-	return d
+	return d, moved
 }
 
 // Same reports whether the two peak sets have identical structure

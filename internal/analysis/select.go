@@ -2,7 +2,7 @@ package analysis
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"osprof/internal/core"
 )
@@ -39,12 +39,53 @@ type Selector struct {
 
 	// Peaks tunes peak detection for phase 2.
 	Peaks PeakOptions
+
+	// scratch holds the buffers Compare reuses between calls, created
+	// lazily on first use. Copying a Selector shares them; a Selector
+	// must not be used from multiple goroutines concurrently.
+	scratch *compareScratch
+}
+
+// compareScratch is Compare's working memory: once warmed up, repeated
+// comparisons of similarly-shaped sets perform no allocations (the
+// steady state of a monitoring loop diffing profiles every interval).
+type compareScratch struct {
+	ops     []string        // union of operation names
+	opsB    []string        // second set's names, before dedup
+	seen    map[string]bool // dedup set for ops
+	reports []PairReport    // result buffer, returned by Compare
+	peaks   []Peak          // arena backing every report's PeaksA/PeaksB
+	moved   []int           // arena backing every report's Diff.Moved
+	empties []*core.Profile // placeholder profiles for one-sided ops
+	nEmpty  int             // empties used so far this call
+}
+
+// emptyFor returns a zeroed placeholder profile for an operation absent
+// from set, reusing a previously allocated placeholder when possible.
+func (sc *compareScratch) emptyFor(set *core.Set, op string) *core.Profile {
+	if sc.nEmpty < len(sc.empties) && sc.empties[sc.nEmpty].R == set.R {
+		p := sc.empties[sc.nEmpty]
+		sc.nEmpty++
+		p.Reset()
+		p.Op = op
+		return p
+	}
+	p := core.NewProfileR(op, set.R)
+	if sc.nEmpty < len(sc.empties) {
+		sc.empties[sc.nEmpty] = p
+	} else {
+		sc.empties = append(sc.empties, p)
+	}
+	sc.nEmpty++
+	return p
 }
 
 // DefaultSelector returns the selector configuration used throughout
-// the repository's experiments.
-func DefaultSelector() Selector {
-	return Selector{
+// the repository's experiments. It returns a pointer: the Selector
+// carries reusable comparison scratch, so callers should create one and
+// keep it for repeated Compare calls.
+func DefaultSelector() *Selector {
+	return &Selector{
 		Method:         EMD,
 		MinShare:       0.01,
 		SimilarLatency: 0.05,
@@ -101,76 +142,119 @@ func (s Selector) withDefaults() Selector {
 // Compare runs all three phases over the union of operations in the
 // two sets and returns one report per operation, ordered by descending
 // score (skipped pairs last).
-func (s Selector) Compare(a, b *core.Set) []PairReport {
-	s = s.withDefaults()
+//
+// The returned slice (and the peak slices inside its reports) is backed
+// by the Selector's reusable scratch buffers: it is valid until the
+// next Compare call on the same Selector. Steady-state comparisons of
+// similarly-shaped sets allocate nothing. Callers that need the reports
+// to outlive the next call must copy them.
+func (s *Selector) Compare(a, b *core.Set) []PairReport {
+	cfg := s.withDefaults()
+	if s.scratch == nil {
+		s.scratch = &compareScratch{seen: make(map[string]bool)}
+	}
+	sc := s.scratch
 	totalLat := a.TotalLatency() + b.TotalLatency()
 	totalOps := a.TotalOps() + b.TotalOps()
 
-	seen := make(map[string]bool)
-	var ops []string
-	for _, op := range append(a.Ops(), b.Ops()...) {
-		if !seen[op] {
-			seen[op] = true
-			ops = append(ops, op)
+	sc.ops = a.AppendOps(sc.ops[:0])
+	sc.opsB = b.AppendOps(sc.opsB[:0])
+	clear(sc.seen)
+	for _, op := range sc.ops {
+		sc.seen[op] = true
+	}
+	for _, op := range sc.opsB {
+		if !sc.seen[op] {
+			sc.seen[op] = true
+			sc.ops = append(sc.ops, op)
 		}
 	}
 
-	empty := func(set *core.Set, op string) *core.Profile {
+	sc.reports = sc.reports[:0]
+	sc.peaks = sc.peaks[:0]
+	sc.moved = sc.moved[:0]
+	sc.nEmpty = 0
+	lookup := func(set *core.Set, op string) *core.Profile {
 		if p := set.Lookup(op); p != nil {
 			return p
 		}
-		return core.NewProfileR(op, set.R)
+		return sc.emptyFor(set, op)
 	}
 
-	var out []PairReport
-	for _, op := range ops {
-		r := PairReport{Op: op, A: empty(a, op), B: empty(b, op)}
+	for _, op := range sc.ops {
+		r := PairReport{Op: op, A: lookup(a, op), B: lookup(b, op)}
 
 		// Phase 1: share and similarity thresholds.
 		latShare := share(r.A.Total+r.B.Total, totalLat)
 		opsShare := share(r.A.Count+r.B.Count, totalOps)
-		if latShare < s.MinShare && opsShare < s.MinShare {
+		if latShare < cfg.MinShare && opsShare < cfg.MinShare {
 			r.Skipped = true
 			r.Reason = fmt.Sprintf("small share (latency %.2f%%, ops %.2f%%)",
 				latShare*100, opsShare*100)
-			out = append(out, r)
+			sc.reports = append(sc.reports, r)
 			continue
 		}
 
-		// Phase 2: peak structure.
-		r.PeaksA = FindPeaksOpt(r.A, s.Peaks)
-		r.PeaksB = FindPeaksOpt(r.B, s.Peaks)
-		r.Diff = ComparePeaks(r.PeaksA, r.PeaksB)
+		// Phase 2: peak structure. The peak slices are carved out of
+		// the shared arena; if a later append grows the arena, earlier
+		// reports keep pointing at the old backing array, whose
+		// contents stay valid.
+		start := len(sc.peaks)
+		sc.peaks = AppendPeaks(sc.peaks, r.A, cfg.Peaks)
+		mid := len(sc.peaks)
+		sc.peaks = AppendPeaks(sc.peaks, r.B, cfg.Peaks)
+		end := len(sc.peaks)
+		r.PeaksA = sc.peaks[start:mid:mid]
+		r.PeaksB = sc.peaks[mid:end:end]
+		r.Diff, sc.moved = appendComparePeaks(sc.moved, r.PeaksA, r.PeaksB)
 
-		if normDiff(float64(r.A.Total), float64(r.B.Total)) < s.SimilarLatency &&
+		if normDiff(float64(r.A.Total), float64(r.B.Total)) < cfg.SimilarLatency &&
 			r.Diff.Same() {
 			r.Skipped = true
 			r.Reason = "similar total latency, same peak structure"
-			out = append(out, r)
+			sc.reports = append(sc.reports, r)
 			continue
 		}
 
 		// Phase 3: rate the difference.
-		r.Score = Score(s.Method, r.A, r.B)
-		r.Interesting = r.Score >= s.Threshold || !r.Diff.Same()
-		out = append(out, r)
+		r.Score = Score(cfg.Method, r.A, r.B)
+		r.Interesting = r.Score >= cfg.Threshold || !r.Diff.Same()
+		sc.reports = append(sc.reports, r)
 	}
 
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].Skipped != out[j].Skipped {
-			return !out[i].Skipped
+	slices.SortStableFunc(sc.reports, func(x, y PairReport) int {
+		if x.Skipped != y.Skipped {
+			if x.Skipped {
+				return 1
+			}
+			return -1
 		}
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
+		if x.Score != y.Score {
+			if x.Score > y.Score {
+				return -1
+			}
+			return 1
 		}
-		return out[i].Op < out[j].Op
+		if x.Op < y.Op {
+			return -1
+		}
+		if x.Op > y.Op {
+			return 1
+		}
+		return 0
 	})
-	return out
+	return sc.reports
 }
 
 // SelectInteresting runs Compare and returns only the pairs flagged
 // interesting, i.e., the small set a person should look at (§3.2).
-func (s Selector) SelectInteresting(a, b *core.Set) []PairReport {
+// The slice itself is freshly allocated, but the reports inside still
+// reference the Selector's scratch buffers (peak slices, and the A/B
+// placeholder profile for an operation present in only one set), so
+// like Compare's result they are valid only until the next Compare or
+// SelectInteresting call on the same Selector; deep-copy what must
+// outlive that.
+func (s *Selector) SelectInteresting(a, b *core.Set) []PairReport {
 	var out []PairReport
 	for _, r := range s.Compare(a, b) {
 		if !r.Skipped && r.Interesting {

@@ -43,12 +43,26 @@ func (m LockingMode) String() string {
 // shardPad separates shards by a cache line to avoid false sharing.
 const shardPad = 8
 
+// shardTotals carries the per-shard scalar aggregates (the Profile
+// header fields: Total, Min, Max) alongside the bucket array, padded to
+// a cache line so neighboring shards do not false-share. Each field is
+// updated with the same discipline as the shard's bucket counters:
+// lossy load/store for Unsync, atomic add/CAS for Locked, and plain
+// single-writer updates for Sharded.
+type shardTotals struct {
+	total uint64
+	min   uint64 // ^uint64(0) until the first record lands
+	max   uint64
+	_     [5]uint64 // pad to 64 bytes
+}
+
 // ConcurrentProfile is a fixed-resolution-1 histogram safe for use from
 // multiple goroutines, with a selectable update strategy.
 type ConcurrentProfile struct {
 	Op     string
 	Mode   LockingMode
 	shards [][]uint64
+	totals []shardTotals
 	// attempts counts Record calls (always atomically), so the number
 	// of lost updates is observable: Lost = attempts - sum(buckets).
 	attempts atomic.Uint64
@@ -61,9 +75,10 @@ func NewConcurrentProfile(op string, mode LockingMode, shards int) *ConcurrentPr
 	if mode != Sharded || shards < 1 {
 		shards = 1
 	}
-	p := &ConcurrentProfile{Op: op, Mode: mode}
+	p := &ConcurrentProfile{Op: op, Mode: mode, totals: make([]shardTotals, shards)}
 	for i := 0; i < shards; i++ {
 		p.shards = append(p.shards, make([]uint64, MaxBuckets+shardPad))
+		p.totals[i].min = ^uint64(0)
 	}
 	return p
 }
@@ -80,22 +95,67 @@ func (p *ConcurrentProfile) Record(shard int, latency uint64) {
 		// read n and both store n+1.
 		addr := &p.shards[0][b]
 		atomic.StoreUint64(addr, atomic.LoadUint64(addr)+1)
+		t := &p.totals[0]
+		atomic.StoreUint64(&t.total, atomic.LoadUint64(&t.total)+latency)
+		if latency < atomic.LoadUint64(&t.min) {
+			atomic.StoreUint64(&t.min, latency)
+		}
+		if latency > atomic.LoadUint64(&t.max) {
+			atomic.StoreUint64(&t.max, latency)
+		}
 	case Locked:
 		atomic.AddUint64(&p.shards[0][b], 1)
+		t := &p.totals[0]
+		atomic.AddUint64(&t.total, latency)
+		for {
+			cur := atomic.LoadUint64(&t.min)
+			if latency >= cur || atomic.CompareAndSwapUint64(&t.min, cur, latency) {
+				break
+			}
+		}
+		for {
+			cur := atomic.LoadUint64(&t.max)
+			if latency <= cur || atomic.CompareAndSwapUint64(&t.max, cur, latency) {
+				break
+			}
+		}
 	case Sharded:
-		p.shards[shard%len(p.shards)][b]++
+		i := shard % len(p.shards)
+		p.shards[i][b]++
+		t := &p.totals[i]
+		t.total += latency
+		if latency < t.min {
+			t.min = latency
+		}
+		if latency > t.max {
+			t.max = latency
+		}
 	}
 }
 
-// Snapshot merges all shards into a plain Profile.
+// Snapshot merges all shards into a plain Profile, including the
+// Total/Min/Max header fields, so derived statistics (Mean, automated
+// analysis ordering by Total) work on the result.
 func (p *ConcurrentProfile) Snapshot() *Profile {
 	out := NewProfile(p.Op)
-	for _, sh := range p.shards {
+	for i, sh := range p.shards {
+		var shardCount uint64
 		for b := 0; b < MaxBuckets; b++ {
 			c := atomic.LoadUint64(&sh[b])
 			out.Buckets[b] += c
-			out.Count += c
+			shardCount += c
 		}
+		t := &p.totals[i]
+		out.Total += atomic.LoadUint64(&t.total)
+		if shardCount > 0 {
+			if min := atomic.LoadUint64(&t.min); out.Count == 0 || min < out.Min {
+				out.Min = min
+			}
+			if max := atomic.LoadUint64(&t.max); max > out.Max {
+				out.Max = max
+			}
+		}
+		out.Count += shardCount
 	}
 	return out
 }

@@ -102,3 +102,35 @@ func TestConcurrentSnapshotIsPlainProfile(t *testing.T) {
 		t.Errorf("count = %d", snap.Count)
 	}
 }
+
+// Regression: Snapshot used to merge only bucket counts, so Total, Min
+// and Max were lost and Mean() reported 0 no matter what was recorded.
+func TestConcurrentSnapshotPreservesTotals(t *testing.T) {
+	for _, mode := range []LockingMode{Unsync, Locked, Sharded} {
+		p := NewConcurrentProfile("op", mode, 4)
+		// Matching single-writer reference profile.
+		want := NewProfile("op")
+		for i, lat := range []uint64{10, 1000, 250, 3} {
+			p.Record(i, lat)
+			want.Record(lat)
+		}
+		snap := p.Snapshot()
+		if snap.Total != want.Total {
+			t.Errorf("%v: Total = %d, want %d", mode, snap.Total, want.Total)
+		}
+		if snap.Min != want.Min || snap.Max != want.Max {
+			t.Errorf("%v: Min/Max = %d/%d, want %d/%d",
+				mode, snap.Min, snap.Max, want.Min, want.Max)
+		}
+		if snap.Mean() != want.Mean() {
+			t.Errorf("%v: Mean = %d, want %d", mode, snap.Mean(), want.Mean())
+		}
+	}
+}
+
+func TestConcurrentSnapshotEmpty(t *testing.T) {
+	snap := NewConcurrentProfile("op", Sharded, 4).Snapshot()
+	if snap.Count != 0 || snap.Total != 0 || snap.Min != 0 || snap.Max != 0 {
+		t.Errorf("empty snapshot not zero: %+v", snap)
+	}
+}

@@ -51,6 +51,12 @@ func (s *Set) Record(op string, latency uint64) { s.Get(op).Record(latency) }
 // Ops returns operation names in creation order.
 func (s *Set) Ops() []string { return append([]string(nil), s.order...) }
 
+// AppendOps appends the operation names in creation order to dst and
+// returns the extended slice. It lets iteration-heavy callers (e.g.
+// analysis.Selector.Compare) reuse one buffer instead of allocating a
+// fresh copy per call.
+func (s *Set) AppendOps(dst []string) []string { return append(dst, s.order...) }
+
 // Profiles returns the member profiles in creation order.
 func (s *Set) Profiles() []*Profile {
 	out := make([]*Profile, 0, len(s.order))

@@ -97,7 +97,8 @@ func RunFig10(p Fig10Params) *Fig10Result {
 		Windows: cifsRun("windows-client", cifs.WindowsClientConfig(), p.Dirs, true, nil),
 		Linux:   cifsRun("linux-client", cifs.LinuxClientConfig(), p.Dirs, true, nil),
 	}
-	r.Selected = analysis.DefaultSelector().SelectInteresting(r.Linux.Set, r.Windows.Set)
+	sel := analysis.DefaultSelector()
+	r.Selected = sel.SelectInteresting(r.Linux.Set, r.Windows.Set)
 	return r
 }
 

@@ -81,7 +81,8 @@ func RunFig6(p Fig6Params) *Fig6Result {
 	}
 	// The automated analysis that "alerted us to significant
 	// discrepancies between the profiles of the llseek operations".
-	r.Selected = analysis.DefaultSelector().SelectInteresting(r.OneProc, r.TwoProcs)
+	sel := analysis.DefaultSelector()
+	r.Selected = sel.SelectInteresting(r.OneProc, r.TwoProcs)
 
 	peaks := analysis.FindPeaksOpt(r.TwoProcs.Lookup("llseek"),
 		analysis.PeakOptions{MinCount: 3, MaxGap: 2})

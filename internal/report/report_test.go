@@ -124,7 +124,8 @@ func TestComparisonTable(t *testing.T) {
 	a, b := core.NewSet("a"), core.NewSet("b")
 	a.Record("op", 100)
 	b.Record("op", 1<<20)
-	reports := analysis.DefaultSelector().Compare(a, b)
+	sel := analysis.DefaultSelector()
+	reports := sel.Compare(a, b)
 	var buf bytes.Buffer
 	Comparison(&buf, reports)
 	if !strings.Contains(buf.String(), "op") {

@@ -1,0 +1,150 @@
+package sim_test
+
+// Determinism regression test: the simulator must produce bit-identical
+// results for a fixed seed, run after run, and those results must not
+// drift as the engine is optimized. The golden values below were
+// captured from the straightforward pre-optimization implementation
+// (heap-allocated events, closure-per-slice, copy-shift run queue, a
+// channel round-trip per Exec); any fast path that changes them has
+// changed simulation semantics, not just speed.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+
+	"osprof/internal/core"
+	"osprof/internal/sim"
+)
+
+// determinismWorkload exercises every scheduler feature at once: two
+// CPUs with skewed TSCs, in-kernel preemption, timer ticks, wakeup
+// preemption, semaphore and spinlock contention, sleeps, user- and
+// kernel-mode execution, a daemon, and kernel-driven async completions.
+func determinismWorkload() (*core.Set, sim.Stats) {
+	k := sim.New(sim.Config{
+		NumCPUs:     2,
+		Quantum:     1 << 18,
+		Preemptive:  true,
+		TickPeriod:  1 << 16,
+		TickCost:    5_000,
+		WakePreempt: true,
+		TSCSkew:     []int64{250, -250},
+		Seed:        0xD5EED,
+	})
+	set := core.NewSet("determinism")
+	mu := sim.NewSemaphore(k, "inode")
+	spin := sim.NewSpinLock(k, "runq")
+	wq := sim.NewWaitQueue(k, "io")
+
+	k.SpawnDaemon("flusher", func(p *sim.Proc) {
+		for {
+			p.Sleep(1 << 15)
+			p.Exec(2_000)
+			wq.WakeAll()
+		}
+	})
+
+	for w := 0; w < 3; w++ {
+		// Only two of the three workers take the spinlock: with as many
+		// spinlock users as CPUs plus one, a preempted holder could be
+		// starved forever by spinners occupying every CPU (real kernels
+		// disable preemption inside spinlock sections; this simulator
+		// does not).
+		useSpin := w < 2
+		k.Spawn("worker", func(p *sim.Proc) {
+			rng := k.Rand()
+			for i := 0; i < 400; i++ {
+				start := p.ReadTSC()
+				mu.Down(p)
+				p.Exec(uint64(rng.Int63n(4_000)) + 500)
+				mu.Up(p)
+				set.Record("sem_op", p.ReadTSC()-start)
+
+				if useSpin {
+					start = p.ReadTSC()
+					spin.Lock(p)
+					p.Exec(uint64(rng.Int63n(300)) + 50)
+					spin.Unlock(p)
+					set.Record("spin_op", p.ReadTSC()-start)
+				}
+
+				start = p.ReadTSC()
+				p.ExecUser(uint64(rng.Int63n(20_000)) + 1_000)
+				set.Record("user_op", p.ReadTSC()-start)
+
+				if i%16 == 0 {
+					start = p.ReadTSC()
+					k.Schedule(uint64(rng.Int63n(8_000))+1_000, func() { wq.WakeOne() })
+					wq.Wait(p)
+					set.Record("io_op", p.ReadTSC()-start)
+				}
+				if i%32 == 0 {
+					p.YieldCPU()
+				}
+			}
+		})
+	}
+	k.Run()
+	return set, k.Stats()
+}
+
+// Goldens captured from the pre-refactor simulator (seed 0xD5EED).
+const (
+	goldenSetSHA256    = "bbe787f6685d30384de6901281838e93d593ab08d6796758368af3dcc22b5a5f"
+	goldenCtxSwitches  = 1303
+	goldenPreemptions  = 597
+	goldenTimerTicks   = 242
+	goldenTotalOps     = 3275
+	goldenTotalLatency = 44899215
+)
+
+func marshalSet(t *testing.T, s *core.Set) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := core.WriteSet(&buf, s); err != nil {
+		t.Fatalf("WriteSet: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestDeterminismSameSeedIdenticalRuns(t *testing.T) {
+	set1, stats1 := determinismWorkload()
+	set2, stats2 := determinismWorkload()
+
+	if stats1 != stats2 {
+		t.Errorf("Stats differ across identical runs:\n  run1 %+v\n  run2 %+v", stats1, stats2)
+	}
+	b1, b2 := marshalSet(t, set1), marshalSet(t, set2)
+	if !bytes.Equal(b1, b2) {
+		t.Errorf("marshaled profiles differ across identical runs:\n%s\n---\n%s", b1, b2)
+	}
+	if err := set1.Validate(); err != nil {
+		t.Errorf("profile checksum: %v", err)
+	}
+}
+
+func TestDeterminismMatchesPreRefactorGolden(t *testing.T) {
+	set, stats := determinismWorkload()
+
+	if got := stats.ContextSwitches; got != goldenCtxSwitches {
+		t.Errorf("ContextSwitches = %d, golden %d", got, goldenCtxSwitches)
+	}
+	if got := stats.Preemptions; got != goldenPreemptions {
+		t.Errorf("Preemptions = %d, golden %d", got, goldenPreemptions)
+	}
+	if got := stats.TimerTicks; got != goldenTimerTicks {
+		t.Errorf("TimerTicks = %d, golden %d", got, goldenTimerTicks)
+	}
+	if got := set.TotalOps(); got != goldenTotalOps {
+		t.Errorf("TotalOps = %d, golden %d", got, goldenTotalOps)
+	}
+	if got := set.TotalLatency(); got != goldenTotalLatency {
+		t.Errorf("TotalLatency = %d, golden %d", got, goldenTotalLatency)
+	}
+	sum := sha256.Sum256(marshalSet(t, set))
+	if got := hex.EncodeToString(sum[:]); got != goldenSetSHA256 {
+		t.Errorf("marshaled set sha256 = %s, golden %s", got, goldenSetSHA256)
+	}
+}

@@ -1,49 +1,101 @@
 package sim
 
-import "container/heap"
-
 // event is a scheduled callback in the discrete-event simulation.
 // Events are ordered by (when, seq); seq provides a deterministic
 // tie-break for events scheduled at the same instant.
+//
+// Events are pooled on a per-kernel free list: the simulator schedules
+// one event per execution slice, so recycling them (together with the
+// pre-bound callbacks in Proc) makes the steady-state scheduling path
+// allocation-free. An event returns to the pool after its callback runs
+// or when it is popped in the canceled state; holders (Proc.sliceEvent,
+// Kernel.tickEvent) must clear or reassign their pointer before the
+// event fires or is discarded, which every call site does.
 type event struct {
 	when     uint64
 	seq      uint64
 	fn       func()
 	canceled bool
-	index    int
 }
 
+// eventHeap is a binary min-heap ordered by (when, seq). The sift
+// routines are hand-rolled rather than using container/heap to avoid
+// the interface indirection on the simulator's hottest path.
 type eventHeap []*event
 
 func (h eventHeap) Len() int { return len(h) }
 
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].when != h[j].when {
 		return h[i].when < h[j].when
 	}
 	return h[i].seq < h[j].seq
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+func (h eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
 }
 
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
+func (h eventHeap) down(i int) {
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		child := left
+		if right := left + 1; right < n && h.less(right, left) {
+			child = right
+		}
+		if !h.less(child, i) {
+			break
+		}
+		h[i], h[child] = h[child], h[i]
+		i = child
+	}
+}
+
+func (h *eventHeap) push(ev *event) {
 	*h = append(*h, ev)
+	h.up(len(*h) - 1)
 }
 
-func (h *eventHeap) Pop() any {
+func (h *eventHeap) pop() *event {
 	old := *h
 	n := len(old)
-	ev := old[n-1]
+	ev := old[0]
+	old[0] = old[n-1]
 	old[n-1] = nil
-	ev.index = -1
 	*h = old[:n-1]
+	h.down(0)
 	return ev
+}
+
+// newEvent takes an event from the kernel's free list, or allocates one
+// when the list is empty (cold start, or deeper nesting than ever seen).
+func (k *Kernel) newEvent() *event {
+	if n := len(k.freeEvents); n > 0 {
+		ev := k.freeEvents[n-1]
+		k.freeEvents[n-1] = nil
+		k.freeEvents = k.freeEvents[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// freeEvent recycles a fired or discarded event. The callback reference
+// is dropped so the pool does not pin closures.
+func (k *Kernel) freeEvent(ev *event) {
+	ev.fn = nil
+	ev.canceled = false
+	k.freeEvents = append(k.freeEvents, ev)
 }
 
 // schedule registers fn to run at absolute time when (in cycles).
@@ -53,12 +105,15 @@ func (k *Kernel) schedule(when uint64, fn func()) *event {
 		when = k.now
 	}
 	k.seq++
-	ev := &event{when: when, seq: k.seq, fn: fn}
-	heap.Push(&k.events, ev)
+	ev := k.newEvent()
+	ev.when, ev.seq, ev.fn = when, k.seq, fn
+	k.events.push(ev)
 	return ev
 }
 
-// cancelEvent marks an event so it will be skipped when popped.
+// cancelEvent marks an event so it will be skipped (and recycled) when
+// popped. The caller must drop its pointer: the event may be reused for
+// an unrelated callback as soon as the queue discards it.
 func (k *Kernel) cancelEvent(ev *event) {
 	if ev != nil {
 		ev.canceled = true
@@ -66,12 +121,14 @@ func (k *Kernel) cancelEvent(ev *event) {
 }
 
 // popEvent removes and returns the earliest non-canceled event, or nil.
+// Canceled events are recycled on the way.
 func (k *Kernel) popEvent() *event {
 	for k.events.Len() > 0 {
-		ev := heap.Pop(&k.events).(*event)
+		ev := k.events.pop()
 		if !ev.canceled {
 			return ev
 		}
+		k.freeEvent(ev)
 	}
 	return nil
 }
@@ -80,7 +137,7 @@ func (k *Kernel) popEvent() *event {
 func (k *Kernel) peekTime() (uint64, bool) {
 	for k.events.Len() > 0 {
 		if k.events[0].canceled {
-			heap.Pop(&k.events)
+			k.freeEvent(k.events.pop())
 			continue
 		}
 		return k.events[0].when, true

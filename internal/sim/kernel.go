@@ -99,11 +99,18 @@ type Kernel struct {
 	seq    uint64
 	events eventHeap
 	cpus   []*cpu
-	runq   []*Proc
+	runq   procRing
 	procs  []*Proc
 	live   int // non-daemon processes not yet finished
 	rng    *rand.Rand
 	stats  Stats
+
+	// freeEvents is the event pool; see event.go.
+	freeEvents []*event
+
+	// tickFn is the timer-interrupt callback, bound once so the
+	// periodic reschedule does not allocate a method value per tick.
+	tickFn func()
 
 	tickEvent *event
 	stopped   bool
@@ -132,8 +139,9 @@ func New(cfg Config) *Kernel {
 		}
 		k.cpus = append(k.cpus, c)
 	}
+	k.tickFn = k.timerTick
 	if cfg.TickPeriod > 0 {
-		k.tickEvent = k.schedule(cfg.TickPeriod, k.timerTick)
+		k.tickEvent = k.schedule(cfg.TickPeriod, k.tickFn)
 	}
 	return k
 }
@@ -180,6 +188,12 @@ func (k *Kernel) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
 		resume: make(chan struct{}),
 		yield:  make(chan struct{}),
 	}
+	// Pre-bound callbacks: the slice-completion, wakeup and resume
+	// closures are created once per process, so scheduling them on the
+	// hot path (startSlice, Sleep, SpinLock.Unlock) never allocates.
+	p.sliceDoneFn = func() { k.sliceDone(p) }
+	p.wakeFn = func() { k.Wake(p) }
+	p.resumeFn = func() { k.resumeProc(p) }
 	k.procs = append(k.procs, p)
 	if !daemon {
 		k.live++
@@ -203,6 +217,10 @@ func (k *Kernel) Run() {
 			k.now = ev.when
 		}
 		ev.fn()
+		// Safe to recycle: by convention every holder of a pending
+		// event pointer (sliceEvent, tickEvent) clears or reassigns it
+		// inside the callback, before it returns here.
+		k.freeEvent(ev)
 		k.dispatch()
 	}
 	k.stopped = true
@@ -212,7 +230,7 @@ func (k *Kernel) Run() {
 func (k *Kernel) dump() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "t=%d live=%d runq=%d events=%d\n",
-		k.now, k.live, len(k.runq), k.events.Len())
+		k.now, k.live, k.runq.Len(), k.events.Len())
 	for _, p := range k.procs {
 		fmt.Fprintf(&b, "  proc %d %q state=%v daemon=%v block=%q\n",
 			p.id, p.name, p.state, p.daemon, p.blockReason)
@@ -227,20 +245,17 @@ func (k *Kernel) makeRunnable(p *Proc) {
 	}
 	p.state = stateRunnable
 	p.runnableAt = k.now
-	k.runq = append(k.runq, p)
+	k.runq.PushBack(p)
 }
 
 // dispatch assigns runnable processes to idle CPUs in FIFO order.
 func (k *Kernel) dispatch() {
-	for len(k.runq) > 0 {
+	for k.runq.Len() > 0 {
 		c := k.idleCPU()
 		if c == nil {
 			return
 		}
-		p := k.runq[0]
-		copy(k.runq, k.runq[1:])
-		k.runq = k.runq[:len(k.runq)-1]
-		k.assign(c, p)
+		k.assign(c, k.runq.PopFront())
 	}
 }
 
@@ -270,11 +285,13 @@ func (k *Kernel) assign(c *cpu, p *Proc) {
 
 // startSlice schedules the completion of p's pending work (context
 // switch overhead plus remaining exec cycles) on its current CPU. The
-// event can be displaced by timer ticks and preemption.
+// event can be displaced by timer ticks and preemption. The callback is
+// the process's pre-bound sliceDoneFn and the event comes from the
+// kernel pool, so steady-state slices allocate nothing.
 func (k *Kernel) startSlice(p *Proc) {
 	p.sliceStart = k.now
 	work := p.overhead + p.execRemaining
-	p.sliceEvent = k.schedule(k.now+work, func() { k.sliceDone(p) })
+	p.sliceEvent = k.schedule(k.now+work, p.sliceDoneFn)
 }
 
 // consumeSlice accounts for the work p performed between sliceStart and
@@ -336,14 +353,14 @@ func (k *Kernel) timerTick() {
 		}
 		k.startSlice(p)
 	}
-	k.tickEvent = k.schedule(k.now+k.cfg.TickPeriod, k.timerTick)
+	k.tickEvent = k.schedule(k.now+k.cfg.TickPeriod, k.tickFn)
 }
 
 // shouldPreempt reports whether the quantum of p expired and the kernel
 // is allowed to preempt it here. Kernel-mode execution is preemptible
 // only on kernels built with in-kernel preemption (§3.3).
 func (k *Kernel) shouldPreempt(p *Proc) bool {
-	if len(k.runq) == 0 {
+	if k.runq.Len() == 0 {
 		return false
 	}
 	if k.now-p.cpuAcquired < k.cfg.Quantum {
@@ -367,7 +384,7 @@ func (k *Kernel) preempt(p *Proc) {
 	p.state = stateRunnable
 	p.runnableAt = k.now
 	p.wasPreempted = true
-	k.runq = append(k.runq, p)
+	k.runq.PushBack(p)
 	p.sliceEvent = nil
 }
 
@@ -418,13 +435,7 @@ func (k *Kernel) Wake(p *Proc) {
 
 // moveToFront hoists p to the head of the run queue.
 func (k *Kernel) moveToFront(p *Proc) {
-	for i, q := range k.runq {
-		if q == p {
-			copy(k.runq[1:i+1], k.runq[:i])
-			k.runq[0] = p
-			return
-		}
-	}
+	k.runq.MoveToFront(p)
 }
 
 // wakePreempt evicts the longest-running preemptible process when a

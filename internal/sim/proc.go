@@ -53,6 +53,12 @@ type Proc struct {
 	yield       chan struct{}
 	blockReason string
 
+	// Pre-bound callbacks, created once at spawn so that the hot
+	// scheduling paths never allocate a closure (see Kernel.spawn).
+	sliceDoneFn func()
+	wakeFn      func()
+	resumeFn    func()
+
 	// exec state
 	execRemaining uint64 // exec cycles still owed
 	execUser      bool   // current exec is user mode
@@ -172,6 +178,39 @@ func (p *Proc) exec(n uint64, user bool) {
 		p.yieldToKernel()
 		return
 	}
+	k := p.k
+	if p.sliceEvent == nil && (k.runq.Len() == 0 || k.idleCPU() == nil) {
+		// Inline-completion fast path: if this slice would finish
+		// strictly before the earliest pending event, nothing — no
+		// timer tick, no wakeup, no completion — can run during it, so
+		// no preemption or interrupt is possible and no other process
+		// can touch the run queue. Advance the clock and account the
+		// work right here, skipping both the event-heap push and the
+		// resume/yield channel round-trip through the kernel loop.
+		// (Strictly before: at equal times the pending event has the
+		// smaller sequence number and would fire first.)
+		//
+		// The run-queue guard keeps the skipped kernel-loop pass
+		// equivalent to a no-op: if this process's own actions (e.g. an
+		// Up that woke a sleeper whose wakeup preemption freed a CPU)
+		// left a runnable process and an idle CPU behind, the slow path
+		// would dispatch it on the next yield, so the slice must take
+		// that path.
+		finish := k.now + p.overhead + n
+		if when, ok := k.peekTime(); !ok || finish < when {
+			k.now = finish
+			p.sliceStart = finish
+			p.overhead = 0
+			p.execRemaining = 0
+			p.execUser = user
+			if user {
+				p.userCPU += n
+			} else {
+				p.sysCPU += n
+			}
+			return
+		}
+	}
 	p.execRemaining = n
 	p.execUser = user
 	if p.sliceEvent != nil {
@@ -186,7 +225,7 @@ func (p *Proc) exec(n uint64, user bool) {
 func (p *Proc) Sleep(n uint64) {
 	k := p.k
 	p.beginBlock("sleep")
-	k.schedule(k.now+n, func() { k.Wake(p) })
+	k.schedule(k.now+n, p.wakeFn)
 	p.yieldToKernel()
 }
 
@@ -235,9 +274,13 @@ func (p *Proc) WaitFor(other *Proc) {
 	p.yieldToKernel()
 }
 
+// noop is the shared empty callback for dispatchLater; the kernel loop
+// runs a dispatch pass after every event, so the event needs no body.
+func noop() {}
+
 // dispatchLater schedules an immediate dispatch pass. Used by
 // primitives that change the run queue from process context: the
 // dispatch must happen from the kernel loop, after the process yields.
 func (k *Kernel) dispatchLater() {
-	k.schedule(k.now, func() {})
+	k.schedule(k.now, noop)
 }

@@ -176,8 +176,7 @@ func (l *SpinLock) Unlock(p *Proc) {
 	l.owner = next
 	next.state = stateRunning
 	// The resume must come from the kernel loop, not from p's stack.
-	k := l.k
-	k.schedule(k.now, func() { k.resumeProc(next) })
+	l.k.schedule(l.k.now, next.resumeFn)
 }
 
 // WaitQueue is a condition-variable-like wait list used by substrates

@@ -123,7 +123,7 @@ func FindPeaks(p *Profile) []Peak { return analysis.FindPeaks(p) }
 func Score(m Method, a, b *Profile) float64 { return analysis.Score(m, a, b) }
 
 // DefaultSelector returns the standard automated-analysis parameters.
-func DefaultSelector() Selector { return analysis.DefaultSelector() }
+func DefaultSelector() *Selector { return analysis.DefaultSelector() }
 
 // WriteSet serializes a profile set in the text exchange format.
 func WriteSet(w io.Writer, s *Set) error { return core.WriteSet(w, s) }

@@ -11,12 +11,14 @@ package osprof_test
 import (
 	"io"
 	"math/rand"
+	"runtime"
 	"sync/atomic"
 	"testing"
 
 	"osprof"
 	"osprof/internal/analysis"
 	"osprof/internal/experiments"
+	"osprof/internal/runner"
 	"osprof/internal/sim"
 )
 
@@ -48,6 +50,35 @@ func BenchmarkEvalMemoryUsage(b *testing.B)           { runExperiment(b, "eval-m
 func BenchmarkEvalOverheadDecomposition(b *testing.B) { runExperiment(b, "eval-overhead") }
 func BenchmarkEvalAnalysisAccuracy(b *testing.B)      { runExperiment(b, "eval-accuracy") }
 func BenchmarkEvalBucketLocking(b *testing.B)         { runExperiment(b, "eval-locking") }
+
+// --- Runner benchmarks -----------------------------------------------
+//
+// Every experiment is an isolated deterministic simulation, so the
+// full suite is embarrassingly parallel; the pair below measures the
+// wall-clock speedup of the worker-pool runner over a serial sweep.
+
+// benchRunnerAll executes every registered experiment once per
+// iteration through the runner with the given worker count.
+func benchRunnerAll(b *testing.B, parallel int) {
+	ids := experiments.IDs()
+	jobs := make([]runner.Job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, runner.Job{ID: id, New: experiments.Registry[id]})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results := runner.Run(jobs, runner.Options{Parallel: parallel})
+		if failed := runner.FailedChecks(results); failed > 0 {
+			b.Fatalf("%d failed checks", failed)
+		}
+	}
+}
+
+func BenchmarkRunnerAllExperimentsSerial(b *testing.B) { benchRunnerAll(b, 1) }
+
+func BenchmarkRunnerAllExperimentsParallel(b *testing.B) {
+	benchRunnerAll(b, runtime.GOMAXPROCS(0))
+}
 
 // benchEq3 reports the paper's Equation 3 example values.
 func benchEq3(b *testing.B) {

@@ -1,64 +1,195 @@
-// Command osprof runs the paper's experiments against the simulated OS
-// substrate and prints paper-style profiles, checks, and tables.
+// Command osprof runs the paper's experiments and the backend×workload
+// scenario matrix against the simulated OS substrate, printing
+// paper-style profiles, invariant checks, and tables.
 //
 // Usage:
 //
-//	osprof list               list available experiments
-//	osprof run <id>...        run experiments (or "all")
-//	osprof checks <id>...     run and print only the invariant verdicts
+//	osprof [flags] list                   list available experiments
+//	osprof [flags] run <id>...|all        run experiments (reports + checks)
+//	osprof [flags] checks <id>...|all     run and print only the verdicts
+//	osprof [flags] scenarios [<id>...]    run the scenario matrix
+//	osprof scenarios list                 list the matrix scenarios
+//
+// Flags (accepted anywhere on the command line):
+//
+//	-parallel N   run N experiments concurrently (default 1; each
+//	              experiment is an isolated deterministic simulation,
+//	              so verdicts are identical to a serial run)
+//	-json         emit structured results as JSON
+//	-seed S       base seed for the scenario matrix (default 1)
 package main
 
 import (
+	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"osprof/internal/experiments"
+	"osprof/internal/runner"
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it executes the command line and
+// returns the process exit code (0 ok, 1 failed checks, 2 usage
+// error).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("osprof", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.Usage = func() { usage(stderr) }
+	parallel := fs.Int("parallel", 1, "experiments run concurrently")
+	jsonOut := fs.Bool("json", false, "emit JSON results")
+	seed := fs.Int64("seed", 1, "base seed for the scenario matrix")
+
+	pos, err := parseInterleaved(fs, args)
+	if err != nil {
+		return 2
 	}
-	switch os.Args[1] {
+	if len(pos) == 0 {
+		usage(stderr)
+		return 2
+	}
+	opt := runner.Options{Parallel: *parallel}
+
+	cmd, rest := pos[0], pos[1:]
+	switch cmd {
 	case "list":
 		for _, id := range experiments.IDs() {
-			fmt.Println(id)
+			fmt.Fprintln(stdout, id)
 		}
+		return 0
+
 	case "run", "checks":
-		ids := os.Args[2:]
-		if len(ids) == 1 && ids[0] == "all" || len(ids) == 0 {
-			ids = experiments.IDs()
-		}
-		failed := 0
+		ids := expand(rest, experiments.IDs())
+		jobs := make([]runner.Job, 0, len(ids))
 		for _, id := range ids {
 			ctor := experiments.Registry[id]
 			if ctor == nil {
-				fmt.Fprintf(os.Stderr, "osprof: unknown experiment %q\n", id)
-				os.Exit(2)
+				fmt.Fprintf(stderr, "osprof: unknown experiment %q\n", id)
+				return 2
 			}
-			fmt.Printf("### %s\n", id)
-			r := ctor()
-			if os.Args[1] == "run" {
-				r.Report(os.Stdout)
+			jobs = append(jobs, runner.Job{ID: id, New: ctor})
+		}
+		opt.CaptureReport = cmd == "run"
+		return emit(stdout, stderr, runner.Run(jobs, opt), *jsonOut)
+
+	case "scenarios":
+		reg, ids := experiments.Scenarios(*seed)
+		if len(rest) == 1 && rest[0] == "list" {
+			for _, id := range ids {
+				fmt.Fprintln(stdout, id)
 			}
-			experiments.WriteChecks(os.Stdout, r)
-			failed += len(experiments.Failures(r))
-			fmt.Println()
+			return 0
 		}
-		if failed > 0 {
-			fmt.Fprintf(os.Stderr, "osprof: %d failed checks\n", failed)
-			os.Exit(1)
+		ids = expand(rest, ids)
+		jobs := make([]runner.Job, 0, len(ids))
+		for _, id := range ids {
+			ctor := reg[id]
+			if ctor == nil {
+				fmt.Fprintf(stderr, "osprof: unknown scenario %q (try `osprof scenarios list`)\n", id)
+				return 2
+			}
+			jobs = append(jobs, runner.Job{ID: id, New: ctor})
 		}
+		return emit(stdout, stderr, runner.Run(jobs, opt), *jsonOut)
+
 	default:
-		usage()
-		os.Exit(2)
+		usage(stderr)
+		return 2
 	}
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `usage:
-  osprof list               list available experiments
-  osprof run <id>|all       run experiments and print reports + checks
-  osprof checks <id>|all    run experiments and print only checks`)
+// parseInterleaved parses flags that may appear before, between, or
+// after positional arguments (the flag package stops at the first
+// non-flag argument on its own).
+func parseInterleaved(fs *flag.FlagSet, args []string) ([]string, error) {
+	var pos []string
+	for {
+		if err := fs.Parse(args); err != nil {
+			return nil, err
+		}
+		if fs.NArg() == 0 {
+			return pos, nil
+		}
+		pos = append(pos, fs.Arg(0))
+		args = fs.Args()[1:]
+	}
+}
+
+// expand resolves an id list against the full set: an empty list or
+// the word "all" (in any position) selects everything, and repeated
+// ids run once, keeping first-occurrence order.
+func expand(ids, all []string) []string {
+	if len(ids) == 0 {
+		return all
+	}
+	seen := make(map[string]bool, len(ids))
+	var out []string
+	add := func(id string) {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	for _, id := range ids {
+		if id == "all" {
+			for _, a := range all {
+				add(a)
+			}
+			continue
+		}
+		add(id)
+	}
+	return out
+}
+
+// emit renders the results and returns the exit code.
+func emit(stdout, stderr io.Writer, results []runner.RunResult, jsonOut bool) int {
+	if jsonOut {
+		if err := runner.WriteJSON(stdout, results); err != nil {
+			fmt.Fprintf(stderr, "osprof: %v\n", err)
+			return 2
+		}
+	} else {
+		for i := range results {
+			writeResult(stdout, &results[i])
+		}
+	}
+	if failed := runner.FailedChecks(results); failed > 0 {
+		fmt.Fprintf(stderr, "osprof: %d failed checks\n", failed)
+		return 1
+	}
+	return 0
+}
+
+// writeResult prints one experiment's report (when captured) and its
+// check verdicts in the historical format.
+func writeResult(w io.Writer, rr *runner.RunResult) {
+	fmt.Fprintf(w, "### %s\n", rr.ID)
+	if rr.Report != "" {
+		io.WriteString(w, rr.Report)
+	}
+	experiments.WriteCheckList(w, rr.Checks)
+	if rr.Panic != "" {
+		fmt.Fprintf(w, "  [FAIL] %-40s %s\n", "experiment panicked", rr.Panic)
+	}
+	// Wall time is reported only in -json output: the text output
+	// stays byte-identical across reruns (the determinism invariant).
+	fmt.Fprintln(w)
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage:
+  osprof [flags] list                 list available experiments
+  osprof [flags] run <id>...|all      run experiments and print reports + checks
+  osprof [flags] checks <id>...|all   run experiments and print only checks
+  osprof [flags] scenarios [<id>...]  run the backend x workload scenario matrix
+  osprof scenarios list               list the matrix scenarios
+flags:
+  -parallel N   run N experiments concurrently (default 1)
+  -json         emit structured results as JSON
+  -seed S       base seed for the scenario matrix (default 1)`)
 }

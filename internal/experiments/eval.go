@@ -8,13 +8,11 @@ import (
 	"osprof/internal/analysis"
 	"osprof/internal/core"
 	"osprof/internal/cycles"
-	"osprof/internal/disk"
 	"osprof/internal/fs/ext2"
 	"osprof/internal/fsprof"
-	"osprof/internal/mem"
+	"osprof/internal/scenario"
 	"osprof/internal/sim"
 	"osprof/internal/synthetic"
-	"osprof/internal/vfs"
 	"osprof/internal/workload"
 )
 
@@ -45,21 +43,18 @@ func RunEvalMemory() *EvalMemoryResult {
 }
 
 func evalPostmarkSet() *core.Set {
-	k := sim.New(sim.Config{NumCPUs: 1, ContextSwitch: 9_350, Seed: 21})
-	d := disk.New(k, disk.Config{})
-	pc := mem.NewCache(k, 1<<14)
-	fs := ext2.New(k, d, pc, "ext2", ext2.Config{})
-	v := vfs.New(k)
-	if err := v.Mount("/", fs); err != nil {
-		panic(err)
-	}
-	set := core.NewSet("postmark")
-	fsprof.InstrumentSet(fs, set)
-	k.Spawn("postmark", func(p *sim.Proc) {
-		(&workload.Postmark{Sys: v, Files: 100, Transactions: 500, Seed: 2}).Run(p)
-	})
-	k.Run()
-	return set
+	st := scenario.MustBuild(scenario.Spec{
+		Name:       "eval-memory",
+		Kernel:     sim.Config{NumCPUs: 1, ContextSwitch: 9_350, Seed: 21},
+		Backend:    scenario.Ext2,
+		CachePages: 1 << 14,
+		Instrument: scenario.Instrument{Point: scenario.FSLevel},
+		SetName:    "postmark",
+		Workloads: []scenario.Workload{{
+			Kind: scenario.Postmark, Files: 100, Amount: 500, Seed: 2,
+		}},
+	}).Run()
+	return st.Set
 }
 
 // ID implements Result.
@@ -137,58 +132,56 @@ func RunEvalOverhead(p EvalOverheadParams) *EvalOverheadResult {
 	}
 	var base EvalOverheadRow
 	for _, m := range modes {
-		// A Linux-2.6-with-preemption machine: the flushing daemon
-		// must be able to steal the CPU from the CPU-bound benchmark.
-		k := sim.New(sim.Config{
-			NumCPUs:       1,
-			ContextSwitch: 9_350,
-			Quantum:       1 << 22,
-			TickPeriod:    1 << 20,
-			TickCost:      10_000,
-			Preemptive:    true,
-			WakePreempt:   true,
-			Seed:          22,
-		})
-		d := disk.New(k, disk.Config{})
-		// Like the paper's configuration, the working set exceeds the
-		// OS caches "so that I/O requests will reach the disk" (§5.2):
-		// a small page cache plus a flushing daemon scaled to the
-		// shortened run.
-		pc := mem.NewCache(k, 400)
-		fs := ext2.New(k, d, pc, "ext2", ext2.Config{DirtyPageLimit: 300})
-		flusher := &mem.Flusher{
-			Interval: 10 * cycles.PerMillisecond,
-			Age:      15 * cycles.PerMillisecond,
-			WritePage: func(proc *sim.Proc, pg *mem.Page) {
-				if ino := fs.InodeByID(pg.Key.Ino); ino != nil {
-					fs.Ops().Address.WritePage(proc, ino, pg.Key.Index, false)
-				} else {
-					pc.MarkClean(pg) // file already unlinked
-				}
-			},
-		}
-		flusher.Start(k, pc)
-		v := vfs.New(k)
-		if err := v.Mount("/", fs); err != nil {
-			panic(err)
-		}
-		set := core.NewSet(m.name)
+		point := scenario.NoProfiler
 		if m.instrument {
-			fsprof.Instrument(fs, fsprof.SetSink{Set: set}, m.mode, fsprof.DefaultCosts())
+			point = scenario.FSLevel
 		}
 		var st sim.ProcStats
 		var pm workload.PostmarkStats
-		k.Spawn("postmark", func(proc *sim.Proc) {
-			pm = (&workload.Postmark{
-				Sys: v, Files: p.Files, Transactions: p.Transactions, Seed: 5,
-			}).Run(proc)
-			st = proc.Stats()
-		})
-		k.Run()
+		stack := scenario.MustBuild(scenario.Spec{
+			Name: "eval-overhead",
+			// A Linux-2.6-with-preemption machine: the flushing daemon
+			// must be able to steal the CPU from the CPU-bound
+			// benchmark.
+			Kernel: sim.Config{
+				NumCPUs:       1,
+				ContextSwitch: 9_350,
+				Quantum:       1 << 22,
+				TickPeriod:    1 << 20,
+				TickCost:      10_000,
+				Preemptive:    true,
+				WakePreempt:   true,
+				Seed:          22,
+			},
+			Backend: scenario.Ext2,
+			// Like the paper's configuration, the working set exceeds
+			// the OS caches "so that I/O requests will reach the disk"
+			// (§5.2): a small page cache plus a flushing daemon scaled
+			// to the shortened run.
+			CachePages: 400,
+			Ext2:       ext2.Config{DirtyPageLimit: 300},
+			Flusher: &scenario.FlusherSpec{
+				Interval: 10 * cycles.PerMillisecond,
+				Age:      15 * cycles.PerMillisecond,
+			},
+			Instrument: scenario.Instrument{Point: point, Mode: m.mode},
+			SetName:    m.name,
+			Workloads: []scenario.Workload{{
+				Kind:     scenario.Custom,
+				ProcName: "postmark",
+				Body: func(proc *sim.Proc, _ int, stk *scenario.Stack) {
+					pm = (&workload.Postmark{
+						Sys: stk.Sys, Files: p.Files, Transactions: p.Transactions, Seed: 5,
+					}).Run(proc)
+					st = proc.Stats()
+				},
+			}},
+		}).Run()
+		set := stack.Set
 		row := EvalOverheadRow{
 			Mode:     m.name,
 			SysCPU:   st.SysCPU,
-			Elapsed:  k.Now(),
+			Elapsed:  stack.K.Now(),
 			WaitTime: st.WaitBlocked,
 		}
 		if m.name == "baseline" {

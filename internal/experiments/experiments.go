@@ -58,7 +58,7 @@ var Registry = map[string]func() Result{
 	"fig3":          func() Result { return RunFig3(Fig3Params{}) },
 	"fig6":          func() Result { return RunFig6(Fig6Params{}) },
 	"fig7":          func() Result { return RunFig7(Fig7Params{}) },
-	"fig8":          func() Result { return RunFig8(Fig7Params{}) },
+	"fig8":          func() Result { return RunFig8(Fig8Params{}) },
 	"fig9":          func() Result { return RunFig9(Fig9Params{}) },
 	"fig10":         func() Result { return RunFig10(Fig10Params{}) },
 	"fig11":         func() Result { return RunFig11(Fig11Params{}) },
@@ -79,8 +79,12 @@ func IDs() []string {
 }
 
 // WriteChecks renders the verdicts of a result.
-func WriteChecks(w io.Writer, r Result) {
-	for _, c := range r.Checks() {
+func WriteChecks(w io.Writer, r Result) { WriteCheckList(w, r.Checks()) }
+
+// WriteCheckList renders check verdicts in the canonical format; the
+// CLI and WriteChecks share it so the rendering cannot drift.
+func WriteCheckList(w io.Writer, checks []Check) {
+	for _, c := range checks {
 		status := "PASS"
 		if !c.OK {
 			status = "FAIL"

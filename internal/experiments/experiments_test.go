@@ -42,7 +42,7 @@ func TestFig7ReaddirPeaks(t *testing.T) {
 }
 
 func TestFig8ValueCorrelation(t *testing.T) {
-	assertAllChecks(t, RunFig8(Fig7Params{}))
+	assertAllChecks(t, RunFig8(Fig8Params{}))
 }
 
 func TestFig9TimelineProfiles(t *testing.T) {

@@ -7,8 +7,8 @@ import (
 	"osprof/internal/analysis"
 	"osprof/internal/core"
 	"osprof/internal/report"
+	"osprof/internal/scenario"
 	"osprof/internal/sim"
-	"osprof/internal/workload"
 )
 
 // Fig1Params scales the Figure 1 experiment: clone called concurrently
@@ -28,18 +28,31 @@ type Fig1Result struct {
 	PeaksSingle    []analysis.Peak
 }
 
-// fig1Kernel is a FreeBSD-6-like dual-CPU machine.
-func fig1Kernel() *sim.Kernel {
-	return sim.New(sim.Config{
-		NumCPUs:       2,
-		ContextSwitch: 9_350,
-		Quantum:       1 << 21,
-		TickPeriod:    1 << 19,
-		TickCost:      2_000,
-		Preemptive:    false, // FreeBSD 6.0 kernel mode
-		WakePreempt:   true,
-		Seed:          1,
-	})
+// fig1Spec describes a FreeBSD-6-like dual-CPU machine running the
+// clone storm with the given process fan-out; no file system is
+// involved, the latencies are captured entirely from user level.
+func fig1Spec(procs, clonesPerProc int, collect func(stats any)) scenario.Spec {
+	return scenario.Spec{
+		Name:    "fig1",
+		Backend: scenario.NoFS,
+		Kernel: sim.Config{
+			NumCPUs:       2,
+			ContextSwitch: 9_350,
+			Quantum:       1 << 21,
+			TickPeriod:    1 << 19,
+			TickCost:      2_000,
+			Preemptive:    false, // FreeBSD 6.0 kernel mode
+			WakePreempt:   true,
+			Seed:          1,
+		},
+		Workloads: []scenario.Workload{{
+			Kind:     scenario.Clone,
+			ProcName: "cloner",
+			Procs:    procs,
+			Amount:   clonesPerProc,
+			Collect:  collect,
+		}},
+	}
 }
 
 // RunFig1 reproduces Figure 1.
@@ -48,12 +61,12 @@ func RunFig1(p Fig1Params) *Fig1Result {
 		p.ClonesPerProc = 4_000
 	}
 	r := &Fig1Result{}
-	r.Contended = (&workload.CloneStorm{
-		K: fig1Kernel(), Procs: 4, ClonesPerProc: p.ClonesPerProc,
-	}).Run()
-	r.Single = (&workload.CloneStorm{
-		K: fig1Kernel(), Procs: 1, ClonesPerProc: p.ClonesPerProc,
-	}).Run()
+	scenario.MustBuild(fig1Spec(4, p.ClonesPerProc, func(stats any) {
+		r.Contended = stats.(*core.Profile)
+	})).Run()
+	scenario.MustBuild(fig1Spec(1, p.ClonesPerProc, func(stats any) {
+		r.Single = stats.(*core.Profile)
+	})).Run()
 
 	// Strict gap splitting (MaxGap -1) keeps the narrow valley between
 	// the CPU peak and the contention peak intact.

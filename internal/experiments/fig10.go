@@ -7,15 +7,11 @@ import (
 	"osprof/internal/analysis"
 	"osprof/internal/core"
 	"osprof/internal/cycles"
-	"osprof/internal/disk"
 	"osprof/internal/fs/cifs"
-	"osprof/internal/fs/ext2"
-	"osprof/internal/fsprof"
-	"osprof/internal/mem"
 	"osprof/internal/netsim"
 	"osprof/internal/report"
+	"osprof/internal/scenario"
 	"osprof/internal/sim"
-	"osprof/internal/vfs"
 	"osprof/internal/workload"
 )
 
@@ -48,44 +44,32 @@ type Fig10Result struct {
 // cifsRun builds the two-machine testbed and runs grep over the share.
 func cifsRun(client string, clientCfg cifs.ClientConfig, dirs int, delayedAck bool,
 	sniffer *netsim.Sniffer) Fig10Run {
-	k := sim.New(sim.Config{
-		NumCPUs:       2, // one client machine CPU, one server CPU
-		ContextSwitch: 9_350,
-		WakePreempt:   true,
-		Seed:          10,
-	})
-	conn := netsim.NewConn(k, netsim.Config{}, "client", "server", sniffer)
-	conn.Side(0).SetDelayedAck(delayedAck)
-
-	sd := disk.New(k, disk.Config{})
-	spc := mem.NewCache(k, 1<<15)
-	sfs := ext2.New(k, sd, spc, "ntfs", ext2.Config{})
-	workload.BuildTree(sfs, workload.TreeSpec{
-		Seed:           17,
-		Dirs:           dirs,
-		FilesPerDirMin: 8,
-		FilesPerDirMax: 24,
-		BigDirEvery:    4,
-	})
-	srv := cifs.NewServer(k, sfs, conn.Side(1), cifs.ServerConfig{})
-	srv.Start()
-
-	cpc := mem.NewCache(k, 1<<15)
-	cl := cifs.NewClient(k, conn.Side(0), cpc, "cifs", clientCfg)
-	v := vfs.New(k)
-	if err := v.Mount("/", cl); err != nil {
-		panic(err)
-	}
-
-	set := core.NewSet(client)
-	fsprof.InstrumentSet(cl, set)
-	cl.RPCSink = fsprof.SetSink{Set: set}
-
-	k.Spawn("grep", func(p *sim.Proc) {
-		(&workload.Grep{Sys: v, Root: "/src"}).Run(p)
-	})
-	k.Run()
-	return Fig10Run{Client: client, Set: set, Elapsed: k.Now()}
+	st := scenario.MustBuild(scenario.Spec{
+		Name: client,
+		Kernel: sim.Config{
+			NumCPUs:       2, // one client machine CPU, one server CPU
+			ContextSwitch: 9_350,
+			WakePreempt:   true,
+			Seed:          10,
+		},
+		Backend:    scenario.CIFS,
+		CachePages: 1 << 15,
+		CIFS: scenario.CIFSSpec{
+			Client:       clientCfg,
+			NoDelayedAck: !delayedAck,
+			Sniffer:      sniffer,
+		},
+		Tree: &workload.TreeSpec{
+			Seed:           17,
+			Dirs:           dirs,
+			FilesPerDirMin: 8,
+			FilesPerDirMax: 24,
+			BigDirEvery:    4,
+		},
+		Instrument: scenario.Instrument{Point: scenario.FSLevel},
+		Workloads:  []scenario.Workload{{Kind: scenario.Grep, Path: "/src"}},
+	}).Run()
+	return Fig10Run{Client: client, Set: st.Set, Elapsed: st.K.Now()}
 }
 
 // RunFig10 reproduces Figure 10.

@@ -6,14 +6,10 @@ import (
 	"math"
 
 	"osprof/internal/core"
-	"osprof/internal/disk"
-	"osprof/internal/fs/ext2"
-	"osprof/internal/fsprof"
-	"osprof/internal/mem"
 	"osprof/internal/report"
+	"osprof/internal/scenario"
 	"osprof/internal/sim"
 	"osprof/internal/vfs"
-	"osprof/internal/workload"
 )
 
 // Fig3Params scales the Figure 3 experiment: two processes reading
@@ -99,44 +95,38 @@ func Eq3(tcpu, tperiod, q uint64, y float64) float64 {
 }
 
 func fig3Run(preemptive bool, requests int) Fig3Run {
-	k := sim.New(sim.Config{
-		NumCPUs:       1,
-		ContextSwitch: 9_350,
-		Quantum:       fig3Quantum,
-		TickPeriod:    fig3Tick,
-		TickCost:      fig3TickCPU,
-		Preemptive:    preemptive,
-		Seed:          1,
-	})
-	d := disk.New(k, disk.Config{})
-	pc := mem.NewCache(k, 1024)
-	fs := ext2.New(k, d, pc, "ext2", ext2.Config{})
-	fs.MustAddFile(fs.Root(), "zero", vfs.PageSize)
-	v := vfs.New(k)
-	if err := v.Mount("/", fs); err != nil {
-		panic(err)
-	}
-	set := core.NewSet("user-level")
-	sys := fsprof.NewUserProfiler(v, set)
-
 	run := Fig3Run{Preemptive: preemptive, PreemptedBuckets: make(map[int]int)}
-	for i := 0; i < 2; i++ {
-		k.Spawn("reader", func(p *sim.Proc) {
-			(&workload.ReadZero{
-				Sys:      sys,
-				Requests: requests / 2,
-				Observe: func(lat uint64, pre bool) {
-					if pre {
-						run.PreemptedObserved++
-						run.PreemptedBuckets[core.BucketFor(lat, 1)]++
-					}
-				},
-			}).Run(p)
-		})
-	}
-	k.Run()
-	run.Read = set.Lookup("read")
-	run.Duration = k.Now()
+	st := scenario.MustBuild(scenario.Spec{
+		Name: "fig3",
+		Kernel: sim.Config{
+			NumCPUs:       1,
+			ContextSwitch: 9_350,
+			Quantum:       fig3Quantum,
+			TickPeriod:    fig3Tick,
+			TickCost:      fig3TickCPU,
+			Preemptive:    preemptive,
+			Seed:          1,
+		},
+		Backend:    scenario.Ext2,
+		CachePages: 1024,
+		Files:      []scenario.FileSpec{{Name: "zero", Size: vfs.PageSize}},
+		Instrument: scenario.Instrument{Point: scenario.UserLevel},
+		SetName:    "user-level",
+		Workloads: []scenario.Workload{{
+			Kind:     scenario.ReadZero,
+			ProcName: "reader",
+			Procs:    2,
+			Amount:   requests / 2,
+			Observe: func(lat uint64, pre bool) {
+				if pre {
+					run.PreemptedObserved++
+					run.PreemptedBuckets[core.BucketFor(lat, 1)]++
+				}
+			},
+		}},
+	}).Run()
+	run.Read = st.Set.Lookup("read")
+	run.Duration = st.K.Now()
 	return run
 }
 

@@ -6,14 +6,11 @@ import (
 
 	"osprof/internal/analysis"
 	"osprof/internal/core"
-	"osprof/internal/disk"
 	"osprof/internal/fs/ext2"
-	"osprof/internal/fsprof"
-	"osprof/internal/mem"
 	"osprof/internal/report"
+	"osprof/internal/scenario"
 	"osprof/internal/sim"
 	"osprof/internal/vfs"
-	"osprof/internal/workload"
 )
 
 // Fig6Params scales the §6.1 llseek experiment: processes randomly
@@ -36,37 +33,34 @@ type Fig6Result struct {
 }
 
 func fig6Run(procs int, buggy bool, requests int) *core.Set {
-	k := sim.New(sim.Config{
-		NumCPUs:       1,
-		ContextSwitch: 9_350,
-		WakePreempt:   true,
-		Seed:          3,
-	})
-	d := disk.New(k, disk.Config{})
-	pc := mem.NewCache(k, 4096)
-	fs := ext2.New(k, d, pc, "ext2", ext2.Config{BuggyLlseek: buggy})
-	fs.MustAddFile(fs.Root(), "bigfile", 4096*vfs.PageSize)
-	v := vfs.New(k)
-	if err := v.Mount("/", fs); err != nil {
-		panic(err)
-	}
-	set := core.NewSet(fmt.Sprintf("llseek-%dproc-buggy=%v", procs, buggy))
-	fsprof.InstrumentSet(fs, set)
-	for i := 0; i < procs; i++ {
-		seed := int64(i + 1)
-		k.Spawn("rr", func(p *sim.Proc) {
+	st := scenario.MustBuild(scenario.Spec{
+		Name: "fig6",
+		Kernel: sim.Config{
+			NumCPUs:       1,
+			ContextSwitch: 9_350,
+			WakePreempt:   true,
+			Seed:          3,
+		},
+		Backend:    scenario.Ext2,
+		CachePages: 4096,
+		Ext2:       ext2.Config{BuggyLlseek: buggy},
+		Files:      []scenario.FileSpec{{Name: "bigfile", Size: 4096 * vfs.PageSize}},
+		Instrument: scenario.Instrument{Point: scenario.FSLevel},
+		SetName:    fmt.Sprintf("llseek-%dproc-buggy=%v", procs, buggy),
+		Workloads: []scenario.Workload{{
+			Kind:     scenario.RandomRead,
+			ProcName: "rr",
+			Procs:    procs,
+			Amount:   requests,
+			Seed:     1, // process i reads with seed i+1
 			// The think time models the application consuming the
 			// data; without it two direct-I/O readers keep i_sem
 			// utilized 100% of the time and every llseek contends,
 			// unlike the paper's ~25%.
-			(&workload.RandomRead{
-				Sys: v, Requests: requests, Seed: seed,
-				ThinkTime: 14_000_000, // ~8ms user work per 512B read
-			}).Run(p)
-		})
-	}
-	k.Run()
-	return set
+			Think: 14_000_000, // ~8ms user work per 512B read
+		}},
+	}).Run()
+	return st.Set
 }
 
 // RunFig6 reproduces Figure 6.

@@ -6,13 +6,10 @@ import (
 
 	"osprof/internal/analysis"
 	"osprof/internal/core"
-	"osprof/internal/disk"
 	"osprof/internal/fs/ext2"
-	"osprof/internal/fsprof"
-	"osprof/internal/mem"
 	"osprof/internal/report"
+	"osprof/internal/scenario"
 	"osprof/internal/sim"
-	"osprof/internal/vfs"
 	"osprof/internal/workload"
 )
 
@@ -31,34 +28,32 @@ type Fig7Result struct {
 	Readpage *core.Profile
 	Peaks    []analysis.Peak
 	Grep     workload.GrepStats
-
-	// fig8 reuses the identical run with correlation probes.
-	correlation *core.Correlation
 }
 
-// fig7Rig builds the machine + tree; shared with Figure 8.
-func fig7Rig(dirs int) (*sim.Kernel, *ext2.FS, *vfs.VFS, workload.TreeStats) {
-	k := sim.New(sim.Config{
-		NumCPUs:       1,
-		ContextSwitch: 9_350,
-		WakePreempt:   true,
-		Seed:          7,
-	})
-	d := disk.New(k, disk.Config{})
-	pc := mem.NewCache(k, 1<<16)
-	fs := ext2.New(k, d, pc, "ext2", ext2.Config{FileSpread: 24})
-	v := vfs.New(k)
-	if err := v.Mount("/", fs); err != nil {
-		panic(err)
+// fig7Spec describes the machine + tree; Figure 8 reruns the identical
+// scenario with correlation probes instead of the profile set.
+func fig7Spec(name string, dirs int, instrument scenario.Instrument) scenario.Spec {
+	return scenario.Spec{
+		Name: name,
+		Kernel: sim.Config{
+			NumCPUs:       1,
+			ContextSwitch: 9_350,
+			WakePreempt:   true,
+			Seed:          7,
+		},
+		Backend:    scenario.Ext2,
+		CachePages: 1 << 16,
+		Ext2:       ext2.Config{FileSpread: 24},
+		Tree: &workload.TreeSpec{
+			Seed:           13,
+			Dirs:           dirs,
+			FilesPerDirMin: 12,
+			FilesPerDirMax: 40,
+			BigDirEvery:    5,
+		},
+		Instrument: instrument,
+		SetName:    "ext2-grep",
 	}
-	tree := workload.BuildTree(fs, workload.TreeSpec{
-		Seed:           13,
-		Dirs:           dirs,
-		FilesPerDirMin: 12,
-		FilesPerDirMax: 40,
-		BigDirEvery:    5,
-	})
-	return k, fs, v, tree
 }
 
 // RunFig7 reproduces Figure 7: the four-peak readdir profile.
@@ -66,16 +61,16 @@ func RunFig7(p Fig7Params) *Fig7Result {
 	if p.Dirs == 0 {
 		p.Dirs = 60
 	}
-	k, fs, v, _ := fig7Rig(p.Dirs)
-	set := core.NewSet("ext2-grep")
-	fsprof.InstrumentSet(fs, set)
-	r := &Fig7Result{Set: set}
-	k.Spawn("grep", func(proc *sim.Proc) {
-		r.Grep = (&workload.Grep{Sys: v}).Run(proc)
-	})
-	k.Run()
-	r.Readdir = set.Lookup("readdir")
-	r.Readpage = set.Lookup("readpage")
+	spec := fig7Spec("fig7", p.Dirs, scenario.Instrument{Point: scenario.FSLevel})
+	r := &Fig7Result{}
+	spec.Workloads = []scenario.Workload{{
+		Kind:    scenario.Grep,
+		Collect: func(stats any) { r.Grep = stats.(workload.GrepStats) },
+	}}
+	st := scenario.MustBuild(spec).Run()
+	r.Set = st.Set
+	r.Readdir = st.Set.Lookup("readdir")
+	r.Readpage = st.Set.Lookup("readpage")
 	r.Peaks = analysis.FindPeaksOpt(r.Readdir, analysis.PeakOptions{MinCount: 2, MaxGap: 1})
 	return r
 }

@@ -6,10 +6,19 @@ import (
 
 	"osprof/internal/core"
 	"osprof/internal/report"
+	"osprof/internal/scenario"
 	"osprof/internal/sim"
 	"osprof/internal/vfs"
-	"osprof/internal/workload"
 )
+
+// Fig8Params scales the §6.2 profile/value correlation experiment. It
+// runs on the same machine and tree as Figure 7 but is an independent
+// experiment with its own scale knob.
+type Fig8Params struct {
+	// Dirs is the directory count of the tree (default 60, like
+	// Figure 7).
+	Dirs int
+}
 
 // Fig8Result is the direct profile/value correlation of §6.2: for every
 // readdir call, store the value readdir_past_EOF*1024 into one value
@@ -23,11 +32,16 @@ type Fig8Result struct {
 
 // RunFig8 reproduces Figure 8 on the same machine and tree as
 // Figure 7.
-func RunFig8(p Fig7Params) *Fig8Result {
+func RunFig8(p Fig8Params) *Fig8Result {
 	if p.Dirs == 0 {
 		p.Dirs = 60
 	}
-	k, fs, v, _ := fig7Rig(p.Dirs)
+	// The identical Figure 7 stack, but without the profile-set
+	// instrumentation: the correlation macros below are the only
+	// probes.
+	spec := fig7Spec("fig8", p.Dirs, scenario.Instrument{Point: scenario.NoProfiler})
+	spec.Workloads = []scenario.Workload{{Kind: scenario.Grep}}
+	st := scenario.MustBuild(spec)
 
 	// The slightly modified profiling macros of §6.2: the first-peak
 	// latency range from Figure 7 classifies each call, and the
@@ -37,7 +51,7 @@ func RunFig8(p Fig7Params) *Fig8Result {
 	})
 	r := &Fig8Result{Correlation: corr}
 
-	ops := fs.Ops()
+	ops := st.Ext2.Ops()
 	orig := ops.File.Readdir
 	ops.File.Readdir = func(proc *sim.Proc, f *vfs.File) []vfs.DirEntry {
 		pastEOF := uint64(0)
@@ -51,10 +65,7 @@ func RunFig8(p Fig7Params) *Fig8Result {
 		return out
 	}
 
-	k.Spawn("grep", func(proc *sim.Proc) {
-		(&workload.Grep{Sys: v}).Run(proc)
-	})
-	k.Run()
+	st.Run()
 	return r
 }
 

@@ -7,11 +7,9 @@ import (
 	"osprof/internal/analysis"
 	"osprof/internal/core"
 	"osprof/internal/cycles"
-	"osprof/internal/disk"
 	"osprof/internal/fs/reiser"
-	"osprof/internal/fsprof"
-	"osprof/internal/mem"
 	"osprof/internal/report"
+	"osprof/internal/scenario"
 	"osprof/internal/sim"
 	"osprof/internal/vfs"
 )
@@ -43,63 +41,75 @@ func RunFig9(p Fig9Params) *Fig9Result {
 	if p.Interval == 0 {
 		p.Interval = 2.5
 	}
-	k := sim.New(sim.Config{
-		NumCPUs:       1,
-		ContextSwitch: 9_350,
-		WakePreempt:   true,
-		Seed:          9,
-	})
-	d := disk.New(k, disk.Config{})
-	pc := mem.NewCache(k, 1<<15)
-	fs := reiser.New(k, d, pc, "reiserfs", reiser.Config{
-		JournalBlocks: 24,
-		SuperInterval: 4 * cycles.PerSecond,
-	})
-	for i := 0; i < 120; i++ {
-		fs.MustAddFile(fmt.Sprintf("f%03d", i), 8*vfs.PageSize)
-	}
-	v := vfs.New(k)
-	if err := v.Mount("/", fs); err != nil {
-		panic(err)
-	}
-
-	sink := fsprof.NewSampledSink(0, uint64(p.Interval*cycles.PerSecond))
-	fsprof.Instrument(fs, sink, fsprof.Full, fsprof.DefaultCosts())
-	fs.StartSuperDaemon()
-
 	deadline := uint64(p.Seconds) * cycles.PerSecond
-
-	// Reader: cycles through the files; early passes miss (disk),
-	// later passes hit the page cache — the three vertical stripes.
-	k.Spawn("reader", func(proc *sim.Proc) {
-		i := 0
-		for proc.Now() < deadline {
-			f, err := v.Open(proc, fmt.Sprintf("/f%03d", i%120), false)
-			if err == nil {
-				for v.Read(proc, f, vfs.PageSize) > 0 {
-				}
-				v.Close(proc, f)
-			}
-			i++
-			proc.ExecUser(200_000)
-		}
-	})
-	// Writer: keeps the journal dirty so every write_super has work.
-	k.Spawn("writer", func(proc *sim.Proc) {
-		for proc.Now() < deadline {
-			f, err := v.Open(proc, "/f000", false)
-			if err == nil {
-				v.Write(proc, f, 4*vfs.PageSize)
-				v.Close(proc, f)
-			}
-			proc.Sleep(800 * cycles.PerMillisecond)
-		}
-	})
-	k.Run()
+	files := make([]scenario.FileSpec, 120)
+	for i := range files {
+		files[i] = scenario.FileSpec{Name: fmt.Sprintf("f%03d", i), Size: 8 * vfs.PageSize}
+	}
+	st := scenario.MustBuild(scenario.Spec{
+		Name: "fig9",
+		Kernel: sim.Config{
+			NumCPUs:       1,
+			ContextSwitch: 9_350,
+			WakePreempt:   true,
+			Seed:          9,
+		},
+		Backend:    scenario.Reiser,
+		CachePages: 1 << 15,
+		Reiser: reiser.Config{
+			JournalBlocks: 24,
+			SuperInterval: 4 * cycles.PerSecond,
+		},
+		SuperDaemon: true,
+		Files:       files,
+		Instrument: scenario.Instrument{
+			Point:          scenario.FSLevel,
+			Sampled:        true,
+			SampleInterval: uint64(p.Interval * cycles.PerSecond),
+		},
+		Workloads: []scenario.Workload{
+			{
+				// Reader: cycles through the files; early passes miss
+				// (disk), later passes hit the page cache — the three
+				// vertical stripes.
+				Kind:     scenario.Custom,
+				ProcName: "reader",
+				Body: func(proc *sim.Proc, _ int, st *scenario.Stack) {
+					i := 0
+					for proc.Now() < deadline {
+						f, err := st.Sys.Open(proc, fmt.Sprintf("/f%03d", i%120), false)
+						if err == nil {
+							for st.Sys.Read(proc, f, vfs.PageSize) > 0 {
+							}
+							st.Sys.Close(proc, f)
+						}
+						i++
+						proc.ExecUser(200_000)
+					}
+				},
+			},
+			{
+				// Writer: keeps the journal dirty so every write_super
+				// has work.
+				Kind:     scenario.Custom,
+				ProcName: "writer",
+				Body: func(proc *sim.Proc, _ int, st *scenario.Stack) {
+					for proc.Now() < deadline {
+						f, err := st.Sys.Open(proc, "/f000", false)
+						if err == nil {
+							st.Sys.Write(proc, f, 4*vfs.PageSize)
+							st.Sys.Close(proc, f)
+						}
+						proc.Sleep(800 * cycles.PerMillisecond)
+					}
+				},
+			},
+		},
+	}).Run()
 
 	r := &Fig9Result{
-		Read:       sink.Profile("read"),
-		WriteSuper: sink.Profile("write_super"),
+		Read:       st.Sampled.Profile("read"),
+		WriteSuper: st.Sampled.Profile("write_super"),
 	}
 	if r.Read != nil {
 		r.Flat = r.Read.Flatten()

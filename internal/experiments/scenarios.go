@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"osprof/internal/core"
+	"osprof/internal/cycles"
+	"osprof/internal/report"
+	"osprof/internal/scenario"
+)
+
+// ScenarioResult wraps one scenario-matrix run (or any ad-hoc
+// scenario.Spec) with generic machine-verifiable checks: the stack
+// ran, the profiler recorded, latencies respect the probe floor, and —
+// because each spec describes a fully isolated deterministic world —
+// an immediate rerun reproduces the profiles byte for byte.
+type ScenarioResult struct {
+	Spec  scenario.Spec
+	Stack *scenario.Stack
+
+	// Err is a build/run failure (nil on success).
+	Err error
+
+	// Deterministic reports whether a second run of the same spec
+	// reproduced the profile set and the simulated clock exactly.
+	Deterministic bool
+
+	// Elapsed is the simulated run length in cycles.
+	Elapsed uint64
+}
+
+// RunScenario builds and runs spec twice, comparing the runs to verify
+// determinism, and returns the first run wrapped in checks.
+func RunScenario(spec scenario.Spec) *ScenarioResult {
+	r := &ScenarioResult{Spec: spec}
+	first, err := scenario.RunSpec(spec)
+	if err != nil {
+		r.Err = err
+		return r
+	}
+	r.Stack = first
+	r.Elapsed = first.K.Now()
+
+	second, err := scenario.RunSpec(spec)
+	if err != nil {
+		r.Err = fmt.Errorf("rerun: %w", err)
+		return r
+	}
+	r.Deterministic = first.K.Now() == second.K.Now() &&
+		sameSet(first.Set, second.Set)
+	return r
+}
+
+// errDetail renders an error for a check detail, empty when nil.
+func errDetail(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// sameSet compares two profile sets via the text exchange format.
+func sameSet(a, b *core.Set) bool {
+	var ba, bb bytes.Buffer
+	if err := core.WriteSet(&ba, a); err != nil {
+		return false
+	}
+	if err := core.WriteSet(&bb, b); err != nil {
+		return false
+	}
+	return bytes.Equal(ba.Bytes(), bb.Bytes())
+}
+
+// ID implements Result.
+func (r *ScenarioResult) ID() string { return r.Spec.Name }
+
+// Checks implements Result.
+func (r *ScenarioResult) Checks() []Check {
+	var cs []Check
+	cs = append(cs, check("scenario built and ran",
+		r.Err == nil, "%s", errDetail(r.Err)))
+	if r.Err != nil {
+		return cs
+	}
+	set := r.Stack.Set
+	cs = append(cs, check("simulated time advanced",
+		r.Elapsed > 0, "elapsed=%s", cycles.Format(r.Elapsed)))
+	cs = append(cs, check("profiler recorded operations",
+		set.TotalOps() > 0, "ops=%d across %d operations", set.TotalOps(), set.Len()))
+	cs = append(cs, check("profile set validates",
+		set.Validate() == nil, "%s", errDetail(set.Validate())))
+
+	// Full profiling's smallest observable latency is the ~40-cycle
+	// TSC window between the probe reads (§5.2) — bucket 5.
+	if r.Spec.Instrument.Point == scenario.FSLevel && !r.Spec.Instrument.Sampled {
+		minBucket := 99
+		for _, prof := range set.Profiles() {
+			if prof.Count == 0 {
+				continue
+			}
+			if lo, _, ok := prof.Range(); ok && lo < minBucket {
+				minBucket = lo
+			}
+		}
+		cs = append(cs, check("latencies respect the probe floor",
+			minBucket >= 5 && minBucket < 99,
+			"min bucket=%d (the ~40-cycle TSC window is bucket 5)", minBucket))
+	}
+
+	cs = append(cs, check("deterministic rerun",
+		r.Deterministic, "profiles and simulated clock must reproduce exactly"))
+	return cs
+}
+
+// Report implements Result.
+func (r *ScenarioResult) Report(w io.Writer) {
+	fmt.Fprintf(w, "=== scenario %s ===\n", r.Spec.Name)
+	if r.Err != nil {
+		fmt.Fprintf(w, "error: %v\n", r.Err)
+		return
+	}
+	fmt.Fprintf(w, "backend=%s workloads=%d elapsed=%s\n",
+		r.Spec.Backend, len(r.Spec.Workloads), cycles.Format(r.Elapsed))
+	report.Set(w, r.Stack.Set, report.Options{})
+}
+
+// Scenarios returns the backend×workload matrix as runnable
+// constructors keyed by scenario name, alongside the ordered name
+// list. seed offsets every kernel and workload seed.
+func Scenarios(seed int64) (map[string]func() Result, []string) {
+	specs := scenario.Matrix(seed)
+	reg := make(map[string]func() Result, len(specs))
+	ids := make([]string, 0, len(specs))
+	for _, spec := range specs {
+		spec := spec
+		reg[spec.Name] = func() Result { return RunScenario(spec) }
+		ids = append(ids, spec.Name)
+	}
+	return reg, ids
+}

@@ -1,0 +1,140 @@
+// Package runner executes independent experiments concurrently. Every
+// experiment builds its own simulated kernel — an isolated
+// deterministic world — so a set of experiments is embarrassingly
+// parallel: a worker pool runs them across cores while each individual
+// simulation stays strictly sequential, and the check verdicts are
+// bit-identical to a serial run regardless of the worker count.
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"osprof/internal/experiments"
+)
+
+// Job is one experiment to run: New must build and execute the
+// experiment from scratch (it is called inside a worker).
+type Job struct {
+	ID  string
+	New func() experiments.Result
+}
+
+// RunResult is the structured outcome of one job.
+type RunResult struct {
+	// ID is the job's identifier.
+	ID string `json:"id"`
+
+	// Checks are the experiment's invariant verdicts.
+	Checks []experiments.Check `json:"checks"`
+
+	// Failed counts the failed checks.
+	Failed int `json:"failed"`
+
+	// Wall is the job's wall-clock time.
+	Wall time.Duration `json:"wall_ns"`
+
+	// Report is the paper-style textual output (captured only when
+	// Options.CaptureReport is set).
+	Report string `json:"report,omitempty"`
+
+	// Panic carries a recovered panic message; a panicked job counts
+	// as failed.
+	Panic string `json:"panic,omitempty"`
+}
+
+// OK reports whether the job completed with all checks passing.
+func (r *RunResult) OK() bool { return r.Panic == "" && r.Failed == 0 }
+
+// Options configures a runner invocation.
+type Options struct {
+	// Parallel is the worker count; values < 1 mean GOMAXPROCS.
+	Parallel int
+
+	// CaptureReport renders each result's Report into the RunResult.
+	CaptureReport bool
+}
+
+// Run executes the jobs on a worker pool and returns one RunResult per
+// job, in job order. Check verdicts do not depend on Parallel: each
+// job's simulated world is isolated, so only wall-clock times differ
+// between serial and parallel runs.
+func Run(jobs []Job, opt Options) []RunResult {
+	workers := opt.Parallel
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	results := make([]RunResult, len(jobs))
+	if len(jobs) == 0 {
+		return results
+	}
+
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i] = runOne(jobs[i], opt.CaptureReport)
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results
+}
+
+// runOne executes a single job, converting panics into a failed
+// RunResult so one broken experiment cannot take down the batch.
+func runOne(job Job, report bool) (rr RunResult) {
+	rr.ID = job.ID
+	start := time.Now()
+	defer func() {
+		rr.Wall = time.Since(start)
+		if p := recover(); p != nil {
+			rr.Panic = fmt.Sprint(p)
+			rr.Failed++
+		}
+	}()
+	r := job.New()
+	rr.Checks = r.Checks()
+	for _, c := range rr.Checks {
+		if !c.OK {
+			rr.Failed++
+		}
+	}
+	if report {
+		var buf strings.Builder
+		r.Report(&buf)
+		rr.Report = buf.String()
+	}
+	return rr
+}
+
+// FailedChecks sums the failed checks (and panics) across results.
+func FailedChecks(results []RunResult) int {
+	total := 0
+	for i := range results {
+		total += results[i].Failed
+	}
+	return total
+}
+
+// WriteJSON emits the results as an indented JSON array.
+func WriteJSON(w io.Writer, results []RunResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}

@@ -1,0 +1,148 @@
+package runner
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"osprof/internal/experiments"
+)
+
+// fakeResult is a minimal experiments.Result.
+type fakeResult struct {
+	id     string
+	checks []experiments.Check
+}
+
+func (f *fakeResult) ID() string                  { return f.id }
+func (f *fakeResult) Checks() []experiments.Check { return f.checks }
+func (f *fakeResult) Report(w io.Writer)          { io.WriteString(w, "report:"+f.id+"\n") }
+
+func fakeJob(id string, ok bool) Job {
+	return Job{ID: id, New: func() experiments.Result {
+		return &fakeResult{id: id, checks: []experiments.Check{
+			{Name: "invariant", OK: ok, Detail: "detail-" + id},
+		}}
+	}}
+}
+
+func TestRunPreservesJobOrder(t *testing.T) {
+	var jobs []Job
+	ids := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	for _, id := range ids {
+		jobs = append(jobs, fakeJob(id, true))
+	}
+	results := Run(jobs, Options{Parallel: 4})
+	if len(results) != len(ids) {
+		t.Fatalf("got %d results, want %d", len(results), len(ids))
+	}
+	for i, rr := range results {
+		if rr.ID != ids[i] {
+			t.Errorf("result %d is %q, want %q", i, rr.ID, ids[i])
+		}
+		if !rr.OK() {
+			t.Errorf("%s not OK: %+v", rr.ID, rr)
+		}
+	}
+}
+
+func TestRunCountsFailures(t *testing.T) {
+	results := Run([]Job{fakeJob("good", true), fakeJob("bad", false)}, Options{})
+	if FailedChecks(results) != 1 {
+		t.Errorf("FailedChecks = %d, want 1", FailedChecks(results))
+	}
+	if results[1].OK() {
+		t.Error("failing job reported OK")
+	}
+}
+
+func TestRunRecoversPanics(t *testing.T) {
+	boom := Job{ID: "boom", New: func() experiments.Result { panic("kernel exploded") }}
+	results := Run([]Job{fakeJob("fine", true), boom}, Options{Parallel: 2})
+	if results[1].Panic != "kernel exploded" {
+		t.Errorf("panic not captured: %+v", results[1])
+	}
+	if results[1].OK() || FailedChecks(results) == 0 {
+		t.Error("panicked job must count as failed")
+	}
+	if !results[0].OK() {
+		t.Error("panic leaked into the healthy job")
+	}
+}
+
+func TestRunCapturesReports(t *testing.T) {
+	results := Run([]Job{fakeJob("r", true)}, Options{CaptureReport: true})
+	if results[0].Report != "report:r\n" {
+		t.Errorf("report = %q", results[0].Report)
+	}
+	results = Run([]Job{fakeJob("r", true)}, Options{})
+	if results[0].Report != "" {
+		t.Error("report captured without CaptureReport")
+	}
+}
+
+// The concurrency cap must hold: at most Parallel jobs in flight.
+func TestRunHonorsParallelLimit(t *testing.T) {
+	var inFlight, peak atomic.Int64
+	var jobs []Job
+	for i := 0; i < 16; i++ {
+		jobs = append(jobs, Job{ID: "j", New: func() experiments.Result {
+			cur := inFlight.Add(1)
+			for {
+				old := peak.Load()
+				if cur <= old || peak.CompareAndSwap(old, cur) {
+					break
+				}
+			}
+			defer inFlight.Add(-1)
+			return &fakeResult{id: "j"}
+		}})
+	}
+	Run(jobs, Options{Parallel: 3})
+	if p := peak.Load(); p > 3 {
+		t.Errorf("peak concurrency %d exceeds limit 3", p)
+	}
+}
+
+// Real experiments: verdicts must be independent of the worker count.
+func TestParallelVerdictsMatchSerialOnRealExperiments(t *testing.T) {
+	jobs := []Job{
+		{ID: "fig7", New: experiments.Registry["fig7"]},
+		{ID: "fig8", New: experiments.Registry["fig8"]},
+		{ID: "eval-memory", New: experiments.Registry["eval-memory"]},
+		{ID: "eval-accuracy", New: experiments.Registry["eval-accuracy"]},
+	}
+	serial := Run(jobs, Options{Parallel: 1})
+	parallel := Run(jobs, Options{Parallel: 4})
+	for i := range serial {
+		if serial[i].ID != parallel[i].ID ||
+			!reflect.DeepEqual(serial[i].Checks, parallel[i].Checks) {
+			t.Errorf("%s: verdicts differ between serial and parallel runs", serial[i].ID)
+		}
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	results := Run([]Job{fakeJob("x", true), fakeJob("y", false)}, Options{CaptureReport: true})
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	var back []RunResult
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0].ID != "x" || back[1].Failed != 1 ||
+		back[0].Report == "" || len(back[1].Checks) != 1 {
+		t.Errorf("round trip mangled results: %+v", back)
+	}
+}
+
+func TestRunEmptyJobs(t *testing.T) {
+	if got := Run(nil, Options{Parallel: 8}); len(got) != 0 {
+		t.Errorf("Run(nil) = %v", got)
+	}
+}

@@ -1,0 +1,119 @@
+package scenario
+
+import (
+	"fmt"
+
+	"osprof/internal/sim"
+	"osprof/internal/vfs"
+	"osprof/internal/workload"
+)
+
+// Matrix returns the backend×workload scenario matrix: every
+// file-system backend (ext2, reiser, cifs) crossed with the workload
+// generators it supports, each as a self-contained Spec runnable
+// outside the paper figures (`osprof scenarios`). seed offsets every
+// kernel and workload seed, so `-seed` reruns the whole matrix in a
+// different deterministic world.
+//
+// Backends expose different capability sets: Postmark needs create and
+// unlink, which only the Ext2 backend implements; the Reiser backend's
+// namespace is flat, so its grep and walk traverse the root instead of
+// a tree. Every backend supports at least grep, walk, randomread, and
+// readzero.
+func Matrix(seed int64) []Spec {
+	var specs []Spec
+	for _, backend := range []Backend{Ext2, Reiser, CIFS} {
+		for _, wl := range matrixWorkloads(backend, seed) {
+			specs = append(specs, matrixSpec(backend, wl, seed))
+		}
+	}
+	return specs
+}
+
+// MatrixIDs lists the matrix scenario names in matrix order.
+func MatrixIDs() []string {
+	specs := Matrix(0)
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// matrixWorkloads returns the workloads a backend supports, one Spec
+// per backend×workload cell.
+func matrixWorkloads(backend Backend, seed int64) []Workload {
+	root := "/src"
+	if backend == Reiser {
+		root = "/" // flat namespace
+	}
+	// The CIFS client multiplexes a single connection, so only one
+	// process may issue RPCs at a time; the local backends contend two
+	// random readers against each other (the §6.1 setup).
+	rrProcs := 2
+	if backend == CIFS {
+		rrProcs = 1
+	}
+	wls := []Workload{
+		{Kind: Grep, Path: root},
+		{Kind: Walk, Path: root},
+		{Kind: RandomRead, Procs: rrProcs, Amount: 250, Seed: seed + 1, Think: 300_000},
+		{Kind: ReadZero, Amount: 1_500, Path: "/zero"},
+	}
+	if backend == Ext2 {
+		// Postmark needs create/unlink, which the other backends do
+		// not implement.
+		wls = append(wls, Workload{Kind: Postmark, Files: 60, Amount: 300, Seed: seed + 2})
+	}
+	return wls
+}
+
+// matrixSpec builds the standard fixture for one backend×workload
+// cell: a modest machine, a populated file system, and full FS-level
+// profiling.
+func matrixSpec(backend Backend, wl Workload, seed int64) Spec {
+	spec := Spec{
+		Name:    fmt.Sprintf("%s/%s", backend, wl.Kind),
+		Backend: backend,
+		Kernel: sim.Config{
+			NumCPUs:       1,
+			ContextSwitch: 9_350,
+			WakePreempt:   true,
+			Seed:          seed + int64(backend)*101 + int64(wl.Kind),
+		},
+		CachePages: 1 << 13,
+		Instrument: Instrument{Point: FSLevel},
+		Workloads:  []Workload{wl},
+	}
+	switch backend {
+	case Ext2:
+		spec.Tree = &workload.TreeSpec{
+			Seed:           seed + 100,
+			Dirs:           18,
+			FilesPerDirMin: 6,
+			FilesPerDirMax: 18,
+			BigDirEvery:    4,
+		}
+	case Reiser:
+		for i := 0; i < 20; i++ {
+			spec.Files = append(spec.Files,
+				FileSpec{Name: fmt.Sprintf("f%03d", i), Size: 4 * vfs.PageSize})
+		}
+	case CIFS:
+		spec.Kernel.NumCPUs = 2 // one client CPU, one server CPU
+		spec.Tree = &workload.TreeSpec{
+			Seed:           seed + 200,
+			Dirs:           8,
+			FilesPerDirMin: 4,
+			FilesPerDirMax: 12,
+			BigDirEvery:    3,
+		}
+	}
+	// Every backend carries the shared target files of the randomread
+	// and readzero workloads.
+	spec.Files = append(spec.Files,
+		FileSpec{Name: "bigfile", Size: 512 * vfs.PageSize},
+		FileSpec{Name: "zero", Size: vfs.PageSize},
+	)
+	return spec
+}

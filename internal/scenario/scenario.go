@@ -1,0 +1,452 @@
+// Package scenario is the declarative experiment-harness layer of the
+// repository: a Spec describes a complete simulated stack — the kernel
+// build, the disk, the page cache, a file-system backend (Ext2-like,
+// Reiserfs-like, or CIFS over the simulated network), the files or
+// synthetic source tree populating it, the OSprof instrumentation point
+// (file-system level, user level, driver level, or a sampled sink — the
+// paper's Figure 2 layers), and the workloads exercising it — while
+// Build wires the stack together and Run executes it to completion.
+//
+// Every paper experiment (internal/experiments) and every entry of the
+// backend×workload scenario matrix builds its stack through this
+// package instead of hand-wiring sim.New → disk → cache → fs → vfs →
+// instrument → spawn, so new scenarios cost a Spec literal rather than
+// a page of plumbing. Each built stack is a fully isolated
+// deterministic world: two stacks never share state, which is what
+// makes internal/runner's parallel execution safe.
+package scenario
+
+import (
+	"fmt"
+
+	"osprof/internal/core"
+	"osprof/internal/disk"
+	"osprof/internal/fs/cifs"
+	"osprof/internal/fs/ext2"
+	"osprof/internal/fs/reiser"
+	"osprof/internal/fsprof"
+	"osprof/internal/mem"
+	"osprof/internal/netsim"
+	"osprof/internal/sim"
+	"osprof/internal/vfs"
+	"osprof/internal/workload"
+)
+
+// Backend selects the file-system implementation under test.
+type Backend int
+
+const (
+	// NoFS runs kernel-only scenarios (the Figure 1 clone storm needs
+	// no file system at all).
+	NoFS Backend = iota
+
+	// Ext2 is the Ext2-like local file system (internal/fs/ext2).
+	Ext2
+
+	// Reiser is the journaling Reiserfs-like file system
+	// (internal/fs/reiser). Its namespace is flat: Files are created
+	// in the root and Tree is rejected.
+	Reiser
+
+	// CIFS mounts a CIFS client over the simulated network against a
+	// server exporting an Ext2-backed share. Files and Tree populate
+	// the server's backing store.
+	CIFS
+)
+
+// String implements fmt.Stringer.
+func (b Backend) String() string {
+	switch b {
+	case NoFS:
+		return "nofs"
+	case Ext2:
+		return "ext2"
+	case Reiser:
+		return "reiser"
+	case CIFS:
+		return "cifs"
+	}
+	return "unknown"
+}
+
+// Point selects where the OSprof probes sit (the paper's Figure 2).
+type Point int
+
+const (
+	// NoProfiler builds the stack without instrumentation.
+	NoProfiler Point = iota
+
+	// FSLevel instruments the mounted file system's operation vectors
+	// in place (FoSgen-style, §4). On the CIFS backend the client's
+	// wire operations (FindFirst, FindNext, SMBRead, SMBLookup) are
+	// recorded into the same sink.
+	FSLevel
+
+	// UserLevel wraps the system-call surface; workloads reach the
+	// stack through the wrapped Syscalls (Stack.Sys).
+	UserLevel
+
+	// DriverLevel observes disk-request lifecycles below the file
+	// system (disk_read/disk_write profiles).
+	DriverLevel
+)
+
+// String implements fmt.Stringer.
+func (p Point) String() string {
+	switch p {
+	case NoProfiler:
+		return "none"
+	case FSLevel:
+		return "fs"
+	case UserLevel:
+		return "user"
+	case DriverLevel:
+		return "driver"
+	}
+	return "unknown"
+}
+
+// Instrument describes the profiling configuration of a scenario.
+type Instrument struct {
+	// Point is where the probes sit.
+	Point Point
+
+	// Mode selects how much of the profiling work runs (fsprof.Full
+	// by default; the partial modes reproduce §5.2).
+	Mode fsprof.Mode
+
+	// Costs overrides the per-operation instrumentation CPU costs.
+	Costs *fsprof.Costs
+
+	// Sampled records into time-segmented profiles (§3.1, Figure 9)
+	// instead of the accumulated Set. SampleStart/SampleInterval give
+	// the time base and segment length in cycles.
+	Sampled                     bool
+	SampleStart, SampleInterval uint64
+}
+
+// FileSpec pre-creates one file in the backend's root directory
+// (offline, before the simulation starts, with a cold cache).
+type FileSpec struct {
+	Name string
+	Size uint64
+}
+
+// FlusherSpec starts a buffer-flushing daemon (bdflush/kupdate) that
+// periodically writes dirty pages back through the backend's WritePage
+// operation. Requires the Ext2 backend.
+type FlusherSpec struct {
+	// Interval is the wakeup period in cycles.
+	Interval uint64
+
+	// Age is the dirty-age threshold in cycles.
+	Age uint64
+}
+
+// CIFSSpec configures the two-machine CIFS testbed.
+type CIFSSpec struct {
+	// Client selects the redirector behavior (Windows-style large
+	// listing batches by default; cifs.LinuxClientConfig for smbfs).
+	Client cifs.ClientConfig
+
+	// Server configures the SMB server.
+	Server cifs.ServerConfig
+
+	// Net configures the simulated link.
+	Net netsim.Config
+
+	// NoDelayedAck disables the client's delayed ACKs (the §6.4
+	// registry change); the zero value keeps them on, the stock
+	// behavior the paper profiles.
+	NoDelayedAck bool
+
+	// Sniffer, when set, captures the packet trace (Figure 11).
+	Sniffer *netsim.Sniffer
+}
+
+// Spec declares one complete scenario.
+type Spec struct {
+	// Name identifies the scenario ("fig7", "ext2/grep", ...).
+	Name string
+
+	// Kernel is the simulated machine and kernel build.
+	Kernel sim.Config
+
+	// Disk configures the (server-side, for CIFS) drive.
+	Disk disk.Config
+
+	// CachePages sizes the page cache (default 16384 pages = 64 MB).
+	// For CIFS it sizes both the server and the client cache.
+	CachePages int
+
+	// Backend selects the file system.
+	Backend Backend
+
+	// Ext2 configures the Ext2 backend (and the CIFS server's backing
+	// store).
+	Ext2 ext2.Config
+
+	// Reiser configures the Reiser backend.
+	Reiser reiser.Config
+
+	// SuperDaemon starts the Reiser backend's periodic write_super
+	// daemon (§6.3).
+	SuperDaemon bool
+
+	// CIFS configures the CIFS backend.
+	CIFS CIFSSpec
+
+	// Files pre-creates flat files in the backend root.
+	Files []FileSpec
+
+	// Tree builds a synthetic source tree under /src (Ext2 and CIFS
+	// backends).
+	Tree *workload.TreeSpec
+
+	// Flusher starts a dirty-page writeback daemon (Ext2 backend).
+	Flusher *FlusherSpec
+
+	// Instrument is the profiling configuration.
+	Instrument Instrument
+
+	// SetName names the profile set (default Name).
+	SetName string
+
+	// Workloads are the simulated processes; Run spawns them in
+	// order.
+	Workloads []Workload
+}
+
+// Stack is a wired scenario: the simulated machine plus every layer
+// Build constructed from the Spec, ready to Run.
+type Stack struct {
+	Spec Spec
+
+	K     *sim.Kernel
+	Disk  *disk.Disk
+	Cache *mem.Cache
+
+	// FS is the mounted file system (nil for NoFS); Ext2, Reiser and
+	// Client are the typed views, one of which is non-nil per backend.
+	FS     vfs.FileSystem
+	Ext2   *ext2.FS
+	Reiser *reiser.FS
+	Client *cifs.Client
+
+	// CIFS-backend extras: the server, its backing store, the
+	// connection, and the optional packet trace.
+	Server   *cifs.Server
+	ServerFS *ext2.FS
+	Conn     *netsim.Conn
+	Sniffer  *netsim.Sniffer
+
+	VFS *vfs.VFS
+
+	// Sys is the system-call surface workloads run against — the VFS,
+	// or the user-level profiler wrapping it when Instrument.Point is
+	// UserLevel.
+	Sys vfs.Syscalls
+
+	// Set accumulates the captured profiles (always created; filled
+	// by whichever profiler the Spec installs).
+	Set *core.Set
+
+	// Sampled is the time-segmented sink when Instrument.Sampled.
+	Sampled *fsprof.SampledSink
+
+	// Instrumented is the installed FS-level instrumentation, nil
+	// otherwise.
+	Instrumented *fsprof.Instrumented
+
+	// Driver is the driver-level profiler, nil otherwise.
+	Driver *fsprof.DriverProfiler
+
+	// Flusher is the started writeback daemon, nil otherwise.
+	Flusher *mem.Flusher
+
+	// Tree reports the built synthetic tree (zero when Spec.Tree is
+	// nil).
+	Tree workload.TreeStats
+}
+
+// MustBuild is Build for specs known to be valid; it panics on error.
+func MustBuild(spec Spec) *Stack {
+	st, err := Build(spec)
+	if err != nil {
+		panic(err)
+	}
+	return st
+}
+
+// Build wires the stack a Spec describes. The construction order is
+// fixed (disk, cache, file system, files, flusher, VFS, profilers,
+// daemons) so that a given Spec always produces the same deterministic
+// simulated world.
+func Build(spec Spec) (*Stack, error) {
+	st := &Stack{Spec: spec}
+	st.K = sim.New(spec.Kernel)
+	cachePages := spec.CachePages
+	if cachePages == 0 {
+		cachePages = 1 << 14
+	}
+
+	switch spec.Backend {
+	case NoFS:
+		if len(spec.Files) > 0 || spec.Tree != nil {
+			return nil, fmt.Errorf("scenario %q: files require a file-system backend", spec.Name)
+		}
+	case Ext2:
+		st.Disk = disk.New(st.K, spec.Disk)
+		st.Cache = mem.NewCache(st.K, cachePages)
+		st.Ext2 = ext2.New(st.K, st.Disk, st.Cache, "ext2", spec.Ext2)
+		st.FS = st.Ext2
+		populateExt2(st, st.Ext2, spec)
+	case Reiser:
+		if spec.Tree != nil {
+			return nil, fmt.Errorf("scenario %q: the reiser backend has a flat namespace; use Files", spec.Name)
+		}
+		st.Disk = disk.New(st.K, spec.Disk)
+		st.Cache = mem.NewCache(st.K, cachePages)
+		st.Reiser = reiser.New(st.K, st.Disk, st.Cache, "reiserfs", spec.Reiser)
+		st.FS = st.Reiser
+		for _, f := range spec.Files {
+			st.Reiser.MustAddFile(f.Name, f.Size)
+		}
+	case CIFS:
+		st.Sniffer = spec.CIFS.Sniffer
+		st.Conn = netsim.NewConn(st.K, spec.CIFS.Net, "client", "server", st.Sniffer)
+		st.Conn.Side(0).SetDelayedAck(!spec.CIFS.NoDelayedAck)
+		st.Disk = disk.New(st.K, spec.Disk)
+		serverCache := mem.NewCache(st.K, cachePages)
+		st.ServerFS = ext2.New(st.K, st.Disk, serverCache, "ntfs", spec.Ext2)
+		populateExt2(st, st.ServerFS, spec)
+		st.Server = cifs.NewServer(st.K, st.ServerFS, st.Conn.Side(1), spec.CIFS.Server)
+		st.Server.Start()
+		st.Cache = mem.NewCache(st.K, cachePages)
+		st.Client = cifs.NewClient(st.K, st.Conn.Side(0), st.Cache, "cifs", spec.CIFS.Client)
+		st.FS = st.Client
+	default:
+		return nil, fmt.Errorf("scenario %q: unknown backend %d", spec.Name, spec.Backend)
+	}
+
+	if spec.Flusher != nil {
+		if st.Ext2 == nil {
+			return nil, fmt.Errorf("scenario %q: Flusher requires the ext2 backend", spec.Name)
+		}
+		fs, pc := st.Ext2, st.Cache
+		st.Flusher = &mem.Flusher{
+			Interval: spec.Flusher.Interval,
+			Age:      spec.Flusher.Age,
+			WritePage: func(proc *sim.Proc, pg *mem.Page) {
+				if ino := fs.InodeByID(pg.Key.Ino); ino != nil {
+					fs.Ops().Address.WritePage(proc, ino, pg.Key.Index, false)
+				} else {
+					pc.MarkClean(pg) // file already unlinked
+				}
+			},
+		}
+		st.Flusher.Start(st.K, pc)
+	}
+
+	if st.FS != nil {
+		st.VFS = vfs.New(st.K)
+		if err := st.VFS.Mount("/", st.FS); err != nil {
+			return nil, err
+		}
+		st.Sys = st.VFS
+	}
+
+	if err := st.instrument(spec.Instrument); err != nil {
+		return nil, err
+	}
+
+	if spec.SuperDaemon {
+		if st.Reiser == nil {
+			return nil, fmt.Errorf("scenario %q: SuperDaemon requires the reiser backend", spec.Name)
+		}
+		st.Reiser.StartSuperDaemon()
+	}
+	return st, nil
+}
+
+// populateExt2 creates the Spec's flat files and synthetic tree on fs.
+func populateExt2(st *Stack, fs *ext2.FS, spec Spec) {
+	for _, f := range spec.Files {
+		fs.MustAddFile(fs.Root(), f.Name, f.Size)
+	}
+	if spec.Tree != nil {
+		st.Tree = workload.BuildTree(fs, *spec.Tree)
+	}
+}
+
+// instrument installs the Spec's profiler.
+func (st *Stack) instrument(ins Instrument) error {
+	name := st.Spec.SetName
+	if name == "" {
+		name = st.Spec.Name
+	}
+	if name == "" {
+		name = "scenario"
+	}
+	st.Set = core.NewSet(name)
+
+	var sink fsprof.Sink = fsprof.SetSink{Set: st.Set}
+	if ins.Sampled {
+		st.Sampled = fsprof.NewSampledSink(ins.SampleStart, ins.SampleInterval)
+		sink = st.Sampled
+	}
+	costs := fsprof.DefaultCosts()
+	if ins.Costs != nil {
+		costs = *ins.Costs
+	}
+
+	switch ins.Point {
+	case NoProfiler:
+	case FSLevel:
+		if st.FS == nil {
+			return fmt.Errorf("scenario %q: FS-level instrumentation needs a backend", st.Spec.Name)
+		}
+		st.Instrumented = fsprof.Instrument(st.FS, sink, ins.Mode, costs)
+		if st.Client != nil {
+			// The client's wire operations are the IRPs a Windows
+			// filter driver sees (§4); record them into the same sink.
+			st.Client.RPCSink = sink
+		}
+	case UserLevel:
+		if st.VFS == nil {
+			return fmt.Errorf("scenario %q: user-level instrumentation needs a backend", st.Spec.Name)
+		}
+		st.Sys = fsprof.NewUserProfilerSink(st.VFS, sink, ins.Mode, costs)
+	case DriverLevel:
+		if st.Disk == nil {
+			return fmt.Errorf("scenario %q: driver-level instrumentation needs a disk", st.Spec.Name)
+		}
+		if ins.Sampled {
+			return fmt.Errorf("scenario %q: driver-level instrumentation records into the accumulated set", st.Spec.Name)
+		}
+		st.Driver = fsprof.NewDriverProfiler(st.Set)
+		st.Disk.SetProbe(st.Driver)
+	default:
+		return fmt.Errorf("scenario %q: unknown instrumentation point %d", st.Spec.Name, ins.Point)
+	}
+	return nil
+}
+
+// Run spawns the Spec's workloads in order and drives the simulation
+// to completion. It returns the stack for chaining.
+func (st *Stack) Run() *Stack {
+	for i := range st.Spec.Workloads {
+		st.spawn(&st.Spec.Workloads[i])
+	}
+	st.K.Run()
+	return st
+}
+
+// RunSpec is the common path: Build the spec and Run it.
+func RunSpec(spec Spec) (*Stack, error) {
+	st, err := Build(spec)
+	if err != nil {
+		return nil, err
+	}
+	return st.Run(), nil
+}

@@ -1,0 +1,204 @@
+package scenario
+
+import (
+	"fmt"
+
+	"osprof/internal/sim"
+	"osprof/internal/workload"
+)
+
+// Kind names a workload generator from internal/workload.
+type Kind int
+
+const (
+	// Custom runs the Workload's Body function.
+	Custom Kind = iota
+
+	// Grep recursively reads every directory and file under Path
+	// (default /src).
+	Grep
+
+	// Postmark runs the mail-server benchmark: Files pool files,
+	// Amount transactions, under Path (default /postmark).
+	Postmark
+
+	// RandomRead issues Amount llseek+read pairs over Path (default
+	// /bigfile) with think time Think.
+	RandomRead
+
+	// ReadZero issues Amount zero-byte reads of Path (default /zero).
+	ReadZero
+
+	// Clone runs the Figure 1 clone storm: every process performs
+	// Amount clone calls against a shared process-table semaphore,
+	// captured from user level. Needs no file system.
+	Clone
+
+	// Walk recursively lists directories and stats every entry under
+	// Path without reading data (a `find`-style metadata workload).
+	Walk
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Custom:
+		return "custom"
+	case Grep:
+		return "grep"
+	case Postmark:
+		return "postmark"
+	case RandomRead:
+		return "randomread"
+	case ReadZero:
+		return "readzero"
+	case Clone:
+		return "clone"
+	case Walk:
+		return "walk"
+	}
+	return "unknown"
+}
+
+// Workload declares one simulated workload: Procs processes all
+// running the same generator. The scalar knobs (Amount, Seed, Think,
+// Path, Files) map onto the generator's parameters; zero values take
+// the generator's defaults.
+type Workload struct {
+	// Kind selects the generator; Custom runs Body.
+	Kind Kind
+
+	// ProcName overrides the simulated process name (default: the
+	// kind name; experiments keep their historical names, e.g. fig3's
+	// "reader", to preserve determinism).
+	ProcName string
+
+	// Procs is the process fan-out (default 1).
+	Procs int
+
+	// Amount is the kind's primary count: requests (RandomRead,
+	// ReadZero), transactions (Postmark), or clone calls (Clone).
+	Amount int
+
+	// Files is Postmark's initial file-pool size.
+	Files int
+
+	// Seed is the base seed; process i uses Seed + i.
+	Seed int64
+
+	// Think is the user-CPU think/work time between requests in
+	// cycles (RandomRead's ThinkTime, ReadZero's UserWork).
+	Think uint64
+
+	// Path is the workload's target (root directory or file).
+	Path string
+
+	// Observe receives every request's latency and preemption flag
+	// (ReadZero only; used by the Figure 3 validation).
+	Observe func(latency uint64, preempted bool)
+
+	// Collect, when set, receives the generator's stats value as each
+	// process finishes: workload.GrepStats, workload.PostmarkStats,
+	// workload.RandomReadStats, workload.ReadZeroStats,
+	// workload.WalkStats, or (for Clone, once per process) the shared
+	// *core.Profile.
+	Collect func(stats any)
+
+	// Body is the Custom kind's process body.
+	Body func(p *sim.Proc, idx int, st *Stack)
+}
+
+// spawn prepares the kind's shared state and spawns the processes.
+func (st *Stack) spawn(w *Workload) {
+	procs := w.Procs
+	if procs == 0 {
+		procs = 1
+	}
+	name := w.ProcName
+	if name == "" {
+		name = w.Kind.String()
+	}
+	body := st.body(w, procs)
+	for i := 0; i < procs; i++ {
+		idx := i
+		st.K.Spawn(name, func(p *sim.Proc) { body(p, idx) })
+	}
+}
+
+// body builds the per-process function for a workload, creating any
+// state the processes share (the clone storm's semaphore and profile).
+func (st *Stack) body(w *Workload, procs int) func(p *sim.Proc, idx int) {
+	collect := func(stats any) {
+		if w.Collect != nil {
+			w.Collect(stats)
+		}
+	}
+	switch w.Kind {
+	case Custom:
+		if w.Body == nil {
+			panic(fmt.Sprintf("scenario %q: custom workload without Body", st.Spec.Name))
+		}
+		return func(p *sim.Proc, idx int) { w.Body(p, idx, st) }
+	case Grep:
+		g := &workload.Grep{Sys: st.Sys, Root: w.Path}
+		return func(p *sim.Proc, idx int) { collect(g.Run(p)) }
+	case Postmark:
+		return func(p *sim.Proc, idx int) {
+			dir := w.Path
+			if procs > 1 {
+				// Separate working directories keep concurrent
+				// instances from colliding on file names.
+				if dir == "" {
+					dir = "/postmark"
+				}
+				dir = fmt.Sprintf("%s%d", dir, idx)
+			}
+			pm := &workload.Postmark{
+				Sys:          st.Sys,
+				Dir:          dir,
+				Files:        w.Files,
+				Transactions: w.Amount,
+				Seed:         w.Seed + int64(idx),
+			}
+			collect(pm.Run(p))
+		}
+	case RandomRead:
+		return func(p *sim.Proc, idx int) {
+			rr := &workload.RandomRead{
+				Sys:       st.Sys,
+				Path:      w.Path,
+				Requests:  w.Amount,
+				Seed:      w.Seed + int64(idx),
+				ThinkTime: w.Think,
+			}
+			collect(rr.Run(p))
+		}
+	case ReadZero:
+		return func(p *sim.Proc, idx int) {
+			rz := &workload.ReadZero{
+				Sys:      st.Sys,
+				Path:     w.Path,
+				Requests: w.Amount,
+				UserWork: w.Think,
+				Observe:  w.Observe,
+			}
+			collect(rz.Run(p))
+		}
+	case Clone:
+		cs := &workload.CloneStorm{
+			K:             st.K,
+			Procs:         procs,
+			ClonesPerProc: w.Amount,
+			ThinkTime:     w.Think,
+		}
+		cs.Prepare()
+		return func(p *sim.Proc, idx int) {
+			cs.RunProc(p, idx)
+			collect(cs.Profile)
+		}
+	case Walk:
+		wk := &workload.Walk{Sys: st.Sys, Root: w.Path, Think: w.Think}
+		return func(p *sim.Proc, idx int) { collect(wk.Run(p)) }
+	}
+	panic(fmt.Sprintf("scenario %q: unknown workload kind %d", st.Spec.Name, w.Kind))
+}

@@ -39,11 +39,20 @@ type CloneStorm struct {
 	// contends; short enough that collisions stay visible, like the
 	// paper's Figure 1 right peak.
 	ThinkTime uint64
+
+	// Profile receives the user-level clone latencies; Prepare
+	// creates it when nil.
+	Profile *core.Profile
+
+	// ptable is the shared process-table semaphore.
+	ptable *sim.Semaphore
 }
 
-// Run executes the storm and returns the user-level profile of the
-// clone operation.
-func (w *CloneStorm) Run() *core.Profile {
+// Prepare applies defaults and creates the state the cloner processes
+// share (the latency profile and the process-table semaphore). Callers
+// that spawn the processes themselves — the scenario layer — call
+// Prepare once and then RunProc from each process.
+func (w *CloneStorm) Prepare() *core.Profile {
 	if w.Procs == 0 {
 		w.Procs = 4
 	}
@@ -59,26 +68,41 @@ func (w *CloneStorm) Run() *core.Profile {
 	if w.ThinkTime == 0 {
 		w.ThinkTime = 30_000
 	}
-	prof := core.NewProfile("clone")
-	ptable := sim.NewSemaphore(w.K, "process-table")
+	if w.Profile == nil {
+		w.Profile = core.NewProfile("clone")
+	}
+	if w.ptable == nil {
+		w.ptable = sim.NewSemaphore(w.K, "process-table")
+	}
+	return w.Profile
+}
 
+// RunProc is cloner idx's process body; Prepare must have run.
+func (w *CloneStorm) RunProc(p *sim.Proc, idx int) {
+	p.ExecUser(uint64(idx) * 797) // desynchronize identical loops
+	for j := 0; j < w.ClonesPerProc; j++ {
+		start := p.ReadTSC()
+		w.doClone(p, w.ptable)
+		w.Profile.Record(p.ReadTSC() - start)
+		// User-level think time with natural jitter; without it,
+		// identical deterministic loops phase-lock and never collide
+		// at the semaphore.
+		p.ExecUser(w.ThinkTime + uint64(w.K.Rand().Intn(int(w.ThinkTime))))
+	}
+}
+
+// Run executes the storm and returns the user-level profile of the
+// clone operation. Each Run starts from fresh shared state, so a
+// reused CloneStorm value never mixes runs (or kernels).
+func (w *CloneStorm) Run() *core.Profile {
+	w.Profile, w.ptable = nil, nil
+	w.Prepare()
 	for i := 0; i < w.Procs; i++ {
-		stagger := uint64(i) * 797 // desynchronize identical loops
-		w.K.Spawn("cloner", func(p *sim.Proc) {
-			p.ExecUser(stagger)
-			for j := 0; j < w.ClonesPerProc; j++ {
-				start := p.ReadTSC()
-				w.doClone(p, ptable)
-				prof.Record(p.ReadTSC() - start)
-				// User-level think time with natural jitter; without
-				// it, identical deterministic loops phase-lock and
-				// never collide at the semaphore.
-				p.ExecUser(w.ThinkTime + uint64(w.K.Rand().Intn(int(w.ThinkTime))))
-			}
-		})
+		idx := i
+		w.K.Spawn("cloner", func(p *sim.Proc) { w.RunProc(p, idx) })
 	}
 	w.K.Run()
-	return prof
+	return w.Profile
 }
 
 // doClone is the simulated clone system call.

@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"osprof/internal/sim"
+	"osprof/internal/vfs"
+)
+
+// Walk models a `find`/`tree`-style traversal: recursively list every
+// directory and stat every entry, without reading any file data. It is
+// the metadata-only counterpart of Grep — directory blocks and inode
+// lookups dominate the profile, so cache-hit and disk-read peaks of
+// readdir/lookup appear without the file-data I/O of Figure 7.
+type Walk struct {
+	// Sys is the system-call surface.
+	Sys vfs.Syscalls
+
+	// Root is the directory to traverse (default "/src").
+	Root string
+
+	// Think is user-mode CPU per processed entry (default 400
+	// cycles: formatting the name).
+	Think uint64
+}
+
+// WalkStats reports what the traversal touched.
+type WalkStats struct {
+	Dirs, Files int
+	Stats       int // stat calls issued
+}
+
+// Run performs the traversal as process p.
+func (w *Walk) Run(p *sim.Proc) WalkStats {
+	if w.Root == "" {
+		w.Root = "/src"
+	}
+	if w.Think == 0 {
+		w.Think = 400
+	}
+	var st WalkStats
+	w.walkDir(p, w.Root, &st)
+	return st
+}
+
+func (w *Walk) walkDir(p *sim.Proc, path string, st *WalkStats) {
+	f, err := w.Sys.Open(p, path, false)
+	if err != nil {
+		return
+	}
+	st.Dirs++
+	var subdirs []string
+	for {
+		ents := w.Sys.Getdents(p, f)
+		if len(ents) == 0 {
+			break
+		}
+		for _, e := range ents {
+			full := path + "/" + e.Name
+			if _, err := w.Sys.Stat(p, full); err == nil {
+				st.Stats++
+			}
+			p.ExecUser(w.Think)
+			if e.Dir {
+				subdirs = append(subdirs, full)
+			} else {
+				st.Files++
+			}
+		}
+	}
+	w.Sys.Close(p, f)
+	for _, dir := range subdirs {
+		w.walkDir(p, dir, st)
+	}
+}

@@ -21,6 +21,9 @@
 // The simulated OS substrate (kernel scheduler, disk, page cache, VFS,
 // file systems, network) used to regenerate the paper's figures lives
 // in internal/ packages; the cmd/osprof tool runs those experiments.
+// The declarative scenario layer (Scenario, BuildScenario, RunScenario,
+// ScenarioMatrix) composes that substrate into complete instrumented
+// stacks from a single spec.
 package osprof
 
 import (
@@ -29,6 +32,7 @@ import (
 	"osprof/internal/analysis"
 	"osprof/internal/core"
 	"osprof/internal/report"
+	"osprof/internal/scenario"
 )
 
 // Re-exported collection types (see internal/core).
@@ -142,3 +146,70 @@ func RenderTimeline(w io.Writer, s *Sampled) { report.Timeline(w, s) }
 
 // RenderGnuplot writes a gnuplot script for a profile.
 func RenderGnuplot(w io.Writer, p *Profile) { report.Gnuplot(w, p) }
+
+// Re-exported scenario types (see internal/scenario): a Scenario
+// declares a complete simulated stack — kernel build, disk, page
+// cache, file-system backend, files, instrumentation point, and
+// workloads — and Build/Run wire and execute it deterministically.
+type (
+	// Scenario declares one complete experiment stack.
+	Scenario = scenario.Spec
+
+	// ScenarioStack is a wired scenario ready to run.
+	ScenarioStack = scenario.Stack
+
+	// ScenarioWorkload declares one simulated workload of a scenario.
+	ScenarioWorkload = scenario.Workload
+
+	// ScenarioInstrument selects the profiling point and mode.
+	ScenarioInstrument = scenario.Instrument
+
+	// ScenarioBackend selects the file-system implementation.
+	ScenarioBackend = scenario.Backend
+
+	// ScenarioPoint is a Figure 2 instrumentation layer.
+	ScenarioPoint = scenario.Point
+
+	// ScenarioKind names a workload generator.
+	ScenarioKind = scenario.Kind
+
+	// ScenarioFile pre-creates one file in the scenario's root.
+	ScenarioFile = scenario.FileSpec
+)
+
+// Scenario backends.
+const (
+	NoFS      = scenario.NoFS
+	Ext2FS    = scenario.Ext2
+	ReiserFS  = scenario.Reiser
+	CIFSMount = scenario.CIFS
+)
+
+// Scenario instrumentation points (the paper's Figure 2 layers).
+const (
+	NoProfiler  = scenario.NoProfiler
+	FSLevel     = scenario.FSLevel
+	UserLevel   = scenario.UserLevel
+	DriverLevel = scenario.DriverLevel
+)
+
+// Scenario workload kinds.
+const (
+	CustomWorkload     = scenario.Custom
+	GrepWorkload       = scenario.Grep
+	PostmarkWorkload   = scenario.Postmark
+	RandomReadWorkload = scenario.RandomRead
+	ReadZeroWorkload   = scenario.ReadZero
+	CloneWorkload      = scenario.Clone
+	WalkWorkload       = scenario.Walk
+)
+
+// BuildScenario wires the stack a Scenario describes.
+func BuildScenario(spec Scenario) (*ScenarioStack, error) { return scenario.Build(spec) }
+
+// RunScenario builds a Scenario and runs its workloads to completion.
+func RunScenario(spec Scenario) (*ScenarioStack, error) { return scenario.RunSpec(spec) }
+
+// ScenarioMatrix returns the standard backend×workload scenario
+// matrix, seeded with seed.
+func ScenarioMatrix(seed int64) []Scenario { return scenario.Matrix(seed) }

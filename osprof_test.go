@@ -119,3 +119,32 @@ func TestFacadeMethodsDisagreeOnShiftOnly(t *testing.T) {
 		t.Error("EMD should see the shift")
 	}
 }
+
+func TestFacadeScenarioAPI(t *testing.T) {
+	// Declare, build and run a complete instrumented stack through the
+	// public facade, as a downstream user composing a new scenario
+	// would.
+	st, err := osprof.RunScenario(osprof.Scenario{
+		Name:       "facade",
+		Backend:    osprof.Ext2FS,
+		CachePages: 256,
+		Files:      []osprof.ScenarioFile{{Name: "zero", Size: 4096}},
+		Instrument: osprof.ScenarioInstrument{Point: osprof.FSLevel},
+		Workloads: []osprof.ScenarioWorkload{
+			{Kind: osprof.ReadZeroWorkload, Amount: 100},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Set.TotalOps() == 0 {
+		t.Error("facade scenario recorded nothing")
+	}
+	if prof := st.Set.Lookup("read"); prof == nil || prof.Count < 100 {
+		t.Errorf("read profile incomplete: %+v", prof)
+	}
+
+	if len(osprof.ScenarioMatrix(1)) < 12 {
+		t.Errorf("scenario matrix too small: %d", len(osprof.ScenarioMatrix(1)))
+	}
+}

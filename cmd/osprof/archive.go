@@ -1,0 +1,336 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"osprof/internal/core"
+	"osprof/internal/diff"
+	"osprof/internal/experiments"
+	"osprof/internal/report"
+	"osprof/internal/runner"
+	"osprof/internal/store"
+)
+
+// This file implements the archive-backed subcommands: `record`
+// persists runs of the recordable scenarios (matrix + kernel-config
+// variants) into the content-addressed archive, `baseline` blesses
+// the recorded runs as the per-fingerprint reference, and `diff`
+// performs differential analysis — pairwise between two run
+// references, or as a matrix-wide regression gate that re-records the
+// scenarios and holds each fresh run against its baseline.
+
+// cmdRecord implements `osprof record` (and, with markBaseline, the
+// recording half of `osprof baseline`).
+func cmdRecord(rest []string, seed int64, archiveDir string, opt runner.Options,
+	jsonOut, markBaseline bool, stdout, stderr io.Writer) int {
+	reg, fps, ids := experiments.Recordables(seed)
+	if len(rest) == 1 && rest[0] == "list" {
+		for _, id := range ids {
+			fmt.Fprintln(stdout, id)
+		}
+		return 0
+	}
+	arch, err := store.Open(archiveDir)
+	if err != nil {
+		fmt.Fprintf(stderr, "osprof: %v\n", err)
+		return 2
+	}
+	ids = expand(rest, ids)
+	jobs := make([]runner.Job, 0, len(ids))
+	for _, id := range ids {
+		ctor := reg[id]
+		if ctor == nil {
+			fmt.Fprintf(stderr, "osprof: unknown scenario %q (try `osprof record list`)\n", id)
+			return 2
+		}
+		jobs = append(jobs, runner.Job{ID: id, New: ctor, Fingerprint: fps[id]})
+	}
+	opt.Archive = arch
+	results := runner.Run(jobs, opt)
+
+	for i := range results {
+		rr := &results[i]
+		if rr.RunID == "" || !rr.OK() {
+			continue
+		}
+		if markBaseline {
+			if err := arch.SetBaseline(rr.Fingerprint, rr.RunID); err != nil {
+				rr.ArchiveErr = err.Error()
+				rr.Failed++
+			}
+		}
+	}
+
+	if jsonOut {
+		if err := runner.WriteJSON(stdout, results); err != nil {
+			fmt.Fprintf(stderr, "osprof: %v\n", err)
+			return 2
+		}
+	} else {
+		verb := "recorded"
+		if markBaseline {
+			verb = "baseline"
+		}
+		for i := range results {
+			rr := &results[i]
+			if !rr.OK() {
+				fmt.Fprintf(stdout, "FAILED   %-22s %s%s\n", rr.ID,
+					firstFailure(rr), rr.Panic)
+				continue
+			}
+			note := "new"
+			if rr.Dedup {
+				note = "dedup"
+			}
+			fmt.Fprintf(stdout, "%-8s %-22s fingerprint=%.12s run=%.12s %s\n",
+				verb, rr.ID, rr.Fingerprint, rr.RunID, note)
+		}
+	}
+	if failed := runner.FailedChecks(results); failed > 0 {
+		fmt.Fprintf(stderr, "osprof: %d failed checks\n", failed)
+		return 1
+	}
+	return 0
+}
+
+// firstFailure summarizes the first failed check for the text output.
+func firstFailure(rr *runner.RunResult) string {
+	for _, c := range rr.Checks {
+		if !c.OK {
+			return c.Name + ": " + c.Detail
+		}
+	}
+	return rr.ArchiveErr
+}
+
+// cmdBaselineList implements `osprof baseline list`.
+func cmdBaselineList(archiveDir string, stdout, stderr io.Writer) int {
+	arch, err := store.Open(archiveDir)
+	if err != nil {
+		fmt.Fprintf(stderr, "osprof: %v\n", err)
+		return 2
+	}
+	entries, err := arch.List()
+	if err != nil {
+		fmt.Fprintf(stderr, "osprof: %v\n", err)
+		return 2
+	}
+	baselines, err := arch.Baselines()
+	if err != nil {
+		fmt.Fprintf(stderr, "osprof: %v\n", err)
+		return 2
+	}
+	for _, e := range entries { // stable record order
+		if baselines[e.Fingerprint] == e.ID {
+			fmt.Fprintf(stdout, "baseline %-22s fingerprint=%.12s run=%.12s\n",
+				e.Name, e.Fingerprint, e.ID)
+			delete(baselines, e.Fingerprint)
+		}
+	}
+	return 0
+}
+
+// cmdDiff implements `osprof diff`: with two run references it renders
+// the pairwise differential report; with scenario ids (or nothing =
+// all) it runs the regression gate. Exit codes: 0 no differences, 1
+// differences found, 2 usage/archive errors.
+func cmdDiff(rest []string, seed int64, archiveDir string, opt runner.Options,
+	jsonOut bool, stdout, stderr io.Writer) int {
+	arch, err := store.Open(archiveDir)
+	if err != nil {
+		fmt.Fprintf(stderr, "osprof: %v\n", err)
+		return 2
+	}
+	// Scenario ids (and the literal "all") always mean the gate: a
+	// stray same-named file in the working directory must not flip the
+	// documented `osprof diff all` into file-reference mode.
+	_, fps, ids := experiments.Recordables(seed)
+	scenarioID := map[string]bool{"all": true}
+	for _, id := range ids {
+		scenarioID[id] = true
+	}
+	isRef := func(s string) bool { return !scenarioID[s] && isRunRef(s) }
+	if len(rest) == 2 && isRef(rest[0]) && isRef(rest[1]) {
+		return diffPair(arch, rest[0], rest[1], jsonOut, stdout, stderr)
+	}
+	for _, r := range rest {
+		if isRef(r) {
+			fmt.Fprintf(stderr, "osprof: diff takes exactly two run references (or scenario ids for the gate), got %q\n", r)
+			return 2
+		}
+	}
+	return diffGate(arch, rest, seed, fps, opt, jsonOut, stdout, stderr)
+}
+
+// isRunRef reports whether the argument names a concrete run — a
+// latest:/baseline: reference, an existing file, or a hex run-ID
+// prefix — as opposed to a scenario id (which contains '/', never
+// all-hex). Known scenario ids are excluded by the caller before this
+// is consulted.
+func isRunRef(s string) bool {
+	if strings.HasPrefix(s, "latest:") || strings.HasPrefix(s, "baseline:") {
+		return true
+	}
+	if st, err := os.Stat(s); err == nil && !st.IsDir() {
+		return true
+	}
+	if len(s) >= 6 {
+		hex := true
+		for _, c := range s {
+			if !strings.ContainsRune("0123456789abcdef", c) {
+				hex = false
+				break
+			}
+		}
+		return hex
+	}
+	return false
+}
+
+// resolveRun loads the run a reference names.
+func resolveRun(arch *store.Archive, ref string) (*core.Run, error) {
+	switch {
+	case strings.HasPrefix(ref, "latest:"):
+		name := strings.TrimPrefix(ref, "latest:")
+		e, ok, err := arch.LatestByName(name)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("no recorded run for scenario %q (try `osprof record %s`)", name, name)
+		}
+		return arch.Get(e.ID)
+	case strings.HasPrefix(ref, "baseline:"):
+		name := strings.TrimPrefix(ref, "baseline:")
+		b, ok, err := arch.BaselineByName(name)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("no baseline for scenario %q (try `osprof baseline %s`)", name, name)
+		}
+		return arch.Get(b.ID)
+	default:
+		if st, err := os.Stat(ref); err == nil && !st.IsDir() {
+			f, err := os.Open(ref)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			return core.ReadRun(f)
+		}
+		return arch.Get(ref)
+	}
+}
+
+// diffPair renders the differential analysis of two referenced runs.
+func diffPair(arch *store.Archive, refA, refB string, jsonOut bool, stdout, stderr io.Writer) int {
+	a, err := resolveRun(arch, refA)
+	if err != nil {
+		fmt.Fprintf(stderr, "osprof: %s: %v\n", refA, err)
+		return 2
+	}
+	b, err := resolveRun(arch, refB)
+	if err != nil {
+		fmt.Fprintf(stderr, "osprof: %s: %v\n", refB, err)
+		return 2
+	}
+	rep := diff.New().Runs(a, b)
+	if jsonOut {
+		if err := writeJSON(stdout, rep); err != nil {
+			fmt.Fprintf(stderr, "osprof: %v\n", err)
+			return 2
+		}
+	} else {
+		report.Diff(stdout, rep, a.Set, b.Set, report.Options{})
+	}
+	if rep.Regression() {
+		return 1
+	}
+	return 0
+}
+
+// diffGate is the matrix-wide regression gate: re-record the selected
+// scenarios (archiving the fresh runs) and hold each against its
+// blessed baseline.
+func diffGate(arch *store.Archive, rest []string, seed int64, fps map[string]string,
+	opt runner.Options, jsonOut bool, stdout, stderr io.Writer) int {
+	reg, _, ids := experiments.Recordables(seed)
+	ids = expand(rest, ids)
+
+	// Collect the baselines first so a missing one fails fast, before
+	// any simulation time is spent.
+	baselines := make([]*core.Run, 0, len(ids))
+	jobs := make([]runner.Job, 0, len(ids))
+	for _, id := range ids {
+		ctor := reg[id]
+		if ctor == nil {
+			fmt.Fprintf(stderr, "osprof: unknown scenario %q (try `osprof record list`)\n", id)
+			return 2
+		}
+		e, ok, err := arch.Baseline(fps[id])
+		if err != nil {
+			fmt.Fprintf(stderr, "osprof: %v\n", err)
+			return 2
+		}
+		if !ok {
+			fmt.Fprintf(stderr, "osprof: no baseline for %s at this configuration (run `osprof baseline %s` first)\n", id, id)
+			return 2
+		}
+		base, err := arch.Get(e.ID)
+		if err != nil {
+			fmt.Fprintf(stderr, "osprof: %v\n", err)
+			return 2
+		}
+		baselines = append(baselines, base)
+		jobs = append(jobs, runner.Job{ID: id, New: ctor, Fingerprint: fps[id]})
+	}
+
+	opt.Archive = arch
+	results := runner.Run(jobs, opt)
+	if failed := runner.FailedChecks(results); failed > 0 {
+		for i := range results {
+			if !results[i].OK() {
+				fmt.Fprintf(stderr, "osprof: %s failed: %s%s\n",
+					results[i].ID, firstFailure(&results[i]), results[i].Panic)
+			}
+		}
+		fmt.Fprintf(stderr, "osprof: %d failed checks\n", failed)
+		return 1
+	}
+	fresh := make([]*core.Run, 0, len(results))
+	for i := range results {
+		run, err := arch.Get(results[i].RunID)
+		if err != nil {
+			fmt.Fprintf(stderr, "osprof: %v\n", err)
+			return 2
+		}
+		fresh = append(fresh, run)
+	}
+
+	m := diff.New().Matrix(baselines, fresh)
+	if jsonOut {
+		if err := writeJSON(stdout, m); err != nil {
+			fmt.Fprintf(stderr, "osprof: %v\n", err)
+			return 2
+		}
+	} else {
+		report.MatrixDiff(stdout, m)
+	}
+	if m.Regression() {
+		fmt.Fprintf(stderr, "osprof: %d regressions against the baseline archive\n", m.Changed)
+		return 1
+	}
+	return 0
+}
+
+// writeJSON emits v as indented JSON.
+func writeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

@@ -43,6 +43,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	parallel := fs.Int("parallel", 1, "experiments run concurrently")
 	jsonOut := fs.Bool("json", false, "emit JSON results")
 	seed := fs.Int64("seed", 1, "base seed for the scenario matrix")
+	archiveDir := fs.String("archive", "osprof-archive", "profile archive directory")
 
 	pos, err := parseInterleaved(fs, args)
 	if err != nil {
@@ -95,6 +96,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 			jobs = append(jobs, runner.Job{ID: id, New: ctor})
 		}
 		return emit(stdout, stderr, runner.Run(jobs, opt), *jsonOut)
+
+	case "record":
+		return cmdRecord(rest, *seed, *archiveDir, opt, *jsonOut, false, stdout, stderr)
+
+	case "baseline":
+		if len(rest) == 1 && rest[0] == "list" {
+			return cmdBaselineList(*archiveDir, stdout, stderr)
+		}
+		return cmdRecord(rest, *seed, *archiveDir, opt, *jsonOut, true, stdout, stderr)
+
+	case "diff":
+		return cmdDiff(rest, *seed, *archiveDir, opt, *jsonOut, stdout, stderr)
 
 	default:
 		usage(stderr)
@@ -188,8 +201,20 @@ func usage(w io.Writer) {
   osprof [flags] checks <id>...|all   run experiments and print only checks
   osprof [flags] scenarios [<id>...]  run the backend x workload scenario matrix
   osprof scenarios list               list the matrix scenarios
+  osprof [flags] record [<id>...]     run scenarios once and archive the runs
+  osprof record list                  list the recordable scenarios
+  osprof [flags] baseline [<id>...]   record runs and bless them as baselines
+  osprof baseline list                list the blessed baselines
+  osprof [flags] diff <refA> <refB>   differential analysis of two runs
+  osprof [flags] diff [<id>...]       regression gate: re-record and diff
+                                      each scenario against its baseline
+run references: latest:<scenario>, baseline:<scenario>, a run-ID prefix
+from the archive, or a path to an osprof-run/osprof-set file.
 flags:
   -parallel N   run N experiments concurrently (default 1)
   -json         emit structured results as JSON
-  -seed S       base seed for the scenario matrix (default 1)`)
+  -seed S       base seed for the scenario matrix (default 1)
+  -archive DIR  profile archive directory (default osprof-archive)
+exit codes: 0 ok / no differences, 1 failed checks or differences
+found, 2 usage or archive errors.`)
 }

@@ -45,12 +45,41 @@ func WriteSet(w io.Writer, s *Set) error {
 // ReadSet parses a profile set serialized by WriteSet and validates
 // the bucket checksums.
 func ReadSet(r io.Reader) (*Set, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	sc := newScanner(r)
 	if !sc.Scan() {
 		return nil, fmt.Errorf("osprof: empty input")
 	}
-	line := sc.Text()
+	lineno := 1
+	s, err := readSet(sc.Text(), sc, &lineno)
+	if err != nil {
+		return nil, err
+	}
+	return s, rejectTrailing(sc, &lineno)
+}
+
+// newScanner builds the line scanner shared by ReadSet and ReadRun.
+func newScanner(r io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	return sc
+}
+
+// rejectTrailing drains sc after a terminating "end" marker, rejecting
+// anything but blank lines.
+func rejectTrailing(sc *bufio.Scanner, lineno *int) error {
+	for sc.Scan() {
+		*lineno++
+		if strings.TrimSpace(sc.Text()) != "" {
+			return fmt.Errorf("osprof: line %d: trailing data %q", *lineno, sc.Text())
+		}
+	}
+	return sc.Err()
+}
+
+// readSet parses a set whose header line has already been scanned; it
+// consumes lines from sc through the "end" marker. ReadSet and ReadRun
+// (the versioned run envelope) share it.
+func readSet(line string, sc *bufio.Scanner, lineno *int) (*Set, error) {
 	if !strings.HasPrefix(line, setHeader+" ") {
 		return nil, fmt.Errorf("osprof: bad header %q", line)
 	}
@@ -67,9 +96,8 @@ func ReadSet(r io.Reader) (*Set, error) {
 
 	var cur *Profile
 	sawEnd := false
-	lineno := 1
-	for sc.Scan() {
-		lineno++
+	for !sawEnd && sc.Scan() {
+		*lineno++
 		line := sc.Text()
 		switch {
 		case line == "end":
@@ -77,18 +105,18 @@ func ReadSet(r io.Reader) (*Set, error) {
 		case strings.HasPrefix(line, "op "):
 			op, rest, err := parseQuoted(strings.TrimPrefix(line, "op "))
 			if err != nil {
-				return nil, fmt.Errorf("osprof: line %d: %w", lineno, err)
+				return nil, fmt.Errorf("osprof: line %d: %w", *lineno, err)
 			}
 			cur = s.Get(op)
 			fields := strings.Fields(rest)
 			if len(fields) != 4 {
 				return nil, fmt.Errorf("osprof: line %d: want 4 op fields, got %d",
-					lineno, len(fields))
+					*lineno, len(fields))
 			}
 			for i, key := range []string{"count", "total", "min", "max"} {
 				v, err := parseKV(fields[i], key)
 				if err != nil {
-					return nil, fmt.Errorf("osprof: line %d: %w", lineno, err)
+					return nil, fmt.Errorf("osprof: line %d: %w", *lineno, err)
 				}
 				switch key {
 				case "count":
@@ -103,21 +131,21 @@ func ReadSet(r io.Reader) (*Set, error) {
 			}
 		case strings.HasPrefix(line, "b "):
 			if cur == nil {
-				return nil, fmt.Errorf("osprof: line %d: bucket before op", lineno)
+				return nil, fmt.Errorf("osprof: line %d: bucket before op", *lineno)
 			}
 			var b int
 			var c uint64
 			if _, err := fmt.Sscanf(line, "b %d %d", &b, &c); err != nil {
-				return nil, fmt.Errorf("osprof: line %d: %w", lineno, err)
+				return nil, fmt.Errorf("osprof: line %d: %w", *lineno, err)
 			}
 			if b < 0 || b >= len(cur.Buckets) {
-				return nil, fmt.Errorf("osprof: line %d: bucket %d out of range", lineno, b)
+				return nil, fmt.Errorf("osprof: line %d: bucket %d out of range", *lineno, b)
 			}
 			cur.Buckets[b] = c
 		case strings.TrimSpace(line) == "":
 			// ignore blank lines
 		default:
-			return nil, fmt.Errorf("osprof: line %d: unrecognized %q", lineno, line)
+			return nil, fmt.Errorf("osprof: line %d: unrecognized %q", *lineno, line)
 		}
 	}
 	if err := sc.Err(); err != nil {

@@ -47,21 +47,102 @@ func TestWriteReadRoundTrip(t *testing.T) {
 
 func TestReadSetRejectsGarbage(t *testing.T) {
 	cases := map[string]string{
-		"empty":         "",
-		"bad header":    "not-a-profile\nend\n",
-		"no end":        "osprof-set v1 \"x\" r=1\n",
-		"bucket first":  "osprof-set v1 \"x\" r=1\nb 3 1\nend\n",
-		"bad bucket":    "osprof-set v1 \"x\" r=1\nop \"a\" count=1 total=1 min=1 max=1\nb 99999 1\nend\n",
-		"bad op line":   "osprof-set v1 \"x\" r=1\nop \"a\" count=1\nend\n",
-		"unknown line":  "osprof-set v1 \"x\" r=1\nxyzzy\nend\n",
-		"bad checksum":  "osprof-set v1 \"x\" r=1\nop \"a\" count=5 total=1 min=1 max=1\nb 0 1\nend\n",
-		"unquoted name": "osprof-set v1 x r=1\nend\n",
+		"empty":          "",
+		"bad header":     "not-a-profile\nend\n",
+		"no end":         "osprof-set v1 \"x\" r=1\n",
+		"bucket first":   "osprof-set v1 \"x\" r=1\nb 3 1\nend\n",
+		"bad bucket":     "osprof-set v1 \"x\" r=1\nop \"a\" count=1 total=1 min=1 max=1\nb 99999 1\nend\n",
+		"negative index": "osprof-set v1 \"x\" r=1\nop \"a\" count=1 total=1 min=1 max=1\nb -2 1\nend\n",
+		"bad op line":    "osprof-set v1 \"x\" r=1\nop \"a\" count=1\nend\n",
+		"unknown line":   "osprof-set v1 \"x\" r=1\nxyzzy\nend\n",
+		"bad checksum":   "osprof-set v1 \"x\" r=1\nop \"a\" count=5 total=1 min=1 max=1\nb 0 1\nend\n",
+		"count mismatch": "osprof-set v1 \"x\" r=1\nop \"a\" count=2 total=7 min=1 max=6\nb 0 1\nend\n",
+		"unquoted name":  "osprof-set v1 x r=1\nend\n",
+
+		// Quoting pathologies: unterminated, bare backslash at EOF,
+		// and an op line whose quote never closes.
+		"unterminated name":  "osprof-set v1 \"x r=1\nend\n",
+		"trailing backslash": "osprof-set v1 \"x\\\nend\n",
+		"unterminated op":    "osprof-set v1 \"x\" r=1\nop \"a count=1 total=1 min=1 max=1\nend\n",
+		"bad escape":         "osprof-set v1 \"\\z\" r=1\nend\n",
+
+		// Truncation in the middle of an operation body.
+		"truncated op":     "osprof-set v1 \"x\" r=1\nop \"a\" count=1 total=1 min=1 max=1\nb 0 1\n",
+		"truncated bucket": "osprof-set v1 \"x\" r=1\nop \"a\" count=1 total=1 min=1 max=1\nb 0\nend\n",
+
+		// Field-order and resolution abuse.
+		"swapped fields": "osprof-set v1 \"x\" r=1\nop \"a\" total=1 count=1 min=1 max=1\nend\n",
+		"huge r":         "osprof-set v1 \"x\" r=99999999999999999999\nend\n",
+		"negative r":     "osprof-set v1 \"x\" r=-1\nend\n",
+
+		// Data after the end marker.
+		"trailing garbage": "osprof-set v1 \"x\" r=1\nend\nxyzzy\n",
 	}
 	for name, in := range cases {
 		if _, err := ReadSet(strings.NewReader(in)); err == nil {
 			t.Errorf("%s: ReadSet accepted %q", name, in)
 		}
 	}
+}
+
+// Golden serialized sets (also the fuzz seed corpus).
+func goldenSets() []*Set {
+	flat := NewSet("flat")
+	flat.Record("read", 100)
+	flat.Record("read", 1<<20)
+	flat.Record("op with space", 42)
+
+	hiRes := NewSetR("hi-res", 4)
+	for i := uint64(1); i < 1<<18; i <<= 1 {
+		hiRes.Record("llseek", i+i/3)
+	}
+
+	empty := NewSet("empty")
+	empty.Get("never-recorded")
+	return []*Set{flat, hiRes, empty}
+}
+
+// FuzzReadSet checks the parser against arbitrary input: it must never
+// panic, and any input it accepts must round-trip stably — writing the
+// parsed set and re-reading it reproduces the same bytes and totals
+// (the archive's content addressing depends on that stability).
+func FuzzReadSet(f *testing.F) {
+	for _, s := range goldenSets() {
+		var buf bytes.Buffer
+		if err := WriteSet(&buf, s); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte("osprof-set v1 \"x\" r=1\nop \"a\" count=1 total=9 min=9 max=9\nb 3 1\nend\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ReadSet(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		var first bytes.Buffer
+		if err := WriteSet(&first, s); err != nil {
+			t.Fatalf("re-serialize accepted input: %v", err)
+		}
+		s2, err := ReadSet(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read own output: %v\n%s", err, first.Bytes())
+		}
+		if s2.TotalOps() != s.TotalOps() || s2.TotalLatency() != s.TotalLatency() ||
+			s2.Len() != s.Len() {
+			t.Fatalf("totals drifted: %d/%d/%d vs %d/%d/%d",
+				s.TotalOps(), s.TotalLatency(), s.Len(),
+				s2.TotalOps(), s2.TotalLatency(), s2.Len())
+		}
+		var second bytes.Buffer
+		if err := WriteSet(&second, s2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("serialization not a fixed point:\n%s\nvs\n%s",
+				first.Bytes(), second.Bytes())
+		}
+	})
 }
 
 func TestRoundTripRandomProperty(t *testing.T) {

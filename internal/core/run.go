@@ -1,0 +1,149 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// This file implements the versioned run envelope: a recorded run is a
+// profile set (the paper's /proc export, marshal.go) wrapped with the
+// scenario fingerprint that produced it and free-form metadata. The
+// envelope is what the profile archive (internal/store) persists and
+// what `osprof diff` compares, turning one-shot profiles into durable,
+// addressable artifacts.
+//
+// Format:
+//
+//	osprof-run v1 fingerprint=<hex>
+//	meta <key> <value>
+//	...
+//	osprof-set v1 <name> r=<r>
+//	...
+//	end
+//
+// Meta keys and values are quoted with %q and written in sorted key
+// order, so serialization is deterministic: identical runs marshal to
+// identical bytes, which is what lets the content-addressed archive
+// deduplicate reruns of the same deterministic world. ReadRun also
+// accepts a bare `osprof-set v1` stream (an envelope with no
+// fingerprint and no metadata), keeping every pre-envelope artifact
+// readable.
+
+const runHeader = "osprof-run v1"
+
+// Run is one recorded profiling run: the captured profile set plus the
+// identity of the configuration that produced it.
+type Run struct {
+	// Fingerprint is the canonical identity of the producing
+	// configuration (scenario.Spec.Fingerprint); empty for ad-hoc or
+	// legacy artifacts.
+	Fingerprint string
+
+	// Meta carries free-form descriptive pairs (backend, elapsed
+	// simulated cycles, ...). It must not contain wall-clock values:
+	// recording the same deterministic world twice must marshal to
+	// identical bytes.
+	Meta map[string]string
+
+	// Set is the captured profile set.
+	Set *Set
+}
+
+// Name returns the run's set name.
+func (r *Run) Name() string {
+	if r.Set == nil {
+		return ""
+	}
+	return r.Set.Name
+}
+
+// WriteRun serializes the run envelope to w.
+func WriteRun(w io.Writer, r *Run) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%s fingerprint=%q\n", runHeader, r.Fingerprint)
+	keys := make([]string, 0, len(r.Meta))
+	for k := range r.Meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(bw, "meta %q %q\n", k, r.Meta[k])
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return WriteSet(w, r.Set)
+}
+
+// ReadRun parses a run envelope serialized by WriteRun. A bare
+// `osprof-set v1` stream is accepted too and yields a Run with an empty
+// fingerprint and no metadata.
+func ReadRun(r io.Reader) (*Run, error) {
+	sc := newScanner(r)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("osprof: empty input")
+	}
+	lineno := 1
+	line := sc.Text()
+	run := &Run{}
+
+	if strings.HasPrefix(line, runHeader+" ") {
+		rest := strings.TrimSpace(strings.TrimPrefix(line, runHeader+" "))
+		if !strings.HasPrefix(rest, "fingerprint=") {
+			return nil, fmt.Errorf("osprof: run header missing fingerprint: %q", line)
+		}
+		fp, trailing, err := parseQuoted(strings.TrimPrefix(rest, "fingerprint="))
+		if err != nil {
+			return nil, fmt.Errorf("osprof: run header: %w", err)
+		}
+		if strings.TrimSpace(trailing) != "" {
+			return nil, fmt.Errorf("osprof: run header trailing data %q", trailing)
+		}
+		run.Fingerprint = fp
+
+		// Meta lines, then the embedded set header.
+		line = ""
+		for sc.Scan() {
+			lineno++
+			l := sc.Text()
+			if strings.TrimSpace(l) == "" {
+				continue
+			}
+			if !strings.HasPrefix(l, "meta ") {
+				line = l
+				break
+			}
+			key, rest, err := parseQuoted(strings.TrimPrefix(l, "meta "))
+			if err != nil {
+				return nil, fmt.Errorf("osprof: line %d: meta key: %w", lineno, err)
+			}
+			val, trailing, err := parseQuoted(strings.TrimSpace(rest))
+			if err != nil {
+				return nil, fmt.Errorf("osprof: line %d: meta value: %w", lineno, err)
+			}
+			if strings.TrimSpace(trailing) != "" {
+				return nil, fmt.Errorf("osprof: line %d: meta trailing data %q", lineno, trailing)
+			}
+			if run.Meta == nil {
+				run.Meta = make(map[string]string)
+			}
+			run.Meta[key] = val
+		}
+		if line == "" {
+			if err := sc.Err(); err != nil {
+				return nil, err
+			}
+			return nil, fmt.Errorf("osprof: run envelope without a profile set")
+		}
+	}
+
+	set, err := readSet(line, sc, &lineno)
+	if err != nil {
+		return nil, err
+	}
+	run.Set = set
+	return run, rejectTrailing(sc, &lineno)
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleRun() *Run {
+	s := NewSet("ext2/grep")
+	s.Record("readdir", 100)
+	s.Record("readdir", 5_000)
+	s.Record("read page", 1_000_000)
+	return &Run{
+		Fingerprint: "abc123",
+		Meta:        map[string]string{"backend": "ext2", "elapsed": "42", "note": "a \"quoted\" value"},
+		Set:         s,
+	}
+}
+
+func TestRunRoundTrip(t *testing.T) {
+	r := sampleRun()
+	var buf bytes.Buffer
+	if err := WriteRun(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRun(&buf)
+	if err != nil {
+		t.Fatalf("ReadRun: %v", err)
+	}
+	if got.Fingerprint != r.Fingerprint {
+		t.Errorf("fingerprint %q, want %q", got.Fingerprint, r.Fingerprint)
+	}
+	if len(got.Meta) != len(r.Meta) {
+		t.Fatalf("meta %v, want %v", got.Meta, r.Meta)
+	}
+	for k, v := range r.Meta {
+		if got.Meta[k] != v {
+			t.Errorf("meta[%q] = %q, want %q", k, got.Meta[k], v)
+		}
+	}
+	if got.Name() != "ext2/grep" || got.Set.TotalOps() != r.Set.TotalOps() {
+		t.Errorf("set mangled: %q ops=%d", got.Name(), got.Set.TotalOps())
+	}
+}
+
+// Serialization must be deterministic: identical runs marshal to
+// identical bytes (the content-addressed archive's dedup invariant).
+// Map iteration order must not leak into the output.
+func TestRunDeterministicBytes(t *testing.T) {
+	var first []byte
+	for i := 0; i < 20; i++ {
+		var buf bytes.Buffer
+		if err := WriteRun(&buf, sampleRun()); err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = buf.Bytes()
+		} else if !bytes.Equal(first, buf.Bytes()) {
+			t.Fatalf("serialization not deterministic:\n%s\nvs\n%s", first, buf.Bytes())
+		}
+	}
+}
+
+// A bare osprof-set stream stays readable as a fingerprint-less run.
+func TestReadRunAcceptsBareSet(t *testing.T) {
+	s := NewSet("legacy")
+	s.Record("read", 99)
+	var buf bytes.Buffer
+	if err := WriteSet(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	run, err := ReadRun(&buf)
+	if err != nil {
+		t.Fatalf("ReadRun(bare set): %v", err)
+	}
+	if run.Fingerprint != "" || len(run.Meta) != 0 {
+		t.Errorf("bare set grew envelope fields: %+v", run)
+	}
+	if run.Name() != "legacy" || run.Set.TotalOps() != 1 {
+		t.Errorf("bare set mangled: %+v", run.Set)
+	}
+}
+
+func TestReadRunRejectsGarbage(t *testing.T) {
+	valid := func() string {
+		var buf bytes.Buffer
+		WriteRun(&buf, sampleRun())
+		return buf.String()
+	}()
+	cases := map[string]string{
+		"empty":             "",
+		"no fingerprint":    "osprof-run v1 nope\nosprof-set v1 \"x\" r=1\nend\n",
+		"unquoted fp":       "osprof-run v1 fingerprint=abc\nosprof-set v1 \"x\" r=1\nend\n",
+		"header trailing":   "osprof-run v1 fingerprint=\"a\" junk\nosprof-set v1 \"x\" r=1\nend\n",
+		"bad meta key":      "osprof-run v1 fingerprint=\"a\"\nmeta nope \"v\"\nosprof-set v1 \"x\" r=1\nend\n",
+		"bad meta value":    "osprof-run v1 fingerprint=\"a\"\nmeta \"k\" nope\nosprof-set v1 \"x\" r=1\nend\n",
+		"meta trailing":     "osprof-run v1 fingerprint=\"a\"\nmeta \"k\" \"v\" junk\nosprof-set v1 \"x\" r=1\nend\n",
+		"no set":            "osprof-run v1 fingerprint=\"a\"\nmeta \"k\" \"v\"\n",
+		"set garbage":       "osprof-run v1 fingerprint=\"a\"\nnot-a-set\nend\n",
+		"trailing data":     valid + "surprise\n",
+		"truncated":         strings.TrimSuffix(valid, "end\n"),
+		"double end junked": valid + "end\nop \"x\" count=1 total=1 min=1 max=1\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadRun(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: ReadRun accepted %q", name, in)
+		}
+	}
+}
+
+func TestWriteRunEmptyMeta(t *testing.T) {
+	s := NewSet("m")
+	r := &Run{Set: s}
+	var buf bytes.Buffer
+	if err := WriteRun(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "meta ") {
+		t.Errorf("empty meta rendered: %s", buf.String())
+	}
+	back, err := ReadRun(&buf)
+	if err != nil || back.Fingerprint != "" {
+		t.Fatalf("round trip: %v %+v", err, back)
+	}
+}

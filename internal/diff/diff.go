@@ -1,0 +1,269 @@
+// Package diff is the differential analysis engine: it turns the
+// paper's interactive workflow — render two profiles, eyeball which
+// peaks moved (§3.2, §5) — into machine-checkable verdicts over
+// archived runs. Built on analysis.Selector (three-phase selection,
+// peak structure, Earth Mover's Distance), it classifies every
+// operation of two runs as unchanged, shifted-peak, new-peak,
+// lost-peak, reshaped, new-op, or missing-op, so a CI gate can assert
+// "this kernel-config change shifted nothing" the way the paper's
+// authors compared OS versions by hand.
+package diff
+
+import (
+	"fmt"
+	"sort"
+
+	"osprof/internal/analysis"
+	"osprof/internal/core"
+)
+
+// Schema versions the JSON shape of Report and MatrixReport so
+// downstream tooling can rely on it.
+const Schema = "osprof-diff/v1"
+
+// Verdict classifies one operation's change between two runs.
+type Verdict string
+
+const (
+	// Unchanged: the pair was either filtered in phase 1 (small share
+	// or similar totals with identical peak structure) or scored below
+	// the selector threshold with no structural change.
+	Unchanged Verdict = "unchanged"
+
+	// ShiftedPeak: a matched peak's mode bucket moved — the §5
+	// "operation got slower/faster by a latency class" signature.
+	ShiftedPeak Verdict = "shifted-peak"
+
+	// NewPeak: run B shows more peaks than run A (a new latency mode
+	// appeared, e.g. preemption or lock contention).
+	NewPeak Verdict = "new-peak"
+
+	// LostPeak: run B shows fewer peaks than run A (a latency mode
+	// disappeared, e.g. a fixed contention source).
+	LostPeak Verdict = "lost-peak"
+
+	// Reshaped: same peak structure but the distribution's mass moved
+	// enough to score over the selector threshold.
+	Reshaped Verdict = "reshaped"
+
+	// NewOp: the operation appears only in run B.
+	NewOp Verdict = "new-op"
+
+	// MissingOp: the operation appears only in run A.
+	MissingOp Verdict = "missing-op"
+)
+
+// Changed reports whether the verdict flags a difference.
+func (v Verdict) Changed() bool { return v != Unchanged }
+
+// OpDiff is the differential verdict for one operation.
+type OpDiff struct {
+	Op      string  `json:"op"`
+	Verdict Verdict `json:"verdict"`
+
+	// Score is the selector's phase-3 rating (EMD by default); for
+	// one-sided operations it is computed against an empty profile
+	// (EMD's maximal 1).
+	Score float64 `json:"score"`
+
+	CountA uint64 `json:"count_a"`
+	CountB uint64 `json:"count_b"`
+	TotalA uint64 `json:"total_a"`
+	TotalB uint64 `json:"total_b"`
+	PeaksA int    `json:"peaks_a"`
+	PeaksB int    `json:"peaks_b"`
+
+	// ModeShifts lists per-matched-peak mode-bucket movement (B - A).
+	ModeShifts []int `json:"mode_shifts,omitempty"`
+
+	// Detail is a human-readable explanation of the verdict.
+	Detail string `json:"detail,omitempty"`
+}
+
+// Report is the pairwise differential analysis of two runs.
+type Report struct {
+	Schema string `json:"schema"`
+
+	NameA string `json:"a"`
+	NameB string `json:"b"`
+
+	FingerprintA string `json:"fingerprint_a,omitempty"`
+	FingerprintB string `json:"fingerprint_b,omitempty"`
+
+	// Ops holds one verdict per operation in the union of the two
+	// runs, most severe (highest score) first, unchanged last.
+	Ops []OpDiff `json:"ops"`
+
+	// Changed counts the operations whose verdict flags a difference.
+	Changed int `json:"changed"`
+}
+
+// Regression reports whether any operation changed.
+func (r *Report) Regression() bool { return r.Changed > 0 }
+
+// ChangedOps returns the flagged operations.
+func (r *Report) ChangedOps() []OpDiff {
+	var out []OpDiff
+	for _, d := range r.Ops {
+		if d.Verdict.Changed() {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Engine performs differential analyses. It carries a Selector (with
+// its reusable comparison scratch), so create one and reuse it; an
+// Engine must not be used from multiple goroutines concurrently.
+type Engine struct {
+	// Selector is the three-phase pair analysis configuration.
+	Selector *analysis.Selector
+}
+
+// New returns an engine with the repository's default selector (EMD,
+// the paper's recommended metric).
+func New() *Engine {
+	return &Engine{Selector: analysis.DefaultSelector()}
+}
+
+// Sets runs the differential analysis over two profile sets.
+func (e *Engine) Sets(a, b *core.Set) *Report {
+	rep := &Report{Schema: Schema, NameA: a.Name, NameB: b.Name}
+	for _, pr := range e.Selector.Compare(a, b) {
+		d := e.classify(pr)
+		rep.Ops = append(rep.Ops, d)
+		if d.Verdict.Changed() {
+			rep.Changed++
+		}
+	}
+	// Re-rank after classification: one-sided ops enter the selector's
+	// ordering as phase-1 skips (score 0) but classify rewrites their
+	// score and verdict, so the selector's sort no longer holds.
+	sort.SliceStable(rep.Ops, func(i, j int) bool {
+		x, y := rep.Ops[i], rep.Ops[j]
+		if x.Verdict.Changed() != y.Verdict.Changed() {
+			return x.Verdict.Changed()
+		}
+		if x.Score != y.Score {
+			return x.Score > y.Score
+		}
+		return x.Op < y.Op
+	})
+	return rep
+}
+
+// Runs is Sets over archived run envelopes, carrying the fingerprints
+// into the report so a reader can tell which configurations were
+// compared.
+func (e *Engine) Runs(a, b *core.Run) *Report {
+	rep := e.Sets(a.Set, b.Set)
+	rep.FingerprintA = a.Fingerprint
+	rep.FingerprintB = b.Fingerprint
+	return rep
+}
+
+// classify converts one selector pair report into a verdict. The
+// analysis.PairReport is backed by the Selector's scratch buffers, so
+// everything retained (ModeShifts) is copied out.
+func (e *Engine) classify(r analysis.PairReport) OpDiff {
+	d := OpDiff{
+		Op:     r.Op,
+		Score:  r.Score,
+		CountA: r.A.Count, CountB: r.B.Count,
+		TotalA: r.A.Total, TotalB: r.B.Total,
+		PeaksA: len(r.PeaksA), PeaksB: len(r.PeaksB),
+	}
+	switch {
+	case r.A.Count == 0 && r.B.Count > 0:
+		d.Verdict = NewOp
+		d.Score = analysis.Score(e.Selector.Method, r.A, r.B)
+		d.Detail = fmt.Sprintf("only in B (%d ops)", r.B.Count)
+	case r.B.Count == 0 && r.A.Count > 0:
+		d.Verdict = MissingOp
+		d.Score = analysis.Score(e.Selector.Method, r.A, r.B)
+		d.Detail = fmt.Sprintf("only in A (%d ops)", r.A.Count)
+	case r.Skipped || !r.Interesting:
+		d.Verdict = Unchanged
+		d.Detail = r.Reason
+	case moved(r.Diff.Moved):
+		d.Verdict = ShiftedPeak
+		d.ModeShifts = append([]int(nil), r.Diff.Moved...)
+		d.Detail = fmt.Sprintf("mode shifts %v", d.ModeShifts)
+	case r.Diff.NewPeaks > 0:
+		d.Verdict = NewPeak
+		d.Detail = fmt.Sprintf("+%d peaks", r.Diff.NewPeaks)
+	case r.Diff.LostPeaks > 0:
+		d.Verdict = LostPeak
+		d.Detail = fmt.Sprintf("-%d peaks", r.Diff.LostPeaks)
+	default:
+		d.Verdict = Reshaped
+		d.Detail = fmt.Sprintf("score %.3g over threshold", r.Score)
+	}
+	return d
+}
+
+func moved(shifts []int) bool {
+	for _, m := range shifts {
+		if m != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Pair names one matched run pair of a matrix diff.
+type Pair struct {
+	Name string `json:"name"`
+	*Report
+}
+
+// MatrixReport is the matrix-wide differential analysis: every run of
+// side A held against the like-named run of side B (the paper's table
+// of OS-version comparisons across a whole scenario matrix).
+type MatrixReport struct {
+	Schema string `json:"schema"`
+
+	// Pairs holds one pairwise report per matched run name, in side-A
+	// order.
+	Pairs []Pair `json:"pairs"`
+
+	// OnlyA and OnlyB list run names present on a single side.
+	OnlyA []string `json:"only_a,omitempty"`
+	OnlyB []string `json:"only_b,omitempty"`
+
+	// Changed counts changed operations across all matched pairs;
+	// unmatched runs count as one change each.
+	Changed int `json:"changed"`
+}
+
+// Regression reports whether anything changed anywhere in the matrix.
+func (m *MatrixReport) Regression() bool { return m.Changed > 0 }
+
+// Matrix diffs two run slices pairwise, matching runs by set name.
+func (e *Engine) Matrix(as, bs []*core.Run) *MatrixReport {
+	m := &MatrixReport{Schema: Schema}
+	byName := make(map[string]*core.Run, len(bs))
+	for _, b := range bs {
+		byName[b.Name()] = b
+	}
+	matched := make(map[string]bool, len(as))
+	for _, a := range as {
+		b, ok := byName[a.Name()]
+		if !ok {
+			m.OnlyA = append(m.OnlyA, a.Name())
+			m.Changed++
+			continue
+		}
+		matched[a.Name()] = true
+		rep := e.Runs(a, b)
+		m.Pairs = append(m.Pairs, Pair{Name: a.Name(), Report: rep})
+		m.Changed += rep.Changed
+	}
+	for _, b := range bs {
+		if !matched[b.Name()] {
+			m.OnlyB = append(m.OnlyB, b.Name())
+			m.Changed++
+		}
+	}
+	return m
+}

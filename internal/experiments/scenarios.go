@@ -27,6 +27,10 @@ type ScenarioResult struct {
 	// reproduced the profile set and the simulated clock exactly.
 	Deterministic bool
 
+	// Reran reports whether the determinism rerun was performed
+	// (RunScenario); RecordScenario runs once and skips that check.
+	Reran bool
+
 	// Elapsed is the simulated run length in cycles.
 	Elapsed uint64
 }
@@ -34,6 +38,30 @@ type ScenarioResult struct {
 // RunScenario builds and runs spec twice, comparing the runs to verify
 // determinism, and returns the first run wrapped in checks.
 func RunScenario(spec scenario.Spec) *ScenarioResult {
+	r := runScenarioOnce(spec)
+	if r.Err != nil {
+		return r
+	}
+	r.Reran = true
+	second, err := scenario.RunSpec(spec)
+	if err != nil {
+		r.Err = fmt.Errorf("rerun: %w", err)
+		return r
+	}
+	r.Deterministic = r.Stack.K.Now() == second.K.Now() &&
+		sameSet(r.Stack.Set, second.Set)
+	return r
+}
+
+// RecordScenario builds and runs spec once, for archival recording:
+// determinism across recordings is already verified end to end by the
+// archive's content addressing (identical worlds produce identical run
+// IDs), so the in-process rerun would only double the recording cost.
+func RecordScenario(spec scenario.Spec) *ScenarioResult {
+	return runScenarioOnce(spec)
+}
+
+func runScenarioOnce(spec scenario.Spec) *ScenarioResult {
 	r := &ScenarioResult{Spec: spec}
 	first, err := scenario.RunSpec(spec)
 	if err != nil {
@@ -42,14 +70,6 @@ func RunScenario(spec scenario.Spec) *ScenarioResult {
 	}
 	r.Stack = first
 	r.Elapsed = first.K.Now()
-
-	second, err := scenario.RunSpec(spec)
-	if err != nil {
-		r.Err = fmt.Errorf("rerun: %w", err)
-		return r
-	}
-	r.Deterministic = first.K.Now() == second.K.Now() &&
-		sameSet(first.Set, second.Set)
 	return r
 }
 
@@ -109,9 +129,31 @@ func (r *ScenarioResult) Checks() []Check {
 			"min bucket=%d (the ~40-cycle TSC window is bucket 5)", minBucket))
 	}
 
-	cs = append(cs, check("deterministic rerun",
-		r.Deterministic, "profiles and simulated clock must reproduce exactly"))
+	if r.Reran {
+		cs = append(cs, check("deterministic rerun",
+			r.Deterministic, "profiles and simulated clock must reproduce exactly"))
+	}
 	return cs
+}
+
+// ProfileSet implements runner.SetProvider: the captured profile set
+// the runner archives (nil when the scenario failed to build or run).
+func (r *ScenarioResult) ProfileSet() *core.Set {
+	if r.Stack == nil {
+		return nil
+	}
+	return r.Stack.Set
+}
+
+// RunMeta implements runner.MetaProvider with deterministic run
+// descriptors for the archived envelope (no wall-clock values).
+func (r *ScenarioResult) RunMeta() map[string]string {
+	return map[string]string{
+		"scenario":  r.Spec.Name,
+		"backend":   r.Spec.Backend.String(),
+		"elapsed":   fmt.Sprintf("%d", r.Elapsed),
+		"workloads": fmt.Sprintf("%d", len(r.Spec.Workloads)),
+	}
 }
 
 // Report implements Result.
@@ -139,4 +181,23 @@ func Scenarios(seed int64) (map[string]func() Result, []string) {
 		ids = append(ids, spec.Name)
 	}
 	return reg, ids
+}
+
+// Recordables returns the archivable scenario registry — the
+// backend×workload matrix plus the kernel-configuration variants — as
+// single-run constructors keyed by name, with each spec's canonical
+// fingerprint and the ordered name list. `osprof record`, `baseline`,
+// and the `diff` regression gate all draw from it.
+func Recordables(seed int64) (reg map[string]func() Result, fps map[string]string, ids []string) {
+	specs := append(scenario.Matrix(seed), scenario.Variants(seed)...)
+	reg = make(map[string]func() Result, len(specs))
+	fps = make(map[string]string, len(specs))
+	ids = make([]string, 0, len(specs))
+	for _, spec := range specs {
+		spec := spec
+		reg[spec.Name] = func() Result { return RecordScenario(spec) }
+		fps[spec.Name] = spec.Fingerprint()
+		ids = append(ids, spec.Name)
+	}
+	return reg, fps, ids
 }

@@ -1,0 +1,125 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"osprof/internal/core"
+	"osprof/internal/diff"
+)
+
+// This file renders differential analyses (internal/diff): a verdict
+// table in the style of the selector comparison table, and side-by-side
+// histograms of the changed operations — the paper's §5 figures that
+// put the same operation's profile under two OS configurations next to
+// each other.
+
+// SideBySide renders two profiles of the same operation as adjacent
+// ASCII histograms (A left, B right), row-aligned so peaks can be
+// compared visually across the gutter.
+func SideBySide(w io.Writer, a, b *core.Profile, o Options) {
+	var la, lb strings.Builder
+	Profile(&la, a, o)
+	Profile(&lb, b, o)
+	linesA := strings.Split(strings.TrimRight(la.String(), "\n"), "\n")
+	linesB := strings.Split(strings.TrimRight(lb.String(), "\n"), "\n")
+
+	width := 0
+	for _, l := range linesA {
+		if len(l) > width {
+			width = len(l)
+		}
+	}
+	n := len(linesA)
+	if len(linesB) > n {
+		n = len(linesB)
+	}
+	for i := 0; i < n; i++ {
+		var left, right string
+		if i < len(linesA) {
+			left = linesA[i]
+		}
+		if i < len(linesB) {
+			right = linesB[i]
+		}
+		fmt.Fprintf(w, "%-*s   |   %s\n", width, left, right)
+	}
+}
+
+// Diff renders a differential report: header, verdict table, and
+// side-by-side histograms for every changed operation. a and b are the
+// compared sets (for the histograms); pass nil to render the table
+// only.
+func Diff(w io.Writer, d *diff.Report, a, b *core.Set, o Options) {
+	fmt.Fprintf(w, "=== diff %q -> %q ===\n", d.NameA, d.NameB)
+	if d.FingerprintA != "" || d.FingerprintB != "" {
+		fmt.Fprintf(w, "fingerprints %s -> %s\n",
+			shortFP(d.FingerprintA), shortFP(d.FingerprintB))
+	}
+	fmt.Fprintf(w, "%d operations compared, %d changed\n\n", len(d.Ops), d.Changed)
+
+	fmt.Fprintf(w, "%-18s %-14s %8s %8s %8s %7s %7s  %s\n",
+		"OP", "VERDICT", "SCORE", "OPS-A", "OPS-B", "PEAKS-A", "PEAKS-B", "DETAIL")
+	for _, op := range d.Ops {
+		// %.3g, not %.3f: the interesting EMDs of a localized shift
+		// (e.g. fig3's preemption peak) are legitimately tiny.
+		fmt.Fprintf(w, "%-18s %-14s %8.3g %8d %8d %7d %7d  %s\n",
+			op.Op, op.Verdict, op.Score, op.CountA, op.CountB,
+			op.PeaksA, op.PeaksB, op.Detail)
+	}
+
+	if a == nil || b == nil {
+		return
+	}
+	for _, op := range d.ChangedOps() {
+		fmt.Fprintln(w)
+		pa, pb := a.Lookup(op.Op), b.Lookup(op.Op)
+		switch {
+		case pa != nil && pb != nil:
+			SideBySide(w, pa, pb, o)
+		case pa != nil:
+			fmt.Fprintf(w, "(only in A)\n")
+			Profile(w, pa, o)
+		case pb != nil:
+			fmt.Fprintf(w, "(only in B)\n")
+			Profile(w, pb, o)
+		}
+	}
+}
+
+// MatrixDiff renders a matrix-wide differential report as one summary
+// line per pair, with verdict tables for the pairs that changed.
+func MatrixDiff(w io.Writer, m *diff.MatrixReport) {
+	for _, p := range m.Pairs {
+		if p.Changed == 0 {
+			fmt.Fprintf(w, "ok   %-24s unchanged (%d operations)\n",
+				p.Name, len(p.Ops))
+			continue
+		}
+		fmt.Fprintf(w, "DIFF %-24s %d of %d operations changed\n",
+			p.Name, p.Changed, len(p.Ops))
+		for _, op := range p.ChangedOps() {
+			fmt.Fprintf(w, "       %-18s %-14s score=%.3g %s\n",
+				op.Op, op.Verdict, op.Score, op.Detail)
+		}
+	}
+	for _, name := range m.OnlyA {
+		fmt.Fprintf(w, "DIFF %-24s present only in A\n", name)
+	}
+	for _, name := range m.OnlyB {
+		fmt.Fprintf(w, "DIFF %-24s present only in B\n", name)
+	}
+	fmt.Fprintf(w, "total: %d changed\n", m.Changed)
+}
+
+// shortFP abbreviates a fingerprint for display.
+func shortFP(fp string) string {
+	if fp == "" {
+		return "-"
+	}
+	if len(fp) > 12 {
+		return fp[:12]
+	}
+	return fp
+}

@@ -1,0 +1,125 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"osprof/internal/core"
+	"osprof/internal/diff"
+)
+
+// Labels could historically never be disabled: withDefaults forced the
+// flag back on. NoLabels must actually suppress the label row while
+// the zero value keeps the historical default rendering.
+func TestNoLabelsDisablesLabelRow(t *testing.T) {
+	var withLabels, without bytes.Buffer
+	Profile(&withLabels, sample(), Options{})
+	Profile(&without, sample(), Options{NoLabels: true})
+
+	if !strings.Contains(withLabels.String(), "ns") {
+		t.Errorf("default rendering lost the latency labels:\n%s", withLabels.String())
+	}
+	// The label row (latency units above the plot) must be gone; the
+	// x-axis caption at the bottom still mentions cycles.
+	lines := strings.Split(without.String(), "\n")
+	if len(lines) < 2 || !strings.HasPrefix(lines[1], "10^") {
+		t.Errorf("NoLabels did not suppress the label row:\n%s", without.String())
+	}
+	if len(without.String()) >= len(withLabels.String()) {
+		t.Error("NoLabels output not smaller than labeled output")
+	}
+}
+
+func twoSets() (*core.Set, *core.Set) {
+	a, b := core.NewSet("before"), core.NewSet("after")
+	for i := 0; i < 1000; i++ {
+		a.Record("read", 100)
+		b.Record("read", 100)
+	}
+	for i := 0; i < 40; i++ {
+		b.Record("read", 1<<20) // new peak in B
+	}
+	for i := 0; i < 500; i++ {
+		a.Record("write", 4_000)
+		b.Record("write", 4_000)
+	}
+	return a, b
+}
+
+func TestSideBySideAligned(t *testing.T) {
+	a, b := twoSets()
+	var buf bytes.Buffer
+	SideBySide(&buf, a.Lookup("read"), b.Lookup("read"), Options{})
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("too few rows:\n%s", out)
+	}
+	gutter := strings.Index(lines[0], "   |   ")
+	if gutter < 0 {
+		t.Fatalf("no gutter in %q", lines[0])
+	}
+	for _, l := range lines {
+		if strings.Index(l, "   |   ") != gutter {
+			t.Errorf("gutter misaligned: %q", l)
+		}
+	}
+	if strings.Count(out, "READ") != 2 {
+		t.Errorf("both columns must carry the op title:\n%s", out)
+	}
+}
+
+func TestDiffRendering(t *testing.T) {
+	a, b := twoSets()
+	rep := diff.New().Sets(a, b)
+	rep.FingerprintA, rep.FingerprintB = strings.Repeat("a", 64), strings.Repeat("b", 64)
+	var buf bytes.Buffer
+	Diff(&buf, rep, a, b, Options{})
+	out := buf.String()
+	for _, want := range []string{
+		`diff "before" -> "after"`,
+		"aaaaaaaaaaaa -> bbbbbbbbbbbb", // abbreviated fingerprints
+		"VERDICT",
+		"new-peak",
+		"unchanged",
+		"   |   ", // side-by-side gutter for the changed op
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff rendering missing %q:\n%s", want, out)
+		}
+	}
+	// Table-only mode renders no histograms.
+	var table bytes.Buffer
+	Diff(&table, rep, nil, nil, Options{})
+	if strings.Contains(table.String(), "   |   ") {
+		t.Error("table-only mode rendered histograms")
+	}
+}
+
+func TestMatrixDiffRendering(t *testing.T) {
+	a, b := twoSets()
+	eng := diff.New()
+	m := eng.Matrix(
+		[]*core.Run{{Set: a}},
+		[]*core.Run{{Set: func() *core.Set { s := b.Clone(); s.Name = "before"; return s }()}},
+	)
+	var buf bytes.Buffer
+	MatrixDiff(&buf, m)
+	out := buf.String()
+	if !strings.Contains(out, "DIFF before") && !strings.Contains(out, "DIFF") {
+		t.Errorf("changed pair not flagged:\n%s", out)
+	}
+	if !strings.Contains(out, "total: 1 changed") {
+		t.Errorf("missing total:\n%s", out)
+	}
+
+	// All-clean matrix.
+	clean := eng.Matrix([]*core.Run{{Set: a}}, []*core.Run{{Set: a.Clone()}})
+	buf.Reset()
+	MatrixDiff(&buf, clean)
+	if !strings.Contains(buf.String(), "ok   before") ||
+		!strings.Contains(buf.String(), "total: 0 changed") {
+		t.Errorf("clean matrix rendering:\n%s", buf.String())
+	}
+}

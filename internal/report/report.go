@@ -27,16 +27,16 @@ type Options struct {
 	// paper's plots).
 	MinBucket, MaxBucket int
 
-	// Labels prints average bucket latencies above the plot.
-	Labels bool
+	// NoLabels suppresses the average-bucket-latency labels printed
+	// above the plot. (The zero value keeps labels on, the historical
+	// default; a positive `Labels bool` could never be disabled
+	// because withDefaults forced it back to true.)
+	NoLabels bool
 }
 
 func (o Options) withDefaults() Options {
 	if o.Height == 0 {
 		o.Height = 8
-	}
-	if !o.Labels {
-		o.Labels = true
 	}
 	return o
 }
@@ -73,7 +73,7 @@ func Profile(w io.Writer, p *core.Profile, o Options) {
 
 	fmt.Fprintf(w, "%s  n=%d mean=%s\n", strings.ToUpper(p.Op), p.Count,
 		cycles.Format(p.Mean()))
-	if o.Labels {
+	if !o.NoLabels {
 		fmt.Fprint(w, "      ")
 		for b := lo; b <= hi; b++ {
 			if b%5 == 0 {

@@ -1,0 +1,159 @@
+package runner
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"osprof/internal/core"
+	"osprof/internal/experiments"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// The JSON emitted by WriteJSON is a published interface (the Schema
+// constant versions it): downstream tooling like `osprof diff --json`
+// pipelines parses it, so its shape is pinned by a golden file. Run
+// `go test ./internal/runner -run TestWriteJSONGolden -update` after a
+// deliberate schema change (and bump Schema).
+func TestWriteJSONGolden(t *testing.T) {
+	results := []RunResult{
+		{
+			Schema: Schema,
+			ID:     "ext2/grep",
+			Checks: []experiments.Check{
+				{Name: "profiler recorded operations", OK: true, Detail: "ops=1234 across 6 operations"},
+			},
+			Wall:        1234567 * time.Nanosecond,
+			Fingerprint: "5f31d6b71d74f0a2",
+			RunID:       "ffc7eec95c44aa01",
+		},
+		{
+			Schema: Schema,
+			ID:     "fig3/preempt",
+			Checks: []experiments.Check{
+				{Name: "scenario built and ran", OK: false, Detail: "boom"},
+			},
+			Failed: 1,
+			Wall:   7 * time.Millisecond,
+			Dedup:  true,
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "runresults.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("WriteJSON shape drifted from the golden; if deliberate, bump Schema and run with -update.\ngot:\n%s\nwant:\n%s",
+			buf.Bytes(), want)
+	}
+}
+
+func TestRunResultsCarrySchema(t *testing.T) {
+	results := Run([]Job{fakeJob("x", true)}, Options{})
+	if results[0].Schema != Schema {
+		t.Errorf("schema %q, want %q", results[0].Schema, Schema)
+	}
+}
+
+// setResult is a fake result that exposes a profile set for archiving.
+type setResult struct {
+	fakeResult
+	set  *core.Set
+	meta map[string]string
+}
+
+func (s *setResult) ProfileSet() *core.Set      { return s.set }
+func (s *setResult) RunMeta() map[string]string { return s.meta }
+
+// memArchive is an in-memory Archiver.
+type memArchive struct {
+	mu   sync.Mutex
+	runs map[string]*core.Run
+	err  error
+}
+
+func (m *memArchive) Put(run *core.Run) (string, bool, error) {
+	if m.err != nil {
+		return "", false, m.err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id := "id-" + run.Name()
+	_, existed := m.runs[id]
+	if m.runs == nil {
+		m.runs = make(map[string]*core.Run)
+	}
+	m.runs[id] = run
+	return id, !existed, nil
+}
+
+func setJob(id, fp string) Job {
+	return Job{ID: id, Fingerprint: fp, New: func() experiments.Result {
+		s := core.NewSet(id)
+		s.Record("read", 100)
+		return &setResult{
+			fakeResult: fakeResult{id: id, checks: []experiments.Check{{Name: "c", OK: true}}},
+			set:        s,
+			meta:       map[string]string{"scenario": id},
+		}
+	}}
+}
+
+func TestRunArchivesSetProviders(t *testing.T) {
+	arch := &memArchive{}
+	results := Run([]Job{setJob("s1", "fp1"), fakeJob("plain", true)},
+		Options{Archive: arch, Parallel: 2})
+	if results[0].RunID != "id-s1" || results[0].Fingerprint != "fp1" || results[0].Dedup {
+		t.Errorf("archived result: %+v", results[0])
+	}
+	if results[1].RunID != "" {
+		t.Errorf("non-SetProvider result archived: %+v", results[1])
+	}
+	run := arch.runs["id-s1"]
+	if run == nil || run.Fingerprint != "fp1" || run.Meta["scenario"] != "s1" {
+		t.Errorf("archived run: %+v", run)
+	}
+	// A rerun dedups.
+	results = Run([]Job{setJob("s1", "fp1")}, Options{Archive: arch})
+	if !results[0].Dedup {
+		t.Errorf("rerun not marked dedup: %+v", results[0])
+	}
+}
+
+func TestRunArchiveErrorFailsJob(t *testing.T) {
+	arch := &memArchive{err: errors.New("disk full")}
+	results := Run([]Job{setJob("s1", "fp1")}, Options{Archive: arch})
+	if results[0].OK() || results[0].Failed != 1 || results[0].ArchiveErr == "" {
+		t.Errorf("archive error not surfaced: %+v", results[0])
+	}
+	if FailedChecks(results) != 1 {
+		t.Errorf("FailedChecks = %d", FailedChecks(results))
+	}
+}
+
+// Without Options.Archive nothing is archived and nothing changes.
+func TestNoArchiveNoSideEffects(t *testing.T) {
+	results := Run([]Job{setJob("s1", "fp1")}, Options{})
+	if results[0].RunID != "" || results[0].Fingerprint != "" {
+		t.Errorf("archiving happened without an archive: %+v", results[0])
+	}
+}

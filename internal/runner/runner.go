@@ -15,18 +15,50 @@ import (
 	"sync"
 	"time"
 
+	"osprof/internal/core"
 	"osprof/internal/experiments"
 )
+
+// Schema versions the JSON shape of RunResult so downstream tooling
+// (e.g. `osprof diff --json` pipelines) can rely on it; bump it on any
+// breaking change to the serialized fields.
+const Schema = "osprof-run-result/v1"
 
 // Job is one experiment to run: New must build and execute the
 // experiment from scratch (it is called inside a worker).
 type Job struct {
 	ID  string
 	New func() experiments.Result
+
+	// Fingerprint is the canonical identity of the configuration the
+	// job runs (scenario.Spec.Fingerprint); it keys the archived run
+	// artifact when Options.Archive is set.
+	Fingerprint string
+}
+
+// SetProvider is implemented by experiment results whose captured
+// profile set can be archived as a run artifact.
+type SetProvider interface {
+	ProfileSet() *core.Set
+}
+
+// MetaProvider optionally supplies deterministic descriptive metadata
+// for the archived run envelope (no wall-clock values: archived runs
+// of the same deterministic world must be byte-identical).
+type MetaProvider interface {
+	RunMeta() map[string]string
+}
+
+// Archiver persists run envelopes; satisfied by *store.Archive.
+type Archiver interface {
+	Put(run *core.Run) (id string, created bool, err error)
 }
 
 // RunResult is the structured outcome of one job.
 type RunResult struct {
+	// Schema identifies the serialized shape (the Schema constant).
+	Schema string `json:"schema"`
+
 	// ID is the job's identifier.
 	ID string `json:"id"`
 
@@ -46,10 +78,23 @@ type RunResult struct {
 	// Panic carries a recovered panic message; a panicked job counts
 	// as failed.
 	Panic string `json:"panic,omitempty"`
+
+	// Fingerprint and RunID identify the archived run artifact when
+	// the runner archived one; Dedup marks a rerun whose bytes matched
+	// an already-archived run (the determinism fast path).
+	Fingerprint string `json:"fingerprint,omitempty"`
+	RunID       string `json:"run_id,omitempty"`
+	Dedup       bool   `json:"dedup,omitempty"`
+
+	// ArchiveErr reports a failed archive write; it counts as a
+	// failure.
+	ArchiveErr string `json:"archive_error,omitempty"`
 }
 
 // OK reports whether the job completed with all checks passing.
-func (r *RunResult) OK() bool { return r.Panic == "" && r.Failed == 0 }
+func (r *RunResult) OK() bool {
+	return r.Panic == "" && r.ArchiveErr == "" && r.Failed == 0
+}
 
 // Options configures a runner invocation.
 type Options struct {
@@ -58,6 +103,11 @@ type Options struct {
 
 	// CaptureReport renders each result's Report into the RunResult.
 	CaptureReport bool
+
+	// Archive, when set, persists each job's profile set (results
+	// implementing SetProvider) as a run envelope keyed by the job's
+	// Fingerprint. The archive must be safe for concurrent use.
+	Archive Archiver
 }
 
 // Run executes the jobs on a worker pool and returns one RunResult per
@@ -84,7 +134,7 @@ func Run(jobs []Job, opt Options) []RunResult {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				results[i] = runOne(jobs[i], opt.CaptureReport)
+				results[i] = runOne(jobs[i], opt)
 			}
 		}()
 	}
@@ -98,7 +148,8 @@ func Run(jobs []Job, opt Options) []RunResult {
 
 // runOne executes a single job, converting panics into a failed
 // RunResult so one broken experiment cannot take down the batch.
-func runOne(job Job, report bool) (rr RunResult) {
+func runOne(job Job, opt Options) (rr RunResult) {
+	rr.Schema = Schema
 	rr.ID = job.ID
 	start := time.Now()
 	defer func() {
@@ -115,12 +166,40 @@ func runOne(job Job, report bool) (rr RunResult) {
 			rr.Failed++
 		}
 	}
-	if report {
+	if opt.CaptureReport {
 		var buf strings.Builder
 		r.Report(&buf)
 		rr.Report = buf.String()
 	}
+	if opt.Archive != nil {
+		archive(r, job, &rr, opt.Archive)
+	}
 	return rr
+}
+
+// archive persists the result's profile set as a run envelope.
+func archive(r experiments.Result, job Job, rr *RunResult, arch Archiver) {
+	sp, ok := r.(SetProvider)
+	if !ok {
+		return
+	}
+	set := sp.ProfileSet()
+	if set == nil {
+		return
+	}
+	run := &core.Run{Fingerprint: job.Fingerprint, Set: set}
+	if mp, ok := r.(MetaProvider); ok {
+		run.Meta = mp.RunMeta()
+	}
+	id, created, err := arch.Put(run)
+	if err != nil {
+		rr.ArchiveErr = err.Error()
+		rr.Failed++
+		return
+	}
+	rr.Fingerprint = job.Fingerprint
+	rr.RunID = id
+	rr.Dedup = !created
 }
 
 // FailedChecks sums the failed checks (and panics) across results.

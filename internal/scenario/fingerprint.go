@@ -1,0 +1,107 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// Fingerprint returns the canonical identity of the Spec: a sha256 over
+// Canonical()'s field-by-field encoding of everything that shapes the
+// simulated world — kernel build, disk geometry, cache size, backend
+// configuration, file population, instrumentation point, and workloads
+// with their seeds. Two Specs with equal fingerprints build identical
+// deterministic worlds, so the profile archive (internal/store) keys
+// runs by it: recording the same Spec again reproduces the same
+// artifact, and diffing runs with different fingerprints localizes the
+// configuration change that caused a latency shift (the paper's §5
+// cross-OS comparisons).
+//
+// Function-valued fields are excluded: Workload.Observe and
+// Workload.Collect only observe the run, and CIFSSpec.Sniffer only
+// captures packets, none of which perturbs the simulation. A Custom
+// workload's Body does change behavior but cannot be serialized; it is
+// encoded only by presence, so archival recording should stick to the
+// declarative workload kinds.
+func (s Spec) Fingerprint() string {
+	h := sha256.Sum256([]byte(s.Canonical()))
+	return hex.EncodeToString(h[:])
+}
+
+// Canonical returns the deterministic text encoding hashed by
+// Fingerprint, one field per line in a fixed order. It is exported so
+// tests can pin it with goldens (catching accidental canonicalization
+// drift) and so mismatching fingerprints can be diffed by hand.
+//
+// Every serializable field of Spec and its nested configuration structs
+// must appear here; TestFingerprintCoversEveryField pins the field
+// counts so that adding a field without extending this encoding fails
+// the build's tests.
+func (s Spec) Canonical() string {
+	var b strings.Builder
+	b.WriteString("osprof-spec v1\n")
+	fmt.Fprintf(&b, "name=%q\n", s.Name)
+	fmt.Fprintf(&b, "setname=%q\n", s.SetName)
+	fmt.Fprintf(&b, "backend=%s\n", s.Backend)
+	fmt.Fprintf(&b, "cachepages=%d\n", s.CachePages)
+	fmt.Fprintf(&b, "superdaemon=%t\n", s.SuperDaemon)
+
+	k := s.Kernel
+	fmt.Fprintf(&b, "kernel cpus=%d quantum=%d preemptive=%t ctxswitch=%d tickperiod=%d tickcost=%d wakepreempt=%t tscskew=%v seed=%d\n",
+		k.NumCPUs, k.Quantum, k.Preemptive, k.ContextSwitch,
+		k.TickPeriod, k.TickCost, k.WakePreempt, k.TSCSkew, k.Seed)
+
+	d := s.Disk
+	fmt.Fprintf(&b, "disk blocks=%d percyl=%d pertrack=%d t2t=%d stroke=%d rot=%d cmd=%d xfer=%d segs=%d readahead=%d\n",
+		d.Blocks, d.BlocksPerCylinder, d.BlocksPerTrack, d.TrackToTrackSeek,
+		d.FullStrokeSeek, d.FullRotation, d.CommandOverhead, d.TransferPerBlock,
+		d.CacheSegments, d.ReadaheadBlocks)
+
+	e := s.Ext2
+	fmt.Fprintf(&b, "ext2 buggyllseek=%t spread=%d dirtylimit=%d lookup=%d pasteof=%d parsedir=%d readpage=%d readbatch=%d direct=%d writesetup=%d writepage=%d create=%d unlink=%d open=%d release=%d\n",
+		e.BuggyLlseek, e.FileSpread, e.DirtyPageLimit, e.LookupCost,
+		e.PastEOFCost, e.ParseDirCost, e.ReadPageInit, e.ReadBatchInit,
+		e.DirectSetup, e.WriteSetup, e.WritePageCost, e.CreateCost,
+		e.UnlinkCost, e.OpenCost, e.ReleaseCost)
+
+	r := s.Reiser
+	fmt.Fprintf(&b, "reiser journal=%d superinterval=%d readlock=%d\n",
+		r.JournalBlocks, r.SuperInterval, r.ReadLockCost)
+
+	c := s.CIFS
+	fmt.Fprintf(&b, "cifs client batch=%d chunk=%d local=%d server window=%d cpu=%d net oneway=%d perbyte=%d mss=%d ackto=%d sendcpu=%d nodelack=%t sniffer=%t\n",
+		c.Client.BatchEntries, c.Client.ReadChunk, c.Client.LocalCost,
+		c.Server.Window, c.Server.ProcessCPU,
+		c.Net.OneWayLatency, c.Net.CyclesPerByte, c.Net.MSS,
+		c.Net.DelayedAckTimeout, c.Net.SendCPU,
+		c.NoDelayedAck, c.Sniffer != nil)
+
+	for i, f := range s.Files {
+		fmt.Fprintf(&b, "file %d name=%q size=%d\n", i, f.Name, f.Size)
+	}
+	if t := s.Tree; t != nil {
+		fmt.Fprintf(&b, "tree seed=%d dirs=%d filesmin=%d filesmax=%d sizemin=%d sizemax=%d bigevery=%d\n",
+			t.Seed, t.Dirs, t.FilesPerDirMin, t.FilesPerDirMax,
+			t.FileSizeMin, t.FileSizeMax, t.BigDirEvery)
+	}
+	if f := s.Flusher; f != nil {
+		fmt.Fprintf(&b, "flusher interval=%d age=%d\n", f.Interval, f.Age)
+	}
+
+	ins := s.Instrument
+	fmt.Fprintf(&b, "instrument point=%s mode=%d sampled=%t start=%d interval=%d",
+		ins.Point, ins.Mode, ins.Sampled, ins.SampleStart, ins.SampleInterval)
+	if ins.Costs != nil {
+		fmt.Fprintf(&b, " costs=%d/%d/%d",
+			ins.Costs.CallPair, ins.Costs.TSCWindow, ins.Costs.SortStore)
+	}
+	b.WriteString("\n")
+
+	for i, w := range s.Workloads {
+		fmt.Fprintf(&b, "workload %d kind=%s procname=%q procs=%d amount=%d files=%d seed=%d think=%d path=%q custom=%t\n",
+			i, w.Kind, w.ProcName, w.Procs, w.Amount, w.Files,
+			w.Seed, w.Think, w.Path, w.Body != nil)
+	}
+	return b.String()
+}

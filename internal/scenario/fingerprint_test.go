@@ -1,0 +1,170 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"osprof/internal/fs/cifs"
+	"osprof/internal/fsprof"
+	"osprof/internal/netsim"
+	"osprof/internal/sim"
+	"osprof/internal/vfs"
+	"osprof/internal/workload"
+
+	diskpkg "osprof/internal/disk"
+	ext2pkg "osprof/internal/fs/ext2"
+	reiserpkg "osprof/internal/fs/reiser"
+)
+
+// fingerprintFixture is a spec exercising most fields.
+func fingerprintFixture() Spec {
+	return Spec{
+		Name:       "fixture",
+		Kernel:     sim.Config{NumCPUs: 2, Preemptive: true, Seed: 7},
+		CachePages: 512,
+		Backend:    Ext2,
+		Files:      []FileSpec{{Name: "zero", Size: vfs.PageSize}},
+		Tree:       &workload.TreeSpec{Seed: 3, Dirs: 4},
+		Instrument: Instrument{Point: FSLevel},
+		Workloads: []Workload{
+			{Kind: Grep, Path: "/src"},
+			{Kind: RandomRead, Procs: 2, Amount: 100, Seed: 9},
+		},
+	}
+}
+
+func TestFingerprintStable(t *testing.T) {
+	a, b := fingerprintFixture(), fingerprintFixture()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("equal specs produced different fingerprints:\n%s\nvs\n%s",
+			a.Canonical(), b.Canonical())
+	}
+	if got := a.Fingerprint(); len(got) != 64 {
+		t.Errorf("fingerprint %q is not a sha256 hex", got)
+	}
+}
+
+// Any field change must change the fingerprint: runs are keyed by what
+// produced them, so a collision between different configurations would
+// silently merge unrelated archive histories.
+func TestFingerprintSensitivity(t *testing.T) {
+	mutations := map[string]func(*Spec){
+		"name":            func(s *Spec) { s.Name = "other" },
+		"setname":         func(s *Spec) { s.SetName = "other" },
+		"backend":         func(s *Spec) { s.Backend = Reiser },
+		"cachepages":      func(s *Spec) { s.CachePages = 513 },
+		"superdaemon":     func(s *Spec) { s.SuperDaemon = true },
+		"kernel.cpus":     func(s *Spec) { s.Kernel.NumCPUs = 4 },
+		"kernel.quantum":  func(s *Spec) { s.Kernel.Quantum = 1 << 20 },
+		"kernel.preempt":  func(s *Spec) { s.Kernel.Preemptive = false },
+		"kernel.seed":     func(s *Spec) { s.Kernel.Seed = 8 },
+		"kernel.tscskew":  func(s *Spec) { s.Kernel.TSCSkew = []int64{5} },
+		"disk.blocks":     func(s *Spec) { s.Disk.Blocks = 99 },
+		"disk.seek":       func(s *Spec) { s.Disk.TrackToTrackSeek = 1 },
+		"ext2.llseek":     func(s *Spec) { s.Ext2.BuggyLlseek = true },
+		"ext2.spread":     func(s *Spec) { s.Ext2.FileSpread = 2 },
+		"reiser.journal":  func(s *Spec) { s.Reiser.JournalBlocks = 5 },
+		"cifs.batch":      func(s *Spec) { s.CIFS.Client.BatchEntries = 32 },
+		"cifs.window":     func(s *Spec) { s.CIFS.Server.Window = 9 },
+		"cifs.net":        func(s *Spec) { s.CIFS.Net.MSS = 500 },
+		"cifs.nodelack":   func(s *Spec) { s.CIFS.NoDelayedAck = true },
+		"files.size":      func(s *Spec) { s.Files[0].Size = 8192 },
+		"files.name":      func(s *Spec) { s.Files[0].Name = "one" },
+		"files.extra":     func(s *Spec) { s.Files = append(s.Files, FileSpec{Name: "x"}) },
+		"tree.seed":       func(s *Spec) { s.Tree.Seed = 4 },
+		"tree.nil":        func(s *Spec) { s.Tree = nil },
+		"flusher":         func(s *Spec) { s.Flusher = &FlusherSpec{Interval: 10} },
+		"instr.point":     func(s *Spec) { s.Instrument.Point = UserLevel },
+		"instr.mode":      func(s *Spec) { s.Instrument.Mode = fsprof.TSCOnly },
+		"instr.costs":     func(s *Spec) { s.Instrument.Costs = &fsprof.Costs{CallPair: 1} },
+		"instr.sampled":   func(s *Spec) { s.Instrument.Sampled = true; s.Instrument.SampleInterval = 5 },
+		"workload.kind":   func(s *Spec) { s.Workloads[0].Kind = Walk },
+		"workload.procs":  func(s *Spec) { s.Workloads[1].Procs = 3 },
+		"workload.amount": func(s *Spec) { s.Workloads[1].Amount = 101 },
+		"workload.seed":   func(s *Spec) { s.Workloads[1].Seed = 10 },
+		"workload.think":  func(s *Spec) { s.Workloads[1].Think = 100 },
+		"workload.path":   func(s *Spec) { s.Workloads[0].Path = "/other" },
+		"workload.name":   func(s *Spec) { s.Workloads[0].ProcName = "p" },
+		"workload.drop":   func(s *Spec) { s.Workloads = s.Workloads[:1] },
+		"workload.body":   func(s *Spec) { s.Workloads[0].Body = func(*sim.Proc, int, *Stack) {} },
+	}
+	base := fingerprintFixture().Fingerprint()
+	for name, mutate := range mutations {
+		spec := fingerprintFixture()
+		mutate(&spec)
+		if spec.Fingerprint() == base {
+			t.Errorf("%s: mutation did not change the fingerprint", name)
+		}
+	}
+}
+
+// The pinned golden catches accidental canonicalization drift: any
+// change to Canonical's encoding silently re-keys every archived run,
+// so it must be deliberate (and documented as an archive migration).
+func TestFingerprintGolden(t *testing.T) {
+	spec := Matrix(1)[0] // ext2/grep at seed 1
+	const want = "5f31d6b71d74f0a2f7732341a7696927c352333125c94c461498b46e26cf325a"
+	if got := spec.Fingerprint(); got != want {
+		t.Errorf("ext2/grep fingerprint drifted:\n got %s\nwant %s\ncanonical:\n%s",
+			got, want, spec.Canonical())
+	}
+	if !strings.Contains(spec.Canonical(), `name="ext2/grep"`) {
+		t.Error("canonical encoding lost the scenario name")
+	}
+}
+
+// Canonical must cover every field of Spec and its nested config
+// structs. The pinned field counts force whoever adds a field to
+// extend the encoding (or consciously exclude the field here).
+func TestFingerprintCoversEveryField(t *testing.T) {
+	counts := map[string]struct {
+		typ  reflect.Type
+		want int
+	}{
+		"scenario.Spec":        {reflect.TypeOf(Spec{}), 15},
+		"scenario.Instrument":  {reflect.TypeOf(Instrument{}), 6},
+		"scenario.Workload":    {reflect.TypeOf(Workload{}), 11},
+		"scenario.FileSpec":    {reflect.TypeOf(FileSpec{}), 2},
+		"scenario.FlusherSpec": {reflect.TypeOf(FlusherSpec{}), 2},
+		"scenario.CIFSSpec":    {reflect.TypeOf(CIFSSpec{}), 5},
+		"sim.Config":           {reflect.TypeOf(sim.Config{}), 9},
+		"disk.Config":          {reflect.TypeOf(diskpkg.Config{}), 10},
+		"ext2.Config":          {reflect.TypeOf(ext2pkg.Config{}), 15},
+		"reiser.Config":        {reflect.TypeOf(reiserpkg.Config{}), 3},
+		"cifs.ClientConfig":    {reflect.TypeOf(cifs.ClientConfig{}), 3},
+		"cifs.ServerConfig":    {reflect.TypeOf(cifs.ServerConfig{}), 2},
+		"netsim.Config":        {reflect.TypeOf(netsim.Config{}), 5},
+		"workload.TreeSpec":    {reflect.TypeOf(workload.TreeSpec{}), 7},
+		"fsprof.Costs":         {reflect.TypeOf(fsprof.Costs{}), 3},
+	}
+	for name, c := range counts {
+		if got := c.typ.NumField(); got != c.want {
+			t.Errorf("%s now has %d fields (canonicalized: %d): extend Spec.Canonical for the new field(s), then update this count",
+				name, got, c.want)
+		}
+	}
+}
+
+func TestVariantsArePreemptionPair(t *testing.T) {
+	specs := Variants(1)
+	if len(specs) != 2 {
+		t.Fatalf("got %d variants", len(specs))
+	}
+	on, off := specs[0], specs[1]
+	if !on.Kernel.Preemptive || off.Kernel.Preemptive {
+		t.Error("preemption pair misconfigured")
+	}
+	if on.Fingerprint() == off.Fingerprint() {
+		t.Error("preemption variants share a fingerprint")
+	}
+	// Same variant at a different seed is a different world.
+	if Variants(2)[0].Fingerprint() == on.Fingerprint() {
+		t.Error("seed does not enter the fingerprint")
+	}
+	for _, id := range VariantIDs() {
+		if !strings.HasPrefix(id, "fig3/") {
+			t.Errorf("unexpected variant id %q", id)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package scenario
+
+import (
+	"osprof/internal/sim"
+	"osprof/internal/vfs"
+)
+
+// Variants returns named kernel-configuration variant scenarios beyond
+// the base backend×workload matrix: pairs of Specs that differ only in
+// how the kernel is built, mirroring the paper's §5 comparisons of OS
+// versions and configurations. They exist so `osprof record` can
+// archive both sides of a configuration change and `osprof diff` can
+// localize its latency effect — the Figure 3 preemption study as a
+// regression-detection workflow instead of a one-shot figure.
+//
+// The first pair reproduces Figure 3's fixture (two processes reading
+// zero bytes back to back on one CPU, scaled quantum and timer tick,
+// user-level instrumentation): `fig3/preempt` builds the kernel with
+// in-kernel preemption, `fig3/nopreempt` without. Diffing the two runs
+// flags the read operation — the preemptive kernel adds a latency peak
+// near bucket log2(Q) where preempted requests wait out a quantum.
+func Variants(seed int64) []Spec {
+	preemption := func(name string, preemptive bool) Spec {
+		return Spec{
+			Name: name,
+			Kernel: sim.Config{
+				NumCPUs:       1,
+				ContextSwitch: 9_350,
+				Quantum:       1 << 20,
+				TickPeriod:    1 << 18,
+				TickCost:      10_000,
+				Preemptive:    preemptive,
+				Seed:          seed,
+			},
+			Backend:    Ext2,
+			CachePages: 1024,
+			Files:      []FileSpec{{Name: "zero", Size: vfs.PageSize}},
+			Instrument: Instrument{Point: UserLevel},
+			Workloads: []Workload{{
+				Kind:     ReadZero,
+				ProcName: "reader",
+				Procs:    2,
+				Amount:   100_000,
+			}},
+		}
+	}
+	return []Spec{
+		preemption("fig3/preempt", true),
+		preemption("fig3/nopreempt", false),
+	}
+}
+
+// VariantIDs lists the variant scenario names in order.
+func VariantIDs() []string {
+	specs := Variants(0)
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}

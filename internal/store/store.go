@@ -1,0 +1,462 @@
+// Package store is the persistent profile archive: a content-addressed
+// on-disk library of recorded runs (core.Run envelopes). OSprof's
+// method is comparative — profiles only pay off when a run can be held
+// against another OS version, kernel configuration, or a blessed
+// baseline (paper §3.2, §5) — so runs must outlive the process that
+// collected them. The archive makes a run a durable, addressable
+// artifact:
+//
+//   - objects/<id[:2]>/<id[2:]> holds the serialized run, named by the
+//     sha256 of its bytes. Recording the same deterministic world twice
+//     produces byte-identical envelopes and therefore the same object:
+//     reruns deduplicate for free, and any bit rot is detectable.
+//   - index is a small line-oriented file (same idiom as the osprof-set
+//     exchange format) listing every recorded run in sequence order
+//     with its fingerprint and set name, plus one baseline pointer per
+//     fingerprint. It is rewritten atomically (temp file + rename), as
+//     are the objects, so a crashed or concurrent writer never leaves a
+//     torn archive.
+//
+// Lookups answer the questions differential analysis asks: the latest
+// run of a fingerprint or scenario name, the baseline it should be
+// judged against, and the full listing. GC trims history per
+// fingerprint while pinning baselines.
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"osprof/internal/core"
+)
+
+const indexHeader = "osprof-index v1"
+
+// Archive is an opened on-disk run archive. It is safe for concurrent
+// use by multiple goroutines (the parallel runner archives jobs from
+// its workers); cross-process writers are serialized only by the
+// atomicity of rename, so concurrent processes may lose index entries
+// to each other but can never corrupt the archive.
+type Archive struct {
+	dir string
+	mu  sync.Mutex
+}
+
+// Entry describes one recorded run in the index.
+type Entry struct {
+	// Seq is the record sequence number (monotonic per archive).
+	Seq int
+
+	// ID is the content address: sha256 hex of the serialized run.
+	ID string
+
+	// Fingerprint keys the producing configuration
+	// (scenario.Spec.Fingerprint); may be empty for ad-hoc runs.
+	Fingerprint string
+
+	// Name is the run's profile-set name (the scenario name).
+	Name string
+}
+
+// index is the parsed index file.
+type index struct {
+	entries   []Entry
+	baselines map[string]string // fingerprint -> run ID
+}
+
+// Open opens (creating if needed) the archive rooted at dir.
+func Open(dir string) (*Archive, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Archive{dir: dir}, nil
+}
+
+// Dir returns the archive's root directory.
+func (a *Archive) Dir() string { return a.dir }
+
+func (a *Archive) indexPath() string { return filepath.Join(a.dir, "index") }
+
+func (a *Archive) objectPath(id string) string {
+	return filepath.Join(a.dir, "objects", id[:2], id[2:])
+}
+
+// Put archives the run and returns its content address. created is
+// false when an identical run (same bytes, hence same ID) was already
+// recorded for this fingerprint — the deduplicated rerun case.
+func (a *Archive) Put(run *core.Run) (id string, created bool, err error) {
+	var buf bytes.Buffer
+	if err := core.WriteRun(&buf, run); err != nil {
+		return "", false, fmt.Errorf("store: serialize: %w", err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	id = hex.EncodeToString(sum[:])
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if err := a.writeObject(id, buf.Bytes()); err != nil {
+		return "", false, err
+	}
+	idx, err := a.load()
+	if err != nil {
+		return "", false, err
+	}
+	// The latest identical run of this fingerprint collapses: a rerun
+	// of the same deterministic world is the same artifact.
+	if latest, ok := latestOf(idx.entries, func(e Entry) bool { return e.Fingerprint == run.Fingerprint }); ok && latest.ID == id {
+		return id, false, nil
+	}
+	seq := 1
+	if n := len(idx.entries); n > 0 {
+		seq = idx.entries[n-1].Seq + 1
+	}
+	idx.entries = append(idx.entries, Entry{
+		Seq: seq, ID: id, Fingerprint: run.Fingerprint, Name: run.Name(),
+	})
+	return id, true, a.save(idx)
+}
+
+// writeObject atomically writes the object file unless it already
+// exists (content addressing makes overwrites no-ops by definition).
+func (a *Archive) writeObject(id string, data []byte) error {
+	path := a.objectPath(id)
+	if _, err := os.Stat(path); err == nil {
+		return nil
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return atomicWrite(path, data)
+}
+
+// atomicWrite writes data to path via a temp file and rename.
+func atomicWrite(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Get loads a run by content address; ref may be a unique ID prefix.
+func (a *Archive) Get(ref string) (*core.Run, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	id, err := a.resolveLocked(ref)
+	if err != nil {
+		return nil, err
+	}
+	return a.getLocked(id)
+}
+
+func (a *Archive) getLocked(id string) (*core.Run, error) {
+	f, err := os.Open(a.objectPath(id))
+	if err != nil {
+		return nil, fmt.Errorf("store: run %s: %w", short(id), err)
+	}
+	defer f.Close()
+	run, err := core.ReadRun(f)
+	if err != nil {
+		return nil, fmt.Errorf("store: run %s: %w", short(id), err)
+	}
+	return run, nil
+}
+
+// Resolve expands a (possibly abbreviated) run ID to the full content
+// address recorded in the index.
+func (a *Archive) Resolve(ref string) (string, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.resolveLocked(ref)
+}
+
+func (a *Archive) resolveLocked(ref string) (string, error) {
+	if len(ref) == 2*sha256.Size {
+		return ref, nil
+	}
+	idx, err := a.load()
+	if err != nil {
+		return "", err
+	}
+	var match string
+	for _, e := range idx.entries {
+		if strings.HasPrefix(e.ID, ref) {
+			if match != "" && match != e.ID {
+				return "", fmt.Errorf("store: ambiguous run prefix %q", ref)
+			}
+			match = e.ID
+		}
+	}
+	if match == "" {
+		return "", fmt.Errorf("store: no run matches %q", ref)
+	}
+	return match, nil
+}
+
+// List returns every index entry in record order.
+func (a *Archive) List() ([]Entry, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	idx, err := a.load()
+	if err != nil {
+		return nil, err
+	}
+	return idx.entries, nil
+}
+
+// Latest returns the most recent entry recorded for fingerprint.
+func (a *Archive) Latest(fingerprint string) (Entry, bool, error) {
+	return a.latest(func(e Entry) bool { return e.Fingerprint == fingerprint })
+}
+
+// LatestByName returns the most recent entry whose set name matches
+// (the scenario name, across fingerprints — seeds and config tweaks
+// change the fingerprint but keep the name).
+func (a *Archive) LatestByName(name string) (Entry, bool, error) {
+	return a.latest(func(e Entry) bool { return e.Name == name })
+}
+
+func (a *Archive) latest(match func(Entry) bool) (Entry, bool, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	idx, err := a.load()
+	if err != nil {
+		return Entry{}, false, err
+	}
+	e, ok := latestOf(idx.entries, match)
+	return e, ok, nil
+}
+
+func latestOf(entries []Entry, match func(Entry) bool) (Entry, bool) {
+	for i := len(entries) - 1; i >= 0; i-- {
+		if match(entries[i]) {
+			return entries[i], true
+		}
+	}
+	return Entry{}, false
+}
+
+// SetBaseline marks the run (ID or unique prefix) as the baseline for
+// fingerprint: the reference `osprof diff` judges later runs against.
+func (a *Archive) SetBaseline(fingerprint, ref string) error {
+	if fingerprint == "" {
+		return fmt.Errorf("store: baseline needs a fingerprint")
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	id, err := a.resolveLocked(ref)
+	if err != nil {
+		return err
+	}
+	idx, err := a.load()
+	if err != nil {
+		return err
+	}
+	if _, ok := latestOf(idx.entries, func(e Entry) bool { return e.ID == id }); !ok {
+		return fmt.Errorf("store: baseline %s not in the index", short(id))
+	}
+	idx.baselines[fingerprint] = id
+	return a.save(idx)
+}
+
+// Baseline returns the baseline entry for fingerprint.
+func (a *Archive) Baseline(fingerprint string) (Entry, bool, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	idx, err := a.load()
+	if err != nil {
+		return Entry{}, false, err
+	}
+	id, ok := idx.baselines[fingerprint]
+	if !ok {
+		return Entry{}, false, nil
+	}
+	e, ok := latestOf(idx.entries, func(e Entry) bool { return e.ID == id })
+	return e, ok, nil
+}
+
+// BaselineByName returns the most recently blessed baseline among runs
+// whose set name matches, regardless of fingerprint: a scenario
+// re-recorded under a new seed or config must not make its previously
+// blessed baseline unreachable by name.
+func (a *Archive) BaselineByName(name string) (Entry, bool, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	idx, err := a.load()
+	if err != nil {
+		return Entry{}, false, err
+	}
+	blessed := make(map[string]bool, len(idx.baselines))
+	for _, id := range idx.baselines {
+		blessed[id] = true
+	}
+	e, ok := latestOf(idx.entries, func(e Entry) bool {
+		return e.Name == name && blessed[e.ID] && idx.baselines[e.Fingerprint] == e.ID
+	})
+	return e, ok, nil
+}
+
+// Baselines returns the fingerprint -> run ID baseline map.
+func (a *Archive) Baselines() (map[string]string, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	idx, err := a.load()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]string, len(idx.baselines))
+	for k, v := range idx.baselines {
+		out[k] = v
+	}
+	return out, nil
+}
+
+// GC keeps the newest keep entries per fingerprint (plus every
+// baseline), drops the rest from the index, and deletes objects no
+// remaining entry references. It returns the removed run IDs.
+func (a *Archive) GC(keep int) ([]string, error) {
+	if keep < 1 {
+		keep = 1
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	idx, err := a.load()
+	if err != nil {
+		return nil, err
+	}
+	pinned := make(map[string]bool, len(idx.baselines))
+	for _, id := range idx.baselines {
+		pinned[id] = true
+	}
+	seen := make(map[string]int) // fingerprint -> kept count
+	var kept []Entry
+	for i := len(idx.entries) - 1; i >= 0; i-- {
+		e := idx.entries[i]
+		if seen[e.Fingerprint] < keep || pinned[e.ID] {
+			seen[e.Fingerprint]++
+			kept = append(kept, e)
+		}
+	}
+	// kept was gathered newest-first; restore record order.
+	sort.Slice(kept, func(i, j int) bool { return kept[i].Seq < kept[j].Seq })
+
+	live := make(map[string]bool, len(kept))
+	for _, e := range kept {
+		live[e.ID] = true
+	}
+	var removed []string
+	for _, e := range idx.entries {
+		if !live[e.ID] {
+			live[e.ID] = true // dedup: the same object may back several entries
+			removed = append(removed, e.ID)
+			if err := os.Remove(a.objectPath(e.ID)); err != nil && !os.IsNotExist(err) {
+				return nil, fmt.Errorf("store: gc: %w", err)
+			}
+		}
+	}
+	idx.entries = kept
+	return removed, a.save(idx)
+}
+
+// short abbreviates a run ID for messages.
+func short(id string) string {
+	if len(id) > 12 {
+		return id[:12]
+	}
+	return id
+}
+
+// load parses the index file; a missing file is an empty archive.
+func (a *Archive) load() (*index, error) {
+	idx := &index{baselines: make(map[string]string)}
+	data, err := os.ReadFile(a.indexPath())
+	if os.IsNotExist(err) {
+		return idx, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	lines := strings.Split(string(data), "\n")
+	if len(lines) == 0 || strings.TrimSpace(lines[0]) != indexHeader {
+		return nil, fmt.Errorf("store: bad index header")
+	}
+	for n, line := range lines[1:] {
+		fields := strings.Fields(line)
+		switch {
+		case len(fields) == 0:
+		case fields[0] == "run":
+			// The trailing name is %q-quoted and may contain spaces:
+			// split off the four fixed fields, unquote the rest.
+			parts := strings.SplitN(line, " ", 5)
+			if len(parts) != 5 {
+				return nil, fmt.Errorf("store: index line %d: malformed run entry %q", n+2, line)
+			}
+			seq, err := strconv.Atoi(parts[1])
+			if err != nil {
+				return nil, fmt.Errorf("store: index line %d: %w", n+2, err)
+			}
+			name, err := strconv.Unquote(parts[4])
+			if err != nil {
+				return nil, fmt.Errorf("store: index line %d: name: %w", n+2, err)
+			}
+			fp := parts[3]
+			if fp == "-" {
+				fp = ""
+			}
+			idx.entries = append(idx.entries, Entry{
+				Seq: seq, ID: parts[2], Fingerprint: fp, Name: name,
+			})
+		case fields[0] == "baseline" && len(fields) == 3:
+			idx.baselines[fields[1]] = fields[2]
+		default:
+			return nil, fmt.Errorf("store: index line %d: unrecognized %q", n+2, line)
+		}
+	}
+	return idx, nil
+}
+
+// save atomically rewrites the index file.
+func (a *Archive) save(idx *index) error {
+	var b strings.Builder
+	b.WriteString(indexHeader + "\n")
+	for _, e := range idx.entries {
+		fmt.Fprintf(&b, "run %d %s %s %q\n", e.Seq, e.ID, orDash(e.Fingerprint), e.Name)
+	}
+	fps := make([]string, 0, len(idx.baselines))
+	for fp := range idx.baselines {
+		fps = append(fps, fp)
+	}
+	sort.Strings(fps)
+	for _, fp := range fps {
+		fmt.Fprintf(&b, "baseline %s %s\n", fp, idx.baselines[fp])
+	}
+	return atomicWrite(a.indexPath(), []byte(b.String()))
+}
+
+// orDash substitutes "-" for an empty fingerprint so the index stays
+// whitespace-splittable.
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

@@ -1,0 +1,296 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"osprof/internal/core"
+)
+
+func testRun(fp, name string, latencies ...uint64) *core.Run {
+	s := core.NewSet(name)
+	for _, l := range latencies {
+		s.Record("read", l)
+	}
+	return &core.Run{
+		Fingerprint: fp,
+		Meta:        map[string]string{"scenario": name},
+		Set:         s,
+	}
+}
+
+func open(t *testing.T) *Archive {
+	t.Helper()
+	a, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	a := open(t)
+	id, created, err := a.Put(testRun("fp1", "ext2/grep", 100, 5000))
+	if err != nil || !created {
+		t.Fatalf("Put: id=%s created=%v err=%v", id, created, err)
+	}
+	if len(id) != 64 {
+		t.Fatalf("id %q is not a sha256 hex", id)
+	}
+	got, err := a.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fingerprint != "fp1" || got.Name() != "ext2/grep" || got.Set.TotalOps() != 2 {
+		t.Errorf("round trip mangled: %+v", got)
+	}
+	if got.Meta["scenario"] != "ext2/grep" {
+		t.Errorf("meta lost: %v", got.Meta)
+	}
+}
+
+// Identical runs are content-addressed into the same object: rerunning
+// a deterministic world deduplicates instead of growing the archive.
+func TestPutDeduplicatesIdenticalRuns(t *testing.T) {
+	a := open(t)
+	id1, created1, _ := a.Put(testRun("fp1", "s", 100))
+	id2, created2, err := a.Put(testRun("fp1", "s", 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 != id2 {
+		t.Errorf("identical runs got different ids: %s vs %s", id1, id2)
+	}
+	if !created1 || created2 {
+		t.Errorf("created flags: %v %v, want true false", created1, created2)
+	}
+	entries, _ := a.List()
+	if len(entries) != 1 {
+		t.Errorf("index grew on dedup: %d entries", len(entries))
+	}
+	// A different run of the same fingerprint appends.
+	id3, created3, _ := a.Put(testRun("fp1", "s", 100, 200))
+	if id3 == id1 || !created3 {
+		t.Errorf("different content must create: id=%s created=%v", id3, created3)
+	}
+	entries, _ = a.List()
+	if len(entries) != 2 || entries[0].Seq >= entries[1].Seq {
+		t.Errorf("bad entries: %+v", entries)
+	}
+}
+
+func TestLatestAndLatestByName(t *testing.T) {
+	a := open(t)
+	a.Put(testRun("fp1", "s", 100))
+	id2, _, _ := a.Put(testRun("fp1", "s", 200))
+	id3, _, _ := a.Put(testRun("fp2", "other", 300))
+
+	e, ok, err := a.Latest("fp1")
+	if err != nil || !ok || e.ID != id2 {
+		t.Errorf("Latest(fp1) = %+v ok=%v err=%v, want %s", e, ok, err, id2)
+	}
+	e, ok, _ = a.LatestByName("other")
+	if !ok || e.ID != id3 || e.Fingerprint != "fp2" {
+		t.Errorf("LatestByName = %+v ok=%v", e, ok)
+	}
+	if _, ok, _ := a.Latest("nope"); ok {
+		t.Error("Latest found a ghost fingerprint")
+	}
+}
+
+func TestGetByUniquePrefix(t *testing.T) {
+	a := open(t)
+	id, _, _ := a.Put(testRun("fp1", "s", 100))
+	got, err := a.Get(id[:10])
+	if err != nil || got.Set.TotalOps() != 1 {
+		t.Fatalf("prefix get: %v", err)
+	}
+	if _, err := a.Get("zzzz"); err == nil {
+		t.Error("Get accepted an unknown prefix")
+	}
+}
+
+func TestBaselines(t *testing.T) {
+	a := open(t)
+	id1, _, _ := a.Put(testRun("fp1", "s", 100))
+	id2, _, _ := a.Put(testRun("fp1", "s", 200))
+
+	if err := a.SetBaseline("fp1", id1[:12]); err != nil {
+		t.Fatal(err)
+	}
+	e, ok, err := a.Baseline("fp1")
+	if err != nil || !ok || e.ID != id1 {
+		t.Errorf("Baseline = %+v ok=%v err=%v, want %s", e, ok, err, id1)
+	}
+	// Latest is unaffected by blessing.
+	if e, _, _ := a.Latest("fp1"); e.ID != id2 {
+		t.Errorf("Latest moved to the baseline: %s", e.ID)
+	}
+	if _, ok, _ := a.Baseline("fp2"); ok {
+		t.Error("baseline for unknown fingerprint")
+	}
+	if err := a.SetBaseline("fp1", "deadbeef"); err == nil {
+		t.Error("SetBaseline accepted an unknown run")
+	}
+	if err := a.SetBaseline("", id1); err == nil {
+		t.Error("SetBaseline accepted an empty fingerprint")
+	}
+	bl, _ := a.Baselines()
+	if bl["fp1"] != id1 {
+		t.Errorf("Baselines() = %v", bl)
+	}
+}
+
+// A blessed baseline stays reachable by scenario name even after the
+// scenario is re-recorded under a different fingerprint (new seed or
+// config): BaselineByName scans blessed runs, not the latest run's
+// fingerprint.
+func TestBaselineByNameSurvivesReRecord(t *testing.T) {
+	a := open(t)
+	id1, _, _ := a.Put(testRun("fp-seed1", "s", 100))
+	if err := a.SetBaseline("fp-seed1", id1); err != nil {
+		t.Fatal(err)
+	}
+	// Re-record the same scenario name under a different fingerprint.
+	a.Put(testRun("fp-seed2", "s", 200))
+
+	e, ok, err := a.BaselineByName("s")
+	if err != nil || !ok || e.ID != id1 || e.Fingerprint != "fp-seed1" {
+		t.Errorf("BaselineByName = %+v ok=%v err=%v, want %s", e, ok, err, id1)
+	}
+	// A newer blessing wins.
+	id3, _, _ := a.Put(testRun("fp-seed2", "s", 300))
+	if err := a.SetBaseline("fp-seed2", id3); err != nil {
+		t.Fatal(err)
+	}
+	if e, _, _ := a.BaselineByName("s"); e.ID != id3 {
+		t.Errorf("newest blessing not returned: %s, want %s", e.ID, id3)
+	}
+	if _, ok, _ := a.BaselineByName("ghost"); ok {
+		t.Error("baseline for unknown name")
+	}
+}
+
+func TestGCKeepsLatestAndBaselines(t *testing.T) {
+	a := open(t)
+	idOld, _, _ := a.Put(testRun("fp1", "s", 100))
+	idMid, _, _ := a.Put(testRun("fp1", "s", 200))
+	idNew, _, _ := a.Put(testRun("fp1", "s", 300))
+	idOther, _, _ := a.Put(testRun("fp2", "o", 400))
+	if err := a.SetBaseline("fp1", idOld); err != nil {
+		t.Fatal(err)
+	}
+
+	removed, err := a.GC(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 1 || removed[0] != idMid {
+		t.Errorf("removed %v, want [%s]", removed, idMid)
+	}
+	for _, id := range []string{idOld, idNew, idOther} {
+		if _, err := a.Get(id); err != nil {
+			t.Errorf("GC dropped a live run %s: %v", id[:12], err)
+		}
+	}
+	if _, err := a.Get(idMid); err == nil {
+		t.Error("GC kept the pruned run readable via the index")
+	}
+	if _, err := os.Stat(a.objectPath(idMid)); !os.IsNotExist(err) {
+		t.Error("GC left the pruned object on disk")
+	}
+	// Entries stay in record order after GC.
+	entries, _ := a.List()
+	for i := 1; i < len(entries); i++ {
+		if entries[i-1].Seq >= entries[i].Seq {
+			t.Errorf("entries out of order after GC: %+v", entries)
+		}
+	}
+}
+
+// The parallel runner archives from worker goroutines; concurrent Puts
+// must never lose entries or corrupt the index.
+func TestConcurrentPuts(t *testing.T) {
+	a := open(t)
+	const n = 16
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, _, err := a.Put(testRun("fp", "s", uint64(100+i))); err != nil {
+				t.Errorf("Put %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	entries, err := a.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != n {
+		t.Errorf("%d entries, want %d", len(entries), n)
+	}
+	seen := map[int]bool{}
+	for _, e := range entries {
+		if seen[e.Seq] {
+			t.Errorf("duplicate seq %d", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+}
+
+// Set names may contain spaces (core imposes no restrictions); the
+// quoted index field must survive them — a space once permanently
+// corrupted the index because load split on whitespace.
+func TestNamesWithSpacesSurviveIndexRoundTrip(t *testing.T) {
+	a := open(t)
+	id, _, err := a.Put(testRun("fp1", `name with "quotes" and spaces`, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := a.List()
+	if err != nil {
+		t.Fatalf("index unreadable after spaced name: %v", err)
+	}
+	if len(entries) != 1 || entries[0].Name != `name with "quotes" and spaces` {
+		t.Errorf("entries: %+v", entries)
+	}
+	if e, ok, err := a.LatestByName(`name with "quotes" and spaces`); err != nil || !ok || e.ID != id {
+		t.Errorf("LatestByName: %+v ok=%v err=%v", e, ok, err)
+	}
+	// The archive keeps working (further writes load the index).
+	if _, _, err := a.Put(testRun("fp2", "plain", 200)); err != nil {
+		t.Errorf("archive wedged after spaced name: %v", err)
+	}
+}
+
+func TestCorruptIndexRejected(t *testing.T) {
+	a := open(t)
+	a.Put(testRun("fp", "s", 100))
+	if err := os.WriteFile(a.indexPath(), []byte("not an index\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.List(); err == nil || !strings.Contains(err.Error(), "index") {
+		t.Errorf("corrupt index not detected: %v", err)
+	}
+}
+
+// No temp droppings survive a Put (atomic-write hygiene).
+func TestNoTempFilesLeft(t *testing.T) {
+	a := open(t)
+	a.Put(testRun("fp", "s", 100))
+	var stray []string
+	filepath.Walk(a.Dir(), func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && strings.HasPrefix(filepath.Base(path), ".tmp-") {
+			stray = append(stray, path)
+		}
+		return nil
+	})
+	if len(stray) > 0 {
+		t.Errorf("temp files left behind: %v", stray)
+	}
+}

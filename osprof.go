@@ -31,8 +31,10 @@ import (
 
 	"osprof/internal/analysis"
 	"osprof/internal/core"
+	"osprof/internal/diff"
 	"osprof/internal/report"
 	"osprof/internal/scenario"
+	"osprof/internal/store"
 )
 
 // Re-exported collection types (see internal/core).
@@ -135,6 +137,62 @@ func WriteSet(w io.Writer, s *Set) error { return core.WriteSet(w, s) }
 // ReadSet parses a serialized profile set.
 func ReadSet(r io.Reader) (*Set, error) { return core.ReadSet(r) }
 
+// Re-exported run-archive and differential-analysis types (see
+// internal/core, internal/store, internal/diff).
+type (
+	// Run is a recorded profiling run: a profile set wrapped with the
+	// fingerprint of the configuration that produced it and metadata.
+	Run = core.Run
+
+	// Archive is the content-addressed on-disk run archive.
+	Archive = store.Archive
+
+	// ArchiveEntry describes one recorded run in the archive index.
+	ArchiveEntry = store.Entry
+
+	// DiffEngine classifies per-operation changes between two runs.
+	DiffEngine = diff.Engine
+
+	// DiffReport is the pairwise differential analysis of two runs.
+	DiffReport = diff.Report
+
+	// OpDiff is the differential verdict for one operation.
+	OpDiff = diff.OpDiff
+
+	// Verdict classifies one operation's change between two runs.
+	Verdict = diff.Verdict
+)
+
+// Differential verdicts.
+const (
+	Unchanged   = diff.Unchanged
+	ShiftedPeak = diff.ShiftedPeak
+	NewPeak     = diff.NewPeak
+	LostPeak    = diff.LostPeak
+	Reshaped    = diff.Reshaped
+	NewOp       = diff.NewOp
+	MissingOp   = diff.MissingOp
+)
+
+// WriteRun serializes a run envelope (fingerprint + metadata + set).
+func WriteRun(w io.Writer, r *Run) error { return core.WriteRun(w, r) }
+
+// ReadRun parses a run envelope; bare profile sets are accepted too.
+func ReadRun(r io.Reader) (*Run, error) { return core.ReadRun(r) }
+
+// OpenArchive opens (creating if needed) the run archive at dir.
+func OpenArchive(dir string) (*Archive, error) { return store.Open(dir) }
+
+// NewDiff returns a differential-analysis engine with the standard
+// selector (EMD scoring, the paper's recommended metric).
+func NewDiff() *DiffEngine { return diff.New() }
+
+// RenderDiff writes the differential report with side-by-side
+// histograms of the changed operations.
+func RenderDiff(w io.Writer, d *DiffReport, a, b *Set) {
+	report.Diff(w, d, a, b, report.Options{})
+}
+
 // Render writes a paper-style ASCII histogram of a profile.
 func Render(w io.Writer, p *Profile) { report.Profile(w, p, report.Options{}) }
 
@@ -209,6 +267,11 @@ func BuildScenario(spec Scenario) (*ScenarioStack, error) { return scenario.Buil
 
 // RunScenario builds a Scenario and runs its workloads to completion.
 func RunScenario(spec Scenario) (*ScenarioStack, error) { return scenario.RunSpec(spec) }
+
+// ScenarioVariants returns the named kernel-configuration variant
+// scenarios (pairs differing only in kernel build options, for
+// record/diff workflows).
+func ScenarioVariants(seed int64) []Scenario { return scenario.Variants(seed) }
 
 // ScenarioMatrix returns the standard backend×workload scenario
 // matrix, seeded with seed.

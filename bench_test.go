@@ -155,6 +155,66 @@ func BenchmarkConcurrentRecordSharded(b *testing.B) {
 	}
 }
 
+// --- Live Recorder hot path ------------------------------------------
+//
+// The live API's promise is that an always-on Recorder costs a map
+// read plus an atomic histogram update per operation — and zero
+// allocations, the property that makes it deployable in production
+// (the paper's ~200-cycle budget, §5.2).
+
+// benchRecorderHot measures one Record through the given recorder.
+func benchRecorderHot(b *testing.B, rec *osprof.Recorder) {
+	rec.Record("op", 0) // materialize the collector outside the loop
+	start := rec.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Record("op", start)
+	}
+}
+
+func BenchmarkRecorderHotUnsync(b *testing.B) {
+	benchRecorderHot(b, osprof.NewRecorder())
+}
+
+func BenchmarkRecorderHotLocked(b *testing.B) {
+	benchRecorderHot(b, osprof.NewRecorder(osprof.WithLockingMode(osprof.Locked)))
+}
+
+func BenchmarkRecorderHotSharded(b *testing.B) {
+	benchRecorderHot(b, osprof.NewRecorder(
+		osprof.WithLockingMode(osprof.Sharded), osprof.WithShards(8)))
+}
+
+// BenchmarkRecorderHot is the headline number: the default (Unsync)
+// configuration, plus an AllocsPerRun assertion so an allocation
+// sneaking into the hot path fails the benchmark run, not just a
+// separate test.
+func BenchmarkRecorderHot(b *testing.B) {
+	rec := osprof.NewRecorder()
+	if allocs := testing.AllocsPerRun(100, func() { rec.Record("op", 0) }); allocs != 0 {
+		b.Fatalf("Record allocates %v objects/op, want 0", allocs)
+	}
+	benchRecorderHot(b, rec)
+}
+
+func TestRecorderRecordAllocationFree(t *testing.T) {
+	// The ISSUE 4 acceptance bar: 0 allocs/op for Record in Unsync and
+	// Sharded modes (Locked is asserted too — same code shape).
+	for name, rec := range map[string]*osprof.Recorder{
+		"unsync":  osprof.NewRecorder(),
+		"sharded": osprof.NewRecorder(osprof.WithLockingMode(osprof.Sharded), osprof.WithShards(8)),
+		"locked":  osprof.NewRecorder(osprof.WithLockingMode(osprof.Locked)),
+	} {
+		rec.Record("op", 0)
+		if allocs := testing.AllocsPerRun(100, func() { rec.Record("op", 0) }); allocs != 0 {
+			t.Errorf("%s: Record allocates %v objects/op, want 0", name, allocs)
+		}
+		if allocs := testing.AllocsPerRun(100, func() { rec.Start("op").End() }); allocs != 0 {
+			t.Errorf("%s: Start/End allocates %v objects/op, want 0", name, allocs)
+		}
+	}
+}
+
 // --- Analysis micro-benchmarks ---------------------------------------
 
 func benchProfilePair() (*osprof.Profile, *osprof.Profile) {

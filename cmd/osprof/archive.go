@@ -1,7 +1,6 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -191,40 +190,25 @@ func isRunRef(s string) bool {
 	return false
 }
 
-// resolveRun loads the run a reference names.
+// resolveRun loads the run a reference names: a local envelope file,
+// or anything store.Archive.ResolveRef understands (latest:<name>,
+// baseline:<name>, a run-ID prefix — the same resolver `osprof serve`
+// uses).
 func resolveRun(arch *store.Archive, ref string) (*core.Run, error) {
-	switch {
-	case strings.HasPrefix(ref, "latest:"):
-		name := strings.TrimPrefix(ref, "latest:")
-		e, ok, err := arch.LatestByName(name)
+	if st, err := os.Stat(ref); err == nil && !st.IsDir() &&
+		!strings.HasPrefix(ref, "latest:") && !strings.HasPrefix(ref, "baseline:") {
+		f, err := os.Open(ref)
 		if err != nil {
 			return nil, err
 		}
-		if !ok {
-			return nil, fmt.Errorf("no recorded run for scenario %q (try `osprof record %s`)", name, name)
-		}
-		return arch.Get(e.ID)
-	case strings.HasPrefix(ref, "baseline:"):
-		name := strings.TrimPrefix(ref, "baseline:")
-		b, ok, err := arch.BaselineByName(name)
-		if err != nil {
-			return nil, err
-		}
-		if !ok {
-			return nil, fmt.Errorf("no baseline for scenario %q (try `osprof baseline %s`)", name, name)
-		}
-		return arch.Get(b.ID)
-	default:
-		if st, err := os.Stat(ref); err == nil && !st.IsDir() {
-			f, err := os.Open(ref)
-			if err != nil {
-				return nil, err
-			}
-			defer f.Close()
-			return core.ReadRun(f)
-		}
-		return arch.Get(ref)
+		defer f.Close()
+		return core.ReadRun(f)
 	}
+	id, err := arch.ResolveRef(ref)
+	if err != nil {
+		return nil, fmt.Errorf("%w (try `osprof record list` and `osprof record <id>`)", err)
+	}
+	return arch.Get(id)
 }
 
 // diffPair renders the differential analysis of two referenced runs.
@@ -241,7 +225,7 @@ func diffPair(arch *store.Archive, refA, refB string, jsonOut bool, stdout, stde
 	}
 	rep := diff.New().Runs(a, b)
 	if jsonOut {
-		if err := writeJSON(stdout, rep); err != nil {
+		if err := report.JSON(stdout, rep); err != nil {
 			fmt.Fprintf(stderr, "osprof: %v\n", err)
 			return 2
 		}
@@ -314,7 +298,7 @@ func diffGate(arch *store.Archive, rest []string, seed int64, fps map[string]str
 
 	m := diff.New().Matrix(baselines, fresh)
 	if jsonOut {
-		if err := writeJSON(stdout, m); err != nil {
+		if err := report.JSON(stdout, m); err != nil {
 			fmt.Fprintf(stderr, "osprof: %v\n", err)
 			return 2
 		}
@@ -326,11 +310,4 @@ func diffGate(arch *store.Archive, rest []string, seed int64, fps map[string]str
 		return 1
 	}
 	return 0
-}
-
-// writeJSON emits v as indented JSON.
-func writeJSON(w io.Writer, v any) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(v)
 }

@@ -44,6 +44,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jsonOut := fs.Bool("json", false, "emit JSON results")
 	seed := fs.Int64("seed", 1, "base seed for the scenario matrix")
 	archiveDir := fs.String("archive", "osprof-archive", "profile archive directory")
+	addr := fs.String("addr", "127.0.0.1:7971", "listen address for `osprof serve`")
+	keep := fs.Int("keep", 5, "runs kept per fingerprint by `osprof archive gc`")
 
 	pos, err := parseInterleaved(fs, args)
 	if err != nil {
@@ -108,6 +110,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	case "diff":
 		return cmdDiff(rest, *seed, *archiveDir, opt, *jsonOut, stdout, stderr)
+
+	case "serve":
+		return cmdServe(rest, *archiveDir, *addr, stdout, stderr)
+
+	case "archive":
+		return cmdArchive(rest, *archiveDir, *keep, *jsonOut, stdout, stderr)
 
 	default:
 		usage(stderr)
@@ -208,6 +216,12 @@ func usage(w io.Writer) {
   osprof [flags] diff <refA> <refB>   differential analysis of two runs
   osprof [flags] diff [<id>...]       regression gate: re-record and diff
                                       each scenario against its baseline
+  osprof [flags] serve                HTTP/JSON service over the archive
+                                      (POST /v1/ingest, GET /v1/runs,
+                                      GET /v1/diff/{a}/{b}, /v1/baseline)
+  osprof [flags] archive list         list the archived runs
+  osprof [flags] archive gc           trim the archive (keep -keep runs
+                                      per fingerprint, baselines pinned)
 run references: latest:<scenario>, baseline:<scenario>, a run-ID prefix
 from the archive, or a path to an osprof-run/osprof-set file.
 flags:
@@ -215,6 +229,9 @@ flags:
   -json         emit structured results as JSON
   -seed S       base seed for the scenario matrix (default 1)
   -archive DIR  profile archive directory (default osprof-archive)
+  -addr A       serve listen address (default 127.0.0.1:7971; use :0
+                for a random port, printed on startup)
+  -keep N       runs kept per fingerprint by archive gc (default 5)
 exit codes: 0 ok / no differences, 1 failed checks or differences
 found, 2 usage or archive errors.`)
 }

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+
+	"osprof/internal/report"
+	"osprof/internal/serve"
+	"osprof/internal/store"
+)
+
+// This file implements the service and archive-maintenance
+// subcommands: `osprof serve` exposes the run archive over HTTP/JSON
+// (ingest, list, diff, baselines) so the record/diff workflow works
+// over the network, and `osprof archive` wires the store's
+// housekeeping (list, gc) that previously had no CLI reach.
+
+// listenArchive opens the archive and binds the listener: the
+// testable half of cmdServe. Using addr ":0" (or "127.0.0.1:0") picks
+// a free port; the chosen address is printed before serving starts so
+// scripts can scrape it.
+func listenArchive(archiveDir, addr string) (net.Listener, http.Handler, error) {
+	arch, err := store.Open(archiveDir)
+	if err != nil {
+		return nil, nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ln, serve.Handler(arch), nil
+}
+
+// cmdServe implements `osprof serve`: a long-running HTTP/JSON service
+// over the archive. It blocks until the listener fails (or the process
+// is killed).
+func cmdServe(rest []string, archiveDir, addr string, stdout, stderr io.Writer) int {
+	if len(rest) != 0 {
+		fmt.Fprintf(stderr, "osprof: serve takes no positional arguments, got %q\n", rest)
+		return 2
+	}
+	ln, handler, err := listenArchive(archiveDir, addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "osprof: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "osprof: serving archive %q at http://%s\n", archiveDir, ln.Addr())
+	if err := http.Serve(ln, handler); err != nil {
+		fmt.Fprintf(stderr, "osprof: %v\n", err)
+		return 2
+	}
+	return 0
+}
+
+// cmdArchive implements `osprof archive list|gc`.
+func cmdArchive(rest []string, archiveDir string, keep int, jsonOut bool, stdout, stderr io.Writer) int {
+	if len(rest) != 1 || (rest[0] != "list" && rest[0] != "gc") {
+		fmt.Fprintln(stderr, "osprof: usage: osprof archive list | osprof archive gc [-keep N]")
+		return 2
+	}
+	arch, err := store.Open(archiveDir)
+	if err != nil {
+		fmt.Fprintf(stderr, "osprof: %v\n", err)
+		return 2
+	}
+	switch rest[0] {
+	case "list":
+		entries, err := arch.List()
+		if err != nil {
+			fmt.Fprintf(stderr, "osprof: %v\n", err)
+			return 2
+		}
+		if jsonOut {
+			if err := report.JSON(stdout, report.RunList(entries)); err != nil {
+				fmt.Fprintf(stderr, "osprof: %v\n", err)
+				return 2
+			}
+			return 0
+		}
+		for _, e := range entries {
+			fmt.Fprintf(stdout, "run %-4d %.12s fingerprint=%.12s %s\n",
+				e.Seq, e.ID, orDash(e.Fingerprint), e.Name)
+		}
+		return 0
+
+	case "gc":
+		removed, err := arch.GC(keep)
+		if err != nil {
+			fmt.Fprintf(stderr, "osprof: %v\n", err)
+			return 2
+		}
+		if jsonOut {
+			doc := struct {
+				Schema  string   `json:"schema"`
+				Keep    int      `json:"keep"`
+				Removed []string `json:"removed"`
+			}{Schema: "osprof-gc/v1", Keep: keep, Removed: removed}
+			if doc.Removed == nil {
+				doc.Removed = []string{}
+			}
+			if err := report.JSON(stdout, doc); err != nil {
+				fmt.Fprintf(stderr, "osprof: %v\n", err)
+				return 2
+			}
+			return 0
+		}
+		for _, id := range removed {
+			fmt.Fprintf(stdout, "removed %.12s\n", id)
+		}
+		fmt.Fprintf(stdout, "gc: kept newest %d per fingerprint (baselines pinned), removed %d runs\n",
+			keep, len(removed))
+		return 0
+	}
+	return 2
+}
+
+// orDash substitutes "-" for an empty fingerprint in listings.
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

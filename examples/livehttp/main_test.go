@@ -1,0 +1,118 @@
+package main
+
+// The end-to-end acceptance test of the live profiling story: the
+// example server profiles its own handlers while serving real
+// httptest-driven requests, exports its run envelope, and the envelope
+// round-trips through an `osprof serve` instance — ingested, listed,
+// and self-diffed back as an all-unchanged JSON report.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"osprof"
+	"osprof/internal/diff"
+	"osprof/internal/report"
+	"osprof/internal/serve"
+	"osprof/internal/store"
+)
+
+func get(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d\n%s", url, resp.StatusCode, body)
+	}
+	return body
+}
+
+func TestLivehttpProfilesItselfAndRoundTripsThroughServe(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	a := newApp(ctx)
+	app := httptest.NewServer(a.mux)
+	defer app.Close()
+
+	// Drive real traffic through the instrumented routes.
+	for i := 0; i < 25; i++ {
+		get(t, app.URL+"/hello")
+		if i%5 == 0 {
+			get(t, app.URL+"/work?n=50")
+		}
+	}
+
+	// The server's own profile reflects the traffic just served.
+	snap := a.session.Snapshot()
+	if n := snap.Lookup("GET /hello").Count; n != 25 {
+		t.Errorf("GET /hello count = %d, want 25", n)
+	}
+	if n := snap.Lookup("GET /work").Count; n != 5 {
+		t.Errorf("GET /work count = %d, want 5", n)
+	}
+	if p := snap.Lookup("work.write"); p == nil || p.Count == 0 {
+		t.Error("instrumented writer recorded nothing")
+	}
+	profileText := string(get(t, app.URL+"/profile"))
+	if !strings.Contains(profileText, "GET /HELLO") {
+		t.Errorf("/profile rendering misses the route histogram:\n%.400s", profileText)
+	}
+
+	// Export the envelope and ingest it into an osprof serve instance.
+	envelope := get(t, app.URL+"/profile/run")
+	arch, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := httptest.NewServer(serve.Handler(arch))
+	defer svc.Close()
+
+	resp, err := http.Post(svc.URL+"/v1/ingest", "text/plain", bytes.NewReader(envelope))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ing serve.IngestDoc
+	if err := json.NewDecoder(resp.Body).Decode(&ing); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !ing.Created || ing.Name != "livehttp" {
+		t.Fatalf("ingest: status=%d doc=%+v", resp.StatusCode, ing)
+	}
+
+	// The service lists the run...
+	var runs report.RunListDoc
+	if err := json.Unmarshal(get(t, svc.URL+"/v1/runs"), &runs); err != nil {
+		t.Fatal(err)
+	}
+	if len(runs.Runs) != 1 || runs.Runs[0].ID != ing.ID || runs.Runs[0].Name != "livehttp" {
+		t.Fatalf("runs listing: %+v", runs)
+	}
+
+	// ...and an all-unchanged self-diff comes back as JSON.
+	var rep diff.Report
+	if err := json.Unmarshal(get(t, svc.URL+"/v1/diff/"+ing.ID+"/latest:livehttp"), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != diff.Schema || rep.Changed != 0 || len(rep.Ops) == 0 {
+		t.Fatalf("self-diff: %+v", rep)
+	}
+	for _, op := range rep.Ops {
+		if op.Verdict != osprof.Unchanged {
+			t.Errorf("op %s: verdict %s, want unchanged", op.Op, op.Verdict)
+		}
+	}
+}

@@ -24,7 +24,9 @@ const (
 	Locked
 
 	// Sharded gives each thread its own bucket array, merged at read
-	// time; no updates are lost on systems with any number of CPUs.
+	// time; no updates are lost on systems with any number of CPUs, as
+	// long as each concurrent writer uses its own shard. Writers that
+	// share a shard degrade to Unsync-style lossy updates.
 	Sharded
 )
 
@@ -56,10 +58,16 @@ type shardTotals struct {
 	_     [5]uint64 // pad to 64 bytes
 }
 
-// ConcurrentProfile is a fixed-resolution-1 histogram safe for use from
-// multiple goroutines, with a selectable update strategy.
+// ConcurrentProfile is a histogram safe for use from multiple
+// goroutines, with a selectable update strategy. All bucket and header
+// updates go through atomic loads and stores (lossy or not according to
+// Mode), so Snapshot may run at any time, concurrently with writers,
+// and observes a well-defined (if slightly stale) state — the property
+// the live Recorder API relies on to export profiles from a running
+// program without stopping it.
 type ConcurrentProfile struct {
 	Op     string
+	R      int
 	Mode   LockingMode
 	shards [][]uint64
 	totals []shardTotals
@@ -68,16 +76,30 @@ type ConcurrentProfile struct {
 	attempts atomic.Uint64
 }
 
-// NewConcurrentProfile creates a concurrent histogram for op. shards is
-// the number of per-thread bucket arrays used in Sharded mode (ignored
-// otherwise; one array is used).
+// NewConcurrentProfile creates a concurrent histogram for op at
+// resolution 1. shards is the number of per-thread bucket arrays used
+// in Sharded mode (ignored otherwise; one array is used).
+//
+// Deprecated-leaning shim: new code should construct collectors via
+// the live Recorder options (internal/live, re-exported as
+// osprof.NewRecorder), which compose resolution, mode, shard count and
+// clock source; this constructor remains for direct low-level use.
 func NewConcurrentProfile(op string, mode LockingMode, shards int) *ConcurrentProfile {
+	return NewConcurrentProfileR(op, 1, mode, shards)
+}
+
+// NewConcurrentProfileR creates a concurrent histogram for op at
+// resolution r (buckets per doubling of latency, like NewProfileR).
+func NewConcurrentProfileR(op string, r int, mode LockingMode, shards int) *ConcurrentProfile {
+	if r < 1 {
+		r = 1
+	}
 	if mode != Sharded || shards < 1 {
 		shards = 1
 	}
-	p := &ConcurrentProfile{Op: op, Mode: mode, totals: make([]shardTotals, shards)}
+	p := &ConcurrentProfile{Op: op, R: r, Mode: mode, totals: make([]shardTotals, shards)}
 	for i := 0; i < shards; i++ {
-		p.shards = append(p.shards, make([]uint64, MaxBuckets+shardPad))
+		p.shards = append(p.shards, make([]uint64, NumBuckets(r)+shardPad))
 		p.totals[i].min = ^uint64(0)
 	}
 	return p
@@ -88,7 +110,7 @@ func NewConcurrentProfile(op string, mode LockingMode, shards int) *ConcurrentPr
 // other modes ignore it.
 func (p *ConcurrentProfile) Record(shard int, latency uint64) {
 	p.attempts.Add(1)
-	b := BucketFor(latency, 1)
+	b := BucketFor(latency, p.R)
 	switch p.Mode {
 	case Unsync:
 		// Lossy read-modify-write: two concurrent updaters can both
@@ -120,15 +142,25 @@ func (p *ConcurrentProfile) Record(shard int, latency uint64) {
 			}
 		}
 	case Sharded:
+		// Single writer per shard by contract, so a load/store pair
+		// loses nothing; using atomics (rather than plain ++) keeps
+		// Snapshot safe to run concurrently with writers. The index is
+		// folded into range (Go's % keeps the dividend's sign, and a
+		// caller-supplied negative shard must not panic a production
+		// recorder).
 		i := shard % len(p.shards)
-		p.shards[i][b]++
-		t := &p.totals[i]
-		t.total += latency
-		if latency < t.min {
-			t.min = latency
+		if i < 0 {
+			i += len(p.shards)
 		}
-		if latency > t.max {
-			t.max = latency
+		addr := &p.shards[i][b]
+		atomic.StoreUint64(addr, atomic.LoadUint64(addr)+1)
+		t := &p.totals[i]
+		atomic.StoreUint64(&t.total, atomic.LoadUint64(&t.total)+latency)
+		if latency < atomic.LoadUint64(&t.min) {
+			atomic.StoreUint64(&t.min, latency)
+		}
+		if latency > atomic.LoadUint64(&t.max) {
+			atomic.StoreUint64(&t.max, latency)
 		}
 	}
 }
@@ -136,11 +168,20 @@ func (p *ConcurrentProfile) Record(shard int, latency uint64) {
 // Snapshot merges all shards into a plain Profile, including the
 // Total/Min/Max header fields, so derived statistics (Mean, automated
 // analysis ordering by Total) work on the result.
+//
+// Snapshot is safe to call while writers are still recording: every
+// bucket is read atomically and Count is derived from the observed
+// bucket populations, so the result always passes Validate. Updates
+// that land mid-snapshot may be split between this snapshot and the
+// next (the header Total can lag or lead the buckets by the in-flight
+// operations), exactly the staleness a live /proc-style export has.
 func (p *ConcurrentProfile) Snapshot() *Profile {
-	out := NewProfile(p.Op)
+	out := NewProfileR(p.Op, p.R)
+	n := NumBuckets(p.R)
+	hasMin := false
 	for i, sh := range p.shards {
 		var shardCount uint64
-		for b := 0; b < MaxBuckets; b++ {
+		for b := 0; b < n; b++ {
 			c := atomic.LoadUint64(&sh[b])
 			out.Buckets[b] += c
 			shardCount += c
@@ -148,8 +189,15 @@ func (p *ConcurrentProfile) Snapshot() *Profile {
 		t := &p.totals[i]
 		out.Total += atomic.LoadUint64(&t.total)
 		if shardCount > 0 {
-			if min := atomic.LoadUint64(&t.min); out.Count == 0 || min < out.Min {
+			// A writer stores the bucket before the min, so a snapshot
+			// racing a shard's first-ever Record can observe a count
+			// with min still at its ^0 sentinel; skip it rather than
+			// export a garbage header. (A genuine latency of 2^64-1 is
+			// indistinguishable from the sentinel and also skipped —
+			// that is ~344 years of cycles, not a real request.)
+			if min := atomic.LoadUint64(&t.min); min != ^uint64(0) && (!hasMin || min < out.Min) {
 				out.Min = min
+				hasMin = true
 			}
 			if max := atomic.LoadUint64(&t.max); max > out.Max {
 				out.Max = max
@@ -168,8 +216,9 @@ func (p *ConcurrentProfile) Attempts() uint64 { return p.attempts.Load() }
 // writers have stopped).
 func (p *ConcurrentProfile) Lost() uint64 {
 	var sum uint64
+	n := NumBuckets(p.R)
 	for _, sh := range p.shards {
-		for b := 0; b < MaxBuckets; b++ {
+		for b := 0; b < n; b++ {
 			sum += atomic.LoadUint64(&sh[b])
 		}
 	}

@@ -134,3 +134,91 @@ func TestConcurrentSnapshotEmpty(t *testing.T) {
 		t.Errorf("empty snapshot not zero: %+v", snap)
 	}
 }
+
+func TestShardedNegativeShardDoesNotPanic(t *testing.T) {
+	p := NewConcurrentProfile("op", Sharded, 4)
+	p.Record(-1, 100)
+	p.Record(-5, 100)
+	if n := p.Snapshot().Count; n != 2 {
+		t.Errorf("count = %d, want 2", n)
+	}
+}
+
+func TestConcurrentProfileResolution(t *testing.T) {
+	p := NewConcurrentProfileR("op", 2, Sharded, 2)
+	// Matching single-writer reference profile at the same resolution.
+	want := NewProfileR("op", 2)
+	for i, lat := range []uint64{3, 100, 5_000, 1 << 30} {
+		p.Record(i%2, lat)
+		want.Record(lat)
+	}
+	snap := p.Snapshot()
+	if snap.R != 2 {
+		t.Fatalf("snapshot resolution = %d, want 2", snap.R)
+	}
+	if len(snap.Buckets) != NumBuckets(2) {
+		t.Fatalf("snapshot buckets = %d, want %d", len(snap.Buckets), NumBuckets(2))
+	}
+	for b := range want.Buckets {
+		if snap.Buckets[b] != want.Buckets[b] {
+			t.Errorf("bucket %d = %d, want %d", b, snap.Buckets[b], want.Buckets[b])
+		}
+	}
+	if p.Lost() != 0 {
+		t.Errorf("lost %d updates", p.Lost())
+	}
+}
+
+// Snapshot must be callable while writers are still recording (the
+// live-profiling export path): every intermediate snapshot passes the
+// bucket-sum checksum and counts grow monotonically, and under -race
+// this doubles as the proof that no mode's write path races with
+// Snapshot's reads.
+func TestSnapshotUnderConcurrentWrite(t *testing.T) {
+	for _, mode := range []LockingMode{Unsync, Locked, Sharded} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			p := NewConcurrentProfile("op", mode, 4)
+			const workers, perWorker = 4, 20_000
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				w := w
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < perWorker; i++ {
+						p.Record(w, uint64(i%1024+1))
+					}
+				}()
+			}
+			var last uint64
+			for i := 0; i < 100; i++ {
+				snap := p.Snapshot()
+				if err := snap.Validate(); err != nil {
+					t.Fatalf("mid-write snapshot: %v", err)
+				}
+				// Monotonic growth holds only for the lossless modes:
+				// Unsync's racing read-modify-writes can legitimately
+				// move a bucket value backwards.
+				if mode != Unsync && snap.Count < last {
+					t.Fatalf("count went backwards: %d -> %d", last, snap.Count)
+				}
+				// A snapshot racing a shard's first Record must not
+				// export the ^0 min sentinel as a real minimum.
+				if snap.Count > 0 && snap.Min > snap.Max {
+					t.Fatalf("garbage header mid-write: min=%d max=%d count=%d",
+						snap.Min, snap.Max, snap.Count)
+				}
+				last = snap.Count
+			}
+			wg.Wait()
+			final := p.Snapshot()
+			if err := final.Validate(); err != nil {
+				t.Error(err)
+			}
+			if mode != Unsync && final.Count != workers*perWorker {
+				t.Errorf("%v: final count = %d, want %d", mode, final.Count, workers*perWorker)
+			}
+		})
+	}
+}

@@ -20,6 +20,13 @@ type Sampled struct {
 	// [Start+i*Interval, Start+(i+1)*Interval).
 	Start uint64
 
+	// MaxSegments bounds the materialized segments (0 = unbounded,
+	// the historical behavior). Records past the window accumulate
+	// into the final segment, so a long-idle producer cannot force an
+	// unbounded burst of segment allocations on its next record —
+	// the guard the always-on live Recorder relies on.
+	MaxSegments int
+
 	segments []*Profile
 }
 
@@ -35,6 +42,9 @@ func (s *Sampled) Record(now, latency uint64) {
 	idx := 0
 	if now > s.Start && s.Interval > 0 {
 		idx = int((now - s.Start) / s.Interval)
+	}
+	if s.MaxSegments > 0 && idx >= s.MaxSegments {
+		idx = s.MaxSegments - 1
 	}
 	for len(s.segments) <= idx {
 		s.segments = append(s.segments,
@@ -57,6 +67,16 @@ func (s *Sampled) Segment(i int) *Profile {
 
 // Len reports the number of materialized segments.
 func (s *Sampled) Len() int { return len(s.segments) }
+
+// Clone returns a deep copy of the sampled profile, segments included.
+func (s *Sampled) Clone() *Sampled {
+	c := &Sampled{Op: s.Op, Interval: s.Interval, R: s.R, Start: s.Start,
+		MaxSegments: s.MaxSegments}
+	for _, seg := range s.segments {
+		c.segments = append(c.segments, seg.Clone())
+	}
+	return c
+}
 
 // Flatten merges all segments into a single conventional profile.
 func (s *Sampled) Flatten() *Profile {

@@ -78,3 +78,23 @@ func TestSampledValidate(t *testing.T) {
 		t.Error("Validate missed corrupted segment")
 	}
 }
+
+func TestSampledMaxSegmentsBoundsIdleGap(t *testing.T) {
+	s := NewSampled("op", 0, 10)
+	s.MaxSegments = 4
+	s.Record(5, 1)         // segment 0
+	s.Record(1_000_000, 2) // far past the window: folds into segment 3
+	s.Record(2_000_000, 3) // ditto
+	if s.Len() != 4 {
+		t.Fatalf("materialized %d segments, want capped 4", s.Len())
+	}
+	if s.Segment(3).Count != 2 {
+		t.Errorf("final segment count = %d, want 2", s.Segment(3).Count)
+	}
+	if c := s.Clone(); c.MaxSegments != 4 {
+		t.Errorf("Clone dropped MaxSegments: %d", c.MaxSegments)
+	}
+	if s.Flatten().Count != 3 {
+		t.Errorf("flatten count = %d", s.Flatten().Count)
+	}
+}

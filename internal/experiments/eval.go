@@ -10,6 +10,7 @@ import (
 	"osprof/internal/cycles"
 	"osprof/internal/fs/ext2"
 	"osprof/internal/fsprof"
+	"osprof/internal/live"
 	"osprof/internal/scenario"
 	"osprof/internal/sim"
 	"osprof/internal/synthetic"
@@ -449,7 +450,14 @@ func RunEvalLocking(p EvalLockingParams) *EvalLockingResult {
 		{core.Sharded, 8, false},
 	}
 	for _, cfg := range configs {
-		prof := core.NewConcurrentProfile("op", cfg.mode, cfg.workers)
+		// The collector is constructed through the live Recorder
+		// options — the same path a production program uses — but the
+		// workers hammer the pre-resolved handle directly: this
+		// experiment measures the raw §3.4 bucket-update strategies,
+		// so the recorder's per-call map read-lock must stay out of
+		// the contention being measured.
+		rec := live.New(live.WithLockingMode(cfg.mode), live.WithShards(cfg.workers))
+		prof := rec.Collector("op")
 		var wg sync.WaitGroup
 		for wkr := 0; wkr < cfg.workers; wkr++ {
 			wkr := wkr

@@ -1,0 +1,312 @@
+package live_test
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"osprof/internal/core"
+	"osprof/internal/live"
+	"osprof/internal/store"
+)
+
+// scriptClock returns a clock that replays values in order; it fails
+// the test if called more often than scripted. New() consumes the
+// first value for the sampling epoch.
+func scriptClock(t *testing.T, values ...uint64) func() uint64 {
+	t.Helper()
+	i := 0
+	return func() uint64 {
+		if i >= len(values) {
+			t.Fatalf("clock called %d times, scripted %d", i+1, len(values))
+		}
+		v := values[i]
+		i++
+		return v
+	}
+}
+
+func TestRecorderDefaults(t *testing.T) {
+	rec := live.New()
+	if rec.Resolution() != 1 || rec.Mode() != core.Unsync || rec.Shards() != 1 {
+		t.Errorf("defaults: r=%d mode=%v shards=%d", rec.Resolution(), rec.Mode(), rec.Shards())
+	}
+	if rec.SamplingInterval() != 0 {
+		t.Errorf("sampling on by default")
+	}
+	if rec.Profile("nope") != nil || rec.Timeline("nope") != nil {
+		t.Errorf("unknown op not nil")
+	}
+}
+
+func TestRecordDerivesLatencyFromClock(t *testing.T) {
+	// epoch=0, then one clock read per Record.
+	rec := live.New(live.WithClock(scriptClock(t, 0, 100, 1<<20, 50)))
+	rec.Record("read", 0)   // now=100   -> latency 100
+	rec.Record("read", 0)   // now=1<<20 -> latency 1<<20
+	rec.Record("read", 100) // now=50    -> clock regressed: clamp to 0
+	p := rec.Snapshot("s").Lookup("read")
+	if p == nil || p.Count != 3 {
+		t.Fatalf("profile: %+v", p)
+	}
+	for _, want := range []uint64{100, 1 << 20, 0} {
+		if p.Buckets[core.BucketFor(want, 1)] == 0 {
+			t.Errorf("latency %d not bucketed", want)
+		}
+	}
+	if p.Total != 100+1<<20 {
+		t.Errorf("total = %d", p.Total)
+	}
+}
+
+func TestSpanRecordsOnEnd(t *testing.T) {
+	// epoch, Start, End's Record.
+	rec := live.New(live.WithClock(scriptClock(t, 0, 10, 1034)))
+	span := rec.Start("op")
+	span.End() // latency 1024 -> bucket 10
+	p := rec.Snapshot("s").Lookup("op")
+	if p == nil || p.Buckets[10] != 1 {
+		t.Fatalf("span not recorded: %+v", p)
+	}
+	// A zero Span must be safe to End.
+	live.Span{}.End()
+}
+
+func TestResolutionOption(t *testing.T) {
+	rec := live.New(live.WithResolution(2))
+	rec.Observe("op", 5_000)
+	set := rec.Snapshot("s")
+	if set.R != 2 {
+		t.Fatalf("set resolution = %d", set.R)
+	}
+	p := set.Lookup("op")
+	if p.R != 2 || p.Buckets[core.BucketFor(5_000, 2)] != 1 {
+		t.Errorf("resolution-2 bucketing broken: %+v", p)
+	}
+}
+
+func TestShardedModeExactWithDistinctShards(t *testing.T) {
+	const workers, per = 8, 5_000
+	rec := live.New(live.WithLockingMode(core.Sharded), live.WithShards(workers))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				rec.ObserveShard(w, "op", uint64(i+1))
+			}
+		}()
+	}
+	wg.Wait()
+	if lost := rec.Profile("op").Lost(); lost != 0 {
+		t.Errorf("sharded recorder lost %d updates", lost)
+	}
+	if n := rec.Snapshot("s").Lookup("op").Count; n != workers*per {
+		t.Errorf("count = %d, want %d", n, workers*per)
+	}
+}
+
+func TestSnapshotWhileRecording(t *testing.T) {
+	rec := live.New(live.WithLockingMode(core.Locked))
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10_000; i++ {
+				rec.Observe("op", uint64(i%512+1))
+			}
+		}()
+	}
+	var last uint64
+	for i := 0; i < 50; i++ {
+		set := rec.Snapshot("mid")
+		if err := set.Validate(); err != nil {
+			t.Fatalf("mid-write snapshot: %v", err)
+		}
+		if p := set.Lookup("op"); p != nil {
+			if p.Count < last {
+				t.Fatalf("count went backwards: %d -> %d", last, p.Count)
+			}
+			last = p.Count
+		}
+	}
+	wg.Wait()
+	if n := rec.Snapshot("final").Lookup("op").Count; n != 40_000 {
+		t.Errorf("final count = %d", n)
+	}
+}
+
+func TestSamplingTimeline(t *testing.T) {
+	// epoch=0; sampling on, so every Observe reads the clock once.
+	rec := live.New(
+		live.WithSampling(1_000),
+		live.WithClock(scriptClock(t, 0, 100, 2_500, 2_600)),
+	)
+	rec.Observe("op", 7) // now=100   -> segment 0
+	rec.Observe("op", 7) // now=2500  -> segment 2
+	rec.Observe("op", 7) // now=2600  -> segment 2
+	tl := rec.Timeline("op")
+	if tl == nil || tl.Len() != 3 {
+		t.Fatalf("timeline: %+v", tl)
+	}
+	if tl.Segment(0).Count != 1 || tl.Segment(2).Count != 2 {
+		t.Errorf("segment counts: %d/%d", tl.Segment(0).Count, tl.Segment(2).Count)
+	}
+	// The returned timeline is a copy: mutating it must not touch the
+	// recorder's state.
+	tl.Record(100, 7)
+	if rec.Timeline("op").Segment(0).Count != 1 {
+		t.Error("Timeline returned live internal state, want a copy")
+	}
+}
+
+func TestRecorderHotPathDoesNotAllocate(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		rec  *live.Recorder
+	}{
+		{"unsync", live.New()},
+		{"sharded", live.New(live.WithLockingMode(core.Sharded), live.WithShards(4))},
+		{"locked", live.New(live.WithLockingMode(core.Locked))},
+	} {
+		tc.rec.Record("op", 0) // create the collector outside the measurement
+		if allocs := testing.AllocsPerRun(100, func() {
+			tc.rec.Record("op", 0)
+		}); allocs != 0 {
+			t.Errorf("%s: Record allocates %v objects/op, want 0", tc.name, allocs)
+		}
+		if allocs := testing.AllocsPerRun(100, func() {
+			tc.rec.Start("op").End()
+		}); allocs != 0 {
+			t.Errorf("%s: Span allocates %v objects/op, want 0", tc.name, allocs)
+		}
+	}
+}
+
+func TestCollectorHandleSharesState(t *testing.T) {
+	rec := live.New(live.WithLockingMode(core.Locked))
+	prof := rec.Collector("op")
+	if prof == nil || prof.Mode != core.Locked {
+		t.Fatalf("collector handle: %+v", prof)
+	}
+	prof.Record(0, 1_000)  // direct, lock-free-path update
+	rec.Observe("op", 500) // recorder-path update
+	if rec.Collector("op") != prof {
+		t.Error("second Collector call returned a different histogram")
+	}
+	if n := rec.Snapshot("s").Lookup("op").Count; n != 2 {
+		t.Errorf("updates split across histograms: count = %d", n)
+	}
+}
+
+func TestSessionContextCancel(t *testing.T) {
+	rec := live.New()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := rec.Session(ctx, "app")
+	if !s.Active() || s.Name() != "app" || s.Recorder() != rec {
+		t.Fatalf("fresh session state wrong")
+	}
+	s.Record("op", 0)
+	s.Start("op").End()
+	cancel()
+	<-s.Done()
+	if s.Active() {
+		t.Error("session still active after context cancel")
+	}
+	s.Record("op", 0)   // dropped
+	s.Start("op").End() // no-op span
+	if n := s.Snapshot().Lookup("op").Count; n != 2 {
+		t.Errorf("post-cancel records not dropped: count = %d", n)
+	}
+	s.Close() // idempotent
+}
+
+func TestSessionExportDeterministicRoundTrip(t *testing.T) {
+	rec := live.New()
+	s := rec.Session(nil, "myapp")
+	s.SetMeta("service", "api")
+	rec.Observe("read", 100)
+	rec.Observe("read", 90_000)
+	rec.Observe("write", 3_000)
+
+	var a, b bytes.Buffer
+	if err := s.Export(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Export(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two exports of the same state differ: envelope not deterministic")
+	}
+
+	run, err := core.ReadRun(&a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Fingerprint != s.Fingerprint() || run.Fingerprint == "" {
+		t.Errorf("fingerprint mismatch: %q vs %q", run.Fingerprint, s.Fingerprint())
+	}
+	if run.Meta["collector"] != "live" || run.Meta["service"] != "api" ||
+		run.Meta["mode"] != "unsync" {
+		t.Errorf("meta: %v", run.Meta)
+	}
+	if run.Name() != "myapp" || run.Set.Lookup("read").Count != 2 {
+		t.Errorf("set content: name=%q", run.Name())
+	}
+	if !reflect.DeepEqual(run.Set.Ops(), []string{"read", "write"}) {
+		t.Errorf("ops: %v", run.Set.Ops())
+	}
+}
+
+func TestSessionFingerprintTracksConfig(t *testing.T) {
+	fp := func(name string, opts ...live.Option) string {
+		return live.New(opts...).Session(nil, name).Fingerprint()
+	}
+	base := fp("app")
+	for desc, other := range map[string]string{
+		"name":       fp("other"),
+		"resolution": fp("app", live.WithResolution(2)),
+		// Locked keeps the default shard count, so this case isolates
+		// the mode field alone.
+		"mode":     fp("app", live.WithLockingMode(core.Locked)),
+		"shards":   fp("app", live.WithLockingMode(core.Sharded), live.WithShards(4)),
+		"sampling": fp("app", live.WithSampling(1_000)),
+	} {
+		if other == base {
+			t.Errorf("fingerprint ignores %s", desc)
+		}
+	}
+	if fp("app") != base {
+		t.Error("fingerprint not deterministic")
+	}
+}
+
+func TestSessionCommitToArchive(t *testing.T) {
+	arch, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := live.New()
+	s := rec.Session(nil, "app")
+	rec.Observe("op", 1_000)
+
+	id, created, err := s.Commit(arch)
+	if err != nil || !created || id == "" {
+		t.Fatalf("first commit: id=%q created=%v err=%v", id, created, err)
+	}
+	// Same state committed again dedups by content address.
+	id2, created2, err := s.Commit(arch)
+	if err != nil || created2 || id2 != id {
+		t.Fatalf("second commit: id=%q created=%v err=%v", id2, created2, err)
+	}
+	e, ok, err := arch.Latest(s.Fingerprint())
+	if err != nil || !ok || e.ID != id || e.Name != "app" {
+		t.Fatalf("archive lookup: %+v ok=%v err=%v", e, ok, err)
+	}
+}

@@ -1,0 +1,139 @@
+package live
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sync"
+
+	"osprof/internal/core"
+)
+
+// Sink persists run envelopes; *store.Archive satisfies it, so a
+// Session attaches directly to the on-disk profile archive.
+type Sink interface {
+	Put(run *core.Run) (id string, created bool, err error)
+}
+
+// Session is one named collection window over a Recorder: it labels
+// the profile set, carries deterministic run metadata, and is the
+// export point into the archive/diff machinery. A Session is
+// context-aware: when its context is canceled (or Close is called),
+// session-scoped recording stops, while snapshots and exports keep
+// working on the data collected so far.
+type Session struct {
+	rec    *Recorder
+	name   string
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu   sync.Mutex
+	meta map[string]string
+}
+
+// Session opens a collection window named name (the exported set
+// name). ctx scopes the session: canceling it deactivates
+// session-scoped recording. A nil ctx means the session only ends on
+// Close.
+func (rec *Recorder) Session(ctx context.Context, name string) *Session {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	return &Session{rec: rec, name: name, ctx: cctx, cancel: cancel}
+}
+
+// Name returns the session's set name.
+func (s *Session) Name() string { return s.name }
+
+// Recorder returns the underlying recorder.
+func (s *Session) Recorder() *Recorder { return s.rec }
+
+// Done is closed when the session ends (context canceled or Close).
+func (s *Session) Done() <-chan struct{} { return s.ctx.Done() }
+
+// Active reports whether the session is still collecting.
+func (s *Session) Active() bool { return s.ctx.Err() == nil }
+
+// Close ends the session. Idempotent; the collected data stays
+// available for Snapshot/Export.
+func (s *Session) Close() { s.cancel() }
+
+// Record is the recorder's hot path scoped to the session: after the
+// session ends it drops the observation instead of recording it.
+func (s *Session) Record(op string, start uint64) {
+	if s.ctx.Err() != nil {
+		return
+	}
+	s.rec.Record(op, start)
+}
+
+// Start opens a span scoped to the session; after the session ends it
+// returns a zero Span whose End is a no-op.
+func (s *Session) Start(op string) Span {
+	if s.ctx.Err() != nil {
+		return Span{}
+	}
+	return s.rec.Start(op)
+}
+
+// SetMeta attaches one deterministic metadata pair to the exported run
+// envelope. Values must not contain wall-clock or other
+// run-to-run-varying data: exporting the same collected state twice
+// must marshal to identical bytes so the content-addressed archive can
+// deduplicate.
+func (s *Session) SetMeta(key, value string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.meta == nil {
+		s.meta = make(map[string]string)
+	}
+	s.meta[key] = value
+}
+
+// Fingerprint is the canonical identity of this live configuration:
+// the recorder options plus the session name, hashed the same way
+// scenario.Spec fingerprints the simulated worlds. It keys latest- and
+// baseline-lookups in the archive, so successive exports of the same
+// instrumented program line up for differential analysis.
+func (s *Session) Fingerprint() string {
+	canonical := fmt.Sprintf("osprof-live v1\nname=%q\nr=%d\nmode=%s\nshards=%d\nsample=%d\n",
+		s.name, s.rec.res, s.rec.mode, s.rec.shards, s.rec.sample)
+	sum := sha256.Sum256([]byte(canonical))
+	return hex.EncodeToString(sum[:])
+}
+
+// Snapshot captures the current profile set (safe while recording
+// continues).
+func (s *Session) Snapshot() *core.Set { return s.rec.Snapshot(s.name) }
+
+// Run wraps the current snapshot in a versioned run envelope:
+// fingerprint, the session metadata plus the collector configuration,
+// and the set.
+func (s *Session) Run() *core.Run {
+	meta := map[string]string{
+		"collector":  "live",
+		"mode":       s.rec.mode.String(),
+		"shards":     fmt.Sprint(s.rec.shards),
+		"resolution": fmt.Sprint(s.rec.res),
+	}
+	s.mu.Lock()
+	for k, v := range s.meta {
+		meta[k] = v
+	}
+	s.mu.Unlock()
+	return &core.Run{Fingerprint: s.Fingerprint(), Meta: meta, Set: s.Snapshot()}
+}
+
+// Export writes the current state as a versioned run envelope, the
+// exchange format `osprof serve` ingests and `osprof diff` compares.
+func (s *Session) Export(w io.Writer) error { return core.WriteRun(w, s.Run()) }
+
+// Commit archives the current state into sink (typically a
+// *store.Archive) and returns the run's content address; created is
+// false when an identical envelope was already archived.
+func (s *Session) Commit(sink Sink) (id string, created bool, err error) {
+	return sink.Put(s.Run())
+}

@@ -1,0 +1,133 @@
+package live
+
+import (
+	"io"
+	"net"
+	"net/http"
+)
+
+// This file instruments stdlib boundaries: every Read, Write, or HTTP
+// request becomes one recorded operation, the way the paper's FSprof
+// instruments every VFS entry point (§3.1, Figure 2). Wrapping at the
+// boundary means the profiled program needs no structural changes —
+// the "negligible overhead, no source changes" deployment story.
+
+// wrappedReader profiles each Read call.
+type wrappedReader struct {
+	rec *Recorder
+	op  string
+	r   io.Reader
+}
+
+// WrapReader returns a reader that records the latency of every Read
+// into op's profile. Only io.Reader is forwarded; wrap closers and
+// seekers at a different op granularity if needed.
+func WrapReader(rec *Recorder, op string, r io.Reader) io.Reader {
+	return &wrappedReader{rec: rec, op: op, r: r}
+}
+
+func (w *wrappedReader) Read(p []byte) (int, error) {
+	start := w.rec.Now()
+	n, err := w.r.Read(p)
+	w.rec.Record(w.op, start)
+	return n, err
+}
+
+// wrappedWriter profiles each Write call.
+type wrappedWriter struct {
+	rec *Recorder
+	op  string
+	w   io.Writer
+}
+
+// WrapWriter returns a writer that records the latency of every Write
+// into op's profile.
+func WrapWriter(rec *Recorder, op string, w io.Writer) io.Writer {
+	return &wrappedWriter{rec: rec, op: op, w: w}
+}
+
+func (w *wrappedWriter) Write(p []byte) (int, error) {
+	start := w.rec.Now()
+	n, err := w.w.Write(p)
+	w.rec.Record(w.op, start)
+	return n, err
+}
+
+// wrappedConn profiles each Read and Write on a net.Conn.
+type wrappedConn struct {
+	net.Conn
+	rec     *Recorder
+	opRead  string
+	opWrite string
+}
+
+// WrapConn returns a connection that records every Read into
+// "<prefix>.read" and every Write into "<prefix>.write" — the network
+// I/O classes whose latency peaks identify round trips and delayed
+// acknowledgments (§6.4). All other net.Conn methods pass through.
+func WrapConn(rec *Recorder, prefix string, c net.Conn) net.Conn {
+	return &wrappedConn{
+		Conn:    c,
+		rec:     rec,
+		opRead:  prefix + ".read",
+		opWrite: prefix + ".write",
+	}
+}
+
+func (w *wrappedConn) Read(p []byte) (int, error) {
+	start := w.rec.Now()
+	n, err := w.Conn.Read(p)
+	w.rec.Record(w.opRead, start)
+	return n, err
+}
+
+func (w *wrappedConn) Write(p []byte) (int, error) {
+	start := w.rec.Now()
+	n, err := w.Conn.Write(p)
+	w.rec.Record(w.opWrite, start)
+	return n, err
+}
+
+// httpHandler is the per-route profiling middleware.
+type httpHandler struct {
+	rec   *Recorder
+	route string
+	next  http.Handler
+
+	// ops maps method -> "METHOD route" op name. Fully built at
+	// construction and immutable afterwards, so the serving path reads
+	// it with no synchronization at all.
+	ops map[string]string
+}
+
+// Handler wraps next so every request's latency is bucketed into a
+// per-route, per-method operation named "<METHOD> <route>" (e.g.
+// "GET /api/users"). Wrap each route separately so a slow route's
+// latency modes are not averaged away by a fast one — the multi-modal
+// analysis the method is built on. Requests are recorded into shard 0;
+// serving handlers concurrently calls Record from many goroutines, so
+// use Locked mode (or accept Unsync's bounded losses, §3.4).
+func Handler(rec *Recorder, route string, next http.Handler) http.Handler {
+	h := &httpHandler{rec: rec, route: route, next: next, ops: make(map[string]string)}
+	// Pre-build the op names for the standard methods; anything
+	// exotic (PROPFIND, ...) concatenates on the fly — one small
+	// allocation on a rare path buys a synchronization-free hot path.
+	for _, m := range []string{
+		http.MethodGet, http.MethodPost, http.MethodPut, http.MethodDelete,
+		http.MethodHead, http.MethodPatch, http.MethodOptions,
+		http.MethodConnect, http.MethodTrace,
+	} {
+		h.ops[m] = m + " " + route
+	}
+	return h
+}
+
+func (h *httpHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	op, ok := h.ops[r.Method]
+	if !ok {
+		op = r.Method + " " + h.route
+	}
+	start := h.rec.Now()
+	h.next.ServeHTTP(w, r)
+	h.rec.Record(op, start)
+}

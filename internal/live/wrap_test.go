@@ -1,0 +1,186 @@
+package live_test
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"osprof/internal/core"
+	"osprof/internal/live"
+)
+
+func TestWrapReaderWriter(t *testing.T) {
+	rec := live.New()
+	var sink bytes.Buffer
+	w := live.WrapWriter(rec, "file.write", &sink)
+	for i := 0; i < 3; i++ {
+		if _, err := w.Write([]byte("chunk")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := live.WrapReader(rec, "file.read", strings.NewReader("0123456789"))
+	if _, err := io.Copy(io.Discard, r); err != nil {
+		t.Fatal(err)
+	}
+	set := rec.Snapshot("io")
+	if n := set.Lookup("file.write").Count; n != 3 {
+		t.Errorf("write count = %d", n)
+	}
+	// io.Copy reads until EOF, so at least one Read is recorded; the
+	// final EOF-returning Read is recorded too (errors have latency).
+	if n := set.Lookup("file.read").Count; n < 1 {
+		t.Errorf("read count = %d", n)
+	}
+	if sink.String() != "chunkchunkchunk" {
+		t.Errorf("payload corrupted: %q", sink.String())
+	}
+}
+
+func TestWrapConn(t *testing.T) {
+	rec := live.New()
+	client, server := net.Pipe()
+	defer server.Close()
+	wrapped := live.WrapConn(rec, "conn", client)
+	defer wrapped.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]byte, 5)
+		io.ReadFull(server, buf)
+		server.Write(buf) // echo
+	}()
+	if _, err := wrapped.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(wrapped, buf); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+
+	set := rec.Snapshot("net")
+	if set.Lookup("conn.write").Count != 1 || set.Lookup("conn.read").Count != 1 {
+		t.Errorf("conn ops: %v", set.Ops())
+	}
+	if wrapped.LocalAddr() == nil {
+		t.Error("net.Conn passthrough broken")
+	}
+}
+
+// TestHandlerSerialBucketsExact drives the middleware serially with a
+// scripted clock, so every request's latency — and therefore its
+// bucket — is known in advance.
+func TestHandlerSerialBucketsExact(t *testing.T) {
+	lats := []uint64{100, 1 << 10, 1 << 10, 1 << 20}
+	// Clock script: epoch, then (start, end) per request.
+	script := []uint64{0}
+	var at uint64
+	for _, l := range lats {
+		script = append(script, at, at+l)
+		at += l
+	}
+	rec := live.New(live.WithClock(scriptClock(t, script...)))
+	h := live.Handler(rec, "/items", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	for range lats {
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/items", nil))
+	}
+
+	want := core.NewProfile("GET /items")
+	for _, l := range lats {
+		want.Record(l)
+	}
+	got := rec.Snapshot("s").Lookup("GET /items")
+	if got == nil {
+		t.Fatalf("route op missing; ops = %v", rec.Ops())
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("bucket totals diverge from serial expectation:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestHandlerConcurrentMatchesSerial hammers two wrapped routes from
+// many goroutines (run under -race in CI) and asserts the per-route op
+// names and bucket totals match a serially-computed expectation. A
+// constant clock pins every latency to 0, making the expected bucket
+// vector exact even under concurrency; Locked mode guarantees no
+// update is lost.
+func TestHandlerConcurrentMatchesSerial(t *testing.T) {
+	constClock := func() uint64 { return 42 }
+	build := func() (*live.Recorder, http.Handler) {
+		rec := live.New(live.WithLockingMode(core.Locked), live.WithClock(constClock))
+		mux := http.NewServeMux()
+		mux.Handle("/a", live.Handler(rec, "/a", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})))
+		mux.Handle("/b", live.Handler(rec, "/b", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})))
+		return rec, mux
+	}
+
+	// The request mix: workers×perWorker GETs to /a, half as many
+	// POSTs to /b.
+	const workers, perWorker = 8, 500
+	requests := func(h http.Handler, serve func(func())) {
+		for w := 0; w < workers; w++ {
+			serve(func() {
+				for i := 0; i < perWorker; i++ {
+					h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/a", nil))
+					if i%2 == 0 {
+						h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodPost, "/b", nil))
+					}
+				}
+			})
+		}
+	}
+
+	// Concurrent run.
+	recC, muxC := build()
+	var wg sync.WaitGroup
+	requests(muxC, func(f func()) {
+		wg.Add(1)
+		go func() { defer wg.Done(); f() }()
+	})
+	wg.Wait()
+
+	// Serially-computed expectation: the same mix, one goroutine.
+	recS, muxS := build()
+	requests(muxS, func(f func()) { f() })
+
+	got, want := recC.Snapshot("concurrent"), recS.Snapshot("serial")
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	wantOps := want.Ops()
+	if !reflect.DeepEqual(got.Ops(), wantOps) ||
+		!reflect.DeepEqual(wantOps, []string{"GET /a", "POST /b"}) {
+		t.Fatalf("per-route op names: got %v, want %v", got.Ops(), wantOps)
+	}
+	for _, op := range wantOps {
+		g, w := got.Lookup(op), want.Lookup(op)
+		if g.Count != w.Count {
+			t.Errorf("%s: count %d, serial expectation %d", op, g.Count, w.Count)
+		}
+		if !reflect.DeepEqual(g.Buckets, w.Buckets) {
+			t.Errorf("%s: bucket totals diverge from serial expectation", op)
+		}
+	}
+	if lost := recC.Profile("GET /a").Lost(); lost != 0 {
+		t.Errorf("locked mode lost %d updates", lost)
+	}
+}
+
+func TestHandlerUncommonMethod(t *testing.T) {
+	rec := live.New()
+	h := live.Handler(rec, "/x", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("PROPFIND", "/x", nil))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("PROPFIND", "/x", nil))
+	if n := rec.Snapshot("s").Lookup("PROPFIND /x").Count; n != 2 {
+		t.Errorf("uncommon method op count = %d", n)
+	}
+}

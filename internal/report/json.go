@@ -1,0 +1,82 @@
+package report
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+
+	"osprof/internal/store"
+)
+
+// This file renders archive state as versioned JSON documents: the
+// machine-readable counterpart of the ASCII histograms, shared by the
+// CLI's -json paths and the `osprof serve` HTTP service so both speak
+// the same schema.
+
+// JSON schema identifiers for the archive listing documents.
+const (
+	RunsSchema      = "osprof-runs/v1"
+	BaselinesSchema = "osprof-baselines/v1"
+)
+
+// JSON writes v as indented JSON with a trailing newline — the one
+// encoder shape used by every -json CLI path and service response.
+func JSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// RunEntry is the JSON shape of one archived run.
+type RunEntry struct {
+	Seq         int    `json:"seq"`
+	ID          string `json:"id"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+	Name        string `json:"name"`
+}
+
+// RunListDoc is the archive listing document.
+type RunListDoc struct {
+	Schema string     `json:"schema"`
+	Runs   []RunEntry `json:"runs"`
+}
+
+// RunList converts archive index entries into the versioned listing
+// document, preserving record order.
+func RunList(entries []store.Entry) RunListDoc {
+	doc := RunListDoc{Schema: RunsSchema, Runs: []RunEntry{}}
+	for _, e := range entries {
+		doc.Runs = append(doc.Runs, RunEntry{
+			Seq: e.Seq, ID: e.ID, Fingerprint: e.Fingerprint, Name: e.Name,
+		})
+	}
+	return doc
+}
+
+// BaselineEntry is the JSON shape of one blessed baseline pointer.
+type BaselineEntry struct {
+	Fingerprint string `json:"fingerprint"`
+	Run         string `json:"run"`
+}
+
+// BaselineListDoc is the baseline listing document.
+type BaselineListDoc struct {
+	Schema    string          `json:"schema"`
+	Baselines []BaselineEntry `json:"baselines"`
+}
+
+// BaselineList converts the archive's fingerprint -> run ID baseline
+// map into the versioned listing document, sorted by fingerprint so
+// the rendering is deterministic.
+func BaselineList(baselines map[string]string) BaselineListDoc {
+	doc := BaselineListDoc{Schema: BaselinesSchema, Baselines: []BaselineEntry{}}
+	fps := make([]string, 0, len(baselines))
+	for fp := range baselines {
+		fps = append(fps, fp)
+	}
+	sort.Strings(fps)
+	for _, fp := range fps {
+		doc.Baselines = append(doc.Baselines, BaselineEntry{Fingerprint: fp, Run: baselines[fp]})
+	}
+	return doc
+}

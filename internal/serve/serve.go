@@ -1,0 +1,219 @@
+// Package serve implements the osprof profile service: a long-running
+// HTTP/JSON facade over the content-addressed run archive
+// (internal/store) and the differential engine (internal/diff), so the
+// record/baseline/diff workflow works over the network. Live programs
+// instrumented with the Recorder API export versioned run envelopes
+// and POST them to /v1/ingest; CI gates and dashboards then list runs,
+// bless baselines, and ask for pairwise diffs without sharing a
+// filesystem with the producer — the "profile millions of live
+// requests, compare centrally" deployment the paper's negligible
+// overhead makes possible (§3.1, §5).
+//
+// Endpoints:
+//
+//	POST /v1/ingest        body: an osprof-run (or bare osprof-set)
+//	                       envelope; archives it, returns its content
+//	                       address
+//	GET  /v1/runs          the archive index as osprof-runs/v1 JSON
+//	GET  /v1/diff/{a}/{b}  differential analysis of two run references
+//	                       (latest:<name>, baseline:<name>, or a run-ID
+//	                       prefix), as osprof-diff/v1 JSON; references
+//	                       whose name contains a slash (every scenario
+//	                       name does) use GET /v1/diff?a=...&b=...
+//	GET  /v1/baseline      the blessed baselines as osprof-baselines/v1
+//	                       JSON
+//	POST /v1/baseline      bless a run: {"fingerprint": "...", "run":
+//	                       "<ref>"} (fingerprint defaults to the
+//	                       referenced run's own)
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"osprof/internal/core"
+	"osprof/internal/diff"
+	"osprof/internal/report"
+	"osprof/internal/store"
+)
+
+// maxEnvelopeBytes bounds an ingested envelope. Profiles are tiny by
+// design (under 1KB per operation, §5.1), so even a run with thousands
+// of operations fits comfortably; the bound exists to shed abusive
+// payloads before parsing.
+const maxEnvelopeBytes = 16 << 20
+
+// IngestSchema versions the /v1/ingest response document.
+const IngestSchema = "osprof-ingest/v1"
+
+// IngestDoc is the /v1/ingest response: the archived run's identity.
+type IngestDoc struct {
+	Schema      string `json:"schema"`
+	ID          string `json:"id"`
+	Created     bool   `json:"created"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+	Name        string `json:"name"`
+}
+
+// ErrorDoc is the JSON error body for non-2xx responses.
+type ErrorDoc struct {
+	Error string `json:"error"`
+}
+
+// server carries the shared archive behind the handlers.
+type server struct {
+	arch *store.Archive
+}
+
+// Handler returns the service's HTTP handler over arch. The archive is
+// safe for concurrent use, so one handler serves any number of
+// in-flight requests.
+func Handler(arch *store.Archive) http.Handler {
+	s := &server{arch: arch}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/ingest", s.ingest)
+	mux.HandleFunc("GET /v1/runs", s.runs)
+	mux.HandleFunc("GET /v1/diff/{a}/{b}", s.diff)
+	mux.HandleFunc("GET /v1/diff", s.diff) // ?a=&b= for slash-qualified names
+	mux.HandleFunc("GET /v1/baseline", s.baselines)
+	mux.HandleFunc("POST /v1/baseline", s.setBaseline)
+	return mux
+}
+
+// respond writes v as the JSON body with the given status.
+func respond(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = report.JSON(w, v)
+}
+
+// fail writes a JSON error body.
+func fail(w http.ResponseWriter, status int, format string, args ...any) {
+	respond(w, status, ErrorDoc{Error: fmt.Sprintf(format, args...)})
+}
+
+// ingest parses a run envelope from the body and archives it.
+func (s *server) ingest(w http.ResponseWriter, r *http.Request) {
+	run, err := core.ReadRun(http.MaxBytesReader(w, r.Body, maxEnvelopeBytes))
+	if err != nil {
+		fail(w, http.StatusBadRequest, "parse run envelope: %v", err)
+		return
+	}
+	id, created, err := s.arch.Put(run)
+	if err != nil {
+		fail(w, http.StatusInternalServerError, "archive: %v", err)
+		return
+	}
+	respond(w, http.StatusOK, IngestDoc{
+		Schema:      IngestSchema,
+		ID:          id,
+		Created:     created,
+		Fingerprint: run.Fingerprint,
+		Name:        run.Name(),
+	})
+}
+
+// runs lists the archive index.
+func (s *server) runs(w http.ResponseWriter, r *http.Request) {
+	entries, err := s.arch.List()
+	if err != nil {
+		fail(w, http.StatusInternalServerError, "archive: %v", err)
+		return
+	}
+	respond(w, http.StatusOK, report.RunList(entries))
+}
+
+// resolve loads the run a reference names: latest:<name>,
+// baseline:<name>, or a run-ID prefix (store.Archive.ResolveRef, the
+// same resolver the CLI uses).
+func (s *server) resolve(ref string) (*core.Run, error) {
+	id, err := s.arch.ResolveRef(ref)
+	if err != nil {
+		return nil, err
+	}
+	return s.arch.Get(id)
+}
+
+// diff runs the differential analysis of two referenced runs. The
+// references come from the path segments or, for names that contain
+// slashes (every scenario name does — "ext2/readzero"), from the
+// ?a=&b= query parameters, since a path segment cannot hold an
+// unescaped slash. The engine reuses scratch state, so each request
+// gets its own.
+func (s *server) diff(w http.ResponseWriter, r *http.Request) {
+	refA, refB := r.PathValue("a"), r.PathValue("b")
+	if refA == "" {
+		refA, refB = r.URL.Query().Get("a"), r.URL.Query().Get("b")
+	}
+	if refA == "" || refB == "" {
+		fail(w, http.StatusBadRequest, "diff needs two run references: /v1/diff/{a}/{b} or /v1/diff?a=...&b=...")
+		return
+	}
+	a, err := s.resolve(refA)
+	if err != nil {
+		fail(w, http.StatusNotFound, "run A: %v", err)
+		return
+	}
+	b, err := s.resolve(refB)
+	if err != nil {
+		fail(w, http.StatusNotFound, "run B: %v", err)
+		return
+	}
+	respond(w, http.StatusOK, diff.New().Runs(a, b))
+}
+
+// baselines lists the blessed baseline pointers.
+func (s *server) baselines(w http.ResponseWriter, r *http.Request) {
+	m, err := s.arch.Baselines()
+	if err != nil {
+		fail(w, http.StatusInternalServerError, "archive: %v", err)
+		return
+	}
+	respond(w, http.StatusOK, report.BaselineList(m))
+}
+
+// baselineRequest is the POST /v1/baseline body.
+type baselineRequest struct {
+	// Fingerprint keys the baseline; when empty, the referenced run's
+	// own fingerprint is used (the common case: bless what was just
+	// ingested).
+	Fingerprint string `json:"fingerprint"`
+
+	// Run references the run to bless: latest:<name>, baseline:<name>,
+	// or a run-ID prefix.
+	Run string `json:"run"`
+}
+
+// setBaseline blesses a run as the baseline for its fingerprint.
+func (s *server) setBaseline(w http.ResponseWriter, r *http.Request) {
+	var req baselineRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil {
+		fail(w, http.StatusBadRequest, "parse baseline request: %v", err)
+		return
+	}
+	if req.Run == "" {
+		fail(w, http.StatusBadRequest, "baseline request needs a run reference")
+		return
+	}
+	id, err := s.arch.ResolveRef(req.Run)
+	if err != nil {
+		fail(w, http.StatusNotFound, "run: %v", err)
+		return
+	}
+	fp := req.Fingerprint
+	if fp == "" {
+		run, err := s.arch.Get(id)
+		if err != nil {
+			fail(w, http.StatusNotFound, "run: %v", err)
+			return
+		}
+		fp = run.Fingerprint
+	}
+	if err := s.arch.SetBaseline(fp, id); err != nil {
+		fail(w, http.StatusBadRequest, "set baseline: %v", err)
+		return
+	}
+	respond(w, http.StatusOK, report.BaselineEntry{Fingerprint: fp, Run: id})
+}

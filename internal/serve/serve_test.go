@@ -1,0 +1,234 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"osprof/internal/diff"
+	"osprof/internal/live"
+	"osprof/internal/report"
+	"osprof/internal/serve"
+	"osprof/internal/store"
+)
+
+// newService returns a handler over a fresh temp archive.
+func newService(t *testing.T) http.Handler {
+	t.Helper()
+	arch, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return serve.Handler(arch)
+}
+
+// envelope exports a small deterministic live-session run.
+func envelope(t *testing.T, name string, latencies ...uint64) []byte {
+	t.Helper()
+	rec := live.New()
+	for _, l := range latencies {
+		rec.Observe("read", l)
+	}
+	var buf bytes.Buffer
+	if err := rec.Session(nil, name).Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// do performs one request against the handler and decodes the JSON
+// response body into out (unless out is nil).
+func do(t *testing.T, h http.Handler, method, target string, body []byte, wantStatus int, out any) {
+	t.Helper()
+	req := httptest.NewRequest(method, target, bytes.NewReader(body))
+	rw := httptest.NewRecorder()
+	h.ServeHTTP(rw, req)
+	if rw.Code != wantStatus {
+		t.Fatalf("%s %s: status %d, want %d\n%s", method, target, rw.Code, wantStatus, rw.Body)
+	}
+	if ct := rw.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("%s %s: content type %q", method, target, ct)
+	}
+	if out != nil {
+		if err := json.Unmarshal(rw.Body.Bytes(), out); err != nil {
+			t.Fatalf("%s %s: decode: %v\n%s", method, target, err, rw.Body)
+		}
+	}
+}
+
+func TestIngestListDiffBaselineWorkflow(t *testing.T) {
+	h := newService(t)
+	env := envelope(t, "myapp", 100, 2_000, 2_100, 1<<20)
+
+	// Ingest; re-ingesting the identical envelope dedups.
+	var ing serve.IngestDoc
+	do(t, h, http.MethodPost, "/v1/ingest", env, http.StatusOK, &ing)
+	if !ing.Created || ing.ID == "" || ing.Name != "myapp" || ing.Fingerprint == "" ||
+		ing.Schema != serve.IngestSchema {
+		t.Fatalf("ingest: %+v", ing)
+	}
+	var again serve.IngestDoc
+	do(t, h, http.MethodPost, "/v1/ingest", env, http.StatusOK, &again)
+	if again.Created || again.ID != ing.ID {
+		t.Fatalf("re-ingest: %+v", again)
+	}
+
+	// The run shows up in the listing.
+	var runs report.RunListDoc
+	do(t, h, http.MethodGet, "/v1/runs", nil, http.StatusOK, &runs)
+	if runs.Schema != report.RunsSchema || len(runs.Runs) != 1 || runs.Runs[0].ID != ing.ID {
+		t.Fatalf("runs: %+v", runs)
+	}
+
+	// Bless it as the baseline (fingerprint defaults to the run's own).
+	var blessed report.BaselineEntry
+	do(t, h, http.MethodPost, "/v1/baseline",
+		[]byte(fmt.Sprintf(`{"run": %q}`, ing.ID[:12])), http.StatusOK, &blessed)
+	if blessed.Fingerprint != ing.Fingerprint || blessed.Run != ing.ID {
+		t.Fatalf("bless: %+v", blessed)
+	}
+	var bl report.BaselineListDoc
+	do(t, h, http.MethodGet, "/v1/baseline", nil, http.StatusOK, &bl)
+	if bl.Schema != report.BaselinesSchema || len(bl.Baselines) != 1 ||
+		bl.Baselines[0].Run != ing.ID {
+		t.Fatalf("baselines: %+v", bl)
+	}
+
+	// Self-diff through every reference form: all unchanged.
+	for _, pair := range [][2]string{
+		{ing.ID, ing.ID},
+		{"latest:myapp", ing.ID[:12]},
+		{"baseline:myapp", "latest:myapp"},
+	} {
+		var rep diff.Report
+		do(t, h, http.MethodGet, "/v1/diff/"+pair[0]+"/"+pair[1], nil, http.StatusOK, &rep)
+		if rep.Schema != diff.Schema || rep.Changed != 0 || len(rep.Ops) == 0 {
+			t.Fatalf("self-diff %v: %+v", pair, rep)
+		}
+		for _, op := range rep.Ops {
+			if op.Verdict != diff.Unchanged {
+				t.Errorf("self-diff %v: op %s verdict %s", pair, op.Op, op.Verdict)
+			}
+		}
+	}
+}
+
+func TestDiffFlagsARealChange(t *testing.T) {
+	h := newService(t)
+	var a, b serve.IngestDoc
+	// Same op, very different latency distributions.
+	do(t, h, http.MethodPost, "/v1/ingest",
+		envelope(t, "app", 100, 110, 120, 105, 130), http.StatusOK, &a)
+	do(t, h, http.MethodPost, "/v1/ingest",
+		envelope(t, "app", 1<<22, 1<<22+5, 1<<22+9, 1<<22+3, 1<<22+1), http.StatusOK, &b)
+	if a.ID == b.ID {
+		t.Fatal("distinct runs collapsed")
+	}
+	var rep diff.Report
+	do(t, h, http.MethodGet, "/v1/diff/"+a.ID+"/"+b.ID, nil, http.StatusOK, &rep)
+	if rep.Changed == 0 {
+		t.Fatalf("shifted distribution not flagged: %+v", rep)
+	}
+}
+
+func TestIngestRejectsGarbage(t *testing.T) {
+	h := newService(t)
+	var e serve.ErrorDoc
+	do(t, h, http.MethodPost, "/v1/ingest", []byte("not an envelope"),
+		http.StatusBadRequest, &e)
+	if e.Error == "" {
+		t.Fatal("error body empty")
+	}
+}
+
+// Scenario names contain slashes ("ext2/readzero"), which a path
+// segment cannot carry unescaped: the ?a=&b= query form must resolve
+// them.
+func TestDiffQueryFormHandlesSlashNames(t *testing.T) {
+	h := newService(t)
+	var ing serve.IngestDoc
+	do(t, h, http.MethodPost, "/v1/ingest",
+		envelope(t, "ext2/readzero", 100, 2_000), http.StatusOK, &ing)
+
+	var rep diff.Report
+	do(t, h, http.MethodGet,
+		"/v1/diff?a=latest:ext2/readzero&b=latest:ext2/readzero",
+		nil, http.StatusOK, &rep)
+	if rep.Changed != 0 || len(rep.Ops) == 0 {
+		t.Fatalf("query-form self-diff: %+v", rep)
+	}
+	// Blessing by slash-qualified latest: reference works too.
+	var blessed report.BaselineEntry
+	do(t, h, http.MethodPost, "/v1/baseline",
+		[]byte(`{"run": "latest:ext2/readzero"}`), http.StatusOK, &blessed)
+	if blessed.Run != ing.ID {
+		t.Fatalf("bless by latest: %+v", blessed)
+	}
+	var e serve.ErrorDoc
+	do(t, h, http.MethodGet, "/v1/diff?a=latest:ext2/readzero",
+		nil, http.StatusBadRequest, &e)
+}
+
+func TestDiffUnknownRefIs404(t *testing.T) {
+	h := newService(t)
+	var e serve.ErrorDoc
+	do(t, h, http.MethodGet, "/v1/diff/latest:ghost/latest:ghost", nil,
+		http.StatusNotFound, &e)
+	if !strings.Contains(e.Error, "ghost") {
+		t.Fatalf("error: %q", e.Error)
+	}
+}
+
+func TestBaselineRequestValidation(t *testing.T) {
+	h := newService(t)
+	var e serve.ErrorDoc
+	do(t, h, http.MethodPost, "/v1/baseline", []byte(`{}`), http.StatusBadRequest, &e)
+	do(t, h, http.MethodPost, "/v1/baseline", []byte(`{"run":"deadbeef00"}`),
+		http.StatusNotFound, &e)
+	do(t, h, http.MethodPost, "/v1/baseline", []byte(`not json`),
+		http.StatusBadRequest, &e)
+}
+
+// The service must hold up under concurrent producers: many goroutines
+// ingesting distinct envelopes while readers list and diff (run under
+// -race in CI).
+func TestConcurrentIngestAndRead(t *testing.T) {
+	h := newService(t)
+	const producers = 8
+	envs := make([][]byte, producers)
+	for i := range envs {
+		envs[i] = envelope(t, fmt.Sprintf("app-%d", i), uint64(100*(i+1)))
+	}
+	// The goroutines only perform the requests; all assertions happen
+	// back on the test goroutine.
+	done := make(chan *httptest.ResponseRecorder, producers)
+	for i := 0; i < producers; i++ {
+		i := i
+		go func() {
+			rw := httptest.NewRecorder()
+			h.ServeHTTP(rw, httptest.NewRequest(http.MethodPost, "/v1/ingest", bytes.NewReader(envs[i])))
+			done <- rw
+		}()
+	}
+	ids := make(map[string]bool)
+	for i := 0; i < producers; i++ {
+		rw := <-done
+		if rw.Code != http.StatusOK {
+			t.Fatalf("concurrent ingest: status %d\n%s", rw.Code, rw.Body)
+		}
+		var ing serve.IngestDoc
+		if err := json.Unmarshal(rw.Body.Bytes(), &ing); err != nil {
+			t.Fatal(err)
+		}
+		ids[ing.ID] = true
+	}
+	var runs report.RunListDoc
+	do(t, h, http.MethodGet, "/v1/runs", nil, http.StatusOK, &runs)
+	if len(runs.Runs) != producers || len(ids) != producers {
+		t.Fatalf("after concurrent ingest: %d listed, %d distinct", len(runs.Runs), len(ids))
+	}
+}

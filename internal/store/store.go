@@ -189,6 +189,39 @@ func (a *Archive) Resolve(ref string) (string, error) {
 	return a.resolveLocked(ref)
 }
 
+// ResolveRef expands any run reference to the full content address:
+// "latest:<name>" (the most recent run of a set name),
+// "baseline:<name>" (the blessed baseline of a set name), or a
+// (possibly abbreviated) run ID. The one resolver shared by the CLI
+// and the HTTP service, so reference forms cannot diverge between
+// them.
+func (a *Archive) ResolveRef(ref string) (string, error) {
+	switch {
+	case strings.HasPrefix(ref, "latest:"):
+		name := strings.TrimPrefix(ref, "latest:")
+		e, ok, err := a.LatestByName(name)
+		if err != nil {
+			return "", err
+		}
+		if !ok {
+			return "", fmt.Errorf("store: no recorded run named %q", name)
+		}
+		return e.ID, nil
+	case strings.HasPrefix(ref, "baseline:"):
+		name := strings.TrimPrefix(ref, "baseline:")
+		e, ok, err := a.BaselineByName(name)
+		if err != nil {
+			return "", err
+		}
+		if !ok {
+			return "", fmt.Errorf("store: no baseline named %q", name)
+		}
+		return e.ID, nil
+	default:
+		return a.Resolve(ref)
+	}
+}
+
 func (a *Archive) resolveLocked(ref string) (string, error) {
 	if len(ref) == 2*sha256.Size {
 		return ref, nil

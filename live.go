@@ -1,0 +1,105 @@
+package osprof
+
+// This file is the live-profiling half of the public facade: the
+// Recorder/Session API (internal/live) that lets a running Go program
+// profile its own OS-request latencies — the paper's "negligible
+// overhead, leave it on in production" deployment (§3.1, §3.4, §5.2) —
+// and feed them into the same analysis, archive, and differential
+// machinery the simulated experiments use. Collected runs export as
+// versioned envelopes that `osprof serve` ingests over HTTP, so the
+// record/baseline/diff regression gate works across the network.
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+
+	"osprof/internal/cycles"
+	"osprof/internal/live"
+)
+
+// Re-exported live-collection types (see internal/live).
+type (
+	// Recorder collects latency profiles from a running program; its
+	// Record hot path is allocation-free.
+	Recorder = live.Recorder
+
+	// RecorderOption configures a Recorder (resolution, locking mode,
+	// shard count, sampling interval, clock source).
+	RecorderOption = live.Option
+
+	// Session is one named collection window over a Recorder: it
+	// snapshots into a Set and exports versioned run envelopes.
+	Session = live.Session
+
+	// Span is an in-flight operation that records its latency on End.
+	Span = live.Span
+)
+
+// NewRecorder creates a live Recorder. The zero-option default matches
+// the paper's production configuration: resolution 1, unsynchronized
+// (lossy but cheapest, §3.4) updates, no sampling, wall-clock cycles.
+func NewRecorder(opts ...RecorderOption) *Recorder { return live.New(opts...) }
+
+// WithResolution sets the bucket resolution (buckets per doubling of
+// latency); the default is 1, the paper's choice for efficiency.
+func WithResolution(r int) RecorderOption { return live.WithResolution(r) }
+
+// WithLockingMode selects the §3.4 concurrent bucket-update strategy
+// (Unsync, Locked, or Sharded).
+func WithLockingMode(m LockingMode) RecorderOption { return live.WithLockingMode(m) }
+
+// WithShards sets the per-thread bucket array count for Sharded mode.
+func WithShards(n int) RecorderOption { return live.WithShards(n) }
+
+// WithSampling additionally maintains a Figure 9-style time-segmented
+// profile per operation, with the given segment interval in cycles.
+// Timelines are bounded to 8192 segments (the tail accumulates
+// overflow), so size the interval to the window of interest.
+func WithSampling(interval uint64) RecorderOption { return live.WithSampling(interval) }
+
+// WithClock replaces the latency clock (cycles since an arbitrary
+// epoch). The default measures wall time with the process-monotonic
+// clock, scaled to the repository's 1.7 GHz cycle time base; plug in a
+// hardware TSC reader to match the paper's time metric exactly.
+func WithClock(clock func() uint64) RecorderOption { return live.WithClock(clock) }
+
+// CyclesPerMillisecond converts the repository's cycle time base: one
+// millisecond of the simulated 1.7 GHz clock, handy for choosing
+// WithSampling intervals.
+const CyclesPerMillisecond = cycles.PerMillisecond
+
+// NewSession opens a collection window named name on rec; canceling
+// ctx (or calling Close) deactivates session-scoped recording while
+// keeping the collected data exportable. A nil ctx means the session
+// only ends on Close.
+func NewSession(ctx context.Context, rec *Recorder, name string) *Session {
+	return rec.Session(ctx, name)
+}
+
+// WrapReader instruments an io.Reader: every Read records its latency
+// into op's profile on rec.
+func WrapReader(rec *Recorder, op string, r io.Reader) io.Reader {
+	return live.WrapReader(rec, op, r)
+}
+
+// WrapWriter instruments an io.Writer: every Write records its latency
+// into op's profile on rec.
+func WrapWriter(rec *Recorder, op string, w io.Writer) io.Writer {
+	return live.WrapWriter(rec, op, w)
+}
+
+// WrapConn instruments a net.Conn: Reads record into "<prefix>.read",
+// Writes into "<prefix>.write" (the network I/O classes of §6.4).
+func WrapConn(rec *Recorder, prefix string, c net.Conn) net.Conn {
+	return live.WrapConn(rec, prefix, c)
+}
+
+// ProfileHandler wraps an http.Handler so every request's latency is
+// bucketed into a per-route, per-method operation named
+// "<METHOD> <route>". Wrap each route separately so one route's
+// latency modes are not averaged away by another's.
+func ProfileHandler(rec *Recorder, route string, next http.Handler) http.Handler {
+	return live.Handler(rec, route, next)
+}

@@ -10,6 +10,9 @@
 //
 // This package is the stable public facade over the implementation:
 //
+//   - live collection: Recorder, Session, Span, and the stdlib
+//     instrumentation wrappers (WrapReader, WrapConn, ProfileHandler)
+//     that let any Go program profile itself in production (live.go);
 //   - profile collection: Profile, Set, Sampled, Correlation and the
 //     concurrent-update strategies of §3.4;
 //   - automated analysis: peak detection, Earth Mover's Distance and
@@ -115,6 +118,12 @@ func NewCorrelation(op string, peaks []BucketRange) *Correlation {
 }
 
 // NewConcurrentProfile creates a goroutine-safe histogram.
+//
+// Deprecated: construct live collectors through NewRecorder's
+// functional options (WithLockingMode, WithShards, WithResolution,
+// WithClock), which compose the same §3.4 update strategies with the
+// allocation-free Record/Span hot path, session snapshots, and
+// envelope export. This thin shim remains for low-level direct use.
 func NewConcurrentProfile(op string, mode LockingMode, shards int) *ConcurrentProfile {
 	return core.NewConcurrentProfile(op, mode, shards)
 }

@@ -148,3 +148,71 @@ func TestFacadeScenarioAPI(t *testing.T) {
 		t.Errorf("scenario matrix too small: %d", len(osprof.ScenarioMatrix(1)))
 	}
 }
+
+func TestFacadeLiveRecorderSessionWorkflow(t *testing.T) {
+	// The live workflow end to end through the facade alone: record
+	// real wall-clock latencies, snapshot mid-flight, export the
+	// envelope, read it back, and archive it.
+	rec := osprof.NewRecorder(osprof.WithLockingMode(osprof.Locked))
+	session := osprof.NewSession(nil, rec, "facade-live")
+	defer session.Close()
+
+	for i := 0; i < 200; i++ {
+		span := rec.Start("spin")
+		for j := 0; j < 100; j++ {
+			_ = j * j
+		}
+		span.End()
+		start := rec.Now()
+		time.Sleep(10 * time.Microsecond)
+		rec.Record("sleep", start)
+	}
+	set := session.Snapshot()
+	if set.Name != "facade-live" || set.Lookup("spin").Count != 200 ||
+		set.Lookup("sleep").Count != 200 {
+		t.Fatalf("snapshot incomplete: %v", set.Ops())
+	}
+	// A 10us sleep is ~17,000 simulated cycles: far above bucket 5,
+	// proving latencies flow through the cycle clock, not raw counts.
+	if mean := set.Lookup("sleep").Mean(); mean < 1_000 {
+		t.Errorf("sleep mean %d cycles: clock not scaling", mean)
+	}
+
+	var buf bytes.Buffer
+	if err := session.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	run, err := osprof.ReadRun(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Name() != "facade-live" || run.Fingerprint == "" {
+		t.Errorf("exported run: name=%q fp=%q", run.Name(), run.Fingerprint)
+	}
+
+	arch, err := osprof.OpenArchive(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, created, err := session.Commit(arch)
+	if err != nil || !created {
+		t.Fatalf("commit: id=%q created=%v err=%v", id, created, err)
+	}
+	got, err := arch.Get(id)
+	if err != nil || got.Name() != "facade-live" {
+		t.Fatalf("archived run: %v err=%v", got, err)
+	}
+}
+
+func TestFacadeWrappersRecord(t *testing.T) {
+	rec := osprof.NewRecorder()
+	r := osprof.WrapReader(rec, "r", strings.NewReader("data"))
+	w := osprof.WrapWriter(rec, "w", &bytes.Buffer{})
+	buf := make([]byte, 2)
+	r.Read(buf)
+	w.Write(buf)
+	set := rec.Snapshot("io")
+	if set.Lookup("r").Count != 1 || set.Lookup("w").Count != 1 {
+		t.Errorf("wrapper ops: %v", set.Ops())
+	}
+}

@@ -48,45 +48,58 @@ func cmdRecord(rest []string, seed int64, archiveDir string, opt runner.Options,
 		}
 		jobs = append(jobs, runner.Job{ID: id, New: ctor, Fingerprint: fps[id]})
 	}
-	opt.Archive = arch
-	results := runner.Run(jobs, opt)
-
-	for i := range results {
-		rr := &results[i]
-		if rr.RunID == "" || !rr.OK() {
-			continue
-		}
-		if markBaseline {
+	var post func(*runner.RunResult)
+	if markBaseline {
+		post = func(rr *runner.RunResult) {
 			if err := arch.SetBaseline(rr.Fingerprint, rr.RunID); err != nil {
 				rr.ArchiveErr = err.Error()
 				rr.Failed++
 			}
 		}
 	}
+	verb := "recorded"
+	if markBaseline {
+		verb = "baseline"
+	}
+	return runArchived(arch, jobs, opt, jsonOut, stdout, stderr, post,
+		func(w io.Writer, rr *runner.RunResult) {
+			fmt.Fprintf(w, "%-8s %-28s fingerprint=%.12s run=%.12s %s\n",
+				verb, rr.ID, rr.Fingerprint, rr.RunID, dedupNote(rr))
+		})
+}
 
+// runArchived is the shared tail of the recording subcommands
+// (`record`, `baseline`, `corpus build`): run the jobs against the
+// archive, apply the optional post-run hook to each successfully
+// archived result (baseline blessing; the hook may mark the result
+// failed), emit JSON or one text row per result, and map failures to
+// exit code 1.
+func runArchived(arch *store.Archive, jobs []runner.Job, opt runner.Options,
+	jsonOut bool, stdout, stderr io.Writer, post func(*runner.RunResult),
+	row func(io.Writer, *runner.RunResult)) int {
+	opt.Archive = arch
+	results := runner.Run(jobs, opt)
+	if post != nil {
+		for i := range results {
+			if rr := &results[i]; rr.RunID != "" && rr.OK() {
+				post(rr)
+			}
+		}
+	}
 	if jsonOut {
 		if err := runner.WriteJSON(stdout, results); err != nil {
 			fmt.Fprintf(stderr, "osprof: %v\n", err)
 			return 2
 		}
 	} else {
-		verb := "recorded"
-		if markBaseline {
-			verb = "baseline"
-		}
 		for i := range results {
 			rr := &results[i]
 			if !rr.OK() {
-				fmt.Fprintf(stdout, "FAILED   %-22s %s%s\n", rr.ID,
+				fmt.Fprintf(stdout, "FAILED   %-28s %s%s\n", rr.ID,
 					firstFailure(rr), rr.Panic)
 				continue
 			}
-			note := "new"
-			if rr.Dedup {
-				note = "dedup"
-			}
-			fmt.Fprintf(stdout, "%-8s %-22s fingerprint=%.12s run=%.12s %s\n",
-				verb, rr.ID, rr.Fingerprint, rr.RunID, note)
+			row(stdout, rr)
 		}
 	}
 	if failed := runner.FailedChecks(results); failed > 0 {
@@ -94,6 +107,14 @@ func cmdRecord(rest []string, seed int64, archiveDir string, opt runner.Options,
 		return 1
 	}
 	return 0
+}
+
+// dedupNote labels a result as a fresh or deduplicated archive write.
+func dedupNote(rr *runner.RunResult) string {
+	if rr.Dedup {
+		return "dedup"
+	}
+	return "new"
 }
 
 // firstFailure summarizes the first failed check for the text output.

@@ -46,6 +46,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	archiveDir := fs.String("archive", "osprof-archive", "profile archive directory")
 	addr := fs.String("addr", "127.0.0.1:7971", "listen address for `osprof serve`")
 	keep := fs.Int("keep", 5, "runs kept per fingerprint by `osprof archive gc`")
+	expect := fs.String("expect", "", "label `osprof identify` must resolve to (exit 1 otherwise)")
 
 	pos, err := parseInterleaved(fs, args)
 	if err != nil {
@@ -110,6 +111,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	case "diff":
 		return cmdDiff(rest, *seed, *archiveDir, opt, *jsonOut, stdout, stderr)
+
+	case "corpus":
+		return cmdCorpus(rest, *seed, *archiveDir, opt, *jsonOut, stdout, stderr)
+
+	case "identify":
+		return cmdIdentify(rest, *archiveDir, *expect, *jsonOut, stdout, stderr)
 
 	case "serve":
 		return cmdServe(rest, *archiveDir, *addr, stdout, stderr)
@@ -216,9 +223,15 @@ func usage(w io.Writer) {
   osprof [flags] diff <refA> <refB>   differential analysis of two runs
   osprof [flags] diff [<id>...]       regression gate: re-record and diff
                                       each scenario against its baseline
+  osprof [flags] corpus build         record the labeled reference corpus
+                                      (scenario variants) into the archive
+  osprof corpus list                  list the corpus scenarios and labels
+  osprof [flags] identify <ref>       attribute an unknown run to the
+                                      nearest corpus label, or abstain
   osprof [flags] serve                HTTP/JSON service over the archive
                                       (POST /v1/ingest, GET /v1/runs,
-                                      GET /v1/diff/{a}/{b}, /v1/baseline)
+                                      GET /v1/diff/{a}/{b}, /v1/baseline,
+                                      POST /v1/identify)
   osprof [flags] archive list         list the archived runs
   osprof [flags] archive gc           trim the archive (keep -keep runs
                                       per fingerprint, baselines pinned)
@@ -232,6 +245,8 @@ flags:
   -addr A       serve listen address (default 127.0.0.1:7971; use :0
                 for a random port, printed on startup)
   -keep N       runs kept per fingerprint by archive gc (default 5)
-exit codes: 0 ok / no differences, 1 failed checks or differences
-found, 2 usage or archive errors.`)
+  -expect L     label identify must resolve to (exit 1 on mismatch)
+exit codes: 0 ok / no differences / confident identification, 1 failed
+checks, differences found, or identify abstained/mismatched, 2 usage
+or archive errors.`)
 }

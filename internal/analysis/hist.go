@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"math"
+
+	"osprof/internal/core"
+)
+
+// This file provides the float-histogram distance primitives behind the
+// fingerprint classifier (internal/classify): a profile normalized into
+// a caller-owned buffer, and Earth Mover's Distance directly over such
+// buffers. The classifier compares an unknown run against per-label
+// centroid sets over the union of their operations, normalizing each
+// side into a reused scratch buffer; these helpers give it the same
+// EMD the Selector uses (bit-identical arithmetic to EarthMovers)
+// without allocating two histograms per comparison — identification
+// ranks every operation against every corpus label, so the comparison
+// count is ops x labels per verdict.
+
+// AppendNormalized appends p's normalized histogram (each bucket's
+// share of the profile's operation count, exactly the arithmetic of
+// Profile.Normalized) to dst and returns the extended slice. Passing
+// dst[:0] of a retained buffer makes repeated normalization
+// allocation-free once the buffer has grown to the bucket count.
+func AppendNormalized(dst []float64, p *core.Profile) []float64 {
+	c := float64(p.Count)
+	if c == 0 {
+		c = 1 // all buckets are zero; every share is still 0
+	}
+	for _, n := range p.Buckets {
+		dst = append(dst, float64(n)/c)
+	}
+	return dst
+}
+
+// HistEMD computes the 1-D Earth Mover's Distance between two
+// equal-length normalized histograms, scaled to [0,1] by the maximum
+// possible work, the same transport arithmetic as EarthMovers. Inputs
+// whose masses differ are handled by the cumulative-difference form:
+// undeliverable mass keeps contributing |carry| for every remaining
+// bucket, so a mass deficit reads as distance rather than being
+// silently ignored (a defensive property — the classifier always
+// passes unit-mass histograms). Two all-zero histograms are identical
+// (distance 0). Callers that want EarthMovers' convention of a maximal
+// score for a one-sided pair (all mass vs no mass) must special-case
+// it, as the classifier does for operations absent from one side.
+func HistEMD(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("analysis: comparing histograms of different resolutions")
+	}
+	if len(a) < 2 {
+		return 0
+	}
+	var work, carry float64
+	for i := range a {
+		carry += a[i] - b[i]
+		work += math.Abs(carry)
+	}
+	return work / float64(len(a)-1)
+}

@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+
+	"osprof/internal/core"
+)
+
+// randomProfile fills a profile with count latencies from rng.
+func randomProfile(t *testing.T, rng *rand.Rand, count int) *core.Profile {
+	t.Helper()
+	p := core.NewProfile("op")
+	for i := 0; i < count; i++ {
+		p.Record(uint64(rng.Int63n(1 << 30)))
+	}
+	return p
+}
+
+// HistEMD over AppendNormalized buffers must agree exactly with
+// EarthMovers over the source profiles: the classifier's centroid
+// arithmetic and the Selector's phase-3 scoring are the same metric.
+func TestHistEMDMatchesEarthMovers(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var bufA, bufB []float64
+	for trial := 0; trial < 50; trial++ {
+		a := randomProfile(t, rng, 1+rng.Intn(500))
+		b := randomProfile(t, rng, 1+rng.Intn(500))
+		bufA = AppendNormalized(bufA[:0], a)
+		bufB = AppendNormalized(bufB[:0], b)
+		if got, want := HistEMD(bufA, bufB), EarthMovers(a, b); got != want {
+			t.Fatalf("trial %d: HistEMD=%v EarthMovers=%v", trial, got, want)
+		}
+	}
+}
+
+func TestHistEMDEdgeCases(t *testing.T) {
+	zero := make([]float64, 64)
+	if d := HistEMD(zero, zero); d != 0 {
+		t.Errorf("zero vs zero: %v", d)
+	}
+	a := make([]float64, 64)
+	a[0] = 1
+	if d := HistEMD(a, a); d != 0 {
+		t.Errorf("identical: %v", d)
+	}
+	b := make([]float64, 64)
+	b[63] = 1
+	if d := HistEMD(a, b); d != 1 {
+		t.Errorf("opposite ends must be maximal, got %v", d)
+	}
+	// A mass deficit is distance, not a no-op: half the mass missing on
+	// one side leaves |carry|=0.5 over the whole axis.
+	half := make([]float64, 64)
+	half[0] = 0.5
+	if d := HistEMD(a, half); d < 0.4 {
+		t.Errorf("mass deficit scored %v", d)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	HistEMD(a, a[:10])
+}
+
+func TestAppendNormalizedEmptyProfile(t *testing.T) {
+	p := core.NewProfile("op")
+	h := AppendNormalized(nil, p)
+	if len(h) != len(p.Buckets) {
+		t.Fatalf("len=%d want %d", len(h), len(p.Buckets))
+	}
+	for i, v := range h {
+		if v != 0 {
+			t.Fatalf("bucket %d = %v on an empty profile", i, v)
+		}
+	}
+}
+
+func TestAppendNormalizedReuseIsAllocationFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randomProfile(t, rng, 100)
+	b := randomProfile(t, rng, 100)
+	var bufA, bufB []float64
+	bufA = AppendNormalized(bufA[:0], a) // warm up the buffers
+	bufB = AppendNormalized(bufB[:0], b)
+	allocs := testing.AllocsPerRun(100, func() {
+		bufA = AppendNormalized(bufA[:0], a)
+		bufB = AppendNormalized(bufB[:0], b)
+		HistEMD(bufA, bufB)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state normalization+EMD allocates %.1f/op", allocs)
+	}
+}

@@ -1,0 +1,481 @@
+// Package classify is the OS fingerprint classifier: it answers the
+// paper's headline question — latency histograms reveal OS internals
+// (kernel preemption build, file system, storage backend, cache
+// configuration) — in reverse. Given an unknown recorded run and a
+// labeled reference corpus of archived runs (scenario variants whose
+// `label` metadata names the configuration family that produced them,
+// internal/scenario.Variants), Identify attributes the unknown profile
+// to the nearest label by per-operation Earth Mover's Distance against
+// per-label centroids, or abstains when no label fits.
+//
+// The method is nearest-centroid over the paper's own comparison
+// metric (§3.2, §5.3: EMD had the smallest false-classification rate):
+//
+//   - every archived run sharing a label is merged into one centroid
+//     set; the centroid's per-operation histograms are the normalized
+//     bucket shares of the merged counts, so multiple seeds of the same
+//     configuration fold into one reference shape;
+//   - the distance between an unknown run and a centroid is the
+//     count-share-weighted mean of per-operation EMDs over the union of
+//     their operations, with an operation present on only one side
+//     scored at EMD's maximal 1 (the same convention as the
+//     differential engine's new-op/missing-op verdicts);
+//   - the verdict is the closest label, with two abstention guards: a
+//     maximum absolute distance (an unknown from a configuration absent
+//     from the corpus is nobody's neighbor) and a minimum relative
+//     margin between the best and runner-up labels (two labels almost
+//     equally close mean the evidence cannot separate them).
+//
+// The report carries the full ranking plus per-operation evidence for
+// the best-vs-runner-up decision, naming which operations discriminated
+// — e.g. the read profile's extra runqueue-wait peak separating a
+// CONFIG_PREEMPT kernel from its non-preemptive twin (Figure 3).
+package classify
+
+import (
+	"fmt"
+	"sort"
+
+	"osprof/internal/analysis"
+	"osprof/internal/core"
+	"osprof/internal/store"
+)
+
+// Schema versions the JSON shape of Report so downstream tooling
+// (`osprof identify -json`, POST /v1/identify) can rely on it.
+const Schema = "osprof-identify/v1"
+
+// LabelMetaKey is the run-envelope metadata key that marks a run as a
+// member of the reference corpus and names its label. It aliases the
+// store's constant: the archive index mirrors this metadata so corpus
+// construction can skip unlabeled runs without loading them.
+const LabelMetaKey = store.LabelMetaKey
+
+// Centroid is one label's reference: every corpus run recorded under
+// the label, merged into a single profile set.
+type Centroid struct {
+	// Label names the configuration family ("ext2-preempt-c256").
+	Label string
+
+	// Runs counts the member runs folded into the centroid.
+	Runs int
+
+	merged *core.Set
+}
+
+// Set returns the centroid's merged profile set.
+func (c *Centroid) Set() *core.Set { return c.merged }
+
+// Corpus is a labeled reference corpus ready for classification.
+type Corpus struct {
+	// R is the bucket resolution shared by every centroid.
+	R int
+
+	// Centroids holds one entry per label, sorted by label.
+	Centroids []*Centroid
+}
+
+// Labels lists the corpus labels in sorted order.
+func (c *Corpus) Labels() []string {
+	out := make([]string, len(c.Centroids))
+	for i, ct := range c.Centroids {
+		out[i] = ct.Label
+	}
+	return out
+}
+
+// BuildCorpus groups runs by their label metadata and merges each
+// group into a centroid. Every run must carry a non-empty label (the
+// caller filters; see FromArchive) and all runs must share one bucket
+// resolution, since EMD compares bucket axes positionally.
+func BuildCorpus(runs []*core.Run) (*Corpus, error) {
+	byLabel := make(map[string]*Centroid)
+	var order []string
+	r := 0
+	for _, run := range runs {
+		if run.Set == nil {
+			return nil, fmt.Errorf("classify: corpus run without a profile set")
+		}
+		label := run.Meta[LabelMetaKey]
+		if label == "" {
+			return nil, fmt.Errorf("classify: corpus run %q has no %q metadata", run.Name(), LabelMetaKey)
+		}
+		if r == 0 {
+			r = run.Set.R
+		}
+		if run.Set.R != r {
+			return nil, fmt.Errorf("classify: corpus mixes resolutions %d and %d", r, run.Set.R)
+		}
+		ct := byLabel[label]
+		if ct == nil {
+			ct = &Centroid{Label: label, merged: core.NewSetR(label, r)}
+			byLabel[label] = ct
+			order = append(order, label)
+		}
+		if err := ct.merged.Merge(run.Set); err != nil {
+			return nil, fmt.Errorf("classify: centroid %q: %w", label, err)
+		}
+		ct.Runs++
+	}
+	sort.Strings(order)
+	corpus := &Corpus{R: r}
+	for _, label := range order {
+		corpus.Centroids = append(corpus.Centroids, byLabel[label])
+	}
+	return corpus, nil
+}
+
+// Classifier identifies unknown runs against a corpus. It carries
+// reusable normalization scratch, so create one and reuse it; a
+// Classifier must not be used from multiple goroutines concurrently.
+type Classifier struct {
+	// MaxDistance is the absolute abstention threshold: a best label
+	// farther than this is no identification. The default 0.01 sits
+	// between the corpus's measured cross-seed noise (a held-out seed
+	// of a corpus configuration lands within ~1.6e-3 of its own
+	// centroid) and the nearest foreign configuration (every
+	// backend×workload matrix scenario lands at >= 1.6e-2); the
+	// leave-one-seed-out cross-validation test pins both sides.
+	MaxDistance float64
+
+	// MinMargin is the relative abstention threshold: the runner-up
+	// must be at least this fraction farther than the best label,
+	// (d2-d1)/d2 >= MinMargin. The default 0.20 likewise splits the
+	// measured populations: genuine corpus members resolve with margin
+	// >= 0.64, foreign profiles that happen to land near some centroid
+	// are torn between several (margin <= 0.13). A perfect match
+	// (d1=0) has margin 1; two labels with identical centroids have
+	// margin 0 and always abstain.
+	MinMargin float64
+
+	// Evidence caps the per-operation evidence rows (default 5).
+	Evidence int
+
+	// scratch buffers for normalized histograms, reused across calls.
+	histU, histC []float64
+	ops          []string
+	seen         map[string]bool
+}
+
+// New returns a classifier with the default abstention thresholds.
+func New() *Classifier {
+	return &Classifier{MaxDistance: 0.01, MinMargin: 0.20, Evidence: 5}
+}
+
+// LabelDistance is one ranked corpus label.
+type LabelDistance struct {
+	Label    string  `json:"label"`
+	Distance float64 `json:"distance"`
+	Runs     int     `json:"runs"`
+}
+
+// OpEvidence names one operation's contribution to separating the best
+// label from the runner-up.
+type OpEvidence struct {
+	Op string `json:"op"`
+
+	// EMDBest and EMDRunnerUp are the unknown operation's distances to
+	// the two leading centroids (1 when absent from one side).
+	EMDBest     float64 `json:"emd_best"`
+	EMDRunnerUp float64 `json:"emd_runner_up"`
+
+	// Weight is the operation's count-share weight in the distance.
+	Weight float64 `json:"weight"`
+
+	// Contribution is Weight*(EMDRunnerUp-EMDBest): how much this
+	// operation pulled the verdict toward the best label (negative
+	// values pulled toward the runner-up).
+	Contribution float64 `json:"contribution"`
+
+	// Mode, ModeBest and ModeRunnerUp are the mode buckets of the
+	// unknown's and the two centroids' histograms (-1 when the
+	// operation is absent) — a shifted read mode against the
+	// runner-up is the Figure 3 CONFIG_PREEMPT signature.
+	Mode         int `json:"mode"`
+	ModeBest     int `json:"mode_best"`
+	ModeRunnerUp int `json:"mode_runner_up"`
+
+	// Detail is a human-readable explanation.
+	Detail string `json:"detail,omitempty"`
+}
+
+// Report is the classification verdict for one unknown run.
+type Report struct {
+	Schema string `json:"schema"`
+
+	// Name and Fingerprint identify the unknown run.
+	Name        string `json:"name"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+
+	// Matched reports a confident identification; when false the
+	// classifier abstained and Reason explains why.
+	Matched bool   `json:"matched"`
+	Reason  string `json:"reason"`
+
+	// Label is the nearest corpus label (the verdict when Matched, the
+	// best rejected guess otherwise; empty only for an empty corpus).
+	Label string `json:"label,omitempty"`
+
+	// Distance is the distance to Label; Margin is the relative gap to
+	// the runner-up, (d2-d1)/d2 (1 when the corpus has a single label).
+	Distance float64 `json:"distance"`
+	Margin   float64 `json:"margin"`
+
+	// Ranking lists every corpus label, nearest first.
+	Ranking []LabelDistance `json:"ranking"`
+
+	// Evidence lists the operations that most separated Label from the
+	// runner-up, strongest first.
+	Evidence []OpEvidence `json:"evidence,omitempty"`
+}
+
+// opDistance is the per-operation breakdown of one centroid distance.
+type opDistance struct {
+	op     string
+	weight float64
+	emd    float64
+	mode   int // unknown's mode bucket (-1 when absent)
+	modeC  int // centroid's mode bucket (-1 when absent)
+}
+
+// Identify classifies the unknown run against the corpus. It never
+// fails: malformed situations (empty corpus, resolution mismatch, a
+// run with no recorded operations) abstain with a reason instead of
+// erroring, so garbage in means a clean abstention out.
+func (c *Classifier) Identify(corpus *Corpus, run *core.Run) *Report {
+	// Ranking marshals as [] on early abstentions, never null — the
+	// same empty-collection convention as the other versioned docs.
+	rep := &Report{Schema: Schema, Ranking: []LabelDistance{}}
+	if run != nil {
+		rep.Name = run.Name()
+		rep.Fingerprint = run.Fingerprint
+	}
+	switch {
+	case run == nil || run.Set == nil:
+		rep.Reason = "no profile set to identify"
+		return rep
+	case corpus == nil || len(corpus.Centroids) == 0:
+		rep.Reason = "empty corpus (record labeled reference runs first)"
+		return rep
+	case run.Set.R != corpus.R:
+		rep.Reason = fmt.Sprintf("resolution mismatch: run r=%d, corpus r=%d",
+			run.Set.R, corpus.R)
+		return rep
+	case run.Set.TotalOps() == 0:
+		// Without this, a zero-op run against a zero-op centroid would
+		// score distance 0 (no weight anywhere) and "match".
+		rep.Reason = "run recorded no operations"
+		return rep
+	}
+
+	// One per-op breakdown per centroid, retained so the evidence pass
+	// reuses the top-2 labels' EMDs instead of recomputing them.
+	breakdowns := make(map[string][]opDistance, len(corpus.Centroids))
+	for _, ct := range corpus.Centroids {
+		ods := c.distanceOps(run.Set, ct)
+		breakdowns[ct.Label] = ods
+		rep.Ranking = append(rep.Ranking, LabelDistance{
+			Label: ct.Label, Distance: distance(ods), Runs: ct.Runs,
+		})
+	}
+	sort.SliceStable(rep.Ranking, func(i, j int) bool {
+		a, b := rep.Ranking[i], rep.Ranking[j]
+		if a.Distance != b.Distance {
+			return a.Distance < b.Distance
+		}
+		return a.Label < b.Label
+	})
+
+	best := rep.Ranking[0]
+	rep.Label = best.Label
+	rep.Distance = best.Distance
+	rep.Margin = 1
+	if len(rep.Ranking) > 1 {
+		d1, d2 := best.Distance, rep.Ranking[1].Distance
+		if d2 > 0 {
+			rep.Margin = (d2 - d1) / d2
+		} else {
+			rep.Margin = 0 // two labels at distance 0: indistinguishable
+		}
+	}
+
+	switch {
+	case rep.Distance > c.MaxDistance:
+		rep.Reason = fmt.Sprintf("nearest label %q at distance %.4g exceeds max %.4g: configuration absent from the corpus",
+			rep.Label, rep.Distance, c.MaxDistance)
+	case len(rep.Ranking) > 1 && rep.Margin < c.MinMargin:
+		rep.Reason = fmt.Sprintf("ambiguous: runner-up %q margin %.4g below min %.4g",
+			rep.Ranking[1].Label, rep.Margin, c.MinMargin)
+	default:
+		rep.Matched = true
+		rep.Reason = fmt.Sprintf("distance %.4g within max %.4g, margin %.4g over min %.4g",
+			rep.Distance, c.MaxDistance, rep.Margin, c.MinMargin)
+	}
+
+	if len(rep.Ranking) > 1 {
+		rep.Evidence = c.evidence(
+			breakdowns[rep.Ranking[0].Label], breakdowns[rep.Ranking[1].Label],
+			rep.Ranking[0].Label, rep.Ranking[1].Label)
+	}
+	return rep
+}
+
+// distance folds a per-operation breakdown into the
+// count-share-weighted mean EMD.
+func distance(ods []opDistance) float64 {
+	var sum, wsum float64
+	for _, od := range ods {
+		sum += od.weight * od.emd
+		wsum += od.weight
+	}
+	if wsum == 0 {
+		return 0
+	}
+	return sum / wsum
+}
+
+// distanceOps computes the per-operation EMDs and weights for one
+// unknown-vs-centroid pair over the union of their operations, in
+// sorted operation order. The returned slice is freshly allocated (it
+// outlives the next call); the histogram scratch is reused.
+func (c *Classifier) distanceOps(set *core.Set, ct *Centroid) []opDistance {
+	if c.seen == nil {
+		c.seen = make(map[string]bool)
+	}
+	clear(c.seen)
+	c.ops = set.AppendOps(c.ops[:0])
+	for _, op := range c.ops {
+		c.seen[op] = true
+	}
+	for _, op := range ct.merged.Ops() {
+		if !c.seen[op] {
+			c.seen[op] = true
+			c.ops = append(c.ops, op)
+		}
+	}
+	sort.Strings(c.ops)
+
+	totalU := float64(set.TotalOps())
+	totalC := float64(ct.merged.TotalOps())
+	out := make([]opDistance, 0, len(c.ops))
+	for _, op := range c.ops {
+		pu, pc := set.Lookup(op), ct.merged.Lookup(op)
+		od := opDistance{op: op, mode: modeBucket(pu), modeC: modeBucket(pc)}
+		var shareU, shareC float64
+		if pu != nil && totalU > 0 {
+			shareU = float64(pu.Count) / totalU
+		}
+		if pc != nil && totalC > 0 {
+			shareC = float64(pc.Count) / totalC
+		}
+		od.weight = (shareU + shareC) / 2
+		switch {
+		case pu == nil || pu.Count == 0:
+			if pc == nil || pc.Count == 0 {
+				od.emd = 0 // recorded zero times on both sides
+			} else {
+				od.emd = 1 // all mass vs no mass: maximal difference
+			}
+		case pc == nil || pc.Count == 0:
+			od.emd = 1
+		default:
+			c.histU = analysis.AppendNormalized(c.histU[:0], pu)
+			c.histC = analysis.AppendNormalized(c.histC[:0], pc)
+			od.emd = analysis.HistEMD(c.histU, c.histC)
+		}
+		out = append(out, od)
+	}
+	return out
+}
+
+// modeBucket returns the profile's most populated bucket, -1 when the
+// profile is absent or empty.
+func modeBucket(p *core.Profile) int {
+	if p == nil || p.Count == 0 {
+		return -1
+	}
+	mode, best := -1, uint64(0)
+	for b, n := range p.Buckets {
+		if n > best {
+			best, mode = n, b
+		}
+	}
+	return mode
+}
+
+// evidence ranks the operations by how strongly they pulled the
+// verdict toward the best label over the runner-up. bestOps and
+// runnerOps cover the same unknown set, but their op unions may differ
+// (an op present in one centroid only); the union of both is scored.
+func (c *Classifier) evidence(bestOps, runnerOps []opDistance, bestLabel, runnerLabel string) []OpEvidence {
+	runner := make(map[string]opDistance, len(runnerOps))
+	for _, od := range runnerOps {
+		runner[od.op] = od
+	}
+	seen := make(map[string]bool, len(bestOps))
+	var rows []OpEvidence
+	add := func(b, r opDistance) {
+		w := b.weight
+		if r.weight > w {
+			w = r.weight
+		}
+		rows = append(rows, OpEvidence{
+			Op:           b.op,
+			EMDBest:      b.emd,
+			EMDRunnerUp:  r.emd,
+			Weight:       w,
+			Contribution: w * (r.emd - b.emd),
+			Mode:         b.mode,
+			ModeBest:     b.modeC,
+			ModeRunnerUp: r.modeC,
+			Detail: fmt.Sprintf("mode bucket %d (run) vs %d (%s) / %d (%s)",
+				b.mode, b.modeC, bestLabel, r.modeC, runnerLabel),
+		})
+	}
+	for _, b := range bestOps {
+		seen[b.op] = true
+		r, ok := runner[b.op]
+		if !ok {
+			// Op absent from the runner-up centroid entirely: the
+			// runner-up side compares as one-sided.
+			r = opDistance{op: b.op, emd: oneSided(b), modeC: -1}
+		}
+		add(b, r)
+	}
+	for _, r := range runnerOps {
+		if !seen[r.op] {
+			add(opDistance{op: r.op, emd: oneSided(r), mode: r.mode, modeC: -1}, r)
+		}
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		ai, aj := abs(rows[i].Contribution), abs(rows[j].Contribution)
+		if ai != aj {
+			return ai > aj
+		}
+		return rows[i].Op < rows[j].Op
+	})
+	max := c.Evidence
+	if max <= 0 {
+		max = 5
+	}
+	if len(rows) > max {
+		rows = rows[:max]
+	}
+	return rows
+}
+
+// oneSided scores an op missing from one centroid: maximal if the
+// unknown recorded it, 0 if nobody did.
+func oneSided(od opDistance) float64 {
+	if od.mode >= 0 {
+		return 1
+	}
+	return 0
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

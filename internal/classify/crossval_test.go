@@ -1,0 +1,173 @@
+package classify_test
+
+import (
+	"strings"
+	"testing"
+
+	"osprof/internal/classify"
+	"osprof/internal/core"
+	"osprof/internal/experiments"
+	"osprof/internal/runner"
+	"osprof/internal/scenario"
+	"osprof/internal/store"
+)
+
+// This file is the leave-one-seed-out cross-validation of the
+// fingerprint classifier over the full labeled corpus: the corpus is
+// recorded at training seeds through the real pipeline (runner ->
+// archive -> FromArchive), then every label is re-recorded at a
+// held-out seed and identified. The accuracy gates:
+//
+//   - configuration family (the label's first component: ext2, reiser,
+//     cifs, fig3 — the backend axis): 100%, no exceptions. Backends
+//     differ in whole peak structures, so a family miss means the
+//     classifier is broken, not unlucky.
+//   - full label (family + kernel preemption config + cache size):
+//     >= 10 of 12. The preempt/nopreempt centroid gap is real but
+//     narrow (~5-10x the cross-seed noise; the §3.3 preemption-peak
+//     population is ~0.5% of the reads), so the gate documents the
+//     achieved threshold rather than demanding perfection. Measured:
+//     12/12 at the pinned seeds.
+//
+// An abstention counts as a miss on both gates: the corpus member must
+// not only be nearest to its own label but confidently so.
+
+// recordCorpusInto archives every labeled variant at the given seed
+// (the `osprof corpus build` path: labels travel as run metadata
+// through runner.Options.Archive).
+func recordCorpusInto(t *testing.T, arch *store.Archive, seed int64) {
+	t.Helper()
+	reg, fps, _, ids := experiments.Corpus(seed)
+	jobs := make([]runner.Job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, runner.Job{ID: id, New: reg[id], Fingerprint: fps[id]})
+	}
+	results := runner.Run(jobs, runner.Options{Parallel: 2, Archive: arch})
+	for i := range results {
+		if !results[i].OK() {
+			t.Fatalf("corpus recording %s failed: %+v", results[i].ID, results[i])
+		}
+		if results[i].RunID == "" {
+			t.Fatalf("corpus recording %s archived nothing", results[i].ID)
+		}
+	}
+}
+
+// heldOutRun re-records one labeled spec at a held-out seed and wraps
+// it as an unlabeled unknown (the classifier must not peek at labels).
+func heldOutRun(t *testing.T, spec scenario.Spec) *core.Run {
+	t.Helper()
+	r := experiments.RecordScenario(spec)
+	if r.Err != nil {
+		t.Fatalf("held-out %s: %v", spec.Name, r.Err)
+	}
+	return &core.Run{Fingerprint: spec.Fingerprint(), Set: r.Stack.Set}
+}
+
+// family is a label's configuration-family component ("ext2-preempt-
+// c256" -> "ext2").
+func family(label string) string {
+	if i := strings.IndexByte(label, '-'); i >= 0 {
+		return label[:i]
+	}
+	return label
+}
+
+func TestLeaveOneSeedOutCrossValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("records the full corpus three times")
+	}
+	arch, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Train on two seeds so centroids genuinely fold multiple runs.
+	recordCorpusInto(t, arch, 1)
+	recordCorpusInto(t, arch, 2)
+	corpus, labeled, err := classify.FromArchive(arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, corpusIDs := experiments.Corpus(1)
+	wantLabels := len(corpusIDs)
+	if labeled != 2*wantLabels {
+		t.Fatalf("archive holds %d labeled runs, want %d", labeled, 2*wantLabels)
+	}
+	if got := len(corpus.Labels()); got != wantLabels {
+		t.Fatalf("corpus has %d labels, want %d", got, wantLabels)
+	}
+	for _, ct := range corpus.Centroids {
+		if ct.Runs != 2 {
+			t.Errorf("centroid %s folded %d runs, want 2 (one per training seed)", ct.Label, ct.Runs)
+		}
+	}
+
+	c := classify.New()
+	total, fullHits, familyMisses := 0, 0, 0
+	for _, spec := range scenario.Variants(5) { // held-out seed
+		rep := c.Identify(corpus, heldOutRun(t, spec))
+		total++
+		if rep.Matched && rep.Label == spec.Label {
+			fullHits++
+		} else {
+			t.Logf("miss: %s -> %q matched=%v d=%.4g margin=%.4g (%s)",
+				spec.Label, rep.Label, rep.Matched, rep.Distance, rep.Margin, rep.Reason)
+		}
+		if !rep.Matched || family(rep.Label) != family(spec.Label) {
+			familyMisses++
+			t.Errorf("family miss: %s identified as %q (matched=%v, %s)",
+				spec.Label, rep.Label, rep.Matched, rep.Reason)
+		}
+	}
+	if total < 10 {
+		t.Fatalf("corpus shrank to %d labels", total)
+	}
+	// Backend/family gate: 100%.
+	if familyMisses != 0 {
+		t.Errorf("%d/%d family misses (gate: 0)", familyMisses, total)
+	}
+	// Full-label gate incl. kernel-config labels: documented threshold
+	// 10/12 (measured 12/12; see the file comment).
+	if fullHits < total-2 {
+		t.Errorf("full-label accuracy %d/%d below the documented threshold %d/%d",
+			fullHits, total, total-2, total)
+	}
+}
+
+// A profile recorded from a configuration absent from the corpus must
+// abstain — the acceptance criterion behind `osprof identify`'s exit
+// code 1. ext2/readzero is the adversarial pick: it is the nearest
+// foreign scenario to the corpus (it shares the fig3 pair's workload
+// shape), so it probes the MaxDistance/MinMargin calibration where the
+// gap is thinnest.
+func TestForeignConfigurationsAbstain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("records the corpus plus foreign scenarios")
+	}
+	arch, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recordCorpusInto(t, arch, 1)
+	corpus, _, err := classify.FromArchive(arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := classify.New()
+	var foreign []scenario.Spec
+	for _, spec := range scenario.Matrix(1) {
+		if spec.Name == "ext2/readzero" || spec.Name == "ext2/randomread" {
+			foreign = append(foreign, spec)
+		}
+	}
+	if len(foreign) != 2 {
+		t.Fatalf("foreign picks missing from the matrix: %d", len(foreign))
+	}
+	for _, spec := range foreign {
+		rep := c.Identify(corpus, heldOutRun(t, spec))
+		if rep.Matched {
+			t.Errorf("%s (not in the corpus) identified as %q d=%.4g margin=%.4g",
+				spec.Name, rep.Label, rep.Distance, rep.Margin)
+		}
+	}
+}

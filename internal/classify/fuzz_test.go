@@ -1,0 +1,105 @@
+package classify_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"osprof/internal/classify"
+	"osprof/internal/core"
+)
+
+// fuzzCorpus builds a small adversarial corpus: two near-identical
+// centroids (the ambiguity edge case), one exact twin pair, and a
+// normal label — so fuzzed envelopes land on every abstention path.
+func fuzzCorpus(tb testing.TB) *classify.Corpus {
+	tb.Helper()
+	mk := func(label string, build func(*core.Set)) *core.Run {
+		set := core.NewSet(label)
+		build(set)
+		return &core.Run{Meta: map[string]string{classify.LabelMetaKey: label}, Set: set}
+	}
+	fill := func(op string, lat uint64, n int) func(*core.Set) {
+		return func(s *core.Set) {
+			p := s.Get(op)
+			for i := 0; i < n; i++ {
+				p.Record(lat)
+			}
+		}
+	}
+	near := func(s *core.Set) {
+		fill("read", 1<<6, 1000)(s)
+		s.Get("read").Record(1 << 7) // one bucket of difference
+	}
+	corpus, err := classify.BuildCorpus([]*core.Run{
+		mk("near-a", fill("read", 1<<6, 1000)),
+		mk("near-b", near),
+		mk("twin-a", fill("open", 1<<9, 100)),
+		mk("twin-b", fill("open", 1<<9, 100)),
+		mk("normal", fill("lookup", 1<<12, 500)),
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return corpus
+}
+
+// envelopeBytes serializes a run for use as a fuzz seed.
+func envelopeBytes(tb testing.TB, run *core.Run) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	if err := core.WriteRun(&buf, run); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzIdentify feeds arbitrary (malformed, truncated, adversarial)
+// envelope bytes through the parse-then-identify path the CLI and the
+// HTTP service share. Whatever the bytes, the classifier must not
+// panic, must return a well-formed report (abstentions carry reasons),
+// and the report must marshal to JSON (no NaN/Inf distances).
+func FuzzIdentify(f *testing.F) {
+	corpus := fuzzCorpus(f)
+
+	// Seeds: a corpus member's exact envelope, a near-centroid one, a
+	// bare set, truncations, and plain garbage.
+	member := envelopeBytes(f, &core.Run{
+		Meta: map[string]string{classify.LabelMetaKey: "near-a"},
+		Set:  corpus.Centroids[0].Set().Clone(),
+	})
+	f.Add(member)
+	f.Add(member[:len(member)/2])
+	var bare bytes.Buffer
+	if err := core.WriteSet(&bare, corpus.Centroids[len(corpus.Centroids)-1].Set()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(bare.Bytes())
+	f.Add([]byte("osprof-run v1 fingerprint=\"zz\"\n"))
+	f.Add([]byte("not an envelope at all"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		run, err := core.ReadRun(bytes.NewReader(data))
+		if err != nil {
+			return // the parser rejected it; nothing to classify
+		}
+		rep := classify.New().Identify(corpus, run)
+		if rep == nil {
+			t.Fatal("nil report")
+		}
+		if rep.Schema != classify.Schema {
+			t.Fatalf("schema %q", rep.Schema)
+		}
+		if !rep.Matched && rep.Reason == "" {
+			t.Fatalf("abstention without a reason: %+v", rep)
+		}
+		if rep.Matched && strings.HasPrefix(rep.Label, "twin-") {
+			t.Fatalf("matched an indistinguishable twin: %+v", rep)
+		}
+		if _, err := json.Marshal(rep); err != nil {
+			t.Fatalf("report not marshalable: %v (%+v)", err, rep)
+		}
+	})
+}

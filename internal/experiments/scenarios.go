@@ -9,6 +9,7 @@ import (
 	"osprof/internal/cycles"
 	"osprof/internal/report"
 	"osprof/internal/scenario"
+	"osprof/internal/store"
 )
 
 // ScenarioResult wraps one scenario-matrix run (or any ad-hoc
@@ -146,14 +147,21 @@ func (r *ScenarioResult) ProfileSet() *core.Set {
 }
 
 // RunMeta implements runner.MetaProvider with deterministic run
-// descriptors for the archived envelope (no wall-clock values).
+// descriptors for the archived envelope (no wall-clock values). A
+// labeled Spec (a corpus variant) carries its label here — the
+// metadata internal/classify groups archived runs by when it builds
+// the reference corpus.
 func (r *ScenarioResult) RunMeta() map[string]string {
-	return map[string]string{
+	m := map[string]string{
 		"scenario":  r.Spec.Name,
 		"backend":   r.Spec.Backend.String(),
 		"elapsed":   fmt.Sprintf("%d", r.Elapsed),
 		"workloads": fmt.Sprintf("%d", len(r.Spec.Workloads)),
 	}
+	if r.Spec.Label != "" {
+		m[store.LabelMetaKey] = r.Spec.Label
+	}
+	return m
 }
 
 // Report implements Result.
@@ -200,4 +208,26 @@ func Recordables(seed int64) (reg map[string]func() Result, fps map[string]strin
 		ids = append(ids, spec.Name)
 	}
 	return reg, fps, ids
+}
+
+// Corpus returns the labeled subset of the recordable scenarios — the
+// identification reference corpus (`osprof corpus build`) — as
+// single-run constructors keyed by name, with each spec's fingerprint,
+// its corpus label, and the ordered name list.
+func Corpus(seed int64) (reg map[string]func() Result, fps, labels map[string]string, ids []string) {
+	specs := scenario.Variants(seed)
+	reg = make(map[string]func() Result, len(specs))
+	fps = make(map[string]string, len(specs))
+	labels = make(map[string]string, len(specs))
+	for _, spec := range specs {
+		if spec.Label == "" {
+			continue
+		}
+		spec := spec
+		reg[spec.Name] = func() Result { return RecordScenario(spec) }
+		fps[spec.Name] = spec.Fingerprint()
+		labels[spec.Name] = spec.Label
+		ids = append(ids, spec.Name)
+	}
+	return reg, fps, labels, ids
 }

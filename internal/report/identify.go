@@ -1,0 +1,53 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"osprof/internal/classify"
+)
+
+// Identify renders a classification verdict in the repository's text
+// style: the verdict line, the ranked label table, and the
+// per-operation evidence explaining what separated the top two labels
+// (the §5 "which OS internals does this profile reveal" reading, as a
+// table instead of eyeballed histograms).
+func Identify(w io.Writer, rep *classify.Report) {
+	name := rep.Name
+	if name == "" {
+		name = "(unnamed run)"
+	}
+	fmt.Fprintf(w, "identify %s", name)
+	if rep.Fingerprint != "" {
+		fmt.Fprintf(w, " fingerprint=%.12s", rep.Fingerprint)
+	}
+	fmt.Fprintln(w)
+	if rep.Matched {
+		fmt.Fprintf(w, "verdict: MATCH %s (distance %.4g, margin %.4g)\n",
+			rep.Label, rep.Distance, rep.Margin)
+	} else {
+		fmt.Fprintf(w, "verdict: ABSTAIN — %s\n", rep.Reason)
+	}
+	if len(rep.Ranking) > 0 {
+		fmt.Fprintln(w, "ranking:")
+		for i, ld := range rep.Ranking {
+			runs := "run"
+			if ld.Runs != 1 {
+				runs = "runs"
+			}
+			fmt.Fprintf(w, "  %2d. %-26s distance %-12.4g (%d %s)\n",
+				i+1, ld.Label, ld.Distance, ld.Runs, runs)
+		}
+	}
+	if len(rep.Evidence) > 0 && len(rep.Ranking) > 1 {
+		fmt.Fprintf(w, "evidence (ops separating %s from %s):\n",
+			rep.Ranking[0].Label, rep.Ranking[1].Label)
+		fmt.Fprintf(w, "  %-16s %12s %12s %8s  %s\n",
+			"op", "emd(best)", "emd(2nd)", "weight", "modes run/best/2nd")
+		for _, ev := range rep.Evidence {
+			fmt.Fprintf(w, "  %-16s %12.4g %12.4g %8.3f  %d/%d/%d\n",
+				ev.Op, ev.EMDBest, ev.EMDRunnerUp, ev.Weight,
+				ev.Mode, ev.ModeBest, ev.ModeRunnerUp)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package report_test
+
+import (
+	"strings"
+	"testing"
+
+	"osprof/internal/classify"
+	"osprof/internal/report"
+)
+
+func TestIdentifyRendering(t *testing.T) {
+	rep := &classify.Report{
+		Schema: classify.Schema, Name: "unknown", Fingerprint: "abcdef0123456789",
+		Matched: true, Label: "ext2-preempt-c256", Distance: 0.0001, Margin: 0.7,
+		Ranking: []classify.LabelDistance{
+			{Label: "ext2-preempt-c256", Distance: 0.0001, Runs: 2},
+			{Label: "ext2-nopreempt-c256", Distance: 0.004, Runs: 1},
+		},
+		Evidence: []classify.OpEvidence{{
+			Op: "read", EMDBest: 0.0001, EMDRunnerUp: 0.004, Weight: 0.9,
+			Contribution: 0.0035, Mode: 7, ModeBest: 7, ModeRunnerUp: 7,
+		}},
+	}
+	var b strings.Builder
+	report.Identify(&b, rep)
+	out := b.String()
+	for _, want := range []string{
+		"identify unknown fingerprint=abcdef012345",
+		"verdict: MATCH ext2-preempt-c256",
+		"1. ext2-preempt-c256",
+		"(2 runs)", "(1 run)",
+		"evidence (ops separating ext2-preempt-c256 from ext2-nopreempt-c256):",
+		"read",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+
+	rep.Matched = false
+	rep.Reason = "nearest label too far"
+	b.Reset()
+	report.Identify(&b, rep)
+	if !strings.Contains(b.String(), "verdict: ABSTAIN — nearest label too far") {
+		t.Errorf("abstention rendering:\n%s", b.String())
+	}
+}

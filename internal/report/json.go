@@ -17,6 +17,7 @@ import (
 const (
 	RunsSchema      = "osprof-runs/v1"
 	BaselinesSchema = "osprof-baselines/v1"
+	CorpusSchema    = "osprof-corpus/v1"
 )
 
 // JSON writes v as indented JSON with a trailing newline — the one
@@ -49,6 +50,28 @@ func RunList(entries []store.Entry) RunListDoc {
 		doc.Runs = append(doc.Runs, RunEntry{
 			Seq: e.Seq, ID: e.ID, Fingerprint: e.Fingerprint, Name: e.Name,
 		})
+	}
+	return doc
+}
+
+// CorpusEntry is the JSON shape of one labeled corpus scenario.
+type CorpusEntry struct {
+	ID    string `json:"id"`
+	Label string `json:"label"`
+}
+
+// CorpusListDoc is the `osprof corpus list -json` document.
+type CorpusListDoc struct {
+	Schema    string        `json:"schema"`
+	Scenarios []CorpusEntry `json:"scenarios"`
+}
+
+// CorpusList converts the corpus registry's scenario ids and labels
+// into the versioned listing document, preserving registry order.
+func CorpusList(ids []string, labels map[string]string) CorpusListDoc {
+	doc := CorpusListDoc{Schema: CorpusSchema, Scenarios: []CorpusEntry{}}
+	for _, id := range ids {
+		doc.Scenarios = append(doc.Scenarios, CorpusEntry{ID: id, Label: labels[id]})
 	}
 	return doc
 }

@@ -43,6 +43,11 @@ func (s Spec) Canonical() string {
 	b.WriteString("osprof-spec v1\n")
 	fmt.Fprintf(&b, "name=%q\n", s.Name)
 	fmt.Fprintf(&b, "setname=%q\n", s.SetName)
+	// Encoded only when set, so pre-label archives keep their keys
+	// (the same conditional-presence idiom as Tree and Flusher below).
+	if s.Label != "" {
+		fmt.Fprintf(&b, "label=%q\n", s.Label)
+	}
 	fmt.Fprintf(&b, "backend=%s\n", s.Backend)
 	fmt.Fprintf(&b, "cachepages=%d\n", s.CachePages)
 	fmt.Fprintf(&b, "superdaemon=%t\n", s.SuperDaemon)
@@ -99,9 +104,15 @@ func (s Spec) Canonical() string {
 	b.WriteString("\n")
 
 	for i, w := range s.Workloads {
-		fmt.Fprintf(&b, "workload %d kind=%s procname=%q procs=%d amount=%d files=%d seed=%d think=%d path=%q custom=%t\n",
+		fmt.Fprintf(&b, "workload %d kind=%s procname=%q procs=%d amount=%d files=%d seed=%d think=%d path=%q",
 			i, w.Kind, w.ProcName, w.Procs, w.Amount, w.Files,
-			w.Seed, w.Think, w.Path, w.Body != nil)
+			w.Seed, w.Think, w.Path)
+		// Conditional for the same reason as label above: direct I/O
+		// (the zero value) stays encoded by absence.
+		if w.Cached {
+			fmt.Fprintf(&b, " cached=%t", w.Cached)
+		}
+		fmt.Fprintf(&b, " custom=%t\n", w.Body != nil)
 	}
 	return b.String()
 }

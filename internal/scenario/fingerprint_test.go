@@ -52,6 +52,7 @@ func TestFingerprintSensitivity(t *testing.T) {
 	mutations := map[string]func(*Spec){
 		"name":            func(s *Spec) { s.Name = "other" },
 		"setname":         func(s *Spec) { s.SetName = "other" },
+		"label":           func(s *Spec) { s.Label = "corpus-label" },
 		"backend":         func(s *Spec) { s.Backend = Reiser },
 		"cachepages":      func(s *Spec) { s.CachePages = 513 },
 		"superdaemon":     func(s *Spec) { s.SuperDaemon = true },
@@ -84,6 +85,7 @@ func TestFingerprintSensitivity(t *testing.T) {
 		"workload.amount": func(s *Spec) { s.Workloads[1].Amount = 101 },
 		"workload.seed":   func(s *Spec) { s.Workloads[1].Seed = 10 },
 		"workload.think":  func(s *Spec) { s.Workloads[1].Think = 100 },
+		"workload.cached": func(s *Spec) { s.Workloads[1].Cached = true },
 		"workload.path":   func(s *Spec) { s.Workloads[0].Path = "/other" },
 		"workload.name":   func(s *Spec) { s.Workloads[0].ProcName = "p" },
 		"workload.drop":   func(s *Spec) { s.Workloads = s.Workloads[:1] },
@@ -122,9 +124,9 @@ func TestFingerprintCoversEveryField(t *testing.T) {
 		typ  reflect.Type
 		want int
 	}{
-		"scenario.Spec":        {reflect.TypeOf(Spec{}), 15},
+		"scenario.Spec":        {reflect.TypeOf(Spec{}), 16},
 		"scenario.Instrument":  {reflect.TypeOf(Instrument{}), 6},
-		"scenario.Workload":    {reflect.TypeOf(Workload{}), 11},
+		"scenario.Workload":    {reflect.TypeOf(Workload{}), 12},
 		"scenario.FileSpec":    {reflect.TypeOf(FileSpec{}), 2},
 		"scenario.FlusherSpec": {reflect.TypeOf(FlusherSpec{}), 2},
 		"scenario.CIFSSpec":    {reflect.TypeOf(CIFSSpec{}), 5},
@@ -148,10 +150,10 @@ func TestFingerprintCoversEveryField(t *testing.T) {
 
 func TestVariantsArePreemptionPair(t *testing.T) {
 	specs := Variants(1)
-	if len(specs) != 2 {
-		t.Fatalf("got %d variants", len(specs))
-	}
 	on, off := specs[0], specs[1]
+	if on.Name != "fig3/preempt" || off.Name != "fig3/nopreempt" {
+		t.Fatalf("the Figure 3 pair must stay first: %q, %q", on.Name, off.Name)
+	}
 	if !on.Kernel.Preemptive || off.Kernel.Preemptive {
 		t.Error("preemption pair misconfigured")
 	}
@@ -162,9 +164,57 @@ func TestVariantsArePreemptionPair(t *testing.T) {
 	if Variants(2)[0].Fingerprint() == on.Fingerprint() {
 		t.Error("seed does not enter the fingerprint")
 	}
-	for _, id := range VariantIDs() {
-		if !strings.HasPrefix(id, "fig3/") {
-			t.Errorf("unexpected variant id %q", id)
+}
+
+// The variants form the labeled identification corpus: at least ten
+// distinct labels, unique per spec, with unique fingerprints, and the
+// corpus cells hold everything but the axis named by their label fixed.
+func TestVariantsAreALabeledCorpus(t *testing.T) {
+	specs := Variants(1)
+	labels := make(map[string]bool, len(specs))
+	fps := make(map[string]bool, len(specs))
+	byLabel := make(map[string]Spec, len(specs))
+	for _, s := range specs {
+		if s.Label == "" {
+			t.Errorf("%s: corpus variant without a label", s.Name)
 		}
+		if labels[s.Label] {
+			t.Errorf("duplicate label %q", s.Label)
+		}
+		labels[s.Label] = true
+		if fp := s.Fingerprint(); fps[fp] {
+			t.Errorf("%s: duplicate fingerprint", s.Name)
+		} else {
+			fps[fp] = true
+		}
+		byLabel[s.Label] = s
+	}
+	if len(labels) < 10 {
+		t.Fatalf("corpus has %d labels, need >= 10 for non-trivial classification", len(labels))
+	}
+
+	// The preemption axis is isolated: a preempt/nopreempt cell pair
+	// differs only in the kernel's Preemptive bit (plus its name/label).
+	pre, ok1 := byLabel["ext2-preempt-c256"]
+	non, ok2 := byLabel["ext2-nopreempt-c256"]
+	if !ok1 || !ok2 {
+		t.Fatal("missing the ext2 c256 preemption pair")
+	}
+	if !pre.Kernel.Preemptive || non.Kernel.Preemptive {
+		t.Error("corpus preemption pair misconfigured")
+	}
+	pre.Name, pre.Label, pre.Kernel.Preemptive = non.Name, non.Label, non.Kernel.Preemptive
+	if pre.Fingerprint() != non.Fingerprint() {
+		t.Error("corpus preemption pair differs in more than the preemption bit")
+	}
+
+	// The cache axis likewise: same cell at the two cache sizes.
+	small, big := byLabel["reiser-preempt-c256"], byLabel["reiser-preempt-c8192"]
+	if small.CachePages != 256 || big.CachePages != 8192 {
+		t.Fatalf("cache pair sizes: %d, %d", small.CachePages, big.CachePages)
+	}
+	small.Name, small.Label, small.CachePages = big.Name, big.Label, big.CachePages
+	if small.Fingerprint() != big.Fingerprint() {
+		t.Error("corpus cache pair differs in more than the cache size")
 	}
 }

@@ -212,6 +212,18 @@ type Spec struct {
 	// SetName names the profile set (default Name).
 	SetName string
 
+	// Label, when set, marks the Spec as a member of the labeled
+	// identification corpus: archived runs carry it as `label` metadata
+	// (experiments.ScenarioResult.RunMeta), and the classifier
+	// (internal/classify) folds every archived run sharing a label into
+	// one reference centroid. Specs without a label (the plain
+	// backend×workload matrix) never enter the corpus. The label names
+	// the *configuration family* an unknown run should be attributed to
+	// ("ext2-preempt-c256"), independent of seeds: re-recording a
+	// labeled Spec under a new seed changes its fingerprint but not its
+	// label.
+	Label string
+
 	// Workloads are the simulated processes; Run spawns them in
 	// order.
 	Workloads []Workload

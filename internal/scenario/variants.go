@@ -1,17 +1,23 @@
 package scenario
 
 import (
+	"fmt"
+
 	"osprof/internal/sim"
 	"osprof/internal/vfs"
+	"osprof/internal/workload"
 )
 
-// Variants returns named kernel-configuration variant scenarios beyond
-// the base backend×workload matrix: pairs of Specs that differ only in
-// how the kernel is built, mirroring the paper's §5 comparisons of OS
-// versions and configurations. They exist so `osprof record` can
-// archive both sides of a configuration change and `osprof diff` can
-// localize its latency effect — the Figure 3 preemption study as a
-// regression-detection workflow instead of a one-shot figure.
+// Variants returns the named kernel-configuration variant scenarios
+// beyond the base backend×workload matrix — the labeled reference
+// corpus of the OS fingerprint classifier. Where the matrix asks "how
+// does this backend behave under this workload?", a variant asks the
+// paper's headline question in reverse: each Spec carries a Label
+// naming the OS configuration family that produced it (kernel
+// preemption build, file-system backend, page-cache size), archived
+// runs carry the label as metadata, and `osprof identify` attributes an
+// unknown profile to one of these labels by per-operation EMD distance
+// (the §5 cross-OS comparisons turned into automatic identification).
 //
 // The first pair reproduces Figure 3's fixture (two processes reading
 // zero bytes back to back on one CPU, scaled quantum and timer tick,
@@ -19,10 +25,34 @@ import (
 // in-kernel preemption, `fig3/nopreempt` without. Diffing the two runs
 // flags the read operation — the preemptive kernel adds a latency peak
 // near bucket log2(Q) where preempted requests wait out a quantum.
+//
+// The corpus/* cells cross the discriminable configuration axes so
+// classification is non-trivial: local backends (ext2, reiser) ×
+// kernel preemption × page-cache size, plus cache-size variants of the
+// CIFS client (which multiplexes one connection, so it runs the
+// single-process cell). Every cell layers three probe workloads whose
+// signatures separate the axes:
+//
+//   - readzero, two processes: the Figure 3 forcible-preemption probe.
+//     A preemptive kernel moves ~mean-window/Q of the reads into a
+//     runqueue-wait peak near log2(procs·Q); a non-preemptive one
+//     leaves that region empty.
+//   - randomread through the page cache (Cached): the hit/miss balance
+//     of the read and llseek profiles tracks CachePages against the
+//     512-page target file.
+//   - walk: the metadata signature (lookup/getdents/stat shapes) that
+//     separates the backends, including ext2's tree namespace from
+//     reiser's flat one.
+//
+// The corpus quantum is 2^14 (not Figure 3's 2^20): the preemption-peak
+// population scales with profiled-time/Q (§3.3 Equation 3), and the
+// smaller quantum lifts it to ~0.5% of the reads so the preempt/
+// nopreempt centroid gap stands clear of cross-seed noise.
 func Variants(seed int64) []Spec {
-	preemption := func(name string, preemptive bool) Spec {
+	preemption := func(name, label string, preemptive bool) Spec {
 		return Spec{
-			Name: name,
+			Name:  name,
+			Label: label,
 			Kernel: sim.Config{
 				NumCPUs:       1,
 				ContextSwitch: 9_350,
@@ -44,9 +74,123 @@ func Variants(seed int64) []Spec {
 			}},
 		}
 	}
-	return []Spec{
-		preemption("fig3/preempt", true),
-		preemption("fig3/nopreempt", false),
+	specs := []Spec{
+		preemption("fig3/preempt", "fig3-preempt", true),
+		preemption("fig3/nopreempt", "fig3-nopreempt", false),
+	}
+	for _, backend := range []Backend{Ext2, Reiser} {
+		for _, preemptive := range []bool{true, false} {
+			for _, cache := range []int{corpusSmallCache, corpusLargeCache} {
+				specs = append(specs, corpusCell(backend, preemptive, cache, seed))
+			}
+		}
+	}
+	for _, cache := range []int{corpusSmallCache, corpusLargeCache} {
+		specs = append(specs, corpusCIFSCell(cache, seed))
+	}
+	return specs
+}
+
+// Corpus cache sizes in pages: the small cache holds half the 512-page
+// randomread target, the large one holds it many times over.
+const (
+	corpusSmallCache = 256
+	corpusLargeCache = 8192
+)
+
+// corpusKernel is the shared kernel build of the corpus cells; only
+// Preemptive (and the CIFS CPU count) varies across the corpus, so the
+// preemption axis is isolated exactly as the paper's §5 comparisons
+// hold everything but one configuration bit fixed.
+func corpusKernel(preemptive bool, seed int64) sim.Config {
+	return sim.Config{
+		NumCPUs:       1,
+		ContextSwitch: 9_350,
+		Quantum:       1 << 14,
+		TickPeriod:    1 << 12,
+		TickCost:      800,
+		Preemptive:    preemptive,
+		Seed:          seed,
+	}
+}
+
+// corpusFiles are the shared probe targets: the 512-page randomread
+// file and the zero-byte-read file.
+func corpusFiles() []FileSpec {
+	return []FileSpec{
+		{Name: "bigfile", Size: 512 * vfs.PageSize},
+		{Name: "zero", Size: vfs.PageSize},
+	}
+}
+
+// corpusProbes are the three probe workloads of a local-backend corpus
+// cell; walkRoot is the backend's traversal root.
+func corpusProbes(walkRoot string, seed int64) []Workload {
+	return []Workload{
+		{Kind: ReadZero, Procs: 2, Amount: 50_000},
+		{Kind: RandomRead, Procs: 2, Amount: 400, Seed: seed + 1,
+			Think: 2_000, Cached: true},
+		{Kind: Walk, Path: walkRoot},
+	}
+}
+
+// corpusCell builds one labeled local-backend corpus cell.
+func corpusCell(backend Backend, preemptive bool, cache int, seed int64) Spec {
+	pre := "preempt"
+	if !preemptive {
+		pre = "nopreempt"
+	}
+	label := fmt.Sprintf("%s-%s-c%d", backend, pre, cache)
+	spec := Spec{
+		Name:       "corpus/" + label,
+		Label:      label,
+		Kernel:     corpusKernel(preemptive, seed),
+		Backend:    backend,
+		CachePages: cache,
+		Files:      corpusFiles(),
+		Instrument: Instrument{Point: UserLevel},
+	}
+	switch backend {
+	case Ext2:
+		spec.Tree = &workload.TreeSpec{
+			Seed:           seed + 300,
+			Dirs:           10,
+			FilesPerDirMin: 4,
+			FilesPerDirMax: 10,
+			BigDirEvery:    4,
+		}
+		spec.Workloads = corpusProbes("/src", seed)
+	case Reiser:
+		// Flat namespace: the walk traverses the root's file pool.
+		for i := 0; i < 20; i++ {
+			spec.Files = append(spec.Files,
+				FileSpec{Name: fmt.Sprintf("f%03d", i), Size: 4 * vfs.PageSize})
+		}
+		spec.Workloads = corpusProbes("/", seed)
+	}
+	return spec
+}
+
+// corpusCIFSCell builds one labeled CIFS corpus cell. The client
+// multiplexes a single connection, so the cell runs only the cached
+// randomread probe with one process (no preemption axis: forcible
+// preemption needs two CPU-bound processes contending for one CPU).
+func corpusCIFSCell(cache int, seed int64) Spec {
+	label := fmt.Sprintf("cifs-c%d", cache)
+	kernel := corpusKernel(false, seed)
+	kernel.NumCPUs = 2 // one client CPU, one server CPU
+	return Spec{
+		Name:       "corpus/" + label,
+		Label:      label,
+		Kernel:     kernel,
+		Backend:    CIFS,
+		CachePages: cache,
+		Files:      corpusFiles(),
+		Instrument: Instrument{Point: UserLevel},
+		Workloads: []Workload{
+			{Kind: RandomRead, Procs: 1, Amount: 400, Seed: seed + 1,
+				Think: 2_000, Cached: true},
+		},
 	}
 }
 

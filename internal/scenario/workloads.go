@@ -90,6 +90,11 @@ type Workload struct {
 	// cycles (RandomRead's ThinkTime, ReadZero's UserWork).
 	Think uint64
 
+	// Cached routes RandomRead through the page cache instead of
+	// direct I/O (workload.RandomRead.Cached), making the profile's
+	// cache-hit/disk peak balance track the configured cache size.
+	Cached bool
+
 	// Path is the workload's target (root directory or file).
 	Path string
 
@@ -170,6 +175,7 @@ func (st *Stack) body(w *Workload, procs int) func(p *sim.Proc, idx int) {
 				Requests:  w.Amount,
 				Seed:      w.Seed + int64(idx),
 				ThinkTime: w.Think,
+				Cached:    w.Cached,
 			}
 			collect(rr.Run(p))
 		}

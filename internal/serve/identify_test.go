@@ -1,0 +1,201 @@
+package serve_test
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"osprof/internal/classify"
+	"osprof/internal/core"
+	"osprof/internal/serve"
+	"osprof/internal/store"
+)
+
+// labeledEnvelope serializes a corpus-member run: a set with the given
+// per-op latency shape, plus the label metadata the classifier groups
+// by.
+func labeledEnvelope(t testing.TB, label string, ops map[string][]uint64) []byte {
+	t.Helper()
+	set := core.NewSet("ref/" + label)
+	for op, lats := range ops {
+		p := set.Get(op)
+		for _, l := range lats {
+			p.Record(l)
+		}
+	}
+	run := &core.Run{Set: set}
+	if label != "" {
+		run.Meta = map[string]string{classify.LabelMetaKey: label}
+	}
+	var buf bytes.Buffer
+	if err := core.WriteRun(&buf, run); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// flat returns n copies of lat.
+func flat(lat uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = lat
+	}
+	return out
+}
+
+// identifyService builds a handler whose archive holds a two-label
+// corpus with well-separated read shapes.
+func identifyService(t testing.TB) http.Handler {
+	t.Helper()
+	arch, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := serve.Handler(arch)
+	for label, lat := range map[string]uint64{"fast-config": 1 << 6, "slow-config": 1 << 20} {
+		req := httptest.NewRequest("POST", "/v1/ingest",
+			bytes.NewReader(labeledEnvelope(t, label, map[string][]uint64{"read": flat(lat, 500)})))
+		rw := httptest.NewRecorder()
+		h.ServeHTTP(rw, req)
+		if rw.Code != http.StatusOK {
+			t.Fatalf("seed ingest %s: %d\n%s", label, rw.Code, rw.Body)
+		}
+	}
+	return h
+}
+
+// POST /v1/identify classifies an unknown envelope against the labeled
+// archived runs: a near-centroid run matches its label, a foreign op
+// mix abstains — both as 200 verdict documents.
+func TestIdentifyEndpoint(t *testing.T) {
+	h := identifyService(t)
+
+	var rep classify.Report
+	unknown := labeledEnvelope(t, "", map[string][]uint64{"read": flat(1<<6, 400)})
+	do(t, h, "POST", "/v1/identify", unknown, http.StatusOK, &rep)
+	if rep.Schema != classify.Schema || !rep.Matched || rep.Label != "fast-config" {
+		t.Fatalf("verdict: %+v", rep)
+	}
+	if len(rep.Ranking) != 2 || len(rep.Evidence) == 0 {
+		t.Errorf("ranking/evidence missing: %+v", rep)
+	}
+
+	foreign := labeledEnvelope(t, "", map[string][]uint64{"mmap": flat(1<<12, 400)})
+	do(t, h, "POST", "/v1/identify", foreign, http.StatusOK, &rep)
+	if rep.Matched {
+		t.Fatalf("foreign profile matched: %+v", rep)
+	}
+	if rep.Reason == "" {
+		t.Error("abstention without a reason")
+	}
+}
+
+// An archive with no labeled runs answers with a clean abstention, not
+// an error: the corpus being empty is a state, not a client fault.
+func TestIdentifyEndpointEmptyCorpus(t *testing.T) {
+	h := newService(t)
+	var rep classify.Report
+	do(t, h, "POST", "/v1/identify", labeledEnvelope(t, "", map[string][]uint64{"read": flat(1, 10)}),
+		http.StatusOK, &rep)
+	if rep.Matched || rep.Reason == "" {
+		t.Fatalf("empty-corpus verdict: %+v", rep)
+	}
+}
+
+// One labeled ingest at a stray bucket resolution must not poison
+// identification: the corpus keeps the majority resolution and the
+// endpoint keeps answering verdicts (a regression test for the
+// permanent-500 failure mode).
+func TestIdentifyEndpointSurvivesMixedResolutions(t *testing.T) {
+	h := identifyService(t)
+	stray := core.NewSetR("ref/stray", 2)
+	for i := 0; i < 100; i++ {
+		stray.Record("read", 1<<6)
+	}
+	var buf bytes.Buffer
+	if err := core.WriteRun(&buf, &core.Run{
+		Meta: map[string]string{classify.LabelMetaKey: "stray-config"},
+		Set:  stray,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	do(t, h, "POST", "/v1/ingest", buf.Bytes(), http.StatusOK, nil)
+
+	// The r=1 majority still identifies; the stray label is absent.
+	var rep classify.Report
+	unknown := labeledEnvelope(t, "", map[string][]uint64{"read": flat(1<<6, 400)})
+	do(t, h, "POST", "/v1/identify", unknown, http.StatusOK, &rep)
+	if !rep.Matched || rep.Label != "fast-config" {
+		t.Fatalf("verdict after stray ingest: %+v", rep)
+	}
+	for _, ld := range rep.Ranking {
+		if ld.Label == "stray-config" {
+			t.Fatalf("stray resolution entered the corpus: %+v", rep.Ranking)
+		}
+	}
+
+	// An unknown at the stray resolution abstains instead of erroring.
+	var strayEnv bytes.Buffer
+	if err := core.WriteRun(&strayEnv, &core.Run{Set: stray.Clone()}); err != nil {
+		t.Fatal(err)
+	}
+	do(t, h, "POST", "/v1/identify", strayEnv.Bytes(), http.StatusOK, &rep)
+	if rep.Matched || !strings.Contains(rep.Reason, "resolution") {
+		t.Fatalf("stray-resolution unknown: %+v", rep)
+	}
+}
+
+// The memoized corpus must track the archive: a label ingested after
+// the first identification has to appear in the next verdict's ranking
+// (the cache is keyed on the index state, not built once).
+func TestIdentifyEndpointSeesNewIngests(t *testing.T) {
+	h := identifyService(t)
+	var rep classify.Report
+	unknown := labeledEnvelope(t, "", map[string][]uint64{"read": flat(1<<6, 400)})
+	do(t, h, "POST", "/v1/identify", unknown, http.StatusOK, &rep)
+	if len(rep.Ranking) != 2 {
+		t.Fatalf("ranking: %+v", rep.Ranking)
+	}
+	late := labeledEnvelope(t, "late-config", map[string][]uint64{"read": flat(1<<12, 500)})
+	do(t, h, "POST", "/v1/ingest", late, http.StatusOK, nil)
+	do(t, h, "POST", "/v1/identify", unknown, http.StatusOK, &rep)
+	if len(rep.Ranking) != 3 {
+		t.Fatalf("late ingest missing from the corpus: %+v", rep.Ranking)
+	}
+}
+
+func TestIdentifyEndpointRejectsGarbage(t *testing.T) {
+	h := identifyService(t)
+	var errDoc serve.ErrorDoc
+	do(t, h, "POST", "/v1/identify", []byte("?????"), http.StatusBadRequest, &errDoc)
+	if errDoc.Error == "" {
+		t.Error("400 without an error body")
+	}
+}
+
+// FuzzIdentifyEndpoint throws arbitrary bodies at POST /v1/identify:
+// whatever the bytes, the service must answer 200 (a verdict) or 400
+// (unparseable envelope) with a JSON body — never a 5xx, which would
+// mean garbage input reached the archive or classifier as a fault.
+func FuzzIdentifyEndpoint(f *testing.F) {
+	h := identifyService(f)
+	f.Add(labeledEnvelope(f, "", map[string][]uint64{"read": flat(1<<6, 100)}))
+	f.Add([]byte("osprof-run v1 fingerprint=\"\"\n"))
+	f.Add([]byte("osprof-set v1 x r=1\nend\n"))
+	f.Add([]byte{0xff, 0xfe})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest("POST", "/v1/identify", bytes.NewReader(body))
+		rw := httptest.NewRecorder()
+		h.ServeHTTP(rw, req)
+		if rw.Code != http.StatusOK && rw.Code != http.StatusBadRequest {
+			t.Fatalf("status %d on body %q\n%s", rw.Code, body, rw.Body)
+		}
+		if ct := rw.Header().Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("content type %q", ct)
+		}
+	})
+}

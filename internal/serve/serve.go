@@ -25,13 +25,22 @@
 //	POST /v1/baseline      bless a run: {"fingerprint": "...", "run":
 //	                       "<ref>"} (fingerprint defaults to the
 //	                       referenced run's own)
+//	POST /v1/identify      body: an osprof-run (or bare osprof-set)
+//	                       envelope; classifies it against the corpus
+//	                       of labeled archived runs, returning an
+//	                       osprof-identify/v1 verdict (a clean
+//	                       abstention — empty corpus, foreign
+//	                       configuration, ambiguous labels — is still
+//	                       200; only an unparseable body is 400)
 package serve
 
 import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sync"
 
+	"osprof/internal/classify"
 	"osprof/internal/core"
 	"osprof/internal/diff"
 	"osprof/internal/report"
@@ -61,9 +70,14 @@ type ErrorDoc struct {
 	Error string `json:"error"`
 }
 
-// server carries the shared archive behind the handlers.
+// server carries the shared archive behind the handlers, plus the
+// memoized identification corpus (see identifyCorpus).
 type server struct {
 	arch *store.Archive
+
+	mu        sync.Mutex
+	corpusKey string
+	corpus    *classify.Corpus
 }
 
 // Handler returns the service's HTTP handler over arch. The archive is
@@ -78,6 +92,7 @@ func Handler(arch *store.Archive) http.Handler {
 	mux.HandleFunc("GET /v1/diff", s.diff) // ?a=&b= for slash-qualified names
 	mux.HandleFunc("GET /v1/baseline", s.baselines)
 	mux.HandleFunc("POST /v1/baseline", s.setBaseline)
+	mux.HandleFunc("POST /v1/identify", s.identify)
 	return mux
 }
 
@@ -161,6 +176,59 @@ func (s *server) diff(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	respond(w, http.StatusOK, diff.New().Runs(a, b))
+}
+
+// identifyCorpus returns the identification corpus, rebuilding it only
+// when the archive index changed since the last build. Ingests may add
+// labeled runs at any time, but an unchanged index means an unchanged
+// corpus, so the common case (many identifications between ingests)
+// costs one small index read instead of loading every archived object
+// per request. The key covers the entry count plus the last entry's
+// identity: any Put appends (new last entry) and any GC removes
+// entries (count or last entry changes), so a stale hit would need an
+// index with the same length and the same newest run, which is the
+// same corpus.
+func (s *server) identifyCorpus() (*classify.Corpus, error) {
+	entries, err := s.arch.List()
+	if err != nil {
+		return nil, err
+	}
+	key := "empty"
+	if n := len(entries); n > 0 {
+		key = fmt.Sprintf("%d:%d:%s", n, entries[n-1].Seq, entries[n-1].ID)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.corpus != nil && s.corpusKey == key {
+		return s.corpus, nil
+	}
+	corpus, _, err := classify.FromArchive(s.arch)
+	if err != nil {
+		return nil, err
+	}
+	s.corpusKey, s.corpus = key, corpus
+	return corpus, nil
+}
+
+// identify classifies a posted run envelope against the corpus of
+// labeled archived runs (memoized per index state; a fresh classifier
+// per request keeps the handler safe for any number of in-flight
+// identifications). Garbage bodies are the client's fault (400);
+// everything after the parse — including an archive with no labeled
+// runs at all — answers with a verdict document, because an abstention
+// is a result, not an error.
+func (s *server) identify(w http.ResponseWriter, r *http.Request) {
+	run, err := core.ReadRun(http.MaxBytesReader(w, r.Body, maxEnvelopeBytes))
+	if err != nil {
+		fail(w, http.StatusBadRequest, "parse run envelope: %v", err)
+		return
+	}
+	corpus, err := s.identifyCorpus()
+	if err != nil {
+		fail(w, http.StatusInternalServerError, "corpus: %v", err)
+		return
+	}
+	respond(w, http.StatusOK, classify.New().Identify(corpus, run))
 }
 
 // baselines lists the blessed baseline pointers.

@@ -38,7 +38,15 @@ import (
 	"osprof/internal/core"
 )
 
-const indexHeader = "osprof-index v1"
+// The index header is versioned: v2 mirrors each run's label into its
+// entry (an optional trailing quoted field). v1 indexes are still
+// read; any rewrite saves them as v2. The version lets ListLabeled
+// callers distinguish "no labeled runs" (v2, trustworthy) from "labels
+// not mirrored" (v1, inconclusive without loading the envelopes).
+const (
+	indexHeader   = "osprof-index v2"
+	indexHeaderV1 = "osprof-index v1"
+)
 
 // Archive is an opened on-disk run archive. It is safe for concurrent
 // use by multiple goroutines (the parallel runner archives jobs from
@@ -64,12 +72,26 @@ type Entry struct {
 
 	// Name is the run's profile-set name (the scenario name).
 	Name string
+
+	// Label is the run's LabelMetaKey metadata (empty for unlabeled
+	// runs). Indexed so corpus construction can find the labeled
+	// reference runs without loading every archived object.
+	Label string
 }
+
+// LabelMetaKey is the run-envelope metadata key that marks a run as a
+// labeled reference-corpus member; Put mirrors it into the index.
+const LabelMetaKey = "label"
 
 // index is the parsed index file.
 type index struct {
 	entries   []Entry
 	baselines map[string]string // fingerprint -> run ID
+
+	// labelAware is false for a v1 index, whose entries predate label
+	// mirroring (their Label fields read empty regardless of envelope
+	// metadata).
+	labelAware bool
 }
 
 // Open opens (creating if needed) the archive rooted at dir.
@@ -120,6 +142,7 @@ func (a *Archive) Put(run *core.Run) (id string, created bool, err error) {
 	}
 	idx.entries = append(idx.entries, Entry{
 		Seq: seq, ID: id, Fingerprint: run.Fingerprint, Name: run.Name(),
+		Label: run.Meta[LabelMetaKey],
 	})
 	return id, true, a.save(idx)
 }
@@ -254,6 +277,26 @@ func (a *Archive) List() ([]Entry, error) {
 		return nil, err
 	}
 	return idx.entries, nil
+}
+
+// ListLabeled returns the labeled index entries plus whether the index
+// mirrors labels at all (a v2 index). A false second value means the
+// index predates label mirroring: an empty result is then inconclusive
+// and the caller must inspect the archived envelopes themselves.
+func (a *Archive) ListLabeled() ([]Entry, bool, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	idx, err := a.load()
+	if err != nil {
+		return nil, false, err
+	}
+	var out []Entry
+	for _, e := range idx.entries {
+		if e.Label != "" {
+			out = append(out, e)
+		}
+	}
+	return out, idx.labelAware, nil
 }
 
 // Latest returns the most recent entry recorded for fingerprint.
@@ -420,16 +463,23 @@ func short(id string) string {
 
 // load parses the index file; a missing file is an empty archive.
 func (a *Archive) load() (*index, error) {
-	idx := &index{baselines: make(map[string]string)}
+	idx := &index{baselines: make(map[string]string), labelAware: true}
 	data, err := os.ReadFile(a.indexPath())
 	if os.IsNotExist(err) {
-		return idx, nil
+		return idx, nil // empty archive: trivially label-aware
 	}
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	lines := strings.Split(string(data), "\n")
-	if len(lines) == 0 || strings.TrimSpace(lines[0]) != indexHeader {
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("store: bad index header")
+	}
+	switch strings.TrimSpace(lines[0]) {
+	case indexHeader:
+	case indexHeaderV1:
+		idx.labelAware = false
+	default:
 		return nil, fmt.Errorf("store: bad index header")
 	}
 	for n, line := range lines[1:] {
@@ -437,8 +487,10 @@ func (a *Archive) load() (*index, error) {
 		switch {
 		case len(fields) == 0:
 		case fields[0] == "run":
-			// The trailing name is %q-quoted and may contain spaces:
-			// split off the four fixed fields, unquote the rest.
+			// The trailing name is %q-quoted and may contain spaces,
+			// optionally followed by a %q-quoted label: split off the
+			// four fixed fields, then peel quoted strings off the rest.
+			// Pre-label index lines simply have no label field.
 			parts := strings.SplitN(line, " ", 5)
 			if len(parts) != 5 {
 				return nil, fmt.Errorf("store: index line %d: malformed run entry %q", n+2, line)
@@ -447,16 +499,27 @@ func (a *Archive) load() (*index, error) {
 			if err != nil {
 				return nil, fmt.Errorf("store: index line %d: %w", n+2, err)
 			}
-			name, err := strconv.Unquote(parts[4])
+			nameQ, err := strconv.QuotedPrefix(parts[4])
 			if err != nil {
 				return nil, fmt.Errorf("store: index line %d: name: %w", n+2, err)
+			}
+			name, err := strconv.Unquote(nameQ)
+			if err != nil {
+				return nil, fmt.Errorf("store: index line %d: name: %w", n+2, err)
+			}
+			label := ""
+			if tail := strings.TrimSpace(parts[4][len(nameQ):]); tail != "" {
+				label, err = strconv.Unquote(tail)
+				if err != nil {
+					return nil, fmt.Errorf("store: index line %d: label: %w", n+2, err)
+				}
 			}
 			fp := parts[3]
 			if fp == "-" {
 				fp = ""
 			}
 			idx.entries = append(idx.entries, Entry{
-				Seq: seq, ID: parts[2], Fingerprint: fp, Name: name,
+				Seq: seq, ID: parts[2], Fingerprint: fp, Name: name, Label: label,
 			})
 		case fields[0] == "baseline" && len(fields) == 3:
 			idx.baselines[fields[1]] = fields[2]
@@ -472,7 +535,11 @@ func (a *Archive) save(idx *index) error {
 	var b strings.Builder
 	b.WriteString(indexHeader + "\n")
 	for _, e := range idx.entries {
-		fmt.Fprintf(&b, "run %d %s %s %q\n", e.Seq, e.ID, orDash(e.Fingerprint), e.Name)
+		if e.Label != "" {
+			fmt.Fprintf(&b, "run %d %s %s %q %q\n", e.Seq, e.ID, orDash(e.Fingerprint), e.Name, e.Label)
+		} else {
+			fmt.Fprintf(&b, "run %d %s %s %q\n", e.Seq, e.ID, orDash(e.Fingerprint), e.Name)
+		}
 	}
 	fps := make([]string, 0, len(idx.baselines))
 	for fp := range idx.baselines {

@@ -268,6 +268,75 @@ func TestNamesWithSpacesSurviveIndexRoundTrip(t *testing.T) {
 	}
 }
 
+// Put mirrors the run's label metadata into the index entry, and the
+// label survives the index save/load round trip (GC rewrites the
+// index, so losing it there would silently shrink the corpus).
+func TestLabelIndexedAndRoundTrips(t *testing.T) {
+	a := open(t)
+	labeled := testRun("fpL", "corpus/ext2 preempt", 100)
+	labeled.Meta[LabelMetaKey] = "ext2-preempt c256" // spaces must survive
+	if _, _, err := a.Put(labeled); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.Put(testRun("fpU", "ext2/grep", 200)); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := a.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("entries = %d, want 2", len(entries))
+	}
+	if entries[0].Label != "ext2-preempt c256" {
+		t.Errorf("labeled entry Label = %q", entries[0].Label)
+	}
+	if entries[1].Label != "" {
+		t.Errorf("unlabeled entry Label = %q", entries[1].Label)
+	}
+	indexed, aware, err := a.ListLabeled()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !aware {
+		t.Error("freshly written index is not label-aware")
+	}
+	if len(indexed) != 1 || indexed[0].Label != "ext2-preempt c256" {
+		t.Errorf("ListLabeled = %+v", indexed)
+	}
+	data, err := os.ReadFile(a.indexPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "osprof-index v2\n") {
+		t.Errorf("index header = %q, want v2", strings.SplitN(string(data), "\n", 2)[0])
+	}
+}
+
+// Index lines written before the label field (run SEQ ID FP "name")
+// still parse, reading as unlabeled entries.
+func TestPreLabelIndexLinesParse(t *testing.T) {
+	a := open(t)
+	id, _, err := a.Put(testRun("fp1", "ext2/grep", 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := "osprof-index v1\nrun 1 " + id + " fp1 \"ext2/grep\"\n"
+	if err := os.WriteFile(a.indexPath(), []byte(old), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := a.List()
+	if err != nil {
+		t.Fatalf("pre-label index unreadable: %v", err)
+	}
+	if len(entries) != 1 || entries[0].ID != id || entries[0].Label != "" {
+		t.Errorf("entries = %+v", entries)
+	}
+	if _, aware, err := a.ListLabeled(); err != nil || aware {
+		t.Errorf("v1 index reported label-aware (err=%v)", err)
+	}
+}
+
 func TestCorruptIndexRejected(t *testing.T) {
 	a := open(t)
 	a.Put(testRun("fp", "s", 100))
@@ -292,5 +361,87 @@ func TestNoTempFilesLeft(t *testing.T) {
 	})
 	if len(stray) > 0 {
 		t.Errorf("temp files left behind: %v", stray)
+	}
+}
+
+// ResolveRef's error paths, table-driven: every reference form that
+// cannot resolve must fail with a message naming the problem (the CLI
+// and the HTTP service both surface these verbatim), and resolvable
+// forms must keep working against the same populated archive.
+func TestResolveRefErrorPaths(t *testing.T) {
+	populated := open(t)
+	idA, _, err := populated.Put(testRun("fp-a", "ext2/grep", 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idB, _, err := populated.Put(testRun("fp-b", "ext2/walk", 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := populated.SetBaseline("fp-a", idA); err != nil {
+		t.Fatal(err)
+	}
+	// Build a genuinely ambiguous reference: keep archiving distinct
+	// runs until two content addresses share a first hex digit (at most
+	// 17 runs by pigeonhole), then refer by that digit.
+	firstDigit := map[byte]bool{idA[0]: true, idB[0]: true}
+	ambiguous := ""
+	if idA[0] == idB[0] {
+		ambiguous = string(idA[0])
+	}
+	for i := 0; ambiguous == "" && i < 32; i++ {
+		id, _, err := populated.Put(testRun("fp-x", "x/run", uint64(1000+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if firstDigit[id[0]] {
+			ambiguous = string(id[0])
+		}
+		firstDigit[id[0]] = true
+	}
+	if ambiguous == "" {
+		t.Fatal("could not construct an ambiguous prefix")
+	}
+
+	empty := open(t)
+
+	cases := []struct {
+		name    string
+		arch    *Archive
+		ref     string
+		wantErr string
+	}{
+		{"missing latest name", populated, "latest:no/such/scenario", "no recorded run named"},
+		{"missing baseline name", populated, "baseline:ext2/walk", "no baseline named"},
+		{"baseline on empty archive", empty, "baseline:ext2/grep", "no baseline named"},
+		{"latest on empty archive", empty, "latest:ext2/grep", "no recorded run named"},
+		{"unknown prefix", populated, "ffffff", "no run matches"},
+		{"prefix on empty archive", empty, "abcdef", "no run matches"},
+		{"empty ref", empty, "", "no run matches"},
+		{"ambiguous prefix", populated, ambiguous, "ambiguous run prefix"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			id, err := tc.arch.ResolveRef(tc.ref)
+			if err == nil {
+				t.Fatalf("ResolveRef(%q) resolved to %s, want error", tc.ref, id)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("ResolveRef(%q) error %q does not mention %q", tc.ref, err, tc.wantErr)
+			}
+		})
+	}
+
+	// The happy forms still resolve against the same archive.
+	for ref, want := range map[string]string{
+		"latest:ext2/grep":   idA,
+		"baseline:ext2/grep": idA,
+		idB[:12]:             idB,
+		idA:                  idA,
+	} {
+		got, err := populated.ResolveRef(ref)
+		if err != nil || got != want {
+			t.Errorf("ResolveRef(%q) = %q, %v; want %q", ref, got, err, want)
+		}
 	}
 }

@@ -27,6 +27,13 @@ type RandomRead struct {
 
 	// ThinkTime is user-mode CPU between requests (default 500).
 	ThinkTime uint64
+
+	// Cached opens the file without O_DIRECT, so reads go through the
+	// page cache: repeated random reads then split into cache-hit and
+	// disk peaks whose balance tracks the cache size (the page-cache
+	// discriminant of the identification corpus). The zero value keeps
+	// the paper's §6 direct-I/O behavior.
+	Cached bool
 }
 
 // RandomReadStats reports per-run observations.
@@ -49,7 +56,7 @@ func (w *RandomRead) Run(p *sim.Proc) RandomReadStats {
 	rng := rand.New(rand.NewSource(w.Seed))
 	var st RandomReadStats
 
-	f, err := w.Sys.Open(p, w.Path, true) // O_DIRECT
+	f, err := w.Sys.Open(p, w.Path, !w.Cached) // O_DIRECT unless Cached
 	if err != nil {
 		return st
 	}

@@ -33,6 +33,7 @@ import (
 	"io"
 
 	"osprof/internal/analysis"
+	"osprof/internal/classify"
 	"osprof/internal/core"
 	"osprof/internal/diff"
 	"osprof/internal/report"
@@ -278,9 +279,50 @@ func BuildScenario(spec Scenario) (*ScenarioStack, error) { return scenario.Buil
 func RunScenario(spec Scenario) (*ScenarioStack, error) { return scenario.RunSpec(spec) }
 
 // ScenarioVariants returns the named kernel-configuration variant
-// scenarios (pairs differing only in kernel build options, for
-// record/diff workflows).
+// scenarios — the labeled identification corpus (kernel preemption
+// build × backend × page-cache size), for record/diff/identify
+// workflows.
 func ScenarioVariants(seed int64) []Scenario { return scenario.Variants(seed) }
+
+// Re-exported fingerprint-classification types (see internal/classify):
+// the OS fingerprint classifier attributes an unknown recorded run to
+// the nearest label of a reference corpus by per-operation EMD, or
+// abstains.
+type (
+	// Classifier identifies unknown runs against a corpus.
+	Classifier = classify.Classifier
+
+	// Corpus is a labeled reference corpus ready for classification.
+	Corpus = classify.Corpus
+
+	// Centroid is one corpus label's merged reference runs.
+	Centroid = classify.Centroid
+
+	// IdentifyReport is the classification verdict for one run.
+	IdentifyReport = classify.Report
+
+	// LabelDistance is one ranked corpus label of a verdict.
+	LabelDistance = classify.LabelDistance
+
+	// OpEvidence names one operation's contribution to a verdict.
+	OpEvidence = classify.OpEvidence
+)
+
+// NewClassifier returns a classifier with the default abstention
+// thresholds (maximum distance and minimum relative margin).
+func NewClassifier() *Classifier { return classify.New() }
+
+// BuildCorpus groups labeled runs (run metadata key "label") into
+// per-label centroids.
+func BuildCorpus(runs []*Run) (*Corpus, error) { return classify.BuildCorpus(runs) }
+
+// CorpusFromArchive builds the reference corpus from every labeled run
+// in the archive, also reporting how many labeled runs it found.
+func CorpusFromArchive(arch *Archive) (*Corpus, int, error) { return classify.FromArchive(arch) }
+
+// RenderIdentify writes a classification verdict as a ranked label
+// table with per-operation evidence.
+func RenderIdentify(w io.Writer, rep *IdentifyReport) { report.Identify(w, rep) }
 
 // ScenarioMatrix returns the standard backend×workload scenario
 // matrix, seeded with seed.

@@ -9,6 +9,7 @@ import (
 	"osprof/internal/core"
 	"osprof/internal/diff"
 	"osprof/internal/experiments"
+	"osprof/internal/fault"
 	"osprof/internal/report"
 	"osprof/internal/runner"
 	"osprof/internal/store"
@@ -23,10 +24,42 @@ import (
 // scenarios and holds each fresh run against its baseline.
 
 // cmdRecord implements `osprof record` (and, with markBaseline, the
-// recording half of `osprof baseline`).
+// recording half of `osprof baseline`). A non-empty inject names a
+// fault preset applied to every selected scenario before recording:
+// the degraded twin keeps the scenario's name — the watch layer
+// matches ingests to baselines by name — but fingerprints as its own
+// world, so healthy baselines are never overwritten.
 func cmdRecord(rest []string, seed int64, archiveDir string, opt runner.Options,
-	jsonOut, markBaseline bool, stdout, stderr io.Writer) int {
+	jsonOut, markBaseline bool, inject string, stdout, stderr io.Writer) int {
+	if inject == "list" {
+		for _, name := range fault.PresetNames() {
+			fmt.Fprintln(stdout, name)
+		}
+		return 0
+	}
+	if inject != "" && markBaseline {
+		fmt.Fprintln(stderr, "osprof: refusing to bless fault-injected runs as baselines (drop -inject)")
+		return 2
+	}
 	reg, fps, ids := experiments.Recordables(seed)
+	if inject != "" {
+		if _, ok := fault.Preset(inject); !ok {
+			fmt.Fprintf(stderr, "osprof: unknown fault preset %q (try `osprof record -inject list`)\n", inject)
+			return 2
+		}
+		reg = make(map[string]func() experiments.Result, len(ids))
+		fps = make(map[string]string, len(ids))
+		ids = ids[:0]
+		for _, spec := range experiments.RecordableSpecs(seed) {
+			spec := spec
+			// A fresh preset per spec: scenarios must not share fault
+			// state even by accident.
+			spec.Injections, _ = fault.Preset(inject)
+			reg[spec.Name] = func() experiments.Result { return experiments.RecordScenario(spec) }
+			fps[spec.Name] = spec.Fingerprint()
+			ids = append(ids, spec.Name)
+		}
+	}
 	if len(rest) == 1 && rest[0] == "list" {
 		for _, id := range ids {
 			fmt.Fprintln(stdout, id)
@@ -60,6 +93,9 @@ func cmdRecord(rest []string, seed int64, archiveDir string, opt runner.Options,
 	verb := "recorded"
 	if markBaseline {
 		verb = "baseline"
+	}
+	if inject != "" {
+		verb = "injected"
 	}
 	return runArchived(arch, jobs, opt, jsonOut, stdout, stderr, post,
 		func(w io.Writer, rr *runner.RunResult) {

@@ -9,6 +9,12 @@
 //	osprof [flags] checks <id>...|all     run and print only the verdicts
 //	osprof [flags] scenarios [<id>...]    run the scenario matrix
 //	osprof scenarios list                 list the matrix scenarios
+//	osprof [flags] record [<id>...]       archive scenario runs (-inject
+//	                                      applies a fault preset first)
+//	osprof [flags] watch <ref>            verdict a run against its
+//	                                      baseline and the labeled corpus
+//	osprof [flags] serve                  HTTP/JSON service (graceful
+//	                                      shutdown on SIGINT/SIGTERM)
 //
 // Flags (accepted anywhere on the command line):
 //
@@ -17,6 +23,9 @@
 //	              so verdicts are identical to a serial run)
 //	-json         emit structured results as JSON
 //	-seed S       base seed for the scenario matrix (default 1)
+//	-inject P     fault preset `osprof record` degrades scenarios with
+//	-expect V     verdict/label watch and identify must produce
+//	-drain D      serve shutdown drain timeout (default 5s)
 package main
 
 import (
@@ -24,6 +33,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"osprof/internal/experiments"
 	"osprof/internal/runner"
@@ -46,7 +56,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	archiveDir := fs.String("archive", "osprof-archive", "profile archive directory")
 	addr := fs.String("addr", "127.0.0.1:7971", "listen address for `osprof serve`")
 	keep := fs.Int("keep", 5, "runs kept per fingerprint by `osprof archive gc`")
-	expect := fs.String("expect", "", "label `osprof identify` must resolve to (exit 1 otherwise)")
+	expect := fs.String("expect", "", "label `osprof identify` / verdict `osprof watch` must produce (exit 1 otherwise)")
+	inject := fs.String("inject", "", "fault preset `osprof record` applies to every recorded scenario")
+	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout for `osprof serve`")
 
 	pos, err := parseInterleaved(fs, args)
 	if err != nil {
@@ -101,13 +113,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return emit(stdout, stderr, runner.Run(jobs, opt), *jsonOut)
 
 	case "record":
-		return cmdRecord(rest, *seed, *archiveDir, opt, *jsonOut, false, stdout, stderr)
+		return cmdRecord(rest, *seed, *archiveDir, opt, *jsonOut, false, *inject, stdout, stderr)
 
 	case "baseline":
 		if len(rest) == 1 && rest[0] == "list" {
 			return cmdBaselineList(*archiveDir, stdout, stderr)
 		}
-		return cmdRecord(rest, *seed, *archiveDir, opt, *jsonOut, true, stdout, stderr)
+		return cmdRecord(rest, *seed, *archiveDir, opt, *jsonOut, true, *inject, stdout, stderr)
 
 	case "diff":
 		return cmdDiff(rest, *seed, *archiveDir, opt, *jsonOut, stdout, stderr)
@@ -118,8 +130,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case "identify":
 		return cmdIdentify(rest, *archiveDir, *expect, *jsonOut, stdout, stderr)
 
+	case "watch":
+		return cmdWatch(rest, *archiveDir, *expect, *jsonOut, stdout, stderr)
+
 	case "serve":
-		return cmdServe(rest, *archiveDir, *addr, stdout, stderr)
+		return cmdServe(rest, *archiveDir, *addr, *drain, stdout, stderr)
 
 	case "archive":
 		return cmdArchive(rest, *archiveDir, *keep, *jsonOut, stdout, stderr)
@@ -217,6 +232,8 @@ func usage(w io.Writer) {
   osprof [flags] scenarios [<id>...]  run the backend x workload scenario matrix
   osprof scenarios list               list the matrix scenarios
   osprof [flags] record [<id>...]     run scenarios once and archive the runs
+                                      (-inject <preset> degrades each
+                                      scenario with a fault program first)
   osprof record list                  list the recordable scenarios
   osprof [flags] baseline [<id>...]   record runs and bless them as baselines
   osprof baseline list                list the blessed baselines
@@ -228,10 +245,14 @@ func usage(w io.Writer) {
   osprof corpus list                  list the corpus scenarios and labels
   osprof [flags] identify <ref>       attribute an unknown run to the
                                       nearest corpus label, or abstain
+  osprof [flags] watch <ref>          verdict a run against its blessed
+                                      baseline: ok, degraded (attributed
+                                      to a corpus label), or anomaly
   osprof [flags] serve                HTTP/JSON service over the archive
                                       (POST /v1/ingest, GET /v1/runs,
                                       GET /v1/diff/{a}/{b}, /v1/baseline,
-                                      POST /v1/identify)
+                                      POST /v1/identify, /v1/watch);
+                                      SIGINT/SIGTERM shut down gracefully
   osprof [flags] archive list         list the archived runs
   osprof [flags] archive gc           trim the archive (keep -keep runs
                                       per fingerprint, baselines pinned)
@@ -245,8 +266,14 @@ flags:
   -addr A       serve listen address (default 127.0.0.1:7971; use :0
                 for a random port, printed on startup)
   -keep N       runs kept per fingerprint by archive gc (default 5)
-  -expect L     label identify must resolve to (exit 1 on mismatch)
+  -expect V     label identify / verdict watch must produce (exit 1
+                on mismatch; watch verdicts: ok, degraded, anomaly)
+  -inject P     fault preset record applies to every scenario (run
+                "osprof record -inject list" for the presets); the
+                degraded twin keeps the scenario name but fingerprints
+                as its own world, so baselines are never overwritten
+  -drain D      serve drain timeout after SIGINT/SIGTERM (default 5s)
 exit codes: 0 ok / no differences / confident identification, 1 failed
-checks, differences found, or identify abstained/mismatched, 2 usage
-or archive errors.`)
+checks, differences found, identify abstained/mismatched, or a watch
+verdict other than ok/-expect, 2 usage or archive errors.`)
 }

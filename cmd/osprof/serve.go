@@ -1,10 +1,14 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"osprof/internal/report"
 	"osprof/internal/serve"
@@ -33,10 +37,37 @@ func listenArchive(archiveDir, addr string) (net.Listener, http.Handler, error) 
 	return ln, serve.Handler(arch), nil
 }
 
+// serveUntil serves handler on ln until shutdown closes, then drains
+// in-flight requests for at most the drain timeout before returning.
+// It is the testable half of cmdServe: the caller owns the shutdown
+// signal, so tests can trigger it without delivering real signals.
+func serveUntil(ln net.Listener, handler http.Handler, shutdown <-chan struct{},
+	drain time.Duration, stdout io.Writer) error {
+	srv := &http.Server{Handler: handler}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		if err == http.ErrServerClosed {
+			return nil
+		}
+		return err
+	case <-shutdown:
+		fmt.Fprintf(stdout, "osprof: shutting down (draining up to %s)\n", drain)
+		ctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		err := srv.Shutdown(ctx)
+		<-errc // Serve has returned ErrServerClosed
+		return err
+	}
+}
+
 // cmdServe implements `osprof serve`: a long-running HTTP/JSON service
-// over the archive. It blocks until the listener fails (or the process
-// is killed).
-func cmdServe(rest []string, archiveDir, addr string, stdout, stderr io.Writer) int {
+// over the archive. It blocks until the listener fails or the process
+// receives SIGINT/SIGTERM, then shuts down gracefully, draining
+// in-flight requests for up to the -drain timeout.
+func cmdServe(rest []string, archiveDir, addr string, drain time.Duration,
+	stdout, stderr io.Writer) int {
 	if len(rest) != 0 {
 		fmt.Fprintf(stderr, "osprof: serve takes no positional arguments, got %q\n", rest)
 		return 2
@@ -46,8 +77,10 @@ func cmdServe(rest []string, archiveDir, addr string, stdout, stderr io.Writer) 
 		fmt.Fprintf(stderr, "osprof: %v\n", err)
 		return 2
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
 	fmt.Fprintf(stdout, "osprof: serving archive %q at http://%s\n", archiveDir, ln.Addr())
-	if err := http.Serve(ln, handler); err != nil {
+	if err := serveUntil(ln, handler, ctx.Done(), drain, stdout); err != nil {
 		fmt.Fprintf(stderr, "osprof: %v\n", err)
 		return 2
 	}

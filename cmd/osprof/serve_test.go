@@ -4,9 +4,12 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
+	"net"
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 
 	"osprof/internal/core"
 	"osprof/internal/diff"
@@ -217,4 +220,109 @@ func mustRun(t *testing.T, arch *store.Archive, id string) *core.Run {
 		t.Fatal(err)
 	}
 	return run
+}
+
+// Closing the shutdown channel makes serveUntil stop accepting, finish
+// the requests already in flight, and return cleanly — the testable
+// core of the SIGINT/SIGTERM handling in cmdServe.
+func TestServeUntilDrainsInFlightRequests(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(started)
+		<-release
+		fmt.Fprint(w, "drained")
+	})
+
+	shutdown := make(chan struct{})
+	var msg bytes.Buffer
+	done := make(chan error, 1)
+	go func() { done <- serveUntil(ln, handler, shutdown, 5*time.Second, &msg) }()
+
+	body := make(chan string, 1)
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String())
+		if err != nil {
+			body <- "request failed: " + err.Error()
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		body <- string(b)
+	}()
+
+	<-started
+	close(shutdown) // SIGINT arrives mid-request
+	// Shutdown must wait for the handler, not kill it.
+	select {
+	case err := <-done:
+		t.Fatalf("serveUntil returned %v before the in-flight request finished", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("serveUntil: %v", err)
+	}
+	if got := <-body; got != "drained" {
+		t.Fatalf("in-flight response = %q, want %q", got, "drained")
+	}
+	if !strings.Contains(msg.String(), "shutting down") {
+		t.Errorf("missing shutdown message, got %q", msg.String())
+	}
+}
+
+// A handler that outlives the drain timeout must not hang shutdown
+// forever: serveUntil gives up after the timeout and reports the error.
+func TestServeUntilDrainTimeout(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(started)
+		<-release
+	})
+
+	shutdown := make(chan struct{})
+	done := make(chan error, 1)
+	go func() { done <- serveUntil(ln, handler, shutdown, 10*time.Millisecond, io.Discard) }()
+	go http.Get("http://" + ln.Addr().String())
+
+	<-started
+	close(shutdown)
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("drain timeout with a stuck handler reported no error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serveUntil hung past the drain timeout")
+	}
+}
+
+// With no shutdown signal, a listener failure still surfaces as an
+// error (the pre-graceful-shutdown behavior).
+func TestServeUntilListenerFailure(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- serveUntil(ln, http.NotFoundHandler(), nil, time.Second, io.Discard) }()
+	ln.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("closed listener reported no error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serveUntil did not notice the dead listener")
+	}
 }

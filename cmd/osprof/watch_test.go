@@ -1,0 +1,137 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"osprof/internal/fault"
+	"osprof/internal/runner"
+)
+
+// injectJSON runs `osprof record -inject <preset>` with -json and
+// parses the results (the fault-injected sibling of recordJSON).
+func injectJSON(t *testing.T, archive, preset string, ids ...string) []runner.RunResult {
+	t.Helper()
+	args := append([]string{"record", "-json", "-inject", preset, "-archive", archive}, ids...)
+	code, out, errOut := exec(t, args...)
+	if code != 0 {
+		t.Fatalf("record -inject exit=%d stderr=%s", code, errOut)
+	}
+	var results []runner.RunResult
+	if err := json.Unmarshal([]byte(out), &results); err != nil {
+		t.Fatalf("record -inject JSON: %v\n%s", err, out)
+	}
+	return results
+}
+
+// The watch verdict lifecycle over the CLI: no baseline is a usage
+// error, a healthy re-record is ok, an injected twin (same scenario
+// name, its own fingerprint) turns the verdict anomalous, and -expect
+// maps verdicts onto exit codes for CI gating.
+func TestWatchExitCodes(t *testing.T) {
+	archive := t.TempDir()
+
+	// Recorded but never blessed: watch has nothing to hold it against.
+	recordJSON(t, archive, "ext2/randomread")
+	code, _, errOut := exec(t, "watch", "latest:ext2/randomread", "-archive", archive)
+	if code != 2 || !strings.Contains(errOut, "no blessed baseline") {
+		t.Fatalf("unblessed watch: exit=%d stderr=%s", code, errOut)
+	}
+
+	if code, _, errOut := exec(t, "baseline", "ext2/randomread", "-archive", archive); code != 0 {
+		t.Fatalf("baseline: exit=%d stderr=%s", code, errOut)
+	}
+
+	// Healthy: verdict ok, exit 0.
+	code, out, errOut := exec(t, "watch", "latest:ext2/randomread", "-archive", archive)
+	if code != 0 || !strings.Contains(out, "verdict: OK") {
+		t.Fatalf("healthy watch: exit=%d stderr=%s out:\n%s", code, errOut, out)
+	}
+	// -expect turns a non-matching verdict into exit 1.
+	if code, _, _ := exec(t, "watch", "latest:ext2/randomread",
+		"-archive", archive, "-expect", "anomaly"); code != 1 {
+		t.Errorf("-expect anomaly on a healthy run: exit=%d, want 1", code)
+	}
+
+	// The injected twin keeps the scenario name but fingerprints as its
+	// own world: the healthy baseline must survive untouched.
+	healthy := recordJSON(t, archive, "ext2/randomread")
+	injected := injectJSON(t, archive, "disk-flaky", "ext2/randomread")
+	if healthy[0].Fingerprint == injected[0].Fingerprint {
+		t.Fatalf("injected twin shares the healthy fingerprint %s", healthy[0].Fingerprint)
+	}
+
+	// Injected, no labeled corpus in the archive: anomaly, exit 1.
+	code, out, _ = exec(t, "watch", "latest:ext2/randomread", "-archive", archive)
+	if code != 1 || !strings.Contains(out, "verdict: ANOMALY") ||
+		!strings.Contains(out, "no labeled corpus") {
+		t.Fatalf("injected watch: exit=%d out:\n%s", code, out)
+	}
+	if code, _, _ := exec(t, "watch", "latest:ext2/randomread",
+		"-archive", archive, "-expect", "anomaly"); code != 0 {
+		t.Errorf("-expect anomaly on an anomalous run: exit=%d, want 0", code)
+	}
+
+	// Usage and reference errors.
+	for _, args := range [][]string{
+		{"watch", "-archive", archive},                       // no reference
+		{"watch", "a", "b", "-archive", archive},             // two references
+		{"watch", "latest:no/such/run", "-archive", archive}, // unknown ref
+	} {
+		if code, _, _ := exec(t, args...); code != 2 {
+			t.Errorf("%v: exit=%d, want 2", args, code)
+		}
+	}
+}
+
+// An injected corpus cell attributes: its flaky twin IS a labeled
+// corpus member, so the verdict ladder lands on degraded with the
+// label — and deterministically so (the injected record reproduces
+// the corpus variant's profile exactly).
+func TestWatchAttributesDegradedOverCLI(t *testing.T) {
+	archive := t.TempDir()
+	buildCorpus(t, archive)
+	if code, _, errOut := exec(t, "baseline", "corpus/ext2-preempt-c256", "-archive", archive); code != 0 {
+		t.Fatalf("baseline: exit=%d stderr=%s", code, errOut)
+	}
+	injectJSON(t, archive, "disk-flaky", "corpus/ext2-preempt-c256")
+
+	code, out, _ := exec(t, "watch", "latest:corpus/ext2-preempt-c256",
+		"-archive", archive, "-expect", "degraded")
+	if code != 0 || !strings.Contains(out, "DEGRADED ext2-preempt-c256-disk-flaky") {
+		t.Fatalf("degraded watch: exit=%d out:\n%s", code, out)
+	}
+}
+
+// -inject flag validation: preset listing, unknown presets, and the
+// refusal to bless degraded runs as baselines.
+func TestRecordInjectValidation(t *testing.T) {
+	code, out, _ := exec(t, "record", "-inject", "list")
+	if code != 0 {
+		t.Fatalf("record -inject list: exit=%d", code)
+	}
+	for _, name := range fault.PresetNames() {
+		if !strings.Contains(out, name) {
+			t.Errorf("preset listing missing %q:\n%s", name, out)
+		}
+	}
+
+	code, _, errOut := exec(t, "record", "ext2/readzero", "-inject", "no-such-preset", "-archive", t.TempDir())
+	if code != 2 || !strings.Contains(errOut, "unknown fault preset") {
+		t.Errorf("unknown preset: exit=%d stderr=%s", code, errOut)
+	}
+
+	code, _, errOut = exec(t, "baseline", "ext2/readzero", "-inject", "disk-flaky", "-archive", t.TempDir())
+	if code != 2 || !strings.Contains(errOut, "refusing to bless") {
+		t.Errorf("baseline -inject: exit=%d stderr=%s", code, errOut)
+	}
+
+	// The injected registry covers exactly the recordable scenarios.
+	_, healthyList, _ := exec(t, "record", "list")
+	_, injectedList, _ := exec(t, "record", "list", "-inject", "disk-flaky")
+	if healthyList != injectedList {
+		t.Errorf("injected scenario list diverged from the recordable list:\n%s\nvs\n%s",
+			injectedList, healthyList)
+	}
+}

@@ -22,12 +22,15 @@ import (
 //     cifs, fig3 — the backend axis): 100%, no exceptions. Backends
 //     differ in whole peak structures, so a family miss means the
 //     classifier is broken, not unlucky.
-//   - full label (family + kernel preemption config + cache size):
-//     >= 10 of 12. The preempt/nopreempt centroid gap is real but
-//     narrow (~5-10x the cross-seed noise; the §3.3 preemption-peak
-//     population is ~0.5% of the reads), so the gate documents the
-//     achieved threshold rather than demanding perfection. Measured:
-//     12/12 at the pinned seeds.
+//   - full label (family + kernel preemption config + cache size +
+//     injected fault state): >= total-2. The preempt/nopreempt
+//     centroid gap is real but narrow (~5-10x the cross-seed noise;
+//     the §3.3 preemption-peak population is ~0.5% of the reads), so
+//     the gate documents the achieved threshold rather than demanding
+//     perfection. Measured: 21/21 at the pinned seeds.
+//   - degraded labels (fault-injected corpus members): >= 6 of them
+//     must self-identify, the floor under `osprof watch`'s
+//     degraded-state attribution.
 //
 // An abstention counts as a miss on both gates: the corpus member must
 // not only be nearest to its own label but confidently so.
@@ -104,11 +107,18 @@ func TestLeaveOneSeedOutCrossValidation(t *testing.T) {
 
 	c := classify.New()
 	total, fullHits, familyMisses := 0, 0, 0
+	degradedTotal, degradedHits := 0, 0
 	for _, spec := range scenario.Variants(5) { // held-out seed
 		rep := c.Identify(corpus, heldOutRun(t, spec))
 		total++
+		if spec.Injections != nil {
+			degradedTotal++
+		}
 		if rep.Matched && rep.Label == spec.Label {
 			fullHits++
+			if spec.Injections != nil {
+				degradedHits++
+			}
 		} else {
 			t.Logf("miss: %s -> %q matched=%v d=%.4g margin=%.4g (%s)",
 				spec.Label, rep.Label, rep.Matched, rep.Distance, rep.Margin, rep.Reason)
@@ -127,10 +137,21 @@ func TestLeaveOneSeedOutCrossValidation(t *testing.T) {
 		t.Errorf("%d/%d family misses (gate: 0)", familyMisses, total)
 	}
 	// Full-label gate incl. kernel-config labels: documented threshold
-	// 10/12 (measured 12/12; see the file comment).
+	// total-2 (measured 21/21 over the 12 healthy + 9 degraded labels
+	// at the pinned seeds; see the file comment).
 	if fullHits < total-2 {
 		t.Errorf("full-label accuracy %d/%d below the documented threshold %d/%d",
 			fullHits, total, total-2, total)
+	}
+	// Degraded-state attribution gate: the fault-injected corpus
+	// members must self-identify across seeds, or the anomaly watcher
+	// can never name a cause. Measured 9/9; the gate documents >= 6.
+	if degradedTotal < 8 {
+		t.Errorf("corpus holds %d degraded labels, want >= 8", degradedTotal)
+	}
+	if degradedHits < 6 {
+		t.Errorf("degraded-label accuracy %d/%d below the gate 6/%d",
+			degradedHits, degradedTotal, degradedTotal)
 	}
 }
 

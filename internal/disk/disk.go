@@ -91,6 +91,11 @@ func (c *Config) applyDefaults() {
 	if c.ReadaheadBlocks == 0 {
 		c.ReadaheadBlocks = 32
 	}
+	// An inverted seek profile would underflow seekTime's span
+	// (uint64), turning every cross-cylinder seek into an absurd wait.
+	if c.FullStrokeSeek < c.TrackToTrackSeek {
+		c.FullStrokeSeek = c.TrackToTrackSeek
+	}
 }
 
 // Request is one I/O submitted to the drive.
@@ -116,6 +121,11 @@ type Stats struct {
 	TotalSeek      uint64 // cycles spent seeking
 	TotalRotation  uint64 // cycles spent waiting for the platter
 	TotalQueueWait uint64 // cycles requests waited in the elevator
+
+	// Injected counts requests stretched by the installed Injector;
+	// InjectedDelay totals the added cycles.
+	Injected      uint64
+	InjectedDelay uint64
 }
 
 // Probe observes request lifecycle events; the driver-level profiler
@@ -123,6 +133,16 @@ type Stats struct {
 type Probe interface {
 	Submitted(r *Request)
 	Completed(r *Request)
+}
+
+// Injector perturbs request service times — the fault-injection hook
+// (internal/fault). Perturb runs in kernel-event context as a request
+// enters service, after the healthy service time base was computed;
+// media reports whether the request goes to the platters (false for
+// segment-cache hits). The returned cycles are added to the service
+// time. Implementations must be deterministic for reproducible runs.
+type Injector interface {
+	Perturb(r *Request, base uint64, media bool) uint64
 }
 
 // segment is one on-disk cache segment: block range [Start, End).
@@ -141,6 +161,7 @@ type Disk struct {
 	queue    []*Request
 	cache    []segment // most recent last
 	probe    Probe
+	injector Injector
 	drainers []*sim.Proc
 }
 
@@ -159,6 +180,9 @@ func (d *Disk) Stats() Stats { return d.stats }
 // SetProbe installs a driver-level instrumentation probe.
 func (d *Disk) SetProbe(p Probe) { d.probe = p }
 
+// SetInjector installs a fault injector (nil uninstalls).
+func (d *Disk) SetInjector(i Injector) { d.injector = i }
+
 // QueueLen reports the number of requests waiting or in service.
 func (d *Disk) QueueLen() int {
 	n := len(d.queue)
@@ -174,9 +198,11 @@ func (d *Disk) Submit(r *Request) {
 	if r.Blocks == 0 {
 		panic("disk: zero-length request")
 	}
-	if r.LBA+r.Blocks > d.cfg.Blocks {
-		panic(fmt.Sprintf("disk: request [%d,%d) beyond device end %d",
-			r.LBA, r.LBA+r.Blocks, d.cfg.Blocks))
+	// Phrased to stay correct when LBA+Blocks wraps uint64: a request
+	// ending past the device must never slip through on overflow.
+	if r.LBA >= d.cfg.Blocks || r.Blocks > d.cfg.Blocks-r.LBA {
+		panic(fmt.Sprintf("disk: request [%d,+%d) beyond device end %d",
+			r.LBA, r.Blocks, d.cfg.Blocks))
 	}
 	r.SubmitTime = d.k.Now()
 	d.queue = append(d.queue, r)
@@ -294,7 +320,7 @@ func (d *Disk) serviceTime(r *Request) uint64 {
 		r.CacheHit = true
 		d.stats.Reads++
 		d.stats.CacheHits++
-		return d.cfg.CommandOverhead + transfer
+		return d.inject(r, d.cfg.CommandOverhead+transfer, false)
 	}
 
 	cyl := r.LBA / d.cfg.BlocksPerCylinder
@@ -315,7 +341,21 @@ func (d *Disk) serviceTime(r *Request) uint64 {
 		d.stats.MediaReads++
 		d.cacheInsert(r.LBA, r.Blocks+d.cfg.ReadaheadBlocks)
 	}
-	return d.cfg.CommandOverhead + seek + rot + transfer
+	return d.inject(r, d.cfg.CommandOverhead+seek+rot+transfer, true)
+}
+
+// inject applies the installed fault injector to a computed service
+// time base.
+func (d *Disk) inject(r *Request, base uint64, media bool) uint64 {
+	if d.injector == nil {
+		return base
+	}
+	extra := d.injector.Perturb(r, base, media)
+	if extra > 0 {
+		d.stats.Injected++
+		d.stats.InjectedDelay += extra
+	}
+	return base + extra
 }
 
 // seekTime models head movement: zero on the same cylinder, otherwise

@@ -1,0 +1,133 @@
+package disk
+
+import (
+	"math"
+	"testing"
+
+	"osprof/internal/cycles"
+	"osprof/internal/sim"
+)
+
+// Submit must reject malformed requests loudly (a silent wrap would
+// corrupt head position and cache state for the rest of the run), and
+// the bounds check must survive uint64 overflow on LBA+Blocks.
+func TestSubmitRejectsMalformedRequests(t *testing.T) {
+	cases := []struct {
+		name        string
+		lba, blocks uint64
+		wantPanic   bool
+	}{
+		{"zero length", 0, 0, true},
+		{"starts at device end", 1 << 20, 1, true},
+		{"starts past device end", 1<<20 + 5, 1, true},
+		{"ends past device end", 1<<20 - 1, 2, true},
+		{"lba+blocks wraps uint64", math.MaxUint64 - 1, 3, true},
+		{"blocks wraps alone", 0, math.MaxUint64, true},
+		{"last block exactly", 1<<20 - 1, 1, false},
+		{"whole device", 0, 1 << 20, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, d := newRig() // Blocks defaults to 1<<20
+			defer func() {
+				if got := recover() != nil; got != tc.wantPanic {
+					t.Errorf("[%d,+%d): panic=%v, want %v", tc.lba, tc.blocks, got, tc.wantPanic)
+				}
+			}()
+			d.Submit(&Request{LBA: tc.lba, Blocks: tc.blocks})
+		})
+	}
+}
+
+// Degenerate geometry configurations must normalize to something the
+// mechanics can compute with — no division by zero in the cylinder and
+// angle maps, no uint64 underflow in the seek span.
+func TestGeometryNormalization(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		// check receives the effective config after defaults.
+		check func(t *testing.T, cfg Config)
+	}{
+		{"all zero takes defaults", Config{}, func(t *testing.T, cfg Config) {
+			if cfg.Blocks == 0 || cfg.BlocksPerCylinder == 0 || cfg.BlocksPerTrack == 0 {
+				t.Errorf("zero geometry survived defaults: %+v", cfg)
+			}
+		}},
+		{"inverted seek profile clamps", Config{
+			TrackToTrackSeek: 8 * cycles.PerMillisecond,
+			FullStrokeSeek:   1 * cycles.PerMillisecond,
+		}, func(t *testing.T, cfg Config) {
+			if cfg.FullStrokeSeek < cfg.TrackToTrackSeek {
+				t.Errorf("FullStrokeSeek %d still below TrackToTrackSeek %d",
+					cfg.FullStrokeSeek, cfg.TrackToTrackSeek)
+			}
+		}},
+		{"single-cylinder drive", Config{Blocks: 64, BlocksPerCylinder: 512},
+			func(t *testing.T, cfg Config) {}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			k := sim.New(sim.Config{NumCPUs: 1, ContextSwitch: 100})
+			d := New(k, tc.cfg)
+			tc.check(t, d.Config())
+			// Whatever the geometry, a far media read must finish within
+			// the mechanical envelope (the inverted profile would have
+			// produced a near-infinite seek before the clamp).
+			var r *Request
+			k.Spawn("reader", func(p *sim.Proc) {
+				last := d.Config().Blocks - 1
+				d.Read(p, 0, 1)
+				r = d.Read(p, last, 1)
+			})
+			k.Run()
+			if r == nil || r.EndTime == 0 {
+				t.Fatal("read did not complete")
+			}
+			if lat := r.EndTime - r.SubmitTime; lat > 13*cycles.PerMillisecond {
+				t.Errorf("media read latency %s beyond the mechanical envelope",
+					cycles.Format(lat))
+			}
+		})
+	}
+}
+
+// Exhausting the segment cache falls back to media reads and the stats
+// counters say so: with S segments, a cyclic scan over S+1 disjoint
+// regions never hits.
+func TestCacheSegmentExhaustionCounts(t *testing.T) {
+	k := sim.New(sim.Config{NumCPUs: 1, ContextSwitch: 100})
+	d := New(k, Config{CacheSegments: 2})
+	const regions = 3 // CacheSegments + 1
+	k.Spawn("reader", func(p *sim.Proc) {
+		for pass := 0; pass < 4; pass++ {
+			for i := 0; i < regions; i++ {
+				if r := d.Read(p, uint64(i)*100_000, 1); r.CacheHit {
+					t.Errorf("pass %d region %d hit a cache that should have thrashed", pass, i)
+				}
+			}
+		}
+	})
+	k.Run()
+	st := d.Stats()
+	if st.MediaReads != 4*regions || st.CacheHits != 0 || st.Reads != 4*regions {
+		t.Errorf("stats = %+v, want %d media reads and no hits", st, 4*regions)
+	}
+	// Shrink the scan to fit: every revisit after the warm-up pass hits.
+	k2 := sim.New(sim.Config{NumCPUs: 1, ContextSwitch: 100})
+	d2 := New(k2, Config{CacheSegments: 2})
+	k2.Spawn("reader", func(p *sim.Proc) {
+		for pass := 0; pass < 4; pass++ {
+			for i := 0; i < 2; i++ {
+				r := d2.Read(p, uint64(i)*100_000, 1)
+				if pass > 0 && !r.CacheHit {
+					t.Errorf("pass %d region %d missed a cache that fits the scan", pass, i)
+				}
+			}
+		}
+	})
+	k2.Run()
+	if st := d2.Stats(); st.MediaReads != 2 || st.CacheHits != 6 {
+		t.Errorf("fitting scan stats = %+v, want 2 media reads and 6 hits", st)
+	}
+}

@@ -210,6 +210,15 @@ func Recordables(seed int64) (reg map[string]func() Result, fps map[string]strin
 	return reg, fps, ids
 }
 
+// RecordableSpecs returns the recordable scenario specs themselves, in
+// registry order. `osprof record -inject` needs spec-level access: a
+// fault preset is applied to the selected specs before recording, so
+// the degraded twin keeps the scenario's name (the watch layer matches
+// ingests to baselines by name) while fingerprinting as its own world.
+func RecordableSpecs(seed int64) []scenario.Spec {
+	return append(scenario.Matrix(seed), scenario.Variants(seed)...)
+}
+
 // Corpus returns the labeled subset of the recordable scenarios — the
 // identification reference corpus (`osprof corpus build`) — as
 // single-run constructors keyed by name, with each spec's fingerprint,

@@ -1,0 +1,286 @@
+// Package fault is the deterministic fault-injection layer: it turns a
+// healthy simulated stack into a reproducibly degraded one. The paper's
+// §5 workflow is comparative — profiles pay off when a latency shift
+// can be attributed to a cause — and fault injection supplies the
+// causes: a drive that suffers recovered read errors and positioning
+// spikes, writes that crawl, a page cache forcibly thrashed empty, and
+// a misbehaving daemon that hogs the CPU or camps on an inode lock.
+//
+// A Spec is declarative and canonically encodable, so it participates
+// in scenario fingerprints (scenario.Spec.Injections): the same healthy
+// configuration with and without an injection program is two different
+// worlds with two different content addresses, while the scenario name
+// stays the same — which is exactly what lets the anomaly watcher
+// (internal/watch) compare a degraded ingest against the healthy
+// baseline recorded under the same name.
+//
+// Every fault source is deterministic. Period-based triggers (Every)
+// fire on exact request counts and have zero cross-seed variance, so
+// the degraded corpus cells built from them classify as tightly as
+// healthy ones. Probability-based triggers (Rate) draw from their own
+// rand.Rand seeded from the kernel seed, so an injected run remains
+// byte-reproducible: same seed, same injection spec, same envelope.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"osprof/internal/disk"
+	"osprof/internal/mem"
+	"osprof/internal/sim"
+	"osprof/internal/vfs"
+)
+
+// Spec declares the complete fault program of one scenario. All fields
+// are optional; the zero Spec injects nothing.
+type Spec struct {
+	// Disk perturbs the drive's request service times.
+	Disk *DiskFaults
+
+	// Thrash runs a forced-eviction daemon against the page cache.
+	Thrash *CacheThrash
+
+	// Hog runs a misbehaving daemon that burns CPU in bursts and may
+	// hold an inode lock across each burst.
+	Hog *HogDaemon
+}
+
+// DiskFaults perturbs the simulated drive below the file system: the
+// injector hooks disk.Disk's service-time computation (disk.Injector)
+// and stretches individual requests. Triggers come in two flavors per
+// fault: Every fires deterministically on each Nth event, Rate fires on
+// a seeded coin flip per event; both may be combined.
+type DiskFaults struct {
+	// ReadErrorEvery injects a recovered read error on every Nth media
+	// read (0 disables): the drive re-reads the sector for ErrorRetries
+	// full platter rotations before succeeding, the classic
+	// dying-disk signature of retry storms that still return data.
+	ReadErrorEvery int
+
+	// ReadErrorRate is the per-media-read probability of a recovered
+	// error (0 disables), driven by the injector's seeded RNG.
+	ReadErrorRate float64
+
+	// ErrorRetries is the number of full-rotation retries per recovered
+	// error (default 4).
+	ErrorRetries int
+
+	// SpikeEvery injects a positioning-latency spike of SpikeCycles on
+	// every Nth media access (0 disables) — aging servo/vibration
+	// behavior where seeks intermittently overshoot.
+	SpikeEvery int
+
+	// SpikeRate is the per-media-access spike probability (0 disables).
+	SpikeRate float64
+
+	// SpikeCycles is the added latency per spike (default one full
+	// rotation).
+	SpikeCycles uint64
+
+	// WriteFactor multiplies the media service time of writes
+	// (slow/torn writes: the drive's write path degrades while reads
+	// stay healthy). Values <= 1 disable.
+	WriteFactor uint64
+}
+
+// CacheThrash configures the forced-eviction daemon: every Interval it
+// evicts up to Pages clean idle pages (oldest first; 0 means all),
+// turning cache-hit peaks into media-read peaks regardless of the
+// configured cache size.
+type CacheThrash struct {
+	// Interval is the daemon's wakeup period in cycles.
+	Interval uint64
+
+	// Pages bounds evictions per wakeup (0 = every clean idle page).
+	Pages int
+}
+
+// HogDaemon configures the misbehaving daemon: it loops Busy cycles of
+// CPU burn followed by Sleep cycles of idling. In kernel mode (User
+// false) a non-preemptive kernel cannot take the CPU back mid-burst,
+// so victim latencies stretch by the full burst — the hog's profile
+// signature itself encodes the kernel's preemption build.
+type HogDaemon struct {
+	// Busy and Sleep shape the burst pattern in cycles.
+	Busy, Sleep uint64
+
+	// User runs the burst in user mode (preemptible on any kernel
+	// build at quantum boundaries).
+	User bool
+
+	// LockPath, when set, names a file whose inode semaphore (i_sem)
+	// the daemon holds across each burst, serializing every metadata
+	// operation on that inode behind the hog.
+	LockPath string
+}
+
+// Canonical returns the deterministic text encoding of the Spec for
+// scenario fingerprinting, one "inject ..." line per configured fault
+// source. The nil/empty Spec encodes to "" so healthy specs keep their
+// pre-fault fingerprints (the same conditional-presence idiom as
+// scenario.Spec.Label).
+func (s *Spec) Canonical() string {
+	if s == nil {
+		return ""
+	}
+	var b strings.Builder
+	if d := s.Disk; d != nil {
+		fmt.Fprintf(&b, "inject disk errevery=%d errrate=%g retries=%d spikeevery=%d spikerate=%g spikecycles=%d writefactor=%d\n",
+			d.ReadErrorEvery, d.ReadErrorRate, d.ErrorRetries,
+			d.SpikeEvery, d.SpikeRate, d.SpikeCycles, d.WriteFactor)
+	}
+	if t := s.Thrash; t != nil {
+		fmt.Fprintf(&b, "inject thrash interval=%d pages=%d\n", t.Interval, t.Pages)
+	}
+	if h := s.Hog; h != nil {
+		fmt.Fprintf(&b, "inject hog busy=%d sleep=%d user=%t lock=%q\n",
+			h.Busy, h.Sleep, h.User, h.LockPath)
+	}
+	return b.String()
+}
+
+// Empty reports whether the Spec injects nothing.
+func (s *Spec) Empty() bool {
+	return s == nil || (s.Disk == nil && s.Thrash == nil && s.Hog == nil)
+}
+
+// DiskStats aggregates what the disk injector did.
+type DiskStats struct {
+	// RecoveredErrors counts injected read-error retry sequences.
+	RecoveredErrors uint64
+
+	// Spikes counts injected positioning spikes.
+	Spikes uint64
+
+	// SlowWrites counts writes stretched by WriteFactor.
+	SlowWrites uint64
+
+	// ExtraCycles totals the injected service time.
+	ExtraCycles uint64
+}
+
+// DiskInjector implements disk.Injector for a DiskFaults program. One
+// injector serves one drive; its RNG is derived from the scenario's
+// kernel seed, so the injected world is as deterministic as the
+// healthy one.
+type DiskInjector struct {
+	cfg      DiskFaults
+	rotation uint64 // full-rotation cycles, the retry unit
+	rng      *rand.Rand
+
+	mediaReads  uint64 // media reads observed (error trigger base)
+	mediaAccess uint64 // media reads+writes observed (spike base)
+	stats       DiskStats
+}
+
+// NewDiskInjector builds the injector for cfg against a drive whose
+// full rotation takes rotation cycles. seed derives the fault RNG
+// (offset so it never mirrors the kernel's own stream).
+func NewDiskInjector(cfg DiskFaults, rotation uint64, seed int64) *DiskInjector {
+	if cfg.ErrorRetries == 0 {
+		cfg.ErrorRetries = 4
+	}
+	if cfg.SpikeCycles == 0 {
+		cfg.SpikeCycles = rotation
+	}
+	return &DiskInjector{
+		cfg:      cfg,
+		rotation: rotation,
+		rng:      rand.New(rand.NewSource(seed ^ 0x6f737072_6f662d66)), // "osprof-f"
+	}
+}
+
+// Stats returns what the injector has done so far.
+func (i *DiskInjector) Stats() DiskStats { return i.stats }
+
+// Perturb implements disk.Injector: called in kernel-event context as a
+// request enters service, after the healthy service time base was
+// computed; media reports a media access (cache hits are never
+// perturbed — the faults model mechanics, not electronics). The return
+// value is added to the request's service time.
+func (i *DiskInjector) Perturb(r *disk.Request, base uint64, media bool) uint64 {
+	if !media {
+		return 0
+	}
+	var extra uint64
+	c := &i.cfg
+	i.mediaAccess++
+	if !r.Write {
+		i.mediaReads++
+		fire := c.ReadErrorEvery > 0 && i.mediaReads%uint64(c.ReadErrorEvery) == 0
+		if !fire && c.ReadErrorRate > 0 && i.rng.Float64() < c.ReadErrorRate {
+			fire = true
+		}
+		if fire {
+			extra += uint64(c.ErrorRetries) * i.rotation
+			i.stats.RecoveredErrors++
+		}
+	}
+	spike := c.SpikeEvery > 0 && i.mediaAccess%uint64(c.SpikeEvery) == 0
+	if !spike && c.SpikeRate > 0 && i.rng.Float64() < c.SpikeRate {
+		spike = true
+	}
+	if spike {
+		extra += c.SpikeCycles
+		i.stats.Spikes++
+	}
+	if r.Write && c.WriteFactor > 1 {
+		extra += base * (c.WriteFactor - 1)
+		i.stats.SlowWrites++
+	}
+	i.stats.ExtraCycles += extra
+	return extra
+}
+
+// StartThrash spawns the forced-eviction daemon against cache c.
+func StartThrash(k *sim.Kernel, c *mem.Cache, cfg CacheThrash) {
+	interval := cfg.Interval
+	if interval == 0 {
+		interval = 1 << 20
+	}
+	k.SpawnDaemon("fault-thrash", func(p *sim.Proc) {
+		for {
+			p.Sleep(interval)
+			c.EvictClean(cfg.Pages)
+		}
+	})
+}
+
+// StartHog spawns the misbehaving daemon. sys is the raw system-call
+// surface used to resolve LockPath (nil is fine when LockPath is
+// empty); the hog opens the file once, inside the simulation, before
+// its first burst — a rogue daemon pays for its own open.
+func StartHog(k *sim.Kernel, sys vfs.Syscalls, cfg HogDaemon) {
+	busy := cfg.Busy
+	if busy == 0 {
+		busy = 1 << 16
+	}
+	sleep := cfg.Sleep
+	if sleep == 0 {
+		sleep = 4 * busy
+	}
+	k.SpawnDaemon("fault-hog", func(p *sim.Proc) {
+		var sem *sim.Semaphore
+		if cfg.LockPath != "" && sys != nil {
+			if f, err := sys.Open(p, cfg.LockPath, false); err == nil {
+				sem = f.Inode.Sem
+			}
+		}
+		for {
+			p.Sleep(sleep)
+			if sem != nil {
+				sem.Down(p)
+			}
+			if cfg.User {
+				p.ExecUser(busy)
+			} else {
+				p.Exec(busy)
+			}
+			if sem != nil {
+				sem.Up(p)
+			}
+		}
+	})
+}

@@ -1,0 +1,191 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"osprof/internal/disk"
+	"osprof/internal/mem"
+	"osprof/internal/sim"
+)
+
+func TestCanonicalPresenceEncoding(t *testing.T) {
+	var nilSpec *Spec
+	if got := nilSpec.Canonical(); got != "" {
+		t.Errorf("nil spec canonical = %q, want empty", got)
+	}
+	if got := (&Spec{}).Canonical(); got != "" {
+		t.Errorf("empty spec canonical = %q, want empty", got)
+	}
+	if !nilSpec.Empty() || !(&Spec{}).Empty() {
+		t.Error("nil/zero specs must report Empty")
+	}
+	full := &Spec{
+		Disk:   &DiskFaults{ReadErrorEvery: 3, ErrorRetries: 4, SpikeRate: 0.25},
+		Thrash: &CacheThrash{Interval: 1 << 19},
+		Hog:    &HogDaemon{Busy: 1 << 16, LockPath: "zero"},
+	}
+	if full.Empty() {
+		t.Error("configured spec must not report Empty")
+	}
+	c := full.Canonical()
+	for _, want := range []string{"inject disk ", "inject thrash ", "inject hog ", "errrate=0", "spikerate=0.25", `lock="zero"`} {
+		if !strings.Contains(c, want) {
+			t.Errorf("canonical missing %q:\n%s", want, c)
+		}
+	}
+	// Each configured source changes the encoding (fingerprints must
+	// move with any knob).
+	if (&Spec{Disk: &DiskFaults{ReadErrorEvery: 4, ErrorRetries: 4, SpikeRate: 0.25}}).Canonical() ==
+		(&Spec{Disk: &DiskFaults{ReadErrorEvery: 3, ErrorRetries: 4, SpikeRate: 0.25}}).Canonical() {
+		t.Error("knob change did not change the canonical encoding")
+	}
+}
+
+func TestPresets(t *testing.T) {
+	names := PresetNames()
+	if len(names) < 3 {
+		t.Fatalf("want >= 3 presets, got %v", names)
+	}
+	for _, name := range names {
+		spec, ok := Preset(name)
+		if !ok || spec.Empty() {
+			t.Errorf("preset %q missing or empty", name)
+		}
+		if spec.Canonical() == "" {
+			t.Errorf("preset %q encodes to nothing", name)
+		}
+	}
+	// Copies are fresh: mutating one lookup must not leak into the next.
+	a, _ := Preset("disk-flaky")
+	a.Disk.ReadErrorEvery = 999
+	b, _ := Preset("disk-flaky")
+	if b.Disk.ReadErrorEvery == 999 {
+		t.Error("Preset returned a shared copy")
+	}
+	if _, ok := Preset("no-such-preset"); ok {
+		t.Error("unknown preset resolved")
+	}
+}
+
+// The periodic triggers fire on exact counts: no RNG, no variance.
+func TestDiskInjectorPeriodic(t *testing.T) {
+	inj := NewDiskInjector(DiskFaults{ReadErrorEvery: 2, ErrorRetries: 3, SpikeEvery: 3, SpikeCycles: 100, WriteFactor: 4}, 1000, 1)
+	read := &disk.Request{Blocks: 1}
+	write := &disk.Request{Blocks: 1, Write: true}
+
+	if got := inj.Perturb(read, 500, false); got != 0 {
+		t.Errorf("cache hit perturbed by %d cycles", got)
+	}
+	// Media reads 1..4: errors on 2 and 4 (3 rotations each); media
+	// accesses 3 and 6 spike.
+	var total uint64
+	for i := 0; i < 4; i++ {
+		total += inj.Perturb(read, 500, true)
+	}
+	want := uint64(2*3*1000 + 100)
+	if total != want {
+		t.Errorf("4 media reads injected %d cycles, want %d", total, want)
+	}
+	// Write: factor 4 means base*3 extra; access #5 doesn't spike.
+	if got := inj.Perturb(write, 500, true); got != 3*500 {
+		t.Errorf("slow write injected %d, want %d", got, 3*500)
+	}
+	st := inj.Stats()
+	if st.RecoveredErrors != 2 || st.Spikes != 1 || st.SlowWrites != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.ExtraCycles != total+3*500 {
+		t.Errorf("ExtraCycles = %d, want %d", st.ExtraCycles, total+3*500)
+	}
+}
+
+// Rate-based triggers draw from the injector's own seeded RNG: the
+// same seed replays the same faults, a different seed does not.
+func TestDiskInjectorRateDeterminism(t *testing.T) {
+	run := func(seed int64) []uint64 {
+		inj := NewDiskInjector(DiskFaults{ReadErrorRate: 0.3, SpikeRate: 0.2, SpikeCycles: 7}, 1000, seed)
+		out := make([]uint64, 200)
+		r := &disk.Request{Blocks: 1}
+		for i := range out {
+			out[i] = inj.Perturb(r, 500, true)
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at request %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical fault sequences")
+	}
+	var fired int
+	for _, x := range a {
+		if x != 0 {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Errorf("rate faults fired on %d/%d requests", fired, len(a))
+	}
+}
+
+// The thrash daemon forcibly evicts clean idle pages on schedule.
+func TestStartThrash(t *testing.T) {
+	k := sim.New(sim.Config{})
+	cache := mem.NewCache(k, 0)
+	for i := uint64(0); i < 10; i++ {
+		pg, _ := cache.GetOrCreate(mem.Key{Ino: 1, Index: i})
+		cache.MarkUptodate(pg)
+	}
+	dirty, _ := cache.GetOrCreate(mem.Key{Ino: 2, Index: 0})
+	cache.MarkUptodate(dirty)
+	cache.MarkDirty(dirty, 0)
+
+	StartThrash(k, cache, CacheThrash{Interval: 1000})
+	k.Spawn("app", func(p *sim.Proc) { p.Sleep(5_000) })
+	k.Run()
+
+	if cache.Len() != 1 {
+		t.Errorf("thrash left %d pages resident, want 1 (the dirty page)", cache.Len())
+	}
+	if got := cache.Stats().ForcedEvictions; got != 10 {
+		t.Errorf("ForcedEvictions = %d, want 10", got)
+	}
+	if cache.Peek(mem.Key{Ino: 2, Index: 0}) == nil {
+		t.Error("thrash evicted a dirty page")
+	}
+}
+
+// The hog daemon's kernel-mode bursts stall a co-scheduled process on
+// a single CPU; the same workload alone finishes sooner.
+func TestStartHogStallsVictims(t *testing.T) {
+	elapsed := func(withHog bool) uint64 {
+		k := sim.New(sim.Config{NumCPUs: 1, Preemptive: true, Quantum: 1 << 14})
+		if withHog {
+			StartHog(k, nil, HogDaemon{Busy: 1 << 16, Sleep: 1 << 16})
+		}
+		k.Spawn("victim", func(p *sim.Proc) {
+			for i := 0; i < 50; i++ {
+				p.ExecUser(1 << 12)
+				p.Sleep(1 << 12)
+			}
+		})
+		k.Run()
+		return k.Now()
+	}
+	alone, hogged := elapsed(false), elapsed(true)
+	if hogged <= alone {
+		t.Errorf("hogged run finished in %d cycles, alone %d: the hog stole no time", hogged, alone)
+	}
+}

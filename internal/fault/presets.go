@@ -1,0 +1,69 @@
+package fault
+
+import (
+	"sort"
+
+	"osprof/internal/cycles"
+)
+
+// presets are the named degraded configurations shared by the degraded
+// corpus cells (scenario.Variants), the CLI's `record -inject`, and the
+// docs. Each one is a recognizable failure mode with a distinctive
+// latency signature, so `osprof identify` can attribute a degraded run
+// to its cause:
+//
+//   - disk-flaky: a dying drive. Every third media read suffers a
+//     recovered error (four full-rotation retries) and every seventh
+//     media access takes a two-rotation positioning spike. Media-read
+//     peaks shift up by whole rotations; cache-hit peaks stay put.
+//   - cache-thrash: memory pressure or a rogue page scanner. A daemon
+//     forcibly evicts every clean idle page twice per simulated
+//     millisecond, so reads that should hit the page cache go back to
+//     the platters no matter how large the cache is.
+//   - cpu-hog: a misbehaving daemon burning the CPU in kernel mode,
+//     eight scheduling quanta per burst at a ~20% duty cycle. On a
+//     non-preemptive kernel each burst runs to completion and every
+//     victim operation issued meanwhile absorbs it whole; a
+//     preemptive kernel clips the damage at quantum granularity — the
+//     same fault, two distinguishable signatures.
+var presets = map[string]func() *Spec{
+	"disk-flaky": func() *Spec {
+		return &Spec{Disk: &DiskFaults{
+			ReadErrorEvery: 3,
+			ErrorRetries:   4,
+			SpikeEvery:     7,
+			SpikeCycles:    2 * cycles.FullRotation,
+		}}
+	},
+	"cache-thrash": func() *Spec {
+		return &Spec{Thrash: &CacheThrash{
+			Interval: 1 << 19, // ~0.3 ms: well under one media read
+			Pages:    0,       // evict every clean idle page
+		}}
+	},
+	"cpu-hog": func() *Spec {
+		return &Spec{Hog: &HogDaemon{
+			Busy:  1 << 17, // 8 corpus quanta per burst
+			Sleep: 1 << 19, // ~20% duty cycle
+		}}
+	},
+}
+
+// Preset returns a fresh copy of the named injection preset.
+func Preset(name string) (*Spec, bool) {
+	mk, ok := presets[name]
+	if !ok {
+		return nil, false
+	}
+	return mk(), true
+}
+
+// PresetNames lists the preset names in sorted order.
+func PresetNames() []string {
+	out := make([]string, 0, len(presets))
+	for name := range presets {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -51,6 +51,10 @@ func (pg *Page) WaitUptodate(p *sim.Proc) {
 type Stats struct {
 	Hits, Misses uint64
 	Evictions    uint64
+
+	// ForcedEvictions counts pages dropped by EvictClean (the
+	// fault-injection thrash path), also included in Evictions.
+	ForcedEvictions uint64
 }
 
 // Cache is a page cache with FIFO eviction of clean pages.
@@ -188,6 +192,32 @@ func (c *Cache) InvalidateInode(ino uint64) {
 		keep = append(keep, key)
 	}
 	c.order = keep
+}
+
+// EvictClean forcibly drops up to n clean idle pages, oldest first
+// (n <= 0 means every one), regardless of capacity pressure — the
+// fault-injection thrash path (internal/fault.CacheThrash). Dirty
+// pages, pages under I/O, and pages with waiters survive, exactly as
+// in capacity eviction. It returns the number of pages dropped.
+func (c *Cache) EvictClean(n int) int {
+	evicted := 0
+	keep := c.order[:0]
+	for _, key := range c.order {
+		pg := c.pages[key]
+		if pg == nil {
+			continue
+		}
+		if (n <= 0 || evicted < n) && !pg.Dirty && !pg.IO && pg.wq.Len() == 0 {
+			delete(c.pages, key)
+			c.stats.Evictions++
+			c.stats.ForcedEvictions++
+			evicted++
+			continue
+		}
+		keep = append(keep, key)
+	}
+	c.order = keep
+	return evicted
 }
 
 // evictIfNeeded drops the oldest clean, idle pages until the cache is

@@ -1,0 +1,51 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"osprof/internal/watch"
+)
+
+// Watch renders a watch verdict in the repository's text style: the
+// verdict line, the drifted operations (strongest first), and — when
+// the classifier attributed the drift — the attribution line.
+func Watch(w io.Writer, rep *watch.Report) {
+	name := rep.Name
+	if name == "" {
+		name = "(unnamed run)"
+	}
+	fmt.Fprintf(w, "watch %s", name)
+	if rep.BaselineID != "" {
+		fmt.Fprintf(w, " baseline=%.12s", rep.BaselineID)
+	}
+	fmt.Fprintln(w)
+	switch rep.Verdict {
+	case watch.OK:
+		fmt.Fprintf(w, "verdict: OK — %s\n", rep.Detail)
+	case watch.Degraded:
+		fmt.Fprintf(w, "verdict: DEGRADED %s — %s\n", rep.Label, rep.Detail)
+	default:
+		fmt.Fprintf(w, "verdict: ANOMALY — %s\n", rep.Detail)
+	}
+	if rep.Diff != nil {
+		if changed := rep.Diff.ChangedOps(); len(changed) > 0 {
+			fmt.Fprintln(w, "drifted operations:")
+			fmt.Fprintf(w, "  %-16s %-14s %8s %10s %10s\n",
+				"op", "verdict", "score", "count(A)", "count(B)")
+			for _, d := range changed {
+				fmt.Fprintf(w, "  %-16s %-14s %8.3g %10d %10d\n",
+					d.Op, d.Verdict, d.Score, d.CountA, d.CountB)
+			}
+		}
+	}
+	if id := rep.Identify; id != nil && len(id.Ranking) > 0 {
+		fmt.Fprintln(w, "nearest corpus labels:")
+		for i, ld := range id.Ranking {
+			if i == 3 {
+				break
+			}
+			fmt.Fprintf(w, "  %2d. %-32s distance %.4g\n", i+1, ld.Label, ld.Distance)
+		}
+	}
+}

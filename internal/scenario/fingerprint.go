@@ -93,6 +93,9 @@ func (s Spec) Canonical() string {
 	if f := s.Flusher; f != nil {
 		fmt.Fprintf(&b, "flusher interval=%d age=%d\n", f.Interval, f.Age)
 	}
+	// The fault program encodes by presence (empty Spec and nil alike
+	// add nothing): every pre-fault Spec keeps its fingerprint key.
+	b.WriteString(s.Injections.Canonical())
 
 	ins := s.Instrument
 	fmt.Fprintf(&b, "instrument point=%s mode=%d sampled=%t start=%d interval=%d",

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"osprof/internal/fault"
 	"osprof/internal/fs/cifs"
 	"osprof/internal/fsprof"
 	"osprof/internal/netsim"
@@ -90,6 +91,10 @@ func TestFingerprintSensitivity(t *testing.T) {
 		"workload.name":   func(s *Spec) { s.Workloads[0].ProcName = "p" },
 		"workload.drop":   func(s *Spec) { s.Workloads = s.Workloads[:1] },
 		"workload.body":   func(s *Spec) { s.Workloads[0].Body = func(*sim.Proc, int, *Stack) {} },
+		"inject.disk":     func(s *Spec) { s.Injections = &fault.Spec{Disk: &fault.DiskFaults{ReadErrorEvery: 3}} },
+		"inject.diskrate": func(s *Spec) { s.Injections = &fault.Spec{Disk: &fault.DiskFaults{ReadErrorRate: 0.1}} },
+		"inject.thrash":   func(s *Spec) { s.Injections = &fault.Spec{Thrash: &fault.CacheThrash{Interval: 1 << 18}} },
+		"inject.hog":      func(s *Spec) { s.Injections = &fault.Spec{Hog: &fault.HogDaemon{Busy: 1 << 16}} },
 	}
 	base := fingerprintFixture().Fingerprint()
 	for name, mutate := range mutations {
@@ -114,6 +119,14 @@ func TestFingerprintGolden(t *testing.T) {
 	if !strings.Contains(spec.Canonical(), `name="ext2/grep"`) {
 		t.Error("canonical encoding lost the scenario name")
 	}
+	// Healthy specs must encode no fault lines at all: the Injections
+	// field is presence-encoded precisely so that pre-fault archives
+	// keep their keys.
+	for _, s := range append(Matrix(1), Variants(1)...) {
+		if s.Injections == nil && strings.Contains(s.Canonical(), "inject ") {
+			t.Errorf("%s: healthy spec canonical encodes an inject line", s.Name)
+		}
+	}
 }
 
 // Canonical must cover every field of Spec and its nested config
@@ -124,7 +137,11 @@ func TestFingerprintCoversEveryField(t *testing.T) {
 		typ  reflect.Type
 		want int
 	}{
-		"scenario.Spec":        {reflect.TypeOf(Spec{}), 16},
+		"scenario.Spec":        {reflect.TypeOf(Spec{}), 17},
+		"fault.Spec":           {reflect.TypeOf(fault.Spec{}), 3},
+		"fault.DiskFaults":     {reflect.TypeOf(fault.DiskFaults{}), 7},
+		"fault.CacheThrash":    {reflect.TypeOf(fault.CacheThrash{}), 2},
+		"fault.HogDaemon":      {reflect.TypeOf(fault.HogDaemon{}), 4},
 		"scenario.Instrument":  {reflect.TypeOf(Instrument{}), 6},
 		"scenario.Workload":    {reflect.TypeOf(Workload{}), 12},
 		"scenario.FileSpec":    {reflect.TypeOf(FileSpec{}), 2},

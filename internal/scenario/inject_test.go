@@ -1,0 +1,175 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+
+	"osprof/internal/core"
+	"osprof/internal/fault"
+	"osprof/internal/sim"
+	"osprof/internal/vfs"
+)
+
+// degradedFixture is a small ext2 cell with every fault source active,
+// rate-based disk triggers included so the seeded fault RNG is on the
+// hot path.
+func degradedFixture(seed int64) Spec {
+	spec := corpusCell(Ext2, true, 256, seed)
+	spec.Injections = &fault.Spec{
+		Disk:   &fault.DiskFaults{ReadErrorEvery: 3, ReadErrorRate: 0.1, SpikeRate: 0.1},
+		Thrash: &fault.CacheThrash{Interval: 1 << 19},
+		Hog:    &fault.HogDaemon{Busy: 1 << 16, Sleep: 1 << 18},
+	}
+	return spec
+}
+
+func setBytes(t *testing.T, set *core.Set) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	if err := core.WriteSet(&b, set); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+// Same seed + same injection spec => byte-identical profiles and
+// simulated clock: injected worlds are as deterministic as healthy
+// ones (rate faults draw from a seeded RNG, not wall-clock entropy).
+func TestInjectedRunDeterministic(t *testing.T) {
+	a, err := RunSpec(degradedFixture(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSpec(degradedFixture(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.K.Now() != b.K.Now() {
+		t.Errorf("injected reruns diverged: clock %d vs %d", a.K.Now(), b.K.Now())
+	}
+	if !bytes.Equal(setBytes(t, a.Set), setBytes(t, b.Set)) {
+		t.Error("injected reruns produced different profile sets")
+	}
+	if a.DiskFaults == nil || a.DiskFaults.Stats().RecoveredErrors == 0 {
+		t.Errorf("disk injector idle: %+v", a.DiskFaults.Stats())
+	}
+	if a.Cache.Stats().ForcedEvictions == 0 {
+		t.Error("thrash daemon evicted nothing")
+	}
+	// A different seed is a different degraded world.
+	c, err := RunSpec(degradedFixture(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(setBytes(t, a.Set), setBytes(t, c.Set)) {
+		t.Error("different seeds produced identical injected profiles")
+	}
+}
+
+// An injected spec keeps its name (the watch layer matches ingests to
+// baselines by name) but fingerprints as a different world, and its
+// profiles actually differ from the healthy twin's.
+func TestInjectedTwinKeepsNameChangesWorld(t *testing.T) {
+	healthy := corpusCell(Ext2, true, 256, 3)
+	degraded := healthy
+	degraded.Injections, _ = fault.Preset("disk-flaky")
+
+	if healthy.Name != degraded.Name {
+		t.Fatalf("injection changed the name: %q vs %q", healthy.Name, degraded.Name)
+	}
+	if healthy.Fingerprint() == degraded.Fingerprint() {
+		t.Fatal("injected twin shares the healthy fingerprint")
+	}
+	h, err := RunSpec(healthy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := RunSpec(degraded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(setBytes(t, h.Set), setBytes(t, d.Set)) {
+		t.Error("disk-flaky injection left the profiles untouched")
+	}
+	if d.K.Now() <= h.K.Now() {
+		t.Errorf("degraded run finished no later than healthy: %d vs %d", d.K.Now(), h.K.Now())
+	}
+}
+
+// The hog's LockPath resolves through the raw VFS and holds the inode
+// semaphore during bursts. On a second CPU the hog steals no victim
+// CPU time, so the lock is the only channel through which it can
+// stretch a profiled operation: buggy llseek takes i_sem (§6.1) and
+// blocks mid-syscall until the burst ends.
+func TestInjectedHogLockContention(t *testing.T) {
+	maxLlseek := func(lockPath string) uint64 {
+		var max uint64
+		kernel := corpusKernel(false, 5)
+		kernel.NumCPUs = 2 // hog burns its own CPU; only i_sem couples
+		spec := Spec{
+			Name:       "inject/lockhog",
+			Kernel:     kernel,
+			Backend:    Ext2,
+			CachePages: 256,
+			Files:      []FileSpec{{Name: "bigfile", Size: 4 * vfs.PageSize}},
+			Workloads: []Workload{{Kind: Custom, Procs: 1,
+				Body: func(p *sim.Proc, _ int, st *Stack) {
+					f, err := st.VFS.Open(p, "/bigfile", false)
+					if err != nil {
+						t.Errorf("open victim file: %v", err)
+						return
+					}
+					defer st.VFS.Close(p, f)
+					for i := 0; i < 500; i++ {
+						t0 := p.Now()
+						st.VFS.Llseek(p, f, 0, vfs.SeekSet)
+						if d := p.Now() - t0; d > max {
+							max = d
+						}
+						p.ExecUser(100)
+					}
+				}}},
+		}
+		spec.Ext2.BuggyLlseek = true
+		if lockPath != "" {
+			spec.Injections = &fault.Spec{Hog: &fault.HogDaemon{
+				Busy: 1 << 16, Sleep: 1 << 18, LockPath: lockPath,
+			}}
+		}
+		if _, err := RunSpec(spec); err != nil {
+			t.Fatal(err)
+		}
+		return max
+	}
+	free, locked := maxLlseek(""), maxLlseek("/bigfile")
+	if locked < free+1<<15 {
+		t.Errorf("max llseek latency %d cycles with the lock-holding hog, %d without: i_sem was never contended", locked, free)
+	}
+}
+
+// Fault programs that need stack layers the backend doesn't provide
+// are Build-time errors, not silent no-ops.
+func TestInjectedBuildValidation(t *testing.T) {
+	cases := map[string]*fault.Spec{
+		"disk":    {Disk: &fault.DiskFaults{ReadErrorEvery: 2}},
+		"thrash":  {Thrash: &fault.CacheThrash{Interval: 1 << 19}},
+		"hoglock": {Hog: &fault.HogDaemon{Busy: 1 << 16, LockPath: "/zero"}},
+	}
+	for name, inj := range cases {
+		spec := Spec{Name: "inject/" + name, Backend: NoFS, Injections: inj}
+		if _, err := Build(spec); err == nil {
+			t.Errorf("%s injection on NoFS built without error", name)
+		}
+	}
+	// A lockless hog needs no backend at all: it only burns CPU.
+	spec := Spec{
+		Name:       "inject/hogfree",
+		Backend:    NoFS,
+		Injections: &fault.Spec{Hog: &fault.HogDaemon{Busy: 1 << 16, Sleep: 1 << 18}},
+		Workloads: []Workload{{Kind: Custom, Procs: 1,
+			Body: func(p *sim.Proc, _ int, _ *Stack) { p.Sleep(1 << 20) }}},
+	}
+	if _, err := RunSpec(spec); err != nil {
+		t.Errorf("lockless hog on NoFS: %v", err)
+	}
+}

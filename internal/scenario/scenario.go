@@ -21,6 +21,7 @@ import (
 
 	"osprof/internal/core"
 	"osprof/internal/disk"
+	"osprof/internal/fault"
 	"osprof/internal/fs/cifs"
 	"osprof/internal/fs/ext2"
 	"osprof/internal/fs/reiser"
@@ -224,6 +225,15 @@ type Spec struct {
 	// label.
 	Label string
 
+	// Injections, when set, degrades the stack with the fault program
+	// it describes (internal/fault): disk service-time faults, forced
+	// page-cache eviction, and/or a misbehaving daemon. Like Label it
+	// is canonical-encoded only when present, so every healthy Spec
+	// keeps its pre-fault fingerprint; an injected Spec keeps its Name
+	// (the anomaly watcher matches ingests to baselines by name) but
+	// fingerprints differently, because it builds a different world.
+	Injections *fault.Spec
+
 	// Workloads are the simulated processes; Run spawns them in
 	// order.
 	Workloads []Workload
@@ -275,6 +285,11 @@ type Stack struct {
 
 	// Flusher is the started writeback daemon, nil otherwise.
 	Flusher *mem.Flusher
+
+	// DiskFaults is the installed disk fault injector when
+	// Spec.Injections.Disk is set, nil otherwise (its Stats report what
+	// the injection program actually did).
+	DiskFaults *fault.DiskInjector
 
 	// Tree reports the built synthetic tree (zero when Spec.Tree is
 	// nil).
@@ -378,7 +393,43 @@ func Build(spec Spec) (*Stack, error) {
 		}
 		st.Reiser.StartSuperDaemon()
 	}
+
+	if err := st.injectFaults(spec.Injections); err != nil {
+		return nil, err
+	}
 	return st, nil
+}
+
+// injectFaults wires the Spec's fault program into the built stack.
+// It runs last in Build, so the injection daemons spawn at a fixed
+// point in construction order and the healthy construction sequence is
+// byte-for-byte what it was without injections.
+func (st *Stack) injectFaults(inj *fault.Spec) error {
+	if inj.Empty() {
+		return nil
+	}
+	if d := inj.Disk; d != nil {
+		if st.Disk == nil {
+			return fmt.Errorf("scenario %q: disk fault injection needs a disk-backed backend", st.Spec.Name)
+		}
+		st.DiskFaults = fault.NewDiskInjector(*d, st.Disk.Config().FullRotation, st.Spec.Kernel.Seed)
+		st.Disk.SetInjector(st.DiskFaults)
+	}
+	if t := inj.Thrash; t != nil {
+		if st.Cache == nil {
+			return fmt.Errorf("scenario %q: cache-thrash injection needs a page cache", st.Spec.Name)
+		}
+		fault.StartThrash(st.K, st.Cache, *t)
+	}
+	if h := inj.Hog; h != nil {
+		if h.LockPath != "" && st.VFS == nil {
+			return fmt.Errorf("scenario %q: hog lock injection needs a mounted backend", st.Spec.Name)
+		}
+		// The hog bypasses instrumentation (st.VFS, not st.Sys): a
+		// rogue daemon's own syscalls are not the profiled workload.
+		fault.StartHog(st.K, st.VFS, *h)
+	}
+	return nil
 }
 
 // populateExt2 creates the Spec's flat files and synthetic tree on fs.

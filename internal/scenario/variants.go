@@ -3,6 +3,7 @@ package scenario
 import (
 	"fmt"
 
+	"osprof/internal/fault"
 	"osprof/internal/sim"
 	"osprof/internal/vfs"
 	"osprof/internal/workload"
@@ -88,7 +89,60 @@ func Variants(seed int64) []Spec {
 	for _, cache := range []int{corpusSmallCache, corpusLargeCache} {
 		specs = append(specs, corpusCIFSCell(cache, seed))
 	}
-	return specs
+	return append(specs, degradedCells(seed)...)
+}
+
+// degradedCells are the labeled degraded corpus members: healthy corpus
+// cells with a fault-injection preset applied (internal/fault.Preset)
+// and the preset name appended to the cell's name and label. Training
+// on them is what lets `osprof identify` and the anomaly watcher say
+// not just "this changed" but "this looks like a flaky disk": the
+// label's family component (first '-' token) stays the backend, so the
+// cross-validation family gate covers degraded members too.
+//
+// The preset-to-cell pairing targets where each fault's signature is
+// loudest: disk faults on the small cache (more media reads to
+// perturb) plus the CIFS cell (the *server's* drive degrades, and the
+// client's SMBRead profile gives it away across the network); cache
+// thrash on the large cache (hit-dominated behavior collapses to
+// miss-dominated — the starkest contrast); and the CPU hog on the
+// preemptive builds only. A kernel-mode hog is profile-invisible
+// through a non-preemptive kernel — victims are only descheduled
+// between syscalls, so no profiled operation absorbs the burst (the
+// paper's Figure 3 physics in reverse) — and a degraded cell
+// indistinguishable from its healthy twin would only poison both.
+func degradedCells(seed int64) []Spec {
+	type cell struct {
+		backend    Backend
+		preemptive bool
+		cache      int
+		preset     string
+	}
+	cells := []cell{
+		{Ext2, true, corpusSmallCache, "disk-flaky"},
+		{Ext2, false, corpusSmallCache, "disk-flaky"},
+		{Reiser, true, corpusSmallCache, "disk-flaky"},
+		{Ext2, true, corpusLargeCache, "cache-thrash"},
+		{Ext2, false, corpusLargeCache, "cache-thrash"},
+		{Reiser, true, corpusLargeCache, "cache-thrash"},
+		{Ext2, true, corpusSmallCache, "cpu-hog"},
+		{Reiser, true, corpusSmallCache, "cpu-hog"},
+	}
+	degrade := func(spec Spec, preset string) Spec {
+		inj, ok := fault.Preset(preset)
+		if !ok {
+			panic("scenario: unknown fault preset " + preset)
+		}
+		spec.Injections = inj
+		spec.Name += "-" + preset
+		spec.Label += "-" + preset
+		return spec
+	}
+	out := make([]Spec, 0, len(cells)+1)
+	for _, c := range cells {
+		out = append(out, degrade(corpusCell(c.backend, c.preemptive, c.cache, seed), c.preset))
+	}
+	return append(out, degrade(corpusCIFSCell(corpusSmallCache, seed), "disk-flaky"))
 }
 
 // Corpus cache sizes in pages: the small cache holds half the 512-page

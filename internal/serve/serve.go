@@ -32,6 +32,16 @@
 //	                       abstention — empty corpus, foreign
 //	                       configuration, ambiguous labels — is still
 //	                       200; only an unparseable body is 400)
+//	POST /v1/watch         register a continuous watch: {"name":
+//	                       "<run name>", "baseline": "<ref, optional;
+//	                       default baseline:<name>>"}. Every later
+//	                       ingest of a run with that name is evaluated
+//	                       against the baseline (diff, then degraded-
+//	                       state attribution against the labeled
+//	                       corpus) and the osprof-watch/v1 verdict
+//	                       rides in the ingest response
+//	GET  /v1/watch         the registered watches and their latest
+//	                       verdicts as osprof-watch-list/v1 JSON
 package serve
 
 import (
@@ -45,6 +55,7 @@ import (
 	"osprof/internal/diff"
 	"osprof/internal/report"
 	"osprof/internal/store"
+	"osprof/internal/watch"
 )
 
 // maxEnvelopeBytes bounds an ingested envelope. Profiles are tiny by
@@ -56,13 +67,18 @@ const maxEnvelopeBytes = 16 << 20
 // IngestSchema versions the /v1/ingest response document.
 const IngestSchema = "osprof-ingest/v1"
 
-// IngestDoc is the /v1/ingest response: the archived run's identity.
+// IngestDoc is the /v1/ingest response: the archived run's identity,
+// plus the watch verdict when a watch is registered for the run's name.
 type IngestDoc struct {
 	Schema      string `json:"schema"`
 	ID          string `json:"id"`
 	Created     bool   `json:"created"`
 	Fingerprint string `json:"fingerprint,omitempty"`
 	Name        string `json:"name"`
+
+	// Watch is the continuous-anomaly verdict for this ingest (only
+	// when a watch is registered for Name).
+	Watch *watch.Report `json:"watch,omitempty"`
 }
 
 // ErrorDoc is the JSON error body for non-2xx responses.
@@ -71,20 +87,23 @@ type ErrorDoc struct {
 }
 
 // server carries the shared archive behind the handlers, plus the
-// memoized identification corpus (see identifyCorpus).
+// memoized identification corpus (see identifyCorpus) and the watch
+// registry.
 type server struct {
 	arch *store.Archive
 
 	mu        sync.Mutex
 	corpusKey string
 	corpus    *classify.Corpus
+	watches   map[string]*watchEntry // by watched run name
+	order     []string               // registration order
 }
 
 // Handler returns the service's HTTP handler over arch. The archive is
 // safe for concurrent use, so one handler serves any number of
 // in-flight requests.
 func Handler(arch *store.Archive) http.Handler {
-	s := &server{arch: arch}
+	s := &server{arch: arch, watches: make(map[string]*watchEntry)}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/ingest", s.ingest)
 	mux.HandleFunc("GET /v1/runs", s.runs)
@@ -93,6 +112,8 @@ func Handler(arch *store.Archive) http.Handler {
 	mux.HandleFunc("GET /v1/baseline", s.baselines)
 	mux.HandleFunc("POST /v1/baseline", s.setBaseline)
 	mux.HandleFunc("POST /v1/identify", s.identify)
+	mux.HandleFunc("POST /v1/watch", s.setWatch)
+	mux.HandleFunc("GET /v1/watch", s.listWatches)
 	return mux
 }
 
@@ -126,6 +147,7 @@ func (s *server) ingest(w http.ResponseWriter, r *http.Request) {
 		Created:     created,
 		Fingerprint: run.Fingerprint,
 		Name:        run.Name(),
+		Watch:       s.evaluateWatch(run),
 	})
 }
 

@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"osprof/internal/core"
+	"osprof/internal/watch"
+)
+
+// WatchListSchema versions the GET /v1/watch response document.
+const WatchListSchema = "osprof-watch-list/v1"
+
+// watchEntry is one registered watch. The baseline reference is
+// re-resolved at every evaluation, so blessing a new baseline
+// (POST /v1/baseline) retargets a running watch without re-registering.
+type watchEntry struct {
+	Name string
+	Ref  string // baseline reference; default "baseline:<name>"
+	Last *watch.Report
+}
+
+// WatchDoc is one watch's registration and latest verdict, as served
+// by GET /v1/watch and POST /v1/watch.
+type WatchDoc struct {
+	Name     string        `json:"name"`
+	Baseline string        `json:"baseline"`
+	Last     *watch.Report `json:"last,omitempty"`
+}
+
+// WatchListDoc is the GET /v1/watch response.
+type WatchListDoc struct {
+	Schema  string     `json:"schema"`
+	Watches []WatchDoc `json:"watches"`
+}
+
+// watchRequest is the POST /v1/watch body.
+type watchRequest struct {
+	// Name is the run name to watch; every ingest of a run with this
+	// name is evaluated.
+	Name string `json:"name"`
+
+	// Baseline optionally overrides the baseline reference
+	// (latest:<name>, baseline:<name>, or a run-ID prefix). The
+	// default is the blessed baseline for the watched name.
+	Baseline string `json:"baseline"`
+}
+
+// setWatch registers (or retargets) a watch. The baseline must resolve
+// at registration time, so a misspelled reference fails loudly here
+// rather than silently producing anomaly verdicts forever.
+func (s *server) setWatch(w http.ResponseWriter, r *http.Request) {
+	var req watchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil {
+		fail(w, http.StatusBadRequest, "parse watch request: %v", err)
+		return
+	}
+	if req.Name == "" {
+		fail(w, http.StatusBadRequest, "watch request needs a run name")
+		return
+	}
+	ref := req.Baseline
+	if ref == "" {
+		ref = "baseline:" + req.Name
+	}
+	if _, err := s.arch.ResolveRef(ref); err != nil {
+		fail(w, http.StatusNotFound, "watch baseline %q: %v", ref, err)
+		return
+	}
+	s.mu.Lock()
+	entry, ok := s.watches[req.Name]
+	if !ok {
+		entry = &watchEntry{Name: req.Name}
+		s.watches[req.Name] = entry
+		s.order = append(s.order, req.Name)
+	}
+	entry.Ref = ref
+	doc := WatchDoc{Name: entry.Name, Baseline: entry.Ref, Last: entry.Last}
+	s.mu.Unlock()
+	respond(w, http.StatusOK, doc)
+}
+
+// listWatches reports every registered watch and its latest verdict.
+func (s *server) listWatches(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	doc := WatchListDoc{Schema: WatchListSchema, Watches: []WatchDoc{}}
+	for _, name := range s.order {
+		e := s.watches[name]
+		doc.Watches = append(doc.Watches, WatchDoc{Name: e.Name, Baseline: e.Ref, Last: e.Last})
+	}
+	s.mu.Unlock()
+	respond(w, http.StatusOK, doc)
+}
+
+// evaluateWatch runs the verdict engine for an ingested run when a
+// watch is registered for its name (nil otherwise). It never fails: a
+// baseline that no longer resolves (GC, deleted blessing) or a corpus
+// error degrades to an anomaly verdict carrying the problem in Detail,
+// because an ingest must not 5xx over a watch-side issue.
+func (s *server) evaluateWatch(run *core.Run) *watch.Report {
+	name := run.Name()
+	s.mu.Lock()
+	entry := s.watches[name]
+	var ref string
+	if entry != nil {
+		ref = entry.Ref
+	}
+	s.mu.Unlock()
+	if entry == nil {
+		return nil
+	}
+
+	var rep *watch.Report
+	if id, err := s.arch.ResolveRef(ref); err != nil {
+		rep = &watch.Report{
+			Schema:  watch.Schema,
+			Name:    name,
+			Verdict: watch.Anomaly,
+			Detail:  fmt.Sprintf("baseline %q no longer resolves: %v", ref, err),
+		}
+	} else if baseline, err := s.arch.Get(id); err != nil {
+		rep = &watch.Report{
+			Schema:     watch.Schema,
+			Name:       name,
+			BaselineID: id,
+			Verdict:    watch.Anomaly,
+			Detail:     fmt.Sprintf("baseline %q unreadable: %v", ref, err),
+		}
+	} else {
+		// Attribution is best-effort: a corpus problem must not mask
+		// the diff verdict, so fall back to the corpus-less ladder.
+		corpus, err := s.identifyCorpus()
+		if err != nil {
+			corpus = nil
+		}
+		rep = watch.New().Evaluate(baseline, run, corpus)
+		rep.BaselineID = id
+	}
+	s.mu.Lock()
+	entry.Last = rep
+	s.mu.Unlock()
+	return rep
+}

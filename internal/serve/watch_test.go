@@ -1,0 +1,248 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"osprof/internal/live"
+	"osprof/internal/serve"
+	"osprof/internal/store"
+	"osprof/internal/watch"
+)
+
+// healthyLats is a bimodal profile; flakyLats shifts the slow mode up
+// by latency classes (the degraded twin); weirdLats matches nothing.
+func healthyLats() []uint64 {
+	out := make([]uint64, 0, 240)
+	for i := 0; i < 200; i++ {
+		out = append(out, 100+uint64(i%3))
+	}
+	for i := 0; i < 40; i++ {
+		out = append(out, 1<<13+uint64(i))
+	}
+	return out
+}
+
+func flakyLats() []uint64 {
+	out := make([]uint64, 0, 240)
+	for i := 0; i < 200; i++ {
+		out = append(out, 100+uint64(i%3))
+	}
+	for i := 0; i < 40; i++ {
+		out = append(out, 1<<19+uint64(i))
+	}
+	return out
+}
+
+func weirdLats() []uint64 {
+	out := make([]uint64, 100)
+	for i := range out {
+		out[i] = 1 << 28
+	}
+	return out
+}
+
+func TestWatchLifecycle(t *testing.T) {
+	h := newService(t)
+
+	// Record and bless the healthy baseline.
+	var ing serve.IngestDoc
+	do(t, h, http.MethodPost, "/v1/ingest", envelope(t, "app", healthyLats()...), http.StatusOK, &ing)
+	if ing.Watch != nil {
+		t.Error("unwatched ingest carried a watch verdict")
+	}
+	do(t, h, http.MethodPost, "/v1/baseline",
+		[]byte(fmt.Sprintf(`{"run": %q}`, ing.ID)), http.StatusOK, nil)
+
+	// Register the watch; the default baseline reference is the
+	// blessed baseline for the watched name.
+	var reg serve.WatchDoc
+	do(t, h, http.MethodPost, "/v1/watch", []byte(`{"name": "app"}`), http.StatusOK, &reg)
+	if reg.Name != "app" || reg.Baseline != "baseline:app" || reg.Last != nil {
+		t.Fatalf("registration doc = %+v", reg)
+	}
+
+	// A healthy re-ingest verdicts ok.
+	do(t, h, http.MethodPost, "/v1/ingest", envelope(t, "app", healthyLats()...), http.StatusOK, &ing)
+	if ing.Watch == nil || ing.Watch.Verdict != watch.OK {
+		t.Fatalf("healthy re-ingest watch = %+v", ing.Watch)
+	}
+
+	// A drifted ingest with no labeled corpus verdicts anomaly, with
+	// per-op evidence.
+	do(t, h, http.MethodPost, "/v1/ingest", envelope(t, "app", weirdLats()...), http.StatusOK, &ing)
+	if ing.Watch == nil || ing.Watch.Verdict != watch.Anomaly {
+		t.Fatalf("drifted ingest watch = %+v", ing.Watch)
+	}
+	if ing.Watch.Diff == nil || len(ing.Watch.Diff.ChangedOps()) == 0 {
+		t.Error("anomaly verdict without per-op evidence")
+	}
+
+	// The registry remembers the latest verdict.
+	var list serve.WatchListDoc
+	do(t, h, http.MethodGet, "/v1/watch", nil, http.StatusOK, &list)
+	if list.Schema != serve.WatchListSchema || len(list.Watches) != 1 {
+		t.Fatalf("watch list = %+v", list)
+	}
+	if last := list.Watches[0].Last; last == nil || last.Verdict != watch.Anomaly {
+		t.Errorf("list kept %+v, want the anomaly verdict", list.Watches[0].Last)
+	}
+
+	// Ingests of other names stay unwatched.
+	var other serve.IngestDoc
+	do(t, h, http.MethodPost, "/v1/ingest", envelope(t, "other", 100, 200), http.StatusOK, &other)
+	if other.Watch != nil {
+		t.Error("ingest of an unwatched name carried a verdict")
+	}
+}
+
+// With a labeled degraded corpus member archived, the watch names the
+// failure mode instead of reporting an unknown anomaly.
+func TestWatchAttributesDegradedState(t *testing.T) {
+	h := newService(t)
+	do(t, h, http.MethodPost, "/v1/ingest",
+		labeledEnvelope(t, "app-disk-flaky", map[string][]uint64{"read": flakyLats()}), http.StatusOK, nil)
+
+	var ing serve.IngestDoc
+	do(t, h, http.MethodPost, "/v1/ingest", envelope(t, "app", healthyLats()...), http.StatusOK, &ing)
+	do(t, h, http.MethodPost, "/v1/baseline",
+		[]byte(fmt.Sprintf(`{"run": %q}`, ing.ID)), http.StatusOK, nil)
+	do(t, h, http.MethodPost, "/v1/watch", []byte(`{"name": "app"}`), http.StatusOK, nil)
+
+	do(t, h, http.MethodPost, "/v1/ingest", envelope(t, "app", flakyLats()...), http.StatusOK, &ing)
+	if ing.Watch == nil || ing.Watch.Verdict != watch.Degraded {
+		t.Fatalf("degraded ingest watch = %+v", ing.Watch)
+	}
+	if ing.Watch.Label != "app-disk-flaky" {
+		t.Errorf("attributed to %q, want app-disk-flaky", ing.Watch.Label)
+	}
+	if ing.Watch.Identify == nil || !ing.Watch.Identify.Matched {
+		t.Error("degraded verdict without the classifier report")
+	}
+}
+
+func TestWatchRegistrationValidation(t *testing.T) {
+	h := newService(t)
+	do(t, h, http.MethodPost, "/v1/watch", []byte("not json"), http.StatusBadRequest, nil)
+	do(t, h, http.MethodPost, "/v1/watch", []byte(`{"baseline": "x"}`), http.StatusBadRequest, nil)
+	// No blessed baseline for the name yet: registration must fail
+	// loudly, not produce anomaly verdicts forever.
+	do(t, h, http.MethodPost, "/v1/watch", []byte(`{"name": "app"}`), http.StatusNotFound, nil)
+	do(t, h, http.MethodPost, "/v1/watch",
+		[]byte(`{"name": "app", "baseline": "deadbeef"}`), http.StatusNotFound, nil)
+
+	var list serve.WatchListDoc
+	do(t, h, http.MethodGet, "/v1/watch", nil, http.StatusOK, &list)
+	if len(list.Watches) != 0 {
+		t.Errorf("failed registrations leaked into the registry: %+v", list.Watches)
+	}
+}
+
+// Re-registering a name retargets its baseline in place.
+func TestWatchRetarget(t *testing.T) {
+	h := newService(t)
+	var a, b serve.IngestDoc
+	do(t, h, http.MethodPost, "/v1/ingest", envelope(t, "app", healthyLats()...), http.StatusOK, &a)
+	do(t, h, http.MethodPost, "/v1/ingest", envelope(t, "app", weirdLats()...), http.StatusOK, &b)
+
+	var reg serve.WatchDoc
+	do(t, h, http.MethodPost, "/v1/watch",
+		[]byte(fmt.Sprintf(`{"name": "app", "baseline": %q}`, a.ID)), http.StatusOK, &reg)
+	if reg.Baseline != a.ID {
+		t.Fatalf("baseline = %q, want %q", reg.Baseline, a.ID)
+	}
+	do(t, h, http.MethodPost, "/v1/watch",
+		[]byte(fmt.Sprintf(`{"name": "app", "baseline": %q}`, b.ID)), http.StatusOK, &reg)
+	if reg.Baseline != b.ID {
+		t.Fatalf("retargeted baseline = %q, want %q", reg.Baseline, b.ID)
+	}
+	var list serve.WatchListDoc
+	do(t, h, http.MethodGet, "/v1/watch", nil, http.StatusOK, &list)
+	if len(list.Watches) != 1 {
+		t.Errorf("retarget duplicated the watch: %+v", list.Watches)
+	}
+
+	// The retargeted baseline drives the verdict: an ingest matching
+	// run B is now ok, one matching run A drifts.
+	var ing serve.IngestDoc
+	do(t, h, http.MethodPost, "/v1/ingest", envelope(t, "app", weirdLats()...), http.StatusOK, &ing)
+	if ing.Watch == nil || ing.Watch.Verdict != watch.OK {
+		t.Errorf("ingest matching the new baseline = %+v", ing.Watch)
+	}
+	do(t, h, http.MethodPost, "/v1/ingest", envelope(t, "app", healthyLats()...), http.StatusOK, &ing)
+	if ing.Watch == nil || ing.Watch.Verdict == watch.OK {
+		t.Errorf("ingest drifted from the new baseline = %+v", ing.Watch)
+	}
+}
+
+// FuzzWatch drives arbitrary bodies through the watch surface
+// interleaved with ingests: the service must never 5xx and every
+// verdict it produces must marshal as JSON.
+func FuzzWatch(f *testing.F) {
+	f.Add([]byte(`{"name": "app"}`), []byte("x"))
+	f.Add([]byte(`{"name": "", "baseline": "latest:app"}`), []byte("{}"))
+	f.Add([]byte(`{"name": "app", "baseline": "deadbeef"}`), []byte(`{"schema":"osprof-run/v1"}`))
+	f.Add([]byte("not json at all"), []byte("osprof-set v1\n"))
+
+	arch, err := store.Open(f.TempDir())
+	if err != nil {
+		f.Fatal(err)
+	}
+	h := serve.Handler(arch)
+	seed := func(name string, lats []uint64) []byte {
+		rec := live.New()
+		for _, l := range lats {
+			rec.Observe("read", l)
+		}
+		var buf bytes.Buffer
+		if err := rec.Session(nil, name).Export(&buf); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	post := func(tb testing.TB, target string, body []byte) *httptest.ResponseRecorder {
+		rw := httptest.NewRecorder()
+		h.ServeHTTP(rw, httptest.NewRequest(http.MethodPost, target, bytes.NewReader(body)))
+		if rw.Code >= 500 {
+			tb.Fatalf("POST %s 5xx: %d\n%s", target, rw.Code, rw.Body)
+		}
+		return rw
+	}
+	// Bless a real baseline so some fuzz registrations succeed and
+	// later ingests exercise the evaluation path, not just validation.
+	var ing serve.IngestDoc
+	rw := post(f, "/v1/ingest", seed("app", healthyLats()))
+	if err := json.Unmarshal(rw.Body.Bytes(), &ing); err != nil {
+		f.Fatal(err)
+	}
+	post(f, "/v1/baseline", []byte(fmt.Sprintf(`{"run": %q}`, ing.ID)))
+
+	f.Fuzz(func(t *testing.T, watchBody, ingestBody []byte) {
+		post(t, "/v1/watch", watchBody)
+		post(t, "/v1/ingest", ingestBody)
+		post(t, "/v1/watch", []byte(`{"name": "app"}`))
+		post(t, "/v1/ingest", seed("app", flakyLats()))
+
+		rw := httptest.NewRecorder()
+		h.ServeHTTP(rw, httptest.NewRequest(http.MethodGet, "/v1/watch", nil))
+		if rw.Code != http.StatusOK {
+			t.Fatalf("GET /v1/watch: %d\n%s", rw.Code, rw.Body)
+		}
+		var list serve.WatchListDoc
+		if err := json.Unmarshal(rw.Body.Bytes(), &list); err != nil {
+			t.Fatalf("watch list is not JSON: %v\n%s", err, rw.Body)
+		}
+		for _, wd := range list.Watches {
+			if wd.Last == nil {
+				continue
+			}
+			if _, err := json.Marshal(wd.Last); err != nil {
+				t.Errorf("verdict for %q does not marshal: %v", wd.Name, err)
+			}
+		}
+	})
+}

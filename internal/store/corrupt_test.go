@@ -1,0 +1,143 @@
+package store
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// seedArchive records three runs (one labeled, one blessed) and
+// returns the archive plus its index contents.
+func seedArchive(t *testing.T) (*Archive, string, []byte) {
+	t.Helper()
+	dir := t.TempDir()
+	a, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.Put(testRun("fp1", "ext2/grep", 100, 5000)); err != nil {
+		t.Fatal(err)
+	}
+	labeled := testRun("fp2", "corpus/cell", 200, 300)
+	labeled.Meta[LabelMetaKey] = "cell-label"
+	if _, _, err := a.Put(labeled); err != nil {
+		t.Fatal(err)
+	}
+	id, _, err := a.Put(testRun("fp3", "reiser/walk", 400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetBaseline("fp3", id); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(a.indexPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, dir, data
+}
+
+// A crashed writer can leave the index with a torn final line. The
+// archive must open anyway — dropping at most that one line — at EVERY
+// byte offset the tear could land on, and the next save must heal the
+// damage.
+func TestLoadSurvivesTruncatedTrailingLine(t *testing.T) {
+	_, dir, data := seedArchive(t)
+	text := strings.TrimSuffix(string(data), "\n")
+	lastStart := strings.LastIndex(text, "\n") + 1
+	full := len(data)
+
+	for cut := lastStart; cut < full; cut++ {
+		a, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(a.indexPath(), data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		entries, err := a.List()
+		if err != nil {
+			t.Fatalf("cut at byte %d of %d: List: %v", cut, full, err)
+		}
+		// Every complete line survives; the torn line is either dropped
+		// or (when the tear lands on a field boundary) still parses.
+		if len(entries) != 3 {
+			t.Fatalf("cut at byte %d: %d entries survived, want all 3 runs", cut, len(entries))
+		}
+		for i, want := range []string{"ext2/grep", "corpus/cell", "reiser/walk"} {
+			if entries[i].Name != want {
+				t.Fatalf("cut at byte %d: entry %d = %q, want %q", cut, i, entries[i].Name, want)
+			}
+		}
+		if entries[1].Label != "cell-label" {
+			t.Errorf("cut at byte %d: labeled entry lost its label", cut)
+		}
+
+		// A mid-line tear must be noticed (warning set). A tear exactly
+		// at the line start removes the line without a trace — that
+		// index is indistinguishable from one saved before the blessing,
+		// so no warning is possible there.
+		warned := a.Warning() != ""
+		if baselines, err := a.Baselines(); err != nil {
+			t.Fatalf("cut at byte %d: Baselines: %v", cut, err)
+		} else if _, ok := baselines["fp3"]; !ok && !warned && cut > lastStart {
+			t.Errorf("cut at byte %d: baseline silently lost without a warning", cut)
+		}
+
+		// Recording anything rewrites the index: the archive self-heals,
+		// and the next load comes back clean.
+		if _, _, err := a.Put(testRun("fp4", "heal/run", 700)); err != nil {
+			t.Fatalf("cut at byte %d: Put after recovery: %v", cut, err)
+		}
+		if _, err := a.List(); err != nil {
+			t.Fatalf("cut at byte %d: List after healing save: %v", cut, err)
+		}
+		if a.Warning() != "" {
+			t.Errorf("cut at byte %d: warning survived the healing save: %q", cut, a.Warning())
+		}
+		healed, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := healed.List(); err != nil || healed.Warning() != "" {
+			t.Fatalf("cut at byte %d: healed index: err=%v warning=%q", cut, err, healed.Warning())
+		}
+	}
+}
+
+// The same tolerance must NOT extend to earlier lines: every line but
+// the last was once the validated tail of an atomic rewrite, so damage
+// there is real corruption, not a torn write.
+func TestLoadRejectsMidFileCorruption(t *testing.T) {
+	_, dir, data := seedArchive(t)
+	lines := strings.Split(strings.TrimSuffix(string(data), "\n"), "\n")
+	for i := 1; i < len(lines)-1; i++ { // skip header; last line is tolerated
+		mangled := append([]string{}, lines...)
+		mangled[i] = mangled[i][:len(mangled[i])/2]
+		a, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(a.indexPath(), []byte(strings.Join(mangled, "\n")+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := a.List(); err == nil {
+			t.Errorf("truncating line %d (%q) loaded silently", i+1, lines[i])
+		}
+	}
+}
+
+// An unreadable header still fails loudly: tail tolerance must not
+// turn a wrong-format file into an empty archive.
+func TestLoadRejectsBadHeader(t *testing.T) {
+	a, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(a.indexPath(), []byte("osprof-index v99\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.List(); err == nil {
+		t.Error("unknown index version loaded silently")
+	}
+}

@@ -56,6 +56,10 @@ const (
 type Archive struct {
 	dir string
 	mu  sync.Mutex
+
+	// warning notes the most recent index-recovery action (empty when
+	// the last load was clean); see Warning.
+	warning string
 }
 
 // Entry describes one recorded run in the index.
@@ -461,8 +465,25 @@ func short(id string) string {
 	return id
 }
 
-// load parses the index file; a missing file is an empty archive.
+// Warning returns the note recorded by the most recent index load when
+// it had to recover from damage (empty after a clean load): a
+// truncated trailing line — the torn tail a crashed or interrupted
+// writer leaves — is dropped rather than bricking the archive. The
+// next save rewrites a clean index, so the warning clears itself once
+// anything is recorded.
+func (a *Archive) Warning() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.warning
+}
+
+// load parses the index file; a missing file is an empty archive. A
+// malformed FINAL line is skipped (recorded via Warning): only the
+// last line can be a torn partial write, since every earlier line was
+// once the validated tail of a complete atomic rewrite. Malformed
+// lines anywhere else mean real corruption and still fail loudly.
 func (a *Archive) load() (*index, error) {
+	a.warning = ""
 	idx := &index{baselines: make(map[string]string), labelAware: true}
 	data, err := os.ReadFile(a.indexPath())
 	if os.IsNotExist(err) {
@@ -482,52 +503,72 @@ func (a *Archive) load() (*index, error) {
 	default:
 		return nil, fmt.Errorf("store: bad index header")
 	}
-	for n, line := range lines[1:] {
-		fields := strings.Fields(line)
-		switch {
-		case len(fields) == 0:
-		case fields[0] == "run":
-			// The trailing name is %q-quoted and may contain spaces,
-			// optionally followed by a %q-quoted label: split off the
-			// four fixed fields, then peel quoted strings off the rest.
-			// Pre-label index lines simply have no label field.
-			parts := strings.SplitN(line, " ", 5)
-			if len(parts) != 5 {
-				return nil, fmt.Errorf("store: index line %d: malformed run entry %q", n+2, line)
+	body := lines[1:]
+	last := len(body) - 1
+	for last >= 0 && strings.TrimSpace(body[last]) == "" {
+		last--
+	}
+	for n, line := range body {
+		if err := parseIndexLine(idx, line); err != nil {
+			if n == last {
+				a.warning = fmt.Sprintf("store: index: dropped truncated trailing line %d: %v", n+2, err)
+				break
 			}
-			seq, err := strconv.Atoi(parts[1])
-			if err != nil {
-				return nil, fmt.Errorf("store: index line %d: %w", n+2, err)
-			}
-			nameQ, err := strconv.QuotedPrefix(parts[4])
-			if err != nil {
-				return nil, fmt.Errorf("store: index line %d: name: %w", n+2, err)
-			}
-			name, err := strconv.Unquote(nameQ)
-			if err != nil {
-				return nil, fmt.Errorf("store: index line %d: name: %w", n+2, err)
-			}
-			label := ""
-			if tail := strings.TrimSpace(parts[4][len(nameQ):]); tail != "" {
-				label, err = strconv.Unquote(tail)
-				if err != nil {
-					return nil, fmt.Errorf("store: index line %d: label: %w", n+2, err)
-				}
-			}
-			fp := parts[3]
-			if fp == "-" {
-				fp = ""
-			}
-			idx.entries = append(idx.entries, Entry{
-				Seq: seq, ID: parts[2], Fingerprint: fp, Name: name, Label: label,
-			})
-		case fields[0] == "baseline" && len(fields) == 3:
-			idx.baselines[fields[1]] = fields[2]
-		default:
-			return nil, fmt.Errorf("store: index line %d: unrecognized %q", n+2, line)
+			return nil, fmt.Errorf("store: index line %d: %w", n+2, err)
 		}
 	}
 	return idx, nil
+}
+
+// parseIndexLine parses one index body line into idx (blank lines are
+// no-ops).
+func parseIndexLine(idx *index, line string) error {
+	fields := strings.Fields(line)
+	switch {
+	case len(fields) == 0:
+		return nil
+	case fields[0] == "run":
+		// The trailing name is %q-quoted and may contain spaces,
+		// optionally followed by a %q-quoted label: split off the
+		// four fixed fields, then peel quoted strings off the rest.
+		// Pre-label index lines simply have no label field.
+		parts := strings.SplitN(line, " ", 5)
+		if len(parts) != 5 {
+			return fmt.Errorf("malformed run entry %q", line)
+		}
+		seq, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return err
+		}
+		nameQ, err := strconv.QuotedPrefix(parts[4])
+		if err != nil {
+			return fmt.Errorf("name: %w", err)
+		}
+		name, err := strconv.Unquote(nameQ)
+		if err != nil {
+			return fmt.Errorf("name: %w", err)
+		}
+		label := ""
+		if tail := strings.TrimSpace(parts[4][len(nameQ):]); tail != "" {
+			label, err = strconv.Unquote(tail)
+			if err != nil {
+				return fmt.Errorf("label: %w", err)
+			}
+		}
+		fp := parts[3]
+		if fp == "-" {
+			fp = ""
+		}
+		idx.entries = append(idx.entries, Entry{
+			Seq: seq, ID: parts[2], Fingerprint: fp, Name: name, Label: label,
+		})
+		return nil
+	case fields[0] == "baseline" && len(fields) == 3:
+		idx.baselines[fields[1]] = fields[2]
+		return nil
+	default:
+		return fmt.Errorf("unrecognized %q", line)
+	}
 }
 
 // save atomically rewrites the index file.

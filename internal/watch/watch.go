@@ -1,0 +1,139 @@
+// Package watch turns the pairwise differential analysis into a
+// continuous verdict: given a blessed baseline for a run name and a
+// freshly recorded run, it answers "is this system still healthy, and
+// if not, what does the degradation look like?".
+//
+// The verdict ladder composes the two analyses the repository already
+// trusts:
+//
+//  1. diff (internal/diff): the run is compared against its baseline
+//     with the paper's differential peak analysis. No flagged
+//     operation means the system behaves as blessed — verdict ok.
+//  2. identify (internal/classify): a flagged run is classified
+//     against the labeled corpus, which includes the fault-injected
+//     degraded members (scenario degradedCells). A confident match
+//     names the failure mode — verdict degraded with the matched
+//     label ("ext2-preempt-c256-disk-flaky": looks like a flaky
+//     disk). An abstention means the profile changed into something
+//     the corpus has never seen — verdict anomaly, the strongest
+//     signal to go look.
+//
+// The paper's §1 motivation is exactly this loop: profiles are cheap
+// enough to collect always, so degradations surface as profile drift
+// long before they surface as failures.
+package watch
+
+import (
+	"fmt"
+
+	"osprof/internal/classify"
+	"osprof/internal/core"
+	"osprof/internal/diff"
+)
+
+// Schema versions the JSON shape of Report.
+const Schema = "osprof-watch/v1"
+
+// Verdict is the watch's top-level answer.
+type Verdict string
+
+const (
+	// OK: the run matches its baseline across every operation.
+	OK Verdict = "ok"
+
+	// Degraded: the run drifted from its baseline AND the classifier
+	// confidently matched a labeled (typically fault-injected) corpus
+	// member — the failure mode has a name.
+	Degraded Verdict = "degraded"
+
+	// Anomaly: the run drifted from its baseline and matches nothing
+	// in the corpus — an unknown degradation.
+	Anomaly Verdict = "anomaly"
+)
+
+// Report is one watch evaluation.
+type Report struct {
+	Schema string `json:"schema"`
+
+	// Name is the watched run name; BaselineID the archived run the
+	// evaluation compared against.
+	Name       string `json:"name"`
+	BaselineID string `json:"baseline_id,omitempty"`
+
+	Verdict Verdict `json:"verdict"`
+
+	// Label names the matched degraded configuration (Degraded only).
+	Label string `json:"label,omitempty"`
+
+	// Detail is the one-line human-readable explanation.
+	Detail string `json:"detail"`
+
+	// Diff is the per-operation evidence against the baseline.
+	Diff *diff.Report `json:"diff,omitempty"`
+
+	// Identify is the classifier's attribution attempt (only present
+	// when the diff flagged a drift and a corpus was available).
+	Identify *classify.Report `json:"identify,omitempty"`
+}
+
+// Engine evaluates watches. Like diff.Engine it carries reusable
+// scratch state: create one per goroutine.
+type Engine struct {
+	Diff       *diff.Engine
+	Classifier *classify.Classifier
+}
+
+// New returns an engine with the repository's default differential
+// selector and classifier calibration.
+func New() *Engine {
+	return &Engine{Diff: diff.New(), Classifier: classify.New()}
+}
+
+// Evaluate compares run against its baseline and, when drifted,
+// attributes the drift against the labeled corpus. corpus may be nil
+// (or empty): drift then verdicts as anomaly without attribution. It
+// never fails; malformed inputs surface in the verdict's Detail.
+func (e *Engine) Evaluate(baseline, run *core.Run, corpus *classify.Corpus) *Report {
+	rep := &Report{Schema: Schema, Name: run.Name()}
+	d := e.Diff.Runs(baseline, run)
+	rep.Diff = d
+	if !d.Regression() {
+		rep.Verdict = OK
+		rep.Detail = fmt.Sprintf("matches baseline across %d operations", len(d.Ops))
+		return rep
+	}
+	drift := driftSummary(d)
+	if corpus != nil && len(corpus.Centroids) > 0 {
+		id := e.Classifier.Identify(corpus, run)
+		rep.Identify = id
+		if id.Matched {
+			rep.Verdict = Degraded
+			rep.Label = id.Label
+			rep.Detail = fmt.Sprintf("%s; looks like %q (distance %.4g, margin %.2g)",
+				drift, id.Label, id.Distance, id.Margin)
+			return rep
+		}
+		rep.Verdict = Anomaly
+		rep.Detail = fmt.Sprintf("%s; matches no corpus label (%s)", drift, id.Reason)
+		return rep
+	}
+	rep.Verdict = Anomaly
+	rep.Detail = drift + "; no labeled corpus to attribute against"
+	return rep
+}
+
+// driftSummary names the worst flagged operation: "3 operations
+// drifted, worst read (shifted-peak, score 0.41)".
+func driftSummary(d *diff.Report) string {
+	changed := d.ChangedOps()
+	if len(changed) == 0 {
+		return "no operations drifted"
+	}
+	worst := changed[0]
+	noun := "operations"
+	if len(changed) == 1 {
+		noun = "operation"
+	}
+	return fmt.Sprintf("%d %s drifted from baseline, worst %s (%s, score %.2g)",
+		len(changed), noun, worst.Op, worst.Verdict, worst.Score)
+}

@@ -1,0 +1,158 @@
+package watch_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"osprof/internal/classify"
+	"osprof/internal/core"
+	"osprof/internal/live"
+	"osprof/internal/watch"
+)
+
+// mkRun builds a run from explicit per-op latencies via the live
+// recorder (the same path real producers use).
+func mkRun(name string, ops map[string][]uint64) *core.Run {
+	rec := live.New()
+	for op, lats := range ops {
+		for _, l := range lats {
+			rec.Observe(op, l)
+		}
+	}
+	return rec.Session(nil, name).Run()
+}
+
+// labeled wraps a run as a corpus member.
+func labeled(label string, ops map[string][]uint64) *core.Run {
+	run := mkRun(label, ops)
+	run.Meta = map[string]string{classify.LabelMetaKey: label}
+	return run
+}
+
+// healthyOps is a bimodal read profile (cache hits + media reads).
+func healthyOps() map[string][]uint64 {
+	ops := map[string][]uint64{}
+	for i := 0; i < 200; i++ {
+		ops["read"] = append(ops["read"], 100+uint64(i%3))
+	}
+	for i := 0; i < 40; i++ {
+		ops["read"] = append(ops["read"], 1<<13+uint64(i))
+	}
+	return ops
+}
+
+// flakyOps shifts the media-read mass up by rotations: the disk-flaky
+// signature.
+func flakyOps() map[string][]uint64 {
+	ops := map[string][]uint64{}
+	for i := 0; i < 200; i++ {
+		ops["read"] = append(ops["read"], 100+uint64(i%3))
+	}
+	for i := 0; i < 40; i++ {
+		ops["read"] = append(ops["read"], 1<<19+uint64(i))
+	}
+	return ops
+}
+
+// corpus holds one degraded label matching flakyOps.
+func corpus(t *testing.T) *classify.Corpus {
+	t.Helper()
+	c, err := classify.BuildCorpus([]*core.Run{labeled("app-disk-flaky", flakyOps())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestVerdictOK(t *testing.T) {
+	e := watch.New()
+	rep := e.Evaluate(mkRun("app", healthyOps()), mkRun("app", healthyOps()), corpus(t))
+	if rep.Verdict != watch.OK {
+		t.Fatalf("verdict %q (%s), want ok", rep.Verdict, rep.Detail)
+	}
+	if rep.Schema != watch.Schema || rep.Name != "app" {
+		t.Errorf("report identity = %q %q", rep.Schema, rep.Name)
+	}
+	if rep.Identify != nil {
+		t.Error("ok verdict ran the classifier")
+	}
+	if rep.Diff == nil || rep.Diff.Regression() {
+		t.Error("ok verdict without a clean diff")
+	}
+}
+
+func TestVerdictDegradedNamesTheLabel(t *testing.T) {
+	e := watch.New()
+	rep := e.Evaluate(mkRun("app", healthyOps()), mkRun("app", flakyOps()), corpus(t))
+	if rep.Verdict != watch.Degraded {
+		t.Fatalf("verdict %q (%s), want degraded", rep.Verdict, rep.Detail)
+	}
+	if rep.Label != "app-disk-flaky" {
+		t.Errorf("label %q, want app-disk-flaky", rep.Label)
+	}
+	if rep.Identify == nil || !rep.Identify.Matched {
+		t.Error("degraded verdict without a classifier match")
+	}
+	if len(rep.Diff.ChangedOps()) == 0 {
+		t.Error("degraded verdict without per-op evidence")
+	}
+}
+
+func TestVerdictAnomalyWhenUnattributable(t *testing.T) {
+	e := watch.New()
+	// A drift that matches nothing: all mass in a latency class the
+	// corpus's only label never occupies.
+	weird := map[string][]uint64{"read": make([]uint64, 100)}
+	for i := range weird["read"] {
+		weird["read"][i] = 1 << 28
+	}
+	rep := e.Evaluate(mkRun("app", healthyOps()), mkRun("app", weird), corpus(t))
+	if rep.Verdict != watch.Anomaly {
+		t.Fatalf("verdict %q (%s), want anomaly", rep.Verdict, rep.Detail)
+	}
+	if rep.Label != "" {
+		t.Errorf("anomaly carries a label %q", rep.Label)
+	}
+	if rep.Identify == nil || rep.Identify.Matched {
+		t.Error("anomaly should record the classifier's abstention")
+	}
+}
+
+func TestVerdictAnomalyWithoutCorpus(t *testing.T) {
+	e := watch.New()
+	for _, c := range []*classify.Corpus{nil, {}} {
+		rep := e.Evaluate(mkRun("app", healthyOps()), mkRun("app", flakyOps()), c)
+		if rep.Verdict != watch.Anomaly {
+			t.Fatalf("verdict %q (%s), want anomaly without a corpus", rep.Verdict, rep.Detail)
+		}
+		if rep.Identify != nil {
+			t.Error("no corpus, but an identification was recorded")
+		}
+	}
+}
+
+// Every report shape must marshal to JSON: the serve layer embeds
+// them in API responses unconditionally.
+func TestReportsMarshal(t *testing.T) {
+	e := watch.New()
+	reports := []*watch.Report{
+		e.Evaluate(mkRun("app", healthyOps()), mkRun("app", healthyOps()), corpus(t)),
+		e.Evaluate(mkRun("app", healthyOps()), mkRun("app", flakyOps()), corpus(t)),
+		e.Evaluate(mkRun("app", healthyOps()), mkRun("app", flakyOps()), nil),
+		e.Evaluate(mkRun("", map[string][]uint64{}), mkRun("", map[string][]uint64{}), nil),
+	}
+	for i, rep := range reports {
+		b, err := json.Marshal(rep)
+		if err != nil {
+			t.Errorf("report %d: %v", i, err)
+			continue
+		}
+		var back watch.Report
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Errorf("report %d round trip: %v", i, err)
+		}
+		if back.Verdict != rep.Verdict || back.Detail != rep.Detail {
+			t.Errorf("report %d round trip lost the verdict", i)
+		}
+	}
+}

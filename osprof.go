@@ -36,9 +36,11 @@ import (
 	"osprof/internal/classify"
 	"osprof/internal/core"
 	"osprof/internal/diff"
+	"osprof/internal/fault"
 	"osprof/internal/report"
 	"osprof/internal/scenario"
 	"osprof/internal/store"
+	"osprof/internal/watch"
 )
 
 // Re-exported collection types (see internal/core).
@@ -327,3 +329,60 @@ func RenderIdentify(w io.Writer, rep *IdentifyReport) { report.Identify(w, rep) 
 // ScenarioMatrix returns the standard backend×workload scenario
 // matrix, seeded with seed.
 func ScenarioMatrix(seed int64) []Scenario { return scenario.Matrix(seed) }
+
+// Re-exported fault-injection types (see internal/fault): a FaultSpec
+// declaratively degrades a Scenario (Scenario.Injections) with
+// deterministic disk errors, latency spikes, cache thrash, or a
+// misbehaving daemon, producing a reproducibly degraded world under
+// the same scenario name.
+type (
+	// FaultSpec is a declarative fault-injection program.
+	FaultSpec = fault.Spec
+
+	// DiskFaults injects disk read errors, latency spikes, and slow
+	// writes.
+	DiskFaults = fault.DiskFaults
+
+	// CacheThrash forcibly evicts the page cache on a fixed period.
+	CacheThrash = fault.CacheThrash
+
+	// HogDaemon is a misbehaving daemon that burns CPU and optionally
+	// camps on a file's inode lock.
+	HogDaemon = fault.HogDaemon
+)
+
+// FaultPreset returns the named canned fault program (false for an
+// unknown name); FaultPresets lists the available names.
+func FaultPreset(name string) (*FaultSpec, bool) { return fault.Preset(name) }
+
+// FaultPresets lists the canned fault-program names in sorted order.
+func FaultPresets() []string { return fault.PresetNames() }
+
+// Re-exported anomaly-watch types (see internal/watch): the watch
+// engine turns differential analysis into a continuous verdict —
+// ok, degraded (attributed to a corpus label), or anomaly.
+type (
+	// WatchEngine evaluates runs against baselines and the corpus.
+	WatchEngine = watch.Engine
+
+	// WatchReport is one watch evaluation's verdict with evidence.
+	WatchReport = watch.Report
+
+	// WatchVerdict is the outcome ladder: ok, degraded, anomaly.
+	WatchVerdict = watch.Verdict
+)
+
+// Watch verdicts.
+const (
+	WatchOK       = watch.OK
+	WatchDegraded = watch.Degraded
+	WatchAnomaly  = watch.Anomaly
+)
+
+// NewWatch returns a watch engine with the default differential and
+// classification parameters.
+func NewWatch() *WatchEngine { return watch.New() }
+
+// RenderWatch writes a watch verdict with its drifted operations and
+// nearest corpus labels.
+func RenderWatch(w io.Writer, rep *WatchReport) { report.Watch(w, rep) }

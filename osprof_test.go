@@ -204,6 +204,64 @@ func TestFacadeLiveRecorderSessionWorkflow(t *testing.T) {
 	}
 }
 
+func TestFacadeFaultInjectionAndWatch(t *testing.T) {
+	// Degrade a scenario through the facade and hold it against its
+	// healthy twin with the watch verdict ladder — the downstream
+	// "inject, record, watch" workflow without the CLI.
+	// The file dwarfs the cache so the workload stays disk-bound:
+	// injected read errors and seek spikes must reach the profile.
+	healthySpec := osprof.Scenario{
+		Name:       "facade-watch",
+		Backend:    osprof.Ext2FS,
+		CachePages: 64,
+		Files:      []osprof.ScenarioFile{{Name: "data", Size: 512 * 4096}},
+		Instrument: osprof.ScenarioInstrument{Point: osprof.FSLevel},
+		Workloads: []osprof.ScenarioWorkload{
+			{Kind: osprof.RandomReadWorkload, Amount: 500, Path: "/data"},
+		},
+	}
+	if _, ok := osprof.FaultPreset("disk-flaky"); !ok {
+		t.Fatalf("disk-flaky missing from presets %v", osprof.FaultPresets())
+	}
+	// A dying drive, declared through the facade types: every other
+	// media read suffers a recovered-error retry storm.
+	degradedSpec := healthySpec
+	degradedSpec.Injections = &osprof.FaultSpec{Disk: &osprof.DiskFaults{
+		ReadErrorEvery: 2,
+		ErrorRetries:   8,
+		SpikeEvery:     3,
+	}}
+
+	healthy, err := osprof.RunScenario(healthySpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	degraded, err := osprof.RunScenario(degradedSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := &osprof.Run{Fingerprint: healthySpec.Fingerprint(), Set: healthy.Set}
+
+	rep := osprof.NewWatch().Evaluate(baseline,
+		&osprof.Run{Fingerprint: healthySpec.Fingerprint(), Set: healthy.Set}, nil)
+	if rep.Verdict != osprof.WatchOK {
+		t.Fatalf("healthy self-watch: %+v", rep)
+	}
+	rep = osprof.NewWatch().Evaluate(baseline,
+		&osprof.Run{Fingerprint: degradedSpec.Fingerprint(), Set: degraded.Set}, nil)
+	if rep.Verdict != osprof.WatchAnomaly {
+		t.Fatalf("degraded watch without a corpus: %+v", rep)
+	}
+	var render bytes.Buffer
+	osprof.RenderWatch(&render, rep)
+	if !strings.Contains(render.String(), "ANOMALY") {
+		t.Errorf("render: %s", render.String())
+	}
+	if healthySpec.Fingerprint() == degradedSpec.Fingerprint() {
+		t.Error("injection did not change the scenario fingerprint")
+	}
+}
+
 func TestFacadeWrappersRecord(t *testing.T) {
 	rec := osprof.NewRecorder()
 	r := osprof.WrapReader(rec, "r", strings.NewReader("data"))

@@ -9,8 +9,11 @@ package osprof_test
 // Run with: go test -bench=. -benchmem
 
 import (
+	"bytes"
 	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -18,8 +21,11 @@ import (
 	"osprof"
 	"osprof/internal/analysis"
 	"osprof/internal/experiments"
+	"osprof/internal/live"
 	"osprof/internal/runner"
+	"osprof/internal/serve"
 	"osprof/internal/sim"
+	"osprof/internal/store"
 )
 
 // runExperiment executes an experiment once per benchmark iteration and
@@ -332,6 +338,123 @@ func TestSelectorCompareSteadyStateAllocationFree(t *testing.T) {
 	sel.Compare(s1, s2) // warm up the scratch buffers
 	if allocs := testing.AllocsPerRun(10, func() { sel.Compare(s1, s2) }); allocs != 0 {
 		t.Errorf("Selector.Compare: %v allocs/op in steady state, want 0", allocs)
+	}
+}
+
+// --- Fleet-ingest hot paths -------------------------------------------
+//
+// The batched-ingest pipeline has three per-report costs: the recorder
+// computes a delta (DeltaOf), the server folds it into its accumulator
+// (Run.Apply), and flushes merge envelopes (Profile.Merge). Merge and
+// steady-state Apply must be allocation-free — the server does one per
+// report per recorder at fleet rate — and DeltaOf must stay bounded by
+// the changed-op count, not history.
+
+// deltaFixture builds a fixed one-op delta and a warm receiver.
+func deltaFixture(t testing.TB) (*osprof.Run, *osprof.Delta) {
+	t.Helper()
+	prev := &osprof.Run{Fingerprint: "fp", Set: osprof.NewSet("s")}
+	cur := &osprof.Run{Fingerprint: "fp", Set: osprof.NewSet("s")}
+	prev.Set.Record("read", 1_000)
+	cur.Set.Record("read", 1_000)
+	cur.Set.Record("read", 2_000)
+	d, err := osprof.DeltaOf(prev, cur, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv := &osprof.Run{Fingerprint: "fp", Set: osprof.NewSet("s")}
+	recv.Set.Record("read", 1_000)
+	if err := recv.Apply(d); err != nil {
+		t.Fatal(err)
+	}
+	return recv, d
+}
+
+func TestMergeAndApplyAllocationFree(t *testing.T) {
+	a, b := osprof.NewProfile("op"), osprof.NewProfile("op")
+	for i := 0; i < 100; i++ {
+		a.Record(uint64(i*1_000 + 1))
+		b.Record(uint64(i*2_000 + 1))
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if err := a.Merge(b); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("Profile.Merge allocates %v objects/op, want 0", allocs)
+	}
+
+	recv, d := deltaFixture(t)
+	if allocs := testing.AllocsPerRun(100, func() {
+		if err := recv.Apply(d); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("Run.Apply allocates %v objects/op in steady state, want 0", allocs)
+	}
+}
+
+func TestDeltaOfAllocationsBounded(t *testing.T) {
+	// DeltaOf allocates the delta envelope and one sparse profile per
+	// CHANGED op — never per historical op. A generous fixed bound
+	// catches an O(history) regression without tracking exact counts.
+	prev := &osprof.Run{Fingerprint: "fp", Set: osprof.NewSet("s")}
+	cur := &osprof.Run{Fingerprint: "fp", Set: osprof.NewSet("s")}
+	for op := 0; op < 50; op++ {
+		name := string(rune('a'+op%26)) + string(rune('0'+op/26))
+		prev.Set.Record(name, 1_000)
+		cur.Set.Record(name, 1_000)
+	}
+	cur.Set.Record("a0", 2_000) // exactly one op changed
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, err := osprof.DeltaOf(prev, cur, 2); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 16 {
+		t.Errorf("DeltaOf allocates %v objects for a 1-op change over 50 ops, want <= 16", allocs)
+	}
+}
+
+func BenchmarkRunApplyDelta(b *testing.B) {
+	recv, d := deltaFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := recv.Apply(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIngestDeltaBatches measures the full server-side cost per
+// shipped envelope: one recorder exports a delta chain in batches of
+// 64 through the real /v1/ingest handler (parse, seq check, coalesce,
+// threshold flushes into the archive). ns/op is per envelope.
+func BenchmarkIngestDeltaBatches(b *testing.B) {
+	arch, err := store.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sv := serve.New(arch, serve.Options{})
+	defer sv.Close()
+	h := sv.Handler()
+	rec := live.New()
+	sess := rec.Session(nil, "bench/ingest")
+	var buf bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Observe("read", uint64(i)*2654435761%(1<<24)+1)
+		if err := sess.ExportDelta(&buf); err != nil {
+			b.Fatal(err)
+		}
+		if i%64 == 63 || i == b.N-1 {
+			req := httptest.NewRequest(http.MethodPost, "/v1/ingest", bytes.NewReader(buf.Bytes()))
+			rw := httptest.NewRecorder()
+			h.ServeHTTP(rw, req)
+			if rw.Code != http.StatusOK {
+				b.Fatalf("ingest: %d\n%s", rw.Code, rw.Body)
+			}
+			buf.Reset()
+		}
 	}
 }
 

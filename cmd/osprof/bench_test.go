@@ -1,0 +1,54 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// A short self-hosted run must ship envelopes, pass the coalescing
+// parity check, and write the same report to -out.
+func TestBenchIngestSelfHosted(t *testing.T) {
+	outFile := filepath.Join(t.TempDir(), "bench.json")
+	code, out, errOut := exec(t, "bench", "ingest",
+		"-recorders", "2", "-batch", "4", "-duration", "200ms", "-out", outFile)
+	if code != 0 {
+		t.Fatalf("bench ingest exit=%d stderr=%s", code, errOut)
+	}
+	var doc struct {
+		Schema          string  `json:"schema"`
+		Envelopes       int64   `json:"envelopes"`
+		EnvelopesPerSec float64 `json:"envelopes_per_sec"`
+		HTTPErrors      int64   `json:"http_errors"`
+		Parity          string  `json:"parity"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("report: %v\n%s", err, out)
+	}
+	if doc.Schema != "osprof-bench-ingest/v1" || doc.Envelopes == 0 ||
+		doc.EnvelopesPerSec <= 0 || doc.HTTPErrors != 0 || doc.Parity != "ok" {
+		t.Fatalf("report: %+v", doc)
+	}
+	data, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != out {
+		t.Fatalf("-out file differs from stdout:\n%s\nvs\n%s", data, out)
+	}
+}
+
+func TestBenchUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"bench"},
+		{"bench", "frobnicate"},
+		{"bench", "ingest", "extra"},
+		{"bench", "ingest", "-recorders", "0"},
+		{"bench", "ingest", "-duration", "0s"},
+	} {
+		if code, _, _ := exec(t, args...); code != 2 {
+			t.Errorf("%v: exit=%d, want 2", args, code)
+		}
+	}
+}

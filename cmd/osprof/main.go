@@ -26,6 +26,7 @@
 //	-inject P     fault preset `osprof record` degrades scenarios with
 //	-expect V     verdict/label watch and identify must produce
 //	-drain D      serve shutdown drain timeout (default 5s)
+//	-pprof        expose /debug/pprof/ on the serve listener
 package main
 
 import (
@@ -59,6 +60,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	expect := fs.String("expect", "", "label `osprof identify` / verdict `osprof watch` must produce (exit 1 otherwise)")
 	inject := fs.String("inject", "", "fault preset `osprof record` applies to every recorded scenario")
 	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout for `osprof serve`")
+	pprofOn := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on `osprof serve`")
+	recorders := fs.Int("recorders", 8, "concurrent recorders driven by `osprof bench ingest`")
+	benchBatch := fs.Int("batch", 16, "delta envelopes per request in `osprof bench ingest`")
+	benchDur := fs.Duration("duration", 2*time.Second, "timed window of `osprof bench ingest`")
+	target := fs.String("target", "", "existing service URL for `osprof bench ingest` (default: self-hosted)")
+	out := fs.String("out", "", "also write the `osprof bench ingest` report to this file")
 
 	pos, err := parseInterleaved(fs, args)
 	if err != nil {
@@ -134,10 +141,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return cmdWatch(rest, *archiveDir, *expect, *jsonOut, stdout, stderr)
 
 	case "serve":
-		return cmdServe(rest, *archiveDir, *addr, *drain, stdout, stderr)
+		return cmdServe(rest, *archiveDir, *addr, *drain, *pprofOn, stdout, stderr)
 
 	case "archive":
 		return cmdArchive(rest, *archiveDir, *keep, *jsonOut, stdout, stderr)
+
+	case "bench":
+		return cmdBench(rest, *recorders, *benchBatch, *benchDur, *target, *out, stdout, stderr)
 
 	default:
 		usage(stderr)
@@ -249,13 +259,21 @@ func usage(w io.Writer) {
                                       baseline: ok, degraded (attributed
                                       to a corpus label), or anomaly
   osprof [flags] serve                HTTP/JSON service over the archive
-                                      (POST /v1/ingest, GET /v1/runs,
+                                      (batched POST /v1/ingest with
+                                      server-side delta coalescing,
+                                      POST /v1/flush, paged GET /v1/runs,
                                       GET /v1/diff/{a}/{b}, /v1/baseline,
                                       POST /v1/identify, /v1/watch);
                                       SIGINT/SIGTERM shut down gracefully
   osprof [flags] archive list         list the archived runs
   osprof [flags] archive gc           trim the archive (keep -keep runs
                                       per fingerprint, baselines pinned)
+  osprof [flags] bench ingest         fleet-ingest load generator: N
+                                      concurrent recorders ship delta
+                                      batches over HTTP and report
+                                      envelopes/sec + allocation
+                                      footprint (exit 1 on any HTTP
+                                      error or coalescing divergence)
 run references: latest:<scenario>, baseline:<scenario>, a run-ID prefix
 from the archive, or a path to an osprof-run/osprof-set file.
 flags:
@@ -273,6 +291,14 @@ flags:
                 degraded twin keeps the scenario name but fingerprints
                 as its own world, so baselines are never overwritten
   -drain D      serve drain timeout after SIGINT/SIGTERM (default 5s)
+  -pprof        expose net/http/pprof under /debug/pprof/ on the serve
+                listener (off by default)
+  -recorders N  concurrent recorders in bench ingest (default 8)
+  -batch N      delta envelopes per bench ingest request (default 16)
+  -duration D   bench ingest timed window (default 2s)
+  -target URL   bench ingest against a running service (default:
+                self-hosted stack on a loopback port)
+  -out FILE     also write the bench report JSON to FILE
 exit codes: 0 ok / no differences / confident identification, 1 failed
 checks, differences found, identify abstained/mismatched, or a watch
 verdict other than ok/-expect, 2 usage or archive errors.`)

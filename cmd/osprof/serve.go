@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os/signal"
 	"syscall"
 	"time"
@@ -21,20 +22,37 @@ import (
 // over the network, and `osprof archive` wires the store's
 // housekeeping (list, gc) that previously had no CLI reach.
 
-// listenArchive opens the archive and binds the listener: the
-// testable half of cmdServe. Using addr ":0" (or "127.0.0.1:0") picks
-// a free port; the chosen address is printed before serving starts so
-// scripts can scrape it.
-func listenArchive(archiveDir, addr string) (net.Listener, http.Handler, error) {
+// listenArchive opens the archive, builds the service, and binds the
+// listener: the testable half of cmdServe. Using addr ":0" (or
+// "127.0.0.1:0") picks a free port; the chosen address is printed
+// before serving starts so scripts can scrape it. The returned Server
+// owns the delta coalescer: the caller drives FlushOverdue
+// periodically and Close on shutdown so coalesced state cannot be
+// stranded. withPprof adds the net/http/pprof profiling endpoints
+// under /debug/pprof/ — off by default; the profiler profiled is
+// opt-in, never ambient.
+func listenArchive(archiveDir, addr string, withPprof bool) (net.Listener, http.Handler, *serve.Server, error) {
 	arch, err := store.Open(archiveDir)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return ln, serve.Handler(arch), nil
+	sv := serve.New(arch, serve.Options{})
+	handler := sv.Handler()
+	if withPprof {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
+	return ln, handler, sv, nil
 }
 
 // serveUntil serves handler on ln until shutdown closes, then drains
@@ -67,21 +85,50 @@ func serveUntil(ln net.Listener, handler http.Handler, shutdown <-chan struct{},
 // receives SIGINT/SIGTERM, then shuts down gracefully, draining
 // in-flight requests for up to the -drain timeout.
 func cmdServe(rest []string, archiveDir, addr string, drain time.Duration,
-	stdout, stderr io.Writer) int {
+	withPprof bool, stdout, stderr io.Writer) int {
 	if len(rest) != 0 {
 		fmt.Fprintf(stderr, "osprof: serve takes no positional arguments, got %q\n", rest)
 		return 2
 	}
-	ln, handler, err := listenArchive(archiveDir, addr)
+	ln, handler, sv, err := listenArchive(archiveDir, addr, withPprof)
 	if err != nil {
 		fmt.Fprintf(stderr, "osprof: %v\n", err)
 		return 2
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	// Age-based flushing bounds how long a coalesced delta can sit
+	// unarchived while its chain goes quiet.
+	flusherDone := make(chan struct{})
+	go func() {
+		defer close(flusherDone)
+		tick := time.NewTicker(time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				if _, err := sv.FlushOverdue(); err != nil {
+					fmt.Fprintf(stderr, "osprof: flush: %v\n", err)
+				}
+			}
+		}
+	}()
+
 	fmt.Fprintf(stdout, "osprof: serving archive %q at http://%s\n", archiveDir, ln.Addr())
-	if err := serveUntil(ln, handler, ctx.Done(), drain, stdout); err != nil {
-		fmt.Fprintf(stderr, "osprof: %v\n", err)
+	serveErr := serveUntil(ln, handler, ctx.Done(), drain, stdout)
+	<-flusherDone
+	// Drained: archive whatever the coalescer still holds.
+	if err := sv.Close(); err != nil {
+		fmt.Fprintf(stderr, "osprof: final flush: %v\n", err)
+		if serveErr == nil {
+			serveErr = err
+		}
+	}
+	if serveErr != nil {
+		fmt.Fprintf(stderr, "osprof: %v\n", serveErr)
 		return 2
 	}
 	return 0

@@ -24,11 +24,12 @@ import (
 // test goroutine), then drives the ingest -> list -> self-diff
 // workflow over real HTTP.
 func TestServeSubcommandEndToEnd(t *testing.T) {
-	ln, handler, err := listenArchive(t.TempDir(), "127.0.0.1:0")
+	ln, handler, sv, err := listenArchive(t.TempDir(), "127.0.0.1:0", false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer ln.Close()
+	defer sv.Close()
 	go http.Serve(ln, handler)
 	base := "http://" + ln.Addr().String()
 
@@ -78,6 +79,42 @@ func TestServeSubcommandEndToEnd(t *testing.T) {
 	}
 	if rep.Changed != 0 || len(rep.Ops) == 0 {
 		t.Fatalf("self-diff over HTTP: %+v", rep)
+	}
+}
+
+// The pprof endpoints only exist when the flag asks for them: a
+// profiling surface on a fleet-facing listener must be deliberate.
+func TestServePprofOptIn(t *testing.T) {
+	for _, on := range []bool{false, true} {
+		ln, handler, sv, err := listenArchive(t.TempDir(), "127.0.0.1:0", on)
+		if err != nil {
+			t.Fatal(err)
+		}
+		go http.Serve(ln, handler)
+		resp, err := http.Get("http://" + ln.Addr().String() + "/debug/pprof/cmdline")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if on && resp.StatusCode != http.StatusOK {
+			t.Errorf("-pprof: /debug/pprof/cmdline status %d", resp.StatusCode)
+		}
+		if !on && resp.StatusCode != http.StatusNotFound {
+			t.Errorf("default: /debug/pprof/cmdline status %d, want 404", resp.StatusCode)
+		}
+		// The service endpoints work either way.
+		resp, err = http.Get("http://" + ln.Addr().String() + "/v1/runs")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("pprof=%v: /v1/runs status %d", on, resp.StatusCode)
+		}
+		sv.Close()
+		ln.Close()
 	}
 }
 
@@ -132,6 +169,12 @@ func TestArchiveGCKeepsNewestAndPinnedBaselines(t *testing.T) {
 		if !strings.Contains(out, fmt.Sprintf("removed %.12s", id)) {
 			t.Errorf("run %.12s not reported removed:\n%s", id, out)
 		}
+	}
+	// The CLI ran in its own archive handle; reopen to observe its
+	// writes (an open Archive serves its own in-memory index).
+	arch, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
 	}
 	entries, err := arch.List()
 	if err != nil {

@@ -281,13 +281,22 @@ func TestFromArchivePreLabelIndexFallsBack(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Rewrite the index in the pre-label format: run SEQ ID FP "name".
+	// Rewrite the archive as a legacy v1 one (pre-label index lines:
+	// run SEQ ID FP "name") and reopen: the segmented index is gone,
+	// so the entries read as unlabeled.
 	var old bytes.Buffer
 	old.WriteString("osprof-index v1\n")
 	for _, e := range entries {
 		fmt.Fprintf(&old, "run %d %s - %q\n", e.Seq, e.ID, e.Name)
 	}
+	if err := os.RemoveAll(filepath.Join(arch.Dir(), "index.d")); err != nil {
+		t.Fatal(err)
+	}
 	if err := os.WriteFile(filepath.Join(arch.Dir(), "index"), old.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	arch, err = store.Open(arch.Dir())
+	if err != nil {
 		t.Fatal(err)
 	}
 

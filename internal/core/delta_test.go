@@ -1,0 +1,347 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// deltaRun builds a run with the given per-op latencies. Ops are
+// created in sorted-name order so runs built here have a
+// deterministic creation order (a delta chain preserves it).
+func deltaRun(fp, name string, r int, lats map[string][]uint64) *Run {
+	set := NewSetR(name, r)
+	ops := make([]string, 0, len(lats))
+	for op := range lats {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		for _, l := range lats[op] {
+			set.Record(op, l)
+		}
+	}
+	return &Run{Fingerprint: fp, Meta: map[string]string{"collector": "test"}, Set: set}
+}
+
+func TestDeltaRoundTrip(t *testing.T) {
+	prev := deltaRun("fp", "app", 1, map[string][]uint64{"read": {10, 20}})
+	cur := deltaRun("fp", "app", 1, map[string][]uint64{"read": {10, 20, 4000}, "write": {7}})
+	d, err := DeltaOf(prev, cur, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Seq != 2 || d.Fingerprint != "fp" || d.Name() != "app" {
+		t.Fatalf("delta identity wrong: %+v", d)
+	}
+	rp := d.Set.Lookup("read")
+	if rp == nil || rp.Count != 1 || rp.Total != 4000 {
+		t.Fatalf("read delta = %+v, want 1 op of 4000", rp)
+	}
+	// Min/Max ride as cumulative absolutes.
+	if rp.Min != 10 || rp.Max != 4000 {
+		t.Fatalf("read delta extremes = [%d,%d], want cumulative [10,4000]", rp.Min, rp.Max)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteDelta(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDelta(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadDelta: %v\n%s", err, buf.String())
+	}
+	var again bytes.Buffer
+	if err := WriteDelta(&again, back); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Errorf("delta round trip not byte-identical:\n%s\nvs\n%s", buf.String(), again.String())
+	}
+
+	// Applying the chain start + this delta rebuilds cur exactly.
+	rebuilt := &Run{}
+	first, err := DeltaOf(nil, prev, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rebuilt.Apply(first); err != nil {
+		t.Fatal(err)
+	}
+	if err := rebuilt.Apply(back); err != nil {
+		t.Fatal(err)
+	}
+	assertSameRunBytes(t, cur, rebuilt)
+}
+
+// assertSameRunBytes asserts the two runs marshal to identical bytes.
+func assertSameRunBytes(t *testing.T, want, got *Run) {
+	t.Helper()
+	var w, g bytes.Buffer
+	if err := WriteRun(&w, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteRun(&g, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(w.Bytes(), g.Bytes()) {
+		t.Errorf("rebuilt run differs:\nwant:\n%s\ngot:\n%s", w.String(), g.String())
+	}
+}
+
+func TestDeltaZeroOp(t *testing.T) {
+	cur := deltaRun("fp", "app", 1, map[string][]uint64{"read": {10}})
+	d1, err := DeltaOf(nil, cur, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An idle window: the delta is valid, serializable, and a no-op.
+	d2, err := DeltaOf(cur, cur, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Set.Len() != 0 {
+		t.Fatalf("idle delta has %d ops, want 0", d2.Set.Len())
+	}
+	var buf bytes.Buffer
+	if err := WriteDelta(&buf, d2); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDelta(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt := &Run{}
+	for _, d := range []*Delta{d1, back} {
+		if err := rebuilt.Apply(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assertSameRunBytes(t, cur, rebuilt)
+}
+
+func TestDeltaResolutionMismatch(t *testing.T) {
+	prev := deltaRun("fp", "app", 1, map[string][]uint64{"read": {10}})
+	cur := deltaRun("fp", "app", 2, map[string][]uint64{"read": {10, 20}})
+	if _, err := DeltaOf(prev, cur, 2); err == nil {
+		t.Error("DeltaOf across resolutions succeeded")
+	}
+
+	d, err := DeltaOf(nil, cur, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := deltaRun("fp", "app", 1, nil)
+	if err := run.Apply(d); err == nil || !strings.Contains(err.Error(), "resolution") {
+		t.Errorf("Apply across resolutions: err = %v, want resolution mismatch", err)
+	}
+}
+
+func TestDeltaFingerprintAndNameMismatch(t *testing.T) {
+	cur := deltaRun("fpB", "app", 1, map[string][]uint64{"read": {10}})
+	d, err := DeltaOf(nil, cur, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := deltaRun("fpA", "app", 1, nil)
+	if err := run.Apply(d); err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Errorf("Apply across fingerprints: err = %v", err)
+	}
+	run2 := deltaRun("fpB", "other", 1, nil)
+	if err := run2.Apply(d); err == nil || !strings.Contains(err.Error(), "name") {
+		t.Errorf("Apply across set names: err = %v", err)
+	}
+	prev := deltaRun("fpA", "app", 1, map[string][]uint64{"read": {10}})
+	if _, err := DeltaOf(prev, cur, 2); err == nil {
+		t.Error("DeltaOf across fingerprints succeeded")
+	}
+}
+
+func TestDeltaNonMonotonic(t *testing.T) {
+	prev := deltaRun("fp", "app", 1, map[string][]uint64{"read": {10, 20, 30}})
+	cur := deltaRun("fp", "app", 1, map[string][]uint64{"read": {10}})
+	if _, err := DeltaOf(prev, cur, 2); err == nil {
+		t.Error("DeltaOf over shrinking counters succeeded")
+	}
+}
+
+func TestApplySaturationIsTransactional(t *testing.T) {
+	run := deltaRun("fp", "app", 1, map[string][]uint64{"read": {10}})
+	p := run.Set.Lookup("read")
+	p.Buckets[BucketFor(10, 1)] = math.MaxUint64
+	p.Count = math.MaxUint64
+
+	d, err := DeltaOf(nil, deltaRun("fp", "app", 1, map[string][]uint64{"read": {10}}), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := p.Clone()
+	if err := run.Apply(d); !errors.Is(err, ErrCounterOverflow) {
+		t.Fatalf("Apply at MaxUint64: err = %v, want ErrCounterOverflow", err)
+	}
+	// Transactional: the failed apply left the receiver untouched.
+	after := run.Set.Lookup("read")
+	if after.Count != before.Count || after.Buckets[BucketFor(10, 1)] != before.Buckets[BucketFor(10, 1)] {
+		t.Error("failed Apply mutated the receiver")
+	}
+}
+
+func TestProfileMergeOverflow(t *testing.T) {
+	a := NewProfile("op")
+	b := NewProfile("op")
+	a.Record(10)
+	b.Record(10)
+	b.Count = math.MaxUint64
+	b.Buckets[BucketFor(10, 1)] = math.MaxUint64
+	if err := a.Merge(b); !errors.Is(err, ErrCounterOverflow) {
+		t.Fatalf("Merge at MaxUint64: err = %v, want ErrCounterOverflow", err)
+	}
+	if a.Count != 1 {
+		t.Error("failed Merge mutated the receiver")
+	}
+	// Total overflow is caught too, not just bucket/count.
+	c := NewProfile("op")
+	c.Record(1)
+	c.Total = math.MaxUint64
+	d := NewProfile("op")
+	d.Record(1)
+	if err := c.Merge(d); !errors.Is(err, ErrCounterOverflow) {
+		t.Fatalf("Merge overflowing Total: err = %v", err)
+	}
+}
+
+func TestMergeRunEnvelopes(t *testing.T) {
+	a := deltaRun("fp", "app", 1, map[string][]uint64{"read": {10, 20}})
+	b := deltaRun("fp", "app", 1, map[string][]uint64{"read": {5}, "write": {40}})
+	if err := MergeRun(a, b); err != nil {
+		t.Fatal(err)
+	}
+	rp := a.Set.Lookup("read")
+	if rp.Count != 3 || rp.Min != 5 || rp.Max != 20 {
+		t.Errorf("merged read = %+v", rp)
+	}
+	if a.Set.Lookup("write") == nil {
+		t.Error("merge dropped the one-sided op")
+	}
+	if err := a.Set.Validate(); err != nil {
+		t.Error(err)
+	}
+
+	mismatch := deltaRun("other", "app", 1, map[string][]uint64{"read": {1}})
+	if err := MergeRun(a, mismatch); err == nil {
+		t.Error("MergeRun across fingerprints succeeded")
+	}
+	wrongRes := deltaRun("fp", "app", 2, map[string][]uint64{"read": {1}})
+	if err := MergeRun(a, wrongRes); err == nil {
+		t.Error("MergeRun across resolutions succeeded")
+	}
+}
+
+// TestDeltaChainReplayProperty is the property test: a randomized
+// session — random ops, latencies, export points, idle windows, ops
+// appearing mid-session — must replay its delta chain into exactly
+// the bytes of the final full envelope, and every intermediate prefix
+// must equal the corresponding intermediate export.
+func TestDeltaChainReplayProperty(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ops := []string{"read", "write", "llseek", "readdir", "unlink"}
+		set := NewSetR("prop/app", 1+rng.Intn(2))
+		meta := map[string]string{"collector": "live"}
+		cur := func() *Run {
+			return &Run{Fingerprint: "prop-fp", Meta: cloneMeta(meta), Set: set.Clone()}
+		}
+
+		var prev *Run
+		rebuilt := &Run{}
+		seq := 0
+		for window := 0; window < 8; window++ {
+			// Random activity; sometimes none at all (idle window).
+			for i := rng.Intn(40); i > 0; i-- {
+				op := ops[rng.Intn(1+min(window+1, len(ops)-1))]
+				set.Record(op, 1+uint64(rng.Intn(1<<uint(rng.Intn(20)))))
+			}
+			if window == 4 {
+				meta["phase"] = "late" // metadata rewritten mid-session
+			}
+			now := cur()
+			seq++
+			d, err := DeltaOf(prev, now, seq)
+			if err != nil {
+				t.Fatalf("seed %d window %d: %v", seed, window, err)
+			}
+			// Ship through the wire format.
+			var buf bytes.Buffer
+			if err := WriteDelta(&buf, d); err != nil {
+				t.Fatal(err)
+			}
+			shipped, err := ReadDelta(&buf)
+			if err != nil {
+				t.Fatalf("seed %d window %d: reparse: %v", seed, window, err)
+			}
+			if err := rebuilt.Apply(shipped); err != nil {
+				t.Fatalf("seed %d window %d: apply: %v", seed, window, err)
+			}
+			assertSameRunBytes(t, now, rebuilt)
+			prev = now
+		}
+	}
+}
+
+func TestEnvelopeReaderMixedStream(t *testing.T) {
+	run := deltaRun("fpA", "app", 1, map[string][]uint64{"read": {10}})
+	d, err := DeltaOf(nil, deltaRun("fpB", "other", 1, map[string][]uint64{"write": {5}}), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare := NewSet("bare")
+	bare.Record("llseek", 3)
+
+	var stream bytes.Buffer
+	if err := WriteRun(&stream, run); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteDelta(&stream, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSet(&stream, bare); err != nil {
+		t.Fatal(err)
+	}
+
+	er := NewEnvelopeReader(&stream)
+	first, err := er.Next()
+	if err != nil || first.Run == nil || first.Run.Fingerprint != "fpA" {
+		t.Fatalf("first envelope = %+v, %v", first, err)
+	}
+	second, err := er.Next()
+	if err != nil || second.Delta == nil || second.Delta.Fingerprint != "fpB" {
+		t.Fatalf("second envelope = %+v, %v", second, err)
+	}
+	third, err := er.Next()
+	if err != nil || third.Run == nil || third.Run.Name() != "bare" {
+		t.Fatalf("third envelope = %+v, %v", third, err)
+	}
+	if _, err := er.Next(); err != io.EOF {
+		t.Fatalf("after the stream: err = %v, want io.EOF", err)
+	}
+	// EOF is sticky.
+	if _, err := er.Next(); err != io.EOF {
+		t.Fatalf("repeated Next: err = %v, want io.EOF", err)
+	}
+}
+
+func TestEnvelopeReaderGarbage(t *testing.T) {
+	er := NewEnvelopeReader(strings.NewReader("what is this\n"))
+	if _, err := er.Next(); err == nil || err == io.EOF {
+		t.Fatalf("garbage stream: err = %v, want parse error", err)
+	}
+	er = NewEnvelopeReader(strings.NewReader(""))
+	if _, err := er.Next(); err != io.EOF {
+		t.Fatalf("empty stream: err = %v, want io.EOF", err)
+	}
+}

@@ -26,9 +26,15 @@ import (
 const setHeader = "osprof-set v1"
 
 // WriteSet serializes s to w.
-func WriteSet(w io.Writer, s *Set) error {
+func WriteSet(w io.Writer, s *Set) error { return writeSetAs(w, s, setHeader) }
+
+// writeSetAs serializes s under the given header keyword; the run
+// envelope uses setHeader, the delta envelope uses deltaSetHeader
+// (identical body grammar, but a delta block must not be mistaken for
+// a cumulative set).
+func writeSetAs(w io.Writer, s *Set, header string) error {
 	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "%s %q r=%d\n", setHeader, s.Name, s.R)
+	fmt.Fprintf(bw, "%s %q r=%d\n", header, s.Name, s.R)
 	for _, p := range s.Profiles() {
 		fmt.Fprintf(bw, "op %q count=%d total=%d min=%d max=%d\n",
 			p.Op, p.Count, p.Total, p.Min, p.Max)
@@ -80,10 +86,16 @@ func rejectTrailing(sc *bufio.Scanner, lineno *int) error {
 // consumes lines from sc through the "end" marker. ReadSet and ReadRun
 // (the versioned run envelope) share it.
 func readSet(line string, sc *bufio.Scanner, lineno *int) (*Set, error) {
-	if !strings.HasPrefix(line, setHeader+" ") {
+	return readSetAs(line, sc, lineno, setHeader)
+}
+
+// readSetAs is readSet with an explicit header keyword, shared with
+// the delta-envelope parser.
+func readSetAs(line string, sc *bufio.Scanner, lineno *int, header string) (*Set, error) {
+	if !strings.HasPrefix(line, header+" ") {
 		return nil, fmt.Errorf("osprof: bad header %q", line)
 	}
-	rest := strings.TrimPrefix(line, setHeader+" ")
+	rest := strings.TrimPrefix(line, header+" ")
 	name, rest, err := parseQuoted(rest)
 	if err != nil {
 		return nil, fmt.Errorf("osprof: header name: %w", err)

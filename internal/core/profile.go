@@ -1,9 +1,22 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 )
+
+// ErrCounterOverflow reports that merging or applying a delta would
+// overflow a uint64 counter. Profiles are cumulative by design, so a
+// counter that no longer fits means the data cannot be represented,
+// not that it should silently wrap.
+var ErrCounterOverflow = errors.New("counter overflow")
+
+// addU64 adds two counters, reporting whether the sum fits in uint64.
+func addU64(a, b uint64) (uint64, bool) {
+	s := a + b
+	return s, s >= a
+}
 
 // Profile is the latency distribution of one OS operation: a histogram
 // over logarithmic buckets, plus checksums. A profile occupies a fixed,
@@ -104,11 +117,16 @@ func (p *Profile) Range() (lo, hi int, ok bool) {
 
 // Merge adds other's contents into p. The profiles must describe the
 // same operation shape (same resolution); op names may differ (merging
-// per-CPU shards).
+// per-CPU shards). Merge is transactional: every addition is verified
+// to fit in uint64 before any state changes, so on a resolution
+// mismatch or a counter overflow the receiver is untouched.
 func (p *Profile) Merge(other *Profile) error {
 	if p.R != other.R {
 		return fmt.Errorf("merge %q into %q: resolution mismatch %d != %d",
 			other.Op, p.Op, other.R, p.R)
+	}
+	if err := p.checkMerge(other); err != nil {
+		return err
 	}
 	for i, c := range other.Buckets {
 		p.Buckets[i] += c
@@ -123,6 +141,24 @@ func (p *Profile) Merge(other *Profile) error {
 	}
 	p.Count += other.Count
 	p.Total += other.Total
+	return nil
+}
+
+// checkMerge verifies that adding other's counters into p cannot
+// overflow, without mutating either profile.
+func (p *Profile) checkMerge(other *Profile) error {
+	for i, c := range other.Buckets {
+		if _, ok := addU64(p.Buckets[i], c); !ok {
+			return fmt.Errorf("merge %q into %q: bucket %d: %w",
+				other.Op, p.Op, i, ErrCounterOverflow)
+		}
+	}
+	if _, ok := addU64(p.Count, other.Count); !ok {
+		return fmt.Errorf("merge %q into %q: count: %w", other.Op, p.Op, ErrCounterOverflow)
+	}
+	if _, ok := addU64(p.Total, other.Total); !ok {
+		return fmt.Errorf("merge %q into %q: total: %w", other.Op, p.Op, ErrCounterOverflow)
+	}
 	return nil
 }
 

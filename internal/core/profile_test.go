@@ -166,8 +166,11 @@ func TestProfileChecksumProperty(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		a, b := NewProfile("a"), NewProfile("b")
 		for i := 0; i < int(n); i++ {
-			a.Record(uint64(rng.Int63()))
-			b.Record(uint64(rng.Int63()))
+			// Bounded like TestProfileStatsProperty: an unbounded
+			// sequence can overflow Total, which Merge now reports
+			// (ErrCounterOverflow) instead of silently wrapping.
+			a.Record(uint64(rng.Int63()) % (1 << 40))
+			b.Record(uint64(rng.Int63()) % (1 << 40))
 		}
 		if a.Merge(b) != nil {
 			return false

@@ -60,18 +60,22 @@ func (r *Run) Name() string {
 	return r.Set.Name
 }
 
+// Clone returns a deep copy sharing no state with the receiver: the
+// stable snapshot an accumulator hands off (to archiving, to a diff)
+// while deltas keep mutating the original.
+func (r *Run) Clone() *Run {
+	c := &Run{Fingerprint: r.Fingerprint, Meta: cloneMeta(r.Meta)}
+	if r.Set != nil {
+		c.Set = r.Set.Clone()
+	}
+	return c
+}
+
 // WriteRun serializes the run envelope to w.
 func WriteRun(w io.Writer, r *Run) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "%s fingerprint=%q\n", runHeader, r.Fingerprint)
-	keys := make([]string, 0, len(r.Meta))
-	for k := range r.Meta {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		fmt.Fprintf(bw, "meta %q %q\n", k, r.Meta[k])
-	}
+	writeMeta(bw, r.Meta)
 	if err := bw.Flush(); err != nil {
 		return err
 	}
@@ -87,63 +91,102 @@ func ReadRun(r io.Reader) (*Run, error) {
 		return nil, fmt.Errorf("osprof: empty input")
 	}
 	lineno := 1
-	line := sc.Text()
-	run := &Run{}
+	run, err := readRunBody(sc.Text(), sc, &lineno)
+	if err != nil {
+		return nil, err
+	}
+	return run, rejectTrailing(sc, &lineno)
+}
 
+// readRunBody parses one run envelope (or bare set) whose header line
+// has already been scanned, consuming lines through its "end" marker.
+// ReadRun and the batch EnvelopeReader share it.
+func readRunBody(line string, sc *bufio.Scanner, lineno *int) (*Run, error) {
+	run := &Run{}
 	if strings.HasPrefix(line, runHeader+" ") {
-		rest := strings.TrimSpace(strings.TrimPrefix(line, runHeader+" "))
-		if !strings.HasPrefix(rest, "fingerprint=") {
-			return nil, fmt.Errorf("osprof: run header missing fingerprint: %q", line)
-		}
-		fp, trailing, err := parseQuoted(strings.TrimPrefix(rest, "fingerprint="))
+		fp, err := parseEnvelopeHeader(line, runHeader)
 		if err != nil {
-			return nil, fmt.Errorf("osprof: run header: %w", err)
-		}
-		if strings.TrimSpace(trailing) != "" {
-			return nil, fmt.Errorf("osprof: run header trailing data %q", trailing)
+			return nil, err
 		}
 		run.Fingerprint = fp
-
-		// Meta lines, then the embedded set header.
-		line = ""
-		for sc.Scan() {
-			lineno++
-			l := sc.Text()
-			if strings.TrimSpace(l) == "" {
-				continue
-			}
-			if !strings.HasPrefix(l, "meta ") {
-				line = l
-				break
-			}
-			key, rest, err := parseQuoted(strings.TrimPrefix(l, "meta "))
-			if err != nil {
-				return nil, fmt.Errorf("osprof: line %d: meta key: %w", lineno, err)
-			}
-			val, trailing, err := parseQuoted(strings.TrimSpace(rest))
-			if err != nil {
-				return nil, fmt.Errorf("osprof: line %d: meta value: %w", lineno, err)
-			}
-			if strings.TrimSpace(trailing) != "" {
-				return nil, fmt.Errorf("osprof: line %d: meta trailing data %q", lineno, trailing)
-			}
-			if run.Meta == nil {
-				run.Meta = make(map[string]string)
-			}
-			run.Meta[key] = val
+		meta, next, err := readMeta(sc, lineno)
+		if err != nil {
+			return nil, err
 		}
-		if line == "" {
-			if err := sc.Err(); err != nil {
-				return nil, err
-			}
+		if next == "" {
 			return nil, fmt.Errorf("osprof: run envelope without a profile set")
 		}
+		run.Meta = meta
+		line = next
 	}
-
-	set, err := readSet(line, sc, &lineno)
+	set, err := readSet(line, sc, lineno)
 	if err != nil {
 		return nil, err
 	}
 	run.Set = set
-	return run, rejectTrailing(sc, &lineno)
+	return run, nil
+}
+
+// parseEnvelopeHeader extracts the fingerprint from a run or delta
+// header line: `<header> fingerprint="..."` with optional trailing
+// key=value fields left to the caller via parseHeaderFields.
+func parseEnvelopeHeader(line, header string) (string, error) {
+	rest := strings.TrimSpace(strings.TrimPrefix(line, header+" "))
+	if !strings.HasPrefix(rest, "fingerprint=") {
+		return "", fmt.Errorf("osprof: %s header missing fingerprint: %q", header, line)
+	}
+	fp, trailing, err := parseQuoted(strings.TrimPrefix(rest, "fingerprint="))
+	if err != nil {
+		return "", fmt.Errorf("osprof: %s header: %w", header, err)
+	}
+	if strings.TrimSpace(trailing) != "" {
+		return "", fmt.Errorf("osprof: %s header trailing data %q", header, trailing)
+	}
+	return fp, nil
+}
+
+// readMeta consumes `meta <key> <value>` lines, returning the parsed
+// map (nil when there were none) and the first non-meta line (empty at
+// EOF).
+func readMeta(sc *bufio.Scanner, lineno *int) (map[string]string, string, error) {
+	var meta map[string]string
+	for sc.Scan() {
+		*lineno++
+		l := sc.Text()
+		if strings.TrimSpace(l) == "" {
+			continue
+		}
+		if !strings.HasPrefix(l, "meta ") {
+			return meta, l, nil
+		}
+		key, rest, err := parseQuoted(strings.TrimPrefix(l, "meta "))
+		if err != nil {
+			return nil, "", fmt.Errorf("osprof: line %d: meta key: %w", *lineno, err)
+		}
+		val, trailing, err := parseQuoted(strings.TrimSpace(rest))
+		if err != nil {
+			return nil, "", fmt.Errorf("osprof: line %d: meta value: %w", *lineno, err)
+		}
+		if strings.TrimSpace(trailing) != "" {
+			return nil, "", fmt.Errorf("osprof: line %d: meta trailing data %q", *lineno, trailing)
+		}
+		if meta == nil {
+			meta = make(map[string]string)
+		}
+		meta[key] = val
+	}
+	return meta, "", sc.Err()
+}
+
+// writeMeta writes the meta lines in sorted key order (the
+// deterministic-bytes invariant shared by runs and deltas).
+func writeMeta(bw *bufio.Writer, meta map[string]string) {
+	keys := make([]string, 0, len(meta))
+	for k := range meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(bw, "meta %q %q\n", k, meta[k])
+	}
 }

@@ -1,0 +1,131 @@
+package live_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"osprof/internal/core"
+	"osprof/internal/live"
+)
+
+// failWriter fails after n bytes, exercising the retryable-ship path.
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errors.New("wire down")
+	}
+	if len(p) > f.n {
+		p = p[:f.n]
+	}
+	f.n -= len(p)
+	return len(p), errors.New("wire down")
+}
+
+// Replaying the shipped chain rebuilds the exact state a full export
+// would have produced — the recorder-side half of the fleet-ingest
+// guarantee.
+func TestSessionDeltaChainReplaysToFullExport(t *testing.T) {
+	rec := live.New()
+	sess := rec.Session(nil, "chain-app")
+
+	var chain bytes.Buffer
+	for i, lat := range []uint64{1_000, 2_000, 1 << 20} {
+		rec.Observe("read", lat)
+		if i == 1 {
+			rec.Observe("write", 3_000)
+		}
+		if err := sess.ExportDelta(&chain); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Replay the chain into an empty receiver.
+	replayed := &core.Run{}
+	rd := core.NewEnvelopeReader(bytes.NewReader(chain.Bytes()))
+	seen := 0
+	for seq := 1; ; seq++ {
+		env, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen++
+		if env.Delta == nil || env.Delta.Seq != seq {
+			t.Fatalf("envelope %d: %+v", seq, env)
+		}
+		if err := replayed.Apply(env.Delta); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if seen != 3 {
+		t.Fatalf("replayed %d envelopes, want 3", seen)
+	}
+
+	var full, rebuilt bytes.Buffer
+	if err := sess.Export(&full); err != nil {
+		t.Fatal(err)
+	}
+	if err := core.WriteRun(&rebuilt, replayed); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(full.Bytes(), rebuilt.Bytes()) {
+		t.Fatalf("replayed chain differs from full export:\n%s\nvs\n%s", rebuilt.Bytes(), full.Bytes())
+	}
+}
+
+// A failed ship must not advance the chain: the retry re-exports the
+// same seq with the same content, so the server never sees a gap.
+func TestSessionExportDeltaFailedWriteRetries(t *testing.T) {
+	rec := live.New()
+	sess := rec.Session(nil, "retry-app")
+	rec.Observe("read", 1_000)
+
+	if err := sess.ExportDelta(&failWriter{n: 10}); err == nil {
+		t.Fatal("failed write reported no error")
+	}
+	var buf bytes.Buffer
+	if err := sess.ExportDelta(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d, err := core.ReadDelta(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Seq != 1 {
+		t.Fatalf("retry shipped seq %d, want 1 (chain advanced on failure)", d.Seq)
+	}
+	if d.Set == nil || d.Set.Lookup("read") == nil || d.Set.Lookup("read").Count != 1 {
+		t.Fatalf("retry delta lost the observation: %+v", d.Set)
+	}
+}
+
+// An idle window still yields a valid, advancing zero-op delta — the
+// heartbeat a quiet recorder ships.
+func TestSessionDeltaRunIdleWindow(t *testing.T) {
+	rec := live.New()
+	sess := rec.Session(nil, "idle-app")
+	rec.Observe("read", 1_000)
+	if _, err := sess.DeltaRun(); err != nil {
+		t.Fatal(err)
+	}
+	d, err := sess.DeltaRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Seq != 2 {
+		t.Fatalf("seq = %d, want 2", d.Seq)
+	}
+	if d.Set != nil {
+		for _, p := range d.Set.Profiles() {
+			if p.Count != 0 {
+				t.Fatalf("idle delta carries activity: %s count=%d", p.Op, p.Count)
+			}
+		}
+	}
+}

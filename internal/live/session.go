@@ -31,6 +31,13 @@ type Session struct {
 
 	mu   sync.Mutex
 	meta map[string]string
+
+	// exportMu serializes incremental exports: the delta chain is
+	// ordered by construction, so two concurrent ExportDelta calls
+	// must not interleave their snapshot/advance steps.
+	exportMu sync.Mutex
+	lastRun  *core.Run // state as of the previous ExportDelta
+	deltaSeq int       // chain position of the previous ExportDelta
 }
 
 // Session opens a collection window named name (the exported set
@@ -136,4 +143,42 @@ func (s *Session) Export(w io.Writer) error { return core.WriteRun(w, s.Run()) }
 // false when an identical envelope was already archived.
 func (s *Session) Commit(sink Sink) (id string, created bool, err error) {
 	return sink.Put(s.Run())
+}
+
+// DeltaRun advances the session's delta chain and returns the next
+// incremental envelope: only the buckets that changed since the
+// previous ExportDelta/DeltaRun call (the whole state on the first
+// call). A long-lived recorder that reports every interval ships
+// O(new counts) per report instead of O(history); replaying the chain
+// in order rebuilds the full envelope byte-identically (core.Delta).
+// A window with no activity yields a valid zero-op delta.
+func (s *Session) DeltaRun() (*core.Delta, error) {
+	s.exportMu.Lock()
+	defer s.exportMu.Unlock()
+	cur := s.Run()
+	d, err := core.DeltaOf(s.lastRun, cur, s.deltaSeq+1)
+	if err != nil {
+		return nil, err
+	}
+	s.lastRun, s.deltaSeq = cur, s.deltaSeq+1
+	return d, nil
+}
+
+// ExportDelta writes the next incremental envelope of the session's
+// delta chain to w, the wire format the batched /v1/ingest endpoint
+// coalesces server-side. The chain only advances when the write
+// succeeds, so a failed ship can simply be retried.
+func (s *Session) ExportDelta(w io.Writer) error {
+	s.exportMu.Lock()
+	defer s.exportMu.Unlock()
+	cur := s.Run()
+	d, err := core.DeltaOf(s.lastRun, cur, s.deltaSeq+1)
+	if err != nil {
+		return err
+	}
+	if err := core.WriteDelta(w, d); err != nil {
+		return err
+	}
+	s.lastRun, s.deltaSeq = cur, s.deltaSeq+1
+	return nil
 }

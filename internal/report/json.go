@@ -36,10 +36,18 @@ type RunEntry struct {
 	Name        string `json:"name"`
 }
 
-// RunListDoc is the archive listing document.
+// RunListDoc is the archive listing document. A paged listing (the
+// service's GET /v1/runs) marks truncation and carries the cursor for
+// the next page; a complete listing omits both fields, so existing
+// documents are byte-identical.
 type RunListDoc struct {
 	Schema string     `json:"schema"`
 	Runs   []RunEntry `json:"runs"`
+
+	// Truncated is set when more entries follow this page; pass
+	// NextAfter as ?after= to fetch them.
+	Truncated bool `json:"truncated,omitempty"`
+	NextAfter int  `json:"next_after,omitempty"`
 }
 
 // RunList converts archive index entries into the versioned listing
@@ -50,6 +58,18 @@ func RunList(entries []store.Entry) RunListDoc {
 		doc.Runs = append(doc.Runs, RunEntry{
 			Seq: e.Seq, ID: e.ID, Fingerprint: e.Fingerprint, Name: e.Name,
 		})
+	}
+	return doc
+}
+
+// RunPage converts one page of archive index entries into the listing
+// document, recording the truncation marker and next cursor when more
+// entries follow.
+func RunPage(entries []store.Entry, more bool) RunListDoc {
+	doc := RunList(entries)
+	if more && len(entries) > 0 {
+		doc.Truncated = true
+		doc.NextAfter = entries[len(entries)-1].Seq
 	}
 	return doc
 }

@@ -1,0 +1,443 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"osprof/internal/live"
+	"osprof/internal/report"
+	"osprof/internal/serve"
+	"osprof/internal/store"
+)
+
+// doRaw performs one request and returns the raw recorder, for tests
+// that inspect status codes and headers themselves.
+func doRaw(t *testing.T, h http.Handler, method, target string, body io.Reader) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, target, body)
+	rw := httptest.NewRecorder()
+	h.ServeHTTP(rw, req)
+	return rw
+}
+
+func mustDecode(t *testing.T, b []byte, out any) {
+	t.Helper()
+	if err := json.Unmarshal(b, out); err != nil {
+		t.Fatalf("decode: %v\n%s", err, b)
+	}
+}
+
+// newServer returns the full Server (coalescer lifecycle included)
+// over a fresh temp archive.
+func newServer(t *testing.T, opts serve.Options) (*serve.Server, *store.Archive) {
+	t.Helper()
+	arch, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return serve.New(arch, opts), arch
+}
+
+// A batch of two distinct full envelopes answers the batch document
+// with one archived result per envelope, in order.
+func TestBatchIngestFullRuns(t *testing.T) {
+	sv, _ := newServer(t, serve.Options{})
+	h := sv.Handler()
+
+	body := append(envelope(t, "app-a", 100, 200), envelope(t, "app-b", 300)...)
+	var doc serve.IngestBatchDoc
+	do(t, h, http.MethodPost, "/v1/ingest", body, http.StatusOK, &doc)
+	if doc.Schema != serve.IngestBatchSchema || len(doc.Results) != 2 {
+		t.Fatalf("batch doc: %+v", doc)
+	}
+	for i, name := range []string{"app-a", "app-b"} {
+		r := doc.Results[i]
+		if r.Status != serve.StatusArchived || !r.Created || r.ID == "" || r.Name != name {
+			t.Fatalf("result %d: %+v", i, r)
+		}
+	}
+
+	// The same batch again dedups: same IDs, nothing created.
+	var again serve.IngestBatchDoc
+	do(t, h, http.MethodPost, "/v1/ingest", body, http.StatusOK, &again)
+	for i := range again.Results {
+		if again.Results[i].Created || again.Results[i].ID != doc.Results[i].ID {
+			t.Fatalf("re-ingest result %d: %+v", i, again.Results[i])
+		}
+	}
+
+	// Within-batch dedup too: one envelope twice in one body.
+	dup := append(envelope(t, "app-c", 500), envelope(t, "app-c", 500)...)
+	var dd serve.IngestBatchDoc
+	do(t, h, http.MethodPost, "/v1/ingest", dup, http.StatusOK, &dd)
+	if !dd.Results[0].Created || dd.Results[1].Created || dd.Results[0].ID != dd.Results[1].ID {
+		t.Fatalf("within-batch dedup: %+v", dd.Results)
+	}
+}
+
+// Deltas coalesce in memory: nothing reaches the archive until the
+// size threshold trips, and the flushed run is byte-identical to what
+// a full export at the same point would have been (the chain-replay
+// guarantee, observed through content-addressed dedup).
+func TestDeltaCoalescingAndSizeFlush(t *testing.T) {
+	sv, _ := newServer(t, serve.Options{FlushEnvelopes: 3})
+	h := sv.Handler()
+
+	rec := live.New()
+	sess := rec.Session(nil, "fleet-app")
+	var chain bytes.Buffer
+	rec.Observe("read", 1_000)
+	if err := sess.ExportDelta(&chain); err != nil {
+		t.Fatal(err)
+	}
+	rec.Observe("read", 2_000)
+	if err := sess.ExportDelta(&chain); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two deltas in one request: coalesced, archive still empty.
+	var doc serve.IngestBatchDoc
+	do(t, h, http.MethodPost, "/v1/ingest", chain.Bytes(), http.StatusOK, &doc)
+	if len(doc.Results) != 2 || doc.Flushed != 0 {
+		t.Fatalf("coalesce doc: %+v", doc)
+	}
+	for i, r := range doc.Results {
+		if r.Status != serve.StatusCoalesced || r.Seq != i+1 || r.Name != "fleet-app" {
+			t.Fatalf("result %d: %+v", i, r)
+		}
+	}
+	var runs report.RunListDoc
+	do(t, h, http.MethodGet, "/v1/runs", nil, http.StatusOK, &runs)
+	if len(runs.Runs) != 0 {
+		t.Fatalf("archive not empty before flush: %+v", runs)
+	}
+
+	// The third delta crosses FlushEnvelopes: the accumulation lands.
+	rec.Observe("write", 3_000)
+	var third bytes.Buffer
+	if err := sess.ExportDelta(&third); err != nil {
+		t.Fatal(err)
+	}
+	do(t, h, http.MethodPost, "/v1/ingest", third.Bytes(), http.StatusOK, &doc)
+	if doc.Flushed != 1 || doc.Results[0].Status != serve.StatusCoalesced {
+		t.Fatalf("flush doc: %+v", doc)
+	}
+	do(t, h, http.MethodGet, "/v1/runs", nil, http.StatusOK, &runs)
+	if len(runs.Runs) != 1 {
+		t.Fatalf("after flush: %+v", runs)
+	}
+
+	// Parity: a full export of the same session state dedups against
+	// the flushed accumulation — identical bytes, identical address.
+	var full bytes.Buffer
+	if err := sess.Export(&full); err != nil {
+		t.Fatal(err)
+	}
+	var ing serve.IngestDoc
+	do(t, h, http.MethodPost, "/v1/ingest", full.Bytes(), http.StatusOK, &ing)
+	if ing.Created || ing.ID != runs.Runs[0].ID {
+		t.Fatalf("coalesced state diverged from full export: %+v vs %+v", ing, runs.Runs[0])
+	}
+}
+
+// POST /v1/flush archives pending accumulations on demand, and the
+// chain survives the flush: later deltas keep extending the same
+// state.
+func TestFlushEndpointAndChainContinuity(t *testing.T) {
+	sv, _ := newServer(t, serve.Options{})
+	h := sv.Handler()
+
+	rec := live.New()
+	sess := rec.Session(nil, "drain-app")
+	rec.Observe("read", 1_000)
+	var d1 bytes.Buffer
+	if err := sess.ExportDelta(&d1); err != nil {
+		t.Fatal(err)
+	}
+	do(t, h, http.MethodPost, "/v1/ingest", d1.Bytes(), http.StatusOK, nil)
+
+	var fl serve.FlushDoc
+	do(t, h, http.MethodPost, "/v1/flush", nil, http.StatusOK, &fl)
+	if fl.Schema != serve.FlushSchema || fl.Flushed != 1 {
+		t.Fatalf("flush: %+v", fl)
+	}
+	// Nothing dirty: flushing again is a no-op.
+	do(t, h, http.MethodPost, "/v1/flush", nil, http.StatusOK, &fl)
+	if fl.Flushed != 0 {
+		t.Fatalf("idle flush: %+v", fl)
+	}
+
+	// The chain continues past the flush; the next flush archives the
+	// extended state as a second, distinct run.
+	rec.Observe("read", 2_000)
+	var d2 bytes.Buffer
+	if err := sess.ExportDelta(&d2); err != nil {
+		t.Fatal(err)
+	}
+	var doc serve.IngestBatchDoc
+	do(t, h, http.MethodPost, "/v1/ingest", d2.Bytes(), http.StatusOK, &doc)
+	if doc.Results[0].Status != serve.StatusCoalesced || doc.Results[0].Seq != 2 {
+		t.Fatalf("post-flush delta: %+v", doc.Results[0])
+	}
+	do(t, h, http.MethodPost, "/v1/flush", nil, http.StatusOK, &fl)
+	if fl.Flushed != 1 {
+		t.Fatalf("second flush: %+v", fl)
+	}
+	var runs report.RunListDoc
+	do(t, h, http.MethodGet, "/v1/runs", nil, http.StatusOK, &runs)
+	if len(runs.Runs) != 2 || runs.Runs[0].ID == runs.Runs[1].ID {
+		t.Fatalf("chain continuity: %+v", runs)
+	}
+}
+
+// Delta ordering rules: an unknown chain must start at seq 1, and a
+// known chain only accepts the next seq. Violations are per-item
+// errors; the rest of the batch still applies.
+func TestDeltaSeqRules(t *testing.T) {
+	sv, _ := newServer(t, serve.Options{})
+	h := sv.Handler()
+
+	rec := live.New()
+	sess := rec.Session(nil, "seq-app")
+	rec.Observe("read", 1_000)
+	var d1 bytes.Buffer
+	if err := sess.ExportDelta(&d1); err != nil {
+		t.Fatal(err)
+	}
+	rec.Observe("read", 2_000)
+	var d2 bytes.Buffer
+	if err := sess.ExportDelta(&d2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Shipping seq 2 first: unknown chain, item error, batch still 200
+	// because the full run alongside it applies.
+	body := append(d2.Bytes(), envelope(t, "bystander", 100)...)
+	var doc serve.IngestBatchDoc
+	do(t, h, http.MethodPost, "/v1/ingest", body, http.StatusOK, &doc)
+	if doc.Results[0].Status != serve.StatusError || doc.Results[0].Error == "" {
+		t.Fatalf("unknown chain: %+v", doc.Results[0])
+	}
+	if doc.Results[1].Status != serve.StatusArchived {
+		t.Fatalf("bystander: %+v", doc.Results[1])
+	}
+
+	// Start the chain properly, then replay seq 1: out of order.
+	do(t, h, http.MethodPost, "/v1/ingest", append(d1.Bytes(), d2.Bytes()...), http.StatusOK, &doc)
+	if doc.Results[0].Status != serve.StatusCoalesced || doc.Results[1].Status != serve.StatusCoalesced {
+		t.Fatalf("chain start: %+v", doc.Results)
+	}
+	rec.Observe("read", 3_000)
+	var d3 bytes.Buffer
+	if err := sess.ExportDelta(&d3); err != nil {
+		t.Fatal(err)
+	}
+	var d3Again bytes.Buffer
+	d3Again.Write(d3.Bytes())
+	do(t, h, http.MethodPost, "/v1/ingest", append(d3.Bytes(), d3Again.Bytes()...), http.StatusOK, &doc)
+	if doc.Results[0].Status != serve.StatusCoalesced {
+		t.Fatalf("seq 3: %+v", doc.Results[0])
+	}
+	if doc.Results[1].Status != serve.StatusError || doc.Results[1].Error == "" {
+		t.Fatalf("replayed seq 3: %+v", doc.Results[1])
+	}
+}
+
+// A seq-1 delta for a fingerprint with accumulated state restarts the
+// chain: the previous accumulation is archived first, never dropped.
+func TestChainRestartFlushesPriorState(t *testing.T) {
+	sv, _ := newServer(t, serve.Options{})
+	h := sv.Handler()
+
+	ship := func(rec *live.Recorder, sess *live.Session, lat uint64) []byte {
+		rec.Observe("read", lat)
+		var buf bytes.Buffer
+		if err := sess.ExportDelta(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	// Two recorder "incarnations" with the identical configuration —
+	// the same fingerprint, as after a process restart.
+	recA := live.New()
+	do(t, h, http.MethodPost, "/v1/ingest", ship(recA, recA.Session(nil, "restart-app"), 1_000), http.StatusOK, nil)
+
+	recB := live.New()
+	var doc serve.IngestBatchDoc
+	do(t, h, http.MethodPost, "/v1/ingest", ship(recB, recB.Session(nil, "restart-app"), 9_000), http.StatusOK, &doc)
+	if doc.Flushed != 1 || doc.Results[0].Status != serve.StatusCoalesced || doc.Results[0].Seq != 1 {
+		t.Fatalf("restart: %+v", doc)
+	}
+	var runs report.RunListDoc
+	do(t, h, http.MethodGet, "/v1/runs", nil, http.StatusOK, &runs)
+	if len(runs.Runs) != 1 {
+		t.Fatalf("prior incarnation not archived: %+v", runs)
+	}
+}
+
+// Backpressure: MaxPendingChains bounds coalescer memory. A new chain
+// beyond the bound is refused per-item; when the refusal is the whole
+// request, the status is 429 with Retry-After.
+func TestCoalescerBackpressure(t *testing.T) {
+	sv, _ := newServer(t, serve.Options{MaxPendingChains: 1})
+	h := sv.Handler()
+
+	start := func(name string) []byte {
+		rec := live.New()
+		sess := rec.Session(nil, name)
+		rec.Observe("read", 1_000)
+		var buf bytes.Buffer
+		if err := sess.ExportDelta(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	do(t, h, http.MethodPost, "/v1/ingest", start("chain-1"), http.StatusOK, nil)
+
+	// A second chain alone: nothing applies, so the request is 429.
+	req := bytes.NewReader(start("chain-2"))
+	r := doRaw(t, h, http.MethodPost, "/v1/ingest", req)
+	if r.Code != http.StatusTooManyRequests || r.Header().Get("Retry-After") == "" {
+		t.Fatalf("saturated: status=%d retry-after=%q\n%s", r.Code, r.Header().Get("Retry-After"), r.Body)
+	}
+	var doc serve.IngestBatchDoc
+	mustDecode(t, r.Body.Bytes(), &doc)
+	if doc.Results[0].Status != serve.StatusError {
+		t.Fatalf("saturated item: %+v", doc.Results[0])
+	}
+
+	// Mixed with an applying envelope, the refusal stays per-item (200).
+	body := append(start("chain-3"), envelope(t, "bystander", 100)...)
+	do(t, h, http.MethodPost, "/v1/ingest", body, http.StatusOK, &doc)
+	if doc.Results[0].Status != serve.StatusError || doc.Results[1].Status != serve.StatusArchived {
+		t.Fatalf("mixed saturation: %+v", doc.Results)
+	}
+
+	// Draining via flush does not evict the chain (chains persist), so
+	// the bound still holds — a documented property, not a bug.
+	if _, err := sv.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Oversized requests are rejected whole before any state changes:
+// batches beyond MaxBatch and bodies beyond MaxBodyBytes are 413, and
+// a parse error anywhere rejects the entire batch.
+func TestBatchRejections(t *testing.T) {
+	sv, arch := newServer(t, serve.Options{MaxBatch: 2, MaxBodyBytes: 1 << 16})
+	h := sv.Handler()
+
+	three := append(append(envelope(t, "a", 1), envelope(t, "b", 2)...), envelope(t, "c", 3)...)
+	var errDoc serve.ErrorDoc
+	do(t, h, http.MethodPost, "/v1/ingest", three, http.StatusRequestEntityTooLarge, &errDoc)
+	if errDoc.Error == "" {
+		t.Fatal("oversized batch: empty error")
+	}
+
+	huge := append(envelope(t, "big", 1), bytes.Repeat([]byte("x"), 1<<17)...)
+	do(t, h, http.MethodPost, "/v1/ingest", huge, http.StatusRequestEntityTooLarge, &errDoc)
+	if errDoc.Error == "" {
+		t.Fatal("oversized body: empty error")
+	}
+
+	// Valid envelope followed by garbage: all-or-nothing, nothing lands.
+	mixed := append(envelope(t, "good", 1), []byte("not an envelope\n")...)
+	do(t, h, http.MethodPost, "/v1/ingest", mixed, http.StatusBadRequest, &errDoc)
+	entries, err := arch.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("half-applied batch: %+v", entries)
+	}
+}
+
+// FlushOverdue only archives accumulations older than FlushAge, and
+// Close flushes everything — the shutdown guarantee.
+func TestFlushOverdueAndClose(t *testing.T) {
+	sv, arch := newServer(t, serve.Options{FlushAge: time.Hour})
+	h := sv.Handler()
+
+	rec := live.New()
+	sess := rec.Session(nil, "age-app")
+	rec.Observe("read", 1_000)
+	var d bytes.Buffer
+	if err := sess.ExportDelta(&d); err != nil {
+		t.Fatal(err)
+	}
+	do(t, h, http.MethodPost, "/v1/ingest", d.Bytes(), http.StatusOK, nil)
+
+	if n, err := sv.FlushOverdue(); err != nil || n != 0 {
+		t.Fatalf("young accumulation flushed: n=%d err=%v", n, err)
+	}
+	if err := sv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := arch.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("close did not flush: %+v", entries)
+	}
+}
+
+// GET /v1/runs pages with ?limit= and ?after=, and the cursor walks
+// the whole archive without overlap or loss.
+func TestRunsPaging(t *testing.T) {
+	sv, _ := newServer(t, serve.Options{})
+	h := sv.Handler()
+
+	var ids []string
+	for i := 0; i < 5; i++ {
+		var ing serve.IngestDoc
+		do(t, h, http.MethodPost, "/v1/ingest", envelope(t, fmt.Sprintf("app-%d", i), uint64(100*(i+1))), http.StatusOK, &ing)
+		ids = append(ids, ing.ID)
+	}
+
+	var got []string
+	after, pages := 0, 0
+	for {
+		var page report.RunListDoc
+		do(t, h, http.MethodGet, fmt.Sprintf("/v1/runs?limit=2&after=%d", after), nil, http.StatusOK, &page)
+		pages++
+		for _, r := range page.Runs {
+			got = append(got, r.ID)
+		}
+		if !page.Truncated {
+			break
+		}
+		if page.NextAfter == 0 {
+			t.Fatalf("truncated page without cursor: %+v", page)
+		}
+		after = page.NextAfter
+	}
+	if pages != 3 || len(got) != 5 {
+		t.Fatalf("paging: %d pages, %d runs", pages, len(got))
+	}
+	for i, id := range ids {
+		if got[i] != id {
+			t.Fatalf("page order: got[%d]=%s want %s", i, got[i], id)
+		}
+	}
+
+	// An unpaged listing of a small archive carries no paging fields.
+	var all report.RunListDoc
+	do(t, h, http.MethodGet, "/v1/runs", nil, http.StatusOK, &all)
+	if all.Truncated || all.NextAfter != 0 || len(all.Runs) != 5 {
+		t.Fatalf("full listing: %+v", all)
+	}
+
+	var errDoc serve.ErrorDoc
+	do(t, h, http.MethodGet, "/v1/runs?limit=0", nil, http.StatusBadRequest, &errDoc)
+	do(t, h, http.MethodGet, "/v1/runs?limit=nope", nil, http.StatusBadRequest, &errDoc)
+	do(t, h, http.MethodGet, "/v1/runs?after=-3", nil, http.StatusBadRequest, &errDoc)
+}

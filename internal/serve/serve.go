@@ -11,10 +11,23 @@
 //
 // Endpoints:
 //
-//	POST /v1/ingest        body: an osprof-run (or bare osprof-set)
-//	                       envelope; archives it, returns its content
-//	                       address
-//	GET  /v1/runs          the archive index as osprof-runs/v1 JSON
+//	POST /v1/ingest        body: one or more concatenated envelopes —
+//	                       full osprof-run (or bare osprof-set)
+//	                       envelopes and osprof-run-delta increments,
+//	                       in any mix. A single full-run body answers
+//	                       the original osprof-ingest/v1 document; any
+//	                       other body answers osprof-ingest-batch/v1
+//	                       with one result per envelope. Deltas
+//	                       coalesce in memory and reach the archive at
+//	                       the next flush. Oversized bodies or batches
+//	                       are 413; a request refused entirely by
+//	                       coalescer backpressure is 429.
+//	POST /v1/flush         archive every coalesced accumulation now;
+//	                       answers osprof-flush/v1
+//	GET  /v1/runs          the archive index as osprof-runs/v1 JSON,
+//	                       cursor-paged: ?limit= bounds the page
+//	                       (default/cap 1000), ?after=<seq> resumes
+//	                       past a previous page
 //	GET  /v1/diff/{a}/{b}  differential analysis of two run references
 //	                       (latest:<name>, baseline:<name>, or a run-ID
 //	                       prefix), as osprof-diff/v1 JSON; references
@@ -87,25 +100,36 @@ type ErrorDoc struct {
 }
 
 // server carries the shared archive behind the handlers, plus the
-// memoized identification corpus (see identifyCorpus) and the watch
-// registry.
+// memoized identification corpus (see identifyCorpus), the watch
+// registry, and the delta coalescer (coalesce.go).
 type server struct {
 	arch *store.Archive
+	opts Options
 
 	mu        sync.Mutex
 	corpusKey string
 	corpus    *classify.Corpus
 	watches   map[string]*watchEntry // by watched run name
 	order     []string               // registration order
+
+	// cmu guards the coalescer: per-fingerprint delta accumulations.
+	// Separate from mu so slow corpus builds never block ingest.
+	cmu    sync.Mutex
+	accums map[string]*accum // by fingerprint
 }
 
-// Handler returns the service's HTTP handler over arch. The archive is
-// safe for concurrent use, so one handler serves any number of
-// in-flight requests.
+// Handler returns the service's HTTP handler over arch with default
+// Options. Deployments that need the coalescer lifecycle (periodic
+// age-based flushing, flush-on-shutdown) use New and the Server type
+// instead.
 func Handler(arch *store.Archive) http.Handler {
-	s := &server{arch: arch, watches: make(map[string]*watchEntry)}
+	return New(arch, Options{}).Handler()
+}
+
+func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/ingest", s.ingest)
+	mux.HandleFunc("POST /v1/flush", s.flushHandler)
 	mux.HandleFunc("GET /v1/runs", s.runs)
 	mux.HandleFunc("GET /v1/diff/{a}/{b}", s.diff)
 	mux.HandleFunc("GET /v1/diff", s.diff) // ?a=&b= for slash-qualified names
@@ -127,38 +151,6 @@ func respond(w http.ResponseWriter, status int, v any) {
 // fail writes a JSON error body.
 func fail(w http.ResponseWriter, status int, format string, args ...any) {
 	respond(w, status, ErrorDoc{Error: fmt.Sprintf(format, args...)})
-}
-
-// ingest parses a run envelope from the body and archives it.
-func (s *server) ingest(w http.ResponseWriter, r *http.Request) {
-	run, err := core.ReadRun(http.MaxBytesReader(w, r.Body, maxEnvelopeBytes))
-	if err != nil {
-		fail(w, http.StatusBadRequest, "parse run envelope: %v", err)
-		return
-	}
-	id, created, err := s.arch.Put(run)
-	if err != nil {
-		fail(w, http.StatusInternalServerError, "archive: %v", err)
-		return
-	}
-	respond(w, http.StatusOK, IngestDoc{
-		Schema:      IngestSchema,
-		ID:          id,
-		Created:     created,
-		Fingerprint: run.Fingerprint,
-		Name:        run.Name(),
-		Watch:       s.evaluateWatch(run),
-	})
-}
-
-// runs lists the archive index.
-func (s *server) runs(w http.ResponseWriter, r *http.Request) {
-	entries, err := s.arch.List()
-	if err != nil {
-		fail(w, http.StatusInternalServerError, "archive: %v", err)
-		return
-	}
-	respond(w, http.StatusOK, report.RunList(entries))
 }
 
 // resolve loads the run a reference names: latest:<name>,

@@ -2,15 +2,17 @@ package store
 
 import (
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
 
-// seedArchive records three runs (one labeled, one blessed) and
-// returns the archive plus its index contents.
-func seedArchive(t *testing.T) (*Archive, string, []byte) {
+// seedArchive records three runs (one labeled, one blessed) into dir
+// and returns the path and contents of the segment file that ends with
+// the baseline line — the shard a crashed appender would have torn.
+func seedArchive(t *testing.T) (dir, segPath string, segData []byte) {
 	t.Helper()
-	dir := t.TempDir()
+	dir = t.TempDir()
 	a, err := Open(dir)
 	if err != nil {
 		t.Fatal(err)
@@ -30,34 +32,89 @@ func seedArchive(t *testing.T) (*Archive, string, []byte) {
 	if err := a.SetBaseline("fp3", id); err != nil {
 		t.Fatal(err)
 	}
-	data, err := os.ReadFile(a.indexPath())
+	for _, p := range segmentFiles(t, dir) {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(string(data), "baseline fp3 ") {
+			return dir, p, data
+		}
+	}
+	t.Fatal("no segment holds the baseline line")
+	return "", "", nil
+}
+
+// segmentFiles lists every segment file under dir's index.d.
+func segmentFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	var out []string
+	err := filepath.Walk(filepath.Join(dir, "index.d"), func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && strings.HasPrefix(filepath.Base(path), "seg-") {
+			out = append(out, path)
+		}
+		return nil
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	return a, dir, data
+	return out
 }
 
-// A crashed writer can leave the index with a torn final line. The
-// archive must open anyway — dropping at most that one line — at EVERY
-// byte offset the tear could land on, and the next save must heal the
-// damage.
+// snapshotSegments captures every segment file's bytes so a test can
+// restore the archive between corruption experiments.
+func snapshotSegments(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	out := make(map[string][]byte)
+	for _, p := range segmentFiles(t, dir) {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[p] = data
+	}
+	return out
+}
+
+func restoreSegments(t *testing.T, dir string, snap map[string][]byte) {
+	t.Helper()
+	if err := os.RemoveAll(filepath.Join(dir, "index.d")); err != nil {
+		t.Fatal(err)
+	}
+	for p, data := range snap {
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// A crashed appender can leave a shard's active segment with a torn
+// final line. The archive must open anyway — dropping at most that one
+// line — at EVERY byte offset the tear could land on; Open truncates
+// the tear away (self-heal), so the next Open comes back clean and
+// appends keep working.
 func TestLoadSurvivesTruncatedTrailingLine(t *testing.T) {
-	_, dir, data := seedArchive(t)
+	dir, seg, data := seedArchive(t)
+	pristine := snapshotSegments(t, dir)
 	text := strings.TrimSuffix(string(data), "\n")
 	lastStart := strings.LastIndex(text, "\n") + 1
 	full := len(data)
 
 	for cut := lastStart; cut < full; cut++ {
-		a, err := Open(dir)
-		if err != nil {
+		restoreSegments(t, dir, pristine)
+		if err := os.WriteFile(seg, data[:cut], 0o644); err != nil {
 			t.Fatal(err)
 		}
-		if err := os.WriteFile(a.indexPath(), data[:cut], 0o644); err != nil {
-			t.Fatal(err)
+		a, err := Open(dir)
+		if err != nil {
+			t.Fatalf("cut at byte %d of %d: Open: %v", cut, full, err)
 		}
 		entries, err := a.List()
 		if err != nil {
-			t.Fatalf("cut at byte %d of %d: List: %v", cut, full, err)
+			t.Fatalf("cut at byte %d: List: %v", cut, err)
 		}
 		// Every complete line survives; the torn line is either dropped
 		// or (when the tear lands on a field boundary) still parses.
@@ -75,8 +132,8 @@ func TestLoadSurvivesTruncatedTrailingLine(t *testing.T) {
 
 		// A mid-line tear must be noticed (warning set). A tear exactly
 		// at the line start removes the line without a trace — that
-		// index is indistinguishable from one saved before the blessing,
-		// so no warning is possible there.
+		// segment is indistinguishable from one written before the
+		// blessing, so no warning is possible there.
 		warned := a.Warning() != ""
 		if baselines, err := a.Baselines(); err != nil {
 			t.Fatalf("cut at byte %d: Baselines: %v", cut, err)
@@ -84,60 +141,159 @@ func TestLoadSurvivesTruncatedTrailingLine(t *testing.T) {
 			t.Errorf("cut at byte %d: baseline silently lost without a warning", cut)
 		}
 
-		// Recording anything rewrites the index: the archive self-heals,
-		// and the next load comes back clean.
-		if _, _, err := a.Put(testRun("fp4", "heal/run", 700)); err != nil {
-			t.Fatalf("cut at byte %d: Put after recovery: %v", cut, err)
-		}
-		if _, err := a.List(); err != nil {
-			t.Fatalf("cut at byte %d: List after healing save: %v", cut, err)
-		}
-		if a.Warning() != "" {
-			t.Errorf("cut at byte %d: warning survived the healing save: %q", cut, a.Warning())
-		}
+		// Open already truncated the tear: a fresh Open is clean.
 		healed, err := Open(dir)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if _, err := healed.List(); err != nil || healed.Warning() != "" {
-			t.Fatalf("cut at byte %d: healed index: err=%v warning=%q", cut, err, healed.Warning())
+			t.Fatalf("cut at byte %d: healed archive: err=%v warning=%q", cut, err, healed.Warning())
+		}
+		// And the healed shard accepts appends again.
+		if _, _, err := healed.Put(testRun("fp3", "reiser/walk", uint64(700+cut))); err != nil {
+			t.Fatalf("cut at byte %d: Put after heal: %v", cut, err)
+		}
+		reopened, err := Open(dir)
+		if err != nil {
+			t.Fatalf("cut at byte %d: post-append reopen: %v", cut, err)
+		}
+		if reopened.Warning() != "" {
+			t.Fatalf("cut at byte %d: post-append reopen warning: %q", cut, reopened.Warning())
 		}
 	}
 }
 
 // The same tolerance must NOT extend to earlier lines: every line but
-// the last was once the validated tail of an atomic rewrite, so damage
-// there is real corruption, not a torn write.
+// the active segment's last was once followed by a validated append,
+// so damage there is real corruption, not a torn write.
 func TestLoadRejectsMidFileCorruption(t *testing.T) {
-	_, dir, data := seedArchive(t)
+	dir := t.TempDir()
+	a, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same fingerprint: all four lines land in one shard's segment.
+	var last string
+	for i := 0; i < 3; i++ {
+		last, _, err = a.Put(testRun("fpX", "ext2/grep", uint64(100*(i+1))))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.SetBaseline("fpX", last); err != nil {
+		t.Fatal(err)
+	}
+	var seg string
+	for _, p := range segmentFiles(t, dir) {
+		data, _ := os.ReadFile(p)
+		if strings.Contains(string(data), "fpX") {
+			seg = p
+		}
+	}
+	if seg == "" {
+		t.Fatal("fpX shard segment not found")
+	}
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	lines := strings.Split(strings.TrimSuffix(string(data), "\n"), "\n")
 	for i := 1; i < len(lines)-1; i++ { // skip header; last line is tolerated
 		mangled := append([]string{}, lines...)
 		mangled[i] = mangled[i][:len(mangled[i])/2]
-		a, err := Open(dir)
-		if err != nil {
+		if err := os.WriteFile(seg, []byte(strings.Join(mangled, "\n")+"\n"), 0o644); err != nil {
 			t.Fatal(err)
 		}
-		if err := os.WriteFile(a.indexPath(), []byte(strings.Join(mangled, "\n")+"\n"), 0o644); err != nil {
-			t.Fatal(err)
-		}
-		if _, err := a.List(); err == nil {
+		if _, err := Open(dir); err == nil {
 			t.Errorf("truncating line %d (%q) loaded silently", i+1, lines[i])
 		}
 	}
 }
 
-// An unreadable header still fails loudly: tail tolerance must not
-// turn a wrong-format file into an empty archive.
-func TestLoadRejectsBadHeader(t *testing.T) {
-	a, err := Open(t.TempDir())
+// An unreadable segment header still fails loudly: tail tolerance must
+// not turn a wrong-format file into an empty shard.
+func TestLoadRejectsBadSegmentHeader(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(a.indexPath(), []byte("osprof-index v99\n"), 0o644); err != nil {
+	if _, _, err := a.Put(testRun("fp", "s", 100)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := a.List(); err == nil {
-		t.Error("unknown index version loaded silently")
+	segs := segmentFiles(t, dir)
+	if len(segs) == 0 {
+		t.Fatal("no segments written")
+	}
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	mangled := strings.Replace(string(data), segmentHeader, "osprof-index-seg v99", 1)
+	if err := os.WriteFile(segs[0], []byte(mangled), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Error("unknown segment version loaded silently")
+	}
+}
+
+// A legacy single-file index with a torn trailing line opens with a
+// warning (entries intact), and the first write migrates it to the
+// segmented layout, healing the damage for good.
+func TestLegacyTornTailMigratesClean(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1, _, err := a.Put(testRun("fp1", "ext2/grep", 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, _, err := a.Put(testRun("fp2", "reiser/walk", 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct the archive as a legacy single-file one, with the
+	// baseline line torn mid-write.
+	if err := os.RemoveAll(filepath.Join(dir, "index.d")); err != nil {
+		t.Fatal(err)
+	}
+	legacy := indexHeader + "\n" +
+		"run 1 " + id1 + " fp1 \"ext2/grep\"\n" +
+		"run 2 " + id2 + " fp2 \"reiser/walk\"\n" +
+		"baseline fp" // torn mid-fingerprint: cannot parse as any line
+	if err := os.WriteFile(filepath.Join(dir, "index"), []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Warning() == "" {
+		t.Error("torn legacy tail raised no warning")
+	}
+	if entries, err := b.List(); err != nil || len(entries) != 2 {
+		t.Fatalf("legacy entries: %v err=%v", entries, err)
+	}
+	// First write migrates: the legacy file is gone, segments exist,
+	// and a fresh Open is clean.
+	if _, _, err := b.Put(testRun("fp3", "heal/run", 300)); err != nil {
+		t.Fatal(err)
+	}
+	if b.Warning() != "" {
+		t.Errorf("warning survived migration: %q", b.Warning())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "index")); !os.IsNotExist(err) {
+		t.Error("legacy index file survived migration")
+	}
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries, err := c.List(); err != nil || len(entries) != 3 || c.Warning() != "" {
+		t.Fatalf("migrated archive: %d entries err=%v warning=%q", len(entries), err, c.Warning())
 	}
 }

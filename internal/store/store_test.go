@@ -304,46 +304,82 @@ func TestLabelIndexedAndRoundTrips(t *testing.T) {
 	if len(indexed) != 1 || indexed[0].Label != "ext2-preempt c256" {
 		t.Errorf("ListLabeled = %+v", indexed)
 	}
-	data, err := os.ReadFile(a.indexPath())
+	// The label survives the on-disk round trip: a fresh Open rebuilds
+	// the index from the segment files alone.
+	reopened, err := Open(a.Dir())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.HasPrefix(string(data), "osprof-index v2\n") {
-		t.Errorf("index header = %q, want v2", strings.SplitN(string(data), "\n", 2)[0])
+	indexed, aware, err = reopened.ListLabeled()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !aware {
+		t.Error("reopened archive is not label-aware")
+	}
+	if len(indexed) != 1 || indexed[0].Label != "ext2-preempt c256" {
+		t.Errorf("reopened ListLabeled = %+v", indexed)
 	}
 }
 
-// Index lines written before the label field (run SEQ ID FP "name")
-// still parse, reading as unlabeled entries.
+// Legacy index lines written before the label field (run SEQ ID FP
+// "name") still parse, reading as unlabeled entries; the first write
+// migrates the archive to the segmented label-aware layout.
 func TestPreLabelIndexLinesParse(t *testing.T) {
 	a := open(t)
 	id, _, err := a.Put(testRun("fp1", "ext2/grep", 100))
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Reconstruct the archive as a legacy v1 one: no segmented index,
+	// just the pre-label single file.
+	if err := os.RemoveAll(filepath.Join(a.Dir(), "index.d")); err != nil {
+		t.Fatal(err)
+	}
 	old := "osprof-index v1\nrun 1 " + id + " fp1 \"ext2/grep\"\n"
 	if err := os.WriteFile(a.indexPath(), []byte(old), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	entries, err := a.List()
+	legacy, err := Open(a.Dir())
 	if err != nil {
 		t.Fatalf("pre-label index unreadable: %v", err)
+	}
+	entries, err := legacy.List()
+	if err != nil {
+		t.Fatal(err)
 	}
 	if len(entries) != 1 || entries[0].ID != id || entries[0].Label != "" {
 		t.Errorf("entries = %+v", entries)
 	}
-	if _, aware, err := a.ListLabeled(); err != nil || aware {
+	if _, aware, err := legacy.ListLabeled(); err != nil || aware {
 		t.Errorf("v1 index reported label-aware (err=%v)", err)
+	}
+	// The first write migrates the index, upgrading it to label-aware
+	// (the legacy rewrite path did the same).
+	if _, _, err := legacy.Put(testRun("fp2", "plain", 200)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(legacy.indexPath()); !os.IsNotExist(err) {
+		t.Error("legacy index file survived migration")
+	}
+	if _, aware, _ := legacy.ListLabeled(); !aware {
+		t.Error("migrated index still reports label-unaware")
+	}
+	reopened, err := Open(a.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries, _ := reopened.List(); len(entries) != 2 {
+		t.Errorf("migrated archive lists %d entries, want 2", len(entries))
 	}
 }
 
 func TestCorruptIndexRejected(t *testing.T) {
-	a := open(t)
-	a.Put(testRun("fp", "s", 100))
-	if err := os.WriteFile(a.indexPath(), []byte("not an index\n"), 0o644); err != nil {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "index"), []byte("not an index\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := a.List(); err == nil || !strings.Contains(err.Error(), "index") {
+	if _, err := Open(dir); err == nil || !strings.Contains(err.Error(), "index") {
 		t.Errorf("corrupt index not detected: %v", err)
 	}
 }

@@ -195,6 +195,48 @@ func ReadRun(r io.Reader) (*Run, error) { return core.ReadRun(r) }
 // OpenArchive opens (creating if needed) the run archive at dir.
 func OpenArchive(dir string) (*Archive, error) { return store.Open(dir) }
 
+// Re-exported incremental-export types (see internal/core,
+// internal/store): a long-lived recorder ships Delta envelopes — only
+// the buckets that changed since its last export — and the batched
+// ingest service coalesces them; replaying a delta chain in order
+// rebuilds the full run byte-identically.
+type (
+	// Delta is one incremental run envelope of a delta chain.
+	Delta = core.Delta
+
+	// RunEnvelope is one envelope of a concatenated stream: a full run
+	// or a delta.
+	RunEnvelope = core.Envelope
+
+	// RunEnvelopeReader iterates a stream of concatenated envelopes.
+	RunEnvelopeReader = core.EnvelopeReader
+
+	// PutResult is one run's outcome in a batched archive write.
+	PutResult = store.PutResult
+)
+
+// ErrCounterOverflow reports that merging or applying a delta would
+// overflow a histogram counter; the receiver is left untouched.
+var ErrCounterOverflow = core.ErrCounterOverflow
+
+// DeltaOf computes the incremental envelope that advances prev to cur
+// (prev nil means the whole of cur), stamped with chain position seq.
+func DeltaOf(prev, cur *Run, seq int) (*Delta, error) { return core.DeltaOf(prev, cur, seq) }
+
+// MergeRun folds src's histograms into dst transactionally: on any
+// error (mismatched fingerprints, counter overflow) dst is unchanged.
+func MergeRun(dst, src *Run) error { return core.MergeRun(dst, src) }
+
+// WriteDelta serializes a delta envelope.
+func WriteDelta(w io.Writer, d *Delta) error { return core.WriteDelta(w, d) }
+
+// ReadDelta parses a delta envelope serialized by WriteDelta.
+func ReadDelta(r io.Reader) (*Delta, error) { return core.ReadDelta(r) }
+
+// NewRunEnvelopeReader reads a stream of concatenated run and delta
+// envelopes (the batched /v1/ingest wire format).
+func NewRunEnvelopeReader(r io.Reader) *RunEnvelopeReader { return core.NewEnvelopeReader(r) }
+
 // NewDiff returns a differential-analysis engine with the standard
 // selector (EMD scoring, the paper's recommended metric).
 func NewDiff() *DiffEngine { return diff.New() }

@@ -134,10 +134,15 @@ func cmdServe(rest []string, archiveDir, addr string, drain time.Duration,
 	return 0
 }
 
-// cmdArchive implements `osprof archive list|gc`.
-func cmdArchive(rest []string, archiveDir string, keep int, jsonOut bool, stdout, stderr io.Writer) int {
+// cmdArchive implements `osprof archive list|gc`. The list subcommand
+// mirrors GET /v1/runs' cursor paging: -limit bounds the page, -after
+// resumes past a previous page's last sequence number; without either
+// flag the full listing (and its JSON document) is byte-identical to
+// before paging existed.
+func cmdArchive(rest []string, archiveDir string, keep, limit, after int,
+	jsonOut bool, stdout, stderr io.Writer) int {
 	if len(rest) != 1 || (rest[0] != "list" && rest[0] != "gc") {
-		fmt.Fprintln(stderr, "osprof: usage: osprof archive list | osprof archive gc [-keep N]")
+		fmt.Fprintln(stderr, "osprof: usage: osprof archive list [-limit N] [-after SEQ] | osprof archive gc [-keep N]")
 		return 2
 	}
 	arch, err := store.Open(archiveDir)
@@ -147,6 +152,33 @@ func cmdArchive(rest []string, archiveDir string, keep int, jsonOut bool, stdout
 	}
 	switch rest[0] {
 	case "list":
+		if limit < 0 || after < 0 {
+			fmt.Fprintln(stderr, "osprof: archive list needs -limit >= 0 and -after >= 0")
+			return 2
+		}
+		if limit > 0 || after > 0 {
+			entries, more, err := arch.ListPage(after, limit)
+			if err != nil {
+				fmt.Fprintf(stderr, "osprof: %v\n", err)
+				return 2
+			}
+			if jsonOut {
+				if err := report.JSON(stdout, report.RunPage(entries, more)); err != nil {
+					fmt.Fprintf(stderr, "osprof: %v\n", err)
+					return 2
+				}
+				return 0
+			}
+			for _, e := range entries {
+				fmt.Fprintf(stdout, "run %-4d %.12s fingerprint=%.12s %s\n",
+					e.Seq, e.ID, orDash(e.Fingerprint), e.Name)
+			}
+			if more && len(entries) > 0 {
+				fmt.Fprintf(stdout, "more runs follow: resume with -after %d\n",
+					entries[len(entries)-1].Seq)
+			}
+			return 0
+		}
 		entries, err := arch.List()
 		if err != nil {
 			fmt.Fprintf(stderr, "osprof: %v\n", err)

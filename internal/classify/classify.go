@@ -39,6 +39,7 @@ import (
 	"osprof/internal/analysis"
 	"osprof/internal/core"
 	"osprof/internal/store"
+	"osprof/internal/summary"
 )
 
 // Schema versions the JSON shape of Report so downstream tooling
@@ -61,10 +62,23 @@ type Centroid struct {
 	Runs int
 
 	merged *core.Set
+
+	// sum memoizes the merged set's summary digest for the prefilter
+	// (built once per centroid by BuildCorpus; centroids are immutable
+	// after construction).
+	sum *summary.SetSummary
 }
 
 // Set returns the centroid's merged profile set.
 func (c *Centroid) Set() *core.Set { return c.merged }
+
+// Summary returns the centroid's memoized summary digest.
+func (c *Centroid) Summary() *summary.SetSummary {
+	if c.sum == nil {
+		c.sum = summary.OfSet(c.merged, 0)
+	}
+	return c.sum
+}
 
 // Corpus is a labeled reference corpus ready for classification.
 type Corpus struct {
@@ -120,7 +134,9 @@ func BuildCorpus(runs []*core.Run) (*Corpus, error) {
 	sort.Strings(order)
 	corpus := &Corpus{R: r}
 	for _, label := range order {
-		corpus.Centroids = append(corpus.Centroids, byLabel[label])
+		ct := byLabel[label]
+		ct.sum = summary.OfSet(ct.merged, 0)
+		corpus.Centroids = append(corpus.Centroids, ct)
 	}
 	return corpus, nil
 }
@@ -151,11 +167,37 @@ type Classifier struct {
 	// Evidence caps the per-operation evidence rows (default 5).
 	Evidence int
 
+	// Prefilter, when positive, bounds the expensive per-operation EMD
+	// evaluation: centroids are first ranked by cheap summary distance
+	// (summary.SetDistance, same weighting and one-sided conventions
+	// as the EMD distance), and the full EMD runs only against the top
+	// Prefilter candidates plus every centroid whose summary distance
+	// falls inside the abstention window of the best (the absolute
+	// MaxDistance slack and the relative MinMargin band). The
+	// remaining ranking entries carry their summary estimate, flagged
+	// Estimated; Label, Distance and the abstention decision only
+	// ever come from exact EMD entries. Margin is measured against
+	// the nearest ESCALATED runner-up — it can exceed the exhaustive
+	// margin when the true runner-up is pruned, so it stays honest in
+	// the direction that matters (a below-threshold margin always
+	// abstains) while the leave-one-seed-out cross-validation pins
+	// prefiltered labels and abstention decisions bit-identical to
+	// the full evaluation. 0 (the default) disables pre-filtering.
+	Prefilter int
+
 	// scratch buffers for normalized histograms, reused across calls.
 	histU, histC []float64
 	ops          []string
 	seen         map[string]bool
+	sum          summary.SetSummary // unknown-run digest for the prefilter
 }
+
+// DefaultPrefilter is the Prefilter setting used by the service and
+// bench paths: full EMD against the top 5 summary-ranked centroids
+// (plus the abstention window). Calibrated against the crossval
+// corpus, where the exact-nearest centroid never ranks worse than
+// 4th by summary distance; 5 leaves a rank of slack.
+const DefaultPrefilter = 5
 
 // New returns a classifier with the default abstention thresholds.
 func New() *Classifier {
@@ -167,6 +209,11 @@ type LabelDistance struct {
 	Label    string  `json:"label"`
 	Distance float64 `json:"distance"`
 	Runs     int     `json:"runs"`
+
+	// Estimated marks a prefiltered entry whose Distance is the cheap
+	// summary estimate, not the exact per-operation EMD (never set on
+	// the entries the verdict was decided from).
+	Estimated bool `json:"estimated,omitempty"`
 }
 
 // OpEvidence names one operation's contribution to separating the best
@@ -268,10 +315,21 @@ func (c *Classifier) Identify(corpus *Corpus, run *core.Run) *Report {
 		return rep
 	}
 
-	// One per-op breakdown per centroid, retained so the evidence pass
-	// reuses the top-2 labels' EMDs instead of recomputing them.
+	// With the prefilter on, rank centroids by cheap summary distance
+	// first and mark which ones deserve the exact per-op EMD.
+	escalate := c.prefilter(corpus, run)
+
+	// One per-op breakdown per escalated centroid, retained so the
+	// evidence pass reuses the top-2 labels' EMDs instead of
+	// recomputing them.
 	breakdowns := make(map[string][]opDistance, len(corpus.Centroids))
-	for _, ct := range corpus.Centroids {
+	for i, ct := range corpus.Centroids {
+		if escalate != nil && !escalate[i].exact {
+			rep.Ranking = append(rep.Ranking, LabelDistance{
+				Label: ct.Label, Distance: escalate[i].sd, Runs: ct.Runs, Estimated: true,
+			})
+			continue
+		}
 		ods := c.distanceOps(run.Set, ct)
 		breakdowns[ct.Label] = ods
 		rep.Ranking = append(rep.Ranking, LabelDistance{
@@ -286,12 +344,26 @@ func (c *Classifier) Identify(corpus *Corpus, run *core.Run) *Report {
 		return a.Label < b.Label
 	})
 
-	best := rep.Ranking[0]
+	// The verdict comes from the two nearest EXACT entries: estimates
+	// order the long tail of the ranking but never decide.
+	bi, ri := -1, -1
+	for i := range rep.Ranking {
+		if rep.Ranking[i].Estimated {
+			continue
+		}
+		if bi < 0 {
+			bi = i
+		} else {
+			ri = i
+			break
+		}
+	}
+	best := rep.Ranking[bi]
 	rep.Label = best.Label
 	rep.Distance = best.Distance
 	rep.Margin = 1
-	if len(rep.Ranking) > 1 {
-		d1, d2 := best.Distance, rep.Ranking[1].Distance
+	if ri >= 0 {
+		d1, d2 := best.Distance, rep.Ranking[ri].Distance
 		if d2 > 0 {
 			rep.Margin = (d2 - d1) / d2
 		} else {
@@ -303,21 +375,73 @@ func (c *Classifier) Identify(corpus *Corpus, run *core.Run) *Report {
 	case rep.Distance > c.MaxDistance:
 		rep.Reason = fmt.Sprintf("nearest label %q at distance %.4g exceeds max %.4g: configuration absent from the corpus",
 			rep.Label, rep.Distance, c.MaxDistance)
-	case len(rep.Ranking) > 1 && rep.Margin < c.MinMargin:
+	case ri >= 0 && rep.Margin < c.MinMargin:
 		rep.Reason = fmt.Sprintf("ambiguous: runner-up %q margin %.4g below min %.4g",
-			rep.Ranking[1].Label, rep.Margin, c.MinMargin)
+			rep.Ranking[ri].Label, rep.Margin, c.MinMargin)
 	default:
 		rep.Matched = true
 		rep.Reason = fmt.Sprintf("distance %.4g within max %.4g, margin %.4g over min %.4g",
 			rep.Distance, c.MaxDistance, rep.Margin, c.MinMargin)
 	}
 
-	if len(rep.Ranking) > 1 {
+	if ri >= 0 {
 		rep.Evidence = c.evidence(
-			breakdowns[rep.Ranking[0].Label], breakdowns[rep.Ranking[1].Label],
-			rep.Ranking[0].Label, rep.Ranking[1].Label)
+			breakdowns[rep.Ranking[bi].Label], breakdowns[rep.Ranking[ri].Label],
+			rep.Ranking[bi].Label, rep.Ranking[ri].Label)
 	}
 	return rep
+}
+
+// candidate is one centroid's prefilter state.
+type candidate struct {
+	sd    float64 // summary distance to the unknown
+	exact bool    // run the full per-op EMD
+}
+
+// prefilter ranks the corpus by summary distance and selects the
+// centroids that get the exact evaluation: the top Prefilter (at least
+// two, so a margin always exists) plus every centroid inside the
+// abstention window of the summary-best — anything within the absolute
+// MaxDistance slack or the relative MinMargin band. Returns nil
+// (evaluate everything) when the prefilter is off or the corpus is no
+// larger than the escalation set anyway.
+func (c *Classifier) prefilter(corpus *Corpus, run *core.Run) []candidate {
+	k := c.Prefilter
+	if k <= 0 {
+		return nil
+	}
+	if k < 2 {
+		k = 2
+	}
+	if len(corpus.Centroids) <= k {
+		return nil
+	}
+	c.sum.From(run.Set, 0)
+	cands := make([]candidate, len(corpus.Centroids))
+	order := make([]int, len(corpus.Centroids))
+	for i, ct := range corpus.Centroids {
+		cands[i] = candidate{sd: summary.SetDistance(&c.sum, ct.Summary())}
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool {
+		a, b := cands[order[x]], cands[order[y]]
+		if a.sd != b.sd {
+			return a.sd < b.sd
+		}
+		return corpus.Centroids[order[x]].Label < corpus.Centroids[order[y]].Label
+	})
+	window := cands[order[0]].sd + c.MaxDistance
+	if c.MinMargin > 0 && c.MinMargin < 1 {
+		if rel := cands[order[0]].sd / (1 - c.MinMargin); rel > window {
+			window = rel
+		}
+	}
+	for rank, idx := range order {
+		if rank < k || cands[idx].sd <= window {
+			cands[idx].exact = true
+		}
+	}
+	return cands
 }
 
 // distance folds a per-operation breakdown into the

@@ -1,0 +1,150 @@
+package classify_test
+
+import (
+	"strings"
+	"testing"
+
+	"osprof/internal/classify"
+	"osprof/internal/scenario"
+	"osprof/internal/store"
+)
+
+// This file is the parity gate for classifier pre-filtering: across the
+// leave-one-seed-out corpus AND the foreign-configuration abstention
+// probes, a classifier that ranks centroids by summary distance and
+// runs the per-op EMD only against the escalated candidates must
+// produce verdicts bit-identical to the exhaustive classifier — same
+// label, same exact best distance, same abstention decision (matched,
+// absent-from-corpus, or ambiguous). Margins are NOT required to be
+// identical: the prefiltered margin is measured against the nearest
+// escalated runner-up and may exceed the exhaustive margin when the
+// true runner-up is pruned (see the Prefilter field doc); the gate
+// pins that this never flips a decision. It also proves the prefilter
+// genuinely fires (some ranking entries are estimates) so the gate is
+// not vacuous.
+
+// reasonKind collapses a report's reason string to its decision class.
+func reasonKind(rep *classify.Report) string {
+	switch {
+	case rep.Matched:
+		return "matched"
+	case strings.HasPrefix(rep.Reason, "ambiguous"):
+		return "ambiguous"
+	default:
+		return "absent"
+	}
+}
+
+func TestPrefilterCrossValidationParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("records the full corpus three times")
+	}
+	arch, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recordCorpusInto(t, arch, 1)
+	recordCorpusInto(t, arch, 2)
+	corpus, _, err := classify.FromArchive(arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus.Centroids) <= classify.DefaultPrefilter {
+		t.Fatalf("corpus too small (%d centroids) to exercise the prefilter", len(corpus.Centroids))
+	}
+
+	full := classify.New()
+	fast := classify.New()
+	fast.Prefilter = classify.DefaultPrefilter
+
+	// Held-out corpus members (must match) plus the foreign probes
+	// (must abstain): both directions of the verdict are covered.
+	probes := scenario.Variants(5)
+	for _, spec := range scenario.Matrix(5) {
+		if spec.Name == "ext2/readzero" || spec.Name == "ext2/randomread" {
+			probes = append(probes, spec)
+		}
+	}
+
+	estimated := 0
+	for _, spec := range probes {
+		run := heldOutRun(t, spec)
+		want := full.Identify(corpus, run)
+		got := fast.Identify(corpus, run)
+		if got.Matched != want.Matched || got.Label != want.Label {
+			t.Errorf("%s: prefiltered verdict %v/%q, full verdict %v/%q",
+				spec.Name, got.Matched, got.Label, want.Matched, want.Label)
+		}
+		if got.Distance != want.Distance {
+			t.Errorf("%s: prefiltered d=%.6g, full d=%.6g", spec.Name, got.Distance, want.Distance)
+		}
+		if reasonKind(got) != reasonKind(want) {
+			t.Errorf("%s: prefiltered decision %q (%s), full decision %q (%s)",
+				spec.Name, reasonKind(got), got.Reason, reasonKind(want), want.Reason)
+		}
+		if len(got.Ranking) != len(want.Ranking) {
+			t.Errorf("%s: prefiltered ranking covers %d labels, full %d",
+				spec.Name, len(got.Ranking), len(want.Ranking))
+		}
+		exact := 0
+		for _, ld := range got.Ranking {
+			if ld.Estimated {
+				estimated++
+			} else {
+				exact++
+			}
+		}
+		if exact >= len(got.Ranking) {
+			t.Errorf("%s: prefilter escalated every centroid (%d), gate is vacuous", spec.Name, exact)
+		}
+		// The decisive pair must be exact: best and runner-up entries
+		// in the report are never estimates.
+		seen := 0
+		for _, ld := range got.Ranking {
+			if ld.Estimated {
+				continue
+			}
+			if seen == 0 && (ld.Label != got.Label || ld.Distance != got.Distance) {
+				t.Errorf("%s: verdict label %q d=%.6g disagrees with nearest exact entry %q d=%.6g",
+					spec.Name, got.Label, got.Distance, ld.Label, ld.Distance)
+			}
+			seen++
+			if seen == 2 {
+				break
+			}
+		}
+		if seen < 2 {
+			t.Errorf("%s: fewer than two exact entries: no margin evidence", spec.Name)
+		}
+	}
+	if estimated == 0 {
+		t.Fatal("prefilter never produced an estimate: parity gate is vacuous")
+	}
+}
+
+// A corpus no larger than the escalation set disables the prefilter:
+// every entry stays exact and the report is byte-identical to the
+// exhaustive classifier's.
+func TestPrefilterSmallCorpusIsExact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("records labeled runs through the archive")
+	}
+	arch, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recordCorpusInto(t, arch, 1)
+	corpus, _, err := classify.FromArchive(arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := classify.New()
+	c.Prefilter = len(corpus.Centroids) // escalation set covers everything
+	run := heldOutRun(t, scenario.Variants(3)[0])
+	rep := c.Identify(corpus, run)
+	for _, ld := range rep.Ranking {
+		if ld.Estimated {
+			t.Errorf("centroid %q estimated despite prefilter covering the corpus", ld.Label)
+		}
+	}
+}

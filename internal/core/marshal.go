@@ -64,9 +64,13 @@ func ReadSet(r io.Reader) (*Set, error) {
 }
 
 // newScanner builds the line scanner shared by ReadSet and ReadRun.
+// The initial buffer is sized for a typical envelope line (tens of
+// bytes); bufio.Scanner grows it on demand up to the 4 MiB cap, so
+// long lines still parse while the steady-state ingest path does not
+// pay a 64 KiB allocation per envelope.
 func newScanner(r io.Reader) *bufio.Scanner {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	sc.Buffer(make([]byte, 4096), 1<<22)
 	return sc
 }
 
@@ -120,35 +124,44 @@ func readSetAs(line string, sc *bufio.Scanner, lineno *int, header string) (*Set
 				return nil, fmt.Errorf("osprof: line %d: %w", *lineno, err)
 			}
 			cur = s.Get(op)
-			fields := strings.Fields(rest)
-			if len(fields) != 4 {
-				return nil, fmt.Errorf("osprof: line %d: want 4 op fields, got %d",
-					*lineno, len(fields))
-			}
-			for i, key := range []string{"count", "total", "min", "max"} {
-				v, err := parseKV(fields[i], key)
+			var vals [4]uint64
+			for i, key := range opKeys {
+				var field string
+				field, rest = nextField(rest)
+				if field == "" {
+					return nil, fmt.Errorf("osprof: line %d: want 4 op fields, got %d",
+						*lineno, i)
+				}
+				v, err := parseKV(field, key)
 				if err != nil {
 					return nil, fmt.Errorf("osprof: line %d: %w", *lineno, err)
 				}
-				switch key {
-				case "count":
-					cur.Count = v
-				case "total":
-					cur.Total = v
-				case "min":
-					cur.Min = v
-				case "max":
-					cur.Max = v
-				}
+				vals[i] = v
 			}
+			if f, _ := nextField(rest); f != "" {
+				return nil, fmt.Errorf("osprof: line %d: trailing op field %q", *lineno, f)
+			}
+			cur.Count, cur.Total, cur.Min, cur.Max = vals[0], vals[1], vals[2], vals[3]
 		case strings.HasPrefix(line, "b "):
 			if cur == nil {
 				return nil, fmt.Errorf("osprof: line %d: bucket before op", *lineno)
 			}
-			var b int
-			var c uint64
-			if _, err := fmt.Sscanf(line, "b %d %d", &b, &c); err != nil {
-				return nil, fmt.Errorf("osprof: line %d: %w", *lineno, err)
+			bs, brest := nextField(line[2:])
+			cs, brest := nextField(brest)
+			if cs == "" {
+				return nil, fmt.Errorf("osprof: line %d: want \"b <bucket> <count>\", got %q",
+					*lineno, line)
+			}
+			if f, _ := nextField(brest); f != "" {
+				return nil, fmt.Errorf("osprof: line %d: trailing bucket field %q", *lineno, f)
+			}
+			b, err := strconv.Atoi(bs)
+			if err != nil {
+				return nil, fmt.Errorf("osprof: line %d: bucket: %w", *lineno, err)
+			}
+			c, err := strconv.ParseUint(cs, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("osprof: line %d: bucket count: %w", *lineno, err)
 			}
 			if b < 0 || b >= len(cur.Buckets) {
 				return nil, fmt.Errorf("osprof: line %d: bucket %d out of range", *lineno, b)
@@ -170,6 +183,22 @@ func readSetAs(line string, sc *bufio.Scanner, lineno *int, header string) (*Set
 		return nil, err
 	}
 	return s, nil
+}
+
+// opKeys is the fixed field order of an op line; hoisted so the parser
+// does not allocate the slice per line.
+var opKeys = [...]string{"count", "total", "min", "max"}
+
+// nextField returns the first space-delimited field of in and the
+// remainder, skipping leading whitespace — strings.Fields without the
+// per-line slice allocation.
+func nextField(in string) (field, rest string) {
+	in = strings.TrimLeft(in, " \t")
+	i := strings.IndexAny(in, " \t")
+	if i < 0 {
+		return in, ""
+	}
+	return in[:i], in[i:]
 }
 
 // parseQuoted extracts a leading %q-quoted string and returns the rest.

@@ -15,6 +15,7 @@ import (
 
 	"osprof/internal/analysis"
 	"osprof/internal/core"
+	"osprof/internal/summary"
 )
 
 // Schema versions the JSON shape of Report and MatrixReport so
@@ -118,16 +119,44 @@ func (r *Report) ChangedOps() []OpDiff {
 type Engine struct {
 	// Selector is the three-phase pair analysis configuration.
 	Selector *analysis.Selector
+
+	// Guard enables the summary-first fast path: when positive, Sets
+	// first compares the two sets' alloc-free summary digests and
+	// skips the full selector entirely when every operation pair is
+	// summary-close — identical histograms, or same structure (mode,
+	// span, filled buckets) with every sampled quantile within Guard
+	// fractional buckets (summary.WithinGuard). Any operation outside
+	// the band escalates the WHOLE pair to the full analysis, so every
+	// escalated verdict is bit-identical to the always-full path. The
+	// zero value (New) disables the fast path.
+	Guard float64
+
+	// sumA, sumB are the fast path's reusable summary scratch.
+	sumA, sumB summary.SetSummary
 }
 
 // New returns an engine with the repository's default selector (EMD,
-// the paper's recommended metric).
+// the paper's recommended metric) and no summary fast path.
 func New() *Engine {
 	return &Engine{Selector: analysis.DefaultSelector()}
 }
 
+// NewSummaryFirst returns an engine that screens every pair with the
+// calibrated summary guard band before running the full differential
+// analysis — the service and bench configuration. The parity tests pin
+// its verdicts against New across the scenario matrix, fault corpus
+// included.
+func NewSummaryFirst() *Engine {
+	return &Engine{Selector: analysis.DefaultSelector(), Guard: summary.DefaultGuard}
+}
+
 // Sets runs the differential analysis over two profile sets.
 func (e *Engine) Sets(a, b *core.Set) *Report {
+	if e.Guard > 0 {
+		if rep, ok := e.summaryFast(a, b); ok {
+			return rep
+		}
+	}
 	rep := &Report{Schema: Schema, NameA: a.Name, NameB: b.Name}
 	for _, pr := range e.Selector.Compare(a, b) {
 		d := e.classify(pr)
@@ -200,6 +229,79 @@ func (e *Engine) classify(r analysis.PairReport) OpDiff {
 		d.Detail = fmt.Sprintf("score %.3g over threshold", r.Score)
 	}
 	return d
+}
+
+// summaryFast is the summary-first screen: extract both sets' digests
+// (alloc-free after warmup) and, when every operation pair sits inside
+// the guard band, emit an all-unchanged report without touching the
+// selector. ok is false when anything — a one-sided operation, a
+// resolution mismatch, any structural or quantile movement — requires
+// the full analysis; the caller then runs the always-full path, so a
+// fast-path miss costs one cheap digest walk, never a wrong verdict.
+func (e *Engine) summaryFast(a, b *core.Set) (*Report, bool) {
+	if a == nil || b == nil || a.R != b.R {
+		return nil, false
+	}
+	e.sumA.From(a, 0)
+	e.sumB.From(b, 0)
+	sa, sb := e.sumA.Ops, e.sumB.Ops
+
+	// Pass 1: every union operation must be within the guard band. An
+	// op present on one side only passes only when empty on the other
+	// (the selector's own "recorded zero times" skip); mass against
+	// absence is new-op/missing-op and escalates.
+	i, j := 0, 0
+	for i < len(sa) || j < len(sb) {
+		switch {
+		case j >= len(sb) || (i < len(sa) && sa[i].Op < sb[j].Op):
+			if sa[i].Count > 0 {
+				return nil, false
+			}
+			i++
+		case i >= len(sa) || sb[j].Op < sa[i].Op:
+			if sb[j].Count > 0 {
+				return nil, false
+			}
+			j++
+		default:
+			if !summary.WithinGuard(sa[i], sb[j], e.Guard) {
+				return nil, false
+			}
+			i++
+			j++
+		}
+	}
+
+	// Pass 2: everything within the band — emit the all-unchanged
+	// report (op order is sorted; with no changed ops the full path's
+	// ranking degenerates to the same order for summary-equal rows).
+	rep := &Report{Schema: Schema, NameA: a.Name, NameB: b.Name}
+	row := func(x, y *summary.Summary) {
+		d := OpDiff{Verdict: Unchanged, Detail: "summaries within guard band"}
+		if x != nil {
+			d.Op, d.CountA, d.TotalA = x.Op, x.Count, x.Total
+		}
+		if y != nil {
+			d.Op, d.CountB, d.TotalB = y.Op, y.Count, y.Total
+		}
+		rep.Ops = append(rep.Ops, d)
+	}
+	i, j = 0, 0
+	for i < len(sa) || j < len(sb) {
+		switch {
+		case j >= len(sb) || (i < len(sa) && sa[i].Op < sb[j].Op):
+			row(&sa[i], nil)
+			i++
+		case i >= len(sa) || sb[j].Op < sa[i].Op:
+			row(nil, &sb[j])
+			j++
+		default:
+			row(&sa[i], &sb[j])
+			i++
+			j++
+		}
+	}
+	return rep, true
 }
 
 func moved(shifts []int) bool {

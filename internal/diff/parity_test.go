@@ -1,0 +1,174 @@
+package diff_test
+
+import (
+	"fmt"
+	"testing"
+
+	"osprof/internal/core"
+	"osprof/internal/diff"
+	"osprof/internal/experiments"
+	"osprof/internal/fault"
+	"osprof/internal/scenario"
+	"osprof/internal/summary"
+)
+
+// This file is the parity gate for the summary-first fast path: across
+// the whole scenario matrix — healthy runs, cross-seed reruns, the
+// kernel-config variants, and fault-injected twins — the guard-band
+// engine (NewSummaryFirst) must produce verdicts bit-identical to the
+// always-full-EMD engine (New). It also pins the escalation-soundness
+// invariant from the other side: every operation the full analysis
+// flags must itself cross the summary guard band, so the calibrated
+// DefaultGuard can never hide a regression.
+
+// recordSets runs every spec and returns the profile sets by name.
+func recordSets(t *testing.T, specs []scenario.Spec) map[string]*core.Set {
+	t.Helper()
+	out := make(map[string]*core.Set, len(specs))
+	for _, spec := range specs {
+		r := experiments.RecordScenario(spec)
+		if r.Err != nil {
+			t.Fatalf("record %s: %v", spec.Name, r.Err)
+		}
+		out[spec.Name] = r.Stack.Set
+	}
+	return out
+}
+
+// parityPair holds one comparison of the scenario-pair corpus.
+type parityPair struct {
+	kind string
+	a, b *core.Set
+}
+
+// parityCorpus builds the pair corpus: identical self-pairs, same-
+// scenario cross-seed pairs, healthy-vs-fault-injected twins, and
+// cross-scenario pairs (guaranteed regressions).
+func parityCorpus(t *testing.T) []parityPair {
+	t.Helper()
+	specs1 := append(scenario.Matrix(1), scenario.Variants(1)...)
+	specs2 := append(scenario.Matrix(2), scenario.Variants(2)...)
+	setsA := recordSets(t, specs1)
+	setsB := recordSets(t, specs2)
+
+	var pairs []parityPair
+	names := make([]string, 0, len(specs1))
+	for _, spec := range specs1 {
+		names = append(names, spec.Name)
+	}
+	for i, name := range names {
+		pairs = append(pairs,
+			parityPair{"self/" + name, setsA[name], setsA[name]},
+			parityPair{"seed/" + name, setsA[name], setsB[name]},
+		)
+		if next := names[(i+1)%len(names)]; next != name {
+			pairs = append(pairs, parityPair{"cross/" + name, setsA[name], setsA[next]})
+		}
+	}
+	// Fault-injected twins of the matrix scenarios: the degraded-state
+	// corpus the watch layer verdicts against.
+	for _, preset := range []string{"disk-flaky", "cache-thrash"} {
+		for _, spec := range scenario.Matrix(1) {
+			spec := spec
+			var ok bool
+			spec.Injections, ok = fault.Preset(preset)
+			if !ok {
+				t.Fatalf("unknown fault preset %q", preset)
+			}
+			r := experiments.RecordScenario(spec)
+			if r.Err != nil {
+				t.Fatalf("record %s+%s: %v", spec.Name, preset, r.Err)
+			}
+			pairs = append(pairs, parityPair{
+				fmt.Sprintf("fault/%s/%s", preset, spec.Name),
+				setsA[spec.Name], r.Stack.Set,
+			})
+		}
+	}
+	return pairs
+}
+
+func TestSummaryFirstVerdictParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("records the scenario matrix at two seeds plus fault twins")
+	}
+	full := diff.New()
+	fast := diff.NewSummaryFirst()
+	pairs := parityCorpus(t)
+	if len(pairs) < 40 {
+		t.Fatalf("pair corpus too small: %d", len(pairs))
+	}
+	flagged := 0
+	for _, pr := range pairs {
+		want := full.Sets(pr.a, pr.b)
+		got := fast.Sets(pr.a, pr.b)
+		flagged += want.Changed
+		if got.Changed != want.Changed {
+			t.Errorf("%s: fast Changed=%d, full Changed=%d", pr.kind, got.Changed, want.Changed)
+		}
+		wantV := make(map[string]diff.Verdict, len(want.Ops))
+		for _, d := range want.Ops {
+			wantV[d.Op] = d.Verdict
+		}
+		if len(got.Ops) != len(want.Ops) {
+			t.Errorf("%s: fast covers %d ops, full %d", pr.kind, len(got.Ops), len(want.Ops))
+			continue
+		}
+		for _, d := range got.Ops {
+			if v, ok := wantV[d.Op]; !ok || v != d.Verdict {
+				t.Errorf("%s/%s: fast verdict %q, full verdict %q", pr.kind, d.Op, d.Verdict, v)
+			}
+		}
+	}
+	// The corpus must genuinely exercise both directions: plenty of
+	// flagged regressions (fault twins, cross-scenario pairs) and
+	// plenty of clean pairs (self and cross-seed).
+	if flagged == 0 {
+		t.Fatal("pair corpus flagged nothing: parity gate is vacuous")
+	}
+}
+
+func TestEscalationSoundness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("records the scenario matrix at two seeds plus fault twins")
+	}
+	full := diff.New()
+	for _, pr := range parityCorpus(t) {
+		rep := full.Sets(pr.a, pr.b)
+		for _, d := range rep.Ops {
+			if !d.Verdict.Changed() {
+				continue
+			}
+			sa := summary.Of(pr.a.Lookup(d.Op))
+			sb := summary.Of(pr.b.Lookup(d.Op))
+			if summary.WithinGuard(sa, sb, summary.DefaultGuard) {
+				t.Errorf("%s/%s: flagged %q but summaries sit inside the guard band",
+					pr.kind, d.Op, d.Verdict)
+			}
+		}
+	}
+}
+
+func TestSummaryFastPathTaken(t *testing.T) {
+	// The fast path must actually fire for identical sets: an engine
+	// with an impossible selector would loop forever... instead prove
+	// it cheaply: the fast report carries the fast-path detail string.
+	set := experiments.RecordScenario(scenario.Matrix(1)[0]).Stack.Set
+	rep := diff.NewSummaryFirst().Sets(set, set)
+	if rep.Changed != 0 || len(rep.Ops) == 0 {
+		t.Fatalf("self-diff: %+v", rep)
+	}
+	for _, d := range rep.Ops {
+		if d.Detail != "summaries within guard band" {
+			t.Fatalf("op %s took the slow path: %q", d.Op, d.Detail)
+		}
+	}
+	// The default engine must NOT take it (goldens elsewhere pin the
+	// full path's details).
+	rep = diff.New().Sets(set, set)
+	for _, d := range rep.Ops {
+		if d.Detail == "summaries within guard band" {
+			t.Fatalf("default engine took the fast path on op %s", d.Op)
+		}
+	}
+}

@@ -28,12 +28,16 @@ func JSON(w io.Writer, v any) error {
 	return enc.Encode(v)
 }
 
-// RunEntry is the JSON shape of one archived run.
+// RunEntry is the JSON shape of one archived run. Summary is the
+// opt-in triage column (GET /v1/runs?summary=1); plain listings omit
+// it, so existing documents are byte-identical.
 type RunEntry struct {
 	Seq         int    `json:"seq"`
 	ID          string `json:"id"`
 	Fingerprint string `json:"fingerprint,omitempty"`
 	Name        string `json:"name"`
+
+	Summary *RunSummary `json:"summary,omitempty"`
 }
 
 // RunListDoc is the archive listing document. A paged listing (the

@@ -15,6 +15,7 @@ import (
 	"osprof/internal/analysis"
 	"osprof/internal/core"
 	"osprof/internal/cycles"
+	"osprof/internal/summary"
 )
 
 // Options controls histogram rendering.
@@ -32,6 +33,10 @@ type Options struct {
 	// default; a positive `Labels bool` could never be disabled
 	// because withDefaults forced it back to true.)
 	NoLabels bool
+
+	// Quantiles adds the streaming-summary quantile line (p50..p999,
+	// interpolated latencies) under each histogram header.
+	Quantiles bool
 }
 
 func (o Options) withDefaults() Options {
@@ -73,6 +78,14 @@ func Profile(w io.Writer, p *core.Profile, o Options) {
 
 	fmt.Fprintf(w, "%s  n=%d mean=%s\n", strings.ToUpper(p.Op), p.Count,
 		cycles.Format(p.Mean()))
+	if o.Quantiles && p.Count > 0 {
+		s := summary.Of(p)
+		fmt.Fprint(w, "     ")
+		for i, name := range summary.LevelNames {
+			fmt.Fprintf(w, " %s=%s", name, cycles.Format(s.QLatency[i]))
+		}
+		fmt.Fprintln(w)
+	}
 	if !o.NoLabels {
 		fmt.Fprint(w, "      ")
 		for b := lo; b <= hi; b++ {

@@ -1,0 +1,150 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"osprof/internal/cycles"
+	"osprof/internal/summary"
+)
+
+// This file renders the streaming summary tier (internal/summary) for
+// humans and machines: the osprof-summary/v1 JSON document served by
+// GET /v1/summary and `osprof summary -json`, its text rendering, and
+// the compact per-run summary column the archive listing can carry.
+
+// SummarySchema versions the summary document.
+const SummarySchema = "osprof-summary/v1"
+
+// SummaryOpDoc is one operation's digest on the wire: the quantile
+// surface in cycles plus the structural features. The whole-set rollup
+// uses the operation name "*".
+type SummaryOpDoc struct {
+	Op    string `json:"op"`
+	Count uint64 `json:"count"`
+	Total uint64 `json:"total"`
+	Min   uint64 `json:"min,omitempty"`
+	Max   uint64 `json:"max,omitempty"`
+
+	// ModeBucket is the most populated bucket (-1 when empty), Buckets
+	// the populated-bucket count, Peaks the distribution's mode count
+	// under the analysis package's default segmentation.
+	ModeBucket int `json:"mode_bucket"`
+	Buckets    int `json:"buckets"`
+	Peaks      int `json:"peaks"`
+
+	// The sampled quantiles, interpolated to latencies in cycles.
+	P50  uint64 `json:"p50"`
+	P90  uint64 `json:"p90"`
+	P95  uint64 `json:"p95"`
+	P99  uint64 `json:"p99"`
+	P999 uint64 `json:"p999"`
+}
+
+// SummaryDoc is the osprof-summary/v1 document: one run's set digest.
+type SummaryDoc struct {
+	Schema      string `json:"schema"`
+	ID          string `json:"id,omitempty"` // run content address
+	Name        string `json:"name"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+	R           int    `json:"r"`
+
+	Overall SummaryOpDoc   `json:"overall"`
+	Ops     []SummaryOpDoc `json:"ops"`
+
+	// The hottest operations by count and by total latency, hottest
+	// first.
+	HotByCount   []string `json:"hot_by_count,omitempty"`
+	HotByLatency []string `json:"hot_by_latency,omitempty"`
+}
+
+// summaryOp converts one digest to its wire shape.
+func summaryOp(s *summary.Summary) SummaryOpDoc {
+	return SummaryOpDoc{
+		Op: s.Op, Count: s.Count, Total: s.Total, Min: s.Min, Max: s.Max,
+		ModeBucket: s.Mode, Buckets: s.Filled, Peaks: s.Peaks,
+		P50: s.QLatency[0], P90: s.QLatency[1], P95: s.QLatency[2],
+		P99: s.QLatency[3], P999: s.QLatency[4],
+	}
+}
+
+// SummaryOf converts a set digest to the versioned document. The
+// caller fills ID and Fingerprint (the digest does not know them).
+func SummaryOf(ss *summary.SetSummary) SummaryDoc {
+	doc := SummaryDoc{
+		Schema: SummarySchema, Name: ss.Name, R: ss.R,
+		Overall: summaryOp(&ss.Overall), Ops: []SummaryOpDoc{},
+	}
+	for i := range ss.Ops {
+		doc.Ops = append(doc.Ops, summaryOp(&ss.Ops[i]))
+	}
+	for _, i := range ss.TopByCount {
+		doc.HotByCount = append(doc.HotByCount, ss.Ops[i].Op)
+	}
+	for _, i := range ss.TopByLatency {
+		doc.HotByLatency = append(doc.HotByLatency, ss.Ops[i].Op)
+	}
+	return doc
+}
+
+// RenderSummary writes the document as the text table `osprof summary`
+// prints: one row per operation plus the whole-set rollup.
+func RenderSummary(w io.Writer, doc SummaryDoc) {
+	fmt.Fprintf(w, "=== summary %q: %d ops, %d operations, total latency %s ===\n",
+		doc.Name, len(doc.Ops), doc.Overall.Count, cycles.Format(doc.Overall.Total))
+	fmt.Fprintf(w, "%-18s %9s %8s %7s %7s %7s %7s %7s %5s %5s\n",
+		"OP", "COUNT", "TOTAL", "P50", "P90", "P95", "P99", "P999", "MODE", "PEAKS")
+	row := func(op SummaryOpDoc) {
+		if op.Count == 0 {
+			fmt.Fprintf(w, "%-18s %9d %8s %7s %7s %7s %7s %7s %5s %5d\n",
+				strings.ToUpper(op.Op), 0, "-", "-", "-", "-", "-", "-", "-", 0)
+			return
+		}
+		fmt.Fprintf(w, "%-18s %9d %8s %7s %7s %7s %7s %7s %5d %5d\n",
+			strings.ToUpper(op.Op), op.Count, cycles.Format(op.Total),
+			cycles.Format(op.P50), cycles.Format(op.P90), cycles.Format(op.P95),
+			cycles.Format(op.P99), cycles.Format(op.P999), op.ModeBucket, op.Peaks)
+	}
+	row(doc.Overall)
+	for _, op := range doc.Ops {
+		row(op)
+	}
+	if len(doc.HotByLatency) > 0 {
+		fmt.Fprintf(w, "hottest by latency: %s\n", strings.Join(doc.HotByLatency, ", "))
+	}
+	if len(doc.HotByCount) > 0 {
+		fmt.Fprintf(w, "hottest by count:   %s\n", strings.Join(doc.HotByCount, ", "))
+	}
+}
+
+// RunSummary is the compact per-run summary column an archive listing
+// can carry (GET /v1/runs?summary=1, `osprof archive list` with
+// summaries): just enough to triage a run without fetching it.
+type RunSummary struct {
+	Ops          int    `json:"ops"`
+	TotalOps     uint64 `json:"total_ops"`
+	TotalLatency uint64 `json:"total_latency"`
+	P50          uint64 `json:"p50"`
+	P99          uint64 `json:"p99"`
+	P999         uint64 `json:"p999"`
+
+	// HotOp is the operation with the largest total latency.
+	HotOp string `json:"hot_op,omitempty"`
+}
+
+// RunSummaryOf condenses a set digest into the listing column.
+func RunSummaryOf(ss *summary.SetSummary) *RunSummary {
+	rs := &RunSummary{
+		Ops:          len(ss.Ops),
+		TotalOps:     ss.Overall.Count,
+		TotalLatency: ss.Overall.Total,
+		P50:          ss.Overall.QLatency[0],
+		P99:          ss.Overall.QLatency[3],
+		P999:         ss.Overall.QLatency[4],
+	}
+	if len(ss.TopByLatency) > 0 {
+		rs.HotOp = ss.Ops[ss.TopByLatency[0]].Op
+	}
+	return rs
+}

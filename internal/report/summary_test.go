@@ -1,0 +1,97 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"osprof/internal/core"
+	"osprof/internal/summary"
+)
+
+func summarySet() *core.Set {
+	s := core.NewSet("render-me")
+	for i := 0; i < 100; i++ {
+		s.Record("read", 2_000)
+	}
+	for i := 0; i < 10; i++ {
+		s.Record("read", 2_000_000)
+	}
+	for i := 0; i < 5; i++ {
+		s.Record("unlink", 900)
+	}
+	s.Get("never") // recorded zero times: the empty-row case
+	return s
+}
+
+func TestSummaryDoc(t *testing.T) {
+	doc := SummaryOf(summary.OfSet(summarySet(), -1))
+	if doc.Schema != SummarySchema || doc.Name != "render-me" || doc.R != 1 {
+		t.Fatalf("doc header: %+v", doc)
+	}
+	if len(doc.Ops) != 3 {
+		t.Fatalf("ops: %+v", doc.Ops)
+	}
+	if doc.Overall.Op != "*" || doc.Overall.Count != 115 {
+		t.Fatalf("overall: %+v", doc.Overall)
+	}
+	var read SummaryOpDoc
+	for _, op := range doc.Ops {
+		if op.Op == "read" {
+			read = op
+		}
+	}
+	if read.Count != 110 || read.Peaks != 2 || read.P50 == 0 || read.P999 < read.P50 {
+		t.Fatalf("read digest: %+v", read)
+	}
+	// read dominates both hottest lists; the empty op appears in
+	// neither.
+	if len(doc.HotByLatency) != 2 || doc.HotByLatency[0] != "read" {
+		t.Fatalf("hottest by latency: %+v", doc.HotByLatency)
+	}
+	if len(doc.HotByCount) != 2 || doc.HotByCount[0] != "read" {
+		t.Fatalf("hottest by count: %+v", doc.HotByCount)
+	}
+}
+
+func TestRenderSummary(t *testing.T) {
+	var buf bytes.Buffer
+	RenderSummary(&buf, SummaryOf(summary.OfSet(summarySet(), -1)))
+	out := buf.String()
+	for _, want := range []string{
+		`=== summary "render-me": 3 ops, 115 operations`,
+		"P50", "P999", "PEAKS",
+		"READ", "UNLINK", "NEVER",
+		"hottest by latency: read",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q; got:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunSummaryOf(t *testing.T) {
+	rs := RunSummaryOf(summary.OfSet(summarySet(), -1))
+	if rs.Ops != 3 || rs.TotalOps != 115 || rs.HotOp != "read" {
+		t.Fatalf("run summary: %+v", rs)
+	}
+	if rs.P50 == 0 || rs.P99 < rs.P50 || rs.P999 < rs.P99 {
+		t.Fatalf("quantile columns: %+v", rs)
+	}
+}
+
+func TestProfileQuantileLine(t *testing.T) {
+	var buf bytes.Buffer
+	Profile(&buf, sample(), Options{Quantiles: true})
+	out := buf.String()
+	if !strings.Contains(out, "p50=") || !strings.Contains(out, "p999=") {
+		t.Errorf("missing quantile line; got:\n%s", out)
+	}
+	// The option is strictly additive: everything else renders as
+	// before, and the default stays quantile-free.
+	buf.Reset()
+	Profile(&buf, sample(), Options{})
+	if strings.Contains(buf.String(), "p50=") {
+		t.Error("default rendering grew a quantile line")
+	}
+}

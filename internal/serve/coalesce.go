@@ -412,7 +412,19 @@ func (s *server) runs(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusInternalServerError, "archive: %v", err)
 		return
 	}
-	respond(w, http.StatusOK, report.RunPage(entries, more))
+	doc := report.RunPage(entries, more)
+	if v := q.Get("summary"); v != "" && v != "0" {
+		// The opt-in triage column, from memoized digests (summary.go):
+		// a listing-with-summaries re-poll touches the archive index
+		// only. Best-effort per entry — a run GC'd between the index
+		// read and the digest load just misses its column.
+		for i := range doc.Runs {
+			if d, err := s.digest(doc.Runs[i].ID); err == nil {
+				doc.Runs[i].Summary = report.RunSummaryOf(d.ss)
+			}
+		}
+	}
+	respond(w, http.StatusOK, doc)
 }
 
 // defaultRunsLimit caps a GET /v1/runs page.

@@ -27,7 +27,13 @@
 //	GET  /v1/runs          the archive index as osprof-runs/v1 JSON,
 //	                       cursor-paged: ?limit= bounds the page
 //	                       (default/cap 1000), ?after=<seq> resumes
-//	                       past a previous page
+//	                       past a previous page; ?summary=1 adds the
+//	                       per-run triage column (ops, totals, p50/
+//	                       p99/p999, hottest op) from memoized digests
+//	GET  /v1/summary       ?ref=<run reference>: the run's streaming
+//	                       set digest (per-op quantiles, hottest ops)
+//	                       as osprof-summary/v1, memoized per content
+//	                       address
 //	GET  /v1/diff/{a}/{b}  differential analysis of two run references
 //	                       (latest:<name>, baseline:<name>, or a run-ID
 //	                       prefix), as osprof-diff/v1 JSON; references
@@ -112,6 +118,11 @@ type server struct {
 	watches   map[string]*watchEntry // by watched run name
 	order     []string               // registration order
 
+	// digests memoizes per-run set summaries by content address
+	// (summary.go); digestOrder drives FIFO eviction.
+	digests     map[string]*runDigest
+	digestOrder []string
+
 	// cmu guards the coalescer: per-fingerprint delta accumulations.
 	// Separate from mu so slow corpus builds never block ingest.
 	cmu    sync.Mutex
@@ -131,6 +142,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /v1/ingest", s.ingest)
 	mux.HandleFunc("POST /v1/flush", s.flushHandler)
 	mux.HandleFunc("GET /v1/runs", s.runs)
+	mux.HandleFunc("GET /v1/summary", s.summaryHandler)
 	mux.HandleFunc("GET /v1/diff/{a}/{b}", s.diff)
 	mux.HandleFunc("GET /v1/diff", s.diff) // ?a=&b= for slash-qualified names
 	mux.HandleFunc("GET /v1/baseline", s.baselines)
@@ -169,7 +181,9 @@ func (s *server) resolve(ref string) (*core.Run, error) {
 // slashes (every scenario name does — "ext2/readzero"), from the
 // ?a=&b= query parameters, since a path segment cannot hold an
 // unescaped slash. The engine reuses scratch state, so each request
-// gets its own.
+// gets its own. The summary-first engine answers healthy pairs from
+// digests alone (verdict parity with the full engine is pinned by the
+// diff package's parity gate).
 func (s *server) diff(w http.ResponseWriter, r *http.Request) {
 	refA, refB := r.PathValue("a"), r.PathValue("b")
 	if refA == "" {
@@ -189,7 +203,7 @@ func (s *server) diff(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusNotFound, "run B: %v", err)
 		return
 	}
-	respond(w, http.StatusOK, diff.New().Runs(a, b))
+	respond(w, http.StatusOK, diff.NewSummaryFirst().Runs(a, b))
 }
 
 // identifyCorpus returns the identification corpus, rebuilding it only
@@ -227,10 +241,12 @@ func (s *server) identifyCorpus() (*classify.Corpus, error) {
 // identify classifies a posted run envelope against the corpus of
 // labeled archived runs (memoized per index state; a fresh classifier
 // per request keeps the handler safe for any number of in-flight
-// identifications). Garbage bodies are the client's fault (400);
-// everything after the parse — including an archive with no labeled
-// runs at all — answers with a verdict document, because an abstention
-// is a result, not an error.
+// identifications). The classifier pre-filters by summary distance
+// (label/abstention parity with the exhaustive evaluation is pinned by
+// the classify package's crossval gate). Garbage bodies are the
+// client's fault (400); everything after the parse — including an
+// archive with no labeled runs at all — answers with a verdict
+// document, because an abstention is a result, not an error.
 func (s *server) identify(w http.ResponseWriter, r *http.Request) {
 	run, err := core.ReadRun(http.MaxBytesReader(w, r.Body, maxEnvelopeBytes))
 	if err != nil {
@@ -242,7 +258,9 @@ func (s *server) identify(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusInternalServerError, "corpus: %v", err)
 		return
 	}
-	respond(w, http.StatusOK, classify.New().Identify(corpus, run))
+	c := classify.New()
+	c.Prefilter = classify.DefaultPrefilter
+	respond(w, http.StatusOK, c.Identify(corpus, run))
 }
 
 // baselines lists the blessed baseline pointers.

@@ -1,0 +1,87 @@
+// The service's summary tier: memoized per-run set digests
+// (internal/summary) keyed on the run's content address, the
+// GET /v1/summary endpoint, and the opt-in summary column of
+// GET /v1/runs. Runs are content-addressed, so a digest never goes
+// stale — the memo is a pure cache with FIFO eviction to bound memory.
+package serve
+
+import (
+	"net/http"
+
+	"osprof/internal/report"
+	"osprof/internal/summary"
+)
+
+// maxDigests bounds the digest memo; beyond it the oldest entries are
+// evicted FIFO. Digests are a few KB each, so the bound is generous.
+const maxDigests = 512
+
+// runDigest is one memoized run summary plus the run identity the
+// document needs (the digest itself does not carry the content
+// address).
+type runDigest struct {
+	ss          *summary.SetSummary
+	name        string
+	fingerprint string
+}
+
+// digest returns the memoized set digest for the archived run id,
+// loading and summarizing the run on a miss. Safe for concurrent use;
+// a racing double-load is harmless (same content, last write wins).
+func (s *server) digest(id string) (*runDigest, error) {
+	s.mu.Lock()
+	d := s.digests[id]
+	s.mu.Unlock()
+	if d != nil {
+		return d, nil
+	}
+	run, err := s.arch.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	d = &runDigest{
+		ss:          summary.OfSet(run.Set, summary.DefaultTopK),
+		name:        run.Name(),
+		fingerprint: run.Fingerprint,
+	}
+	s.mu.Lock()
+	if s.digests == nil {
+		s.digests = make(map[string]*runDigest)
+	}
+	if _, ok := s.digests[id]; !ok {
+		s.digests[id] = d
+		s.digestOrder = append(s.digestOrder, id)
+		for len(s.digestOrder) > maxDigests {
+			delete(s.digests, s.digestOrder[0])
+			s.digestOrder = s.digestOrder[1:]
+		}
+	}
+	s.mu.Unlock()
+	return d, nil
+}
+
+// summaryHandler handles GET /v1/summary?ref=: the referenced run's
+// set digest as osprof-summary/v1. The cheap read path for dashboards
+// polling a run's latency surface — after the first request for a run
+// the archive is not touched again.
+func (s *server) summaryHandler(w http.ResponseWriter, r *http.Request) {
+	ref := r.URL.Query().Get("ref")
+	if ref == "" {
+		fail(w, http.StatusBadRequest, "summary needs a run reference: /v1/summary?ref=...")
+		return
+	}
+	id, err := s.arch.ResolveRef(ref)
+	if err != nil {
+		fail(w, http.StatusNotFound, "run: %v", err)
+		return
+	}
+	d, err := s.digest(id)
+	if err != nil {
+		fail(w, http.StatusNotFound, "run %s: %v", id, err)
+		return
+	}
+	doc := report.SummaryOf(d.ss)
+	doc.ID = id
+	doc.Fingerprint = d.fingerprint
+	respond(w, http.StatusOK, doc)
+}

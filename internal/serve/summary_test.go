@@ -1,0 +1,130 @@
+package serve_test
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"osprof/internal/report"
+	"osprof/internal/serve"
+	"osprof/internal/watch"
+)
+
+func TestSummaryEndpoint(t *testing.T) {
+	h := newService(t)
+	env := envelope(t, "myapp", 100, 2_000, 2_100, 2_050, 1<<20)
+
+	var ing serve.IngestDoc
+	do(t, h, http.MethodPost, "/v1/ingest", env, http.StatusOK, &ing)
+
+	var doc report.SummaryDoc
+	do(t, h, http.MethodGet, "/v1/summary?ref=latest:myapp", nil, http.StatusOK, &doc)
+	if doc.Schema != report.SummarySchema || doc.ID != ing.ID || doc.Name != "myapp" {
+		t.Fatalf("summary: %+v", doc)
+	}
+	if doc.Fingerprint != ing.Fingerprint {
+		t.Fatalf("summary fingerprint %q, ingest %q", doc.Fingerprint, ing.Fingerprint)
+	}
+	if len(doc.Ops) != 1 || doc.Ops[0].Op != "read" || doc.Ops[0].Count != 5 {
+		t.Fatalf("summary ops: %+v", doc.Ops)
+	}
+	if doc.Overall.Count != 5 || doc.Overall.P50 == 0 || doc.Overall.P999 < doc.Overall.P50 {
+		t.Fatalf("summary overall: %+v", doc.Overall)
+	}
+	// The latencies 100..2100 dominate; the p50 must sit in their range
+	// while the p999 reaches toward the 1<<20 outlier.
+	if doc.Ops[0].P50 > 4_100 || doc.Ops[0].P999 <= 4_100 {
+		t.Fatalf("quantiles off: p50=%d p999=%d", doc.Ops[0].P50, doc.Ops[0].P999)
+	}
+	if len(doc.HotByLatency) != 1 || doc.HotByLatency[0] != "read" {
+		t.Fatalf("hottest: %+v", doc.HotByLatency)
+	}
+
+	// A by-ID reference resolves too, and answers the identical doc.
+	var byID report.SummaryDoc
+	do(t, h, http.MethodGet, "/v1/summary?ref="+ing.ID[:12], nil, http.StatusOK, &byID)
+	if byID.ID != doc.ID || byID.Overall != doc.Overall {
+		t.Fatalf("by-id summary diverges: %+v vs %+v", byID, doc)
+	}
+
+	// Missing and unresolvable references fail cleanly.
+	do(t, h, http.MethodGet, "/v1/summary", nil, http.StatusBadRequest, nil)
+	do(t, h, http.MethodGet, "/v1/summary?ref=latest:nope", nil, http.StatusNotFound, nil)
+}
+
+func TestRunsSummaryColumn(t *testing.T) {
+	h := newService(t)
+	do(t, h, http.MethodPost, "/v1/ingest", envelope(t, "app-a", 100, 200, 300), http.StatusOK, nil)
+	do(t, h, http.MethodPost, "/v1/ingest", envelope(t, "app-b", 5_000, 6_000), http.StatusOK, nil)
+
+	// The default listing stays summary-free (byte-stable documents).
+	var plain report.RunListDoc
+	do(t, h, http.MethodGet, "/v1/runs", nil, http.StatusOK, &plain)
+	if len(plain.Runs) != 2 {
+		t.Fatalf("runs: %+v", plain)
+	}
+	for _, e := range plain.Runs {
+		if e.Summary != nil {
+			t.Fatalf("plain listing grew a summary column: %+v", e)
+		}
+	}
+
+	var doc report.RunListDoc
+	do(t, h, http.MethodGet, "/v1/runs?summary=1", nil, http.StatusOK, &doc)
+	if len(doc.Runs) != 2 {
+		t.Fatalf("runs: %+v", doc)
+	}
+	for _, e := range doc.Runs {
+		if e.Summary == nil {
+			t.Fatalf("entry %s missing its summary column", e.ID)
+		}
+		if e.Summary.Ops != 1 || e.Summary.TotalOps == 0 || e.Summary.HotOp != "read" {
+			t.Fatalf("entry %s summary: %+v", e.ID, e.Summary)
+		}
+	}
+	if doc.Runs[0].Summary.TotalOps != 3 || doc.Runs[1].Summary.TotalOps != 2 {
+		t.Fatalf("summary counts: %+v %+v", doc.Runs[0].Summary, doc.Runs[1].Summary)
+	}
+}
+
+// A healthy re-ingest of a watched run — bit-identical to its blessed
+// baseline — must verdict ok from the summary fast path, skipping the
+// differential analysis entirely.
+func TestWatchSummaryFastPath(t *testing.T) {
+	h := newService(t)
+	env := envelope(t, "steady", 100, 2_000, 2_100, 1<<20)
+
+	var ing serve.IngestDoc
+	do(t, h, http.MethodPost, "/v1/ingest", env, http.StatusOK, &ing)
+	do(t, h, http.MethodPost, "/v1/baseline",
+		[]byte(fmt.Sprintf(`{"run": %q}`, ing.ID)), http.StatusOK, nil)
+	do(t, h, http.MethodPost, "/v1/watch",
+		[]byte(`{"name": "steady"}`), http.StatusOK, nil)
+
+	var again serve.IngestDoc
+	do(t, h, http.MethodPost, "/v1/ingest", env, http.StatusOK, &again)
+	if again.Watch == nil || again.Watch.Verdict != watch.OK {
+		t.Fatalf("watched re-ingest: %+v", again.Watch)
+	}
+	if !strings.Contains(again.Watch.Detail, "summary fast path") {
+		t.Fatalf("re-ingest took the slow path: %q", again.Watch.Detail)
+	}
+	if again.Watch.Diff != nil {
+		t.Fatalf("fast path attached a diff: %+v", again.Watch.Diff)
+	}
+
+	// A drifted ingest must still escalate to the full ladder.
+	drifted := envelope(t, "steady", 1<<22, 1<<22, 1<<22, 1<<22)
+	var bad serve.IngestDoc
+	do(t, h, http.MethodPost, "/v1/ingest", drifted, http.StatusOK, &bad)
+	if bad.Watch == nil || bad.Watch.Verdict == watch.OK {
+		t.Fatalf("drifted ingest: %+v", bad.Watch)
+	}
+	if strings.Contains(bad.Watch.Detail, "summary fast path") {
+		t.Fatalf("drifted ingest took the fast path: %q", bad.Watch.Detail)
+	}
+	if bad.Watch.Diff == nil {
+		t.Fatalf("drifted ingest carries no diff evidence: %+v", bad.Watch)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"net/http"
 
 	"osprof/internal/core"
+	"osprof/internal/summary"
 	"osprof/internal/watch"
 )
 
@@ -127,6 +128,21 @@ func (s *server) evaluateWatch(run *core.Run) *watch.Report {
 			BaselineID: id,
 			Verdict:    watch.Anomaly,
 			Detail:     fmt.Sprintf("baseline %q unreadable: %v", ref, err),
+		}
+	} else if d, err := s.digest(id); err == nil &&
+		summary.SetsIdentical(d.ss, summary.OfSet(run.Set, 0)) {
+		// Summary fast path: a healthy re-ingest bit-identical to its
+		// baseline (the steady state of a fleet reporting unchanged
+		// profiles) verdicts from memoized digests alone — no diff, no
+		// corpus load. SetsIdentical witnesses byte-equal histograms,
+		// where the full ladder provably verdicts ok on every op.
+		rep = &watch.Report{
+			Schema:     watch.Schema,
+			Name:       name,
+			BaselineID: id,
+			Verdict:    watch.OK,
+			Detail: fmt.Sprintf("matches baseline across %d operations (summary fast path)",
+				len(d.ss.Ops)),
 		}
 	} else {
 		// Attribution is best-effort: a corpus problem must not mask

@@ -1,0 +1,106 @@
+package summary
+
+import (
+	"testing"
+
+	"osprof/internal/core"
+)
+
+// FuzzSummary throws malformed, empty, and degenerate histograms at
+// the extractor and the distance metric: arbitrary bucket contents
+// (including count checksums that disagree with the buckets, the
+// "broken instrumentation" case Validate exists to catch) must never
+// panic, and the metric invariants must hold regardless.
+func FuzzSummary(f *testing.F) {
+	f.Add([]byte{}, uint64(0), uint64(0))
+	f.Add([]byte{1}, uint64(1), uint64(1))
+	f.Add([]byte{0, 0, 0, 7}, uint64(7), uint64(700))
+	f.Add([]byte{255, 255}, uint64(2), uint64(3))     // count checksum too small
+	f.Add([]byte{0, 0, 0, 0}, uint64(100), uint64(5)) // claims mass, holds none
+	f.Fuzz(func(t *testing.T, raw []byte, count, total uint64) {
+		p := &core.Profile{Op: "fuzz", R: 1, Count: count, Total: total}
+		// Truncated bucket arrays model a malformed envelope; cap at
+		// the real array length.
+		if len(raw) > core.MaxBuckets {
+			raw = raw[:core.MaxBuckets]
+		}
+		p.Buckets = make([]uint64, len(raw))
+		var sum uint64
+		for i, b := range raw {
+			p.Buckets[i] = uint64(b)
+			sum += uint64(b)
+		}
+		if count > 0 && sum > 0 {
+			p.Min, p.Max = 1, 1<<uint(len(raw))
+		}
+
+		s := Of(p)
+		if s.Count != count || s.Total != total {
+			t.Fatalf("checksums not mirrored: %d/%d", s.Count, s.Total)
+		}
+		if s.Filled > len(raw) || (s.Lo < 0) != (s.Filled == 0) {
+			t.Fatalf("inconsistent structure: lo=%d filled=%d", s.Lo, s.Filled)
+		}
+		for i := 1; i < NumLevels; i++ {
+			if s.Q[i] < s.Q[i-1] {
+				t.Fatalf("quantile positions not monotone: %v", s.Q)
+			}
+		}
+		if d := Distance(s, s); d != 0 {
+			t.Fatalf("self distance = %g, want 0", d)
+		}
+		if !s.Identical(s) {
+			t.Fatal("summary not Identical to itself")
+		}
+
+		// Against a fixed healthy profile: symmetric, bounded.
+		ref := core.NewProfile("ref")
+		for i := 0; i < 100; i++ {
+			ref.Record(uint64(i%17)*1000 + 1)
+		}
+		// Distance requires matching bucket-array lengths to compare;
+		// mismatched axes score the maximal 1.
+		o := Of(ref)
+		ab, ba := Distance(s, o), Distance(o, s)
+		if ab != ba {
+			t.Fatalf("asymmetric distance: %g vs %g", ab, ba)
+		}
+		if ab < 0 || ab > 1 {
+			t.Fatalf("distance %g out of [0, 1]", ab)
+		}
+		if WithinGuard(s, o, DefaultGuard) && !s.Identical(o) && (s.Count == 0 || o.Count == 0) {
+			t.Fatal("one-sided pair passed the guard")
+		}
+	})
+}
+
+// FuzzSummarySingleBucket pins the degenerate single-bucket histogram:
+// whatever the bucket and mass, every quantile must land inside it.
+func FuzzSummarySingleBucket(f *testing.F) {
+	f.Add(0, uint64(1))
+	f.Add(10, uint64(1000))
+	f.Add(63, uint64(1<<40))
+	f.Fuzz(func(t *testing.T, bucket int, n uint64) {
+		if bucket < 0 || bucket >= core.MaxBuckets || n == 0 {
+			t.Skip()
+		}
+		p := core.NewProfile("one")
+		p.Buckets[bucket] = n
+		p.Count = n
+		p.Min, p.Max = core.BucketLow(bucket, 1), core.BucketHigh(bucket, 1)
+		s := Of(p)
+		if s.Mode != bucket || s.Lo != bucket || s.Hi != bucket || s.Filled != 1 {
+			t.Fatalf("structure: mode=%d lo=%d hi=%d filled=%d, want all %d",
+				s.Mode, s.Lo, s.Hi, s.Filled, bucket)
+		}
+		for i, q := range s.Q {
+			if q < float64(bucket) || q > float64(bucket)+1 {
+				t.Fatalf("%s position %g outside bucket %d", LevelNames[i], q, bucket)
+			}
+			if s.QLatency[i] < s.Min || s.QLatency[i] > s.Max {
+				t.Fatalf("%s latency %d outside [%d, %d]",
+					LevelNames[i], s.QLatency[i], s.Min, s.Max)
+			}
+		}
+	})
+}

@@ -1,0 +1,240 @@
+package summary
+
+import (
+	"slices"
+
+	"osprof/internal/core"
+)
+
+// DefaultTopK is the default length of the hottest-operation lists.
+const DefaultTopK = 5
+
+// SetSummary is the digest of a whole profile set: one Summary per
+// operation (sorted by name), a whole-set rollup over the combined
+// histogram, and the top-k hottest operations by count and by
+// total-latency share. The value owns reusable scratch: call From
+// repeatedly on one SetSummary and the steady state allocates nothing.
+type SetSummary struct {
+	// Name and R mirror the summarized set.
+	Name string
+	R    int
+
+	// Overall digests the combined histogram of every operation (Op
+	// "*"): the run-wide latency surface.
+	Overall Summary
+
+	// Ops holds one digest per operation, sorted by operation name.
+	Ops []Summary
+
+	// TopByCount and TopByLatency index into Ops: the hottest
+	// operations by operation count and by total-latency share,
+	// descending, ties broken by name.
+	TopByCount   []int
+	TopByLatency []int
+
+	// scratch, reused across From calls.
+	names []string
+	comb  []uint64
+}
+
+// OfSet is the allocating convenience: a fresh SetSummary of s.
+func OfSet(s *core.Set, k int) *SetSummary {
+	ss := &SetSummary{}
+	ss.From(s, k)
+	return ss
+}
+
+// From extracts the digest of s into ss, reusing ss's storage. k caps
+// the hottest-operation lists (DefaultTopK when negative, empty when
+// 0). A nil set yields an empty digest.
+func (ss *SetSummary) From(s *core.Set, k int) {
+	if k < 0 {
+		k = DefaultTopK
+	}
+	ss.Name, ss.R = "", 0
+	ss.Ops = ss.Ops[:0]
+	ss.TopByCount = ss.TopByCount[:0]
+	ss.TopByLatency = ss.TopByLatency[:0]
+	ss.Overall = Summary{Op: "*", Mode: -1, Lo: -1, Hi: -1}
+	if s == nil {
+		return
+	}
+	ss.Name, ss.R = s.Name, s.R
+
+	ss.names = s.AppendOps(ss.names[:0])
+	slices.Sort(ss.names)
+
+	nb := core.NumBuckets(s.R)
+	if cap(ss.comb) < nb {
+		ss.comb = make([]uint64, nb)
+	}
+	ss.comb = ss.comb[:nb]
+	clear(ss.comb)
+
+	var count, total, min, max uint64
+	for _, op := range ss.names {
+		p := s.Lookup(op)
+		ss.Ops = append(ss.Ops, Of(p))
+		if p == nil {
+			continue
+		}
+		for b, n := range p.Buckets {
+			ss.comb[b] += n
+		}
+		if p.Count > 0 {
+			if count == 0 || p.Min < min {
+				min = p.Min
+			}
+			if p.Max > max {
+				max = p.Max
+			}
+			count += p.Count
+			total += p.Total
+		}
+	}
+	ss.Overall = ofBuckets("*", s.R, ss.comb, count, total, min, max)
+
+	for i := range ss.Ops {
+		if ss.Ops[i].Count == 0 {
+			continue
+		}
+		ss.TopByCount = ss.insertTop(ss.TopByCount, i, k, false)
+		ss.TopByLatency = ss.insertTop(ss.TopByLatency, i, k, true)
+	}
+}
+
+// insertTop inserts op index idx into the descending top-k list dst
+// (manual insertion: sort.Slice would allocate its closure).
+func (ss *SetSummary) insertTop(dst []int, idx, k int, byTotal bool) []int {
+	if k <= 0 {
+		return dst
+	}
+	pos := 0
+	for pos < len(dst) && !ss.outranks(idx, dst[pos], byTotal) {
+		pos++
+	}
+	if pos == len(dst) {
+		if len(dst) < k {
+			dst = append(dst, idx)
+		}
+		return dst
+	}
+	if len(dst) < k {
+		dst = append(dst, 0)
+	}
+	copy(dst[pos+1:], dst[pos:len(dst)-1])
+	dst[pos] = idx
+	return dst
+}
+
+// outranks reports whether op i sorts before op j in a hottest list.
+func (ss *SetSummary) outranks(i, j int, byTotal bool) bool {
+	a, b := &ss.Ops[i], &ss.Ops[j]
+	x, y := a.Count, b.Count
+	if byTotal {
+		x, y = a.Total, b.Total
+	}
+	if x != y {
+		return x > y
+	}
+	return a.Op < b.Op
+}
+
+// Lookup returns the digest for op, or nil when the set never
+// recorded it (binary search over the sorted Ops).
+func (ss *SetSummary) Lookup(op string) *Summary {
+	lo, hi := 0, len(ss.Ops)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ss.Ops[mid].Op < op {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(ss.Ops) && ss.Ops[lo].Op == op {
+		return &ss.Ops[lo]
+	}
+	return nil
+}
+
+// SetsIdentical reports whether two set digests witness byte-identical
+// profile sets: same resolution, same operations, and every histogram
+// (per-op and combined) identical. A fast path keyed on it skips the
+// full differential analysis exactly when that analysis would verdict
+// every operation unchanged — equal histograms mean equal totals, so
+// every pair lands in the selector's "similar total latency, same
+// peak structure" skip.
+func SetsIdentical(a, b *SetSummary) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.R != b.R || len(a.Ops) != len(b.Ops) || !a.Overall.Identical(b.Overall) {
+		return false
+	}
+	for i := range a.Ops {
+		if a.Ops[i].Op != b.Ops[i].Op || !a.Ops[i].Identical(b.Ops[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// SetDistance is the cheap set-level distance: the count-share-
+// weighted mean of per-operation summary distances over the union of
+// operations — the same weighting ((share_a + share_b)/2) and
+// one-sided conventions as the classifier's EMD distance, so ranking
+// corpus centroids by it predicts the expensive ranking. Alloc-free:
+// one two-pointer walk over the sorted per-op digests.
+func SetDistance(a, b *SetSummary) float64 {
+	if a == nil || b == nil {
+		return 1
+	}
+	totalA := float64(a.Overall.Count)
+	totalB := float64(b.Overall.Count)
+	var sum, wsum float64
+	accumulate := func(sa, sb *Summary) {
+		var shareA, shareB float64
+		if sa != nil && totalA > 0 {
+			shareA = float64(sa.Count) / totalA
+		}
+		if sb != nil && totalB > 0 {
+			shareB = float64(sb.Count) / totalB
+		}
+		w := (shareA + shareB) / 2
+		var d float64
+		switch {
+		case sa == nil || sa.Count == 0:
+			if sb == nil || sb.Count == 0 {
+				d = 0 // recorded zero times on both sides
+			} else {
+				d = 1 // all mass vs no mass: maximal difference
+			}
+		case sb == nil || sb.Count == 0:
+			d = 1
+		default:
+			d = Distance(*sa, *sb)
+		}
+		sum += w * d
+		wsum += w
+	}
+	i, j := 0, 0
+	for i < len(a.Ops) || j < len(b.Ops) {
+		switch {
+		case j >= len(b.Ops) || (i < len(a.Ops) && a.Ops[i].Op < b.Ops[j].Op):
+			accumulate(&a.Ops[i], nil)
+			i++
+		case i >= len(a.Ops) || b.Ops[j].Op < a.Ops[i].Op:
+			accumulate(nil, &b.Ops[j])
+			j++
+		default:
+			accumulate(&a.Ops[i], &b.Ops[j])
+			i++
+			j++
+		}
+	}
+	if wsum == 0 {
+		return 0
+	}
+	return sum / wsum
+}

@@ -1,0 +1,345 @@
+// Package summary is the streaming summary tier over OSprof log-bucket
+// histograms: a fixed-size, alloc-free digest (quantiles, count, total,
+// min/max, mode bucket, populated-bucket span) extracted once per
+// profile, cheap enough to compute on every ingest and small enough to
+// memoize per archived run. The expensive analyses — per-operation
+// Earth Mover's Distance in diff and classify — then run only where
+// summaries say something moved: the same low-overhead-first philosophy
+// that makes OSprof itself viable on production workloads (paper §3.1),
+// applied one layer up to the analysis stack.
+//
+// A Summary is NOT a substitute for the full comparison metrics: 1-D
+// EMD is the integral of quantile displacement over all levels, so a
+// handful of sampled quantiles can under-estimate it (mass can move
+// between the sampled levels). The fast paths built on this package
+// therefore only ever skip work in the conservative direction — an
+// identical-summary pair is provably identical (the digest carries an
+// FNV-1a hash of the bucket array as a witness), and the guard-band
+// comparison (WithinGuard) escalates to the full analysis whenever any
+// structural feature moves; the calibration is pinned by parity tests
+// against the always-full paths across the whole scenario matrix.
+package summary
+
+import (
+	"osprof/internal/core"
+	"osprof/internal/cycles"
+)
+
+// NumLevels is the number of sampled quantile levels.
+const NumLevels = 5
+
+// Levels are the sampled quantile levels: the p50/p90/p95/p99/p999
+// surface of a streaming latency dashboard.
+var Levels = [NumLevels]float64{0.50, 0.90, 0.95, 0.99, 0.999}
+
+// LevelNames labels the sampled levels for rendering.
+var LevelNames = [NumLevels]string{"p50", "p90", "p95", "p99", "p999"}
+
+// FNV-1a 64-bit parameters (hash/fnv, restated so the hot path stays
+// free of the stdlib's allocating hasher interface).
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// Summary is the fixed-size digest of one profile's histogram. It is a
+// plain value: extracting one allocates nothing, and copying one is a
+// few cache lines.
+type Summary struct {
+	// Op names the summarized operation ("*" for a whole-set rollup).
+	Op string
+
+	// R and NB are the bucket resolution and bucket-array length; two
+	// summaries are only comparable when both match.
+	R  int
+	NB int
+
+	// Count, Total, Min and Max mirror the profile's checksums.
+	Count uint64
+	Total uint64
+	Min   uint64
+	Max   uint64
+
+	// Mode is the most populated bucket; Lo and Hi are the smallest
+	// and largest non-empty buckets; Filled counts non-empty buckets.
+	// All are -1 for an empty profile. Together they pin the peak
+	// structure coarsely: a new latency mode in a previously empty
+	// region changes Filled (and usually Lo/Hi) even when it is too
+	// small to move any sampled quantile.
+	Mode   int
+	Lo     int
+	Hi     int
+	Filled int
+
+	// Hash is the FNV-1a digest of the raw bucket array: the
+	// zero-distance witness. Identical returns true only when the
+	// hash and every checksum agree, so a fast path keyed on it skips
+	// work exactly when the full analysis would find nothing.
+	Hash uint64
+
+	// Peaks counts the distribution's modes and PeakHash digests their
+	// mode-bucket sequence, using exactly the segmentation of the
+	// analysis package's default peak detection (a peak is a maximal
+	// run of populated buckets, one empty pinhole tolerated). Two
+	// summaries with equal Peaks and PeakHash have the same peak
+	// structure under the differential selector's phase 2 — so the
+	// guard band can never absorb a shifted, new, or lost peak, even
+	// one too small to move any sampled quantile.
+	Peaks    int
+	PeakHash uint64
+
+	// Q holds the sampled quantiles as fractional bucket positions
+	// (bucket index plus in-bucket fraction), the natural axis for
+	// comparing two log-bucket histograms. QLatency holds the same
+	// quantiles interpolated back to latencies (cycles), clamped to
+	// [Min, Max].
+	Q        [NumLevels]float64
+	QLatency [NumLevels]uint64
+}
+
+// Of extracts the digest of p. A nil or empty profile yields an empty
+// summary (Count 0, Mode/Lo/Hi -1). Of allocates nothing.
+func Of(p *core.Profile) Summary {
+	if p == nil {
+		return Summary{Mode: -1, Lo: -1, Hi: -1}
+	}
+	return ofBuckets(p.Op, p.R, p.Buckets, p.Count, p.Total, p.Min, p.Max)
+}
+
+// ofBuckets is the shared extractor: Of feeds it one profile, the
+// set-level rollup feeds it the combined bucket array.
+func ofBuckets(op string, r int, buckets []uint64, count, total, min, max uint64) Summary {
+	s := Summary{
+		Op: op, R: r, NB: len(buckets),
+		Count: count, Total: total, Min: min, Max: max,
+		Mode: -1, Lo: -1, Hi: -1,
+	}
+	var hash uint64 = fnvOffset
+	var peakHash uint64 = fnvOffset
+	var modeCount, peakModeCount uint64
+	peakMode, gap := -1, 0
+	inPeak := false
+	closePeak := func() {
+		for i := 0; i < 64; i += 8 {
+			peakHash = (peakHash ^ (uint64(peakMode) >> i & 0xff)) * fnvPrime
+		}
+		s.Peaks++
+		inPeak = false
+	}
+	for b, n := range buckets {
+		for i := 0; i < 64; i += 8 {
+			hash = (hash ^ (n >> i & 0xff)) * fnvPrime
+		}
+		if n == 0 {
+			// Peak segmentation mirrors analysis.AppendPeaks with the
+			// selector's defaults: MinCount 1, MaxGap 1 (one empty
+			// pinhole inside a peak).
+			if inPeak {
+				gap++
+				if gap > 1 {
+					closePeak()
+				}
+			}
+			continue
+		}
+		if !inPeak {
+			inPeak = true
+			peakMode, peakModeCount = b, 0
+		}
+		gap = 0
+		if n > peakModeCount {
+			peakModeCount, peakMode = n, b
+		}
+		s.Filled++
+		if s.Lo < 0 {
+			s.Lo = b
+		}
+		s.Hi = b
+		if n > modeCount {
+			modeCount, s.Mode = n, b
+		}
+	}
+	if inPeak {
+		closePeak()
+	}
+	s.Hash = hash
+	s.PeakHash = peakHash
+	if s.Count == 0 || s.Lo < 0 {
+		// Empty, or a malformed profile whose count checksum claims
+		// mass its buckets do not hold: no quantiles to sample.
+		return s
+	}
+
+	// Quantiles by one cumulative walk: level q sits at rank q*Count;
+	// within its bucket the position interpolates linearly (the same
+	// uniform-within-bucket assumption as the paper's bucket-mean
+	// formula, §3.3).
+	var cum uint64
+	li := 0
+	for b := s.Lo; b <= s.Hi && li < NumLevels; b++ {
+		n := buckets[b]
+		if n == 0 {
+			continue
+		}
+		prev := cum
+		cum += n
+		for li < NumLevels {
+			target := Levels[li] * float64(s.Count)
+			if float64(cum) < target {
+				break
+			}
+			frac := (target - float64(prev)) / float64(n)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			s.Q[li] = float64(b) + frac
+			s.QLatency[li] = interpolate(b, r, frac, s.Min, s.Max)
+			li++
+		}
+	}
+	// A malformed profile whose count checksum exceeds the bucket sum
+	// can run out of mass before the upper levels: pin them to the end
+	// of the populated span so the positions stay monotone.
+	for ; li < NumLevels; li++ {
+		s.Q[li] = float64(s.Hi) + 1
+		s.QLatency[li] = interpolate(s.Hi, r, 1, s.Min, s.Max)
+	}
+	return s
+}
+
+// interpolate maps a fractional position within bucket b back to a
+// latency, clamped to the observed [min, max] so a single-latency
+// profile reports that latency at every level.
+func interpolate(b, r int, frac float64, min, max uint64) uint64 {
+	lo, hi := core.BucketLow(b, r), core.BucketHigh(b, r)
+	v := float64(lo) + frac*(float64(hi)-float64(lo))
+	lat := uint64(v)
+	if lat < min {
+		lat = min
+	}
+	if lat > max {
+		lat = max
+	}
+	return lat
+}
+
+// Identical reports whether the two summaries digest byte-identical
+// histograms: same resolution, same checksums, same bucket-array hash.
+// Operation names are not compared (merging per-CPU shards renames).
+func (s Summary) Identical(o Summary) bool {
+	return s.R == o.R && s.NB == o.NB &&
+		s.Count == o.Count && s.Total == o.Total &&
+		s.Min == o.Min && s.Max == o.Max && s.Hash == o.Hash
+}
+
+// Epsilon is the floor Distance returns for summaries that differ but
+// whose sampled features all coincide: the "zero iff identical"
+// contract holds even where five quantiles cannot see the change.
+const Epsilon = 1e-9
+
+// Distance is the cheap summary distance on EMD's [0, 1] scale: the
+// largest movement of any sampled feature (quantile position, mode,
+// span edge, filled-bucket count), normalized by the bucket-axis
+// length — the same normalization as the analysis package's EMD. It
+// is exactly 0 iff the histograms are identical (or both empty), and
+// 1 for mass against no mass, mirroring the one-sided conventions of
+// the diff and classify engines.
+func Distance(a, b Summary) float64 {
+	if a.Count == 0 && b.Count == 0 {
+		return 0
+	}
+	if a.Count == 0 || b.Count == 0 {
+		return 1
+	}
+	if a.R != b.R || a.NB != b.NB {
+		return 1 // different bucket axes: not comparable
+	}
+	if a.Identical(b) {
+		return 0
+	}
+	d := 0.0
+	for i := range a.Q {
+		d = maxf(d, absf(a.Q[i]-b.Q[i]))
+	}
+	d = maxf(d, absf(float64(a.Mode-b.Mode)))
+	d = maxf(d, absf(float64(a.Lo-b.Lo)))
+	d = maxf(d, absf(float64(a.Hi-b.Hi)))
+	d = maxf(d, absf(float64(a.Filled-b.Filled)))
+	if a.NB > 1 {
+		d /= float64(a.NB - 1)
+	}
+	if d > 1 {
+		d = 1
+	}
+	if d < Epsilon {
+		d = Epsilon
+	}
+	return d
+}
+
+// DefaultGuard is the calibrated guard band for WithinGuard, in
+// fractional buckets of quantile movement. The diff parity tests pin
+// the calibration: across the scenario matrix and the fault-injected
+// corpus, every pair the full differential analysis flags moves a
+// structural feature or crosses this band, and no pair inside the
+// band is ever flagged.
+const DefaultGuard = 0.25
+
+// WithinGuard reports whether the pair is summary-close enough for a
+// fast path to skip the full differential analysis: identical
+// histograms pass outright; otherwise both sides must be non-empty on
+// the same bucket axis, agree on every structural feature (mode, span
+// edges, filled-bucket count) and keep every sampled quantile within
+// guard fractional buckets. Anything else — including one-sided mass —
+// must escalate.
+func WithinGuard(a, b Summary, guard float64) bool {
+	if a.Count == 0 && b.Count == 0 {
+		return true
+	}
+	if a.Count == 0 || b.Count == 0 {
+		return false
+	}
+	if a.R != b.R || a.NB != b.NB {
+		return false
+	}
+	if a.Identical(b) {
+		return true
+	}
+	if a.Mode != b.Mode || a.Lo != b.Lo || a.Hi != b.Hi || a.Filled != b.Filled {
+		return false
+	}
+	if a.Peaks != b.Peaks || a.PeakHash != b.PeakHash {
+		return false
+	}
+	for i := range a.Q {
+		if absf(a.Q[i]-b.Q[i]) > guard {
+			return false
+		}
+	}
+	return true
+}
+
+// Rate converts the summary's operation count into a rate (operations
+// per second) over a wall duration measured in simulated cycles.
+func (s Summary) Rate(wallCycles uint64) float64 {
+	if wallCycles == 0 {
+		return 0
+	}
+	return float64(s.Count) * float64(cycles.PerSecond) / float64(wallCycles)
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,361 @@
+package summary
+
+import (
+	"math"
+	"testing"
+
+	"osprof/internal/analysis"
+	"osprof/internal/core"
+	"osprof/internal/cycles"
+)
+
+// prof records the given latencies into a fresh profile.
+func prof(t *testing.T, op string, latencies ...uint64) *core.Profile {
+	t.Helper()
+	p := core.NewProfile(op)
+	for _, l := range latencies {
+		p.Record(l)
+	}
+	return p
+}
+
+func TestOfEmptyAndNil(t *testing.T) {
+	for name, s := range map[string]Summary{
+		"nil":   Of(nil),
+		"empty": Of(core.NewProfile("read")),
+	} {
+		if s.Count != 0 || s.Total != 0 {
+			t.Errorf("%s: count/total = %d/%d, want 0/0", name, s.Count, s.Total)
+		}
+		if s.Mode != -1 || s.Lo != -1 || s.Hi != -1 || s.Filled != 0 {
+			t.Errorf("%s: mode/lo/hi/filled = %d/%d/%d/%d, want -1/-1/-1/0",
+				name, s.Mode, s.Lo, s.Hi, s.Filled)
+		}
+	}
+}
+
+func TestOfChecksumsAndStructure(t *testing.T) {
+	p := prof(t, "read", 10, 10, 10, 1000, 1000, 1<<20)
+	s := Of(p)
+	if s.Op != "read" || s.R != 1 || s.NB != core.MaxBuckets {
+		t.Fatalf("identity fields: %+v", s)
+	}
+	if s.Count != 6 || s.Total != p.Total || s.Min != 10 || s.Max != 1<<20 {
+		t.Errorf("checksums: count=%d total=%d min=%d max=%d", s.Count, s.Total, s.Min, s.Max)
+	}
+	// 10 -> bucket 3, 1000 -> bucket 9, 1<<20 -> bucket 20.
+	if s.Mode != 3 || s.Lo != 3 || s.Hi != 20 || s.Filled != 3 {
+		t.Errorf("structure: mode=%d lo=%d hi=%d filled=%d, want 3/3/20/3",
+			s.Mode, s.Lo, s.Hi, s.Filled)
+	}
+}
+
+func TestQuantilesSingleLatency(t *testing.T) {
+	// A profile holding one latency value must report that latency at
+	// every level (the [Min, Max] clamp).
+	s := Of(prof(t, "read", 5000, 5000, 5000, 5000))
+	for i, q := range s.QLatency {
+		if q != 5000 {
+			t.Errorf("%s: latency %d, want 5000", LevelNames[i], q)
+		}
+	}
+	b := core.BucketFor(5000, 1)
+	for i, q := range s.Q {
+		if q < float64(b) || q > float64(b+1) {
+			t.Errorf("%s: position %g outside bucket %d", LevelNames[i], q, b)
+		}
+	}
+}
+
+func TestQuantilesMonotoneAndInterpolated(t *testing.T) {
+	p := core.NewProfile("read")
+	// 1000 latencies spread deterministically over several decades.
+	for i := 0; i < 1000; i++ {
+		p.Record(uint64(i%97)*uint64(i%13+1)*100 + 1)
+	}
+	s := Of(p)
+	for i := 1; i < NumLevels; i++ {
+		if s.Q[i] < s.Q[i-1] {
+			t.Errorf("positions not monotone: %s=%g < %s=%g",
+				LevelNames[i], s.Q[i], LevelNames[i-1], s.Q[i-1])
+		}
+		if s.QLatency[i] < s.QLatency[i-1] {
+			t.Errorf("latencies not monotone: %s=%d < %s=%d",
+				LevelNames[i], s.QLatency[i], LevelNames[i-1], s.QLatency[i-1])
+		}
+	}
+	for i := range s.QLatency {
+		if s.QLatency[i] < s.Min || s.QLatency[i] > s.Max {
+			t.Errorf("%s=%d outside [%d, %d]", LevelNames[i], s.QLatency[i], s.Min, s.Max)
+		}
+	}
+	// The p50 position must sit in the bucket holding the median rank.
+	var cum, median uint64
+	target := uint64(math.Ceil(0.5 * float64(s.Count)))
+	for b, n := range p.Buckets {
+		cum += n
+		if cum >= target {
+			median = uint64(b)
+			break
+		}
+	}
+	if s.Q[0] < float64(median) || s.Q[0] > float64(median)+1 {
+		t.Errorf("p50 position %g not within median bucket %d", s.Q[0], median)
+	}
+}
+
+func TestQuantileInterpolationExact(t *testing.T) {
+	// 100 ops in bucket 4 ([16, 31]): p50 is rank 50, fraction 0.5
+	// through the bucket, position 4.5.
+	p := core.NewProfile("read")
+	for i := 0; i < 100; i++ {
+		p.Record(20)
+	}
+	s := Of(p)
+	if s.Q[0] != 4.5 {
+		t.Errorf("p50 position = %g, want 4.5", s.Q[0])
+	}
+	if math.Abs(s.Q[4]-4.999) > 1e-12 {
+		t.Errorf("p999 position = %g, want 4.999", s.Q[4])
+	}
+}
+
+func TestIdenticalAndDistanceZeroIffIdentical(t *testing.T) {
+	a := Of(prof(t, "read", 10, 200, 3000, 3000))
+	b := Of(prof(t, "read", 10, 200, 3000, 3000))
+	if !a.Identical(b) {
+		t.Fatal("equal histograms not Identical")
+	}
+	if d := Distance(a, b); d != 0 {
+		t.Errorf("Distance(identical) = %g, want exactly 0", d)
+	}
+	// Different op name, same histogram: still identical (shard merge).
+	c := Of(prof(t, "write", 10, 200, 3000, 3000))
+	if !a.Identical(c) || Distance(a, c) != 0 {
+		t.Error("op name must not break histogram identity")
+	}
+	// Any bucket change must be non-zero, even when too small for the
+	// sampled features (the Epsilon floor).
+	d := Of(prof(t, "read", 10, 201, 3000, 3000))
+	if a.Identical(d) {
+		t.Fatal("different histograms reported Identical")
+	}
+	if dist := Distance(a, d); dist <= 0 {
+		t.Errorf("Distance(different) = %g, want > 0", dist)
+	}
+}
+
+func TestDistanceOneSidedAndBounds(t *testing.T) {
+	full := Of(prof(t, "read", 100, 200))
+	var empty Summary
+	if d := Distance(full, empty); d != 1 {
+		t.Errorf("mass vs none = %g, want 1", d)
+	}
+	if d := Distance(empty, full); d != 1 {
+		t.Errorf("none vs mass = %g, want 1", d)
+	}
+	if d := Distance(empty, empty); d != 0 {
+		t.Errorf("none vs none = %g, want 0", d)
+	}
+	// A shift across the whole axis stays within [0, 1].
+	lo := Of(prof(t, "read", 1, 1, 1))
+	hi := Of(prof(t, "read", 1<<60, 1<<60, 1<<60))
+	if d := Distance(lo, hi); d <= 0 || d > 1 {
+		t.Errorf("extreme shift = %g, want (0, 1]", d)
+	}
+}
+
+func TestWithinGuard(t *testing.T) {
+	a := Of(prof(t, "read", 100, 100, 2000, 2000, 2000, 2000))
+	if !WithinGuard(a, a, DefaultGuard) {
+		t.Error("identical pair not within guard")
+	}
+	// Same structure (1500 and 2000 share bucket 10), slightly moved
+	// in-bucket quantiles: a wide guard must not escalate.
+	b := Of(prof(t, "read", 100, 100, 1500, 2000, 2000, 2000))
+	if b.Mode != a.Mode || b.Filled != a.Filled {
+		t.Fatalf("test setup: structure moved (mode %d/%d filled %d/%d)",
+			a.Mode, b.Mode, a.Filled, b.Filled)
+	}
+	if !WithinGuard(a, b, 1.0) {
+		t.Error("small in-bucket movement escalated at a wide guard")
+	}
+	// A new latency mode in an empty region: Filled changes, so the
+	// guard must force escalation no matter how small the mass.
+	c := prof(t, "read", 100, 100, 2000, 2000, 2000, 2000)
+	c.Record(1 << 30)
+	if WithinGuard(a, Of(c), 100) {
+		t.Error("new populated bucket passed the guard")
+	}
+	// One-sided mass always escalates.
+	var empty Summary
+	if WithinGuard(a, empty, 100) || WithinGuard(empty, a, 100) {
+		t.Error("one-sided pair passed the guard")
+	}
+}
+
+func TestPeakWitnessMatchesAnalysis(t *testing.T) {
+	// The summary's peak segmentation must agree with the selector's
+	// default peak detection, pinhole tolerance included.
+	p := core.NewProfile("read")
+	p.Buckets[3] = 10
+	p.Buckets[4] = 0 // pinhole: still one peak
+	p.Buckets[5] = 4
+	p.Buckets[10] = 7 // second peak after a 4-bucket gap
+	p.Buckets[20] = 1 // third
+	p.Count = 22
+	p.Min, p.Max = 8, 1<<21
+	peaks := analysis.FindPeaks(p)
+	s := Of(p)
+	if s.Peaks != len(peaks) {
+		t.Fatalf("summary sees %d peaks, analysis sees %d", s.Peaks, len(peaks))
+	}
+	// Shifting one peak's mode inside the pinhole region keeps the
+	// peak count but must change the witness hash.
+	q := core.NewProfile("read")
+	q.Buckets[3] = 4
+	q.Buckets[5] = 10 // mode of peak 1 moved 3 -> 5
+	q.Buckets[10] = 7
+	q.Buckets[20] = 1
+	q.Count = 22
+	q.Min, q.Max = 8, 1<<21
+	sq := Of(q)
+	if sq.Peaks != s.Peaks {
+		t.Fatalf("peak counts diverged: %d vs %d", sq.Peaks, s.Peaks)
+	}
+	if sq.PeakHash == s.PeakHash {
+		t.Fatal("mode shift did not change the peak witness")
+	}
+	if WithinGuard(s, sq, 100) {
+		t.Fatal("shifted peak mode passed the guard band")
+	}
+}
+
+func TestRate(t *testing.T) {
+	s := Of(prof(t, "read", 10, 10, 10, 10))
+	// 4 ops over one simulated second.
+	if r := s.Rate(cycles.PerSecond); r != 4 {
+		t.Errorf("rate over 1s = %g, want 4", r)
+	}
+	if r := s.Rate(cycles.PerSecond / 2); r != 8 {
+		t.Errorf("rate over 0.5s = %g, want 8", r)
+	}
+	if r := s.Rate(0); r != 0 {
+		t.Errorf("rate over 0 = %g, want 0", r)
+	}
+}
+
+// set builds a profile set with a deterministic multi-op workload.
+func testSet(name string, seed uint64) *core.Set {
+	s := core.NewSet(name)
+	ops := []string{"read", "write", "open", "fsync"}
+	for i := 0; i < 2000; i++ {
+		op := ops[i%len(ops)]
+		lat := (uint64(i)*2654435761 + seed) % (1 << 22)
+		s.Record(op, lat+1)
+	}
+	return s
+}
+
+func TestFromSetSummary(t *testing.T) {
+	set := testSet("app", 1)
+	var ss SetSummary
+	ss.From(set, 3)
+	if ss.Name != "app" || ss.R != 1 {
+		t.Fatalf("identity: %q r=%d", ss.Name, ss.R)
+	}
+	if len(ss.Ops) != 4 {
+		t.Fatalf("ops: %d, want 4", len(ss.Ops))
+	}
+	for i := 1; i < len(ss.Ops); i++ {
+		if ss.Ops[i-1].Op >= ss.Ops[i].Op {
+			t.Errorf("ops not sorted: %q >= %q", ss.Ops[i-1].Op, ss.Ops[i].Op)
+		}
+	}
+	if ss.Overall.Count != set.TotalOps() || ss.Overall.Total != set.TotalLatency() {
+		t.Errorf("overall checksums: %d/%d, want %d/%d",
+			ss.Overall.Count, ss.Overall.Total, set.TotalOps(), set.TotalLatency())
+	}
+	if len(ss.TopByCount) != 3 || len(ss.TopByLatency) != 3 {
+		t.Fatalf("top-k lengths: %d/%d, want 3/3", len(ss.TopByCount), len(ss.TopByLatency))
+	}
+	for i := 1; i < len(ss.TopByLatency); i++ {
+		a, b := ss.Ops[ss.TopByLatency[i-1]], ss.Ops[ss.TopByLatency[i]]
+		if a.Total < b.Total {
+			t.Errorf("top-by-latency not descending: %d < %d", a.Total, b.Total)
+		}
+	}
+	for i := 1; i < len(ss.TopByCount); i++ {
+		a, b := ss.Ops[ss.TopByCount[i-1]], ss.Ops[ss.TopByCount[i]]
+		if a.Count < b.Count {
+			t.Errorf("top-by-count not descending: %d < %d", a.Count, b.Count)
+		}
+	}
+	// Lookup must find every op and miss unknowns.
+	for _, op := range []string{"read", "write", "open", "fsync"} {
+		if got := ss.Lookup(op); got == nil || got.Op != op {
+			t.Errorf("Lookup(%q) = %v", op, got)
+		}
+	}
+	if ss.Lookup("llseek") != nil {
+		t.Error("Lookup(llseek) found a ghost op")
+	}
+}
+
+func TestSetsIdenticalAndDistance(t *testing.T) {
+	a := OfSet(testSet("app", 1), 0)
+	b := OfSet(testSet("app", 1), 0)
+	if !SetsIdentical(a, b) {
+		t.Fatal("equal sets not identical")
+	}
+	if d := SetDistance(a, b); d != 0 {
+		t.Errorf("SetDistance(identical) = %g, want 0", d)
+	}
+	c := OfSet(testSet("app", 999), 0)
+	if SetsIdentical(a, c) {
+		t.Fatal("different seeds reported identical")
+	}
+	if d := SetDistance(a, c); d <= 0 || d > 1 {
+		t.Errorf("SetDistance(different) = %g, want (0, 1]", d)
+	}
+	// An op present on one side only contributes the maximal 1.
+	extra := testSet("app", 1)
+	for i := 0; i < 500; i++ {
+		extra.Record("llseek", 1<<30)
+	}
+	e := OfSet(extra, 0)
+	if d := SetDistance(a, e); d <= 0 {
+		t.Errorf("one-sided op: distance %g, want > 0", d)
+	}
+}
+
+func TestOfAllocationFree(t *testing.T) {
+	p := prof(t, "read", 10, 200, 3000, 40000, 500000)
+	var sink Summary
+	if n := testing.AllocsPerRun(100, func() { sink = Of(p) }); n != 0 {
+		t.Fatalf("Of allocates %v times per run, want 0", n)
+	}
+	_ = sink
+}
+
+func TestFromAllocationFreeSteadyState(t *testing.T) {
+	a, b := testSet("app", 1), testSet("app", 2)
+	var ss SetSummary
+	ss.From(a, DefaultTopK) // warm the scratch
+	if n := testing.AllocsPerRun(100, func() {
+		ss.From(a, DefaultTopK)
+		ss.From(b, DefaultTopK)
+	}); n != 0 {
+		t.Fatalf("SetSummary.From allocates %v times per run in steady state, want 0", n)
+	}
+}
+
+func TestSetDistanceAllocationFree(t *testing.T) {
+	a := OfSet(testSet("app", 1), 0)
+	b := OfSet(testSet("app", 2), 0)
+	var sink float64
+	if n := testing.AllocsPerRun(100, func() { sink = SetDistance(a, b) }); n != 0 {
+		t.Fatalf("SetDistance allocates %v times per run, want 0", n)
+	}
+	_ = sink
+}

@@ -40,6 +40,7 @@ import (
 	"osprof/internal/report"
 	"osprof/internal/scenario"
 	"osprof/internal/store"
+	"osprof/internal/summary"
 	"osprof/internal/watch"
 )
 
@@ -237,6 +238,13 @@ func ReadDelta(r io.Reader) (*Delta, error) { return core.ReadDelta(r) }
 // envelopes (the batched /v1/ingest wire format).
 func NewRunEnvelopeReader(r io.Reader) *RunEnvelopeReader { return core.NewEnvelopeReader(r) }
 
+// NewSummaryFirstDiff returns a differential engine that screens every
+// pair with the alloc-free summary digests first, escalating to the
+// full peak/EMD analysis only when the digests cannot witness the
+// verdict — identical answers, a fraction of the cost on unchanged
+// pairs.
+func NewSummaryFirstDiff() *DiffEngine { return diff.NewSummaryFirst() }
+
 // NewDiff returns a differential-analysis engine with the standard
 // selector (EMD scoring, the paper's recommended metric).
 func NewDiff() *DiffEngine { return diff.New() }
@@ -428,3 +436,28 @@ func NewWatch() *WatchEngine { return watch.New() }
 // RenderWatch writes a watch verdict with its drifted operations and
 // nearest corpus labels.
 func RenderWatch(w io.Writer, rep *WatchReport) { report.Watch(w, rep) }
+
+// Re-exported streaming-summary types (see internal/summary): the
+// alloc-free digest tier — per-profile quantiles (p50→p999), peak
+// structure, and set-level hottest operations — that the diff engine,
+// the classifier, and the service consult before any exact analysis.
+type (
+	// ProfileSummary is one profile's fixed-size digest.
+	ProfileSummary = summary.Summary
+
+	// ProfileSetSummary digests a whole set, with its hottest
+	// operations by count and by total latency.
+	ProfileSetSummary = summary.SetSummary
+)
+
+// Summarize digests one profile: quantiles, peak structure, mode
+// bucket, and rate, without walking the set twice or allocating.
+func Summarize(p *Profile) ProfileSummary { return summary.Of(p) }
+
+// SummarizeSet digests every operation of s plus the k hottest
+// operations (the package default when k is negative).
+func SummarizeSet(s *Set, k int) *ProfileSetSummary { return summary.OfSet(s, k) }
+
+// RenderSummary writes the digest as a per-operation quantile table
+// with the hottest operations.
+func RenderSummary(w io.Writer, ss *ProfileSetSummary) { report.RenderSummary(w, report.SummaryOf(ss)) }

@@ -274,3 +274,47 @@ func TestFacadeWrappersRecord(t *testing.T) {
 		t.Errorf("wrapper ops: %v", set.Ops())
 	}
 }
+
+func TestFacadeSummaryAndSummaryFirstDiff(t *testing.T) {
+	set := osprof.NewSet("summary-facade")
+	for i := 0; i < 1000; i++ {
+		lat := uint64(1 << 10)
+		if i%50 == 0 {
+			lat = 1 << 20 // a slow mode
+		}
+		set.Record("read", lat)
+	}
+	set.Record("unlink", 1<<8)
+
+	ps := osprof.Summarize(set.Lookup("read"))
+	if ps.Count != 1000 {
+		t.Fatalf("Count = %d, want 1000", ps.Count)
+	}
+	if p50, p999 := ps.QLatency[0], ps.QLatency[len(ps.QLatency)-1]; p50 >= p999 {
+		t.Fatalf("p50 %d not below p999 %d", p50, p999)
+	}
+
+	ss := osprof.SummarizeSet(set, -1)
+	if len(ss.Ops) != 2 {
+		t.Fatalf("ops = %d, want 2", len(ss.Ops))
+	}
+	if len(ss.TopByCount) == 0 || ss.Ops[ss.TopByCount[0]].Op != "read" {
+		t.Fatalf("TopByCount = %v, want read first", ss.TopByCount)
+	}
+	var buf bytes.Buffer
+	osprof.RenderSummary(&buf, ss)
+	for _, want := range []string{"READ", "P999", "hottest by count"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("render missing %q:\n%s", want, buf.String())
+		}
+	}
+
+	// The summary-first engine must agree with the exhaustive one.
+	a := &osprof.Run{Set: set}
+	twin := *set
+	b := &osprof.Run{Set: &twin}
+	fast, full := osprof.NewSummaryFirstDiff().Runs(a, b), osprof.NewDiff().Runs(a, b)
+	if fast.Changed != 0 || fast.Changed != full.Changed {
+		t.Fatalf("self-diff changed: fast %d, full %d, want 0", fast.Changed, full.Changed)
+	}
+}

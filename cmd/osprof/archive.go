@@ -28,9 +28,12 @@ import (
 // fault preset applied to every selected scenario before recording:
 // the degraded twin keeps the scenario's name — the watch layer
 // matches ingests to baselines by name — but fingerprints as its own
-// world, so healthy baselines are never overwritten.
+// world, so healthy baselines are never overwritten. traceOn records
+// each scenario with layer tracing enabled (internal/trace): the
+// traced twin also keeps its name but fingerprints as its own world,
+// so untraced baselines and their byte-identical envelopes survive.
 func cmdRecord(rest []string, seed int64, archiveDir string, opt runner.Options,
-	jsonOut, markBaseline bool, inject string, stdout, stderr io.Writer) int {
+	jsonOut, markBaseline bool, inject string, traceOn bool, stdout, stderr io.Writer) int {
 	if inject == "list" {
 		for _, name := range fault.PresetNames() {
 			fmt.Fprintln(stdout, name)
@@ -42,19 +45,24 @@ func cmdRecord(rest []string, seed int64, archiveDir string, opt runner.Options,
 		return 2
 	}
 	reg, fps, ids := experiments.Recordables(seed)
-	if inject != "" {
-		if _, ok := fault.Preset(inject); !ok {
-			fmt.Fprintf(stderr, "osprof: unknown fault preset %q (try `osprof record -inject list`)\n", inject)
-			return 2
+	if inject != "" || traceOn {
+		if inject != "" {
+			if _, ok := fault.Preset(inject); !ok {
+				fmt.Fprintf(stderr, "osprof: unknown fault preset %q (try `osprof record -inject list`)\n", inject)
+				return 2
+			}
 		}
 		reg = make(map[string]func() experiments.Result, len(ids))
 		fps = make(map[string]string, len(ids))
 		ids = ids[:0]
 		for _, spec := range experiments.RecordableSpecs(seed) {
 			spec := spec
-			// A fresh preset per spec: scenarios must not share fault
-			// state even by accident.
-			spec.Injections, _ = fault.Preset(inject)
+			if inject != "" {
+				// A fresh preset per spec: scenarios must not share
+				// fault state even by accident.
+				spec.Injections, _ = fault.Preset(inject)
+			}
+			spec.Trace = traceOn
 			reg[spec.Name] = func() experiments.Result { return experiments.RecordScenario(spec) }
 			fps[spec.Name] = spec.Fingerprint()
 			ids = append(ids, spec.Name)
@@ -96,6 +104,9 @@ func cmdRecord(rest []string, seed int64, archiveDir string, opt runner.Options,
 	}
 	if inject != "" {
 		verb = "injected"
+	}
+	if traceOn {
+		verb = "traced"
 	}
 	return runArchived(arch, jobs, opt, jsonOut, stdout, stderr, post,
 		func(w io.Writer, rr *runner.RunResult) {
@@ -195,7 +206,7 @@ func cmdBaselineList(archiveDir string, stdout, stderr io.Writer) int {
 // all) it runs the regression gate. Exit codes: 0 no differences, 1
 // differences found, 2 usage/archive errors.
 func cmdDiff(rest []string, seed int64, archiveDir string, opt runner.Options,
-	jsonOut bool, stdout, stderr io.Writer) int {
+	jsonOut, layers bool, stdout, stderr io.Writer) int {
 	arch, err := store.Open(archiveDir)
 	if err != nil {
 		fmt.Fprintf(stderr, "osprof: %v\n", err)
@@ -211,13 +222,17 @@ func cmdDiff(rest []string, seed int64, archiveDir string, opt runner.Options,
 	}
 	isRef := func(s string) bool { return !scenarioID[s] && isRunRef(s) }
 	if len(rest) == 2 && isRef(rest[0]) && isRef(rest[1]) {
-		return diffPair(arch, rest[0], rest[1], jsonOut, stdout, stderr)
+		return diffPair(arch, rest[0], rest[1], jsonOut, layers, stdout, stderr)
 	}
 	for _, r := range rest {
 		if isRef(r) {
 			fmt.Fprintf(stderr, "osprof: diff takes exactly two run references (or scenario ids for the gate), got %q\n", r)
 			return 2
 		}
+	}
+	if layers {
+		fmt.Fprintln(stderr, "osprof: -layers applies to the pairwise diff, not the regression gate")
+		return 2
 	}
 	return diffGate(arch, rest, seed, fps, opt, jsonOut, stdout, stderr)
 }
@@ -269,7 +284,10 @@ func resolveRun(arch *store.Archive, ref string) (*core.Run, error) {
 }
 
 // diffPair renders the differential analysis of two referenced runs.
-func diffPair(arch *store.Archive, refA, refB string, jsonOut bool, stdout, stderr io.Writer) int {
+// layers renders only the layer attribution (`osprof diff -layers`):
+// which layer each changed traced operation moved in, without the
+// per-operation verdict table or histograms.
+func diffPair(arch *store.Archive, refA, refB string, jsonOut, layers bool, stdout, stderr io.Writer) int {
 	a, err := resolveRun(arch, refA)
 	if err != nil {
 		fmt.Fprintf(stderr, "osprof: %s: %v\n", refA, err)
@@ -281,12 +299,23 @@ func diffPair(arch *store.Archive, refA, refB string, jsonOut bool, stdout, stde
 		return 2
 	}
 	rep := diff.New().Runs(a, b)
-	if jsonOut {
+	switch {
+	case jsonOut:
 		if err := report.JSON(stdout, rep); err != nil {
 			fmt.Fprintf(stderr, "osprof: %v\n", err)
 			return 2
 		}
-	} else {
+	case layers:
+		fmt.Fprintf(stdout, "=== diff -layers %q -> %q ===\n", rep.NameA, rep.NameB)
+		fmt.Fprintf(stdout, "%d operations compared, %d changed\n", len(rep.Ops), rep.Changed)
+		if len(rep.Layers) == 0 {
+			fmt.Fprintln(stdout, "no layer attribution (untraced runs, or nothing moved); record with -trace")
+		}
+		for _, mv := range rep.Layers {
+			fmt.Fprintf(stdout, "%-18s moved in %-10s %-14s score=%.3g  %s\n",
+				mv.Op, mv.Layer, mv.Verdict, mv.Score, mv.Detail)
+		}
+	default:
 		report.Diff(stdout, rep, a.Set, b.Set, report.Options{})
 	}
 	if rep.Regression() {

@@ -136,13 +136,15 @@ func cmdServe(rest []string, archiveDir, addr string, drain time.Duration,
 
 // cmdArchive implements `osprof archive list|gc`. The list subcommand
 // mirrors GET /v1/runs' cursor paging: -limit bounds the page, -after
-// resumes past a previous page's last sequence number; without either
-// flag the full listing (and its JSON document) is byte-identical to
-// before paging existed.
+// resumes past a previous page's last sequence number, and -label
+// restricts the listing to runs carrying that corpus label (the Seq
+// cursor then pages the filtered sequence, as GET /v1/runs?label=
+// does). Without any flag the full listing (and its JSON document) is
+// byte-identical to before paging existed.
 func cmdArchive(rest []string, archiveDir string, keep, limit, after int,
-	jsonOut bool, stdout, stderr io.Writer) int {
+	label string, jsonOut bool, stdout, stderr io.Writer) int {
 	if len(rest) != 1 || (rest[0] != "list" && rest[0] != "gc") {
-		fmt.Fprintln(stderr, "osprof: usage: osprof archive list [-limit N] [-after SEQ] | osprof archive gc [-keep N]")
+		fmt.Fprintln(stderr, "osprof: usage: osprof archive list [-limit N] [-after SEQ] [-label L] | osprof archive gc [-keep N]")
 		return 2
 	}
 	arch, err := store.Open(archiveDir)
@@ -156,10 +158,22 @@ func cmdArchive(rest []string, archiveDir string, keep, limit, after int,
 			fmt.Fprintln(stderr, "osprof: archive list needs -limit >= 0 and -after >= 0")
 			return 2
 		}
-		if limit > 0 || after > 0 {
-			entries, more, err := arch.ListPage(after, limit)
+		row := func(e store.Entry) {
+			labelCol := ""
+			if e.Label != "" {
+				labelCol = " label=" + e.Label
+			}
+			fmt.Fprintf(stdout, "run %-4d %.12s fingerprint=%.12s %s%s\n",
+				e.Seq, e.ID, orDash(e.Fingerprint), e.Name, labelCol)
+		}
+		if limit > 0 || after > 0 || label != "" {
+			entries, more, labelAware, err := arch.ListPageLabel(label, after, limit)
 			if err != nil {
 				fmt.Fprintf(stderr, "osprof: %v\n", err)
+				return 2
+			}
+			if label != "" && !labelAware {
+				fmt.Fprintln(stderr, "osprof: archive index predates label mirroring; re-record to rebuild it")
 				return 2
 			}
 			if jsonOut {
@@ -170,8 +184,7 @@ func cmdArchive(rest []string, archiveDir string, keep, limit, after int,
 				return 0
 			}
 			for _, e := range entries {
-				fmt.Fprintf(stdout, "run %-4d %.12s fingerprint=%.12s %s\n",
-					e.Seq, e.ID, orDash(e.Fingerprint), e.Name)
+				row(e)
 			}
 			if more && len(entries) > 0 {
 				fmt.Fprintf(stdout, "more runs follow: resume with -after %d\n",
@@ -192,8 +205,7 @@ func cmdArchive(rest []string, archiveDir string, keep, limit, after int,
 			return 0
 		}
 		for _, e := range entries {
-			fmt.Fprintf(stdout, "run %-4d %.12s fingerprint=%.12s %s\n",
-				e.Seq, e.ID, orDash(e.Fingerprint), e.Name)
+			row(e)
 		}
 		return 0
 

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"osprof/internal/experiments"
+	"osprof/internal/fault"
+	"osprof/internal/report"
+	"osprof/internal/scenario"
+)
+
+// cmdTrace implements `osprof trace`: run the selected recordable
+// scenarios with layer tracing enabled and print each run's per-layer
+// latency decomposition — which layer a request spends its time in,
+// and which layer dominates its critical path. -inject composes: the
+// traced run of a degraded scenario shows the fault's layer signature
+// directly (`osprof trace -inject cpu-hog fig3/preempt` attributes the
+// flusher-lock stall to the fs layer). Runs are not archived; use
+// `osprof record -trace` for archival traced runs.
+func cmdTrace(rest []string, seed int64, inject string, jsonOut bool,
+	stdout, stderr io.Writer) int {
+	specs := experiments.RecordableSpecs(seed)
+	byID := make(map[string]scenario.Spec, len(specs))
+	ids := make([]string, 0, len(specs))
+	for _, sp := range specs {
+		byID[sp.Name] = sp
+		ids = append(ids, sp.Name)
+	}
+	if len(rest) == 1 && rest[0] == "list" {
+		for _, id := range ids {
+			fmt.Fprintln(stdout, id)
+		}
+		return 0
+	}
+	if inject != "" {
+		if _, ok := fault.Preset(inject); !ok {
+			fmt.Fprintf(stderr, "osprof: unknown fault preset %q (try `osprof record -inject list`)\n", inject)
+			return 2
+		}
+	}
+	ids = expand(rest, ids)
+	failed := 0
+	var docs []*report.LayersDoc
+	for _, id := range ids {
+		spec, ok := byID[id]
+		if !ok {
+			fmt.Fprintf(stderr, "osprof: unknown scenario %q (try `osprof trace list`)\n", id)
+			return 2
+		}
+		if inject != "" {
+			// A fresh preset per spec, as in cmdRecord: scenarios must
+			// not share fault state.
+			spec.Injections, _ = fault.Preset(inject)
+		}
+		spec.Trace = true
+		r := experiments.RecordScenario(spec)
+		checks := r.Checks()
+		for _, c := range checks {
+			if !c.OK {
+				failed++
+			}
+		}
+		if jsonOut {
+			if r.Err == nil {
+				docs = append(docs, report.LayersOf(r.Stack.Set))
+			}
+			continue
+		}
+		fmt.Fprintf(stdout, "### %s\n", id)
+		if r.Err != nil {
+			fmt.Fprintf(stdout, "error: %v\n", r.Err)
+		} else {
+			report.Layers(stdout, r.Stack.Set)
+		}
+		experiments.WriteCheckList(stdout, checks)
+		fmt.Fprintln(stdout)
+	}
+	if jsonOut {
+		if err := report.JSON(stdout, docs); err != nil {
+			fmt.Fprintf(stderr, "osprof: %v\n", err)
+			return 2
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(stderr, "osprof: %d failed checks\n", failed)
+		return 1
+	}
+	return 0
+}

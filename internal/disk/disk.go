@@ -21,6 +21,7 @@ import (
 
 	"osprof/internal/cycles"
 	"osprof/internal/sim"
+	"osprof/internal/trace"
 )
 
 // Config describes the drive geometry and timing.
@@ -111,6 +112,12 @@ type Request struct {
 	// Timestamps and classification filled in by the drive.
 	SubmitTime, StartTime, EndTime uint64
 	CacheHit                       bool
+
+	// Trace, when valid, credits the submitting request's span tree at
+	// completion: queue wait to the driver layer, service time to the
+	// disk layer. The zero value (untraced run, daemon writeback, or a
+	// submit outside any request) is inert.
+	Trace trace.Token
 }
 
 // Stats aggregates drive activity.
@@ -162,6 +169,7 @@ type Disk struct {
 	cache    []segment // most recent last
 	probe    Probe
 	injector Injector
+	tr       *trace.Tracer
 	drainers []*sim.Proc
 }
 
@@ -182,6 +190,16 @@ func (d *Disk) SetProbe(p Probe) { d.probe = p }
 
 // SetInjector installs a fault injector (nil uninstalls).
 func (d *Disk) SetInjector(i Injector) { d.injector = i }
+
+// SetTracer installs the layer tracer consulted by TraceToken and the
+// synchronous Read/Write paths.
+func (d *Disk) SetTracer(tr *trace.Tracer) { d.tr = tr }
+
+// TraceToken captures a span-credit token for p's open request, for
+// callers that build Requests themselves (the file systems' readpage
+// paths). The zero token is returned — and is inert — when tracing is
+// off or p has no open request.
+func (d *Disk) TraceToken(p *sim.Proc) trace.Token { return d.tr.Token(p) }
 
 // QueueLen reports the number of requests waiting or in service.
 func (d *Disk) QueueLen() int {
@@ -218,7 +236,7 @@ func (d *Disk) Submit(r *Request) {
 // Read performs a synchronous read: the calling process blocks until
 // the data is available.
 func (d *Disk) Read(p *sim.Proc, lba, blocks uint64) *Request {
-	r := &Request{LBA: lba, Blocks: blocks}
+	r := &Request{LBA: lba, Blocks: blocks, Trace: d.tr.Token(p)}
 	k := d.k
 	r.OnComplete = func() { k.Wake(p) }
 	d.Submit(r)
@@ -228,7 +246,7 @@ func (d *Disk) Read(p *sim.Proc, lba, blocks uint64) *Request {
 
 // Write performs a synchronous write.
 func (d *Disk) Write(p *sim.Proc, lba, blocks uint64) *Request {
-	r := &Request{LBA: lba, Blocks: blocks, Write: true}
+	r := &Request{LBA: lba, Blocks: blocks, Write: true, Trace: d.tr.Token(p)}
 	k := d.k
 	r.OnComplete = func() { k.Wake(p) }
 	d.Submit(r)
@@ -279,6 +297,7 @@ func (d *Disk) complete(r *Request) {
 	if d.probe != nil {
 		d.probe.Completed(r)
 	}
+	r.Trace.Credit(r.StartTime-r.SubmitTime, r.EndTime-r.StartTime)
 	if r.OnComplete != nil {
 		r.OnComplete()
 	}

@@ -1,0 +1,160 @@
+package experiments_test
+
+import (
+	"testing"
+
+	"osprof/internal/diff"
+	"osprof/internal/experiments"
+	"osprof/internal/fault"
+	"osprof/internal/runner"
+	"osprof/internal/scenario"
+	"osprof/internal/sim"
+	"osprof/internal/store"
+	"osprof/internal/vfs"
+)
+
+// layerSpec is the constructed pair for the layer-attribution test: a
+// single uncached random reader against /bigfile on ext2. Uncached
+// reads take the direct-I/O path, which holds the file's inode
+// semaphore across the disk read — so a flusher-lock hog camping on
+// the same semaphore makes the victim block inside the fs layer, and
+// the traced profiles should say exactly that. One reader keeps the
+// healthy baseline free of self-contention on that semaphore; the
+// whole regression is the hog's.
+func layerSpec(injected bool) scenario.Spec {
+	spec := scenario.Spec{
+		Name:    "ext2/randomread-layers",
+		Backend: scenario.Ext2,
+		Kernel: sim.Config{
+			NumCPUs:       1,
+			ContextSwitch: 9_350,
+			WakePreempt:   true,
+			Seed:          7,
+		},
+		CachePages: 1 << 13,
+		Instrument: scenario.Instrument{Point: scenario.FSLevel},
+		Files:      []scenario.FileSpec{{Name: "bigfile", Size: 512 * vfs.PageSize}},
+		Trace:      true,
+		Workloads: []scenario.Workload{
+			{Kind: scenario.RandomRead, Procs: 1, Amount: 200, Seed: 3, Think: 300_000},
+		},
+	}
+	if injected {
+		// Equal busy/sleep: the hog holds /bigfile's i_sem about half
+		// the time, serializing every direct read behind its bursts.
+		spec.Injections = &fault.Spec{
+			Hog: &fault.HogDaemon{Busy: 1 << 17, Sleep: 1 << 17, LockPath: "/bigfile"},
+		}
+	}
+	return spec
+}
+
+// The acceptance scenario for the layer subsystem: a layered diff of a
+// healthy run against its flusher-lock-degraded twin must attribute
+// the read regression to the fs layer — the lock lives in the file
+// system, not in the VFS, the cache, or the disk.
+func TestLayeredDiffAttributesFlusherLockToFS(t *testing.T) {
+	healthy := experiments.RecordScenario(layerSpec(false))
+	if healthy.Err != nil {
+		t.Fatal(healthy.Err)
+	}
+	faulty := experiments.RecordScenario(layerSpec(true))
+	if faulty.Err != nil {
+		t.Fatal(faulty.Err)
+	}
+	rep := diff.New().Sets(healthy.ProfileSet(), faulty.ProfileSet())
+	if len(rep.Layers) == 0 {
+		t.Fatal("layered diff of a traced pair produced no layer attribution")
+	}
+	var read *diff.LayerMove
+	for i := range rep.Layers {
+		if rep.Layers[i].Op == "read" {
+			read = &rep.Layers[i]
+			break
+		}
+	}
+	if read == nil {
+		t.Fatalf("no layer attribution for read: %+v", rep.Layers)
+	}
+	if read.Layer != "fs" {
+		t.Errorf("read regression attributed to %q, want fs: %+v", read.Layer, *read)
+	}
+	if read.MeanB <= read.MeanA {
+		t.Errorf("fs self-mean did not regress: %d -> %d", read.MeanA, read.MeanB)
+	}
+}
+
+// goldenRunIDs pins the content addresses (sha256 of the canonical run
+// envelope) of two untraced scenarios at seed 1, captured before the
+// trace subsystem existed. Tracing off must leave the recorded
+// envelopes byte-identical — run-ID equality is exactly that claim.
+var goldenRunIDs = map[string]string{
+	"fig3/preempt":  "c28ceb5f1190b331b7cccb809fc16a05c104280370df45c7cb6bab0303010223",
+	"ext2/readzero": "ffc7eec95c442953d7af4d0028d1bfccd6cfac7196854edb75f61acee3f8c30e",
+}
+
+func TestUntracedEnvelopesByteIdentical(t *testing.T) {
+	arch, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, fps, _ := experiments.Recordables(1)
+	var jobs []runner.Job
+	for id := range goldenRunIDs {
+		if reg[id] == nil {
+			t.Fatalf("recordable %s disappeared from the registry", id)
+		}
+		jobs = append(jobs, runner.Job{ID: id, New: reg[id], Fingerprint: fps[id]})
+	}
+	for _, rr := range runner.Run(jobs, runner.Options{Archive: arch}) {
+		if !rr.OK() {
+			t.Errorf("%s: failed checks: %+v", rr.ID, rr)
+		}
+		if want := goldenRunIDs[rr.ID]; rr.RunID != want {
+			t.Errorf("%s: run ID %s, want golden %s (envelope bytes changed)", rr.ID, rr.RunID, want)
+		}
+	}
+}
+
+// tracedGoldenRunID pins the traced fig3/preempt envelope at seed 1:
+// traced runs are worlds of their own, but they are still
+// deterministic worlds, so their content address is as stable as any
+// untraced golden.
+const tracedGoldenRunID = "d37346270ee6a22a18512e0cae201e6d6539b7980f1d3b4b19ee08b3ab2181fd"
+
+func TestTracedRunDeterministic(t *testing.T) {
+	var spec scenario.Spec
+	for _, s := range experiments.RecordableSpecs(1) {
+		if s.Name == "fig3/preempt" {
+			spec = s
+			break
+		}
+	}
+	if spec.Name == "" {
+		t.Fatal("fig3/preempt missing from recordable specs")
+	}
+	spec.Trace = true
+	job := runner.Job{
+		ID:          spec.Name,
+		New:         func() experiments.Result { return experiments.RecordScenario(spec) },
+		Fingerprint: spec.Fingerprint(),
+	}
+	var ids []string
+	for i := 0; i < 2; i++ {
+		arch, err := store.Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr := runner.Run([]runner.Job{job}, runner.Options{Archive: arch})[0]
+		if !rr.OK() {
+			t.Fatalf("traced run failed: %+v", rr)
+		}
+		ids = append(ids, rr.RunID)
+	}
+	if ids[0] != ids[1] {
+		t.Fatalf("traced run is not deterministic: %s vs %s", ids[0], ids[1])
+	}
+	if ids[0] != tracedGoldenRunID {
+		t.Errorf("traced fig3/preempt run ID %s, want pinned %s", ids[0], tracedGoldenRunID)
+	}
+}

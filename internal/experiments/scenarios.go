@@ -114,8 +114,11 @@ func (r *ScenarioResult) Checks() []Check {
 		set.Validate() == nil, "%s", errDetail(set.Validate())))
 
 	// Full profiling's smallest observable latency is the ~40-cycle
-	// TSC window between the probe reads (§5.2) — bucket 5.
-	if r.Spec.Instrument.Point == scenario.FSLevel && !r.Spec.Instrument.Sampled {
+	// TSC window between the probe reads (§5.2) — bucket 5. Traced
+	// runs are exempt: layer self-times are subtractions (inclusive
+	// minus children), not probe-pair measurements, so a thin layer
+	// can legitimately land below the probe floor.
+	if r.Spec.Instrument.Point == scenario.FSLevel && !r.Spec.Instrument.Sampled && !r.Spec.Trace {
 		minBucket := 99
 		for _, prof := range set.Profiles() {
 			if prof.Count == 0 {
@@ -160,6 +163,9 @@ func (r *ScenarioResult) RunMeta() map[string]string {
 	}
 	if r.Spec.Label != "" {
 		m[store.LabelMetaKey] = r.Spec.Label
+	}
+	if r.Spec.Trace {
+		m["traced"] = "true"
 	}
 	return m
 }

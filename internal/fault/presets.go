@@ -26,6 +26,12 @@ import (
 //     victim operation issued meanwhile absorbs it whole; a
 //     preemptive kernel clips the damage at quantum granularity — the
 //     same fault, two distinguishable signatures.
+//   - flusher-lock: the §4.3 pathology — a daemon that camps on
+//     /bigfile's inode semaphore (i_sem) across each CPU burst, at a
+//     ~50% duty cycle, serializing every direct I/O and metadata
+//     operation on that inode behind it. Victims block inside the
+//     file system, so a traced run attributes the damage to the fs
+//     layer — unlike cpu-hog, which inflates every layer it preempts.
 var presets = map[string]func() *Spec{
 	"disk-flaky": func() *Spec {
 		return &Spec{Disk: &DiskFaults{
@@ -45,6 +51,13 @@ var presets = map[string]func() *Spec{
 		return &Spec{Hog: &HogDaemon{
 			Busy:  1 << 17, // 8 corpus quanta per burst
 			Sleep: 1 << 19, // ~20% duty cycle
+		}}
+	},
+	"flusher-lock": func() *Spec {
+		return &Spec{Hog: &HogDaemon{
+			Busy:     1 << 20, // ~a quarter media read per hold
+			Sleep:    1 << 18, // ~80% duty cycle: the lock is the story
+			LockPath: "/bigfile",
 		}}
 	},
 }

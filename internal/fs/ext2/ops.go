@@ -264,7 +264,7 @@ func (fs *FS) dirtyDirBlock(p *sim.Proc, dir *vfs.Inode) {
 // It returns after starting the I/O; waiting happens at the caller.
 func (fs *FS) readPage(p *sim.Proc, ino *vfs.Inode, idx uint64) {
 	p.Exec(fs.cfg.ReadPageInit)
-	fs.startRead(ino, idx, 1)
+	fs.startRead(p, ino, idx, 1)
 }
 
 // readPages initiates a batched readahead of n pages starting at idx
@@ -274,13 +274,15 @@ func (fs *FS) readPages(p *sim.Proc, ino *vfs.Inode, idx, n uint64) {
 	if n == 0 {
 		n = 1
 	}
-	fs.startRead(ino, idx, n)
+	fs.startRead(p, ino, idx, n)
 }
 
 // startRead creates the missing pages of [idx, idx+n), marks them under
 // I/O and submits a single contiguous disk read; completion validates
-// the pages and wakes waiters.
-func (fs *FS) startRead(ino *vfs.Inode, idx, n uint64) {
+// the pages and wakes waiters. The submitting process's trace token
+// rides along so the request's queue wait and service time are carved
+// out of whatever wait the initiator ends up blocked in.
+func (fs *FS) startRead(p *sim.Proc, ino *vfs.Inode, idx, n uint64) {
 	info := fs.info(ino)
 	var pending []*mem.Page
 	var first, last uint64
@@ -303,6 +305,7 @@ func (fs *FS) startRead(ino *vfs.Inode, idx, n uint64) {
 	fs.d.Submit(&disk.Request{
 		LBA:    info.start + first,
 		Blocks: last - first + 1,
+		Trace:  fs.d.TraceToken(p),
 		OnComplete: func() {
 			for _, pg := range pending {
 				pc.MarkUptodate(pg)

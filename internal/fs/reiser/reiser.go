@@ -253,7 +253,7 @@ func (fs *FS) writeSuper(p *sim.Proc) {
 
 func (fs *FS) readPage(p *sim.Proc, ino *vfs.Inode, idx uint64) {
 	p.Exec(1_200)
-	fs.startRead(ino, idx, 1)
+	fs.startRead(p, ino, idx, 1)
 }
 
 func (fs *FS) readPages(p *sim.Proc, ino *vfs.Inode, idx, n uint64) {
@@ -261,10 +261,10 @@ func (fs *FS) readPages(p *sim.Proc, ino *vfs.Inode, idx, n uint64) {
 	if n == 0 {
 		n = 1
 	}
-	fs.startRead(ino, idx, n)
+	fs.startRead(p, ino, idx, n)
 }
 
-func (fs *FS) startRead(ino *vfs.Inode, idx, n uint64) {
+func (fs *FS) startRead(p *sim.Proc, ino *vfs.Inode, idx, n uint64) {
 	info := ino.Data.(*inodeInfo)
 	var pending []*mem.Page
 	var first, last uint64
@@ -287,6 +287,7 @@ func (fs *FS) startRead(ino *vfs.Inode, idx, n uint64) {
 	fs.d.Submit(&disk.Request{
 		LBA:    info.start + first,
 		Blocks: last - first + 1,
+		Trace:  fs.d.TraceToken(p),
 		OnComplete: func() {
 			for _, pg := range pending {
 				pc.MarkUptodate(pg)

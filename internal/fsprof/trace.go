@@ -1,0 +1,160 @@
+package fsprof
+
+import (
+	"osprof/internal/sim"
+	"osprof/internal/trace"
+	"osprof/internal/vfs"
+)
+
+// TracedOps is a file system whose operation vectors have been wrapped
+// in file-system layer spans (internal/trace), using the same in-place
+// FoSgen-style replacement as Instrumented: nested operations (readdir
+// calling readpage) open nested fs-layer spans, whose self-times sum
+// without double counting.
+//
+// Install the trace wrapper AFTER the profiling wrapper, so the span
+// brackets everything the profiler sees — probe overhead included —
+// and the layer decomposition explains the recorded fs-level profile
+// rather than an idealized one.
+type TracedOps struct {
+	FS   vfs.FileSystem
+	orig vfs.Ops
+}
+
+// TraceFS wraps every installed operation of fs in an fs-layer span on
+// tr. Call Restore to undo.
+func TraceFS(fs vfs.FileSystem, tr *trace.Tracer) *TracedOps {
+	to := &TracedOps{FS: fs, orig: *fs.Ops()}
+	to.install(tr)
+	return to
+}
+
+// Restore reinstates the operation vectors as they were before TraceFS.
+func (to *TracedOps) Restore() { *to.FS.Ops() = to.orig }
+
+func (to *TracedOps) install(tr *trace.Tracer) {
+	ops := to.FS.Ops()
+	o := &to.orig
+
+	if fn := o.File.Read; fn != nil {
+		ops.File.Read = func(p *sim.Proc, f *vfs.File, n uint64) uint64 {
+			tr.Enter(p, trace.LayerFS)
+			r := fn(p, f, n)
+			tr.Exit(p, trace.LayerFS)
+			return r
+		}
+	}
+	if fn := o.File.Write; fn != nil {
+		ops.File.Write = func(p *sim.Proc, f *vfs.File, n uint64) uint64 {
+			tr.Enter(p, trace.LayerFS)
+			r := fn(p, f, n)
+			tr.Exit(p, trace.LayerFS)
+			return r
+		}
+	}
+	if fn := o.File.Llseek; fn != nil {
+		ops.File.Llseek = func(p *sim.Proc, f *vfs.File, off int64, w vfs.Whence) uint64 {
+			tr.Enter(p, trace.LayerFS)
+			r := fn(p, f, off, w)
+			tr.Exit(p, trace.LayerFS)
+			return r
+		}
+	}
+	if fn := o.File.Readdir; fn != nil {
+		ops.File.Readdir = func(p *sim.Proc, f *vfs.File) []vfs.DirEntry {
+			tr.Enter(p, trace.LayerFS)
+			r := fn(p, f)
+			tr.Exit(p, trace.LayerFS)
+			return r
+		}
+	}
+	if fn := o.File.Fsync; fn != nil {
+		ops.File.Fsync = func(p *sim.Proc, f *vfs.File) {
+			tr.Enter(p, trace.LayerFS)
+			fn(p, f)
+			tr.Exit(p, trace.LayerFS)
+		}
+	}
+	if fn := o.File.Open; fn != nil {
+		ops.File.Open = func(p *sim.Proc, ino *vfs.Inode, dio bool) *vfs.File {
+			tr.Enter(p, trace.LayerFS)
+			r := fn(p, ino, dio)
+			tr.Exit(p, trace.LayerFS)
+			return r
+		}
+	}
+	if fn := o.File.Release; fn != nil {
+		ops.File.Release = func(p *sim.Proc, f *vfs.File) {
+			tr.Enter(p, trace.LayerFS)
+			fn(p, f)
+			tr.Exit(p, trace.LayerFS)
+		}
+	}
+	if fn := o.Inode.Lookup; fn != nil {
+		ops.Inode.Lookup = func(p *sim.Proc, dir *vfs.Inode, name string) (*vfs.Inode, bool) {
+			tr.Enter(p, trace.LayerFS)
+			ino, ok := fn(p, dir, name)
+			tr.Exit(p, trace.LayerFS)
+			return ino, ok
+		}
+	}
+	if fn := o.Inode.Create; fn != nil {
+		ops.Inode.Create = func(p *sim.Proc, dir *vfs.Inode, name string) (*vfs.Inode, error) {
+			tr.Enter(p, trace.LayerFS)
+			ino, err := fn(p, dir, name)
+			tr.Exit(p, trace.LayerFS)
+			return ino, err
+		}
+	}
+	if fn := o.Inode.Unlink; fn != nil {
+		ops.Inode.Unlink = func(p *sim.Proc, dir *vfs.Inode, name string) error {
+			tr.Enter(p, trace.LayerFS)
+			err := fn(p, dir, name)
+			tr.Exit(p, trace.LayerFS)
+			return err
+		}
+	}
+	if fn := o.Inode.Mkdir; fn != nil {
+		ops.Inode.Mkdir = func(p *sim.Proc, dir *vfs.Inode, name string) (*vfs.Inode, error) {
+			tr.Enter(p, trace.LayerFS)
+			ino, err := fn(p, dir, name)
+			tr.Exit(p, trace.LayerFS)
+			return ino, err
+		}
+	}
+	if fn := o.Address.ReadPage; fn != nil {
+		ops.Address.ReadPage = func(p *sim.Proc, ino *vfs.Inode, idx uint64) {
+			tr.Enter(p, trace.LayerFS)
+			fn(p, ino, idx)
+			tr.Exit(p, trace.LayerFS)
+		}
+	}
+	if fn := o.Address.ReadPages; fn != nil {
+		ops.Address.ReadPages = func(p *sim.Proc, ino *vfs.Inode, idx, n uint64) {
+			tr.Enter(p, trace.LayerFS)
+			fn(p, ino, idx, n)
+			tr.Exit(p, trace.LayerFS)
+		}
+	}
+	if fn := o.Address.WritePage; fn != nil {
+		ops.Address.WritePage = func(p *sim.Proc, ino *vfs.Inode, idx uint64, sync bool) {
+			tr.Enter(p, trace.LayerFS)
+			fn(p, ino, idx, sync)
+			tr.Exit(p, trace.LayerFS)
+		}
+	}
+	if fn := o.Super.WriteSuper; fn != nil {
+		ops.Super.WriteSuper = func(p *sim.Proc) {
+			tr.Enter(p, trace.LayerFS)
+			fn(p)
+			tr.Exit(p, trace.LayerFS)
+		}
+	}
+	if fn := o.Super.SyncFS; fn != nil {
+		ops.Super.SyncFS = func(p *sim.Proc) {
+			tr.Enter(p, trace.LayerFS)
+			fn(p)
+			tr.Exit(p, trace.LayerFS)
+		}
+	}
+}

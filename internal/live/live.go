@@ -223,26 +223,53 @@ func (rec *Recorder) materialize(op string) *collector {
 }
 
 // Span is an in-flight operation: a value (never heap-allocated by
-// Start) that records its latency when End is called.
+// Start) that records its latency when End is called. Child opens
+// per-layer sub-spans, so a live program produces the same layered
+// shape ("read@fs", "read@disk") the simulation tracer folds out of
+// its span trees.
 type Span struct {
 	rec   *Recorder
 	op    string
+	base  string // root operation name; children derive "<base>@<layer>"
 	shard int
 	start cycles.Cycles
 }
 
 // Start opens a span for op; defer its End around the operation body.
 func (rec *Recorder) Start(op string) Span {
-	return Span{rec: rec, op: op, start: rec.clock()}
+	return Span{rec: rec, op: op, base: op, start: rec.clock()}
 }
 
 // StartShard is Start with an explicit shard index for Sharded mode.
 func (rec *Recorder) StartShard(shard int, op string) Span {
-	return Span{rec: rec, op: op, shard: shard, start: rec.clock()}
+	return Span{rec: rec, op: op, base: op, shard: shard, start: rec.clock()}
+}
+
+// Child opens a sub-span attributing part of the parent operation to
+// one layer: ending it records the child's latency under
+// "<rootop>@<layer>", the op naming the layered diff and the trace
+// subsystem's per-layer folds share. The layer always pairs with the
+// root operation, so a child of a child is a sibling in naming
+// ("read@disk", never "read@fs@disk"), and child latencies are
+// inclusive — the live side has no entry/exit pairing to compute
+// self-times from, and the layered analyses only need per-layer
+// rows that move together. A zero Span's Child is itself zero, so
+// spans handed out after a session ended (and their children) stay
+// safe to End — in any order, concurrently with the parent.
+func (s Span) Child(layer string) Span {
+	if s.rec == nil {
+		return Span{}
+	}
+	return Span{
+		rec: s.rec, op: s.base + "@" + layer, base: s.base,
+		shard: s.shard, start: s.rec.clock(),
+	}
 }
 
 // End records the span's latency. A zero Span is a no-op, so dropped
-// or inactive-session spans are safe to End.
+// or inactive-session spans are safe to End. Ending a parent does not
+// end (or invalidate) its children: each span records independently,
+// whatever order the Ends arrive in.
 func (s Span) End() {
 	if s.rec == nil {
 		return

@@ -1,0 +1,109 @@
+package live_test
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"osprof/internal/core"
+	"osprof/internal/live"
+)
+
+// Nested spans record per-layer rows under the "<op>@<layer>" naming,
+// a layer always pairs with the root operation (a child of a child is
+// a naming sibling), and the resulting set is bucket-for-bucket
+// identical to serially replaying the same latencies — the shape
+// contract the layered diff relies on.
+func TestNestedSpansMatchSerialReplay(t *testing.T) {
+	// epoch, parent start, fs start, driver start, driver end, fs end,
+	// disk start, disk end, parent end.
+	rec := live.New(live.WithClock(scriptClock(t, 0, 10, 20, 30, 45, 50, 60, 100, 210)))
+	parent := rec.Start("read")
+	fs := parent.Child("fs")
+	driver := fs.Child("driver") // sibling naming: read@driver, not read@fs@driver
+	driver.End()                 // 45-30  = 15
+	fs.End()                     // 50-20  = 30
+	disk := parent.Child("disk")
+	disk.End()   // 100-60 = 40
+	parent.End() // 210-10 = 200
+
+	got := rec.Snapshot("s")
+	for op, want := range map[string]uint64{
+		"read@driver": 15, "read@fs": 30, "read@disk": 40, "read": 200,
+	} {
+		p := got.Lookup(op)
+		if p == nil || p.Count != 1 || p.Total != want {
+			t.Errorf("%s: %+v, want one record of %d", op, p, want)
+		}
+	}
+
+	// The serial replay: the same latencies observed directly, in End
+	// order, must build the identical set.
+	replay := live.New()
+	replay.Observe("read@driver", 15)
+	replay.Observe("read@fs", 30)
+	replay.Observe("read@disk", 40)
+	replay.Observe("read", 200)
+	if want := replay.Snapshot("s"); !reflect.DeepEqual(got, want) {
+		t.Errorf("span set diverges from serial replay:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// Dropped children are safe: a zero Span's children are zero (ending
+// them records nothing), children opened after the session ended
+// record nothing, and a child that is never ended leaves no trace —
+// the parent's row is unaffected.
+func TestDroppedChildSafety(t *testing.T) {
+	live.Span{}.Child("fs").End()
+	live.Span{}.Child("fs").Child("disk").End()
+
+	rec := live.New()
+	sess := rec.Session(nil, "s")
+	sess.Close()
+	sess.Start("op").Child("fs").End() // ended session: zero all the way down
+
+	parent := rec.Start("op")
+	_ = parent.Child("fs") // opened, never ended
+	parent.End()
+	set := rec.Snapshot("s")
+	if p := set.Lookup("op"); p == nil || p.Count != 1 {
+		t.Fatalf("parent row: %+v", p)
+	}
+	if len(set.Ops()) != 1 {
+		t.Errorf("dropped children left rows: %v", set.Ops())
+	}
+}
+
+// Parent and child Ends race freely (run under -race): each span
+// records independently, so whatever order the Ends land in, every
+// layer row's count is exact in Locked mode.
+func TestNestedSpansConcurrentEnds(t *testing.T) {
+	const workers, per = 8, 200
+	rec := live.New(live.WithLockingMode(core.Locked))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				parent := rec.Start("op")
+				fs := parent.Child("fs")
+				disk := parent.Child("disk")
+				var ends sync.WaitGroup
+				ends.Add(2)
+				go func() { defer ends.Done(); parent.End() }() // parent ends while children are open
+				go func() { defer ends.Done(); disk.End() }()
+				fs.End()
+				ends.Wait()
+			}
+		}()
+	}
+	wg.Wait()
+	snap := rec.Snapshot("s")
+	for _, op := range []string{"op", "op@fs", "op@disk"} {
+		p := snap.Lookup(op)
+		if p == nil || p.Count != workers*per {
+			t.Fatalf("%s: %+v, want count %d", op, p, workers*per)
+		}
+	}
+}

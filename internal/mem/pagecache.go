@@ -9,6 +9,7 @@ package mem
 import (
 	"osprof/internal/cycles"
 	"osprof/internal/sim"
+	"osprof/internal/trace"
 )
 
 // Key identifies one page: an inode and a page index within it.
@@ -35,16 +36,28 @@ type Page struct {
 	DirtiedAt uint64
 
 	wq *sim.WaitQueue
+	tr *trace.Tracer // inherited from the owning Cache; nil = untraced
 }
 
 // WaitUptodate blocks until the page contents become valid. Processes
 // that find a page under I/O park here, which is how a readdir or read
 // operation's latency absorbs the disk time while the readpage
 // operation itself only pays the cost of starting the I/O (§6.2).
+//
+// The wait — and only the wait — is a page-cache layer span: a page
+// already uptodate costs nothing and records nothing, while a miss
+// attributes the block to the page cache, with the underlying I/O's
+// queue and service time carved back out into the driver and disk
+// layers by the request's completion token (trace.Token).
 func (pg *Page) WaitUptodate(p *sim.Proc) {
+	if pg.Uptodate {
+		return
+	}
+	pg.tr.Enter(p, trace.LayerPageCache)
 	for !pg.Uptodate {
 		pg.wq.Wait(p)
 	}
+	pg.tr.Exit(p, trace.LayerPageCache)
 }
 
 // Stats aggregates cache activity.
@@ -64,6 +77,7 @@ type Cache struct {
 	order    []Key
 	capacity int
 	stats    Stats
+	tr       *trace.Tracer
 }
 
 // NewCache creates a page cache holding up to capacity pages
@@ -71,6 +85,10 @@ type Cache struct {
 func NewCache(k *sim.Kernel, capacity int) *Cache {
 	return &Cache{k: k, pages: make(map[Key]*Page), capacity: capacity}
 }
+
+// SetTracer installs the layer tracer new pages inherit; their
+// WaitUptodate blocks then record page-cache layer spans.
+func (c *Cache) SetTracer(tr *trace.Tracer) { c.tr = tr }
 
 // Stats returns cache statistics.
 func (c *Cache) Stats() Stats { return c.stats }
@@ -102,7 +120,7 @@ func (c *Cache) GetOrCreate(key Key) (pg *Page, created bool) {
 		return pg, false
 	}
 	c.evictIfNeeded()
-	pg = &Page{Key: key, wq: sim.NewWaitQueue(c.k, "page")}
+	pg = &Page{Key: key, wq: sim.NewWaitQueue(c.k, "page"), tr: c.tr}
 	c.pages[key] = pg
 	c.order = append(c.order, key)
 	return pg, true

@@ -17,6 +17,7 @@ import (
 
 	"osprof/internal/cycles"
 	"osprof/internal/sim"
+	"osprof/internal/trace"
 )
 
 // Config describes the link.
@@ -128,6 +129,10 @@ type side struct {
 	ackedSeq  uint64
 	rcvdSeq   uint64 // receiver role: data segments received
 	ackWaiter *sim.WaitQueue
+
+	// tr, when set, wraps this endpoint's blocking waits (Recv,
+	// WaitAcked) in network-layer spans. Nil means untraced.
+	tr *trace.Tracer
 }
 
 // NewConn creates a connection between two named endpoints.
@@ -159,6 +164,10 @@ func (e *Side) Name() string { return e.s.name }
 // SetDelayedAck enables or disables delayed acknowledgments on this
 // endpoint (the §6.4 registry change).
 func (e *Side) SetDelayedAck(on bool) { e.s.delayedAck = on }
+
+// SetTracer installs the layer tracer wrapping this endpoint's
+// blocking waits in network-layer spans.
+func (e *Side) SetTracer(tr *trace.Tracer) { e.s.tr = tr }
 
 // InFlight reports unacknowledged segments sent from this endpoint.
 func (e *Side) InFlight() int { return int(e.s.sentSeq - e.s.ackedSeq) }
@@ -227,16 +236,30 @@ func (e *Side) Send(p *sim.Proc, label string, bytes int, data any) {
 // "does not continue to send data until it has received an ACK for
 // everything until that point" (§6.4).
 func (e *Side) WaitAcked(p *sim.Proc) {
-	for e.s.sentSeq > e.s.ackedSeq {
-		e.s.ackWaiter.Wait(p)
+	s := e.s
+	if s.sentSeq <= s.ackedSeq {
+		return
 	}
+	s.tr.Enter(p, trace.LayerNet)
+	for s.sentSeq > s.ackedSeq {
+		s.ackWaiter.Wait(p)
+	}
+	s.tr.Exit(p, trace.LayerNet)
 }
 
-// Recv blocks until a full message arrives and returns it.
+// Recv blocks until a full message arrives and returns it. The wait —
+// and only the wait — is a network-layer span: a message already
+// reassembled costs nothing, while a block attributes the time
+// (serialization, propagation, and any delayed-ACK stall at the peer)
+// to the network.
 func (e *Side) Recv(p *sim.Proc) Message {
 	s := e.s
-	for len(s.rxQueue) == 0 {
-		s.rxWait.Wait(p)
+	if len(s.rxQueue) == 0 {
+		s.tr.Enter(p, trace.LayerNet)
+		for len(s.rxQueue) == 0 {
+			s.rxWait.Wait(p)
+		}
+		s.tr.Exit(p, trace.LayerNet)
 	}
 	m := s.rxQueue[0]
 	s.rxQueue = s.rxQueue[1:]

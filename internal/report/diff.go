@@ -69,6 +69,25 @@ func Diff(w io.Writer, d *diff.Report, a, b *core.Set, o Options) {
 			op.PeaksA, op.PeaksB, op.Detail)
 	}
 
+	if len(d.Layers) > 0 {
+		fmt.Fprintf(w, "\nlayer attribution (which layer moved):\n")
+		fmt.Fprintf(w, "%-18s %-10s %-14s %8s %12s %12s  %s\n",
+			"OP", "LAYER", "VERDICT", "SCORE", "MEAN-A", "MEAN-B", "CRITICAL-PATH")
+		for _, mv := range d.Layers {
+			crit := "-"
+			switch {
+			case mv.CritA != "" && mv.CritB != "" && mv.CritA != mv.CritB:
+				crit = mv.CritA + " -> " + mv.CritB
+			case mv.CritB != "":
+				crit = mv.CritB
+			case mv.CritA != "":
+				crit = mv.CritA
+			}
+			fmt.Fprintf(w, "%-18s %-10s %-14s %8.3g %12d %12d  %s\n",
+				mv.Op, mv.Layer, mv.Verdict, mv.Score, mv.MeanA, mv.MeanB, crit)
+		}
+	}
+
 	if a == nil || b == nil {
 		return
 	}

@@ -37,6 +37,10 @@ type RunEntry struct {
 	Fingerprint string `json:"fingerprint,omitempty"`
 	Name        string `json:"name"`
 
+	// Label is the corpus label mirrored in the archive index (absent
+	// for unlabeled runs, keeping their documents byte-identical).
+	Label string `json:"label,omitempty"`
+
 	Summary *RunSummary `json:"summary,omitempty"`
 }
 
@@ -61,6 +65,7 @@ func RunList(entries []store.Entry) RunListDoc {
 	for _, e := range entries {
 		doc.Runs = append(doc.Runs, RunEntry{
 			Seq: e.Seq, ID: e.ID, Fingerprint: e.Fingerprint, Name: e.Name,
+			Label: e.Label,
 		})
 	}
 	return doc

@@ -48,6 +48,11 @@ func (s Spec) Canonical() string {
 	if s.Label != "" {
 		fmt.Fprintf(&b, "label=%q\n", s.Label)
 	}
+	// Same presence idiom: untraced Specs (the entire pre-trace
+	// archive) keep their fingerprints.
+	if s.Trace {
+		fmt.Fprintf(&b, "trace=%t\n", s.Trace)
+	}
 	fmt.Fprintf(&b, "backend=%s\n", s.Backend)
 	fmt.Fprintf(&b, "cachepages=%d\n", s.CachePages)
 	fmt.Fprintf(&b, "superdaemon=%t\n", s.SuperDaemon)

@@ -54,6 +54,7 @@ func TestFingerprintSensitivity(t *testing.T) {
 		"name":            func(s *Spec) { s.Name = "other" },
 		"setname":         func(s *Spec) { s.SetName = "other" },
 		"label":           func(s *Spec) { s.Label = "corpus-label" },
+		"trace":           func(s *Spec) { s.Trace = true },
 		"backend":         func(s *Spec) { s.Backend = Reiser },
 		"cachepages":      func(s *Spec) { s.CachePages = 513 },
 		"superdaemon":     func(s *Spec) { s.SuperDaemon = true },
@@ -137,7 +138,7 @@ func TestFingerprintCoversEveryField(t *testing.T) {
 		typ  reflect.Type
 		want int
 	}{
-		"scenario.Spec":        {reflect.TypeOf(Spec{}), 17},
+		"scenario.Spec":        {reflect.TypeOf(Spec{}), 18},
 		"fault.Spec":           {reflect.TypeOf(fault.Spec{}), 3},
 		"fault.DiskFaults":     {reflect.TypeOf(fault.DiskFaults{}), 7},
 		"fault.CacheThrash":    {reflect.TypeOf(fault.CacheThrash{}), 2},

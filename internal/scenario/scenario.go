@@ -29,6 +29,7 @@ import (
 	"osprof/internal/mem"
 	"osprof/internal/netsim"
 	"osprof/internal/sim"
+	"osprof/internal/trace"
 	"osprof/internal/vfs"
 	"osprof/internal/workload"
 )
@@ -234,6 +235,16 @@ type Spec struct {
 	// fingerprints differently, because it builds a different world.
 	Injections *fault.Spec
 
+	// Trace, when set, threads the layer tracer (internal/trace)
+	// through the built stack: every VFS syscall becomes a span-tree
+	// root and the fs / page-cache / driver / disk / net hooks
+	// decompose its latency into per-layer self-times, folded into the
+	// Set as op@layer histograms plus an op@crit:layer critical-path
+	// profile. Like Label it is canonical-encoded only when present,
+	// so every untraced Spec keeps its pre-trace fingerprint and its
+	// archived envelopes stay byte-identical.
+	Trace bool
+
 	// Workloads are the simulated processes; Run spawns them in
 	// order.
 	Workloads []Workload
@@ -290,6 +301,9 @@ type Stack struct {
 	// Spec.Injections.Disk is set, nil otherwise (its Stats report what
 	// the injection program actually did).
 	DiskFaults *fault.DiskInjector
+
+	// Tracer is the layer tracer when Spec.Trace, nil otherwise.
+	Tracer *trace.Tracer
 
 	// Tree reports the built synthetic tree (zero when Spec.Tree is
 	// nil).
@@ -387,6 +401,10 @@ func Build(spec Spec) (*Stack, error) {
 		return nil, err
 	}
 
+	if err := st.installTracer(spec.Trace); err != nil {
+		return nil, err
+	}
+
 	if spec.SuperDaemon {
 		if st.Reiser == nil {
 			return nil, fmt.Errorf("scenario %q: SuperDaemon requires the reiser backend", spec.Name)
@@ -398,6 +416,35 @@ func Build(spec Spec) (*Stack, error) {
 		return nil, err
 	}
 	return st, nil
+}
+
+// installTracer threads the layer tracer through the built stack. It
+// runs after instrument so the fs-layer wrapper brackets the profiled
+// operation vectors (probe overhead lands inside the fs span, and the
+// decomposition explains the recorded profile rather than an idealized
+// one). The tracer's hooks are pure observers — no simulated CPU, no
+// scheduled events — so an untraced Build is byte-for-byte what it was
+// before tracing existed.
+func (st *Stack) installTracer(on bool) error {
+	if !on {
+		return nil
+	}
+	if st.FS == nil {
+		return fmt.Errorf("scenario %q: tracing needs a mounted backend", st.Spec.Name)
+	}
+	st.Tracer = trace.New(st.Set)
+	st.VFS.SetTracer(st.Tracer)
+	st.Cache.SetTracer(st.Tracer)
+	if st.Disk != nil {
+		st.Disk.SetTracer(st.Tracer)
+	}
+	if st.Conn != nil {
+		// Only the client endpoint: the server side's waits run on
+		// daemon procs, which the tracer skips anyway.
+		st.Conn.Side(0).SetTracer(st.Tracer)
+	}
+	fsprof.TraceFS(st.FS, st.Tracer)
+	return nil
 }
 
 // injectFaults wires the Spec's fault program into the built stack.

@@ -64,6 +64,7 @@
 package serve
 
 import (
+	"container/list"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -119,9 +120,13 @@ type server struct {
 	order     []string               // registration order
 
 	// digests memoizes per-run set summaries by content address
-	// (summary.go); digestOrder drives FIFO eviction.
-	digests     map[string]*runDigest
-	digestOrder []string
+	// (summary.go); digestList orders entries most-recently-used
+	// first, driving LRU eviction, and the counters witness the
+	// memo's effectiveness.
+	digests      map[string]*list.Element
+	digestList   *list.List
+	digestHits   uint64
+	digestMisses uint64
 
 	// cmu guards the coalescer: per-fingerprint delta accumulations.
 	// Separate from mu so slow corpus builds never block ingest.

@@ -2,18 +2,24 @@
 // (internal/summary) keyed on the run's content address, the
 // GET /v1/summary endpoint, and the opt-in summary column of
 // GET /v1/runs. Runs are content-addressed, so a digest never goes
-// stale — the memo is a pure cache with FIFO eviction to bound memory.
+// stale — the memo is a pure cache with LRU eviction to bound memory:
+// the runs a fleet actually polls (live baselines, fresh ingests) stay
+// resident however many one-off historical reads pass through, where
+// FIFO eviction would age out a hot baseline just because it was
+// digested first.
 package serve
 
 import (
+	"container/list"
 	"net/http"
 
 	"osprof/internal/report"
 	"osprof/internal/summary"
 )
 
-// maxDigests bounds the digest memo; beyond it the oldest entries are
-// evicted FIFO. Digests are a few KB each, so the bound is generous.
+// maxDigests bounds the digest memo; beyond it the least-recently-used
+// entries are evicted. Digests are a few KB each, so the bound is
+// generous.
 const maxDigests = 512
 
 // runDigest is one memoized run summary plus the run identity the
@@ -25,39 +31,66 @@ type runDigest struct {
 	fingerprint string
 }
 
+// memoEntry is one digestList element: the content address (so
+// eviction can unlink the map entry) plus the digest.
+type memoEntry struct {
+	id string
+	d  *runDigest
+}
+
 // digest returns the memoized set digest for the archived run id,
-// loading and summarizing the run on a miss. Safe for concurrent use;
-// a racing double-load is harmless (same content, last write wins).
+// loading and summarizing the run on a miss. A hit moves the entry to
+// the front of the LRU list; an insert beyond maxDigests evicts from
+// the back. Safe for concurrent use; a racing double-load keeps the
+// resident entry (same content address, same digest).
 func (s *server) digest(id string) (*runDigest, error) {
 	s.mu.Lock()
-	d := s.digests[id]
-	s.mu.Unlock()
-	if d != nil {
+	if el, ok := s.digests[id]; ok {
+		s.digestList.MoveToFront(el)
+		s.digestHits++
+		d := el.Value.(*memoEntry).d
+		s.mu.Unlock()
 		return d, nil
 	}
+	s.digestMisses++
+	s.mu.Unlock()
 	run, err := s.arch.Get(id)
 	if err != nil {
 		return nil, err
 	}
-	d = &runDigest{
+	d := &runDigest{
 		ss:          summary.OfSet(run.Set, summary.DefaultTopK),
 		name:        run.Name(),
 		fingerprint: run.Fingerprint,
 	}
 	s.mu.Lock()
-	if s.digests == nil {
-		s.digests = make(map[string]*runDigest)
-	}
-	if _, ok := s.digests[id]; !ok {
-		s.digests[id] = d
-		s.digestOrder = append(s.digestOrder, id)
-		for len(s.digestOrder) > maxDigests {
-			delete(s.digests, s.digestOrder[0])
-			s.digestOrder = s.digestOrder[1:]
+	if el, ok := s.digests[id]; ok {
+		s.digestList.MoveToFront(el)
+		d = el.Value.(*memoEntry).d
+	} else {
+		if s.digests == nil {
+			s.digests = make(map[string]*list.Element)
+			s.digestList = list.New()
+		}
+		s.digests[id] = s.digestList.PushFront(&memoEntry{id: id, d: d})
+		for len(s.digests) > maxDigests {
+			back := s.digestList.Back()
+			s.digestList.Remove(back)
+			delete(s.digests, back.Value.(*memoEntry).id)
 		}
 	}
 	s.mu.Unlock()
 	return d, nil
+}
+
+// DigestStats reports the digest memo's lookup counters and resident
+// size — the observability hook the cache-behavior tests (and capacity
+// tuning) read.
+func (sv *Server) DigestStats() (hits, misses uint64, size int) {
+	s := sv.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.digestHits, s.digestMisses, len(s.digests)
 }
 
 // summaryHandler handles GET /v1/summary?ref=: the referenced run's

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"osprof/internal/core"
+	"osprof/internal/live"
+	"osprof/internal/store"
+)
+
+// TestDigestMemoLRU pins the digest memo's cache behavior: hits and
+// misses are counted, a hit refreshes the entry's recency, and
+// eviction removes the least-recently-used digest — not the
+// first-inserted one, which is the observable difference from the old
+// FIFO memo.
+func TestDigestMemoLRU(t *testing.T) {
+	arch, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// maxDigests+1 distinct tiny runs: enough to force exactly one
+	// eviction after every resident slot is filled.
+	ids := make([]string, maxDigests+1)
+	for i := range ids {
+		rec := live.New()
+		rec.Observe("read", uint64(100+i))
+		var buf bytes.Buffer
+		if err := rec.Session(nil, fmt.Sprintf("lru-%d", i)).Export(&buf); err != nil {
+			t.Fatal(err)
+		}
+		run, err := core.ReadRun(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ids[i], _, err = arch.Put(run); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sv := New(arch, Options{})
+	s := sv.s
+	get := func(id string) {
+		t.Helper()
+		if _, err := s.digest(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Fill the memo to capacity: every lookup misses.
+	for _, id := range ids[:maxDigests] {
+		get(id)
+	}
+	hits, misses, size := sv.DigestStats()
+	if hits != 0 || misses != maxDigests || size != maxDigests {
+		t.Fatalf("after fill: hits=%d misses=%d size=%d, want 0/%d/%d",
+			hits, misses, size, maxDigests, maxDigests)
+	}
+
+	// Touch the first-inserted entry: a hit, and it becomes the most
+	// recently used.
+	get(ids[0])
+	if hits, _, _ = sv.DigestStats(); hits != 1 {
+		t.Fatalf("refresh of ids[0] did not count as a hit: hits=%d", hits)
+	}
+
+	// One insert beyond capacity evicts the least recently used entry.
+	// FIFO would evict ids[0] (first inserted); LRU must evict ids[1]
+	// instead, because ids[0] was just refreshed.
+	get(ids[maxDigests])
+	if _, _, size = sv.DigestStats(); size != maxDigests {
+		t.Fatalf("eviction did not hold size at %d: size=%d", maxDigests, size)
+	}
+	get(ids[0]) // still resident: a hit
+	hits, misses, _ = sv.DigestStats()
+	if hits != 2 {
+		t.Fatalf("ids[0] was evicted despite its refresh (FIFO behavior): hits=%d misses=%d", hits, misses)
+	}
+	wantMisses := uint64(maxDigests + 1)
+	get(ids[1]) // evicted: a miss that reloads it
+	hits, misses, _ = sv.DigestStats()
+	if hits != 2 || misses != wantMisses+1 {
+		t.Fatalf("ids[1] lookup: hits=%d misses=%d, want 2/%d", hits, misses, wantMisses+1)
+	}
+}

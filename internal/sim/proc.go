@@ -102,6 +102,12 @@ func (p *Proc) ID() int { return p.id }
 // Name returns the process name given at Spawn.
 func (p *Proc) Name() string { return p.name }
 
+// Daemon reports whether the process was spawned as a kernel daemon
+// (SpawnDaemon). Layer tracing skips daemons: a flusher's own writeback
+// must not open request spans — its cost surfaces instead as lock and
+// I/O wait inside the victim requests it delays.
+func (p *Proc) Daemon() bool { return p.daemon }
+
 // Kernel returns the machine this process runs on.
 func (p *Proc) Kernel() *Kernel { return p.k }
 

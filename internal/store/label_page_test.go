@@ -1,0 +1,128 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestListPageLabelPaging pins the label filter's interaction with the
+// Seq cursor: the cursor pages the *filtered* sequence, so resuming
+// with the last returned entry's Seq never skips or repeats a matching
+// run, whatever unlabeled (or differently labeled) entries sit between
+// them.
+func TestListPageLabelPaging(t *testing.T) {
+	a := open(t)
+	put := func(i int, label string) {
+		t.Helper()
+		run := testRun("fp", "s", uint64(100+i))
+		if label != "" {
+			run.Meta[LabelMetaKey] = label
+		}
+		if _, _, err := a.Put(run); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Seqs 1..9: "cell" on the odd seqs, "other" on 4 and 6, the rest
+	// unlabeled — so every filtered page has gaps to step over.
+	labels := []string{"cell", "", "cell", "other", "cell", "other", "cell", "", "cell"}
+	for i, l := range labels {
+		put(i, l)
+	}
+
+	// Walk label "cell" with limit 2: pages [1 3] [5 7] [9], each
+	// resumed from the previous page's last Seq.
+	var got []int
+	after, pages := 0, 0
+	for {
+		entries, more, aware, err := a.ListPageLabel("cell", after, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !aware {
+			t.Fatal("fresh archive is not label-aware")
+		}
+		pages++
+		for _, e := range entries {
+			if e.Label != "cell" {
+				t.Fatalf("filtered page leaked label %q (seq %d)", e.Label, e.Seq)
+			}
+			got = append(got, e.Seq)
+		}
+		if !more {
+			break
+		}
+		if len(entries) == 0 {
+			t.Fatal("more=true with an empty page cannot make progress")
+		}
+		after = entries[len(entries)-1].Seq
+	}
+	want := []int{1, 3, 5, 7, 9}
+	if pages != 3 || len(got) != len(want) {
+		t.Fatalf("walk: %d pages, seqs %v, want 3 pages of %v", pages, got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("walk order: %v, want %v", got, want)
+		}
+	}
+
+	// A label whose matches exactly fill the limit reports more=false:
+	// the scan runs past the page to prove nothing follows.
+	entries, more, _, err := a.ListPageLabel("other", 0, 2)
+	if err != nil || len(entries) != 2 || more {
+		t.Fatalf("exact-fit page: entries=%d more=%v err=%v", len(entries), more, err)
+	}
+
+	// Unknown labels page to nothing, without error.
+	if entries, more, _, err = a.ListPageLabel("ghost", 0, 2); err != nil || len(entries) != 0 || more {
+		t.Fatalf("unknown label: entries=%d more=%v err=%v", len(entries), more, err)
+	}
+
+	// An empty label is plain ListPage — same entries, same cursor.
+	labeled, lmore, _, err := a.ListPageLabel("", 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, pmore, err := a.ListPage(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labeled) != len(plain) || lmore != pmore {
+		t.Fatalf("empty-label passthrough: %d/%v vs %d/%v", len(labeled), lmore, len(plain), pmore)
+	}
+	for i := range plain {
+		if labeled[i].Seq != plain[i].Seq {
+			t.Fatalf("empty-label page diverges at %d: %+v vs %+v", i, labeled[i], plain[i])
+		}
+	}
+}
+
+// A legacy v1 index has no label column: ListPageLabel must report
+// labelAware=false so callers can refuse instead of returning a
+// misleading empty page.
+func TestListPageLabelLegacyIndex(t *testing.T) {
+	a := open(t)
+	id, _, err := a.Put(testRun("fp1", "ext2/grep", 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(filepath.Join(a.Dir(), "index.d")); err != nil {
+		t.Fatal(err)
+	}
+	old := "osprof-index v1\nrun 1 " + id + " fp1 \"ext2/grep\"\n"
+	if err := os.WriteFile(a.indexPath(), []byte(old), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := Open(a.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, aware, err := legacy.ListPageLabel("cell", 0, 2); err != nil || aware {
+		t.Errorf("v1 index reported label-aware (err=%v)", err)
+	}
+	// The empty-label passthrough carries the same flag.
+	if _, _, aware, _ := legacy.ListPageLabel("", 0, 2); aware {
+		t.Error("v1 index reported label-aware on passthrough")
+	}
+}

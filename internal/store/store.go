@@ -518,6 +518,35 @@ func (a *Archive) ListPage(after, limit int) ([]Entry, bool, error) {
 	return out, true, nil
 }
 
+// ListPageLabel is ListPage restricted to entries carrying the given
+// label (every entry when label is empty). The Seq cursor pages the
+// filtered sequence exactly as ListPage pages the full one: after is
+// the last returned entry's Seq, a concurrent append never shifts
+// earlier pages, and more reports whether further matching entries
+// remain. labelAware is false when the index predates label mirroring
+// (a legacy v1 index): an empty filtered page is then inconclusive,
+// the same contract as ListLabeled.
+func (a *Archive) ListPageLabel(label string, after, limit int) (entries []Entry, more, labelAware bool, err error) {
+	snap := a.snap.Load()
+	if label == "" {
+		es, m, err := a.ListPage(after, limit)
+		return es, m, snap.labelAware, err
+	}
+	es := snap.entries
+	start := sort.Search(len(es), func(i int) bool { return es[i].Seq > after })
+	out := []Entry{}
+	for _, e := range es[start:] {
+		if e.Label != label {
+			continue
+		}
+		if limit > 0 && len(out) == limit {
+			return out, true, snap.labelAware, nil
+		}
+		out = append(out, e)
+	}
+	return out, false, snap.labelAware, nil
+}
+
 // ListLabeled returns the labeled index entries plus whether the index
 // mirrors labels at all. A false second value means the index predates
 // label mirroring (a legacy v1 index not yet rewritten): an empty

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"osprof/internal/sim"
+	"osprof/internal/trace"
 )
 
 // Syscalls is the system-call surface workloads run against. The
@@ -45,6 +46,12 @@ type VFS struct {
 	LookupCost uint64
 
 	mounts []mount
+
+	// tr, when set, opens a root layer span around every system call
+	// (internal/trace). Nil means tracing off: the hooks are nil-safe
+	// no-ops and the simulated timeline is unchanged either way —
+	// spans consume no simulated CPU.
+	tr *trace.Tracer
 }
 
 var _ Syscalls = (*VFS)(nil)
@@ -53,6 +60,10 @@ var _ Syscalls = (*VFS)(nil)
 func New(k *sim.Kernel) *VFS {
 	return &VFS{K: k, SyscallEntry: 64, LookupCost: 300}
 }
+
+// SetTracer installs (or, with nil, removes) the layer tracer whose
+// root spans bracket every system call.
+func (v *VFS) SetTracer(tr *trace.Tracer) { v.tr = tr }
 
 // Mount attaches fs at path ("/" for the root).
 func (v *VFS) Mount(path string, fs FileSystem) error {
@@ -136,6 +147,8 @@ func split(rest string) []string {
 
 // Open resolves path and opens it through the file system's Open op.
 func (v *VFS) Open(p *sim.Proc, path string, directIO bool) (*File, error) {
+	v.tr.BeginRoot(p, "open")
+	defer v.tr.EndRoot(p)
 	p.Exec(v.SyscallEntry)
 	fs, ino, err := v.resolve(p, path)
 	if err != nil {
@@ -146,6 +159,8 @@ func (v *VFS) Open(p *sim.Proc, path string, directIO bool) (*File, error) {
 
 // Close releases an open file.
 func (v *VFS) Close(p *sim.Proc, f *File) {
+	v.tr.BeginRoot(p, "close")
+	defer v.tr.EndRoot(p)
 	p.Exec(v.SyscallEntry)
 	if rel := f.Inode.FS.Ops().File.Release; rel != nil {
 		rel(p, f)
@@ -154,36 +169,48 @@ func (v *VFS) Close(p *sim.Proc, f *File) {
 
 // Read reads up to n bytes at the current position.
 func (v *VFS) Read(p *sim.Proc, f *File, n uint64) uint64 {
+	v.tr.BeginRoot(p, "read")
+	defer v.tr.EndRoot(p)
 	p.Exec(v.SyscallEntry)
 	return f.Inode.FS.Ops().File.Read(p, f, n)
 }
 
 // Write writes n bytes at the current position.
 func (v *VFS) Write(p *sim.Proc, f *File, n uint64) uint64 {
+	v.tr.BeginRoot(p, "write")
+	defer v.tr.EndRoot(p)
 	p.Exec(v.SyscallEntry)
 	return f.Inode.FS.Ops().File.Write(p, f, n)
 }
 
 // Llseek repositions the file offset.
 func (v *VFS) Llseek(p *sim.Proc, f *File, off int64, whence Whence) uint64 {
+	v.tr.BeginRoot(p, "llseek")
+	defer v.tr.EndRoot(p)
 	p.Exec(v.SyscallEntry)
 	return f.Inode.FS.Ops().File.Llseek(p, f, off, whence)
 }
 
 // Getdents returns the next batch of directory entries (empty at EOF).
 func (v *VFS) Getdents(p *sim.Proc, f *File) []DirEntry {
+	v.tr.BeginRoot(p, "readdir")
+	defer v.tr.EndRoot(p)
 	p.Exec(v.SyscallEntry)
 	return f.Inode.FS.Ops().File.Readdir(p, f)
 }
 
 // Fsync flushes a file's dirty state to disk.
 func (v *VFS) Fsync(p *sim.Proc, f *File) {
+	v.tr.BeginRoot(p, "fsync")
+	defer v.tr.EndRoot(p)
 	p.Exec(v.SyscallEntry)
 	f.Inode.FS.Ops().File.Fsync(p, f)
 }
 
 // Create makes a new regular file and opens it.
 func (v *VFS) Create(p *sim.Proc, path string) (*File, error) {
+	v.tr.BeginRoot(p, "create")
+	defer v.tr.EndRoot(p)
 	p.Exec(v.SyscallEntry)
 	fs, dir, name, err := v.resolveDir(p, path)
 	if err != nil {
@@ -201,6 +228,8 @@ func (v *VFS) Create(p *sim.Proc, path string) (*File, error) {
 
 // Unlink removes a file.
 func (v *VFS) Unlink(p *sim.Proc, path string) error {
+	v.tr.BeginRoot(p, "unlink")
+	defer v.tr.EndRoot(p)
 	p.Exec(v.SyscallEntry)
 	fs, dir, name, err := v.resolveDir(p, path)
 	if err != nil {
@@ -214,6 +243,8 @@ func (v *VFS) Unlink(p *sim.Proc, path string) error {
 
 // Mkdir creates a directory.
 func (v *VFS) Mkdir(p *sim.Proc, path string) error {
+	v.tr.BeginRoot(p, "mkdir")
+	defer v.tr.EndRoot(p)
 	p.Exec(v.SyscallEntry)
 	fs, dir, name, err := v.resolveDir(p, path)
 	if err != nil {
@@ -228,6 +259,8 @@ func (v *VFS) Mkdir(p *sim.Proc, path string) error {
 
 // Stat resolves path and returns its inode.
 func (v *VFS) Stat(p *sim.Proc, path string) (*Inode, error) {
+	v.tr.BeginRoot(p, "stat")
+	defer v.tr.EndRoot(p)
 	p.Exec(v.SyscallEntry)
 	_, ino, err := v.resolve(p, path)
 	return ino, err

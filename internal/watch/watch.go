@@ -65,6 +65,11 @@ type Report struct {
 	// Label names the matched degraded configuration (Degraded only).
 	Label string `json:"label,omitempty"`
 
+	// Layer names the layer the top drifted traced operation moved in
+	// (the diff's layer attribution). Empty for untraced runs, whose
+	// reports keep the pre-trace shape.
+	Layer string `json:"layer,omitempty"`
+
 	// Detail is the one-line human-readable explanation.
 	Detail string `json:"detail"`
 
@@ -103,6 +108,11 @@ func (e *Engine) Evaluate(baseline, run *core.Run, corpus *classify.Corpus) *Rep
 		return rep
 	}
 	drift := driftSummary(d)
+	if len(d.Layers) > 0 {
+		mv := d.Layers[0]
+		rep.Layer = mv.Layer
+		drift += fmt.Sprintf("; %s moved in the %s layer", mv.Op, mv.Layer)
+	}
 	if corpus != nil && len(corpus.Centroids) > 0 {
 		id := e.Classifier.Identify(corpus, run)
 		rep.Identify = id

@@ -32,8 +32,10 @@ import (
 // each scenario with layer tracing enabled (internal/trace): the
 // traced twin also keeps its name but fingerprints as its own world,
 // so untraced baselines and their byte-identical envelopes survive.
+// loadOn does the same for load-conditioned profiling (internal/load):
+// the load-profiled twin fingerprints as its own world too.
 func cmdRecord(rest []string, seed int64, archiveDir string, opt runner.Options,
-	jsonOut, markBaseline bool, inject string, traceOn bool, stdout, stderr io.Writer) int {
+	jsonOut, markBaseline bool, inject string, traceOn, loadOn bool, stdout, stderr io.Writer) int {
 	if inject == "list" {
 		for _, name := range fault.PresetNames() {
 			fmt.Fprintln(stdout, name)
@@ -45,7 +47,7 @@ func cmdRecord(rest []string, seed int64, archiveDir string, opt runner.Options,
 		return 2
 	}
 	reg, fps, ids := experiments.Recordables(seed)
-	if inject != "" || traceOn {
+	if inject != "" || traceOn || loadOn {
 		if inject != "" {
 			if _, ok := fault.Preset(inject); !ok {
 				fmt.Fprintf(stderr, "osprof: unknown fault preset %q (try `osprof record -inject list`)\n", inject)
@@ -63,6 +65,11 @@ func cmdRecord(rest []string, seed int64, archiveDir string, opt runner.Options,
 				spec.Injections, _ = fault.Preset(inject)
 			}
 			spec.Trace = traceOn
+			if loadOn {
+				// OR, not assign: the load cells are load-profiled by
+				// construction and must stay so under -trace/-inject.
+				spec.LoadProfile = true
+			}
 			reg[spec.Name] = func() experiments.Result { return experiments.RecordScenario(spec) }
 			fps[spec.Name] = spec.Fingerprint()
 			ids = append(ids, spec.Name)
@@ -107,6 +114,9 @@ func cmdRecord(rest []string, seed int64, archiveDir string, opt runner.Options,
 	}
 	if traceOn {
 		verb = "traced"
+	}
+	if loadOn {
+		verb = "loaded"
 	}
 	return runArchived(arch, jobs, opt, jsonOut, stdout, stderr, post,
 		func(w io.Writer, rr *runner.RunResult) {
@@ -206,7 +216,7 @@ func cmdBaselineList(archiveDir string, stdout, stderr io.Writer) int {
 // all) it runs the regression gate. Exit codes: 0 no differences, 1
 // differences found, 2 usage/archive errors.
 func cmdDiff(rest []string, seed int64, archiveDir string, opt runner.Options,
-	jsonOut, layers bool, stdout, stderr io.Writer) int {
+	jsonOut, layers, loadFlag bool, stdout, stderr io.Writer) int {
 	arch, err := store.Open(archiveDir)
 	if err != nil {
 		fmt.Fprintf(stderr, "osprof: %v\n", err)
@@ -222,7 +232,7 @@ func cmdDiff(rest []string, seed int64, archiveDir string, opt runner.Options,
 	}
 	isRef := func(s string) bool { return !scenarioID[s] && isRunRef(s) }
 	if len(rest) == 2 && isRef(rest[0]) && isRef(rest[1]) {
-		return diffPair(arch, rest[0], rest[1], jsonOut, layers, stdout, stderr)
+		return diffPair(arch, rest[0], rest[1], jsonOut, layers, loadFlag, stdout, stderr)
 	}
 	for _, r := range rest {
 		if isRef(r) {
@@ -230,8 +240,8 @@ func cmdDiff(rest []string, seed int64, archiveDir string, opt runner.Options,
 			return 2
 		}
 	}
-	if layers {
-		fmt.Fprintln(stderr, "osprof: -layers applies to the pairwise diff, not the regression gate")
+	if layers || loadFlag {
+		fmt.Fprintln(stderr, "osprof: -layers/-load apply to the pairwise diff, not the regression gate")
 		return 2
 	}
 	return diffGate(arch, rest, seed, fps, opt, jsonOut, stdout, stderr)
@@ -286,8 +296,10 @@ func resolveRun(arch *store.Archive, ref string) (*core.Run, error) {
 // diffPair renders the differential analysis of two referenced runs.
 // layers renders only the layer attribution (`osprof diff -layers`):
 // which layer each changed traced operation moved in, without the
-// per-operation verdict table or histograms.
-func diffPair(arch *store.Archive, refA, refB string, jsonOut, layers bool, stdout, stderr io.Writer) int {
+// per-operation verdict table or histograms. loadFlag renders only
+// the load attribution (`osprof diff -load`): which load band each
+// changed load-profiled operation moved at.
+func diffPair(arch *store.Archive, refA, refB string, jsonOut, layers, loadFlag bool, stdout, stderr io.Writer) int {
 	a, err := resolveRun(arch, refA)
 	if err != nil {
 		fmt.Fprintf(stderr, "osprof: %s: %v\n", refA, err)
@@ -314,6 +326,16 @@ func diffPair(arch *store.Archive, refA, refB string, jsonOut, layers bool, stdo
 		for _, mv := range rep.Layers {
 			fmt.Fprintf(stdout, "%-18s moved in %-10s %-14s score=%.3g  %s\n",
 				mv.Op, mv.Layer, mv.Verdict, mv.Score, mv.Detail)
+		}
+	case loadFlag:
+		fmt.Fprintf(stdout, "=== diff -load %q -> %q ===\n", rep.NameA, rep.NameB)
+		fmt.Fprintf(stdout, "%d operations compared, %d changed\n", len(rep.Ops), rep.Changed)
+		if len(rep.Loads) == 0 {
+			fmt.Fprintln(stdout, "no load attribution (unconditioned runs, or nothing moved); record with -load")
+		}
+		for _, mv := range rep.Loads {
+			fmt.Fprintf(stdout, "%-18s moved at load:%-5s %-14s score=%.3g  %s\n",
+				mv.Op, mv.Band, mv.Verdict, mv.Score, mv.Detail)
 		}
 	default:
 		report.Diff(stdout, rep, a.Set, b.Set, report.Options{})

@@ -126,16 +126,21 @@ func benchParity(base string, sessions []*live.Session) string {
 }
 
 // cmdBench dispatches the bench subcommands: `ingest` (fleet-scale
-// load generator, this file) and `analysis` (summary-tier read-path
-// latency, bench_analysis.go).
+// load generator, this file), `analysis` (summary-tier read-path
+// latency, bench_analysis.go), and `load` (load-profiling overhead
+// budget, bench_load.go).
 func cmdBench(rest []string, recorders, batch int, duration time.Duration,
 	target, out string, benchRuns, benchRequests int, stdout, stderr io.Writer) int {
 	if len(rest) == 1 && rest[0] == "analysis" {
 		return cmdBenchAnalysis(benchRuns, benchRequests, out, stdout, stderr)
 	}
+	if len(rest) == 1 && rest[0] == "load" {
+		return cmdBenchLoad(out, stdout, stderr)
+	}
 	if len(rest) != 1 || rest[0] != "ingest" {
 		fmt.Fprintln(stderr, "osprof: usage: osprof bench ingest [-recorders N] [-batch N] [-duration D] [-target URL] [-out FILE]")
 		fmt.Fprintln(stderr, "              osprof bench analysis [-runs N] [-requests N] [-out FILE]")
+		fmt.Fprintln(stderr, "              osprof bench load [-out FILE]")
 		return 2
 	}
 	if recorders < 1 || batch < 1 || duration <= 0 {

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"osprof/internal/diff"
+	"osprof/internal/report"
+)
+
+// TestLoadWorkflowEndToEnd drives the whole surface through the real
+// CLI: record the contention cells, render the load decomposition
+// (plain, realtime, JSON), and diff the solo cell against the packed
+// one — the load-aware diff must attribute the change to the contended
+// band and exit 1.
+func TestLoadWorkflowEndToEnd(t *testing.T) {
+	archive := t.TempDir()
+	results := recordJSON(t, archive, "load/readzero-1x2", "load/readzero-4x2")
+	if len(results) != 2 {
+		t.Fatalf("recorded %d runs", len(results))
+	}
+
+	// Plain decomposition of the packed cell.
+	code, out, errOut := exec(t, "load", "-archive", archive, "latest:load/readzero-4x2")
+	if code != 0 {
+		t.Fatalf("load exit=%d stderr=%s", code, errOut)
+	}
+	for _, want := range []string{"read", "2-4", "SHARE"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("load table misses %q:\n%s", want, out)
+		}
+	}
+
+	// Realtime: the recorded occupancy is in the run metadata.
+	code, out, errOut = exec(t, "load", "-realtime", "-json", "-archive", archive,
+		"latest:load/readzero-4x2")
+	if code != 0 {
+		t.Fatalf("load -realtime exit=%d stderr=%s", code, errOut)
+	}
+	var doc report.LoadDoc
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != report.LoadSchema || !doc.Realtime {
+		t.Fatalf("doc header: %+v", doc)
+	}
+	if len(doc.Ops) == 0 || len(doc.Occupancy) == 0 {
+		t.Fatalf("empty realtime doc: %+v", doc)
+	}
+
+	// An unconditioned run has no occupancy to weight by.
+	recordJSON(t, archive, "ext2/readzero")
+	code, _, errOut = exec(t, "load", "-realtime", "-archive", archive, "latest:ext2/readzero")
+	if code != 2 || !strings.Contains(errOut, "no load occupancy") {
+		t.Fatalf("unconditioned -realtime: exit=%d stderr=%s", code, errOut)
+	}
+
+	// The load-aware diff attributes the contention pair to the
+	// contended band and exits 1 (a difference was found).
+	code, out, errOut = exec(t, "diff", "-load", "-archive", archive,
+		"latest:load/readzero-1x2", "latest:load/readzero-4x2")
+	if code != 1 {
+		t.Fatalf("diff -load exit=%d, want 1; stderr=%s\n%s", code, errOut, out)
+	}
+	if !strings.Contains(out, "load:2-4") {
+		t.Errorf("diff -load did not attribute the contended band:\n%s", out)
+	}
+
+	// The structured report carries the same attribution for /v1/diff.
+	code, out, _ = exec(t, "diff", "-json", "-archive", archive,
+		"latest:load/readzero-1x2", "latest:load/readzero-4x2")
+	if code != 1 {
+		t.Fatalf("diff -json exit=%d, want 1", code)
+	}
+	var rep diff.Report
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, mv := range rep.Loads {
+		if mv.Op == "read" && mv.Band == "2-4" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("JSON report loads: %+v", rep.Loads)
+	}
+}
+
+// -load on the gate form is a usage error, like -layers.
+func TestDiffLoadRejectsGateForm(t *testing.T) {
+	code, _, errOut := exec(t, "diff", "-load", "-archive", t.TempDir(), "all")
+	if code != 2 || !strings.Contains(errOut, "-load") {
+		t.Fatalf("exit=%d stderr=%s", code, errOut)
+	}
+}
+
+// `osprof record -load` conditions every recordable and fingerprints
+// as its own world: the loaded twin must not collide with the plain
+// recording of the same scenario.
+func TestRecordLoadFingerprintsOwnWorld(t *testing.T) {
+	archive := t.TempDir()
+	plain := recordJSON(t, archive, "ext2/readzero")
+	code, out, errOut := exec(t, "record", "-load", "-json", "-archive", archive, "ext2/readzero")
+	if code != 0 {
+		t.Fatalf("record -load exit=%d stderr=%s", code, errOut)
+	}
+	var loaded []struct {
+		Fingerprint string `json:"fingerprint"`
+		RunID       string `json:"run_id"`
+	}
+	if err := json.Unmarshal([]byte(out), &loaded); err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if len(loaded) != 1 || loaded[0].Fingerprint == plain[0].Fingerprint {
+		t.Fatalf("loaded twin shares the plain fingerprint: %+v vs %+v", loaded, plain[0])
+	}
+	if loaded[0].RunID == plain[0].RunID {
+		t.Error("loaded twin deduped against the plain run")
+	}
+}

@@ -104,6 +104,12 @@ type Report struct {
 	// profiles). Absent entirely for untraced runs, so their JSON
 	// reports are byte-identical to the pre-trace schema.
 	Layers []LayerMove `json:"layers,omitempty"`
+
+	// Loads attributes each changed load-profiled operation to the
+	// load band where it moved (internal/load op@load:band profiles).
+	// Absent entirely for unconditioned runs, keeping their JSON
+	// byte-identical to the pre-load schema.
+	Loads []LoadMove `json:"loads,omitempty"`
 }
 
 // Regression reports whether any operation changed.
@@ -158,11 +164,11 @@ type LayerMove struct {
 // layerAgg accumulates one base operation's layer rows during the
 // attribution walk.
 type layerAgg struct {
-	base    string
-	layers  []OpDiff
-	changed bool // base op or any layer row flagged
-	critA   string
-	critB   string
+	base               string
+	layers             []OpDiff
+	changed            bool // base op or any layer row flagged
+	critA              string
+	critB              string
 	critTotA, critTotB uint64
 }
 
@@ -335,6 +341,7 @@ func (e *Engine) Sets(a, b *core.Set) *Report {
 		return x.Op < y.Op
 	})
 	rep.Layers = layerMoves(rep.Ops)
+	rep.Loads = loadMoves(rep.Ops)
 	return rep
 }
 

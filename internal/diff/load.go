@@ -1,0 +1,179 @@
+package diff
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"osprof/internal/load"
+)
+
+// LoadMove attributes one changed load-profiled operation to the load
+// band where it moved, splitting "read got slower" into "slower at
+// load 1" (the operation itself regressed) vs "only slower under
+// contention" (a scheduling or locking effect). Bands carries every
+// band's own verdict so the full picture — "unchanged at load:1,
+// shifted-peak at load:5+" — is directly readable.
+type LoadMove struct {
+	// Op is the base operation ("read"), without the load suffix.
+	Op string `json:"op"`
+
+	// Band is the moving band ("1", "2-4", "5+").
+	Band string `json:"band"`
+
+	// Verdict and Score are the moving band profile's own diff verdict
+	// (Unchanged when the attribution fell back to mean movement).
+	Verdict Verdict `json:"verdict"`
+	Score   float64 `json:"score"`
+
+	// MeanA and MeanB are the moving band's mean latency in cycles on
+	// each side.
+	MeanA uint64 `json:"mean_a"`
+	MeanB uint64 `json:"mean_b"`
+
+	// Bands holds every band's verdict, in band order.
+	Bands []BandVerdict `json:"bands"`
+
+	// Detail is a human-readable explanation.
+	Detail string `json:"detail,omitempty"`
+}
+
+// BandVerdict is one band's verdict inside a LoadMove.
+type BandVerdict struct {
+	Band    string  `json:"band"`
+	Verdict Verdict `json:"verdict"`
+	Score   float64 `json:"score"`
+	CountA  uint64  `json:"count_a"`
+	CountB  uint64  `json:"count_b"`
+}
+
+// loadAgg accumulates one base operation's band rows during the
+// attribution walk.
+type loadAgg struct {
+	base    string
+	bands   []OpDiff
+	changed bool // base op or any band row flagged
+}
+
+// loadMoves computes the per-operation load-band attribution from a
+// classified op list. Only operations with load-keyed companion
+// profiles and a flagged change (on the base op or any band row)
+// produce an entry; an unconditioned diff returns nil, keeping its
+// JSON byte-identical to the pre-load schema.
+func loadMoves(ops []OpDiff) []LoadMove {
+	aggs := make(map[string]*loadAgg)
+	var order []string
+	baseChanged := make(map[string]bool)
+	for _, d := range ops {
+		base, _, ok := load.SplitOp(d.Op)
+		if !ok {
+			if d.Verdict.Changed() {
+				baseChanged[d.Op] = true
+			}
+			continue
+		}
+		a, seen := aggs[base]
+		if !seen {
+			a = &loadAgg{base: base}
+			aggs[base] = a
+			order = append(order, base)
+		}
+		a.bands = append(a.bands, d)
+		if d.Verdict.Changed() {
+			a.changed = true
+		}
+	}
+
+	var out []LoadMove
+	for _, base := range order {
+		a := aggs[base]
+		if len(a.bands) == 0 || !(a.changed || baseChanged[base]) {
+			continue
+		}
+		sort.SliceStable(a.bands, func(i, j int) bool {
+			_, x, _ := load.SplitOp(a.bands[i].Op)
+			_, y, _ := load.SplitOp(a.bands[j].Op)
+			return load.BandIndex(x) < load.BandIndex(y)
+		})
+
+		// Attribution order: a flagged band with samples on both sides
+		// is a latency shift at that load — the strongest signal. With
+		// only one-sided bands the *population* moved between loads:
+		// prefer the new-op band with the most B-side samples (where
+		// the workload's time went), then the largest drained band.
+		// Fall back to the largest mean movement when only the base
+		// operation was flagged.
+		best := -1
+		for i, d := range a.bands {
+			if !d.Verdict.Changed() || d.CountA == 0 || d.CountB == 0 {
+				continue
+			}
+			if best < 0 || d.Score > a.bands[best].Score {
+				best = i
+			}
+		}
+		if best < 0 {
+			var bestCount uint64
+			for i, d := range a.bands {
+				if d.Verdict == NewOp && d.CountB > bestCount {
+					best, bestCount = i, d.CountB
+				}
+			}
+			if best < 0 {
+				for i, d := range a.bands {
+					if d.Verdict == MissingOp && d.CountA > bestCount {
+						best, bestCount = i, d.CountA
+					}
+				}
+			}
+		}
+		if best < 0 {
+			var bestDelta uint64
+			for i, d := range a.bands {
+				ma, mb := mean(d.TotalA, d.CountA), mean(d.TotalB, d.CountB)
+				delta := ma - mb
+				if mb > ma {
+					delta = mb - ma
+				}
+				if best < 0 || delta > bestDelta {
+					best, bestDelta = i, delta
+				}
+			}
+		}
+
+		d := a.bands[best]
+		_, band, _ := load.SplitOp(d.Op)
+		mv := LoadMove{
+			Op: base, Band: band,
+			Verdict: d.Verdict, Score: d.Score,
+			MeanA: mean(d.TotalA, d.CountA), MeanB: mean(d.TotalB, d.CountB),
+		}
+		var parts []string
+		for _, bd := range a.bands {
+			_, bn, _ := load.SplitOp(bd.Op)
+			mv.Bands = append(mv.Bands, BandVerdict{
+				Band: bn, Verdict: bd.Verdict, Score: bd.Score,
+				CountA: bd.CountA, CountB: bd.CountB,
+			})
+			parts = append(parts, fmt.Sprintf("%s at load:%s", bd.Verdict, bn))
+		}
+		mv.Detail = strings.Join(parts, ", ")
+		switch {
+		case mv.Verdict == NewOp:
+			mv.Detail += fmt.Sprintf("; samples moved into load:%s (%d -> %d ops)", band, d.CountA, d.CountB)
+		case mv.Verdict == MissingOp:
+			mv.Detail += fmt.Sprintf("; samples left load:%s (%d -> %d ops)", band, d.CountA, d.CountB)
+		default:
+			mv.Detail += fmt.Sprintf("; load:%s mean %d -> %d cycles", band, mv.MeanA, mv.MeanB)
+		}
+		out = append(out, mv)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		x, y := out[i], out[j]
+		if x.Score != y.Score {
+			return x.Score > y.Score
+		}
+		return x.Op < y.Op
+	})
+	return out
+}

@@ -1,0 +1,116 @@
+package diff
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"osprof/internal/core"
+)
+
+// fill records count latencies of 1<<bucket into the set's op.
+func fill(s *core.Set, op string, buckets map[int]uint64) {
+	p := s.Get(op)
+	for b, c := range buckets {
+		for i := uint64(0); i < c; i++ {
+			p.Record(uint64(1) << b)
+		}
+	}
+}
+
+// TestLoadAttributionShiftedPeak is the acceptance shape: the same
+// operation unchanged when sampled alone but with its peak shifted
+// under heavy contention. The attribution must blame load:5+ and the
+// detail must spell out both band verdicts.
+func TestLoadAttributionShiftedPeak(t *testing.T) {
+	a, b := core.NewSet("a"), core.NewSet("b")
+	for _, s := range []*core.Set{a, b} {
+		fill(s, "read@load:1", map[int]uint64{6: 1000})
+	}
+	fill(a, "read@load:5+", map[int]uint64{8: 500})
+	fill(b, "read@load:5+", map[int]uint64{12: 500})
+
+	rep := New().Sets(a, b)
+	if len(rep.Loads) != 1 {
+		t.Fatalf("loads = %+v, want one entry", rep.Loads)
+	}
+	mv := rep.Loads[0]
+	if mv.Op != "read" || mv.Band != "5+" || mv.Verdict != ShiftedPeak {
+		t.Fatalf("attribution = %+v, want read shifted-peak at 5+", mv)
+	}
+	if len(mv.Bands) != 2 || mv.Bands[0].Band != "1" || mv.Bands[1].Band != "5+" {
+		t.Fatalf("band rows = %+v", mv.Bands)
+	}
+	if mv.Bands[0].Verdict != Unchanged {
+		t.Errorf("load:1 verdict = %s, want unchanged", mv.Bands[0].Verdict)
+	}
+	for _, want := range []string{"unchanged at load:1", "shifted-peak at load:5+"} {
+		if !strings.Contains(mv.Detail, want) {
+			t.Errorf("detail %q misses %q", mv.Detail, want)
+		}
+	}
+	if mv.MeanA >= mv.MeanB {
+		t.Errorf("means %d -> %d, want growth", mv.MeanA, mv.MeanB)
+	}
+}
+
+// TestLoadAttributionPopulationMove covers the contention pair the CI
+// smoke runs: every band is one-sided (the workload's samples moved
+// from load:1 into the contended band), so the attribution must follow
+// where the samples went, not the drained band.
+func TestLoadAttributionPopulationMove(t *testing.T) {
+	a, b := core.NewSet("a"), core.NewSet("b")
+	fill(a, "read@load:1", map[int]uint64{6: 2000})
+	fill(b, "read@load:2-4", map[int]uint64{9: 2000})
+
+	rep := New().Sets(a, b)
+	if len(rep.Loads) != 1 {
+		t.Fatalf("loads = %+v, want one entry", rep.Loads)
+	}
+	mv := rep.Loads[0]
+	if mv.Op != "read" || mv.Band != "2-4" || mv.Verdict != NewOp {
+		t.Fatalf("attribution = %+v, want read new-op at 2-4", mv)
+	}
+	if !strings.Contains(mv.Detail, "samples moved into load:2-4") {
+		t.Errorf("detail %q misses the population move", mv.Detail)
+	}
+}
+
+// An unconditioned diff must not grow a loads key: the marshaled JSON
+// stays byte-identical to the pre-load schema.
+func TestUnconditionedDiffHasNoLoadsKey(t *testing.T) {
+	a := mkSet("a", "read", map[int]uint64{6: 1000})
+	b := mkSet("b", "read", map[int]uint64{9: 1000})
+	rep := New().Sets(a, b)
+	if rep.Loads != nil {
+		t.Fatalf("unconditioned diff grew loads: %+v", rep.Loads)
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "\"loads\"") {
+		t.Error("unconditioned diff JSON contains a loads key")
+	}
+}
+
+// A changed base op with unchanged band rows still yields an entry
+// (fall back to the largest mean movement), so the load view never
+// goes silent on a flagged load-profiled operation.
+func TestLoadAttributionFallsBackToMeanMovement(t *testing.T) {
+	a, b := core.NewSet("a"), core.NewSet("b")
+	// The base op shifts; the band companions drift too little to flag.
+	fill(a, "read", map[int]uint64{6: 1000})
+	fill(b, "read", map[int]uint64{10: 1000})
+	fill(a, "read@load:1", map[int]uint64{6: 1000})
+	fill(b, "read@load:1", map[int]uint64{6: 999, 7: 1})
+
+	rep := New().Sets(a, b)
+	if len(rep.Loads) != 1 {
+		t.Fatalf("loads = %+v, want the fallback entry", rep.Loads)
+	}
+	mv := rep.Loads[0]
+	if mv.Op != "read" || mv.Band != "1" {
+		t.Fatalf("fallback attribution = %+v", mv)
+	}
+}

@@ -12,8 +12,8 @@ func TestRecordablesRegistry(t *testing.T) {
 	if len(reg) != len(ids) || len(fps) != len(ids) {
 		t.Fatalf("registry sizes: reg=%d fps=%d ids=%d", len(reg), len(fps), len(ids))
 	}
-	// Matrix cells plus the kernel-config variants.
-	wantLen := len(scenario.MatrixIDs()) + len(scenario.VariantIDs())
+	// Matrix cells plus the kernel-config variants and load cells.
+	wantLen := len(scenario.MatrixIDs()) + len(scenario.VariantIDs()) + len(scenario.LoadCellIDs())
 	if len(ids) != wantLen {
 		t.Errorf("%d recordables, want %d", len(ids), wantLen)
 	}

@@ -9,6 +9,7 @@ import (
 	"osprof/internal/cycles"
 	"osprof/internal/report"
 	"osprof/internal/scenario"
+	"osprof/internal/sim"
 	"osprof/internal/store"
 )
 
@@ -167,6 +168,15 @@ func (r *ScenarioResult) RunMeta() map[string]string {
 	if r.Spec.Trace {
 		m["traced"] = "true"
 	}
+	if r.Spec.LoadProfile && r.Stack != nil {
+		// Per-band load occupancy in simulated cycles — deterministic,
+		// and what `osprof load -realtime` weights band histograms by.
+		m["loadprofile"] = "true"
+		occ := r.Stack.K.LoadOccupancy()
+		for b, c := range occ {
+			m["loadocc:"+sim.LoadBandName(b)] = fmt.Sprintf("%d", c)
+		}
+	}
 	return m
 }
 
@@ -198,12 +208,13 @@ func Scenarios(seed int64) (map[string]func() Result, []string) {
 }
 
 // Recordables returns the archivable scenario registry — the
-// backend×workload matrix plus the kernel-configuration variants — as
-// single-run constructors keyed by name, with each spec's canonical
-// fingerprint and the ordered name list. `osprof record`, `baseline`,
-// and the `diff` regression gate all draw from it.
+// backend×workload matrix, the kernel-configuration variants, and the
+// load-contention cells — as single-run constructors keyed by name,
+// with each spec's canonical fingerprint and the ordered name list.
+// `osprof record`, `baseline`, and the `diff` regression gate all draw
+// from it.
 func Recordables(seed int64) (reg map[string]func() Result, fps map[string]string, ids []string) {
-	specs := append(scenario.Matrix(seed), scenario.Variants(seed)...)
+	specs := RecordableSpecs(seed)
 	reg = make(map[string]func() Result, len(specs))
 	fps = make(map[string]string, len(specs))
 	ids = make([]string, 0, len(specs))
@@ -222,7 +233,8 @@ func Recordables(seed int64) (reg map[string]func() Result, fps map[string]strin
 // the degraded twin keeps the scenario's name (the watch layer matches
 // ingests to baselines by name) while fingerprinting as its own world.
 func RecordableSpecs(seed int64) []scenario.Spec {
-	return append(scenario.Matrix(seed), scenario.Variants(seed)...)
+	specs := append(scenario.Matrix(seed), scenario.Variants(seed)...)
+	return append(specs, scenario.LoadCells(seed)...)
 }
 
 // Corpus returns the labeled subset of the recordable scenarios — the

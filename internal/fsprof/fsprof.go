@@ -14,6 +14,7 @@ package fsprof
 
 import (
 	"osprof/internal/core"
+	"osprof/internal/load"
 	"osprof/internal/sim"
 )
 
@@ -115,7 +116,34 @@ type probe struct {
 	sink  Sink
 	mode  Mode
 	costs Costs
+
+	// loads, when set, receives every Full-mode sample a second time,
+	// keyed by the run-queue load at post time (load-conditioned
+	// profiles). The load read is a pure observation with no simulated
+	// cost, so enabling it never perturbs the event timeline.
+	loads *load.Recorder
 }
+
+// opRef binds one operation name to its lazily-bound load-companion
+// handle, created once per wrapped operation at instrumentation time
+// (the tracer's opHandles pattern): the post hook records conditioned
+// samples through the handle instead of paying a map lookup on every
+// sample, which would cost more than the measurement itself on cached
+// fast-path operations.
+type opRef struct {
+	op string
+
+	// lh is the load handle; from tracks which recorder it was bound
+	// against. SetLoadRecorder runs after installation (Instrument
+	// first, condition later), so binding happens on the first sample,
+	// and a re-targeted recorder rebinds instead of recording into a
+	// stale set.
+	lh   *load.Handle
+	from *load.Recorder
+}
+
+// ref creates the per-operation ref a wrapper closure captures.
+func ref(op string) *opRef { return &opRef{op: op} }
 
 // pre runs the pre-operation hook; it returns the start TSC.
 func (pr *probe) pre(p *sim.Proc) uint64 {
@@ -128,14 +156,27 @@ func (pr *probe) pre(p *sim.Proc) uint64 {
 	return start
 }
 
-// post runs the post-operation hook, recording the latency.
-func (pr *probe) post(p *sim.Proc, op string, start uint64) {
+// post runs the post-operation hook, recording the latency. The
+// subtraction goes through sim.TSCDelta: a process that migrated CPUs
+// mid-operation can read a smaller (skewed) counter at exit than at
+// entry, and the raw uint64 difference would wrap to a ~2^64
+// top-bucket garbage sample (§3.4).
+func (pr *probe) post(p *sim.Proc, r *opRef, start uint64) {
 	if pr.mode != EmptyHooks {
 		p.Exec(pr.costs.TSCWindow - pr.costs.TSCWindow/2)
 		end := p.ReadTSC()
 		if pr.mode == Full {
 			p.Exec(pr.costs.SortStore)
-			pr.sink.Record(op, p.Now(), end-start)
+			lat := sim.TSCDelta(end, start)
+			pr.sink.Record(r.op, p.Now(), lat)
+			if pr.loads != nil {
+				if r.from != pr.loads {
+					r.lh, r.from = pr.loads.Handle(r.op), pr.loads
+				}
+				// The load read is a pure observation with no simulated
+				// cost, so conditioning never perturbs the timeline.
+				r.lh.Record(sim.LoadBand(p.Kernel().Load()), lat)
+			}
 		}
 	}
 	p.Exec(pr.costs.CallPair - pr.costs.CallPair/2)

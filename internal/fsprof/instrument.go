@@ -2,6 +2,7 @@ package fsprof
 
 import (
 	"osprof/internal/core"
+	"osprof/internal/load"
 	"osprof/internal/sim"
 	"osprof/internal/vfs"
 )
@@ -38,130 +39,150 @@ func InstrumentSet(fs vfs.FileSystem, set *core.Set) *Instrumented {
 // Restore reinstates the original operation vectors.
 func (ins *Instrumented) Restore() { *ins.FS.Ops() = ins.orig }
 
+// SetLoadRecorder makes the probe also record every sample into
+// load-keyed companion profiles (load-conditioned profiling).
+func (ins *Instrumented) SetLoadRecorder(r *load.Recorder) { ins.pr.loads = r }
+
 func (ins *Instrumented) install() {
 	ops := ins.FS.Ops()
 	pr := ins.pr
 	o := &ins.orig
 
 	if fn := o.File.Read; fn != nil {
+		opRead := ref("read")
 		ops.File.Read = func(p *sim.Proc, f *vfs.File, n uint64) uint64 {
 			t := pr.pre(p)
 			r := fn(p, f, n)
-			pr.post(p, "read", t)
+			pr.post(p, opRead, t)
 			return r
 		}
 	}
 	if fn := o.File.Write; fn != nil {
+		opWrite := ref("write")
 		ops.File.Write = func(p *sim.Proc, f *vfs.File, n uint64) uint64 {
 			t := pr.pre(p)
 			r := fn(p, f, n)
-			pr.post(p, "write", t)
+			pr.post(p, opWrite, t)
 			return r
 		}
 	}
 	if fn := o.File.Llseek; fn != nil {
+		opLlseek := ref("llseek")
 		ops.File.Llseek = func(p *sim.Proc, f *vfs.File, off int64, w vfs.Whence) uint64 {
 			t := pr.pre(p)
 			r := fn(p, f, off, w)
-			pr.post(p, "llseek", t)
+			pr.post(p, opLlseek, t)
 			return r
 		}
 	}
 	if fn := o.File.Readdir; fn != nil {
+		opReaddir := ref("readdir")
 		ops.File.Readdir = func(p *sim.Proc, f *vfs.File) []vfs.DirEntry {
 			t := pr.pre(p)
 			r := fn(p, f)
-			pr.post(p, "readdir", t)
+			pr.post(p, opReaddir, t)
 			return r
 		}
 	}
 	if fn := o.File.Fsync; fn != nil {
+		opFsync := ref("fsync")
 		ops.File.Fsync = func(p *sim.Proc, f *vfs.File) {
 			t := pr.pre(p)
 			fn(p, f)
-			pr.post(p, "fsync", t)
+			pr.post(p, opFsync, t)
 		}
 	}
 	if fn := o.File.Open; fn != nil {
+		opOpen := ref("open")
 		ops.File.Open = func(p *sim.Proc, ino *vfs.Inode, dio bool) *vfs.File {
 			t := pr.pre(p)
 			r := fn(p, ino, dio)
-			pr.post(p, "open", t)
+			pr.post(p, opOpen, t)
 			return r
 		}
 	}
 	if fn := o.File.Release; fn != nil {
+		opRelease := ref("release")
 		ops.File.Release = func(p *sim.Proc, f *vfs.File) {
 			t := pr.pre(p)
 			fn(p, f)
-			pr.post(p, "release", t)
+			pr.post(p, opRelease, t)
 		}
 	}
 	if fn := o.Inode.Lookup; fn != nil {
+		opLookup := ref("lookup")
 		ops.Inode.Lookup = func(p *sim.Proc, dir *vfs.Inode, name string) (*vfs.Inode, bool) {
 			t := pr.pre(p)
 			ino, ok := fn(p, dir, name)
-			pr.post(p, "lookup", t)
+			pr.post(p, opLookup, t)
 			return ino, ok
 		}
 	}
 	if fn := o.Inode.Create; fn != nil {
+		opCreate := ref("create")
 		ops.Inode.Create = func(p *sim.Proc, dir *vfs.Inode, name string) (*vfs.Inode, error) {
 			t := pr.pre(p)
 			ino, err := fn(p, dir, name)
-			pr.post(p, "create", t)
+			pr.post(p, opCreate, t)
 			return ino, err
 		}
 	}
 	if fn := o.Inode.Unlink; fn != nil {
+		opUnlink := ref("unlink")
 		ops.Inode.Unlink = func(p *sim.Proc, dir *vfs.Inode, name string) error {
 			t := pr.pre(p)
 			err := fn(p, dir, name)
-			pr.post(p, "unlink", t)
+			pr.post(p, opUnlink, t)
 			return err
 		}
 	}
 	if fn := o.Inode.Mkdir; fn != nil {
+		opMkdir := ref("mkdir")
 		ops.Inode.Mkdir = func(p *sim.Proc, dir *vfs.Inode, name string) (*vfs.Inode, error) {
 			t := pr.pre(p)
 			ino, err := fn(p, dir, name)
-			pr.post(p, "mkdir", t)
+			pr.post(p, opMkdir, t)
 			return ino, err
 		}
 	}
 	if fn := o.Address.ReadPage; fn != nil {
+		opReadpage := ref("readpage")
 		ops.Address.ReadPage = func(p *sim.Proc, ino *vfs.Inode, idx uint64) {
 			t := pr.pre(p)
 			fn(p, ino, idx)
-			pr.post(p, "readpage", t)
+			pr.post(p, opReadpage, t)
 		}
 	}
 	if fn := o.Address.ReadPages; fn != nil {
+		opReadpages := ref("readpages")
 		ops.Address.ReadPages = func(p *sim.Proc, ino *vfs.Inode, idx, n uint64) {
 			t := pr.pre(p)
 			fn(p, ino, idx, n)
-			pr.post(p, "readpages", t)
+			pr.post(p, opReadpages, t)
 		}
 	}
 	if fn := o.Address.WritePage; fn != nil {
+		opWritepage := ref("writepage")
 		ops.Address.WritePage = func(p *sim.Proc, ino *vfs.Inode, idx uint64, sync bool) {
 			t := pr.pre(p)
 			fn(p, ino, idx, sync)
-			pr.post(p, "writepage", t)
+			pr.post(p, opWritepage, t)
 		}
 	}
 	if fn := o.Super.WriteSuper; fn != nil {
+		opWriteSuper := ref("write_super")
 		ops.Super.WriteSuper = func(p *sim.Proc) {
 			t := pr.pre(p)
 			fn(p)
-			pr.post(p, "write_super", t)
+			pr.post(p, opWriteSuper, t)
 		}
 	}
 	if fn := o.Super.SyncFS; fn != nil {
+		opSyncFs := ref("sync_fs")
 		ops.Super.SyncFS = func(p *sim.Proc) {
 			t := pr.pre(p)
 			fn(p)
-			pr.post(p, "sync_fs", t)
+			pr.post(p, opSyncFs, t)
 		}
 	}
 }

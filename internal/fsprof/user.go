@@ -2,6 +2,7 @@ package fsprof
 
 import (
 	"osprof/internal/core"
+	"osprof/internal/load"
 	"osprof/internal/sim"
 	"osprof/internal/vfs"
 )
@@ -14,6 +15,22 @@ import (
 type UserProfiler struct {
 	inner vfs.Syscalls
 	pr    *probe
+	refs  userRefs
+}
+
+// userRefs holds one pre-bound opRef per wrapped system call.
+type userRefs struct {
+	open, close, read, write, llseek, getdents,
+	fsync, create, unlink, mkdir, stat *opRef
+}
+
+func newUserRefs() userRefs {
+	return userRefs{
+		open: ref("open"), close: ref("close"), read: ref("read"),
+		write: ref("write"), llseek: ref("llseek"), getdents: ref("getdents"),
+		fsync: ref("fsync"), create: ref("create"), unlink: ref("unlink"),
+		mkdir: ref("mkdir"), stat: ref("stat"),
+	}
 }
 
 var _ vfs.Syscalls = (*UserProfiler)(nil)
@@ -23,19 +40,28 @@ func NewUserProfiler(sc vfs.Syscalls, set *core.Set) *UserProfiler {
 	return &UserProfiler{
 		inner: sc,
 		pr:    &probe{sink: SetSink{Set: set}, mode: Full, costs: DefaultCosts()},
+		refs:  newUserRefs(),
 	}
 }
 
 // NewUserProfilerSink wraps sc with an explicit sink, mode and costs.
 func NewUserProfilerSink(sc vfs.Syscalls, sink Sink, mode Mode, costs Costs) *UserProfiler {
-	return &UserProfiler{inner: sc, pr: &probe{sink: sink, mode: mode, costs: costs}}
+	return &UserProfiler{
+		inner: sc,
+		pr:    &probe{sink: sink, mode: mode, costs: costs},
+		refs:  newUserRefs(),
+	}
 }
+
+// SetLoadRecorder makes the probe also record every sample into
+// load-keyed companion profiles (load-conditioned profiling).
+func (u *UserProfiler) SetLoadRecorder(r *load.Recorder) { u.pr.loads = r }
 
 // Open implements vfs.Syscalls.
 func (u *UserProfiler) Open(p *sim.Proc, path string, directIO bool) (*vfs.File, error) {
 	t := u.pr.pre(p)
 	f, err := u.inner.Open(p, path, directIO)
-	u.pr.post(p, "open", t)
+	u.pr.post(p, u.refs.open, t)
 	return f, err
 }
 
@@ -43,14 +69,14 @@ func (u *UserProfiler) Open(p *sim.Proc, path string, directIO bool) (*vfs.File,
 func (u *UserProfiler) Close(p *sim.Proc, f *vfs.File) {
 	t := u.pr.pre(p)
 	u.inner.Close(p, f)
-	u.pr.post(p, "close", t)
+	u.pr.post(p, u.refs.close, t)
 }
 
 // Read implements vfs.Syscalls.
 func (u *UserProfiler) Read(p *sim.Proc, f *vfs.File, n uint64) uint64 {
 	t := u.pr.pre(p)
 	r := u.inner.Read(p, f, n)
-	u.pr.post(p, "read", t)
+	u.pr.post(p, u.refs.read, t)
 	return r
 }
 
@@ -58,7 +84,7 @@ func (u *UserProfiler) Read(p *sim.Proc, f *vfs.File, n uint64) uint64 {
 func (u *UserProfiler) Write(p *sim.Proc, f *vfs.File, n uint64) uint64 {
 	t := u.pr.pre(p)
 	r := u.inner.Write(p, f, n)
-	u.pr.post(p, "write", t)
+	u.pr.post(p, u.refs.write, t)
 	return r
 }
 
@@ -66,7 +92,7 @@ func (u *UserProfiler) Write(p *sim.Proc, f *vfs.File, n uint64) uint64 {
 func (u *UserProfiler) Llseek(p *sim.Proc, f *vfs.File, off int64, w vfs.Whence) uint64 {
 	t := u.pr.pre(p)
 	r := u.inner.Llseek(p, f, off, w)
-	u.pr.post(p, "llseek", t)
+	u.pr.post(p, u.refs.llseek, t)
 	return r
 }
 
@@ -74,7 +100,7 @@ func (u *UserProfiler) Llseek(p *sim.Proc, f *vfs.File, off int64, w vfs.Whence)
 func (u *UserProfiler) Getdents(p *sim.Proc, f *vfs.File) []vfs.DirEntry {
 	t := u.pr.pre(p)
 	r := u.inner.Getdents(p, f)
-	u.pr.post(p, "getdents", t)
+	u.pr.post(p, u.refs.getdents, t)
 	return r
 }
 
@@ -82,14 +108,14 @@ func (u *UserProfiler) Getdents(p *sim.Proc, f *vfs.File) []vfs.DirEntry {
 func (u *UserProfiler) Fsync(p *sim.Proc, f *vfs.File) {
 	t := u.pr.pre(p)
 	u.inner.Fsync(p, f)
-	u.pr.post(p, "fsync", t)
+	u.pr.post(p, u.refs.fsync, t)
 }
 
 // Create implements vfs.Syscalls.
 func (u *UserProfiler) Create(p *sim.Proc, path string) (*vfs.File, error) {
 	t := u.pr.pre(p)
 	f, err := u.inner.Create(p, path)
-	u.pr.post(p, "create", t)
+	u.pr.post(p, u.refs.create, t)
 	return f, err
 }
 
@@ -97,7 +123,7 @@ func (u *UserProfiler) Create(p *sim.Proc, path string) (*vfs.File, error) {
 func (u *UserProfiler) Unlink(p *sim.Proc, path string) error {
 	t := u.pr.pre(p)
 	err := u.inner.Unlink(p, path)
-	u.pr.post(p, "unlink", t)
+	u.pr.post(p, u.refs.unlink, t)
 	return err
 }
 
@@ -105,7 +131,7 @@ func (u *UserProfiler) Unlink(p *sim.Proc, path string) error {
 func (u *UserProfiler) Mkdir(p *sim.Proc, path string) error {
 	t := u.pr.pre(p)
 	err := u.inner.Mkdir(p, path)
-	u.pr.post(p, "mkdir", t)
+	u.pr.post(p, u.refs.mkdir, t)
 	return err
 }
 
@@ -113,6 +139,6 @@ func (u *UserProfiler) Mkdir(p *sim.Proc, path string) error {
 func (u *UserProfiler) Stat(p *sim.Proc, path string) (*vfs.Inode, error) {
 	t := u.pr.pre(p)
 	ino, err := u.inner.Stat(p, path)
-	u.pr.post(p, "stat", t)
+	u.pr.post(p, u.refs.stat, t)
 	return ino, err
 }

@@ -53,6 +53,11 @@ func (s Spec) Canonical() string {
 	if s.Trace {
 		fmt.Fprintf(&b, "trace=%t\n", s.Trace)
 	}
+	// Same presence idiom: unconditioned Specs keep their pre-load
+	// fingerprints.
+	if s.LoadProfile {
+		fmt.Fprintf(&b, "loadprofile=%t\n", s.LoadProfile)
+	}
 	fmt.Fprintf(&b, "backend=%s\n", s.Backend)
 	fmt.Fprintf(&b, "cachepages=%d\n", s.CachePages)
 	fmt.Fprintf(&b, "superdaemon=%t\n", s.SuperDaemon)

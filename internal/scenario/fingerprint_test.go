@@ -55,6 +55,7 @@ func TestFingerprintSensitivity(t *testing.T) {
 		"setname":         func(s *Spec) { s.SetName = "other" },
 		"label":           func(s *Spec) { s.Label = "corpus-label" },
 		"trace":           func(s *Spec) { s.Trace = true },
+		"loadprofile":     func(s *Spec) { s.LoadProfile = true },
 		"backend":         func(s *Spec) { s.Backend = Reiser },
 		"cachepages":      func(s *Spec) { s.CachePages = 513 },
 		"superdaemon":     func(s *Spec) { s.SuperDaemon = true },
@@ -127,6 +128,10 @@ func TestFingerprintGolden(t *testing.T) {
 		if s.Injections == nil && strings.Contains(s.Canonical(), "inject ") {
 			t.Errorf("%s: healthy spec canonical encodes an inject line", s.Name)
 		}
+		// Likewise LoadProfile: unconditioned specs must not encode it.
+		if !s.LoadProfile && strings.Contains(s.Canonical(), "loadprofile") {
+			t.Errorf("%s: unconditioned spec canonical encodes a loadprofile line", s.Name)
+		}
 	}
 }
 
@@ -138,7 +143,7 @@ func TestFingerprintCoversEveryField(t *testing.T) {
 		typ  reflect.Type
 		want int
 	}{
-		"scenario.Spec":        {reflect.TypeOf(Spec{}), 18},
+		"scenario.Spec":        {reflect.TypeOf(Spec{}), 19},
 		"fault.Spec":           {reflect.TypeOf(fault.Spec{}), 3},
 		"fault.DiskFaults":     {reflect.TypeOf(fault.DiskFaults{}), 7},
 		"fault.CacheThrash":    {reflect.TypeOf(fault.CacheThrash{}), 2},

@@ -1,0 +1,61 @@
+package scenario
+
+import (
+	"fmt"
+
+	"osprof/internal/sim"
+	"osprof/internal/vfs"
+)
+
+// LoadCells returns the contention scenarios for load-conditioned
+// profiling: the same readzero workload run at increasing process
+// fan-out on SMP machines, with LoadProfile enabled. The cells hold
+// everything fixed except contention, so diffing them isolates what
+// load alone does to an operation's latency — the steady load sits in
+// band "1" (1 proc), "2-4" (4 procs on 2 CPUs) and "5+" (8 procs on
+// 4 CPUs). seed offsets the kernel seeds, as in Matrix.
+// LoadCellIDs lists the load-cell scenario names in cell order.
+func LoadCellIDs() []string {
+	specs := LoadCells(0)
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+func LoadCells(seed int64) []Spec {
+	cells := []struct{ procs, cpus int }{
+		{1, 2},
+		{4, 2},
+		{8, 4},
+	}
+	specs := make([]Spec, 0, len(cells))
+	for _, c := range cells {
+		specs = append(specs, Spec{
+			Name:    fmt.Sprintf("load/readzero-%dx%d", c.procs, c.cpus),
+			Backend: Ext2,
+			Kernel: sim.Config{
+				NumCPUs: c.cpus,
+				// The short quantum and fast tick make mid-operation
+				// preemption common under contention, so the contended
+				// bands develop the wait peaks the load diff attributes.
+				Quantum:       1 << 14,
+				TickPeriod:    1 << 12,
+				TickCost:      800,
+				Preemptive:    true,
+				WakePreempt:   true,
+				ContextSwitch: 9_350,
+				Seed:          seed + int64(c.procs)*7 + int64(c.cpus),
+			},
+			CachePages:  1 << 10,
+			Files:       []FileSpec{{Name: "zero", Size: vfs.PageSize}},
+			Instrument:  Instrument{Point: FSLevel},
+			LoadProfile: true,
+			Workloads: []Workload{
+				{Kind: ReadZero, ProcName: "reader", Procs: c.procs, Amount: 2_000, Path: "/zero"},
+			},
+		})
+	}
+	return specs
+}

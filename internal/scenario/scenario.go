@@ -26,6 +26,7 @@ import (
 	"osprof/internal/fs/ext2"
 	"osprof/internal/fs/reiser"
 	"osprof/internal/fsprof"
+	"osprof/internal/load"
 	"osprof/internal/mem"
 	"osprof/internal/netsim"
 	"osprof/internal/sim"
@@ -245,6 +246,16 @@ type Spec struct {
 	// archived envelopes stay byte-identical.
 	Trace bool
 
+	// LoadProfile, when set, conditions the captured profiles on
+	// run-queue load (internal/load): the kernel tracks per-band load
+	// occupancy and the installed profiler records every sample a
+	// second time under op@load:<band> companion names, keyed by the
+	// instantaneous load at post time. Requires fs/user-level probes
+	// or tracing. Like Trace it is canonical-encoded only when
+	// present, so every unconditioned Spec keeps its fingerprint and
+	// its archived envelopes stay byte-identical.
+	LoadProfile bool
+
 	// Workloads are the simulated processes; Run spawns them in
 	// order.
 	Workloads []Workload
@@ -304,6 +315,14 @@ type Stack struct {
 
 	// Tracer is the layer tracer when Spec.Trace, nil otherwise.
 	Tracer *trace.Tracer
+
+	// User is the installed user-level profiler when Instrument.Point
+	// is UserLevel, nil otherwise (Sys is its interface view).
+	User *fsprof.UserProfiler
+
+	// Loads is the load-conditioned recorder when Spec.LoadProfile,
+	// nil otherwise.
+	Loads *load.Recorder
 
 	// Tree reports the built synthetic tree (zero when Spec.Tree is
 	// nil).
@@ -405,6 +424,10 @@ func Build(spec Spec) (*Stack, error) {
 		return nil, err
 	}
 
+	if err := st.installLoadProfile(spec.LoadProfile); err != nil {
+		return nil, err
+	}
+
 	if spec.SuperDaemon {
 		if st.Reiser == nil {
 			return nil, fmt.Errorf("scenario %q: SuperDaemon requires the reiser backend", spec.Name)
@@ -444,6 +467,32 @@ func (st *Stack) installTracer(on bool) error {
 		st.Conn.Side(0).SetTracer(st.Tracer)
 	}
 	fsprof.TraceFS(st.FS, st.Tracer)
+	return nil
+}
+
+// installLoadProfile enables load-occupancy tracking and attaches the
+// load-conditioned recorder to the installed profiler. The probe owns
+// the load dimension when one is installed (per-operation latencies);
+// on a probe-less traced run the tracer records each request's
+// inclusive latency instead — never both, so samples are not counted
+// twice. Load reads are pure observations, so a Spec without the knob
+// builds a byte-identical world.
+func (st *Stack) installLoadProfile(on bool) error {
+	if !on {
+		return nil
+	}
+	st.K.TrackLoad()
+	st.Loads = load.NewRecorder(st.Set)
+	switch {
+	case st.Instrumented != nil:
+		st.Instrumented.SetLoadRecorder(st.Loads)
+	case st.User != nil:
+		st.User.SetLoadRecorder(st.Loads)
+	case st.Tracer != nil:
+		st.Tracer.SetLoadRecorder(st.Loads)
+	default:
+		return fmt.Errorf("scenario %q: load profiling needs fs/user-level probes or tracing", st.Spec.Name)
+	}
 	return nil
 }
 
@@ -526,7 +575,8 @@ func (st *Stack) instrument(ins Instrument) error {
 		if st.VFS == nil {
 			return fmt.Errorf("scenario %q: user-level instrumentation needs a backend", st.Spec.Name)
 		}
-		st.Sys = fsprof.NewUserProfilerSink(st.VFS, sink, ins.Mode, costs)
+		st.User = fsprof.NewUserProfilerSink(st.VFS, sink, ins.Mode, costs)
+		st.Sys = st.User
 	case DriverLevel:
 		if st.Disk == nil {
 			return fmt.Errorf("scenario %q: driver-level instrumentation needs a disk", st.Spec.Name)

@@ -114,6 +114,13 @@ type Kernel struct {
 
 	tickEvent *event
 	stopped   bool
+
+	// Load-occupancy accounting (see load.go). loadCur mirrors Load()
+	// incrementally so the tracking hot path never scans the CPUs.
+	loadTrack bool
+	loadCur   int
+	loadLast  uint64
+	loadOcc   [LoadBands]uint64
 }
 
 // cpu models one processor. A CPU is occupied while a process runs or
@@ -245,6 +252,7 @@ func (k *Kernel) makeRunnable(p *Proc) {
 	}
 	p.state = stateRunnable
 	p.runnableAt = k.now
+	k.noteLoad(+1)
 	k.runq.PushBack(p)
 }
 
@@ -391,6 +399,7 @@ func (k *Kernel) preempt(p *Proc) {
 // releaseCPU detaches p from its CPU (voluntary block or exit).
 func (k *Kernel) releaseCPU(p *Proc) {
 	if p.cpu != nil {
+		k.noteLoad(-1)
 		p.cpu.p = nil
 		p.cpu = nil
 	}

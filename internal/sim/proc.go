@@ -155,9 +155,30 @@ func (p *Proc) yieldToKernel() {
 // instruction; the ~20-cycle cost of executing it is charged separately
 // by profiling layers via Exec, so that the overhead shows up in
 // profiles exactly as in the paper (§5.2).
+//
+// A negative skew larger than the early-run clock would wrap the
+// unsigned counter to ~2^64; real counters start at zero, so the read
+// clamps there instead.
 func (p *Proc) ReadTSC() uint64 {
 	c := p.k.cpus[p.lastCPU]
-	return uint64(int64(p.k.now) + c.skew)
+	t := int64(p.k.now) + c.skew
+	if t < 0 {
+		return 0
+	}
+	return uint64(t)
+}
+
+// TSCDelta returns end-start, clamped at zero. Per-CPU counters are
+// not synchronized (§3.4): a process that migrates CPUs between the
+// two reads can observe end < start, and a raw unsigned subtraction
+// would turn that into a ~2^64 top-bucket garbage sample. Every
+// profiler pairing two ReadTSC values must subtract through this
+// helper.
+func TSCDelta(end, start uint64) uint64 {
+	if end < start {
+		return 0
+	}
+	return end - start
 }
 
 // Now returns the unskewed global clock. Prefer ReadTSC in profilers.

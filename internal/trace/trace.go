@@ -34,6 +34,7 @@ import (
 	"strings"
 
 	"osprof/internal/core"
+	"osprof/internal/load"
 	"osprof/internal/sim"
 )
 
@@ -90,6 +91,12 @@ type procState struct {
 type opHandles struct {
 	layer [numLayers]*core.Profile
 	crit  [numLayers]*core.Profile
+
+	// load is the load-companion handle when the run is conditioned;
+	// loadFrom tracks the recorder it was bound against so a later
+	// SetLoadRecorder rebinds instead of folding into a stale set.
+	load     *load.Handle
+	loadFrom *load.Recorder
 }
 
 // Tracer collects span trees for every non-daemon process and folds
@@ -100,11 +107,24 @@ type Tracer struct {
 	set   *core.Set
 	procs []procState
 	ops   map[string]*opHandles
+	loads *load.Recorder
 }
 
 // New creates a tracer folding into set.
 func New(set *core.Set) *Tracer {
 	return &Tracer{set: set, ops: make(map[string]*opHandles)}
+}
+
+// SetLoadRecorder makes the tracer also record each request's
+// inclusive latency into load-keyed companion profiles. Used when load
+// profiling is enabled on a traced run with no fs/user probe — the
+// probe otherwise owns the load dimension so samples are not counted
+// twice. Nil-safe on a nil tracer.
+func (t *Tracer) SetLoadRecorder(r *load.Recorder) {
+	if t == nil {
+		return
+	}
+	t.loads = r
 }
 
 // state returns the per-process state, growing the dense table on
@@ -117,16 +137,10 @@ func (t *Tracer) state(p *sim.Proc) *procState {
 	return &t.procs[id]
 }
 
-// sub returns a-b clamped at zero: TSC skew between simulated CPUs can
-// make a migrating process observe a smaller counter at exit than at
-// entry, exactly as on real hardware (§5.2), and a negative duration
-// must not wrap.
-func sub(a, b uint64) uint64 {
-	if a < b {
-		return 0
-	}
-	return a - b
-}
+// Durations are computed with sim.TSCDelta: TSC skew between simulated
+// CPUs can make a migrating process observe a smaller counter at exit
+// than at entry, exactly as on real hardware (§5.2), and a negative
+// duration must not wrap.
 
 // BeginRoot opens a request's root span at VFS syscall entry. Daemon
 // processes are ignored entirely. A nested BeginRoot (a syscall made
@@ -169,10 +183,20 @@ func (t *Tracer) EndRoot(p *sim.Proc) {
 		return
 	}
 	f := &ps.stack[0]
-	incl := sub(p.ReadTSC(), f.start)
-	ps.self[LayerVFS] += sub(incl, f.child)
+	incl := sim.TSCDelta(p.ReadTSC(), f.start)
+	ps.self[LayerVFS] += sim.TSCDelta(incl, f.child)
 
 	h := t.handles(ps.op)
+	if t.loads != nil {
+		// Load-conditioned companion profile of the request's inclusive
+		// latency. Like every hook this is a pure observation — the load
+		// read consumes no simulated time. The handle rides on opHandles
+		// so conditioning shares the fold's one map lookup.
+		if h.loadFrom != t.loads {
+			h.load, h.loadFrom = t.loads.Handle(ps.op), t.loads
+		}
+		h.load.Record(sim.LoadBand(p.Kernel().Load()), incl)
+	}
 	dominant, max := LayerVFS, uint64(0)
 	for l := Layer(0); l < numLayers; l++ {
 		s := ps.self[l]
@@ -230,8 +254,8 @@ func (t *Tracer) Exit(p *sim.Proc, l Layer) {
 	}
 	f := ps.stack[n-1]
 	ps.stack = ps.stack[:n-1]
-	incl := sub(p.ReadTSC(), f.start)
-	ps.self[f.layer] += sub(incl, f.child)
+	incl := sim.TSCDelta(p.ReadTSC(), f.start)
+	ps.self[f.layer] += sim.TSCDelta(incl, f.child)
 	ps.stack[n-2].child += incl
 }
 

@@ -70,6 +70,11 @@ type Report struct {
 	// reports keep the pre-trace shape.
 	Layer string `json:"layer,omitempty"`
 
+	// LoadBand names the load band the top drifted load-profiled
+	// operation moved at (the diff's load attribution). Empty for
+	// unconditioned runs, whose reports keep the pre-load shape.
+	LoadBand string `json:"load_band,omitempty"`
+
 	// Detail is the one-line human-readable explanation.
 	Detail string `json:"detail"`
 
@@ -112,6 +117,11 @@ func (e *Engine) Evaluate(baseline, run *core.Run, corpus *classify.Corpus) *Rep
 		mv := d.Layers[0]
 		rep.Layer = mv.Layer
 		drift += fmt.Sprintf("; %s moved in the %s layer", mv.Op, mv.Layer)
+	}
+	if len(d.Loads) > 0 {
+		mv := d.Loads[0]
+		rep.LoadBand = mv.Band
+		drift += fmt.Sprintf("; %s moved at load:%s", mv.Op, mv.Band)
 	}
 	if corpus != nil && len(corpus.Centroids) > 0 {
 		id := e.Classifier.Identify(corpus, run)

@@ -2,6 +2,7 @@ package watch_test
 
 import (
 	"encoding/json"
+	"strings"
 	"testing"
 
 	"osprof/internal/classify"
@@ -154,5 +155,39 @@ func TestReportsMarshal(t *testing.T) {
 		if back.Verdict != rep.Verdict || back.Detail != rep.Detail {
 			t.Errorf("report %d round trip lost the verdict", i)
 		}
+	}
+}
+
+// A drifted load-profiled run carries the band evidence: the report
+// names the load band the top attribution moved at, alongside the
+// detail line.
+func TestLoadBandEvidence(t *testing.T) {
+	mk := func(contended bool) map[string][]uint64 {
+		ops := map[string][]uint64{}
+		for i := 0; i < 200; i++ {
+			ops["read"] = append(ops["read"], 100+uint64(i%3))
+			if contended {
+				ops["read@load:5+"] = append(ops["read@load:5+"], 1<<15+uint64(i))
+			} else {
+				ops["read@load:5+"] = append(ops["read@load:5+"], 1<<8+uint64(i%7))
+			}
+		}
+		return ops
+	}
+	rep := watch.New().Evaluate(mkRun("app", mk(false)), mkRun("app", mk(true)), nil)
+	if rep.Verdict == watch.OK {
+		t.Fatalf("contention drift not flagged: %s", rep.Detail)
+	}
+	if rep.LoadBand != "5+" {
+		t.Errorf("load band evidence = %q, want 5+ (%s)", rep.LoadBand, rep.Detail)
+	}
+	if !strings.Contains(rep.Detail, "load:5+") {
+		t.Errorf("detail misses the band: %s", rep.Detail)
+	}
+
+	// Unconditioned drift keeps the pre-load report shape.
+	plain := watch.New().Evaluate(mkRun("app", healthyOps()), mkRun("app", flakyOps()), nil)
+	if plain.LoadBand != "" {
+		t.Errorf("unconditioned drift grew load evidence: %q", plain.LoadBand)
 	}
 }
